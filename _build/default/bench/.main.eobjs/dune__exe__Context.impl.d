@@ -1,0 +1,1 @@
+bench/context.ml: Core Hashtbl List Option Printf Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array List Printf Sections Sys Timings Unix

@@ -1,0 +1,1 @@
+bench/sections.ml: Analysis Array Context Core Float Fun Hashtbl Heap Lisp List Machine Multilisp Option Printf Repr Sexp Trace Util Workloads

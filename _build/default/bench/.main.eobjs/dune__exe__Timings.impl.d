@@ -1,0 +1,1 @@
+bench/timings.ml: Analysis Analyze Bechamel Benchmark Cache Core Hashtbl Instance Lazy Lisp List Machine Measure Printf Staged Test Time Toolkit Trace Util

@@ -1,0 +1,35 @@
+(* Shared, lazily computed inputs for the bench sections: workload traces
+   are expensive to produce (an interpreted run each), so they are
+   generated once per process via the registry's caches. *)
+
+let workload name = Option.get (Workloads.Registry.find name)
+
+let chapter3_suite () = Workloads.Registry.all
+
+(* Chapter 5 uses the four larger traces (the thesis dropped PEARL). *)
+let chapter5_suite () = Workloads.Registry.simulation_suite ()
+
+let trace name = Workloads.Registry.trace (workload name)
+let pre name = Workloads.Registry.preprocessed (workload name)
+
+let pct x = Printf.sprintf "%.2f" x
+let pct1 x = Printf.sprintf "%.1f" x
+let int_s = string_of_int
+
+(* A size sweep for one trace: run at [sizes], return stats per size. *)
+let sweep ?(config = Core.Simulator.default_config) sizes trace =
+  List.map
+    (fun size ->
+       (size, Core.Simulator.run { config with Core.Simulator.table_size = size } trace))
+    sizes
+
+(* Representative sizes bracketing each trace's knee (found once). *)
+let knee_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let knee name =
+  match Hashtbl.find_opt knee_cache name with
+  | Some k -> k
+  | None ->
+    let k, _ = Core.Simulator.min_table_size Core.Simulator.default_config (pre name) in
+    Hashtbl.replace knee_cache name k;
+    k

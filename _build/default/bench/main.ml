@@ -1,0 +1,46 @@
+(* The benchmark harness: regenerates every table and figure of the
+   thesis's evaluation (see DESIGN.md's per-experiment index) and, with
+   --timings, runs the bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 # every section
+     dune exec bench/main.exe -- fig3.4 table5.2
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --timings *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let sections = Sections.all () in
+  if List.mem "--list" args then begin
+    print_endline "available sections:";
+    List.iter (fun (name, descr, _) -> Printf.printf "  %-14s %s\n" name descr) sections;
+    print_endline "  --timings      bechamel micro-benchmarks"
+  end
+  else begin
+    let wanted = List.filter (fun a -> a <> "--timings") args in
+    let selected =
+      if wanted = [] then sections
+      else
+        List.filter_map
+          (fun name ->
+             match List.find_opt (fun (n, _, _) -> n = name) sections with
+             | Some s -> Some s
+             | None ->
+               Printf.eprintf "unknown section %s (try --list)\n" name;
+               None)
+          wanted
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, descr, fn) ->
+         Printf.printf "\n################ %s — %s\n" name descr;
+         let t = Unix.gettimeofday () in
+         fn ();
+         Printf.printf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t))
+      selected;
+    if List.mem "--timings" args then begin
+      print_endline "\n################ timings (bechamel)";
+      Timings.benchmark ()
+    end;
+    Printf.printf "\nall sections done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

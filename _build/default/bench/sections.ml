@@ -1,0 +1,970 @@
+(* Every table and figure of the thesis's evaluation, regenerated from
+   our own workload traces and simulators.  Each section prints the same
+   rows/series the thesis reports; EXPERIMENTS.md records the comparison
+   against the published numbers. *)
+
+let registry : (string * string * (unit -> unit)) list ref = ref []
+
+let register name description fn = registry := (name, description, fn) :: !registry
+
+let all () = List.rev !registry
+
+(* ---------- Chapter 3 ---------- *)
+
+let () =
+  register "fig3.1" "Execution frequencies of primitive Lisp functions" @@ fun () ->
+  let rows =
+    List.map
+      (fun w ->
+         let mix = Analysis.Prim_mix.analyze (Workloads.Registry.trace w) in
+         let p prim = Context.pct1 (Analysis.Prim_mix.pct mix prim) in
+         [ w.Workloads.Registry.name; p Trace.Event.Car; p Trace.Event.Cdr;
+           p Trace.Event.Cons; p Trace.Event.Rplaca; p Trace.Event.Rplacd;
+           Context.int_s mix.Analysis.Prim_mix.total ])
+      (Context.chapter3_suite ())
+  in
+  Util.Series.print_rows
+    ~title:"Fig 3.1 — primitive mix per trace (% of traced primitives)"
+    ~header:[ "trace"; "car%"; "cdr%"; "cons%"; "rplaca%"; "rplacd%"; "total" ]
+    rows
+
+let () =
+  register "table3.1" "Average values of n and p" @@ fun () ->
+  let rows =
+    List.map
+      (fun w ->
+         let np = Analysis.Np_stats.analyze (Workloads.Registry.preprocessed w) in
+         [ w.Workloads.Registry.name;
+           Context.pct (Analysis.Np_stats.mean_n np);
+           Context.pct (Analysis.Np_stats.mean_p np) ])
+      (Context.chapter3_suite ())
+  in
+  Util.Series.print_rows ~title:"Table 3.1 — average n and p per trace"
+    ~header:[ "trace"; "mean n"; "mean p" ] rows
+
+let () =
+  register "fig3.3" "Distribution of n and p over lists" @@ fun () ->
+  let series_of extract label =
+    List.map
+      (fun w ->
+         let np = Analysis.Np_stats.analyze (Workloads.Registry.preprocessed w) in
+         Util.Series.make ~label:(w.Workloads.Registry.name ^ label)
+           (List.filteri (fun i _ -> i mod 3 = 0) (extract np)))
+      (Context.chapter3_suite ())
+  in
+  Util.Series.print_ascii ~title:"Fig 3.3a — cumulative distribution of n over lists"
+    (series_of Analysis.Np_stats.n_cumulative "");
+  Util.Series.print_ascii ~title:"Fig 3.3b — cumulative distribution of p over lists"
+    (series_of Analysis.Np_stats.p_cumulative "")
+
+let partition_all separation =
+  List.map
+    (fun w ->
+       (w.Workloads.Registry.name,
+        Analysis.List_sets.partition ~separation (Workloads.Registry.preprocessed w)))
+    (Context.chapter3_suite ())
+
+let () =
+  register "fig3.4" "Distribution of lists over list sets (coverage)" @@ fun () ->
+  let parts = partition_all 0.10 in
+  let series =
+    List.map
+      (fun (name, r) ->
+         let pts =
+           List.filter (fun (k, _) -> k <= 100.) (Analysis.List_sets.coverage_curve r)
+         in
+         Util.Series.make ~label:name pts)
+      parts
+  in
+  Util.Series.print_ascii
+    ~title:"Fig 3.4 — cumulative reference coverage vs number of list sets (10% sep)"
+    series;
+  Util.Series.print_rows
+    ~title:"Fig 3.4 — list sets needed to cover 50% / 80% / 95% of references"
+    ~header:[ "trace"; "sets"; "for 50%"; "for 80%"; "for 95%" ]
+    (List.map
+       (fun (name, r) ->
+          [ name; Context.int_s (List.length r.Analysis.List_sets.sets);
+            Context.int_s (Analysis.List_sets.sets_for_coverage r 0.5);
+            Context.int_s (Analysis.List_sets.sets_for_coverage r 0.8);
+            Context.int_s (Analysis.List_sets.sets_for_coverage r 0.95) ])
+       parts)
+
+let () =
+  register "fig3.5" "Distribution of list-set lifetimes over list sets" @@ fun () ->
+  let parts = partition_all 0.10 in
+  Util.Series.print_ascii
+    ~title:"Fig 3.5 — cumulative fraction of list sets vs lifetime (% of trace)"
+    (List.map
+       (fun (name, r) ->
+          Util.Series.make ~label:name (Analysis.List_sets.lifetime_over_sets r))
+       parts);
+  Util.Series.print_rows
+    ~title:"Fig 3.5 — fraction of list sets below lifetime thresholds"
+    ~header:[ "trace"; "<10% life"; "<60% life"; ">90% life" ]
+    (List.map
+       (fun (name, r) ->
+          let frac below =
+            let sets = r.Analysis.List_sets.sets in
+            let len = float_of_int (max 1 r.Analysis.List_sets.stream_length) in
+            let n =
+              List.length
+                (List.filter
+                   (fun s ->
+                      100. *. float_of_int (Analysis.List_sets.lifetime s) /. len
+                      < below)
+                   sets)
+            in
+            float_of_int n /. float_of_int (max 1 (List.length sets))
+          in
+          [ name; Context.pct (100. *. frac 10.); Context.pct (100. *. frac 60.);
+            Context.pct (100. *. (1. -. frac 90.)) ])
+       parts)
+
+let () =
+  register "fig3.6" "Distribution of list-set lifetimes over references" @@ fun () ->
+  let parts = partition_all 0.10 in
+  Util.Series.print_ascii
+    ~title:"Fig 3.6 — cumulative fraction of references vs their set's lifetime"
+    (List.map
+       (fun (name, r) ->
+          Util.Series.make ~label:name (Analysis.List_sets.lifetime_over_refs r))
+       parts)
+
+let () =
+  register "fig3.7" "List-set LRU stack distances" @@ fun () ->
+  let rows, series =
+    List.split
+      (List.map
+         (fun w ->
+            let stream =
+              Analysis.List_sets.set_id_stream ~separation:0.10
+                (Workloads.Registry.preprocessed w)
+            in
+            let lru = Analysis.Lru_stack.analyze stream in
+            let name = w.Workloads.Registry.name in
+            let frac k = Analysis.Lru_stack.hit_fraction lru k in
+            ( [ name; Context.pct (100. *. frac 1); Context.pct (100. *. frac 2);
+                Context.pct (100. *. frac 4); Context.pct (100. *. frac 8) ],
+              Util.Series.make ~label:name (Analysis.Lru_stack.curve lru ~max_depth:12) ))
+         (Context.chapter3_suite ()))
+  in
+  Util.Series.print_ascii
+    ~title:"Fig 3.7 — cumulative list-set accesses vs LRU stack depth" series;
+  Util.Series.print_rows ~title:"Fig 3.7 — captured accesses at stack depths (%)"
+    ~header:[ "trace"; "depth 1"; "depth 2"; "depth 4"; "depth 8" ] rows
+
+let () =
+  register "table3.2" "Percentage of CxR calls inside a function chain" @@ fun () ->
+  Util.Series.print_rows
+    ~title:"Table 3.2 — % of car/cdr calls that occurred inside a function chain"
+    ~header:[ "trace"; "CAR%"; "CDR%" ]
+    (List.map
+       (fun w ->
+          let r = Analysis.Chaining.analyze (Workloads.Registry.preprocessed w) in
+          [ w.Workloads.Registry.name; Context.pct (Analysis.Chaining.car_pct r);
+            Context.pct (Analysis.Chaining.cdr_pct r) ])
+       (Context.chapter3_suite ()))
+
+let () =
+  register "fig3.8-10" "Sensitivity: varying separation constraint (slang)" @@ fun () ->
+  let pre = Context.pre "slang" in
+  let seps = [ 0.05; 0.10; 0.25; 0.50; 1.00 ] in
+  let parts = List.map (fun s -> (s, Analysis.List_sets.partition ~separation:s pre)) seps in
+  Util.Series.print_rows
+    ~title:"Figs 3.8-3.10 — slang list-set partition vs separation constraint"
+    ~header:[ "separation"; "sets"; "for 80%"; "median life%"; "refs in >50% life" ]
+    (List.map
+       (fun (s, r) ->
+          let len = float_of_int (max 1 r.Analysis.List_sets.stream_length) in
+          let lifetimes =
+            List.sort Float.compare
+              (List.map
+                 (fun set -> 100. *. float_of_int (Analysis.List_sets.lifetime set) /. len)
+                 r.Analysis.List_sets.sets)
+          in
+          let median =
+            match lifetimes with
+            | [] -> 0.
+            | l -> List.nth l (List.length l / 2)
+          in
+          let refs_long =
+            List.fold_left
+              (fun acc set ->
+                 if 100. *. float_of_int (Analysis.List_sets.lifetime set) /. len > 50.
+                 then acc + set.Analysis.List_sets.size
+                 else acc)
+              0 r.Analysis.List_sets.sets
+          in
+          [ Printf.sprintf "%.0f%%" (100. *. s);
+            Context.int_s (List.length r.Analysis.List_sets.sets);
+            Context.int_s (Analysis.List_sets.sets_for_coverage r 0.8);
+            Context.pct median;
+            Context.pct
+              (100. *. float_of_int refs_long /. float_of_int r.Analysis.List_sets.stream_length) ])
+       parts);
+  Util.Series.print_ascii
+    ~title:"Figs 3.8 — slang coverage curves under different separations"
+    (List.map
+       (fun (s, r) ->
+          Util.Series.make ~label:(Printf.sprintf "%.0f%%" (100. *. s))
+            (List.filter (fun (k, _) -> k <= 60.) (Analysis.List_sets.coverage_curve r)))
+       parts)
+
+let () =
+  register "fig3.11-13" "Sensitivity: fixed absolute separation constraint" @@ fun () ->
+  (* the window is 10% of the *shortest* trace, applied to all *)
+  let suite = Context.chapter5_suite () in
+  let shortest =
+    List.fold_left
+      (fun acc w ->
+         min acc
+           (Array.length (Trace.Preprocess.prim_refs (Workloads.Registry.preprocessed w))))
+      max_int suite
+  in
+  let window = max 1 (shortest / 10) in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Figs 3.11-3.13 — fixed separation window of %d references (10%% of shortest)"
+         window)
+    ~header:[ "trace"; "refs"; "sets"; "for 80%"; "window as % of trace" ]
+    (List.map
+       (fun w ->
+          let pre = Workloads.Registry.preprocessed w in
+          let refs = Array.length (Trace.Preprocess.prim_refs pre) in
+          let r = Analysis.List_sets.partition_abs ~window pre in
+          [ w.Workloads.Registry.name; Context.int_s refs;
+            Context.int_s (List.length r.Analysis.List_sets.sets);
+            Context.int_s (Analysis.List_sets.sets_for_coverage r 0.8);
+            Context.pct (100. *. float_of_int window /. float_of_int refs) ])
+       suite)
+
+(* ---------- Chapter 5 ---------- *)
+
+let () =
+  register "table5.1" "Content of the four simulation traces" @@ fun () ->
+  Util.Series.print_rows
+    ~title:"Table 5.1 — trace content (user functions, primitives, max call depth)"
+    ~header:[ "trace"; "functions"; "primitives"; "max depth" ]
+    (List.map
+       (fun w ->
+          let st = Trace.Capture.stats (Workloads.Registry.trace w) in
+          [ w.Workloads.Registry.name; Context.int_s st.Trace.Capture.functions;
+            Context.int_s st.Trace.Capture.primitives;
+            Context.int_s st.Trace.Capture.max_depth ])
+       (Context.chapter5_suite ()))
+
+let () =
+  register "fig5.1" "Peak LPT usage vs table size (the knee curve)" @@ fun () ->
+  let traces = [ "plagen"; "slang"; "editor" ] in
+  List.iter
+    (fun name ->
+       let k = Context.knee name in
+       let sizes =
+         List.sort_uniq compare
+           [ max 8 (k / 4); max 8 (k / 2); max 8 (3 * k / 4); k; 2 * k; 4 * k ]
+       in
+       let rows =
+         List.map
+           (fun (size, stats) ->
+              [ Context.int_s size; Context.int_s stats.Core.Simulator.peak_lpt;
+                (if stats.Core.Simulator.true_overflow then "TRUE OVERFLOW"
+                 else if stats.Core.Simulator.lpt.Core.Lpt.pseudo_overflows > 0 then
+                   Printf.sprintf "%d pseudo" stats.Core.Simulator.lpt.Core.Lpt.pseudo_overflows
+                 else "clean") ])
+           (Context.sweep sizes (Context.pre name))
+       in
+       Util.Series.print_rows
+         ~title:(Printf.sprintf "Fig 5.1 — %s: peak LPT usage vs size (knee at %d)" name k)
+         ~header:[ "table size"; "peak usage"; "overflow" ] rows)
+    traces
+
+let () =
+  register "fig5.2" "Maximum LPT occupancy levels over seeds" @@ fun () ->
+  let seeds = [ 1; 7; 13; 23; 42; 77; 101; 137 ] in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Fig 5.2 — knee (max occupancy) intervals over %d random access patterns"
+         (List.length seeds))
+    ~header:[ "trace"; "min knee"; "max knee" ]
+    (List.map
+       (fun w ->
+          let pre = Workloads.Registry.preprocessed w in
+          let knees =
+            List.map
+              (fun seed ->
+                 fst
+                   (Core.Simulator.min_table_size
+                      { Core.Simulator.default_config with seed } pre))
+              seeds
+          in
+          [ w.Workloads.Registry.name;
+            Context.int_s (List.fold_left min max_int knees);
+            Context.int_s (List.fold_left max 0 knees) ])
+       (Context.chapter5_suite ()))
+
+let () =
+  register "fig5.3" "LPT behaviour under the two pseudo-overflow policies" @@ fun () ->
+  List.iter
+    (fun name ->
+       let pre = Context.pre name in
+       let k = Context.knee name in
+       let sizes =
+         List.sort_uniq compare
+           [ max 8 (k / 2); max 8 (5 * k / 8); max 8 (3 * k / 4); max 8 (7 * k / 8); k ]
+       in
+       let run policy size =
+         Core.Simulator.run
+           { Core.Simulator.default_config with table_size = size; policy } pre
+       in
+       Util.Series.print_rows
+         ~title:(Printf.sprintf "Fig 5.3 — %s: average LPT occupancy by policy" name)
+         ~header:[ "size"; "Compress-One avg"; "Compress-All avg"; "C-One ovf"; "C-All ovf" ]
+         (List.map
+            (fun size ->
+               let one = run Core.Lpt.Compress_one size in
+               let all = run Core.Lpt.Compress_all size in
+               [ Context.int_s size;
+                 Context.pct one.Core.Simulator.avg_lpt;
+                 Context.pct all.Core.Simulator.avg_lpt;
+                 Context.int_s one.Core.Simulator.lpt.Core.Lpt.pseudo_overflows;
+                 Context.int_s all.Core.Simulator.lpt.Core.Lpt.pseudo_overflows ])
+            sizes))
+    [ "slang"; "editor" ]
+
+let () =
+  register "table5.2" "LPT activity (Refops, Gets, Frees, RecRefops)" @@ fun () ->
+  Util.Series.print_rows
+    ~title:
+      "Table 5.2 — reference-count traffic: lazy child decrement (Refops) vs naive recursive (RecRefops)"
+    ~header:[ "trace"; "Refops"; "Gets"; "Frees"; "RecRefops"; "increase" ]
+    (List.map
+       (fun w ->
+          let pre = Workloads.Registry.preprocessed w in
+          let lazy_ = Core.Simulator.run Core.Simulator.default_config pre in
+          let eager =
+            Core.Simulator.run
+              { Core.Simulator.default_config with eager_decrement = true } pre
+          in
+          let refops = lazy_.Core.Simulator.lpt.Core.Lpt.refops in
+          let recrefops = eager.Core.Simulator.lpt.Core.Lpt.refops in
+          [ w.Workloads.Registry.name; Context.int_s refops;
+            Context.int_s lazy_.Core.Simulator.lpt.Core.Lpt.gets;
+            Context.int_s lazy_.Core.Simulator.lpt.Core.Lpt.frees;
+            Context.int_s recrefops;
+            Printf.sprintf "+%.0f%%"
+              (100. *. (float_of_int recrefops /. float_of_int (max 1 refops) -. 1.)) ])
+       (Context.chapter5_suite ()))
+
+let () =
+  register "table5.3" "Evaluation of split reference counts" @@ fun () ->
+  Util.Series.print_rows
+    ~title:
+      "Table 5.3 — LP-side refcount ops: all counts in the LPT (Then) vs stack counts in the EP (Now)"
+    ~header:[ "trace"; "Refops Then"; "Refops Now"; "reduction"; "MaxCount Then"; "MaxCount Now" ]
+    (List.map
+       (fun w ->
+          let pre = Workloads.Registry.preprocessed w in
+          let plain = Core.Simulator.run Core.Simulator.default_config pre in
+          let split =
+            Core.Simulator.run
+              { Core.Simulator.default_config with split_counts = true } pre
+          in
+          let then_ = plain.Core.Simulator.lpt.Core.Lpt.refops in
+          let now = split.Core.Simulator.lpt.Core.Lpt.refops in
+          [ w.Workloads.Registry.name; Context.int_s then_; Context.int_s now;
+            Printf.sprintf "%.1fx" (float_of_int then_ /. float_of_int (max 1 now));
+            Context.int_s plain.Core.Simulator.lpt.Core.Lpt.max_refcount;
+            Context.int_s split.Core.Simulator.lpt.Core.Lpt.max_refcount ])
+       (Context.chapter5_suite ()))
+
+let table5_4_sizes name =
+  (* the paper's comparison sizes sit below the knee, where both
+     structures are under capacity pressure *)
+  let k = Context.knee name in
+  List.sort_uniq compare [ max 16 (k / 4); max 16 (k / 2); max 16 (3 * k / 4) ]
+
+let () =
+  register "table5.4" "Comparison with a data cache (equal entries, unit lines)" @@ fun () ->
+  let rows =
+    List.concat_map
+      (fun w ->
+         let name = w.Workloads.Registry.name in
+         let pre = Workloads.Registry.preprocessed w in
+         List.map
+           (fun size ->
+              let stats =
+                Core.Simulator.run
+                  { Core.Simulator.default_config with
+                    table_size = size;
+                    cache = Some { Core.Simulator.cache_lines = size; cache_line_size = 1 } }
+                  pre
+              in
+              [ name; Context.int_s size;
+                Context.int_s stats.Core.Simulator.lpt.Core.Lpt.misses;
+                Context.pct (100. *. Core.Simulator.lpt_hit_rate stats);
+                Context.int_s stats.Core.Simulator.cache_misses;
+                Context.pct (100. *. Core.Simulator.cache_hit_rate stats);
+                Printf.sprintf "%.2f"
+                  (float_of_int stats.Core.Simulator.cache_misses
+                   /. float_of_int (max 1 stats.Core.Simulator.lpt.Core.Lpt.misses));
+                (if stats.Core.Simulator.overflow_events > 0 then
+                   Printf.sprintf "(%d ovf evts)" stats.Core.Simulator.overflow_events
+                 else "") ])
+           (table5_4_sizes name))
+      (Context.chapter5_suite ())
+  in
+  Util.Series.print_rows
+    ~title:"Table 5.4 — LPT vs fully associative LRU data cache (line = one cell)"
+    ~header:[ "trace"; "size"; "LPT misses"; "LPT hit%"; "cache misses"; "cache hit%"; "miss ratio"; "" ]
+    rows
+
+let () =
+  register "fig5.4" "Hit rates for LPT and data cache (slang sweep)" @@ fun () ->
+  let pre = Context.pre "slang" in
+  let k = Context.knee "slang" in
+  let sizes =
+    List.sort_uniq compare
+      [ max 16 (k / 4); max 16 (k / 2); max 16 (3 * k / 4); k; 3 * k / 2; 2 * k ]
+  in
+  let points =
+    List.map
+      (fun size ->
+         let stats =
+           Core.Simulator.run
+             { Core.Simulator.default_config with
+               table_size = size;
+               cache = Some { Core.Simulator.cache_lines = size; cache_line_size = 1 } }
+             pre
+         in
+         (size, stats))
+      sizes
+  in
+  Util.Series.print_ascii ~title:"Fig 5.4 — slang: hit rate vs LPT/cache size"
+    [ Util.Series.make ~label:"LPT"
+        (List.map
+           (fun (s, st) -> (float_of_int s, 100. *. Core.Simulator.lpt_hit_rate st))
+           points);
+      Util.Series.make ~label:"cache"
+        (List.map
+           (fun (s, st) -> (float_of_int s, 100. *. Core.Simulator.cache_hit_rate st))
+           points) ];
+  Util.Series.print_rows ~title:"Fig 5.4 — slang hit rates by size"
+    ~header:[ "size"; "LPT hit%"; "cache hit%" ]
+    (List.map
+       (fun (s, st) ->
+          [ Context.int_s s; Context.pct (100. *. Core.Simulator.lpt_hit_rate st);
+            Context.pct (100. *. Core.Simulator.cache_hit_rate st) ])
+       points)
+
+let () =
+  register "fig5.5" "Cache-miss / LPT-miss ratio vs cache line size" @@ fun () ->
+  (* the modified model of §5.2.5: cache entries are half the size of LPT
+     entries (twice the cells for the same total size), line sizes 1-16 *)
+  let traces = [ "lyra"; "slang"; "editor" ] in
+  List.iter
+    (fun name ->
+       let pre = Context.pre name in
+       let k = Context.knee name in
+       let sizes = List.sort_uniq compare [ k; 2 * k ] in
+       let rows =
+         List.concat_map
+           (fun size ->
+              List.map
+                (fun line ->
+                   let cells = 2 * size in
+                   let stats =
+                     Core.Simulator.run
+                       { Core.Simulator.default_config with
+                         table_size = size;
+                         cache =
+                           Some
+                             { Core.Simulator.cache_lines = max 1 (cells / line);
+                               cache_line_size = line } }
+                       pre
+                   in
+                   let ratio =
+                     float_of_int stats.Core.Simulator.cache_misses
+                     /. float_of_int (max 1 stats.Core.Simulator.lpt.Core.Lpt.misses)
+                   in
+                   [ Context.int_s size; Context.int_s line; Context.pct ratio ])
+                [ 1; 2; 4; 8; 16 ])
+           sizes
+       in
+       Util.Series.print_rows
+         ~title:
+           (Printf.sprintf
+              "Fig 5.5 — %s: cache/LPT miss ratio vs line size (half-size cache entries)"
+              name)
+         ~header:[ "LPT size"; "line size"; "miss ratio" ] rows)
+    traces
+
+let () =
+  register "table5.5" "Sensitivity to the probability parameters (slang)" @@ fun () ->
+  let pre = Context.pre "slang" in
+  (* run just under the knee so the statistics remain parameter-sensitive *)
+  let base =
+    { Core.Simulator.default_config with
+      table_size = max 64 (4 * Context.knee "slang" / 5) }
+  in
+  let variants =
+    [ ("Control", base);
+      ("HiArg", { base with arg_prob = 0.85; loc_prob = 0.125 });
+      ("HiLoc", { base with arg_prob = 0.30; loc_prob = 0.60 });
+      ("HiRead", { base with read_prob = 0.03 });
+      ("HiBind", { base with bind_prob = 0.03 }) ]
+  in
+  let stats = List.map (fun (label, cfg) -> (label, Core.Simulator.run cfg pre)) variants in
+  let row name f = name :: List.map (fun (_, st) -> f st) stats in
+  Util.Series.print_rows
+    ~title:"Table 5.5 — sensitivity of the simulation to the probability parameters"
+    ~header:("statistic" :: List.map fst stats)
+    [ row "Ave LPT count" (fun st -> Context.pct st.Core.Simulator.avg_lpt);
+      row "Max LPT count" (fun st -> Context.int_s st.Core.Simulator.peak_lpt);
+      row "LPT hits" (fun st -> Context.int_s st.Core.Simulator.lpt.Core.Lpt.hits);
+      row "Max refcount" (fun st -> Context.int_s st.Core.Simulator.lpt.Core.Lpt.max_refcount);
+      row "Refops" (fun st -> Context.int_s st.Core.Simulator.lpt.Core.Lpt.refops) ]
+
+let () =
+  register "sec5.3.1" "Ordered traversals: the guaranteed 75% hit rate" @@ fun () ->
+  let samples =
+    [ "(a b c (d e) f g)"; "(((a b) c d) e f g)"; "(a (b (c (d e) f) g))" ]
+  in
+  let big = Sexp.Datum.of_ints (List.init 500 (fun i -> i)) in
+  Util.Series.print_rows
+    ~title:"§5.3.1 — ordered traversal through the LPT: hits/misses vs prediction"
+    ~header:[ "list"; "order"; "hits"; "misses"; "predicted"; "hit rate" ]
+    (List.concat_map
+       (fun src ->
+          let d = Sexp.parse src in
+          let pm, ph = Core.Traversal.predicted d in
+          List.map
+            (fun (oname, order) ->
+               let r = Core.Traversal.simulate ~order d in
+               [ src; oname; Context.int_s r.Core.Traversal.hits;
+                 Context.int_s r.Core.Traversal.misses;
+                 Printf.sprintf "%d/%d" ph pm;
+                 Context.pct (100. *. r.Core.Traversal.hit_rate) ])
+            [ ("pre", Sexp.Tree.Pre); ("in", Sexp.Tree.In); ("post", Sexp.Tree.Post) ])
+       samples
+     @ [ (let r = Core.Traversal.simulate ~order:Sexp.Tree.In big in
+          [ "(0 1 ... 499)"; "in"; Context.int_s r.Core.Traversal.hits;
+            Context.int_s r.Core.Traversal.misses; "-";
+            Context.pct (100. *. r.Core.Traversal.hit_rate) ]) ])
+
+(* ---------- ablations ---------- *)
+
+let () =
+  register "ablation.freelist" "Free-list discipline: LIFO stack vs FIFO queue" @@ fun () ->
+  (* §4.3.2.1 argues for a free *stack* so the most recently freed entry
+     is reused first, minimising the window in which lazily-deferred
+     children occupy space.  Measure cell-footprint of a churning
+     allocator under both disciplines. *)
+  let churn discipline =
+    let s = Heap.Store.create ~capacity:4096 in
+    Heap.Store.set_discipline s discipline;
+    let rng = Util.Rng.create ~seed:5 in
+    let held = ref [] in
+    let distinct = Hashtbl.create 256 in
+    for _ = 1 to 20_000 do
+      if Util.Rng.bool rng ~p:0.55 || !held = [] then begin
+        let a = Heap.Store.alloc s ~car:Heap.Word.Nil ~cdr:Heap.Word.Nil in
+        Hashtbl.replace distinct a ();
+        held := a :: !held
+      end
+      else begin
+        match !held with
+        | a :: rest ->
+          Heap.Store.release s a;
+          held := rest
+        | [] -> ()
+      end
+    done;
+    Hashtbl.length distinct
+  in
+  Util.Series.print_rows
+    ~title:"Ablation — distinct cells touched by a churning allocator (smaller = hotter reuse)"
+    ~header:[ "discipline"; "distinct cells" ]
+    [ [ "LIFO stack"; Context.int_s (churn Heap.Store.Lifo) ];
+      [ "FIFO queue"; Context.int_s (churn Heap.Store.Fifo) ] ]
+
+let () =
+  register "ablation.binding" "Environment strategies: deep vs shallow vs value cache" @@ fun () ->
+  let run strategy =
+    let i = Lisp.Interp.create ~strategy () in
+    Lisp.Prelude.load i;
+    let w = Context.workload "editor" in
+    Lisp.Interp.provide_input i w.Workloads.Registry.input;
+    ignore (Lisp.Interp.run_program i w.Workloads.Registry.source);
+    Lisp.Env.counters (Lisp.Interp.env i)
+  in
+  Util.Series.print_rows
+    ~title:"Ablation — name lookup cost on the editor workload (§2.3.2)"
+    ~header:[ "strategy"; "lookups"; "probes"; "cache hits"; "binds" ]
+    (List.map
+       (fun (name, strategy) ->
+          let c = run strategy in
+          [ name; Context.int_s c.Lisp.Env.lookups; Context.int_s c.Lisp.Env.probes;
+            Context.int_s c.Lisp.Env.cache_hits; Context.int_s c.Lisp.Env.binds ])
+       [ ("deep", Lisp.Env.Deep); ("shallow", Lisp.Env.Shallow);
+         ("value-cache", Lisp.Env.Value_cache) ])
+
+let () =
+  register "ablation.repr" "List representation space costs on real lists" @@ fun () ->
+  (* encode the distinct lists of the editor trace under each scheme *)
+  let w = Context.workload "editor" in
+  let capture = Workloads.Registry.trace w in
+  let module Dtbl = Hashtbl in
+  let seen = Dtbl.create 256 in
+  Array.iter
+    (fun (e : Trace.Event.t) ->
+       match e with
+       | Prim { args; _ } ->
+         List.iter
+           (fun (a : Sexp.Datum.t) ->
+              match a with
+              | Cons _ when Sexp.Datum.is_list a && Sexp.Metrics.n a > 0 ->
+                (try
+                   let eps_ok = Repr.Eps.encode a in
+                   ignore eps_ok;
+                   Dtbl.replace seen a ()
+                 with Invalid_argument _ -> ())
+              | _ -> ())
+           args
+       | Call _ | Return _ -> ())
+    (Trace.Capture.events capture);
+  let totals = Array.make 5 0 in
+  let count = ref 0 in
+  Dtbl.iter
+    (fun d () ->
+       if !count < 400 then begin
+         incr count;
+         let s = Repr.Cost.summarize d in
+         totals.(0) <- totals.(0) + s.Repr.Cost.two_pointer_bits;
+         totals.(1) <- totals.(1) + s.Repr.Cost.cdr_coded_bits;
+         totals.(2) <- totals.(2) + s.Repr.Cost.linked_vector_bits;
+         totals.(3) <- totals.(3) + s.Repr.Cost.cdar_bits;
+         totals.(4) <- totals.(4) + s.Repr.Cost.eps_bits
+       end)
+    seen;
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf "Ablation — space for %d distinct editor lists (bits, lower = better)"
+         !count)
+    ~header:[ "scheme"; "total bits"; "vs two-pointer" ]
+    (List.map
+       (fun (name, ix) ->
+          [ name; Context.int_s totals.(ix);
+            Printf.sprintf "%.2fx"
+              (float_of_int totals.(ix) /. float_of_int (max 1 totals.(0))) ])
+       [ ("two-pointer", 0); ("cdr-coded", 1); ("linked-vector", 2); ("cdar", 3);
+         ("eps", 4) ])
+
+let () =
+  register "ablation.weights" "Multilisp reference management message traffic" @@ fun () ->
+  let run scheme combining =
+    let t = Multilisp.Refweight.create ~flush_at:8 ~nodes:8 ~scheme ~combining () in
+    let rng = Util.Rng.create ~seed:2026 in
+    let all = ref [] in
+    for _ = 1 to 60 do
+      let _obj, r = Multilisp.Refweight.create_object t ~node:(Util.Rng.int rng 8) in
+      let refs = ref [ r ] in
+      for _ = 1 to 15 do
+        let pick = List.nth !refs (Util.Rng.int rng (List.length !refs)) in
+        refs := Multilisp.Refweight.copy_ref t pick ~to_node:(Util.Rng.int rng 8) :: !refs
+      done;
+      all := !refs @ !all
+    done;
+    List.iter (fun r -> Multilisp.Refweight.drop_ref t r) !all;
+    Multilisp.Refweight.flush t;
+    Multilisp.Refweight.messages t
+  in
+  Util.Series.print_rows
+    ~title:"Ablation — Ch 6 distributed reference management (60 objects x 15 copies, 8 nodes)"
+    ~header:[ "scheme"; "messages" ]
+    [ [ "naive counting"; Context.int_s (run Multilisp.Refweight.Naive false) ];
+      [ "reference weighting"; Context.int_s (run Multilisp.Refweight.Weighted false) ];
+      [ "weighting + combining"; Context.int_s (run Multilisp.Refweight.Weighted true) ] ]
+
+let () =
+  register "ablation.isa" "Compiled vs interpreted execution (Figs 4.14/4.15)" @@ fun () ->
+  let programs =
+    [ ("fact 12",
+       "(def fact (lambda (x) (cond ((= x 0) 1) (t (* x (fact (- x 1))))))) (fact 12)");
+      ("fib 15",
+       "(def fib (lambda (n) (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2))))))) (fib 15)");
+      ("list walk",
+       "(prog (l n) (setq l (quote (a b c d e f g h i j k l m n o p))) (setq n 0) loop (cond ((null l) (return n))) (setq n (add1 n)) (setq l (cdr l)) (go loop))") ]
+  in
+  let workload_rows =
+    (* whole benchmark programs compiled onto the machine (prelude
+       included); plagen/lyra use lambda arguments, outside the subset *)
+    List.map
+      (fun name ->
+         let w = Option.get (Workloads.Registry.find name) in
+         let src = Lisp.Prelude.source ^ "\n" ^ w.Workloads.Registry.source in
+         let prog = Machine.Compile.parse_and_compile src in
+         let em =
+           Machine.Emulator.create ~lpt_size:16384 ~input:w.Workloads.Registry.input prog
+         in
+         let result =
+           match Machine.Emulator.run em with
+           | Some v -> Sexp.to_string (Machine.Emulator.datum_of em v)
+           | None -> "-"
+         in
+         let interp = Lisp.Interp.create () in
+         Lisp.Prelude.load interp;
+         Lisp.Interp.provide_input interp w.Workloads.Registry.input;
+         ignore (Lisp.Interp.run_program interp w.Workloads.Registry.source);
+         let c = Machine.Emulator.lpt_counters em in
+         [ "workload " ^ name; result;
+           Context.int_s (Machine.Emulator.instructions em);
+           Context.int_s (Lisp.Interp.steps interp);
+           Context.int_s c.Core.Lpt.refops; Context.int_s c.Core.Lpt.gets ])
+      [ "pearl"; "editor"; "slang" ]
+  in
+  Util.Series.print_rows
+    ~title:"Ablation — stack-machine emulation vs interpretation"
+    ~header:[ "program"; "result"; "instructions"; "interp steps"; "LP refops"; "LP gets" ]
+    (List.map
+       (fun (label, src) ->
+          let prog = Machine.Compile.parse_and_compile src in
+          let em = Machine.Emulator.create prog in
+          let result =
+            match Machine.Emulator.run em with
+            | Some v -> Sexp.to_string (Machine.Emulator.datum_of em v)
+            | None -> "-"
+          in
+          let interp = Lisp.Interp.create () in
+          ignore (Lisp.Interp.run_program interp src);
+          let c = Machine.Emulator.lpt_counters em in
+          [ label; result; Context.int_s (Machine.Emulator.instructions em);
+            Context.int_s (Lisp.Interp.steps interp);
+            Context.int_s c.Core.Lpt.refops; Context.int_s c.Core.Lpt.gets ])
+       programs
+     @ workload_rows)
+
+let () =
+  register "clark" "Clark's static pointer statistics on workload heaps" @@ fun () ->
+  (* Clark [Clar77a]: car pointers point mostly at atoms and lists (3:1
+     atoms:lists), cdr pointers at lists and nil (3:1), rarely at atoms;
+     linearised lists keep cdr distances at 1.  Measure the same over our
+     workloads' input structures loaded by the linearising allocator. *)
+  let rows =
+    List.map
+      (fun w ->
+         let store = Heap.Store.create ~capacity:200_000 in
+         let tab = Heap.Symtab.create () in
+         let roots =
+           List.filter_map
+             (fun (d : Sexp.Datum.t) ->
+                match d with
+                | Cons _ -> Some (Heap.Linearize.store_linear tab store d)
+                | _ -> None)
+             w.Workloads.Registry.input
+         in
+         let totals =
+           List.fold_left
+             (fun (ca, cl, cn, da, dl, dn, lin, cells) root ->
+                let s = Heap.Linearize.pointer_stats store ~root in
+                let cdr_total =
+                  List.fold_left (fun acc (_, c) -> acc + c) 0 s.Heap.Linearize.distances
+                in
+                let at1 =
+                  Option.value ~default:0 (List.assoc_opt 1 s.Heap.Linearize.distances)
+                in
+                ( ca + s.Heap.Linearize.car_to_atom, cl + s.Heap.Linearize.car_to_list,
+                  cn + s.Heap.Linearize.car_to_nil, da + s.Heap.Linearize.cdr_to_atom,
+                  dl + s.Heap.Linearize.cdr_to_list, dn + s.Heap.Linearize.cdr_to_nil,
+                  lin + at1, cells + cdr_total ))
+             (0, 0, 0, 0, 0, 0, 0, 0) roots
+         in
+         let ca, cl, cn, da, dl, dn, lin, cdrs = totals in
+         let pct a b = if a + b = 0 then "-" else Printf.sprintf "%.1f:1" (float_of_int a /. float_of_int (max 1 b)) in
+         [ w.Workloads.Registry.name;
+           pct ca cl;             (* car atoms : lists *)
+           Context.int_s cn;      (* car -> nil (Clark: rare) *)
+           pct dl dn;             (* cdr lists : nil *)
+           Context.int_s da;      (* cdr -> atom (Clark: rare) *)
+           (if cdrs = 0 then "-" else Context.pct (100. *. float_of_int lin /. float_of_int cdrs)) ])
+      (Context.chapter3_suite ())
+  in
+  Util.Series.print_rows
+    ~title:"Clark's static study — pointer targets over linearised workload inputs"
+    ~header:[ "trace"; "car atom:list"; "car->nil"; "cdr list:nil"; "cdr->atom"; "cdr dist-1 %" ]
+    rows
+
+let () =
+  register "ablation.gc" "Heap maintenance: mark-sweep vs refcount vs copying" @@ fun () ->
+  (* a churn benchmark: keep a rotating window of live chains while
+     allocating far more than the window, under each collector *)
+  let total_allocs = 30_000 and window = 64 and chain = 12 in
+  (* mark-sweep over a Store *)
+  let ms () =
+    let store = Heap.Store.create ~capacity:4096 in
+    let live = Array.make window Heap.Word.Nil in
+    let collections = ref 0 in
+    let build () =
+      let rec go k tail =
+        if k = 0 then tail
+        else
+          match Heap.Store.alloc store ~car:(Heap.Word.Int k) ~cdr:tail with
+          | a -> go (k - 1) (Heap.Word.Ptr a)
+          | exception Heap.Store.Out_of_memory ->
+            incr collections;
+            ignore (Heap.Marksweep.collect store ~roots:(tail :: Array.to_list live));
+            go k tail
+      in
+      go chain Heap.Word.Nil
+    in
+    for i = 0 to (total_allocs / chain) - 1 do
+      live.(i mod window) <- build ()
+    done;
+    Printf.sprintf "%d collections" !collections
+  in
+  (* refcounting over a Store (lazy policy) *)
+  let rc () =
+    let store = Heap.Store.create ~capacity:4096 in
+    let rcm = Heap.Refcount.create store ~policy:Heap.Refcount.Lazy in
+    let live = Array.make window (-1) in
+    let build () =
+      let rec go k tail =
+        if k = 0 then tail
+        else
+          let a =
+            Heap.Refcount.alloc rcm
+              ~car:(Heap.Word.Int k)
+              ~cdr:(match tail with -1 -> Heap.Word.Nil | t -> Heap.Word.Ptr t)
+          in
+          (match tail with -1 -> () | t -> Heap.Refcount.decr rcm t);
+          go (k - 1) a
+      in
+      go chain (-1)
+    in
+    for i = 0 to (total_allocs / chain) - 1 do
+      let head = build () in
+      (match live.(i mod window) with -1 -> () | old -> Heap.Refcount.decr rcm old);
+      live.(i mod window) <- head
+    done;
+    Printf.sprintf "%d refops, %d reclaims" (Heap.Refcount.refops rcm)
+      (Heap.Refcount.reclaimed rcm)
+  in
+  (* incremental copying *)
+  let cp () =
+    let gc = Heap.Copying.create ~semispace:2048 ~increment:4 in
+    let live = Array.init window (fun _ -> Heap.Copying.add_root gc Heap.Word.Nil) in
+    let build () =
+      let rec go k tail =
+        if k = 0 then tail
+        else go (k - 1) (Heap.Word.Ptr (Heap.Copying.alloc gc ~car:(Heap.Word.Int k) ~cdr:tail))
+      in
+      go chain Heap.Word.Nil
+    in
+    for i = 0 to (total_allocs / chain) - 1 do
+      Heap.Copying.set_root gc live.(i mod window) (build ())
+    done;
+    let c = Heap.Copying.counters gc in
+    Printf.sprintf "%d flips, %d copied, max pause %d" c.Heap.Copying.flips
+      c.Heap.Copying.copied c.Heap.Copying.max_pause
+  in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Ablation — heap maintenance under churn (%d cells allocated, %d-chain window of %d)"
+         total_allocs chain window)
+    ~header:[ "collector"; "activity" ]
+    [ [ "mark-sweep (stop the world)"; ms () ];
+      [ "reference counting (lazy)"; rc () ];
+      [ "copying (incremental, k=4)"; cp () ] ]
+
+let () =
+  register "ablation.counts" "Truncated reference counts: recovery vs width (M3L)" @@ fun () ->
+  (* [Sans82a]: a 3-bit count reclaims ~98% of garbage.  Sweep the count
+     width under a sharing-heavy churn and measure what counting alone
+     recovers before the backup collector runs. *)
+  let run width =
+    let store = Heap.Store.create ~capacity:8192 in
+    let sc = Heap.Small_counts.create store ~width in
+    let rng = Util.Rng.create ~seed:16 in
+    for _ = 1 to 600 do
+      let cells =
+        List.init 8 (fun i -> Heap.Small_counts.alloc sc ~car:(Heap.Word.Int i) ~cdr:Heap.Word.Nil)
+      in
+      List.iter
+        (fun a ->
+           (* transient sharing bursts saturate narrow counts *)
+           if Util.Rng.bool rng ~p:0.15 then begin
+             let burst = 2 + Util.Rng.int rng 12 in
+             for _ = 1 to burst do Heap.Small_counts.incr sc a done;
+             for _ = 1 to burst do Heap.Small_counts.decr sc a done
+           end)
+        cells;
+      List.iter (fun a -> Heap.Small_counts.decr sc a) cells
+    done;
+    ignore (Heap.Small_counts.backup_sweep sc ~roots:[]);
+    let c = Heap.Small_counts.counters sc in
+    (Heap.Small_counts.count_recovery_rate sc, c.Heap.Small_counts.saturations)
+  in
+  Util.Series.print_rows
+    ~title:"Ablation — garbage recovered by counting alone, by count width"
+    ~header:[ "count bits"; "recovered by counts"; "saturating increments" ]
+    (List.map
+       (fun width ->
+          let rate, sats = run width in
+          [ Context.int_s width; Printf.sprintf "%.1f%%" (100. *. rate);
+            Context.int_s sats ])
+       [ 1; 2; 3; 4; 6 ])
+
+let () =
+  register "fig3.2" "Significance of n and p: the worked examples" @@ fun () ->
+  (* the two lists of Figure 3.2 under every representation scheme *)
+  Util.Series.print_rows
+    ~title:"Fig 3.2 — space for the two worked examples, by scheme"
+    ~header:[ "list"; "n"; "p"; "2-ptr cells"; "cdr cells"; "struct cells";
+              "2-ptr bits"; "cdr bits"; "cdar bits"; "eps bits" ]
+    (List.map
+       (fun src ->
+          let d = Sexp.parse src in
+          let s = Repr.Cost.summarize d in
+          [ src; Context.int_s s.Repr.Cost.n; Context.int_s s.Repr.Cost.p;
+            Context.int_s s.Repr.Cost.two_pointer_cells;
+            Context.int_s s.Repr.Cost.cdr_coded_cells;
+            Context.int_s s.Repr.Cost.structure_coded_cells;
+            Context.int_s s.Repr.Cost.two_pointer_bits;
+            Context.int_s s.Repr.Cost.cdr_coded_bits;
+            Context.int_s s.Repr.Cost.cdar_bits;
+            Context.int_s s.Repr.Cost.eps_bits ])
+       [ "(a b c (d e) f g)"; "(a (b (c (d e) f) g))" ])
+
+let () =
+  register "ablation.cluster" "Multi-node SMALL: placement vs interconnect traffic" @@ fun () ->
+  (* walk a list from its owner node vs from across the machine (Fig 6.1's
+     cost structure), and measure weighted-reference message costs of
+     scattering and dropping references *)
+  let walk_cost ~remote =
+    let t = Multilisp.Cluster.create ~nodes:2 ~combining:false () in
+    let h = Multilisp.Cluster.read_in t ~node:0 (Sexp.Datum.of_ints (List.init 64 Fun.id)) in
+    let start = if remote then Multilisp.Cluster.send t h ~to_node:1 else h in
+    let rec walk part =
+      match part with
+      | Multilisp.Cluster.Ref r ->
+        ignore (Multilisp.Cluster.car t r);
+        walk (Multilisp.Cluster.cdr t r)
+      | Multilisp.Cluster.Imm _ -> ()
+    in
+    walk (Multilisp.Cluster.Ref start);
+    Multilisp.Cluster.counters t
+  in
+  let local = walk_cost ~remote:false in
+  let remote = walk_cost ~remote:true in
+  Util.Series.print_rows
+    ~title:"Ablation — walking a 64-element list on a 2-node SMALL"
+    ~header:[ "placement"; "accesses"; "messages" ]
+    [ [ "owner node";
+        Context.int_s local.Multilisp.Cluster.local_accesses;
+        Context.int_s local.Multilisp.Cluster.messages ];
+      [ "remote node";
+        Context.int_s remote.Multilisp.Cluster.remote_accesses;
+        Context.int_s remote.Multilisp.Cluster.messages ] ]

@@ -1,0 +1,304 @@
+(* smallsim — command-line front end to the SMALL reproduction.
+
+   Subcommands:
+     run       evaluate a mini-Lisp program (file or -e expression)
+     compile   compile a program to the SMALL ISA and disassemble/execute
+     trace     run a workload (or program) under tracing; save/summarise
+     analyze   Chapter 3 analyses over a saved or built-in trace
+     simulate  Chapter 5 SMALL simulation over a trace
+     workloads list the built-in benchmark workloads *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- shared argument definitions ---- *)
+
+let workload_names = List.map (fun w -> w.Workloads.Registry.name) Workloads.Registry.all
+
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+         match Workloads.Registry.find s with
+         | Some w -> Ok w
+         | None ->
+           Error (`Msg (Printf.sprintf "unknown workload %s (have: %s)" s
+                          (String.concat ", " workload_names)))),
+      fun ppf w -> Format.pp_print_string ppf w.Workloads.Registry.name )
+
+let trace_source =
+  let doc = "Built-in workload to trace (" ^ String.concat "|" workload_names ^ ")." in
+  Arg.(value & opt (some workload_conv) None & info [ "w"; "workload" ] ~doc)
+
+let trace_file =
+  let doc = "A previously saved trace file." in
+  Arg.(value & opt (some file) None & info [ "t"; "trace" ] ~doc)
+
+let load_trace workload file =
+  match workload, file with
+  | Some w, _ -> Ok (Workloads.Registry.trace w)
+  | None, Some path -> Ok (Trace.Io.load path)
+  | None, None -> Error (`Msg "need --workload or --trace")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let program =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e" ] ~docv:"EXPR" ~doc:"Evaluate the given expression instead.")
+  in
+  let inputs =
+    Arg.(value & opt (some file) None
+         & info [ "input" ] ~doc:"File of datums served to (read).")
+  in
+  let strategy =
+    Arg.(value & opt (enum [ ("deep", Lisp.Env.Deep); ("shallow", Lisp.Env.Shallow);
+                             ("value-cache", Lisp.Env.Value_cache) ])
+           Lisp.Env.Deep
+         & info [ "binding" ] ~doc:"Environment strategy: deep|shallow|value-cache.")
+  in
+  let action file expr inputs strategy =
+    match file, expr with
+    | None, None -> Error (`Msg "need a program file or -e EXPR")
+    | _ ->
+      let source = match expr with Some e -> e | None -> read_file (Option.get file) in
+      let interp = Lisp.Interp.create ~strategy () in
+      Lisp.Prelude.load interp;
+      (match inputs with
+       | Some path -> Lisp.Interp.provide_input interp (Sexp.parse_many (read_file path))
+       | None -> ());
+      (try
+         let v = Lisp.Interp.run_program interp source in
+         List.iter (fun d -> print_endline (Sexp.to_string d)) (Lisp.Interp.output interp);
+         Printf.printf "=> %s\n" (Lisp.Value.to_string v);
+         Ok ()
+       with
+       | Lisp.Interp.Error msg -> Error (`Msg ("lisp error: " ^ msg))
+       | Sexp.Reader.Parse_error msg -> Error (`Msg ("parse error: " ^ msg)))
+  in
+  let term = Term.(term_result (const action $ program $ expr $ inputs $ strategy)) in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate a mini-Lisp program") term
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let program =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None & info [ "e" ] ~docv:"EXPR" ~doc:"Inline program.")
+  in
+  let execute =
+    Arg.(value & flag & info [ "x"; "execute" ] ~doc:"Run the compiled program too.")
+  in
+  let inputs =
+    Arg.(value & opt (some file) None & info [ "input" ] ~doc:"Datums for RDLIST.")
+  in
+  let action file expr execute inputs =
+    match file, expr with
+    | None, None -> Error (`Msg "need a program file or -e EXPR")
+    | _ ->
+      let source = match expr with Some e -> e | None -> read_file (Option.get file) in
+      (try
+         let prog = Machine.Compile.parse_and_compile source in
+         List.iter
+           (fun (name, fn) ->
+              Printf.printf "%s:\n%s\n" name (Machine.Isa.disassemble fn.Machine.Isa.code))
+           prog.Machine.Isa.fns;
+         Printf.printf "main:\n%s" (Machine.Isa.disassemble prog.Machine.Isa.main);
+         if execute then begin
+           let input =
+             match inputs with
+             | Some path -> Sexp.parse_many (read_file path)
+             | None -> []
+           in
+           let em = Machine.Emulator.create ~input prog in
+           (match Machine.Emulator.run em with
+            | Some v ->
+              Printf.printf "\n=> %s (%d instructions)\n"
+                (Sexp.to_string (Machine.Emulator.datum_of em v))
+                (Machine.Emulator.instructions em)
+            | None -> print_endline "\n=> (no value)");
+           let c = Machine.Emulator.lpt_counters em in
+           Printf.printf "LP: %d gets, %d refops, %d hits, %d misses\n" c.Core.Lpt.gets
+             c.Core.Lpt.refops c.Core.Lpt.hits c.Core.Lpt.misses
+         end;
+         Ok ()
+       with
+       | Machine.Compile.Error msg -> Error (`Msg ("compile error: " ^ msg))
+       | Machine.Emulator.Runtime_error msg -> Error (`Msg ("runtime error: " ^ msg))
+       | Sexp.Reader.Parse_error msg -> Error (`Msg ("parse error: " ^ msg)))
+  in
+  let term = Term.(term_result (const action $ program $ expr $ execute $ inputs)) in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile to the SMALL instruction set") term
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Save the trace to this file.")
+  in
+  let action workload file out =
+    match load_trace workload file with
+    | Error _ as e -> e
+    | Ok capture ->
+      let st = Trace.Capture.stats capture in
+      Printf.printf "events: %d (%d primitives, %d function calls, max depth %d)\n"
+        (Trace.Capture.length capture) st.Trace.Capture.primitives
+        st.Trace.Capture.functions st.Trace.Capture.max_depth;
+      let mix = Analysis.Prim_mix.analyze capture in
+      List.iter
+        (fun p ->
+           Printf.printf "  %-7s %6.2f%%\n" (Trace.Event.prim_name p)
+             (Analysis.Prim_mix.pct mix p))
+        Trace.Event.all_prims;
+      (match out with
+       | Some path ->
+         Trace.Io.save path capture;
+         Printf.printf "saved to %s\n" path
+       | None -> ());
+      Ok ()
+  in
+  let term = Term.(term_result (const action $ trace_source $ trace_file $ out)) in
+  Cmd.v (Cmd.info "trace" ~doc:"Capture or summarise a list-primitive trace") term
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let separation =
+    Arg.(value & opt float 0.10
+         & info [ "separation" ] ~doc:"List-set separation constraint (fraction).")
+  in
+  let action workload file separation =
+    match load_trace workload file with
+    | Error _ as e -> e
+    | Ok capture ->
+      let pre = Trace.Preprocess.run capture in
+      let np = Analysis.Np_stats.analyze pre in
+      Printf.printf "lists: %d distinct; mean n = %.2f, mean p = %.2f\n"
+        pre.Trace.Preprocess.distinct_lists (Analysis.Np_stats.mean_n np)
+        (Analysis.Np_stats.mean_p np);
+      let sets = Analysis.List_sets.partition ~separation pre in
+      Printf.printf "list sets (%.0f%% separation): %d over %d references\n"
+        (100. *. separation)
+        (List.length sets.Analysis.List_sets.sets)
+        sets.Analysis.List_sets.stream_length;
+      List.iter
+        (fun frac ->
+           Printf.printf "  largest %d sets cover %.0f%% of references\n"
+             (Analysis.List_sets.sets_for_coverage sets frac) (100. *. frac))
+        [ 0.5; 0.8; 0.95 ];
+      let stream = Analysis.List_sets.set_id_stream ~separation pre in
+      let lru = Analysis.Lru_stack.analyze stream in
+      List.iter
+        (fun k ->
+           Printf.printf "LRU stack depth %2d captures %.1f%% of set accesses\n" k
+             (100. *. Analysis.Lru_stack.hit_fraction lru k))
+        [ 1; 2; 4; 8 ];
+      let ch = Analysis.Chaining.analyze pre in
+      Printf.printf "chaining: car %.1f%%, cdr %.1f%%\n" (Analysis.Chaining.car_pct ch)
+        (Analysis.Chaining.cdr_pct ch);
+      Ok ()
+  in
+  let term =
+    Term.(term_result (const action $ trace_source $ trace_file $ separation))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Chapter 3 locality analyses over a trace") term
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let size =
+    Arg.(value & opt int 2048 & info [ "size" ] ~doc:"LPT size in entries.")
+  in
+  let policy =
+    Arg.(value & opt (enum [ ("one", Core.Lpt.Compress_one); ("all", Core.Lpt.Compress_all) ])
+           Core.Lpt.Compress_one
+         & info [ "policy" ] ~doc:"Pseudo-overflow compression policy: one|all.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let cache_lines =
+    Arg.(value & opt (some int) None
+         & info [ "cache" ] ~doc:"Also run an LRU cache with this many lines.")
+  in
+  let line_size =
+    Arg.(value & opt int 1 & info [ "line" ] ~doc:"Cache line size in cells.")
+  in
+  let split = Arg.(value & flag & info [ "split-counts" ] ~doc:"EP-side stack counts.") in
+  let find_knee =
+    Arg.(value & flag & info [ "knee" ] ~doc:"Search for the minimum overflow-free size.")
+  in
+  let action workload file size policy seed cache_lines line_size split find_knee =
+    match load_trace workload file with
+    | Error _ as e -> e
+    | Ok capture ->
+      let pre = Trace.Preprocess.run capture in
+      let config =
+        { Core.Simulator.default_config with
+          table_size = size; policy; seed; split_counts = split;
+          cache =
+            Option.map
+              (fun lines -> { Core.Simulator.cache_lines = lines; cache_line_size = line_size })
+              cache_lines }
+      in
+      if find_knee then begin
+        let k, stats = Core.Simulator.min_table_size config pre in
+        Printf.printf "knee: %d entries (peak usage %d, no overflow)\n" k
+          stats.Core.Simulator.peak_lpt
+      end
+      else begin
+        let s = Core.Simulator.run config pre in
+        Printf.printf "events %d; peak LPT %d, average %.1f\n" s.Core.Simulator.events
+          s.Core.Simulator.peak_lpt s.Core.Simulator.avg_lpt;
+        Printf.printf "LPT: %d hits, %d misses (hit rate %.2f%%)\n"
+          s.Core.Simulator.lpt.Core.Lpt.hits s.Core.Simulator.lpt.Core.Lpt.misses
+          (100. *. Core.Simulator.lpt_hit_rate s);
+        Printf.printf "refcount ops %d (EP-side %d); gets %d; frees %d\n"
+          s.Core.Simulator.lpt.Core.Lpt.refops s.Core.Simulator.lpt.Core.Lpt.ep_refops
+          s.Core.Simulator.lpt.Core.Lpt.gets s.Core.Simulator.lpt.Core.Lpt.frees;
+        Printf.printf "overflows: %d pseudo (%d compressions), overflow-mode events %d\n"
+          s.Core.Simulator.lpt.Core.Lpt.pseudo_overflows
+          s.Core.Simulator.lpt.Core.Lpt.compressions s.Core.Simulator.overflow_events;
+        (match config.cache with
+         | Some _ ->
+           Printf.printf "cache: %d hits, %d misses (hit rate %.2f%%)\n"
+             s.Core.Simulator.cache_hits s.Core.Simulator.cache_misses
+             (100. *. Core.Simulator.cache_hit_rate s)
+         | None -> ())
+      end;
+      Ok ()
+  in
+  let term =
+    Term.(term_result
+            (const action $ trace_source $ trace_file $ size $ policy $ seed
+             $ cache_lines $ line_size $ split $ find_knee))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Trace-driven SMALL simulation (Chapter 5)") term
+
+(* ---- workloads ---- *)
+
+let workloads_cmd =
+  let action () =
+    List.iter
+      (fun w ->
+         Printf.printf "%-8s %s\n" w.Workloads.Registry.name
+           w.Workloads.Registry.description)
+      Workloads.Registry.all;
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ const ())) in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the built-in benchmark workloads") term
+
+let () =
+  let doc = "SMALL: a structured memory access architecture for Lisp (reproduction)" in
+  let info = Cmd.info "smallsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ run_cmd; compile_cmd; trace_cmd; analyze_cmd; simulate_cmd;
+                      workloads_cmd ]))

@@ -1,0 +1,1 @@
+examples/circuit_sim.ml: Analysis Core Lisp List Option Printf Sexp Trace Workloads

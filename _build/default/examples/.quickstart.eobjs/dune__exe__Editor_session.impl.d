@@ -1,0 +1,1 @@
+examples/editor_session.ml: Analysis Core Lisp List Option Printf Repr Sexp String Workloads

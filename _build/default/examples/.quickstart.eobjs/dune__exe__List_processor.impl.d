@@ -1,0 +1,1 @@
+examples/list_processor.ml: Core List Printf Sexp

@@ -1,0 +1,1 @@
+examples/list_processor.mli:

@@ -1,0 +1,1 @@
+examples/lpt_vs_cache.ml: Core List Option Printf Trace Workloads

@@ -1,0 +1,1 @@
+examples/multilisp_demo.ml: List Multilisp Printf Sexp Util

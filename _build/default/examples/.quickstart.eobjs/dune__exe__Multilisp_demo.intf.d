@@ -1,0 +1,1 @@
+examples/multilisp_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Core Lisp List Machine Printf Sexp Trace

@@ -1,0 +1,61 @@
+(* LPT vs data cache — the §5.2.5 comparison as a runnable study.
+
+   For one workload trace, sweeps the table/cache size and the cache line
+   size, printing hit rates side by side: the Figure 5.4 and Figure 5.5
+   experiments at example scale.
+
+   Run with: dune exec examples/lpt_vs_cache.exe *)
+
+let () =
+  let w = Option.get (Workloads.Registry.find "plagen") in
+  let pre = Workloads.Registry.preprocessed w in
+  Printf.printf "trace: %s (%d primitives)\n\n" w.Workloads.Registry.name
+    (Trace.Capture.stats (Workloads.Registry.trace w)).Trace.Capture.primitives;
+
+  (* Figure 5.4 view: hit rates vs size, unit cache lines. *)
+  print_endline "size sweep (cache line = 1 cell):";
+  print_endline "  size   LPT hit%   cache hit%   LPT misses   cache misses";
+  List.iter
+    (fun size ->
+       let sim =
+         Core.Simulator.run
+           { Core.Simulator.default_config with
+             table_size = size;
+             cache = Some { Core.Simulator.cache_lines = size; cache_line_size = 1 } }
+           pre
+       in
+       Printf.printf "  %4d   %7.2f   %9.2f   %10d   %12d\n" size
+         (100. *. Core.Simulator.lpt_hit_rate sim)
+         (100. *. Core.Simulator.cache_hit_rate sim)
+         sim.Core.Simulator.lpt.Core.Lpt.misses sim.Core.Simulator.cache_misses)
+    [ 64; 128; 256; 512; 1024 ];
+
+  (* Figure 5.5 view: cache-miss / LPT-miss ratio vs line size, with
+     half-size cache entries (twice as many cells as LPT entries). *)
+  print_endline
+    "\nline-size sweep (cache entries half the LPT entry size, same total bits):";
+  print_endline "  table   line   miss ratio (cache/LPT)";
+  List.iter
+    (fun size ->
+       List.iter
+         (fun line ->
+            let cells = 2 * size in
+            let sim =
+              Core.Simulator.run
+                { Core.Simulator.default_config with
+                  table_size = size;
+                  cache =
+                    Some
+                      { Core.Simulator.cache_lines = max 1 (cells / line);
+                        cache_line_size = line } }
+                pre
+            in
+            let ratio =
+              if sim.Core.Simulator.lpt.Core.Lpt.misses = 0 then 0.
+              else
+                float_of_int sim.Core.Simulator.cache_misses
+                /. float_of_int sim.Core.Simulator.lpt.Core.Lpt.misses
+            in
+            Printf.printf "  %5d   %4d   %.2f\n" size line ratio)
+         [ 1; 2; 4; 8; 16 ])
+    [ 128; 512 ]

@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Chaining List_sets Lru_stack Np_stats Prim_mix

@@ -1,0 +1,1 @@
+lib/analysis/chaining.ml: Array List Trace

@@ -1,0 +1,1 @@
+lib/analysis/chaining.mli: Trace

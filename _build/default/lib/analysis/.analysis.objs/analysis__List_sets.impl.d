@@ -1,0 +1,1 @@
+lib/analysis/list_sets.ml: Array Float Hashtbl List Trace

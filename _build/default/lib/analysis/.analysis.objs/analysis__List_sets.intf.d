@@ -1,0 +1,1 @@
+lib/analysis/list_sets.mli: Trace

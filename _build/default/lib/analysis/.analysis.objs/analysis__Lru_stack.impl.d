@@ -1,0 +1,1 @@
+lib/analysis/lru_stack.ml: Array Hashtbl List Option

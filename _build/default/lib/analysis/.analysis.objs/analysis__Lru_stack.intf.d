@@ -1,0 +1,1 @@
+lib/analysis/lru_stack.mli: Hashtbl

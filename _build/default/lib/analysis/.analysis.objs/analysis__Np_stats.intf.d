@@ -1,0 +1,1 @@
+lib/analysis/np_stats.mli: Trace Util

@@ -1,0 +1,1 @@
+lib/analysis/prim_mix.mli: Trace

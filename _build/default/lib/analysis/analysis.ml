@@ -1,0 +1,10 @@
+(** Chapter 3 analyses over preprocessed traces: primitive mix (Fig 3.1),
+    n/p statistics (Table 3.1, Figs 3.3), list-set partitioning and its
+    coverage/lifetime curves (Figs 3.4–3.6, 3.8–3.13), LRU stack distances
+    over list sets (Fig 3.7) and primitive chaining (Table 3.2). *)
+
+module Prim_mix = Prim_mix
+module Np_stats = Np_stats
+module List_sets = List_sets
+module Lru_stack = Lru_stack
+module Chaining = Chaining

@@ -1,0 +1,44 @@
+type result = {
+  car_total : int;
+  car_chained : int;
+  cdr_total : int;
+  cdr_chained : int;
+  all_total : int;
+  all_chained : int;
+}
+
+let analyze (trace : Trace.Preprocess.t) =
+  let car_total = ref 0 and car_chained = ref 0 in
+  let cdr_total = ref 0 and cdr_chained = ref 0 in
+  let all_total = ref 0 and all_chained = ref 0 in
+  Array.iter
+    (fun (e : Trace.Preprocess.pevent) ->
+       match e with
+       | Pcall _ | Preturn _ -> ()
+       | Pprim { prim; args; _ } ->
+         let chained =
+           List.exists
+             (function
+               | Trace.Preprocess.List { chained; _ } -> chained
+               | Atom _ -> false)
+             args
+         in
+         incr all_total;
+         if chained then incr all_chained;
+         (match prim with
+          | Trace.Event.Car ->
+            incr car_total;
+            if chained then incr car_chained
+          | Trace.Event.Cdr ->
+            incr cdr_total;
+            if chained then incr cdr_chained
+          | Trace.Event.Cons | Trace.Event.Rplaca | Trace.Event.Rplacd -> ()))
+    trace.events;
+  { car_total = !car_total; car_chained = !car_chained; cdr_total = !cdr_total;
+    cdr_chained = !cdr_chained; all_total = !all_total; all_chained = !all_chained }
+
+let pct num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let car_pct r = pct r.car_chained r.car_total
+let cdr_pct r = pct r.cdr_chained r.cdr_total
+let all_pct r = pct r.all_chained r.all_total

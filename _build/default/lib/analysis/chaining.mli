@@ -1,0 +1,22 @@
+(** Primitive function chaining (§3.3.2.3, Table 3.2).
+
+    Chaining occurs when the value returned by one primitive is
+    immediately passed to another (possibly across intervening function
+    calls, since those create or modify no list pointers).  The
+    preprocessing stage already marks chained arguments; this module
+    aggregates the percentages per primitive. *)
+
+type result = {
+  car_total : int;
+  car_chained : int;
+  cdr_total : int;
+  cdr_chained : int;
+  all_total : int;       (** all five primitives *)
+  all_chained : int;
+}
+
+val analyze : Trace.Preprocess.t -> result
+
+val car_pct : result -> float
+val cdr_pct : result -> float
+val all_pct : result -> float

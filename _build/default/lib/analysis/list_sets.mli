@@ -1,0 +1,56 @@
+(** List-set partitioning of a Lisp list access stream (§3.3.2.1) — the
+    thesis's representation-independent measure of structural locality.
+
+    Two list references are {e related} if one is the car or cdr of the
+    other (we also relate cons/rplac results to their list arguments, the
+    closure of "structurally derived from").  A {e list set} is a closure
+    of related references, with the {e separation constraint}: no two
+    temporally adjacent members of a set may be more than a window W apart
+    in the reference stream — a set that falls quiet for W references is
+    closed, and later references to the same structure open a new set.
+    The set's {e lifetime} is the distance between its first and last
+    member; its {e size} is the number of references it contains. *)
+
+type set = {
+  size : int;        (** references in the set *)
+  first : int;       (** stream position of the first reference *)
+  last : int;        (** stream position of the last reference *)
+}
+
+type result = {
+  sets : set list;       (** every list set, in no particular order *)
+  stream_length : int;   (** total list references in the stream *)
+}
+
+val lifetime : set -> int
+
+(** [partition ?separation trace] partitions the reference stream of a
+    preprocessed trace.  [separation] is the window as a fraction of the
+    stream length (default 0.10, the thesis's 10%); use
+    [partition_abs ~window] for an absolute window (the fixed-constraint
+    experiments of Figs 3.11–3.13). *)
+val partition : ?separation:float -> Trace.Preprocess.t -> result
+
+val partition_abs : window:int -> Trace.Preprocess.t -> result
+
+(** [set_id_stream ?separation trace] maps every reference of the stream
+    to the index of the list set it belongs to — input for the LRU stack
+    analysis of Fig 3.7.  Set indices are dense but arbitrary. *)
+val set_id_stream : ?separation:float -> Trace.Preprocess.t -> int array
+
+(** Figure 3.4: cumulative fraction of all references covered by the [k]
+    largest list sets, for k = 1.. — points [(k, fraction)]. *)
+val coverage_curve : result -> (float * float) list
+
+(** Figure 3.5: cumulative fraction of list sets with lifetime <= x, where
+    x is a percentage of the stream length — points [(x_pct, fraction)]. *)
+val lifetime_over_sets : result -> (float * float) list
+
+(** Figure 3.6: cumulative fraction of references belonging to sets with
+    lifetime <= x percent of stream length — points [(x_pct, fraction)]. *)
+val lifetime_over_refs : result -> (float * float) list
+
+(** [sets_for_coverage result frac] is the number of largest sets needed
+    to cover at least [frac] of all references (the "about 10 sets cover
+    80%" observation). *)
+val sets_for_coverage : result -> float -> int

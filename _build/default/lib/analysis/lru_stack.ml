@@ -1,0 +1,60 @@
+type result = {
+  distances : (int, int) Hashtbl.t;
+  cold : int;
+  total : int;
+}
+
+(* Move-to-front list; the position of an item at access time is its stack
+   distance.  O(stream * distinct), fine for the set-level streams here. *)
+let analyze stream =
+  let distances = Hashtbl.create 64 in
+  let cold = ref 0 in
+  let stack = ref [] in
+  let bump d =
+    Hashtbl.replace distances d (1 + Option.value ~default:0 (Hashtbl.find_opt distances d))
+  in
+  Array.iter
+    (fun x ->
+       let rec remove depth acc = function
+         | [] -> None
+         | y :: rest ->
+           if y = x then Some (depth, List.rev_append acc rest)
+           else remove (depth + 1) (y :: acc) rest
+       in
+       match remove 1 [] !stack with
+       | Some (depth, rest) ->
+         bump depth;
+         stack := x :: rest
+       | None ->
+         incr cold;
+         stack := x :: !stack)
+    stream;
+  { distances; cold = !cold; total = Array.length stream }
+
+let hit_fraction r k =
+  if r.total = 0 then 0.
+  else begin
+    let hits = ref 0 in
+    Hashtbl.iter (fun d c -> if d <= k then hits := !hits + c) r.distances;
+    float_of_int !hits /. float_of_int r.total
+  end
+
+let curve r ~max_depth =
+  List.init max_depth (fun i ->
+      let k = i + 1 in
+      (float_of_int k, hit_fraction r k))
+
+let naive_hits stream ~size =
+  let stack = ref [] in
+  let hits = ref 0 in
+  Array.iter
+    (fun x ->
+       let present = List.mem x !stack in
+       if present then incr hits;
+       let without = List.filter (fun y -> y <> x) !stack in
+       let with_x = x :: without in
+       stack :=
+         if List.length with_x > size then List.filteri (fun i _ -> i < size) with_x
+         else with_x)
+    stream;
+  !hits

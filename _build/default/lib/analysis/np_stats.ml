@@ -1,0 +1,21 @@
+type result = {
+  n_dist : Util.Dist.t;
+  p_dist : Util.Dist.t;
+}
+
+let analyze (trace : Trace.Preprocess.t) =
+  (* dynamic statistics: every reference to a list contributes its n and
+     p, so hot lists weigh in proportion to how often they are touched *)
+  let n_dist = Util.Dist.create () and p_dist = Util.Dist.create () in
+  Array.iter
+    (fun id ->
+       let n, p = trace.np_by_id.(id) in
+       Util.Dist.add n_dist (float_of_int n);
+       Util.Dist.add p_dist (float_of_int p))
+    (Trace.Preprocess.prim_refs trace);
+  { n_dist; p_dist }
+
+let mean_n r = Util.Dist.mean r.n_dist
+let mean_p r = Util.Dist.mean r.p_dist
+let n_cumulative r = Util.Dist.cumulative r.n_dist
+let p_cumulative r = Util.Dist.cumulative r.p_dist

@@ -1,0 +1,20 @@
+(** The n/p complexity measures over the lists of a trace (§3.3.1,
+    Table 3.1 and Figures 3.3a/3.3b): for every list reference in the
+    stream, the referenced list's n (number of symbols) and p (number of
+    internal parenthesis pairs) are recorded — dynamic statistics, so a
+    list weighs in proportion to how often it is touched. *)
+
+type result = {
+  n_dist : Util.Dist.t;
+  p_dist : Util.Dist.t;
+}
+
+val analyze : Trace.Preprocess.t -> result
+
+val mean_n : result -> float
+val mean_p : result -> float
+
+(** Cumulative distributions for Figs 3.3a/3.3b: [(value, fraction)] . *)
+val n_cumulative : result -> (float * float) list
+
+val p_cumulative : result -> (float * float) list

@@ -1,0 +1,30 @@
+type result = {
+  counts : (Trace.Event.prim * int) list;
+  total : int;
+}
+
+let analyze capture =
+  let tbl = Hashtbl.create 8 in
+  let total = ref 0 in
+  Array.iter
+    (fun (e : Trace.Event.t) ->
+       match e with
+       | Prim { prim; _ } ->
+         incr total;
+         Hashtbl.replace tbl prim (1 + Option.value ~default:0 (Hashtbl.find_opt tbl prim))
+       | Call _ | Return _ -> ())
+    (Trace.Capture.events capture);
+  {
+    counts =
+      List.map
+        (fun p -> (p, Option.value ~default:0 (Hashtbl.find_opt tbl p)))
+        Trace.Event.all_prims;
+    total = !total;
+  }
+
+let pct r prim =
+  if r.total = 0 then 0.
+  else
+    100.
+    *. float_of_int (Option.value ~default:0 (List.assoc_opt prim r.counts))
+    /. float_of_int r.total

@@ -1,0 +1,13 @@
+(** Execution frequencies of the primitive Lisp functions (§3.3.1,
+    Figure 3.1): the fraction of all traced primitives that are car, cdr,
+    cons, rplaca and rplacd. *)
+
+type result = {
+  counts : (Trace.Event.prim * int) list;  (** in {!Trace.Event.all_prims} order *)
+  total : int;
+}
+
+val analyze : Trace.Capture.t -> result
+
+(** [pct r prim] as a percentage of all traced primitives. *)
+val pct : result -> Trace.Event.prim -> float

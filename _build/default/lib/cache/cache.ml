@@ -1,0 +1,4 @@
+(** Data-cache substrate for the LPT-vs-cache comparison of §5.2.5: a
+    fully associative LRU cache with parametric line size. *)
+
+module Lru_cache = Lru_cache

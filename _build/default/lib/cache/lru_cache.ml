@@ -1,0 +1,84 @@
+(* Hash table keyed by line tag + intrusive doubly-linked recency list:
+   O(1) per access. *)
+
+type node = {
+  tag : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  lines : int;
+  line_size : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~lines ~line_size =
+  if lines <= 0 || line_size <= 0 then
+    invalid_arg "Lru_cache.create: lines and line_size must be positive";
+  { lines; line_size; table = Hashtbl.create (2 * lines); head = None; tail = None;
+    resident = 0; hits = 0; misses = 0 }
+
+let lines t = t.lines
+let line_size t = t.line_size
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let tag_of t addr = if addr >= 0 then addr / t.line_size else ((addr + 1) / t.line_size) - 1
+
+let access t addr =
+  let tag = tag_of t addr in
+  match Hashtbl.find_opt t.table tag with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    if t.resident = t.lines then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.tag;
+        t.resident <- t.resident - 1
+      | None -> assert false
+    end;
+    let node = { tag; prev = None; next = None } in
+    Hashtbl.replace t.table tag node;
+    push_front t node;
+    t.resident <- t.resident + 1;
+    false
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let hit_rate t =
+  let total = accesses t in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let occupancy t = t.resident
+
+let mem t addr = Hashtbl.mem t.table (tag_of t addr)

@@ -1,0 +1,31 @@
+(** Fully associative data cache with true LRU replacement (§5.2.5).
+
+    Addresses are in units of the cachable two-pointer list cell; a line
+    holds [line_size] consecutive cells, so fetching a line prefetches the
+    neighbours of the accessed cell — how a conventional cache exploits
+    the spatial locality of linearised lists.  [lines] × [line_size] cells
+    is the total capacity. *)
+
+type t
+
+(** @raise Invalid_argument unless both parameters are positive. *)
+val create : lines:int -> line_size:int -> t
+
+val lines : t -> int
+val line_size : t -> int
+
+(** [access t addr] touches the cell at [addr]; returns [true] on hit.
+    On a miss the containing line is fetched, evicting the LRU line if
+    full. *)
+val access : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val hit_rate : t -> float
+
+(** Number of lines currently resident. *)
+val occupancy : t -> int
+
+(** [mem t addr] tests residency without touching LRU state or counters. *)
+val mem : t -> int -> bool

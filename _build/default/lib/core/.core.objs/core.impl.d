@@ -1,0 +1,1 @@
+lib/core/core.ml: Heap_model Lp Lpt Simulator Traversal

@@ -1,0 +1,1 @@
+lib/core/heap_model.ml: Hashtbl Util

@@ -1,0 +1,1 @@
+lib/core/lp.ml: Hashtbl Heap Heap_model List Lpt Option Printf Sexp

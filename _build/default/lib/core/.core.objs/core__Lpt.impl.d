@@ -1,0 +1,1 @@
+lib/core/lpt.ml: Array Bytes Heap_model Util

@@ -1,0 +1,1 @@
+lib/core/lpt.mli: Heap_model

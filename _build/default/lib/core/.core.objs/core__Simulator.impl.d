@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Cache Heap_model List Lpt Option Trace Util

@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Heap_model Lpt Trace

@@ -1,0 +1,1 @@
+lib/core/traversal.ml: Heap_model Lpt Option Sexp

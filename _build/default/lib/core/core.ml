@@ -1,0 +1,11 @@
+(** SMALL — the Structured Memory Access of Lisp Lists architecture
+    (Chapters 4 and 5): the List Processor Table with reference-counting
+    space management, lazy child decrement, compression policies and
+    overflow recovery; the heap-controller model; the trace-driven
+    EP/LP simulator; and the ordered-traversal analysis. *)
+
+module Lpt = Lpt
+module Lp = Lp
+module Heap_model = Heap_model
+module Simulator = Simulator
+module Traversal = Traversal

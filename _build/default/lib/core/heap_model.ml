@@ -1,0 +1,78 @@
+type t = {
+  rng : Util.Rng.t;
+  mutable next_addr : int;
+  used : (int, unit) Hashtbl.t;  (* head cells already holding an object *)
+  mutable reads : int;
+  mutable splits : int;
+  mutable merges : int;
+  mutable reclaims : int;
+  mutable cells_reclaimed : int;
+}
+
+let create ~seed =
+  { rng = Util.Rng.create ~seed; next_addr = 0; used = Hashtbl.create 1024;
+    reads = 0; splits = 0; merges = 0; reclaims = 0; cells_reclaimed = 0 }
+
+let bump t size =
+  let addr = t.next_addr in
+  t.next_addr <- t.next_addr + max 1 size;
+  Hashtbl.replace t.used addr ();
+  addr
+
+(* Place a part near [near]: distinct objects occupy distinct head cells,
+   so the candidate slides forward past occupied ones. *)
+let place t ~near =
+  let rec slide a = if Hashtbl.mem t.used a then slide (a + 1) else a in
+  let addr = slide near in
+  Hashtbl.replace t.used addr ();
+  addr
+
+let read_in t ~size =
+  t.reads <- t.reads + 1;
+  bump t size
+
+let assign t ~size = bump t size
+
+(* Clark's distance shapes: cdr pointers are overwhelmingly at distance 1
+   (lists stay linearised); car pointers reach further, with a short
+   geometric tail. *)
+let cdr_distance t =
+  if Util.Rng.bool t.rng ~p:0.8 then 1
+  else begin
+    let rec tail d = if d > 40 || Util.Rng.bool t.rng ~p:0.35 then d else tail (d + 1) in
+    tail 2
+  end
+
+let car_distance t =
+  let rec tail d = if d > 60 || Util.Rng.bool t.rng ~p:0.25 then d else tail (d + 1) in
+  tail 2
+
+let split t ~addr =
+  t.splits <- t.splits + 1;
+  let cdr = place t ~near:(addr + cdr_distance t) in
+  let car = place t ~near:(addr + car_distance t) in
+  (car, cdr)
+
+let merge t a b =
+  t.merges <- t.merges + 1;
+  (* The merged object is rooted at a fresh cell pointing at both parts. *)
+  ignore b;
+  ignore a;
+  bump t 1
+
+let reclaim t ~addr ~size =
+  ignore addr;
+  t.reclaims <- t.reclaims + 1;
+  t.cells_reclaimed <- t.cells_reclaimed + max 0 size
+
+type counters = {
+  reads : int;
+  splits : int;
+  merges : int;
+  reclaims : int;
+  cells_reclaimed : int;
+}
+
+let counters (t : t) =
+  { reads = t.reads; splits = t.splits; merges = t.merges; reclaims = t.reclaims;
+    cells_reclaimed = t.cells_reclaimed }

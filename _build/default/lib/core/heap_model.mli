@@ -1,0 +1,47 @@
+(** Heap memory controller model (§4.3.3).
+
+    The controller owns the raw list heap: it reads list data in, splits
+    an object into its car and cdr parts, merges two objects back into
+    one, and reclaims space.  For the trace-driven evaluation only its
+    {e address behaviour} matters (the cache comparison of §5.2.5), so the
+    model assigns simulated cell addresses: fresh objects are laid out at
+    a bump counter; split children land at small pointer distances from
+    the parent, following the shape of Clark's measured distance
+    distributions (short, mass at distance 1). *)
+
+type t
+
+val create : seed:int -> t
+
+(** [read_in t ~size] allocates a fresh object of [size] cells, returning
+    its address. *)
+val read_in : t -> size:int -> int
+
+(** [assign t ~size] reserves an address range without counting a heap
+    read — used to give cons's endo-structural entries a simulated
+    address for the cache comparison (they involve no heap activity,
+    Fig 4.7). *)
+val assign : t -> size:int -> int
+
+(** [split t ~addr] splits the object at [addr]; returns the addresses of
+    its car and cdr parts. *)
+val split : t -> addr:int -> int * int
+
+(** [merge t a b] merges two objects; returns the merged object's
+    address. *)
+val merge : t -> int -> int -> int
+
+(** [reclaim t ~addr ~size] queues an object's space for reuse (free
+    requests are served "whenever convenient", §4.3.3.1 — the model only
+    counts them). *)
+val reclaim : t -> addr:int -> size:int -> unit
+
+type counters = {
+  reads : int;
+  splits : int;
+  merges : int;
+  reclaims : int;
+  cells_reclaimed : int;
+}
+
+val counters : t -> counters

@@ -1,0 +1,207 @@
+module D = Sexp.Datum
+
+type part =
+  | Obj of int
+  | Val of D.t
+
+type side = Car | Cdr
+
+type t = {
+  store : Heap.Store.t;
+  symtab : Heap.Symtab.t;
+  mutable lpt : Lpt.t option;         (* set right after creation *)
+  (* id -> the heap word materialising the object: [Some w] while the
+     object lives (unsplit) in the heap; [None] for endo-structure and
+     for parents whose cell was consumed by a split *)
+  words : (int, Heap.Word.t option) Hashtbl.t;
+  (* atom payloads of fields set to atom-child by cons/rplac *)
+  payloads : (int * side, D.t) Hashtbl.t;
+}
+
+let lpt t = Option.get t.lpt
+
+let word t id = Option.join (Hashtbl.find_opt t.words id)
+
+(* ---- heap controller duties (§4.3.3) ---- *)
+
+(* Free the cell tree materialising a dying object (§4.3.3.1). *)
+let release_tree t (w : Heap.Word.t) =
+  let rec go (w : Heap.Word.t) =
+    match w with
+    | Nil | Sym _ | Int _ -> ()
+    | Ptr a ->
+      let car = Heap.Store.car t.store a in
+      let cdr = Heap.Store.cdr t.store a in
+      Heap.Store.release t.store a;
+      go car;
+      go cdr
+  in
+  go w
+
+let on_free t id =
+  (match word t id with
+   | Some w -> release_tree t w
+   | None -> ());
+  Hashtbl.remove t.words id;
+  Hashtbl.remove t.payloads (id, Car);
+  Hashtbl.remove t.payloads (id, Cdr)
+
+(* A split consumes the parent cell and hands its two words to the fresh
+   child entries (§4.3.3.2). *)
+let on_split t ~parent ~car ~cdr =
+  match word t parent with
+  | Some (Heap.Word.Ptr a) ->
+    let car_w = Heap.Store.car t.store a in
+    let cdr_w = Heap.Store.cdr t.store a in
+    Heap.Store.release t.store a;
+    Hashtbl.replace t.words parent None;
+    Hashtbl.replace t.words car (Some car_w);
+    Hashtbl.replace t.words cdr (Some cdr_w)
+  | Some w ->
+    (* splitting an atom object: both parts are nil (car/cdr of an atom
+       is an EP-level error; the LP stays consistent) *)
+    ignore w;
+    Hashtbl.replace t.words parent None;
+    Hashtbl.replace t.words car (Some Heap.Word.Nil);
+    Hashtbl.replace t.words cdr (Some Heap.Word.Nil)
+  | None ->
+    Hashtbl.replace t.words car (Some Heap.Word.Nil);
+    Hashtbl.replace t.words cdr (Some Heap.Word.Nil)
+
+(* A compression writes the parent back as one fresh heap cell whose
+   halves are the children's words (merge, Fig 4.8 / §4.3.3.2). *)
+let on_merge t ~parent ~car ~cdr =
+  let half child side =
+    match word t child with
+    | Some w -> w
+    | None ->
+      (* an atom-child payload or an empty half *)
+      (match Hashtbl.find_opt t.payloads (parent, side) with
+       | Some d -> Heap.Linearize.store_naive t.symtab t.store d
+       | None -> Heap.Word.Nil)
+  in
+  let cell =
+    Heap.Store.alloc t.store ~car:(half car Car) ~cdr:(half cdr Cdr)
+  in
+  (* the children die via the compression's decrements; their trees now
+     belong to the merged cell, so forget their words first *)
+  Hashtbl.replace t.words car None;
+  Hashtbl.replace t.words cdr None;
+  Hashtbl.replace t.words parent (Some (Heap.Word.Ptr cell))
+
+let create ?(lpt_size = 1024) ?(heap_cells = 65536) () =
+  let t =
+    { store = Heap.Store.create ~capacity:heap_cells;
+      symtab = Heap.Symtab.create ();
+      lpt = None;
+      words = Hashtbl.create 256;
+      payloads = Hashtbl.create 64 }
+  in
+  let heap = Heap_model.create ~seed:23 in
+  let lpt =
+    Lpt.create
+      ~on_split:(fun ~parent ~car ~cdr -> on_split t ~parent ~car ~cdr)
+      ~on_merge:(fun ~parent ~car ~cdr -> on_merge t ~parent ~car ~cdr)
+      ~on_free:(fun id -> on_free t id)
+      ~size:lpt_size ~policy:Lpt.Compress_one ~split_counts:false
+      ~eager_decrement:false ~heap ~seed:29 ()
+  in
+  t.lpt <- Some lpt;
+  t
+
+let read_in t d =
+  if D.is_atom d then invalid_arg "Lp.read_in: atoms are EP values, not list objects";
+  let n, p = Sexp.Metrics.np d in
+  let id = Lpt.read_in (lpt t) ~size:(max 1 (n + p)) in
+  Hashtbl.replace t.words id (Some (Heap.Linearize.store_naive t.symtab t.store d));
+  Lpt.stack_incr (lpt t) id;
+  id
+
+(* Render an entry as a part for the EP: lists stay identifiers, atoms
+   are immediate values. *)
+let part_of t id =
+  match word t id with
+  | Some (Heap.Word.Ptr _) | None -> Obj id
+  | Some w -> Val (Heap.Linearize.read t.symtab t.store w)
+
+let guard_list t id name =
+  if not (Lpt.is_live (lpt t) id) then
+    invalid_arg (Printf.sprintf "Lp.%s: dead identifier %d" name id);
+  match word t id with
+  | Some (Heap.Word.Ptr _) | None -> ()
+  | Some _ -> invalid_arg (Printf.sprintf "Lp.%s: identifier %d holds an atom" name id)
+
+let car t id =
+  guard_list t id "car";
+  match Lpt.get_car (lpt t) id with
+  | Lpt.Hit c | Lpt.Miss c -> part_of t c
+  | Lpt.Hit_atom ->
+    Val (Option.value ~default:D.Nil (Hashtbl.find_opt t.payloads (id, Car)))
+
+let cdr t id =
+  guard_list t id "cdr";
+  match Lpt.get_cdr (lpt t) id with
+  | Lpt.Hit c | Lpt.Miss c -> part_of t c
+  | Lpt.Hit_atom ->
+    Val (Option.value ~default:D.Nil (Hashtbl.find_opt t.payloads (id, Cdr)))
+
+let child_of = function
+  | Obj id -> Some id
+  | Val _ -> None
+
+let cons t a d =
+  let id = Lpt.cons (lpt t) ~car:(child_of a) ~cdr:(child_of d) in
+  Hashtbl.replace t.words id None;
+  (match a with Val v -> Hashtbl.replace t.payloads (id, Car) v | Obj _ -> ());
+  (match d with Val v -> Hashtbl.replace t.payloads (id, Cdr) v | Obj _ -> ());
+  Lpt.stack_incr (lpt t) id;
+  id
+
+let rplac side t id v =
+  guard_list t id (match side with Car -> "rplaca" | Cdr -> "rplacd");
+  let child = child_of v in
+  (match side with
+   | Car -> ignore (Lpt.rplaca (lpt t) id child)
+   | Cdr -> ignore (Lpt.rplacd (lpt t) id child));
+  (match v with
+   | Val d -> Hashtbl.replace t.payloads (id, side) d
+   | Obj _ -> Hashtbl.remove t.payloads (id, side))
+
+let rplaca t id v = rplac Car t id v
+let rplacd t id v = rplac Cdr t id v
+
+let retain t id = Lpt.stack_incr (lpt t) id
+let release t id = Lpt.stack_decr (lpt t) id
+
+let externalize t id =
+  let rec ext visited id =
+    if List.memq id visited then D.Sym "<cycle>"
+    else begin
+      let visited = id :: visited in
+      let table = lpt t in
+      if Lpt.car_is_set table id || Lpt.cdr_is_set table id then begin
+        let half peek is_set side =
+          match peek table id with
+          | Some child -> ext visited child
+          | None ->
+            if is_set table id then
+              Option.value ~default:D.Nil (Hashtbl.find_opt t.payloads (id, side))
+            else D.Nil  (* half never materialised *)
+        in
+        D.Cons
+          (half Lpt.peek_car Lpt.car_is_set Car,
+           half Lpt.peek_cdr Lpt.cdr_is_set Cdr)
+      end
+      else
+        match word t id with
+        | Some w -> Heap.Linearize.read t.symtab t.store w
+        | None -> D.Nil
+    end
+  in
+  ext [] id
+
+let is_live t id = Lpt.is_live (lpt t) id
+
+let heap_live t = Heap.Store.live t.store
+
+let lpt_counters t = Lpt.counters (lpt t)

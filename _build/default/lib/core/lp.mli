@@ -1,0 +1,65 @@
+(** The List Processor, concretely (§4.3.2–§4.3.3): an {!Lpt} driving a
+    real array-backed cell heap.
+
+    Where {!Simulator} models only the counting behaviour of the LP,
+    this module is the functional article: [read_in] loads an
+    s-expression into heap cells, a missed [car]/[cdr] performs a real
+    split (the heap controller returns the two part words and frees the
+    parent cell, §4.3.3.2), [cons] builds endo-structure that exists
+    only in the table, and [externalize] writes a virtualised list back
+    out as an s-expression.  The EP side of the protocol is the
+    [retain]/[release] pair — the reference-count traffic of every
+    binding.
+
+    The machine emulator and the examples use it as the LP a real SMALL
+    would expose over the EP–LP bus. *)
+
+type t
+
+(** [create ()] builds an LP with an [lpt_size]-entry table (default
+    1024) over a [heap_cells]-cell store (default 65536). *)
+val create : ?lpt_size:int -> ?heap_cells:int -> unit -> t
+
+(** What the LP hands the EP for the part of an object: another object
+    identifier, or an immediate atomic value (with its type tag). *)
+type part =
+  | Obj of int
+  | Val of Sexp.Datum.t
+
+(** [read_in t d] performs a readlist: [d] is loaded into heap cells and
+    virtualised behind a fresh identifier (atoms are rejected — the EP
+    keeps those itself).  The returned identifier carries one reference
+    (the EP's binding); [release] it when done.
+    @raise Invalid_argument if [d] is an atom. *)
+val read_in : t -> Sexp.Datum.t -> int
+
+(** [car t id] / [cdr t id]: satisfied from the table when cached,
+    otherwise the heap object is split. *)
+val car : t -> int -> part
+
+val cdr : t -> int -> part
+
+(** [cons t a d]: pure endo-structure, no heap activity.  The result
+    carries one reference. *)
+val cons : t -> part -> part -> int
+
+(** [rplaca t id v] / [rplacd t id v] destructively replace a part. *)
+val rplaca : t -> int -> part -> unit
+
+val rplacd : t -> int -> part -> unit
+
+(** EP reference management for identifiers held in bindings. *)
+val retain : t -> int -> unit
+
+val release : t -> int -> unit
+
+(** [externalize t id] reconstructs the s-expression behind [id]
+    (writelist).  Cyclic structure is cut with the symbol [<cycle>]. *)
+val externalize : t -> int -> Sexp.Datum.t
+
+val is_live : t -> int -> bool
+
+(** Heap cells currently allocated. *)
+val heap_live : t -> int
+
+val lpt_counters : t -> Lpt.counters

@@ -1,0 +1,428 @@
+type policy = Compress_one | Compress_all
+
+exception True_overflow
+
+let unset = -1
+
+(* A car/cdr field holding an atom value rather than another entry: the
+   field is *set* (accesses hit) but there is no child identifier. *)
+let atom_child = -2
+
+type t = {
+  table_size : int;
+  policy : policy;
+  split_counts : bool;
+  eager_decrement : bool;
+  heap : Heap_model.t;
+  rng : Util.Rng.t;
+  (* hooks for a concrete backing heap (see {!Lp}) *)
+  on_split : parent:int -> car:int -> cdr:int -> unit;
+  on_merge : parent:int -> car:int -> cdr:int -> unit;
+  on_free : int -> unit;
+  (* entry fields, indexed by identifier *)
+  car : int array;
+  cdr : int array;
+  refc : int array;            (* internal refs; plus EP refs unless split_counts *)
+  addr : int array;            (* heap address; free-list link when free *)
+  sizes : int array;           (* object size in cells *)
+  free_flag : Bytes.t;
+  stackbit : Bytes.t;          (* split-count mode *)
+  ep_count : int array;        (* split-count mode: stack references *)
+  mutable free_head : int;
+  mutable scan_ptr : int;      (* rotating Compress-One scan position *)
+  mutable live : int;
+  (* counters *)
+  mutable refops : int;
+  mutable ep_refops : int;
+  mutable gets : int;
+  mutable frees : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable pseudo_overflows : int;
+  mutable compressions : int;
+  mutable cycle_recoveries : int;
+  mutable peak_live : int;
+  mutable max_refcount : int;
+  mutable max_stack_count : int;
+}
+
+let nop3 ~parent:_ ~car:_ ~cdr:_ = ()
+
+let create ?(on_split = nop3) ?(on_merge = nop3) ?(on_free = fun _ -> ())
+    ~size ~policy ~split_counts ~eager_decrement ~heap ~seed () =
+  if size < 4 then invalid_arg "Lpt.create: table too small";
+  let t =
+    {
+      table_size = size; policy; split_counts; eager_decrement; heap;
+      rng = Util.Rng.create ~seed;
+      on_split; on_merge; on_free;
+      car = Array.make size unset;
+      cdr = Array.make size unset;
+      refc = Array.make size 0;
+      addr = Array.make size unset;
+      sizes = Array.make size 0;
+      free_flag = Bytes.make size '\001';
+      stackbit = Bytes.make size '\000';
+      ep_count = Array.make size 0;
+      free_head = 0;
+      scan_ptr = 0;
+      live = 0;
+      refops = 0; ep_refops = 0; gets = 0; frees = 0; hits = 0; misses = 0;
+      pseudo_overflows = 0; compressions = 0; cycle_recoveries = 0; peak_live = 0;
+      max_refcount = 0; max_stack_count = 0;
+    }
+  in
+  (* Thread the initial free stack through the addr field (§4.3.2.1). *)
+  for i = 0 to size - 2 do
+    t.addr.(i) <- i + 1
+  done;
+  t.addr.(size - 1) <- unset;
+  t
+
+let size t = t.table_size
+let live t = t.live
+let is_live t id = Bytes.get t.free_flag id = '\000'
+let refcount t id = t.refc.(id) + (if t.split_counts then t.ep_count.(id) else 0)
+let address t id = t.addr.(id)
+let object_size t id = t.sizes.(id)
+
+let has_stack_ref t id = t.split_counts && Bytes.get t.stackbit id = '\001'
+
+(* ---- freeing ---- *)
+
+let rec free_entry t id =
+  t.on_free id;
+  t.frees <- t.frees + 1;
+  t.live <- t.live - 1;
+  if t.addr.(id) >= 0 then
+    Heap_model.reclaim t.heap ~addr:t.addr.(id) ~size:t.sizes.(id);
+  Bytes.set t.free_flag id '\001';
+  Bytes.set t.stackbit id '\000';
+  t.ep_count.(id) <- 0;
+  t.refc.(id) <- 0;
+  if t.eager_decrement then begin
+    (* Naive policy: decrement the children right now (recursively). *)
+    let car = t.car.(id) and cdr = t.cdr.(id) in
+    t.car.(id) <- unset;
+    t.cdr.(id) <- unset;
+    t.addr.(id) <- t.free_head;
+    t.free_head <- id;
+    if car >= 0 then decr_internal t car;
+    if cdr >= 0 then decr_internal t cdr
+  end
+  else begin
+    (* Lazy policy: children keep their counts until this entry is
+       reused; only the free-stack push happens now. *)
+    t.addr.(id) <- t.free_head;
+    t.free_head <- id
+  end
+
+and decr_internal t id =
+  if not (is_live t id) then ()  (* deferred decrement raced a cycle sweep *)
+  else begin
+    t.refops <- t.refops + 1;
+    t.refc.(id) <- t.refc.(id) - 1;
+    if t.refc.(id) <= 0 && not (has_stack_ref t id) then free_entry t id
+  end
+
+let incr_internal t id =
+  t.refops <- t.refops + 1;
+  t.refc.(id) <- t.refc.(id) + 1;
+  if refcount t id > t.max_refcount then t.max_refcount <- refcount t id
+
+(* ---- compression (Fig 4.8) ---- *)
+
+let compressible t id =
+  is_live t id
+  && t.car.(id) >= 0 && t.cdr.(id) >= 0
+  && t.car.(id) <> t.cdr.(id)
+  &&
+  let c = t.car.(id) and d = t.cdr.(id) in
+  is_live t c && is_live t d
+  && t.refc.(c) = 1 && t.refc.(d) = 1
+  && (not (has_stack_ref t c)) && (not (has_stack_ref t d))
+  && t.car.(c) = unset && t.cdr.(c) = unset
+  && t.car.(d) = unset && t.cdr.(d) = unset
+
+let compress_entry t id =
+  let c = t.car.(id) and d = t.cdr.(id) in
+  t.on_merge ~parent:id ~car:c ~cdr:d;
+  let merged = Heap_model.merge t.heap t.addr.(c) t.addr.(d) in
+  t.addr.(id) <- merged;
+  t.sizes.(id) <- t.sizes.(c) + t.sizes.(d) + 1;
+  t.car.(id) <- unset;
+  t.cdr.(id) <- unset;
+  (* Dropping the internal references frees both children. *)
+  decr_internal t c;
+  decr_internal t d;
+  t.compressions <- t.compressions + 1
+
+(* Returns true if at least one pair was compressed.  The Compress-One
+   scan resumes where the previous one stopped (a rotating pointer), so
+   successive overflows spread compression over the whole table instead
+   of repeatedly sacrificing the same low-numbered — often hot — pairs. *)
+let compress t =
+  match t.policy with
+  | Compress_one ->
+    let found = ref false in
+    (try
+       for k = 0 to t.table_size - 1 do
+         let id = (t.scan_ptr + k) mod t.table_size in
+         if compressible t id then begin
+           compress_entry t id;
+           t.scan_ptr <- (id + 1) mod t.table_size;
+           found := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  | Compress_all ->
+    let any = ref false in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for id = 0 to t.table_size - 1 do
+        if compressible t id then begin
+          compress_entry t id;
+          any := true;
+          progress := true
+        end
+      done
+    done;
+    !any
+
+(* ---- cycle recovery (§4.3.2.3) ---- *)
+
+let break_cycles t =
+  (* Entries are externally referenced if their count exceeds their
+     internal in-degree (or the StackBit is set).  Mark from those; any
+     unmarked live entry belongs to dead cycles. *)
+  let indegree = Array.make t.table_size 0 in
+  for id = 0 to t.table_size - 1 do
+    if is_live t id then begin
+      if t.car.(id) >= 0 && is_live t t.car.(id) then
+        indegree.(t.car.(id)) <- indegree.(t.car.(id)) + 1;
+      if t.cdr.(id) >= 0 && is_live t t.cdr.(id) then
+        indegree.(t.cdr.(id)) <- indegree.(t.cdr.(id)) + 1
+    end
+  done;
+  let marked = Bytes.make t.table_size '\000' in
+  let rec mark id =
+    if is_live t id && Bytes.get marked id = '\000' then begin
+      Bytes.set marked id '\001';
+      if t.car.(id) >= 0 then mark t.car.(id);
+      if t.cdr.(id) >= 0 then mark t.cdr.(id)
+    end
+  in
+  for id = 0 to t.table_size - 1 do
+    if is_live t id && (has_stack_ref t id || t.refc.(id) > indegree.(id)) then mark id
+  done;
+  let freed = ref 0 in
+  for id = 0 to t.table_size - 1 do
+    if is_live t id && Bytes.get marked id = '\000' then begin
+      (* Clear fields first so freeing does not cascade into the cycle. *)
+      t.car.(id) <- unset;
+      t.cdr.(id) <- unset;
+      free_entry t id;
+      incr freed
+    end
+  done;
+  if !freed > 0 then t.cycle_recoveries <- t.cycle_recoveries + 1;
+  !freed > 0
+
+(* ---- allocation ---- *)
+
+let pop_free t =
+  if t.free_head = unset then None
+  else begin
+    let id = t.free_head in
+    t.free_head <- t.addr.(id);
+    (* Deferred child decrements happen on reuse (§4.3.2.1). *)
+    let car = t.car.(id) and cdr = t.cdr.(id) in
+    t.car.(id) <- unset;
+    t.cdr.(id) <- unset;
+    if not t.eager_decrement then begin
+      if car >= 0 then decr_internal t car;
+      if cdr >= 0 then decr_internal t cdr
+    end;
+    Some id
+  end
+
+let rec alloc_entry t =
+  match pop_free t with
+  | Some id ->
+    Bytes.set t.free_flag id '\000';
+    Bytes.set t.stackbit id '\000';
+    t.ep_count.(id) <- 0;
+    t.refc.(id) <- 0;
+    t.addr.(id) <- unset;
+    t.sizes.(id) <- 0;
+    t.live <- t.live + 1;
+    if t.live > t.peak_live then t.peak_live <- t.live;
+    t.gets <- t.gets + 1;
+    id
+  | None ->
+    t.pseudo_overflows <- t.pseudo_overflows + 1;
+    if compress t then alloc_entry t
+    else if break_cycles t then alloc_entry t
+    else raise True_overflow
+
+let read_in t ~size =
+  let id = alloc_entry t in
+  t.addr.(id) <- Heap_model.read_in t.heap ~size;
+  t.sizes.(id) <- size;
+  id
+
+let cons t ~car ~cdr =
+  let id = alloc_entry t in
+  (* cons is pure endo-structure: the "address" is assigned for the cache
+     comparison only; no heap read occurs (Fig 4.7). *)
+  t.addr.(id) <- Heap_model.assign t.heap ~size:1;
+  t.sizes.(id) <-
+    1
+    + (match car with Some c -> t.sizes.(c) | None -> 0)
+    + (match cdr with Some d -> t.sizes.(d) | None -> 0);
+  (* both fields are always set by a cons (Fig 4.7): an atom half is the
+     atom-child marker, so later accesses hit *)
+  (match car with
+   | Some c ->
+     t.car.(id) <- c;
+     incr_internal t c
+   | None -> t.car.(id) <- atom_child);
+  (match cdr with
+   | Some d ->
+     t.cdr.(id) <- d;
+     incr_internal t d
+   | None -> t.cdr.(id) <- atom_child);
+  id
+
+type access = Hit of int | Hit_atom | Miss of int
+
+(* Split the object behind [id], creating entries for both parts with one
+   internal reference each (Fig 4.5). *)
+let split t id =
+  t.misses <- t.misses + 1;
+  let parent_addr = if t.addr.(id) >= 0 then t.addr.(id) else 0 in
+  let car_addr, cdr_addr = Heap_model.split t.heap ~addr:parent_addr in
+  let s = t.sizes.(id) in
+  let car_size = if s <= 1 then 0 else Util.Rng.int t.rng s in
+  let cdr_size = if s <= 1 then 0 else s - 1 - car_size in
+  let c = alloc_entry t in
+  t.addr.(c) <- car_addr;
+  t.sizes.(c) <- car_size;
+  incr_internal t c;
+  let d = alloc_entry t in
+  t.addr.(d) <- cdr_addr;
+  t.sizes.(d) <- cdr_size;
+  incr_internal t d;
+  t.car.(id) <- c;
+  t.cdr.(id) <- d;
+  t.on_split ~parent:id ~car:c ~cdr:d;
+  (c, d)
+
+let get_car t id =
+  if t.car.(id) = unset then begin
+    let c, _ = split t id in
+    Miss c
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    if t.car.(id) = atom_child then Hit_atom else Hit t.car.(id)
+  end
+
+let get_cdr t id =
+  if t.cdr.(id) = unset then begin
+    let _, d = split t id in
+    Miss d
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    if t.cdr.(id) = atom_child then Hit_atom else Hit t.cdr.(id)
+  end
+
+let replace t id ~field child =
+  let get, set =
+    match field with
+    | `Car -> ((fun () -> t.car.(id)), fun v -> t.car.(id) <- v)
+    | `Cdr -> ((fun () -> t.cdr.(id)), fun v -> t.cdr.(id) <- v)
+  in
+  let was_hit =
+    if get () <> unset then begin
+      t.hits <- t.hits + 1;
+      true
+    end
+    else begin
+      ignore (split t id);
+      false
+    end
+  in
+  (* Incr the incoming child before decring the old one: replacing a part
+     with itself must not transiently free it.  An atom value still sets
+     the field (later accesses hit), it just names no entry. *)
+  (match child with Some c -> incr_internal t c | None -> ());
+  let old = get () in
+  set (match child with Some c -> c | None -> atom_child);
+  if old >= 0 then decr_internal t old;
+  was_hit
+
+let rplaca t id child = replace t id ~field:`Car child
+let rplacd t id child = replace t id ~field:`Cdr child
+
+(* ---- EP-side reference management ---- *)
+
+let stack_incr t id =
+  if t.split_counts then begin
+    t.ep_refops <- t.ep_refops + 1;
+    t.ep_count.(id) <- t.ep_count.(id) + 1;
+    if t.ep_count.(id) > t.max_stack_count then t.max_stack_count <- t.ep_count.(id);
+    if t.ep_count.(id) = 1 then begin
+      (* 0 -> 1 transition: tell the LP to set the StackBit. *)
+      t.refops <- t.refops + 1;
+      Bytes.set t.stackbit id '\001'
+    end
+  end
+  else incr_internal t id
+
+let stack_decr t id =
+  if t.split_counts then begin
+    if not (is_live t id) then ()
+    else begin
+      t.ep_refops <- t.ep_refops + 1;
+      t.ep_count.(id) <- t.ep_count.(id) - 1;
+      if t.ep_count.(id) = 0 then begin
+        (* 1 -> 0 transition: tell the LP to clear the StackBit. *)
+        t.refops <- t.refops + 1;
+        Bytes.set t.stackbit id '\000';
+        if t.refc.(id) <= 0 then free_entry t id
+      end
+    end
+  end
+  else decr_internal t id
+
+let peek_car t id = if t.car.(id) >= 0 then Some t.car.(id) else None
+let peek_cdr t id = if t.cdr.(id) >= 0 then Some t.cdr.(id) else None
+let car_is_set t id = t.car.(id) <> unset
+let cdr_is_set t id = t.cdr.(id) <> unset
+
+type counters = {
+  refops : int;
+  ep_refops : int;
+  gets : int;
+  frees : int;
+  hits : int;
+  misses : int;
+  pseudo_overflows : int;
+  compressions : int;
+  cycle_recoveries : int;
+  peak_live : int;
+  max_refcount : int;
+  max_stack_count : int;
+}
+
+let counters (t : t) =
+  { refops = t.refops; ep_refops = t.ep_refops; gets = t.gets; frees = t.frees;
+    hits = t.hits; misses = t.misses; pseudo_overflows = t.pseudo_overflows;
+    compressions = t.compressions; cycle_recoveries = t.cycle_recoveries;
+    peak_live = t.peak_live; max_refcount = t.max_refcount;
+    max_stack_count = t.max_stack_count }

@@ -1,0 +1,133 @@
+(** The List Processor Table (LPT) — the heart of the SMALL architecture
+    (§4.3.2).
+
+    Each entry virtualises one list object: [(identifier, car, cdr,
+    reference count, heap address, mark)] (Figure 4.2).  The car/cdr
+    fields cache the identifiers of the object's parts, so repeated
+    accesses are satisfied without touching the heap; the first access
+    {e splits} the heap object (Figure 4.5).  [cons] builds purely
+    endo-structural entries with no heap activity (Figure 4.7).
+
+    Table space is managed by reference counting with the thesis's two
+    optimisations (§4.3.2.1): freed entries go on a {e free stack} linked
+    through the address field, and the children of a freed entry are only
+    decremented when the entry is {e reused} (lazy child decrement) —
+    both freeing and allocation are O(1).  [eager_decrement] selects the
+    naive recursive policy instead, for the RecRefops comparison of
+    Table 5.2.
+
+    On {e pseudo overflow} (no free entry but compressible pairs exist)
+    the table is compressed by merging leaf children into their parent
+    (Figure 4.8), under the Compress-One or Compress-All policy (§5.2.3).
+    If nothing is compressible, a mark-sweep pass breaks reference-count
+    cycles (§4.3.2.3); if that too frees nothing, {!True_overflow} is
+    raised.
+
+    With [split_counts] (the Table 5.3 optimisation), stack-originated
+    references are counted in an EP-side table and the LPT keeps only a
+    [StackBit] per entry, slashing EP–LP reference-count traffic. *)
+
+type policy = Compress_one | Compress_all
+
+exception True_overflow
+
+type t
+
+(** The optional hooks let a concrete backing heap mirror table surgery
+    (see {!Lp}): [on_split] fires after a split has created both child
+    entries, [on_merge] just before a compression frees a parent's
+    children, and [on_free] as an entry is reclaimed (its fields still
+    intact under the lazy policy). *)
+val create :
+  ?on_split:(parent:int -> car:int -> cdr:int -> unit) ->
+  ?on_merge:(parent:int -> car:int -> cdr:int -> unit) ->
+  ?on_free:(int -> unit) ->
+  size:int ->
+  policy:policy ->
+  split_counts:bool ->
+  eager_decrement:bool ->
+  heap:Heap_model.t ->
+  seed:int ->
+  unit ->
+  t
+
+val size : t -> int
+
+(** Entries currently in use. *)
+val live : t -> int
+
+(** [read_in t ~size] performs a readlist: heap I/O plus a fresh entry
+    with reference count 1 (the EP's handle).  [size] is the object's
+    size in cells. *)
+val read_in : t -> size:int -> int
+
+(** [cons t ~car ~cdr] allocates an endo-structural entry whose children
+    are the given entries ([None] for atom halves, stored as atom-valued
+    fields so later accesses hit); no heap activity.  The entry starts
+    with no references — the caller binds it via {!stack_incr}. *)
+val cons : t -> car:int option -> cdr:int option -> int
+
+type access =
+  | Hit of int     (** satisfied from the table: the part's identifier *)
+  | Hit_atom      (** satisfied from the table: the part is an atom value *)
+  | Miss of int    (** split performed; the requested part's identifier *)
+
+(** [get_car t id] / [get_cdr t id]: a [Hit] is satisfied from the table;
+    a [Miss] splits the heap object, creating entries for both parts
+    (each with count 1, the internal reference), and returns the
+    requested part. *)
+val get_car : t -> int -> access
+
+val get_cdr : t -> int -> access
+
+(** [rplaca t id child] / [rplacd t id child] replace a part; splits first
+    if the field is not set (returns [false] on such a miss, [true] on a
+    hit).  [None] stores an atom (clears the field). *)
+val rplaca : t -> int -> int option -> bool
+
+val rplacd : t -> int -> int option -> bool
+
+(** EP-side reference management: a stack binding to [id] appears /
+    disappears.  Routed to the entry's count, or to the EP-side split
+    count table when [split_counts] is on. *)
+val stack_incr : t -> int -> unit
+
+val stack_decr : t -> int -> unit
+
+(** Non-counting introspection: the child identifier currently cached in
+    a field ([None] for unset or atom-valued fields), and whether the
+    field is set at all.  Used by the concrete List Processor; these do
+    not touch the hit/miss counters. *)
+val peek_car : t -> int -> int option
+
+val peek_cdr : t -> int -> int option
+val car_is_set : t -> int -> bool
+val cdr_is_set : t -> int -> bool
+
+(** Total references to [id] (internal + stack). *)
+val refcount : t -> int -> int
+
+val is_live : t -> int -> bool
+
+(** Simulated heap/cache address of the entry's object (§5.2.5). *)
+val address : t -> int -> int
+
+(** Object size in cells. *)
+val object_size : t -> int -> int
+
+type counters = {
+  refops : int;           (** LP-side reference-count operations *)
+  ep_refops : int;        (** EP-side (split-count mode) operations *)
+  gets : int;             (** entry allocations *)
+  frees : int;            (** counts reaching zero *)
+  hits : int;             (** car/cdr/rplac requests satisfied in-table *)
+  misses : int;           (** requests that required a split *)
+  pseudo_overflows : int;
+  compressions : int;     (** pairs of entries compressed *)
+  cycle_recoveries : int; (** mark-sweep passes that freed cycles *)
+  peak_live : int;
+  max_refcount : int;
+  max_stack_count : int;  (** split-count mode: max EP-side count *)
+}
+
+val counters : t -> counters

@@ -1,0 +1,65 @@
+(** Trace-driven simulator of the SMALL architecture (§5.2.1).
+
+    The simulator monitors the LPT and the EP's control-cum-binding stack
+    over the function calls and list primitives of a preprocessed trace.
+    List identity in the trace is only statistical, so arguments are
+    selected exactly as in the thesis: a chained argument is the previous
+    primitive's result (on top of the stack); otherwise an argument of the
+    current function (probability [arg_prob]), a local ([loc_prob]), or a
+    non-local (the remainder) is drawn from the simulated stack, and with
+    probability [read_prob] the selected variable is assumed to have been
+    freshly read in.  Results are bound to a random stack variable with
+    probability [bind_prob], else pushed.  Function calls push one bound
+    item per argument plus a random number of locals; returns pop the
+    frame with the matching reference-count decrements.
+
+    New list sizes are drawn from the trace's own n/p distribution, and a
+    fully associative LRU data cache can be run in parallel over
+    heap-model addresses for the §5.2.5 comparison. *)
+
+type cache_config = {
+  cache_lines : int;
+  cache_line_size : int;       (** in two-pointer cells *)
+}
+
+type config = {
+  table_size : int;
+  policy : Lpt.policy;
+  arg_prob : float;
+  loc_prob : float;
+  bind_prob : float;
+  read_prob : float;
+  seed : int;
+  split_counts : bool;
+  eager_decrement : bool;
+  cache : cache_config option;
+}
+
+(** The thesis's control settings: ArgProb 0.6, LocProb 0.3, BindProb and
+    ReadProb 0.01, Compress-One, 2048 entries, split counts off. *)
+val default_config : config
+
+type stats = {
+  events : int;              (** primitive events simulated *)
+  true_overflow : bool;      (** overflow mode was entered at least once *)
+  overflow_events : int;     (** primitive events served in (degraded)
+                                 overflow mode, with the LPT bypassed *)
+  peak_lpt : int;
+  avg_lpt : float;
+  lpt : Lpt.counters;
+  heap : Heap_model.counters;
+  cache_hits : int;
+  cache_misses : int;
+  cache_accesses : int;
+}
+
+val run : config -> Trace.Preprocess.t -> stats
+
+val lpt_hit_rate : stats -> float
+val cache_hit_rate : stats -> float
+
+(** [min_table_size config trace] searches for the knee of Figure 5.1:
+    the smallest table size (within the probe sequence) at which no
+    overflow of any kind occurs, by doubling then bisecting.  Returns the
+    size and the stats of the run at that size. *)
+val min_table_size : config -> Trace.Preprocess.t -> int * stats

@@ -1,0 +1,59 @@
+type result = {
+  hits : int;
+  misses : int;
+  hit_rate : float;
+}
+
+let predicted d =
+  let n, p = Sexp.Metrics.np d in
+  (n + p, (3 * n) + (3 * p) + 1)
+
+(* Drive the touch pattern of an ordered traversal through a real LPT.
+   First touch of an internal node performs the split (get_car, a miss)
+   and fetches the cdr child (get_cdr, a hit — accounted to the node's
+   second touch); the third touch re-reads the car field (a hit).  A leaf
+   touch is satisfied by the existing entry: one hit, no table mutation.
+   The op sequence is the same for all three orders (§5.3.1), only the
+   visit position differs. *)
+let simulate ?table_size ~order (d : Sexp.Datum.t) =
+  let n, p = Sexp.Metrics.np d in
+  let default_size = (4 * (n + p + 1)) + 16 in
+  let size = Option.value ~default:default_size table_size in
+  let heap = Heap_model.create ~seed:7 in
+  let lpt =
+    Lpt.create ~size ~policy:Lpt.Compress_one ~split_counts:false
+      ~eager_decrement:false ~heap ~seed:11 ()
+  in
+  ignore order;
+  let leaf_hits = ref 0 in
+  let root = Lpt.read_in lpt ~size:(n + p) in
+  Lpt.stack_incr lpt root;
+  let rec walk id (t : Sexp.Tree.t) =
+    match t with
+    | Leaf _ -> incr leaf_hits
+    | Node (a, b) ->
+      (* touch 1: split *)
+      let car =
+        match Lpt.get_car lpt id with
+        | Lpt.Hit c | Lpt.Miss c -> c
+        | Lpt.Hit_atom -> assert false (* traversal never stores atom fields *)
+      in
+      (* the cdr fetch is the node's touch 2 *)
+      let cdr =
+        match Lpt.get_cdr lpt id with
+        | Lpt.Hit c | Lpt.Miss c -> c
+        | Lpt.Hit_atom -> assert false
+      in
+      walk car a;
+      walk cdr b;
+      (* touch 3: on the way back up *)
+      ignore (Lpt.get_car lpt id)
+  in
+  walk root (Sexp.Tree.of_datum d);
+  let c = Lpt.counters lpt in
+  let hits = c.Lpt.hits + !leaf_hits in
+  let misses = c.Lpt.misses in
+  { hits; misses;
+    hit_rate =
+      (if hits + misses = 0 then 0.
+       else float_of_int hits /. float_of_int (hits + misses)) }

@@ -1,0 +1,27 @@
+(** Ordered-traversal analysis (§5.3.1).
+
+    Walking a list's binary tree in pre-, in- or post-order touches every
+    internal node exactly three times and every leaf once; each internal
+    node costs exactly one split (the first touch) and each later touch is
+    an LPT hit.  For a list with n atoms and p internal left parentheses
+    this gives n+p misses and 3n+3p+1 hits — a guaranteed hit rate
+    approaching 75%, independent of traversal order.
+
+    This module {e simulates} such traversals against a real {!Lpt} and
+    checks the analytic claim. *)
+
+type result = {
+  hits : int;
+  misses : int;
+  hit_rate : float;
+}
+
+(** [simulate ?table_size ~order d] drives a full ordered traversal of
+    list [d] through an LPT and reports the observed hit/miss counts.
+    The table must be large enough to hold the whole structure
+    ([table_size] defaults to comfortably above that); pseudo overflow
+    would merge leaves back and change the counts. *)
+val simulate : ?table_size:int -> order:Sexp.Tree.order -> Sexp.Datum.t -> result
+
+(** The analytic prediction [(misses, hits)] = (n+p, 3n+3p+1). *)
+val predicted : Sexp.Datum.t -> int * int

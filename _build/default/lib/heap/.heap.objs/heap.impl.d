@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Copying Linearize Marksweep Refcount Small_counts Store Subspace Symtab Word

@@ -1,0 +1,1 @@
+lib/heap/copying.ml: Array Printf Word

@@ -1,0 +1,1 @@
+lib/heap/linearize.ml: Hashtbl List Option Sexp Stdlib Store String Symtab Word

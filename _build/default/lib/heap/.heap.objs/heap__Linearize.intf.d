@@ -1,0 +1,1 @@
+lib/heap/linearize.mli: Sexp Store Symtab Word

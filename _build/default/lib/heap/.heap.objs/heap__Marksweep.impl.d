@@ -1,0 +1,1 @@
+lib/heap/marksweep.ml: Hashtbl List Stdlib Store Word

@@ -1,0 +1,1 @@
+lib/heap/marksweep.mli: Store Word

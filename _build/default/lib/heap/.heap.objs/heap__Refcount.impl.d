@@ -1,0 +1,1 @@
+lib/heap/refcount.ml: Array Store Word

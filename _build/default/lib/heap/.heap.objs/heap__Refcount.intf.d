@@ -1,0 +1,1 @@
+lib/heap/refcount.mli: Store Word

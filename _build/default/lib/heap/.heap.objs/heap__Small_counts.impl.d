@@ -1,0 +1,1 @@
+lib/heap/small_counts.ml: Array Bytes Marksweep Store Word

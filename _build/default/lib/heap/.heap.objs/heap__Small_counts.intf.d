@@ -1,0 +1,1 @@
+lib/heap/small_counts.mli: Store Word

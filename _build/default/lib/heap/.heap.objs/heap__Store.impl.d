@@ -1,0 +1,1 @@
+lib/heap/store.ml: Array Bytes List Printf Queue Word

@@ -1,0 +1,1 @@
+lib/heap/store.mli: Word

@@ -1,0 +1,1 @@
+lib/heap/subspace.ml: Array List Marksweep Store Word

@@ -1,0 +1,1 @@
+lib/heap/subspace.mli: Store Word

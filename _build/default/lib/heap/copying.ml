@@ -1,0 +1,206 @@
+exception Out_of_memory
+
+type root = int
+
+(* Tospace layout, after Baker: evacuated cells fill from the bottom and
+   are scanned Cheney-style; *new* cells are allocated from the top, so
+   they never enter the scavenge queue (their contents are forwarded at
+   write time).  The space is exhausted when the regions meet. *)
+type t = {
+  semispace : int;
+  increment : int;
+  cars : Word.t array;           (* both semispaces, 2 * semispace cells *)
+  cdrs : Word.t array;
+  forward : int array;           (* fromspace addr -> tospace addr, -1 none *)
+  mutable to_base : int;
+  mutable from_base : int;
+  mutable evac_ptr : int;        (* next bottom slot for evacuations *)
+  mutable scan_ptr : int;        (* Cheney scan pointer *)
+  mutable new_ptr : int;         (* next top slot for fresh allocations *)
+  mutable collecting : bool;
+  mutable roots : Word.t option array;
+  mutable allocations : int;
+  mutable flips : int;
+  mutable copied : int;
+  mutable scavenge_steps : int;
+  mutable max_pause : int;
+  mutable pause : int;           (* work done in the current public call *)
+}
+
+let create ~semispace ~increment =
+  if semispace <= 0 then invalid_arg "Copying.create: semispace must be positive";
+  if increment < 0 then invalid_arg "Copying.create: increment must be >= 0";
+  { semispace; increment;
+    cars = Array.make (2 * semispace) Word.Nil;
+    cdrs = Array.make (2 * semispace) Word.Nil;
+    forward = Array.make (2 * semispace) (-1);
+    to_base = 0; from_base = semispace; evac_ptr = 0; scan_ptr = 0;
+    new_ptr = semispace - 1;
+    collecting = false;
+    roots = Array.make 8 None;
+    allocations = 0; flips = 0; copied = 0; scavenge_steps = 0; max_pause = 0;
+    pause = 0 }
+
+let in_fromspace t a = a >= t.from_base && a < t.from_base + t.semispace
+
+(* Evacuate the cell at fromspace address [a] to the bottom region. *)
+let evacuate t a =
+  if t.forward.(a) >= 0 then t.forward.(a)
+  else begin
+    if t.evac_ptr > t.new_ptr then raise Out_of_memory;
+    let fresh = t.evac_ptr in
+    t.evac_ptr <- t.evac_ptr + 1;
+    t.cars.(fresh) <- t.cars.(a);
+    t.cdrs.(fresh) <- t.cdrs.(a);
+    t.forward.(a) <- fresh;
+    t.copied <- t.copied + 1;
+    t.pause <- t.pause + 1;
+    fresh
+  end
+
+(* The read/write barrier: pointers into fromspace are chased forward. *)
+let forward_word t (w : Word.t) =
+  match w with
+  | Ptr a when t.collecting && in_fromspace t a -> Word.Ptr (evacuate t a)
+  | Ptr _ | Nil | Sym _ | Int _ -> w
+
+let scavenge_one t =
+  if t.scan_ptr < t.evac_ptr then begin
+    let a = t.scan_ptr in
+    t.scan_ptr <- t.scan_ptr + 1;
+    t.cars.(a) <- forward_word t t.cars.(a);
+    t.cdrs.(a) <- forward_word t t.cdrs.(a);
+    t.scavenge_steps <- t.scavenge_steps + 1;
+    t.pause <- t.pause + 1
+  end;
+  if t.scan_ptr >= t.evac_ptr then t.collecting <- false
+
+let scavenge_all t =
+  while t.collecting do
+    scavenge_one t
+  done
+
+let flip t =
+  if t.collecting then scavenge_all t;
+  t.flips <- t.flips + 1;
+  (* swap semispaces; invalidate stale forwarding entries *)
+  let old_to = t.to_base in
+  t.to_base <- t.from_base;
+  t.from_base <- old_to;
+  Array.fill t.forward t.from_base t.semispace (-1);
+  t.evac_ptr <- t.to_base;
+  t.scan_ptr <- t.to_base;
+  t.new_ptr <- t.to_base + t.semispace - 1;
+  t.collecting <- true;
+  (* evacuate the root targets eagerly so roots always see tospace *)
+  Array.iteri
+    (fun i slot ->
+       match slot with
+       | Some w -> t.roots.(i) <- Some (forward_word t w)
+       | None -> ())
+    t.roots;
+  if t.increment = 0 then scavenge_all t
+
+let end_pause t =
+  if t.pause > t.max_pause then t.max_pause <- t.pause;
+  t.pause <- 0
+
+let room t = t.new_ptr >= t.evac_ptr
+
+let alloc t ~car ~cdr =
+  t.pause <- 0;
+  t.allocations <- t.allocations + 1;
+  if t.collecting then
+    for _ = 1 to t.increment do
+      scavenge_one t
+    done;
+  if not (room t) then begin
+    (* finish the collection in progress, then start a fresh one; only
+       scavenge to completion if the flip alone made no room *)
+    if t.collecting then scavenge_all t;
+    flip t;
+    if not (room t) then begin
+      scavenge_all t;
+      if not (room t) then raise Out_of_memory
+    end
+  end;
+  let a = t.new_ptr in
+  t.new_ptr <- t.new_ptr - 1;
+  (* allocation barrier: a fresh cell must not point into fromspace *)
+  t.cars.(a) <- forward_word t car;
+  t.cdrs.(a) <- forward_word t cdr;
+  end_pause t;
+  a
+
+let add_root t w =
+  let w = forward_word t w in
+  let rec find i =
+    if i >= Array.length t.roots then begin
+      let grown = Array.make (2 * Array.length t.roots) None in
+      Array.blit t.roots 0 grown 0 (Array.length t.roots);
+      t.roots <- grown;
+      find i
+    end
+    else if t.roots.(i) = None then begin
+      t.roots.(i) <- Some w;
+      i
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let root_value t r =
+  match t.roots.(r) with
+  | Some w -> w
+  | None -> invalid_arg "Copying.root_value: removed root"
+
+let set_root t r w =
+  if t.roots.(r) = None then invalid_arg "Copying.set_root: removed root";
+  t.roots.(r) <- Some (forward_word t w)
+
+let remove_root t r = t.roots.(r) <- None
+
+let deref name t a =
+  let in_evac = a >= t.to_base && a < t.evac_ptr in
+  let in_new = a > t.new_ptr && a < t.to_base + t.semispace in
+  if not (in_evac || in_new) then
+    invalid_arg (Printf.sprintf "Copying.%s: address %d not in tospace" name a)
+
+let car t a =
+  deref "car" t a;
+  let w = forward_word t t.cars.(a) in
+  t.cars.(a) <- w;
+  end_pause t;
+  w
+
+let cdr t a =
+  deref "cdr" t a;
+  let w = forward_word t t.cdrs.(a) in
+  t.cdrs.(a) <- w;
+  end_pause t;
+  w
+
+let set_car t a w =
+  deref "set_car" t a;
+  t.cars.(a) <- forward_word t w;
+  end_pause t
+
+let set_cdr t a w =
+  deref "set_cdr" t a;
+  t.cdrs.(a) <- forward_word t w;
+  end_pause t
+
+let allocated t =
+  (t.evac_ptr - t.to_base) + (t.to_base + t.semispace - 1 - t.new_ptr)
+
+type counters = {
+  allocations : int;
+  flips : int;
+  copied : int;
+  scavenge_steps : int;
+  max_pause : int;
+}
+
+let counters (t : t) =
+  { allocations = t.allocations; flips = t.flips; copied = t.copied;
+    scavenge_steps = t.scavenge_steps; max_pause = t.max_pause }

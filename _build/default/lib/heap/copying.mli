@@ -1,0 +1,60 @@
+(** Semispace copying garbage collection, after Baker (§2.3.4,
+    [Bake78a]) — the scheme the MIT Lisp Machine and Symbolics 3600
+    support in hardware, included here as the heap-maintenance
+    comparator to {!Marksweep} and {!Refcount}.
+
+    The heap is split into two semispaces.  Allocation bumps a pointer
+    in {e newspace}; when a flip occurs, live cells are copied from
+    {e oldspace} as they are discovered, leaving forwarding pointers
+    behind.  In incremental mode a bounded number of cells is scavenged
+    on every allocation, so collection cost is amortised over mutator
+    progress and there is no stop-the-world pause (Baker's real-time
+    property). *)
+
+type t
+
+(** [create ~semispace ~increment] builds a heap of two [semispace]-cell
+    spaces.  [increment] is the number of cells scavenged per allocation
+    in incremental mode (0 = stop-the-world flips only). *)
+val create : semispace:int -> increment:int -> t
+
+exception Out_of_memory
+
+(** [alloc t ~car ~cdr] allocates a cell in newspace, scavenging
+    incrementally first and flipping when newspace is exhausted.
+    Addresses are only stable until the next flip: hold {!root}s, not
+    raw addresses, across allocations. *)
+val alloc : t -> car:Word.t -> cdr:Word.t -> int
+
+(** Roots are updated in place when their targets are copied. *)
+type root
+
+val add_root : t -> Word.t -> root
+
+(** @raise Invalid_argument if the root was removed. *)
+val root_value : t -> root -> Word.t
+
+val set_root : t -> root -> Word.t -> unit
+val remove_root : t -> root -> unit
+
+val car : t -> int -> Word.t
+val cdr : t -> int -> Word.t
+val set_car : t -> int -> Word.t -> unit
+val set_cdr : t -> int -> Word.t -> unit
+
+(** [flip t] starts a collection: copies the roots' targets and (in
+    stop-the-world mode) scavenges to completion. *)
+val flip : t -> unit
+
+(** Live cells in newspace (exact right after a completed collection). *)
+val allocated : t -> int
+
+type counters = {
+  allocations : int;
+  flips : int;
+  copied : int;           (** cells evacuated across all flips *)
+  scavenge_steps : int;   (** incremental scavenging work performed *)
+  max_pause : int;        (** largest single-call scavenging burst *)
+}
+
+val counters : t -> counters

@@ -1,0 +1,14 @@
+(** Heap substrate: an explicit array-backed two-pointer cell store with
+    its own free list, mark-sweep and reference-counting collectors, a
+    linearising loader, and Clark-style pointer statistics.  OCaml's own GC
+    plays no part in address behaviour here — cells live in plain arrays. *)
+
+module Word = Word
+module Symtab = Symtab
+module Store = Store
+module Marksweep = Marksweep
+module Copying = Copying
+module Refcount = Refcount
+module Small_counts = Small_counts
+module Subspace = Subspace
+module Linearize = Linearize

@@ -1,0 +1,131 @@
+let atom_word symtab (d : Sexp.Datum.t) : Word.t =
+  match d with
+  | Nil -> Word.Nil
+  | Sym s -> Word.Sym (Symtab.intern symtab s)
+  | Str s -> Word.Sym (Symtab.intern symtab ("\"" ^ s ^ "\""))
+  | Int n -> Word.Int n
+  | Cons _ -> invalid_arg "atom_word: not an atom"
+
+(* Allocate the spine of each list at consecutive addresses, then patch
+   the car fields; sublists are laid out after their parent's spine. *)
+let store_linear symtab store d =
+  let rec go (d : Sexp.Datum.t) : Word.t =
+    match d with
+    | Nil | Sym _ | Int _ | Str _ -> atom_word symtab d
+    | Cons _ ->
+      let elements =
+        let rec spine acc = function
+          | Sexp.Datum.Cons (a, rest) -> spine (a :: acc) rest
+          | tail -> (List.rev acc, tail)
+        in
+        spine [] d
+      in
+      let items, tail = elements in
+      (* Reserve the spine first so its cdr pointers are consecutive. *)
+      let addrs = List.map (fun _ -> Store.alloc store ~car:Word.Nil ~cdr:Word.Nil) items in
+      let tail_word = go tail in
+      let rec patch addrs items =
+        match addrs, items with
+        | [], [] -> ()
+        | [ a ], [ item ] ->
+          Store.set_car store a (go item);
+          Store.set_cdr store a tail_word
+        | a :: (next :: _ as rest_a), item :: rest_i ->
+          Store.set_car store a (go item);
+          Store.set_cdr store a (Word.Ptr next);
+          patch rest_a rest_i
+        | _ -> assert false
+      in
+      patch addrs items;
+      (match addrs with
+       | first :: _ -> Word.Ptr first
+       | [] -> tail_word)
+  in
+  go d
+
+let store_naive symtab store d =
+  let rec go (d : Sexp.Datum.t) : Word.t =
+    match d with
+    | Nil | Sym _ | Int _ | Str _ -> atom_word symtab d
+    | Cons (a, x) ->
+      let cdr = go x in
+      let car = go a in
+      Word.Ptr (Store.alloc store ~car ~cdr)
+  in
+  go d
+
+let read symtab store w =
+  let rec go (w : Word.t) : Sexp.Datum.t =
+    match w with
+    | Nil -> Nil
+    | Int n -> Int n
+    | Sym s ->
+      let name = Symtab.name symtab s in
+      if String.length name >= 2 && name.[0] = '"' then
+        Str (String.sub name 1 (String.length name - 2))
+      else Sym name
+    | Ptr a -> Cons (go (Store.car store a), go (Store.cdr store a))
+  in
+  go w
+
+type pointer_stats = {
+  car_to_atom : int;
+  car_to_list : int;
+  car_to_nil : int;
+  cdr_to_atom : int;
+  cdr_to_list : int;
+  cdr_to_nil : int;
+  distances : (int * int) list;
+}
+
+let reachable_cells store root =
+  let seen = Hashtbl.create 64 in
+  let rec go (w : Word.t) =
+    match w with
+    | Ptr a when not (Hashtbl.mem seen a) ->
+      Hashtbl.replace seen a ();
+      go (Store.car store a);
+      go (Store.cdr store a)
+    | Ptr _ | Nil | Sym _ | Int _ -> ()
+  in
+  go root;
+  seen
+
+let pointer_stats store ~root =
+  let cells = reachable_cells store root in
+  let car_to_atom = ref 0 and car_to_list = ref 0 and car_to_nil = ref 0 in
+  let cdr_to_atom = ref 0 and cdr_to_list = ref 0 and cdr_to_nil = ref 0 in
+  let dist = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun a () ->
+       (match Store.car store a with
+        | Word.Nil -> incr car_to_nil
+        | Sym _ | Int _ -> incr car_to_atom
+        | Ptr _ -> incr car_to_list);
+       (match Store.cdr store a with
+        | Word.Nil -> incr cdr_to_nil
+        | Sym _ | Int _ -> incr cdr_to_atom
+        | Ptr b ->
+          incr cdr_to_list;
+          let d = b - a in
+          Hashtbl.replace dist d (1 + Option.value ~default:0 (Hashtbl.find_opt dist d))))
+    cells;
+  {
+    car_to_atom = !car_to_atom;
+    car_to_list = !car_to_list;
+    car_to_nil = !car_to_nil;
+    cdr_to_atom = !cdr_to_atom;
+    cdr_to_list = !cdr_to_list;
+    cdr_to_nil = !cdr_to_nil;
+    distances =
+      List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+        (Hashtbl.fold (fun d c acc -> (d, c) :: acc) dist []);
+  }
+
+let linearity store ~root =
+  let stats = pointer_stats store ~root in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 stats.distances in
+  if total = 0 then 1.0
+  else
+    let at_one = Option.value ~default:0 (List.assoc_opt 1 stats.distances) in
+    float_of_int at_one /. float_of_int total

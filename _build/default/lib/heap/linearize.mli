@@ -1,0 +1,45 @@
+(** Loading s-expressions into the cell heap, and Clark-style pointer
+    statistics (§3.2.1).
+
+    Clark's static studies measured where car/cdr pointers point (atoms,
+    lists, nil) and how far away they point; {e linearisation} relocates
+    cells so cdr pointers typically point at the next address.  The two
+    allocators here bracket that behaviour: [store_linear] allocates each
+    list's spine at consecutive ascending addresses (a well-linearised
+    heap), while [store_naive] allocates in the order cells are created by
+    a recursive cons-up (the order a naive reader would), which still turns
+    out fairly linear — Clark's observation that linearity is inherent in
+    how lists get built. *)
+
+(** [store_linear symtab store d] writes [d] into [store], cdr-linearised,
+    returning the root word. *)
+val store_linear : Symtab.t -> Store.t -> Sexp.Datum.t -> Word.t
+
+(** [store_naive symtab store d] writes [d] bottom-up (cdr before car,
+    tail before head), as a recursive cons-up would. *)
+val store_naive : Symtab.t -> Store.t -> Sexp.Datum.t -> Word.t
+
+(** [read symtab store w] reconstructs the s-expression rooted at [w].
+    Diverges on cyclic structure. *)
+val read : Symtab.t -> Store.t -> Word.t -> Sexp.Datum.t
+
+type pointer_stats = {
+  car_to_atom : int;
+  car_to_list : int;
+  car_to_nil : int;
+  cdr_to_atom : int;
+  cdr_to_list : int;
+  cdr_to_nil : int;
+  distances : (int * int) list;
+      (** histogram of [cdr] pointer distances (target - source), distance
+          -> occurrence count, ascending *)
+}
+
+(** [pointer_stats store ~root] gathers Clark's static pointer statistics
+    over the structure reachable from [root]. *)
+val pointer_stats : Store.t -> root:Word.t -> pointer_stats
+
+(** Fraction of cdr pointers (over reachable cells, excluding nil/atom
+    cdrs) whose target is exactly the next address — Clark's linearisation
+    measure. *)
+val linearity : Store.t -> root:Word.t -> float

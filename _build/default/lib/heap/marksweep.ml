@@ -1,0 +1,38 @@
+type stats = { marked : int; swept : int }
+
+(* Depth-first mark using an explicit work list; the heap can be deeper
+   than the OCaml stack. *)
+let mark store ~roots =
+  let marks = Hashtbl.create 256 in
+  let work = ref [] in
+  let push (w : Word.t) =
+    match w with
+    | Ptr a when Store.is_allocated store a && not (Hashtbl.mem marks a) ->
+      Hashtbl.replace marks a ();
+      work := a :: !work
+    | Ptr _ | Nil | Sym _ | Int _ -> ()
+  in
+  List.iter push roots;
+  let rec loop () =
+    match !work with
+    | [] -> ()
+    | a :: rest ->
+      work := rest;
+      push (Store.car store a);
+      push (Store.cdr store a);
+      loop ()
+  in
+  loop ();
+  marks
+
+let collect store ~roots =
+  let marks = mark store ~roots in
+  let garbage = ref [] in
+  Store.iter_live (fun a -> if not (Hashtbl.mem marks a) then garbage := a :: !garbage) store;
+  List.iter (Store.release store) !garbage;
+  { marked = Hashtbl.length marks; swept = List.length !garbage }
+
+let reachable store ~roots =
+  let marks = mark store ~roots in
+  let addrs = Hashtbl.fold (fun a () acc -> a :: acc) marks [] in
+  List.sort Stdlib.compare addrs

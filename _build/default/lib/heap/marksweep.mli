@@ -1,0 +1,21 @@
+(** Mark-and-sweep garbage detection over a {!Store} heap (§2.3.4).
+
+    Marking starts from a root set of words, follows car/cdr pointers, and
+    the sweep releases every unmarked live cell back to the store's free
+    list.  This is the classical collector of [Scho67a] that the thesis
+    contrasts with reference counting; SMALL itself uses it only as the
+    cycle-breaking fallback at true-overflow time (§4.3.2.3). *)
+
+type stats = {
+  marked : int;       (** live cells reached from the roots *)
+  swept : int;        (** garbage cells reclaimed *)
+}
+
+(** [collect store ~roots] runs a full mark-sweep cycle.  Any [Ptr] in
+    [roots] (and everything reachable from it) survives; every other live
+    cell is released. *)
+val collect : Store.t -> roots:Word.t list -> stats
+
+(** [reachable store ~roots] is the set of cell addresses reachable from
+    the roots, as a sorted list, without modifying the heap. *)
+val reachable : Store.t -> roots:Word.t list -> int list

@@ -1,0 +1,86 @@
+type policy = Eager | Lazy
+
+type t = {
+  store : Store.t;
+  counts : int array;
+  policy : policy;
+  mutable free_stack : int list;  (* lazy policy: zero-count cells awaiting reuse *)
+  mutable refops : int;
+  mutable reclaimed : int;
+}
+
+let create store ~policy =
+  { store; counts = Array.make (Store.capacity store) 0; policy;
+    free_stack = []; refops = 0; reclaimed = 0 }
+
+let store t = t.store
+
+let count t a = t.counts.(a)
+
+let incr t a =
+  t.refops <- t.refops + 1;
+  t.counts.(a) <- t.counts.(a) + 1
+
+let rec decr t a =
+  t.refops <- t.refops + 1;
+  t.counts.(a) <- t.counts.(a) - 1;
+  if t.counts.(a) = 0 then begin
+    t.reclaimed <- t.reclaimed + 1;
+    match t.policy with
+    | Eager ->
+      (* Recursive reclamation: unbounded work (the thesis's complaint). *)
+      let car = Store.car t.store a and cdr = Store.cdr t.store a in
+      Store.release t.store a;
+      decr_word t car;
+      decr_word t cdr
+    | Lazy ->
+      (* O(1): defer child decrements until the cell is reused. *)
+      t.free_stack <- a :: t.free_stack
+  end
+
+and decr_word t (w : Word.t) =
+  match w with
+  | Ptr a -> decr t a
+  | Nil | Sym _ | Int _ -> ()
+
+let incr_word t (w : Word.t) =
+  match w with
+  | Ptr a -> incr t a
+  | Nil | Sym _ | Int _ -> ()
+
+let alloc t ~car ~cdr =
+  let a =
+    match t.policy, t.free_stack with
+    | Lazy, a :: rest ->
+      t.free_stack <- rest;
+      (* Deferred child decrements happen now, on reuse (§4.3.2.1). *)
+      let old_car = Store.car t.store a and old_cdr = Store.cdr t.store a in
+      Store.set_car t.store a Word.Nil;
+      Store.set_cdr t.store a Word.Nil;
+      decr_word t old_car;
+      decr_word t old_cdr;
+      a
+    | (Lazy | Eager), _ -> Store.alloc t.store ~car:Word.Nil ~cdr:Word.Nil
+  in
+  Store.set_car t.store a car;
+  Store.set_cdr t.store a cdr;
+  t.counts.(a) <- 0;
+  incr t a;
+  incr_word t car;
+  incr_word t cdr;
+  a
+
+let set_car t a w =
+  let old = Store.car t.store a in
+  Store.set_car t.store a w;
+  incr_word t w;
+  decr_word t old
+
+let set_cdr t a w =
+  let old = Store.cdr t.store a in
+  Store.set_cdr t.store a w;
+  incr_word t w;
+  decr_word t old
+
+let refops t = t.refops
+let reclaimed t = t.reclaimed

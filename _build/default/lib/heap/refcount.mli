@@ -1,0 +1,53 @@
+(** Reference-counting garbage detection over a {!Store} heap (§2.3.4,
+    [Coll60a]).
+
+    A count of extant pointers is kept per cell; a cell whose count reaches
+    zero is garbage.  Two reclamation policies are provided, mirroring the
+    LPT discussion of §4.3.2.1 / Table 5.2:
+
+    - {e eager} (the naive "RecRefops" policy): when a count hits zero the
+      cell is released immediately and its children's counts are
+      decremented recursively — reclamation cost is unbounded;
+    - {e lazy}: a zero-count cell is pushed on a free stack and its
+      children are only decremented when the cell is reused — reclamation
+      is O(1) per operation.
+
+    The manager tracks [refops] (count updates performed) so the two
+    policies can be compared quantitatively. *)
+
+type policy = Eager | Lazy
+
+type t
+
+(** [create store ~policy] wraps [store]; cells must be allocated through
+    {!alloc} below so counts stay consistent. *)
+val create : Store.t -> policy:policy -> t
+
+val store : t -> Store.t
+
+(** [alloc t ~car ~cdr] allocates a cell with reference count 1, increasing
+    the counts of pointer children.  Under the lazy policy this may first
+    perform the deferred child decrements of a reused cell.
+    @raise Store.Out_of_memory when the heap is full. *)
+val alloc : t -> car:Word.t -> cdr:Word.t -> int
+
+(** [incr t a] / [decr t a] adjust the count of cell [a].  [decr] reclaims
+    on zero according to the policy. *)
+val incr : t -> int -> unit
+
+val decr : t -> int -> unit
+
+val count : t -> int -> int
+
+(** [set_car t a w] / [set_cdr t a w] perform an rplaca/rplacd with correct
+    count maintenance: the old pointer child is decremented, the new one
+    incremented. *)
+val set_car : t -> int -> Word.t -> unit
+
+val set_cdr : t -> int -> Word.t -> unit
+
+(** Number of reference-count update operations performed so far. *)
+val refops : t -> int
+
+(** Number of cells reclaimed so far. *)
+val reclaimed : t -> int

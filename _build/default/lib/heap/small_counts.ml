@@ -1,0 +1,87 @@
+type t = {
+  store : Store.t;
+  counts : int array;
+  flags : Bytes.t;
+  ceiling : int;
+  mutable reclaimed_by_count : int;
+  mutable reclaimed_by_sweep : int;
+  mutable saturations : int;
+}
+
+let create store ~width =
+  if width < 1 || width > 16 then invalid_arg "Small_counts.create: width in 1..16";
+  { store;
+    counts = Array.make (Store.capacity store) 0;
+    flags = Bytes.make (Store.capacity store) '\000';
+    ceiling = (1 lsl width) - 1;
+    reclaimed_by_count = 0; reclaimed_by_sweep = 0; saturations = 0 }
+
+let count t a = t.counts.(a)
+let is_saturated t a = t.counts.(a) >= t.ceiling
+let stack_flag t a = Bytes.get t.flags a = '\001'
+
+let set_stack_flag t a v = Bytes.set t.flags a (if v then '\001' else '\000')
+
+let incr t a =
+  if is_saturated t a then t.saturations <- t.saturations + 1
+  else t.counts.(a) <- t.counts.(a) + 1
+
+let rec decr t a =
+  if not (Store.is_allocated t.store a) then ()
+  else if is_saturated t a then ()  (* stuck: the backup collector's problem *)
+  else begin
+    t.counts.(a) <- max 0 (t.counts.(a) - 1);
+    if t.counts.(a) = 0 && not (stack_flag t a) then begin
+      t.reclaimed_by_count <- t.reclaimed_by_count + 1;
+      let car = Store.car t.store a and cdr = Store.cdr t.store a in
+      Store.release t.store a;
+      decr_word t car;
+      decr_word t cdr
+    end
+  end
+
+and decr_word t (w : Word.t) =
+  match w with
+  | Ptr a -> decr t a
+  | Nil | Sym _ | Int _ -> ()
+
+let incr_word t (w : Word.t) =
+  match w with
+  | Ptr a -> incr t a
+  | Nil | Sym _ | Int _ -> ()
+
+let alloc t ~car ~cdr =
+  let a = Store.alloc t.store ~car ~cdr in
+  t.counts.(a) <- 1;
+  Bytes.set t.flags a '\000';
+  incr_word t car;
+  incr_word t cdr;
+  a
+
+let backup_sweep t ~roots =
+  let before = Store.live t.store in
+  (* flagged cells are roots too: the stack still points at them *)
+  let flag_roots = ref [] in
+  Store.iter_live
+    (fun a -> if stack_flag t a then flag_roots := Word.Ptr a :: !flag_roots)
+    t.store;
+  let stats = Marksweep.collect t.store ~roots:(roots @ !flag_roots) in
+  ignore stats;
+  let freed = before - Store.live t.store in
+  t.reclaimed_by_sweep <- t.reclaimed_by_sweep + freed;
+  freed
+
+type counters = {
+  reclaimed_by_count : int;
+  reclaimed_by_sweep : int;
+  saturations : int;
+}
+
+let counters (t : t) =
+  { reclaimed_by_count = t.reclaimed_by_count;
+    reclaimed_by_sweep = t.reclaimed_by_sweep;
+    saturations = t.saturations }
+
+let count_recovery_rate (t : t) =
+  let total = t.reclaimed_by_count + t.reclaimed_by_sweep in
+  if total = 0 then 1.0 else float_of_int t.reclaimed_by_count /. float_of_int total

@@ -1,0 +1,54 @@
+(** Small (truncated) reference counts, after the M3L project (§2.3.4,
+    [Sans82a]).
+
+    M3L keeps only a 3-bit reference count per cell — counts saturate at
+    7 and a saturated cell can never be reclaimed by counting — plus a
+    separate 1-bit flag for references from the stack and registers
+    (which would otherwise inflate every count on each call).  The
+    project reported that such tiny counts still reclaim about 98% of
+    inaccessible cells, a backup collector handling the rest.
+
+    This manager implements exactly that: [width]-bit saturating counts
+    over a {!Store}, a per-cell stack flag, and counters measuring the
+    fraction of garbage the truncated counts recover — the claim the
+    ablation bench checks. *)
+
+type t
+
+(** [create store ~width] uses [width]-bit counts (1..16). *)
+val create : Store.t -> width:int -> t
+
+(** [alloc t ~car ~cdr] allocates with count 1, counting pointer children.
+    @raise Store.Out_of_memory when the heap is full. *)
+val alloc : t -> car:Word.t -> cdr:Word.t -> int
+
+val incr : t -> int -> unit
+
+(** [decr t a] — a saturated count stays saturated (the cell leaks until
+    the backup collector runs); otherwise zero reclaims recursively. *)
+val decr : t -> int -> unit
+
+val count : t -> int -> int
+val is_saturated : t -> int -> bool
+
+(** The M3L stack flag: set while any stack/register reference exists.
+    A flagged cell is not reclaimed even at count zero. *)
+val set_stack_flag : t -> int -> bool -> unit
+
+val stack_flag : t -> int -> bool
+
+(** [backup_sweep t ~roots] runs the backup mark-sweep, reclaiming
+    leaked cells (saturated or cyclic); returns cells freed. *)
+val backup_sweep : t -> roots:Word.t list -> int
+
+type counters = {
+  reclaimed_by_count : int;   (** cells freed when a count reached zero *)
+  reclaimed_by_sweep : int;   (** cells only the backup collector caught *)
+  saturations : int;          (** increments that hit the ceiling *)
+}
+
+val counters : t -> counters
+
+(** Fraction of all reclaimed cells that counting alone recovered (the
+    ~98% of [Sans82a]). *)
+val count_recovery_rate : t -> float

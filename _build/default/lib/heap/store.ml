@@ -1,0 +1,110 @@
+exception Out_of_memory
+
+type discipline = Lifo | Fifo
+
+type t = {
+  cars : Word.t array;
+  cdrs : Word.t array;
+  allocated : Bytes.t;               (* one byte per cell: 0 free, 1 live *)
+  mutable free_cells : int Queue.t;  (* used in Fifo mode *)
+  mutable free_stack : int list;     (* used in Lifo mode *)
+  mutable discipline : discipline;
+  mutable live : int;
+  mutable allocations : int;
+  mutable releases : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
+  let t =
+    {
+      cars = Array.make capacity Word.Nil;
+      cdrs = Array.make capacity Word.Nil;
+      allocated = Bytes.make capacity '\000';
+      free_cells = Queue.create ();
+      free_stack = [];
+      discipline = Lifo;
+      live = 0;
+      allocations = 0;
+      releases = 0;
+      capacity;
+    }
+  in
+  (* Seed the free stack with all addresses, low addresses first out. *)
+  for a = capacity - 1 downto 0 do
+    t.free_stack <- a :: t.free_stack
+  done;
+  t
+
+let capacity t = t.capacity
+let live t = t.live
+let free t = t.capacity - t.live
+
+let set_discipline t d =
+  if d <> t.discipline then begin
+    (* Move the free pool to the other container, preserving order. *)
+    (match d with
+     | Fifo ->
+       List.iter (fun a -> Queue.add a t.free_cells) t.free_stack;
+       t.free_stack <- []
+     | Lifo ->
+       let rec drain acc =
+         match Queue.take_opt t.free_cells with
+         | None -> List.rev acc
+         | Some a -> drain (a :: acc)
+       in
+       t.free_stack <- drain []);
+    t.discipline <- d
+  end
+
+let check t a =
+  if a < 0 || a >= t.capacity then invalid_arg "Store: address out of range";
+  if Bytes.get t.allocated a = '\000' then
+    invalid_arg (Printf.sprintf "Store: access to free cell %d" a)
+
+let alloc t ~car ~cdr =
+  let a =
+    match t.discipline with
+    | Lifo ->
+      (match t.free_stack with
+       | [] -> raise Out_of_memory
+       | a :: rest -> t.free_stack <- rest; a)
+    | Fifo ->
+      (match Queue.take_opt t.free_cells with
+       | None -> raise Out_of_memory
+       | Some a -> a)
+  in
+  Bytes.set t.allocated a '\001';
+  t.cars.(a) <- car;
+  t.cdrs.(a) <- cdr;
+  t.live <- t.live + 1;
+  t.allocations <- t.allocations + 1;
+  a
+
+let release t a =
+  check t a;
+  Bytes.set t.allocated a '\000';
+  t.cars.(a) <- Word.Nil;
+  t.cdrs.(a) <- Word.Nil;
+  (match t.discipline with
+   | Lifo -> t.free_stack <- a :: t.free_stack
+   | Fifo -> Queue.add a t.free_cells);
+  t.live <- t.live - 1;
+  t.releases <- t.releases + 1
+
+let car t a = check t a; t.cars.(a)
+let cdr t a = check t a; t.cdrs.(a)
+let set_car t a w = check t a; t.cars.(a) <- w
+let set_cdr t a w = check t a; t.cdrs.(a) <- w
+
+let is_allocated t a =
+  a >= 0 && a < t.capacity && Bytes.get t.allocated a = '\001'
+
+let allocations t = t.allocations
+let releases t = t.releases
+
+let iter_live f t =
+  for a = 0 to t.capacity - 1 do
+    if Bytes.get t.allocated a = '\001' then f a
+  done

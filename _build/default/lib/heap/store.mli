@@ -1,0 +1,57 @@
+(** Array-backed two-pointer cell heap.
+
+    OCaml's managed runtime would hide the address behaviour of a custom
+    Lisp heap, so the heap is an explicit pair of word arrays indexed by
+    cell address, with its own free list.  This is the "heap memory" of
+    Figure 4.1: the raw cell store on top of which the garbage collectors
+    ({!Marksweep}, {!Refcount}), the linearising allocator ({!Linearize})
+    and the SMALL heap-controller model operate. *)
+
+type t
+
+(** [create ~capacity] makes an empty heap of [capacity] cells. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Number of cells currently allocated (not on the free list). *)
+val live : t -> int
+
+(** Number of cells still allocatable. *)
+val free : t -> int
+
+exception Out_of_memory
+(** Raised by {!alloc} when the free list is empty. *)
+
+(** [alloc t ~car ~cdr] takes a cell off the free list, initialises it and
+    returns its address.  @raise Out_of_memory when full. *)
+val alloc : t -> car:Word.t -> cdr:Word.t -> int
+
+(** [release t a] returns cell [a] to the free list.  The caller is
+    responsible for [a] being genuinely unreferenced.  Freeing an already
+    free cell is a checked error. *)
+val release : t -> int -> unit
+
+val car : t -> int -> Word.t
+val cdr : t -> int -> Word.t
+val set_car : t -> int -> Word.t -> unit
+val set_cdr : t -> int -> Word.t -> unit
+
+(** [is_allocated t a] tests whether address [a] currently holds a live
+    cell. *)
+val is_allocated : t -> int -> bool
+
+(** Allocation discipline for the free list: the paper's LPT argues for a
+    LIFO stack (most recently freed cell reused first, §4.3.2.1); FIFO is
+    provided for the ablation bench. *)
+type discipline = Lifo | Fifo
+
+val set_discipline : t -> discipline -> unit
+
+(** Lifetime counters. *)
+val allocations : t -> int
+
+val releases : t -> int
+
+(** [iter_live f t] applies [f addr] to every allocated cell. *)
+val iter_live : (int -> unit) -> t -> unit

@@ -1,0 +1,56 @@
+(** FACOM Alpha-style sub-space reference counting (§2.3.4, [Haya83a]).
+
+    The heap is organised as fixed-size {e sub-spaces}.  One reference
+    count is kept per sub-space, counting only the pointers that
+    originate in {e other} sub-spaces; intra-sub-space pointers are
+    uncounted, so a circular list wholly contained in one sub-space does
+    not keep it alive.  Stack pointers are also uncounted — they serve
+    instead as the roots of a marking pass.
+
+    Two reclamation paths follow, as on the Alpha:
+    - {!reclaim_subspaces}: any sub-space with external count zero and no
+      stack root inside is recycled wholesale — O(1) detection per
+      sub-space, and it reclaims intra-sub-space cycles;
+    - {!collect}: the exact cell-level marking pass from the stack
+      pointers, run when a sub-space's free cells fall low. *)
+
+type t
+
+(** [create store ~subspace_size] partitions [store]'s address space into
+    sub-spaces of [subspace_size] cells.
+    @raise Invalid_argument unless the size divides the capacity. *)
+val create : Store.t -> subspace_size:int -> t
+
+(** [alloc t ~car ~cdr] allocates (anywhere the store's free list
+    chooses), maintaining cross-sub-space counts for pointer children. *)
+val alloc : t -> car:Word.t -> cdr:Word.t -> int
+
+(** rplaca/rplacd with count maintenance. *)
+val set_car : t -> int -> Word.t -> unit
+
+val set_cdr : t -> int -> Word.t -> unit
+
+(** The external reference count of sub-space [i]. *)
+val subspace_count : t -> int -> int
+
+val subspace_of : t -> int -> int
+val subspaces : t -> int
+
+(** [reclaim_subspaces t ~stack_roots] frees every live cell of every
+    sub-space whose external count is zero and which contains no cell in
+    [stack_roots]; outgoing cross-space references are released.  Repeats
+    to a fixpoint (freeing one space can empty another).  Returns cells
+    freed. *)
+val reclaim_subspaces : t -> stack_roots:Word.t list -> int
+
+(** [collect t ~stack_roots] — the exact marking pass; returns cells
+    freed.  Counts are rebuilt from the surviving cells. *)
+val collect : t -> stack_roots:Word.t list -> int
+
+type counters = {
+  fast_reclaims : int;    (** cells freed by whole-sub-space reclamation *)
+  mark_reclaims : int;    (** cells freed by marking *)
+  count_updates : int;    (** cross-sub-space count operations *)
+}
+
+val counters : t -> counters

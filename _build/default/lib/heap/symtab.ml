@@ -1,0 +1,27 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    if id >= Array.length t.by_id then begin
+      let grown = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 grown 0 (Array.length t.by_id);
+      t.by_id <- grown
+    end;
+    t.by_id.(id) <- name;
+    Hashtbl.add t.by_name name id;
+    id
+
+let name t id =
+  if id < 0 || id >= t.next then raise Not_found else t.by_id.(id)
+
+let count t = t.next

@@ -1,0 +1,17 @@
+(** Symbol table: interning of symbol names to small integer ids, as on a
+    Lisp machine oblist.  Ids are dense and stable for the lifetime of the
+    table. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t name] returns the id of [name], allocating one on first use. *)
+val intern : t -> string -> int
+
+(** [name t id] is the name interned as [id].
+    @raise Not_found if [id] was never allocated. *)
+val name : t -> int -> string
+
+(** Number of interned symbols. *)
+val count : t -> int

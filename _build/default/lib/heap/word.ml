@@ -1,0 +1,17 @@
+type t =
+  | Nil
+  | Sym of int
+  | Int of int
+  | Ptr of int
+
+let equal (a : t) (b : t) = a = b
+
+let is_pointer = function
+  | Ptr _ -> true
+  | Nil | Sym _ | Int _ -> false
+
+let pp ppf = function
+  | Nil -> Format.pp_print_string ppf "nil"
+  | Sym s -> Format.fprintf ppf "s%d" s
+  | Int n -> Format.fprintf ppf "%d" n
+  | Ptr a -> Format.fprintf ppf "@@%d" a

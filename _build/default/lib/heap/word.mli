@@ -1,0 +1,16 @@
+(** Tagged memory words, the unit stored in each half of a list cell.
+
+    Lisp machines are tagged architectures (§2.3.4): every word carries a
+    type tag distinguishing pointers from atoms so that type checking and
+    garbage collection can inspect memory safely.  Symbols are interned
+    integers (see {!Symtab}). *)
+
+type t =
+  | Nil
+  | Sym of int          (** interned symbol id *)
+  | Int of int
+  | Ptr of int          (** heap address of a list cell *)
+
+val equal : t -> t -> bool
+val is_pointer : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lisp/lisp.ml: Env Interp Prelude Tracer Value

@@ -1,0 +1,1 @@
+lib/lisp/env.ml: Fun Hashtbl List Option String Value

@@ -1,0 +1,1 @@
+lib/lisp/env.mli: Value

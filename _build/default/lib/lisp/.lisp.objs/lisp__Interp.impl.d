@@ -1,0 +1,1 @@
+lib/lisp/interp.ml: Array Env Format Fun Hashtbl List Printf Queue Sexp Value

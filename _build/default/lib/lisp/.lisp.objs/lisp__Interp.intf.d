@@ -1,0 +1,1 @@
+lib/lisp/interp.mli: Env Sexp Value

@@ -1,0 +1,1 @@
+lib/lisp/prelude.ml: Interp

@@ -1,0 +1,1 @@
+lib/lisp/prelude.mli: Interp

@@ -1,0 +1,1 @@
+lib/lisp/tracer.ml: Interp List Prelude Trace Value

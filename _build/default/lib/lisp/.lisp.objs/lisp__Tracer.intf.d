@@ -1,0 +1,1 @@
+lib/lisp/tracer.mli: Env Interp Sexp Trace

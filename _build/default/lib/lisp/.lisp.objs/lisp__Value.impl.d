@@ -1,0 +1,1 @@
+lib/lisp/value.ml: List Printf Sexp String

@@ -1,0 +1,1 @@
+lib/lisp/value.mli: Format Sexp

@@ -1,0 +1,256 @@
+type strategy = Deep | Shallow | Value_cache
+
+exception Unbound of string
+
+type binding = { name : string; cell : Value.t ref }
+
+type cache_entry = { mutable value : Value.t; mutable frame : int; mutable valid : bool }
+
+type t = {
+  strategy : strategy;
+  (* deep / value-cache state *)
+  mutable alist : binding list;
+  mutable frames : int list;              (* bindings added per open frame *)
+  (* shallow state *)
+  oblist : (string, Value.t ref) Hashtbl.t;
+  mutable save_stack : (string * Value.t option) list list;
+  (* value cache *)
+  cache : (string, cache_entry) Hashtbl.t;
+  mutable cached_names : string list list; (* per frame, names to invalidate *)
+  (* counters *)
+  mutable lookups : int;
+  mutable probes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable binds : int;
+  mutable unbinds : int;
+}
+
+let create strategy =
+  { strategy; alist = []; frames = []; oblist = Hashtbl.create 64; save_stack = [];
+    cache = Hashtbl.create 64; cached_names = []; lookups = 0; probes = 0;
+    cache_hits = 0; cache_misses = 0; binds = 0; unbinds = 0 }
+
+let strategy t = t.strategy
+
+let depth t =
+  match t.strategy with
+  | Shallow -> List.length t.save_stack
+  | Deep | Value_cache -> List.length t.frames
+
+let invalidate_cache t name =
+  match Hashtbl.find_opt t.cache name with
+  | Some e -> e.valid <- false
+  | None -> ()
+
+let enter_frame t =
+  match t.strategy with
+  | Shallow -> t.save_stack <- [] :: t.save_stack
+  | Deep -> t.frames <- 0 :: t.frames
+  | Value_cache ->
+    t.frames <- 0 :: t.frames;
+    t.cached_names <- [] :: t.cached_names
+
+let bind t name v =
+  t.binds <- t.binds + 1;
+  let deep_bind () =
+    t.alist <- { name; cell = ref v } :: t.alist;
+    match t.frames with
+    | n :: rest -> t.frames <- (n + 1) :: rest
+    | [] -> ()  (* top level: binding is permanent *)
+  in
+  match t.strategy with
+  | Deep -> deep_bind ()
+  | Value_cache ->
+    deep_bind ();
+    (* A fresh binding shadows whatever the cache holds for this name. *)
+    invalidate_cache t name
+  | Shallow ->
+    let old = Option.map (fun cell -> !cell) (Hashtbl.find_opt t.oblist name) in
+    (match t.save_stack with
+     | frame :: rest -> t.save_stack <- ((name, old) :: frame) :: rest
+     | [] ->
+       (* binding at top level: nothing to restore, still track in a
+          permanent pseudo-frame *)
+       ());
+    (match Hashtbl.find_opt t.oblist name with
+     | Some cell -> cell := v
+     | None -> Hashtbl.replace t.oblist name (ref v))
+
+let exit_frame t =
+  let drop n =
+    let rec go n l = if n = 0 then l else match l with
+      | [] -> []
+      | _ :: tl -> go (n - 1) tl
+    in
+    t.unbinds <- t.unbinds + n;
+    t.alist <- go n t.alist
+  in
+  match t.strategy with
+  | Deep ->
+    (match t.frames with
+     | n :: rest ->
+       drop n;
+       t.frames <- rest
+     | [] -> invalid_arg "Env.exit_frame: no frame")
+  | Value_cache ->
+    (match t.frames, t.cached_names with
+     | n :: rest, cached :: crest ->
+       drop n;
+       (* Entries cached during this frame may name bindings that are about
+          to disappear: invalidate them (Fig 2.5's frame-number check). *)
+       List.iter (invalidate_cache t) cached;
+       t.frames <- rest;
+       t.cached_names <- crest
+     | _ -> invalid_arg "Env.exit_frame: no frame")
+  | Shallow ->
+    (match t.save_stack with
+     | frame :: rest ->
+       t.unbinds <- t.unbinds + List.length frame;
+       List.iter
+         (fun (name, old) ->
+            match old with
+            | Some v ->
+              (match Hashtbl.find_opt t.oblist name with
+               | Some cell -> cell := v
+               | None -> Hashtbl.replace t.oblist name (ref v))
+            | None -> Hashtbl.remove t.oblist name)
+         frame;
+       t.save_stack <- rest
+     | [] -> invalid_arg "Env.exit_frame: no frame")
+
+let deep_find t name =
+  let rec go probes = function
+    | [] ->
+      t.probes <- t.probes + probes;
+      None
+    | b :: rest ->
+      if String.equal b.name name then begin
+        t.probes <- t.probes + probes + 1;
+        Some b.cell
+      end
+      else go (probes + 1) rest
+  in
+  go 0 t.alist
+
+let lookup_opt t name =
+  t.lookups <- t.lookups + 1;
+  match t.strategy with
+  | Deep -> Option.map (fun cell -> !cell) (deep_find t name)
+  | Shallow ->
+    t.probes <- t.probes + 1;
+    Option.map (fun cell -> !cell) (Hashtbl.find_opt t.oblist name)
+  | Value_cache ->
+    (match Hashtbl.find_opt t.cache name with
+     | Some e when e.valid ->
+       t.cache_hits <- t.cache_hits + 1;
+       t.probes <- t.probes + 1;
+       Some e.value
+     | _ ->
+       t.cache_misses <- t.cache_misses + 1;
+       (match deep_find t name with
+        | None -> None
+        | Some cell ->
+          let v = !cell in
+          let frame = depth t in
+          (match Hashtbl.find_opt t.cache name with
+           | Some e ->
+             e.value <- v;
+             e.frame <- frame;
+             e.valid <- true
+           | None -> Hashtbl.replace t.cache name { value = v; frame; valid = true });
+          (match t.cached_names with
+           | top :: rest -> t.cached_names <- (name :: top) :: rest
+           | [] -> ());
+          Some v))
+
+let lookup t name =
+  match lookup_opt t name with
+  | Some v -> v
+  | None -> raise (Unbound name)
+
+let define_global t name v =
+  t.binds <- t.binds + 1;
+  match t.strategy with
+  | Shallow -> Hashtbl.replace t.oblist name (ref v)
+  | Deep | Value_cache ->
+    (* Append at the tail so the binding survives all frame exits (frame
+       counters track head prepends only). *)
+    let b = { name; cell = ref v } in
+    t.alist <- t.alist @ [ b ];
+    if t.strategy = Value_cache then invalidate_cache t name
+
+let set t name v =
+  match t.strategy with
+  | Deep ->
+    (match deep_find t name with
+     | Some cell -> cell := v
+     | None -> define_global t name v)
+  | Shallow ->
+    t.probes <- t.probes + 1;
+    (match Hashtbl.find_opt t.oblist name with
+     | Some cell -> cell := v
+     | None ->
+       (* A top-level value that frame exits must not remove: make it look
+          bound at every live frame by not recording a save entry. *)
+       Hashtbl.replace t.oblist name (ref v))
+  | Value_cache ->
+    (match deep_find t name with
+     | Some cell ->
+       cell := v;
+       invalidate_cache t name
+     | None -> define_global t name v)
+
+type snapshot =
+  | Deep_snap of binding list
+  | Shallow_snap of (string * Value.t) list
+
+let capture t =
+  match t.strategy with
+  | Deep | Value_cache -> Deep_snap t.alist
+  | Shallow ->
+    Shallow_snap (Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t.oblist [])
+
+let with_snapshot t snap f =
+  match t.strategy, snap with
+  | (Deep | Value_cache), Deep_snap alist ->
+    let saved_alist = t.alist and saved_frames = t.frames in
+    let saved_cached = t.cached_names in
+    t.alist <- alist;
+    t.frames <- [];
+    t.cached_names <- [];
+    Hashtbl.reset t.cache;
+    Fun.protect
+      ~finally:(fun () ->
+          t.alist <- saved_alist;
+          t.frames <- saved_frames;
+          t.cached_names <- saved_cached;
+          Hashtbl.reset t.cache)
+      f
+  | Shallow, Shallow_snap entries ->
+    let saved = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t.oblist [] in
+    let saved_stack = t.save_stack in
+    Hashtbl.reset t.oblist;
+    List.iter (fun (name, v) -> Hashtbl.replace t.oblist name (ref v)) entries;
+    t.save_stack <- [];
+    Fun.protect
+      ~finally:(fun () ->
+          Hashtbl.reset t.oblist;
+          List.iter (fun (name, v) -> Hashtbl.replace t.oblist name (ref v)) saved;
+          t.save_stack <- saved_stack)
+      f
+  | (Deep | Value_cache | Shallow), _ ->
+    invalid_arg "Env.with_snapshot: snapshot from a different strategy"
+
+type counters = {
+  lookups : int;
+  probes : int;
+  cache_hits : int;
+  cache_misses : int;
+  binds : int;
+  unbinds : int;
+}
+
+let counters (t : t) =
+  { lookups = t.lookups; probes = t.probes; cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses; binds = t.binds; unbinds = t.unbinds }

@@ -1,0 +1,66 @@
+(** Dynamic-binding environments, in the three implementations surveyed in
+    §2.3.2, with instrumentation for the binding-strategy ablation bench:
+
+    - [Deep]: an association list of name/value bindings (Figure 2.3) —
+      O(1) call/return, O(depth) name lookup;
+    - [Shallow]: an oblist of value cells plus a save stack (Figure 2.4) —
+      O(1) lookup, extra work per call/return;
+    - [Value_cache]: deep binding behind a FACOM Alpha-style value cache
+      (Figure 2.5) — entries are tagged with the stack frame number and
+      invalidated on binding and on frame exit. *)
+
+type strategy = Deep | Shallow | Value_cache
+
+type t
+
+exception Unbound of string
+
+val create : strategy -> t
+
+val strategy : t -> strategy
+
+(** Current dynamic nesting depth (global frame = 0). *)
+val depth : t -> int
+
+(** [enter_frame t] opens the referencing context of a function call. *)
+val enter_frame : t -> unit
+
+(** [bind t name v] adds a binding to the current frame. *)
+val bind : t -> string -> Value.t -> unit
+
+(** [exit_frame t] closes the current frame, restoring the environment to
+    its state before the matching [enter_frame]. *)
+val exit_frame : t -> unit
+
+(** [lookup t name] interrogates the environment.
+    @raise Unbound if no binding is visible. *)
+val lookup : t -> string -> Value.t
+
+val lookup_opt : t -> string -> Value.t option
+
+(** [set t name v] assigns the most recent binding of [name], creating a
+    global binding if none exists (setq semantics). *)
+val set : t -> string -> Value.t -> unit
+
+val define_global : t -> string -> Value.t -> unit
+
+(** Funarg support (§2.2.1): a [snapshot] freezes the current referencing
+    context; [with_snapshot] runs a computation inside it and restores
+    the live environment afterwards — the function-environment pair of
+    [Bobr73a]. *)
+type snapshot
+
+val capture : t -> snapshot
+
+val with_snapshot : t -> snapshot -> (unit -> 'a) -> 'a
+
+type counters = {
+  lookups : int;         (** environment interrogations *)
+  probes : int;          (** a-list cells examined / table touches *)
+  cache_hits : int;      (** value-cache strategy only *)
+  cache_misses : int;
+  binds : int;
+  unbinds : int;
+}
+
+val counters : t -> counters

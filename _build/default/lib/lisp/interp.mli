@@ -1,0 +1,61 @@
+(** The mini-Lisp interpreter.
+
+    The language is the Lisp 1.0-level subset of §4.3.4: the list
+    primitives (car, cdr, cons, rplaca, rplacd), cond and prog (with go
+    and return), predicates (atom, null, eq, equal, greaterp, lessp,
+    zerop, numberp), integer arithmetic, logical and/or/not, setq,
+    read/write, def and lambda — plus progn, let, if and while as
+    conveniences.  Evaluation is dynamically scoped over an {!Env}
+    environment; functions live in a separate function table, Franz
+    style.
+
+    Tracing hooks observe every list-primitive call (name, argument
+    values, result) and user-function entry/exit — the instrumentation of
+    §3.3.1. *)
+
+type t
+
+exception Error of string
+
+type hooks = {
+  on_prim : string -> Value.t list -> Value.t -> unit;
+  on_call : string -> int -> unit;
+  on_return : string -> unit;
+}
+
+val no_hooks : hooks
+
+(** [create ()] makes an interpreter with an empty environment.
+    [strategy] defaults to [Deep]; [max_steps] (default 50 million) bounds
+    evaluation to catch runaway programs. *)
+val create : ?strategy:Env.strategy -> ?max_steps:int -> ?hooks:hooks -> unit -> t
+
+val set_hooks : t -> hooks -> unit
+
+val env : t -> Env.t
+
+(** [eval t v] evaluates a value (use {!Value.of_datum} or [eval_datum]).
+    @raise Error on Lisp errors. *)
+val eval : t -> Value.t -> Value.t
+
+val eval_datum : t -> Sexp.Datum.t -> Value.t
+
+(** [run_program t source] parses all datums in [source] and evaluates
+    them in order, returning the last result ([Nil] for empty source).
+    Definitions persist in the interpreter. *)
+val run_program : t -> string -> Value.t
+
+(** [provide_input t ds] queues datums for the [read] primitive (FIFO);
+    [read] returns [Nil] when the queue is exhausted. *)
+val provide_input : t -> Sexp.Datum.t list -> unit
+
+(** Datums written by [write]/[print], in order. *)
+val output : t -> Sexp.Datum.t list
+
+val clear_output : t -> unit
+
+(** Number of evaluation steps performed. *)
+val steps : t -> int
+
+(** [defined_functions t] lists user-defined function names. *)
+val defined_functions : t -> string list

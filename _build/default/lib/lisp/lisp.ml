@@ -1,0 +1,10 @@
+(** The mini-Lisp system: runtime values with mutable pairs, the three
+    dynamic-binding environment implementations of §2.3.2, the Lisp
+    1.0-level interpreter of §4.3.4, a Lisp-coded prelude, and the trace
+    instrumentation of §3.3.1. *)
+
+module Value = Value
+module Env = Env
+module Interp = Interp
+module Prelude = Prelude
+module Tracer = Tracer

@@ -1,0 +1,15 @@
+(** Library functions written in the mini-Lisp itself.
+
+    The thesis's traces capture the primitive-call stream of real Lisp
+    programs; if list utilities like [append] were OCaml builtins their
+    car/cdr/cons activity would vanish from the trace.  They are therefore
+    defined in Lisp and interpreted, so every list they touch shows up as
+    genuine primitive traffic. *)
+
+(** The prelude source: length, append, reverse, assoc, assq, member,
+    memq, nth, last, copy, subst, mapcar, filter, nconc, list2..list5. *)
+val source : string
+
+(** [load interp] evaluates the prelude in [interp] (with tracing hooks
+    disabled, so the prelude's own definitions do not pollute a trace). *)
+val load : Interp.t -> unit

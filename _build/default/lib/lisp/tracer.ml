@@ -1,0 +1,31 @@
+let attach interp =
+  let capture = Trace.Capture.create () in
+  Interp.set_hooks interp
+    {
+      Interp.on_prim =
+        (fun name args result ->
+           match Trace.Event.prim_of_name name with
+           | Some prim ->
+             Trace.Capture.record capture
+               (Trace.Event.Prim
+                  { prim;
+                    args = List.map Value.to_datum args;
+                    result = Value.to_datum result })
+           | None -> ());
+      on_call =
+        (fun name nargs -> Trace.Capture.record capture (Trace.Event.Call { name; nargs }));
+      on_return =
+        (fun name -> Trace.Capture.record capture (Trace.Event.Return { name }));
+    };
+  capture
+
+let detach interp = Interp.set_hooks interp Interp.no_hooks
+
+let trace_program ?strategy ?(input = []) source =
+  let interp = Interp.create ?strategy () in
+  Prelude.load interp;
+  Interp.provide_input interp input;
+  let capture = attach interp in
+  ignore (Interp.run_program interp source);
+  detach interp;
+  capture

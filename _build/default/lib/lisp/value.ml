@@ -1,0 +1,89 @@
+type t =
+  | Nil
+  | T
+  | Sym of string
+  | Int of int
+  | Str of string
+  | Pair of pair
+  | Subr of string
+  | Lambda of lambda
+  | Funarg of int   (* key into the interpreter's funarg table *)
+
+and pair = { mutable car : t; mutable cdr : t }
+
+and lambda = {
+  params : string list;
+  body : t list;
+}
+
+let nil = Nil
+let t_ = T
+let sym s = Sym s
+let int n = Int n
+let cons a d = Pair { car = a; cdr = d }
+
+let list vs = List.fold_right cons vs Nil
+
+let rec of_datum (d : Sexp.Datum.t) : t =
+  match d with
+  | Nil -> Nil
+  | Sym "t" -> T
+  | Sym s -> Sym s
+  | Int n -> Int n
+  | Str s -> Str s
+  | Cons (a, x) -> cons (of_datum a) (of_datum x)
+
+let to_datum v =
+  (* Cycle-safe: cut when revisiting a pair already on the current path. *)
+  let rec go path (v : t) : Sexp.Datum.t =
+    match v with
+    | Nil -> Nil
+    | T -> Sym "t"
+    | Sym s -> Sym s
+    | Int n -> Int n
+    | Str s -> Str s
+    | Subr name -> Sym ("#subr:" ^ name)
+    | Lambda _ -> Sym "#lambda"
+    | Funarg k -> Sym (Printf.sprintf "#funarg%d" k)
+    | Pair p ->
+      if List.memq p path then Sym "<cycle>"
+      else Cons (go (p :: path) p.car, go (p :: path) p.cdr)
+  in
+  go [] v
+
+let truthy = function
+  | Nil -> false
+  | T | Sym _ | Int _ | Str _ | Pair _ | Subr _ | Lambda _ | Funarg _ -> true
+
+let equal a b =
+  let rec go depth a b =
+    if depth > 10_000 then true (* deep or cyclic: treat as equal beyond bound *)
+    else
+      match a, b with
+      | Nil, Nil | T, T -> true
+      | Sym x, Sym y -> String.equal x y
+      | Int x, Int y -> x = y
+      | Str x, Str y -> String.equal x y
+      | Subr x, Subr y -> String.equal x y
+      | Lambda x, Lambda y -> x == y
+      | Funarg x, Funarg y -> x = y
+      | Pair x, Pair y ->
+        x == y || (go (depth + 1) x.car y.car && go (depth + 1) x.cdr y.cdr)
+      | (Nil | T | Sym _ | Int _ | Str _ | Pair _ | Subr _ | Lambda _ | Funarg _), _ ->
+        false
+  in
+  go 0 a b
+
+let eq a b =
+  match a, b with
+  | Pair x, Pair y -> x == y
+  | Lambda x, Lambda y -> x == y
+  | (Nil | T | Sym _ | Int _ | Str _ | Subr _ | Funarg _), _ -> a = b
+  | (Pair _ | Lambda _), _ -> false
+
+let is_atom = function
+  | Pair _ -> false
+  | Nil | T | Sym _ | Int _ | Str _ | Subr _ | Lambda _ | Funarg _ -> true
+
+let pp ppf v = Sexp.pp ppf (to_datum v)
+let to_string v = Sexp.to_string (to_datum v)

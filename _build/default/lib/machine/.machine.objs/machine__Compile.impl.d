@@ -1,0 +1,1 @@
+lib/machine/compile.ml: Array Format Isa List Printf Sexp String

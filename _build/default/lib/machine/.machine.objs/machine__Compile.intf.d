@@ -1,0 +1,1 @@
+lib/machine/compile.mli: Isa Sexp

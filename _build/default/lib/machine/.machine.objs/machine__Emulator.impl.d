@@ -1,0 +1,1 @@
+lib/machine/emulator.ml: Array Core Format Isa List Option Queue Sexp String

@@ -1,0 +1,1 @@
+lib/machine/emulator.mli: Core Isa Sexp

@@ -1,0 +1,286 @@
+exception Error of string
+
+module D = Sexp.Datum
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Code is emitted as a growable buffer with symbolic labels patched in a
+   second pass. *)
+type emitter = {
+  mutable code : Isa.instr list;  (* reversed *)
+  mutable len : int;
+  mutable labels : (string * int) list;      (* prog labels *)
+  mutable patches : (int * string) list;     (* instr index -> label *)
+  mutable gensym : int;
+}
+
+let emitter () = { code = []; len = 0; labels = []; patches = []; gensym = 0 }
+
+let emit e i =
+  e.code <- i :: e.code;
+  e.len <- e.len + 1
+
+let fresh_label e prefix =
+  e.gensym <- e.gensym + 1;
+  Printf.sprintf "%%%s%d" prefix e.gensym
+
+let place_label e name =
+  if List.mem_assoc name e.labels then fail "duplicate label %s" name;
+  e.labels <- (name, e.len) :: e.labels
+
+(* emit a branch to a label, patched later *)
+let emit_branch e make label =
+  e.patches <- (e.len, label) :: e.patches;
+  emit e (make 0)
+
+let finish e =
+  let code = Array.of_list (List.rev e.code) in
+  List.iter
+    (fun (idx, label) ->
+       match List.assoc_opt label e.labels with
+       | None -> fail "undefined label %s" label
+       | Some target ->
+         code.(idx) <-
+           (match code.(idx) with
+            | Isa.JUMP _ -> Isa.JUMP target
+            | Isa.FALSEJMP _ -> Isa.FALSEJMP target
+            | Isa.NEQUALP _ -> Isa.NEQUALP target
+            | i -> i))
+    e.patches;
+  code
+
+(* Compilation environment: the current function's frame slots. *)
+type cenv = { mutable slots : string list }
+
+let slot_index env name =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> if String.equal s name then Some i else go (i + 1) rest
+  in
+  go 0 env.slots
+
+let binary_prims =
+  [ ("+", Isa.ADDOP); ("plus", ADDOP); ("-", SUBOP); ("difference", SUBOP);
+    ("*", MULOP); ("times", MULOP); ("/", DIVOP); ("quotient", DIVOP);
+    ("remainder", REMOP); ("cons", CONSOP); ("eq", EQP); ("equal", EQUALP);
+    ("greaterp", GREATERP); ("lessp", LESSP) ]
+
+let unary_prims =
+  [ ("car", Isa.CAROP); ("cdr", CDROP); ("atom", ATOMP); ("null", NULLP);
+    ("numberp", NUMBERP); ("symbolp", SYMBOLP); ("not", NOTOP);
+    ("add1", ADD1OP); ("sub1", SUB1OP) ]
+
+let rec compile_expr e env (d : D.t) =
+  match d with
+  | Nil | Int _ | Str _ -> emit e (Isa.PUSHCONST d)
+  | Sym "t" -> emit e (Isa.PUSHCONST (D.Sym "t"))
+  | Sym name ->
+    (match slot_index env name with
+     | Some i -> emit e (Isa.PUSHVAR i)
+     | None -> emit e (Isa.LOOKUP name))
+  | Cons (Sym form, rest) -> compile_form e env form (D.to_list rest)
+  | Cons _ -> fail "cannot compile application of %s" (Sexp.to_string d)
+
+and compile_form e env form args =
+  match form, args with
+  | "quote", [ d ] ->
+    if D.is_atom d then emit e (Isa.PUSHCONST d) else emit e (Isa.PUSHLIST d)
+  | "cond", legs -> compile_cond e env legs
+  | "setq", [ D.Sym name; expr ] ->
+    compile_expr e env expr;
+    (match slot_index env name with
+     | Some i ->
+       emit e (Isa.SETSLOT i);
+       emit e (Isa.PUSHVAR i)
+     | None ->
+       emit e (Isa.SETGLB name);
+       emit e (Isa.LOOKUP name))
+  | "progn", forms -> compile_seq e env forms
+  | "and", forms ->
+    (* compiled and/or are boolean-valued (t / nil) *)
+    let l_false = fresh_label e "and_f" and l_end = fresh_label e "and_e" in
+    List.iter
+      (fun f ->
+         compile_expr e env f;
+         emit_branch e (fun t -> Isa.FALSEJMP t) l_false)
+      forms;
+    emit e (Isa.PUSHCONST (D.Sym "t"));
+    emit_branch e (fun t -> Isa.JUMP t) l_end;
+    place_label e l_false;
+    emit e (Isa.PUSHCONST D.Nil);
+    place_label e l_end
+  | "or", forms ->
+    let l_true = fresh_label e "or_t" and l_end = fresh_label e "or_e" in
+    List.iter
+      (fun f ->
+         compile_expr e env f;
+         emit e Isa.NOTOP;
+         emit_branch e (fun t -> Isa.FALSEJMP t) l_true)
+      forms;
+    emit e (Isa.PUSHCONST D.Nil);
+    emit_branch e (fun t -> Isa.JUMP t) l_end;
+    place_label e l_true;
+    emit e (Isa.PUSHCONST (D.Sym "t"));
+    place_label e l_end
+  | "prog", locals :: body ->
+    List.iter
+      (function
+        | D.Sym name ->
+          env.slots <- env.slots @ [ name ];
+          emit e (Isa.BINDNIL name)
+        | d -> fail "prog local must be a symbol, got %s" (Sexp.to_string d))
+      (D.to_list locals);
+    List.iter
+      (function
+        | D.Sym label -> place_label e label
+        | form ->
+          compile_expr e env form;
+          emit e Isa.POP)
+      body;
+    (* falling off the end of a prog yields nil *)
+    emit e (Isa.PUSHCONST D.Nil);
+    emit e Isa.FRETN
+  | "go", [ D.Sym label ] ->
+    emit_branch e (fun t -> Isa.JUMP t) label;
+    (* unreachable filler so the statement's POP has an operand *)
+    emit e (Isa.PUSHCONST D.Nil)
+  | "return", [ expr ] ->
+    compile_expr e env expr;
+    emit e Isa.FRETN;
+    emit e (Isa.PUSHCONST D.Nil)
+  | "return", [] ->
+    emit e (Isa.PUSHCONST D.Nil);
+    emit e Isa.FRETN;
+    emit e (Isa.PUSHCONST D.Nil)
+  | "read", [] -> emit e Isa.RDLIST
+  | "write", [ expr ] | "print", [ expr ] ->
+    compile_expr e env expr;
+    emit e Isa.WRLIST;
+    emit e (Isa.PUSHCONST D.Nil)
+  | "rplaca", [ l; v ] ->
+    compile_expr e env l;
+    compile_expr e env v;
+    emit e Isa.RPLACAOP
+  | "rplacd", [ l; v ] ->
+    compile_expr e env l;
+    compile_expr e env v;
+    emit e Isa.RPLACDOP
+  | "=", [ a; b ] ->
+    (* outside cond-test position, = compiles through NEQUALP branches *)
+    let l_ne = fresh_label e "ne" and l_end = fresh_label e "eq_e" in
+    compile_expr e env a;
+    compile_expr e env b;
+    emit_branch e (fun t -> Isa.NEQUALP t) l_ne;
+    emit e (Isa.PUSHCONST (D.Sym "t"));
+    emit_branch e (fun t -> Isa.JUMP t) l_end;
+    place_label e l_ne;
+    emit e (Isa.PUSHCONST D.Nil);
+    place_label e l_end
+  | "zerop", [ a ] ->
+    compile_form e env "=" [ a; D.Int 0 ]
+  | _, args ->
+    (match List.assoc_opt form unary_prims, args with
+     | Some op, [ a ] ->
+       compile_expr e env a;
+       emit e op
+     | Some _, _ -> fail "%s: expected one argument" form
+     | None, _ ->
+       (match List.assoc_opt form binary_prims, args with
+        | Some op, [ a; b ] ->
+          compile_expr e env a;
+          compile_expr e env b;
+          emit e op
+        | Some _, _ -> fail "%s: expected two arguments" form
+        | None, _ ->
+          (* a user function call *)
+          List.iter (compile_expr e env) args;
+          emit e (Isa.FCALL (form, List.length args))))
+
+and compile_cond e env legs =
+  let l_end = fresh_label e "cond_e" in
+  let rec leg = function
+    | [] -> emit e (Isa.PUSHCONST D.Nil)
+    | l :: rest ->
+      (match D.to_list l with
+       | [] -> fail "cond: empty leg"
+       | test :: body ->
+         let l_next = fresh_label e "cond_n" in
+         (* Fig 4.14 fuses (= a b) tests into NEQUALP branches *)
+         (match test with
+          | D.Cons (Sym "=", args) ->
+            (match D.to_list args with
+             | [ a; b ] ->
+               compile_expr e env a;
+               compile_expr e env b;
+               emit_branch e (fun t -> Isa.NEQUALP t) l_next
+             | _ -> fail "=: expected two arguments")
+          | D.Sym "t" -> emit e (Isa.PUSHCONST (D.Sym "t")) |> fun () ->
+            emit e Isa.POP (* constant-true test: no branch *)
+          | test ->
+            compile_expr e env test;
+            emit_branch e (fun t -> Isa.FALSEJMP t) l_next);
+         (if body = [] then
+            (* valueless legs need the test value; recompute cheaply *)
+            compile_expr e env test
+          else compile_seq e env body);
+         emit_branch e (fun t -> Isa.JUMP t) l_end;
+         place_label e l_next;
+         leg rest)
+  in
+  leg legs;
+  place_label e l_end
+
+and compile_seq e env = function
+  | [] -> emit e (Isa.PUSHCONST D.Nil)
+  | [ last ] -> compile_expr e env last
+  | x :: more ->
+    compile_expr e env x;
+    emit e Isa.POP;
+    compile_seq e env more
+
+let compile_function name params body =
+  let e = emitter () in
+  let env = { slots = params } in
+  (* Arguments are on the stack, last on top: bind in reverse (Fig 4.14). *)
+  List.iter (fun p -> emit e (Isa.BINDN p)) (List.rev params);
+  (match body with
+   | [ (D.Cons (Sym "prog", _) as p) ] -> compile_expr e env p |> fun () -> ()
+   | body ->
+     compile_seq e env body;
+     emit e Isa.FRETN);
+  { Isa.name; params; code = finish e }
+
+let params_of d =
+  List.map
+    (function
+      | D.Sym s -> s
+      | d -> fail "parameter must be a symbol, got %s" (Sexp.to_string d))
+    (D.to_list d)
+
+let program forms =
+  let fns = ref [] in
+  let e = emitter () in
+  let env = { slots = [] } in
+  List.iter
+    (fun (form : D.t) ->
+       match form with
+       | Cons (Sym "def", rest) ->
+         (match D.to_list rest with
+          | [ Sym name; Cons (Sym "lambda", lam) ] ->
+            (match D.to_list lam with
+             | params :: body when body <> [] ->
+               fns := (name, compile_function name (params_of params) body) :: !fns
+             | _ -> fail "def %s: malformed lambda" name)
+          | _ -> fail "malformed def")
+       | form ->
+         compile_expr e env form;
+         emit e Isa.POP)
+    forms;
+  (* leave the last top-level value on the stack for inspection *)
+  (match e.code with
+   | Isa.POP :: rest -> e.code <- rest; e.len <- e.len - 1
+   | _ -> ());
+  emit e Isa.HALT;
+  { Isa.fns = List.rev !fns; main = finish e }
+
+let parse_and_compile source = program (Sexp.parse_many source)

@@ -1,0 +1,23 @@
+(** Compiler from the mini-Lisp to the SMALL stack machine (§4.3.4).
+
+    The accepted language is the thesis's compiled subset: [def]ined
+    functions with fixed arguments, [cond], [prog] with labels/[go]/
+    [return] (as the outermost body form), [setq], [quote], the list
+    primitives, predicates, integer arithmetic, [and]/[or] (compiled to
+    t/nil), [read]/[write], and calls to defined functions.
+
+    Functions are compiled independently; arguments and prog locals are
+    addressed as known frame offsets (the pre-processing of §4.3.1), other
+    names fall back to a dynamic [LOOKUP].  Forward calls are resolved at
+    link time by name. *)
+
+exception Error of string
+
+(** [program forms] compiles top-level forms: [def]s populate the function
+    table; the remaining forms become the [main] sequence (the value of
+    the last one is left on the stack before [HALT]).
+    @raise Error on unsupported or malformed input. *)
+val program : Sexp.Datum.t list -> Isa.program
+
+(** [parse_and_compile source] = [program (Sexp.parse_many source)]. *)
+val parse_and_compile : string -> Isa.program

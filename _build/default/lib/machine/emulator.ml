@@ -1,0 +1,344 @@
+type value =
+  | Atom of Sexp.Datum.t
+  | Ref of int
+
+exception Runtime_error of string
+
+module D = Sexp.Datum
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type frame = {
+  mutable bindings : (string * value) list;  (* slot 0 first *)
+  return_pc : int;
+  return_code : Isa.instr array;
+}
+
+type t = {
+  program : Isa.program;
+  lp : Core.Lp.t;                  (* the List Processor: LPT + cell heap *)
+  input : D.t Queue.t;
+  mutable output_rev : D.t list;
+  mutable stack : value list;
+  mutable frames : frame list;
+  mutable instructions : int;
+  max_steps : int;
+}
+
+let create ?(lpt_size = 4096) ?(input = []) program =
+  let q = Queue.create () in
+  List.iter (fun d -> Queue.add d q) input;
+  { program; lp = Core.Lp.create ~lpt_size (); input = q; output_rev = [];
+    stack = []; frames = []; instructions = 0; max_steps = 10_000_000 }
+
+(* ---- reference-counted stack discipline ---- *)
+
+let retain t = function
+  | Ref id -> Core.Lp.retain t.lp id
+  | Atom _ -> ()
+
+let release t = function
+  | Ref id -> Core.Lp.release t.lp id
+  | Atom _ -> ()
+
+let push t v =
+  retain t v;
+  t.stack <- v :: t.stack
+
+let pop t =
+  match t.stack with
+  | [] -> fail "operand stack underflow"
+  | v :: rest ->
+    t.stack <- rest;
+    (* the caller takes over the reference; it must release when done *)
+    v
+
+let datum_of t = function
+  | Atom d -> d
+  | Ref id -> Core.Lp.externalize t.lp id
+
+(* Intern a datum as a machine value: lists go through the LP, which
+   loads them into real heap cells.  The handle from read_in is released
+   once the value has been pushed/bound (the binder retains its own). *)
+let value_of t (d : D.t) =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> Atom d
+  | Cons _ -> Ref (Core.Lp.read_in t.lp d)
+
+let of_part = function
+  | Core.Lp.Obj id -> Ref id
+  | Core.Lp.Val d -> Atom d
+
+let as_int t v =
+  match v with
+  | Atom (D.Int n) -> n
+  | v -> fail "expected an integer, got %s" (Sexp.to_string (datum_of t v))
+
+let truthy = function
+  | Atom D.Nil -> false
+  | Atom _ | Ref _ -> true
+
+let bool_v b = if b then Atom (D.Sym "t") else Atom D.Nil
+
+(* ---- frames and name lookup ---- *)
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> fail "no active frame"
+
+let slot t i =
+  let f = current_frame t in
+  match List.nth_opt f.bindings i with
+  | Some (_, v) -> v
+  | None -> fail "bad frame slot %d" i
+
+let set_slot t i v =
+  let f = current_frame t in
+  if i >= List.length f.bindings then fail "bad frame slot %d" i;
+  f.bindings <-
+    List.mapi
+      (fun j (name, old) ->
+         if j = i then begin
+           retain t v;
+           release t old;
+           (name, v)
+         end
+         else (name, old))
+      f.bindings
+
+let lookup t name =
+  let rec go = function
+    | [] -> fail "unbound name %s" name
+    | f :: rest ->
+      (match List.assoc_opt name f.bindings with
+       | Some v -> v
+       | None -> go rest)
+  in
+  go t.frames
+
+let set_global t name v =
+  let rec go = function
+    | [] ->
+      (* bind at the bottom (global) frame *)
+      (match List.rev t.frames with
+       | bottom :: _ ->
+         retain t v;
+         bottom.bindings <- bottom.bindings @ [ (name, v) ]
+       | [] -> fail "no frame for global %s" name)
+    | f :: rest ->
+      if List.mem_assoc name f.bindings then
+        f.bindings <-
+          List.map
+            (fun (n, old) ->
+               if String.equal n name then begin
+                 retain t v;
+                 release t old;
+                 (n, v)
+               end
+               else (n, old))
+            f.bindings
+      else go rest
+  in
+  go t.frames
+
+(* ---- list operations through the LP ---- *)
+
+let lp_car t v =
+  match v with
+  | Atom D.Nil -> Atom D.Nil
+  | Ref id -> of_part (Core.Lp.car t.lp id)
+  | Atom a -> fail "car of atom %s" (Sexp.to_string a)
+
+let lp_cdr t v =
+  match v with
+  | Atom D.Nil -> Atom D.Nil
+  | Ref id -> of_part (Core.Lp.cdr t.lp id)
+  | Atom a -> fail "cdr of atom %s" (Sexp.to_string a)
+
+let part_of = function
+  | Ref id -> Core.Lp.Obj id
+  | Atom d -> Core.Lp.Val d
+
+let lp_cons t a d = Ref (Core.Lp.cons t.lp (part_of a) (part_of d))
+
+let lp_rplac t ~field l v =
+  match l with
+  | Ref id ->
+    (match field with
+     | `Car -> Core.Lp.rplaca t.lp id (part_of v)
+     | `Cdr -> Core.Lp.rplacd t.lp id (part_of v));
+    Ref id
+  | Atom a -> fail "rplac on atom %s" (Sexp.to_string a)
+
+(* ---- the interpreter loop ---- *)
+
+let run t =
+  let code = ref t.program.Isa.main in
+  let pc = ref 0 in
+  (* the synthetic bottom frame holds top-level bindings *)
+  t.frames <- [ { bindings = []; return_pc = -1; return_code = [||] } ];
+  let halted = ref false in
+  let binop f =
+    let b = pop t and a = pop t in
+    let r = f a b in
+    push t r;
+    release t a;
+    release t b
+  in
+  while not !halted do
+    if t.instructions > t.max_steps then fail "instruction limit exceeded";
+    if !pc < 0 || !pc >= Array.length !code then fail "pc out of range";
+    let instr = (!code).(!pc) in
+    t.instructions <- t.instructions + 1;
+    incr pc;
+    match instr with
+    | Isa.PUSHCONST d -> push t (Atom d)
+    | PUSHLIST d ->
+      let v = value_of t d in
+      push t v;
+      (* read_in handed us a retained handle; push took its own *)
+      release t v
+    | PUSHVAR i -> push t (slot t i)
+    | LOOKUP name -> push t (lookup t name)
+    | SETSLOT i ->
+      let v = pop t in
+      set_slot t i v;
+      release t v
+    | SETGLB name ->
+      let v = pop t in
+      set_global t name v;
+      release t v
+    | BINDN name ->
+      let v = pop t in
+      let f = current_frame t in
+      retain t v;
+      f.bindings <- (name, v) :: f.bindings;
+      release t v
+    | BINDNIL name ->
+      let f = current_frame t in
+      f.bindings <- f.bindings @ [ (name, Atom D.Nil) ]
+    | CAROP ->
+      let v = pop t in
+      push t (lp_car t v);
+      release t v
+    | CDROP ->
+      let v = pop t in
+      push t (lp_cdr t v);
+      release t v
+    | CONSOP ->
+      let d = pop t and a = pop t in
+      let v = lp_cons t a d in
+      push t v;
+      release t v;  (* cons handed us a retained handle; push took its own *)
+      release t a;
+      release t d
+    | RPLACAOP -> binop (fun l v -> lp_rplac t ~field:`Car l v)
+    | RPLACDOP -> binop (fun l v -> lp_rplac t ~field:`Cdr l v)
+    | ADDOP -> binop (fun a b -> Atom (D.Int (as_int t a + as_int t b)))
+    | SUBOP -> binop (fun a b -> Atom (D.Int (as_int t a - as_int t b)))
+    | MULOP -> binop (fun a b -> Atom (D.Int (as_int t a * as_int t b)))
+    | DIVOP ->
+      binop (fun a b ->
+          let d = as_int t b in
+          if d = 0 then fail "division by zero";
+          Atom (D.Int (as_int t a / d)))
+    | REMOP ->
+      binop (fun a b ->
+          let d = as_int t b in
+          if d = 0 then fail "division by zero";
+          Atom (D.Int (as_int t a mod d)))
+    | ADD1OP ->
+      let v = pop t in
+      push t (Atom (D.Int (as_int t v + 1)));
+      release t v
+    | SUB1OP ->
+      let v = pop t in
+      push t (Atom (D.Int (as_int t v - 1)));
+      release t v
+    | ATOMP ->
+      let v = pop t in
+      push t (bool_v (match v with Atom _ -> true | Ref _ -> false));
+      release t v
+    | NULLP ->
+      let v = pop t in
+      push t (bool_v (v = Atom D.Nil));
+      release t v
+    | NUMBERP ->
+      let v = pop t in
+      push t (bool_v (match v with Atom (D.Int _) -> true | _ -> false));
+      release t v
+    | SYMBOLP ->
+      let v = pop t in
+      push t (bool_v (match v with Atom (D.Sym _ | D.Nil) -> true | _ -> false));
+      release t v
+    | EQP ->
+      binop (fun a b ->
+          bool_v
+            (match a, b with
+             | Ref x, Ref y -> x = y
+             | Atom x, Atom y -> D.equal x y
+             | (Ref _ | Atom _), _ -> false))
+    | EQUALP -> binop (fun a b -> bool_v (D.equal (datum_of t a) (datum_of t b)))
+    | GREATERP -> binop (fun a b -> bool_v (as_int t a > as_int t b))
+    | LESSP -> binop (fun a b -> bool_v (as_int t a < as_int t b))
+    | NOTOP ->
+      let v = pop t in
+      push t (bool_v (not (truthy v)));
+      release t v
+    | NEQUALP target ->
+      let b = pop t and a = pop t in
+      if as_int t a <> as_int t b then pc := target;
+      release t a;
+      release t b
+    | FALSEJMP target ->
+      let v = pop t in
+      if not (truthy v) then pc := target;
+      release t v
+    | JUMP target -> pc := target
+    | FCALL (name, nargs) ->
+      (match List.assoc_opt name t.program.Isa.fns with
+       | None -> fail "undefined function %s" name
+       | Some fn ->
+         if List.length fn.Isa.params <> nargs then
+           fail "%s: expected %d arguments, got %d" name (List.length fn.Isa.params)
+             nargs;
+         t.frames <-
+           { bindings = []; return_pc = !pc; return_code = !code } :: t.frames;
+         code := fn.Isa.code;
+         pc := 0)
+    | FRETN ->
+      (match t.frames with
+       | [] -> fail "return with no caller"
+       | [ _ ] ->
+         (* a top-level prog returning: end of the program *)
+         halted := true
+       | f :: rest ->
+         (* the return value stays on the operand stack *)
+         List.iter (fun (_, v) -> release t v) f.bindings;
+         t.frames <- rest;
+         code := f.return_code;
+         pc := f.return_pc)
+    | RDLIST ->
+      let d = Option.value ~default:D.Nil (Queue.take_opt t.input) in
+      let v = value_of t d in
+      push t v;
+      release t v
+    | WRLIST ->
+      let v = pop t in
+      t.output_rev <- datum_of t v :: t.output_rev;
+      release t v
+    | POP ->
+      let v = pop t in
+      release t v
+    | HALT -> halted := true
+  done;
+  match t.stack with
+  | v :: _ -> Some v
+  | [] -> None
+
+let output t = List.rev t.output_rev
+let instructions t = t.instructions
+let lpt_counters t = Core.Lp.lpt_counters t.lp
+
+let heap_live t = Core.Lp.heap_live t.lp

@@ -1,0 +1,46 @@
+(** Emulator for the SMALL stack machine (§4.3.4).
+
+    The emulator traces the three key SMALL structures: the control/
+    binding stack (in the EP), the LPT (in the LP) and the heap model.
+    List values are carried as LPT identifiers exactly as on the real
+    machine — the EP never sees heap addresses.  The lists themselves
+    live in the List Processor's cell heap ({!Core.Lp}): quoted and read
+    lists are loaded into real cells, car/cdr misses perform real splits,
+    and cons builds endo-structure that exists only in the table.
+
+    Operand-stack pushes and pops of list identifiers, bindings and frame
+    pops all perform the corresponding reference-count traffic, so the
+    emulator doubles as a precise EP–LP interaction model for compiled
+    code. *)
+
+type value =
+  | Atom of Sexp.Datum.t       (** nil, t, symbols, numbers, strings *)
+  | Ref of int                 (** an LPT identifier *)
+
+exception Runtime_error of string
+
+type t
+
+(** [create ?lpt_size ?input program] loads a compiled program. *)
+val create : ?lpt_size:int -> ?input:Sexp.Datum.t list -> Isa.program -> t
+
+(** [run t] executes until [HALT]; returns the value left on the stack
+    (if any).  @raise Runtime_error on machine faults. *)
+val run : t -> value option
+
+(** [datum_of t v] renders a value as an s-expression via the shadow
+    table. *)
+val datum_of : t -> value -> Sexp.Datum.t
+
+(** Datums written by WRLIST, in order. *)
+val output : t -> Sexp.Datum.t list
+
+(** Instructions executed. *)
+val instructions : t -> int
+
+(** The LP's counters after/during the run — the EP–LP traffic of the
+    compiled program. *)
+val lpt_counters : t -> Core.Lpt.counters
+
+(** Cells currently allocated in the LP's heap. *)
+val heap_live : t -> int

@@ -1,0 +1,98 @@
+type instr =
+  | PUSHCONST of Sexp.Datum.t
+  | PUSHLIST of Sexp.Datum.t
+  | PUSHVAR of int
+  | LOOKUP of string
+  | SETSLOT of int
+  | SETGLB of string
+  | BINDN of string
+  | BINDNIL of string
+  | CAROP
+  | CDROP
+  | CONSOP
+  | RPLACAOP
+  | RPLACDOP
+  | ADDOP
+  | SUBOP
+  | MULOP
+  | DIVOP
+  | REMOP
+  | ADD1OP
+  | SUB1OP
+  | ATOMP
+  | NULLP
+  | NUMBERP
+  | SYMBOLP
+  | EQP
+  | EQUALP
+  | GREATERP
+  | LESSP
+  | NOTOP
+  | NEQUALP of int
+  | FALSEJMP of int
+  | JUMP of int
+  | FCALL of string * int
+  | FRETN
+  | RDLIST
+  | WRLIST
+  | POP
+  | HALT
+
+type fn = {
+  name : string;
+  params : string list;
+  code : instr array;
+}
+
+type program = {
+  fns : (string * fn) list;
+  main : instr array;
+}
+
+let pp_instr ppf = function
+  | PUSHCONST d -> Format.fprintf ppf "PUSHCONST %a" Sexp.pp d
+  | PUSHLIST d -> Format.fprintf ppf "PUSHLIST %a" Sexp.pp d
+  | PUSHVAR i -> Format.fprintf ppf "PUSHVAR %d" i
+  | LOOKUP n -> Format.fprintf ppf "LOOKUP %s" n
+  | SETSLOT i -> Format.fprintf ppf "SETSLOT %d" i
+  | SETGLB n -> Format.fprintf ppf "SETGLB %s" n
+  | BINDN n -> Format.fprintf ppf "BINDN %s" n
+  | BINDNIL n -> Format.fprintf ppf "BINDNIL %s" n
+  | CAROP -> Format.pp_print_string ppf "CAROP"
+  | CDROP -> Format.pp_print_string ppf "CDROP"
+  | CONSOP -> Format.pp_print_string ppf "CONSOP"
+  | RPLACAOP -> Format.pp_print_string ppf "RPLACAOP"
+  | RPLACDOP -> Format.pp_print_string ppf "RPLACDOP"
+  | ADDOP -> Format.pp_print_string ppf "ADDOP"
+  | SUBOP -> Format.pp_print_string ppf "SUBOP"
+  | MULOP -> Format.pp_print_string ppf "MULOP"
+  | DIVOP -> Format.pp_print_string ppf "DIVOP"
+  | REMOP -> Format.pp_print_string ppf "REMOP"
+  | ADD1OP -> Format.pp_print_string ppf "ADD1OP"
+  | SUB1OP -> Format.pp_print_string ppf "SUB1OP"
+  | ATOMP -> Format.pp_print_string ppf "ATOMP"
+  | NULLP -> Format.pp_print_string ppf "NULLP"
+  | NUMBERP -> Format.pp_print_string ppf "NUMBERP"
+  | SYMBOLP -> Format.pp_print_string ppf "SYMBOLP"
+  | EQP -> Format.pp_print_string ppf "EQP"
+  | EQUALP -> Format.pp_print_string ppf "EQUALP"
+  | GREATERP -> Format.pp_print_string ppf "GREATERP"
+  | LESSP -> Format.pp_print_string ppf "LESSP"
+  | NOTOP -> Format.pp_print_string ppf "NOTOP"
+  | NEQUALP i -> Format.fprintf ppf "NEQUALP -> %d" i
+  | FALSEJMP i -> Format.fprintf ppf "FALSEJMP -> %d" i
+  | JUMP i -> Format.fprintf ppf "JUMP -> %d" i
+  | FCALL (f, n) -> Format.fprintf ppf "FCALL %s/%d" f n
+  | FRETN -> Format.pp_print_string ppf "FRETN"
+  | RDLIST -> Format.pp_print_string ppf "RDLIST"
+  | WRLIST -> Format.pp_print_string ppf "WRLIST"
+  | POP -> Format.pp_print_string ppf "POP"
+  | HALT -> Format.pp_print_string ppf "HALT"
+
+let disassemble code =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i instr ->
+       Buffer.add_string buf (Format.asprintf "%4d  %a\n" i pp_instr instr))
+    code;
+  Buffer.contents buf

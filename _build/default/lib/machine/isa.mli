@@ -1,0 +1,62 @@
+(** The SMALL stack-machine instruction set (§4.3.4, Figures 4.14/4.15).
+
+    A stack machine with the list-manipulating functionality of SMALL:
+    instructions for function call and return, binding names into the
+    environment, name lookup, immediate pushes, list I/O, the list
+    primitives (executed by the LP), arithmetic/logic, unconditional
+    branches, and conditional branches testing the top of stack.  Branch
+    targets are instruction indices (the assembler resolves labels). *)
+
+type instr =
+  | PUSHCONST of Sexp.Datum.t  (** push an atomic constant *)
+  | PUSHLIST of Sexp.Datum.t   (** push a quoted list, read into the LP *)
+  | PUSHVAR of int             (** push the value of frame slot [i] *)
+  | LOOKUP of string           (** dynamic lookup of a non-local name *)
+  | SETSLOT of int             (** pop into frame slot [i] (setq) *)
+  | SETGLB of string           (** pop into a non-local binding *)
+  | BINDN of string            (** pop and bind as a fresh slot (Fig 4.14) *)
+  | BINDNIL of string          (** bind a fresh slot to nil (prog local) *)
+  | CAROP
+  | CDROP
+  | CONSOP
+  | RPLACAOP
+  | RPLACDOP
+  | ADDOP
+  | SUBOP
+  | MULOP
+  | DIVOP
+  | REMOP
+  | ADD1OP
+  | SUB1OP
+  | ATOMP
+  | NULLP
+  | NUMBERP
+  | SYMBOLP
+  | EQP
+  | EQUALP
+  | GREATERP
+  | LESSP
+  | NOTOP
+  | NEQUALP of int             (** pop 2; jump if numerically unequal *)
+  | FALSEJMP of int            (** pop; jump if nil *)
+  | JUMP of int
+  | FCALL of string * int      (** call function with [n] stacked args *)
+  | FRETN                      (** return; top of stack is the value *)
+  | RDLIST                     (** read a datum from input; push it *)
+  | WRLIST                     (** pop and write a datum to output *)
+  | POP                        (** discard the top of stack *)
+  | HALT
+
+type fn = {
+  name : string;
+  params : string list;
+  code : instr array;
+}
+
+type program = {
+  fns : (string * fn) list;
+  main : instr array;          (** top-level forms, ending in HALT *)
+}
+
+val pp_instr : Format.formatter -> instr -> unit
+val disassemble : instr array -> string

@@ -1,0 +1,7 @@
+(** The SMALL instruction set, the mini-Lisp compiler targeting it, and
+    the stack-machine emulator that executes compiled code against a real
+    LPT (§4.3.4, Figures 4.14/4.15). *)
+
+module Isa = Isa
+module Compile = Compile
+module Emulator = Emulator

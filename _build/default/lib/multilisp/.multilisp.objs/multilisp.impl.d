@@ -1,0 +1,1 @@
+lib/multilisp/multilisp.ml: Cluster Futures Refweight

@@ -1,0 +1,1 @@
+lib/multilisp/cluster.ml: Array Core Hashtbl List Option Printf Sexp

@@ -1,0 +1,1 @@
+lib/multilisp/cluster.mli: Core Sexp

@@ -1,0 +1,1 @@
+lib/multilisp/futures.ml: List Sexp

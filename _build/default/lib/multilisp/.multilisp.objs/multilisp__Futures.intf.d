@@ -1,0 +1,1 @@
+lib/multilisp/futures.mli: Sexp

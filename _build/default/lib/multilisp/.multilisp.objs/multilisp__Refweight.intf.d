@@ -1,0 +1,1 @@
+lib/multilisp/refweight.mli:

@@ -1,0 +1,231 @@
+module D = Sexp.Datum
+
+let initial_weight = 1 lsl 16
+
+type handle = {
+  holder : int;
+  h_owner : int;
+  id : int;                 (* LPT identifier at the owner node *)
+  mutable weight : int;
+  mutable dropped : bool;
+}
+
+type part =
+  | Ref of handle
+  | Imm of D.t
+
+type queue_entry = { q_key : int * int; mutable amount : int }
+
+type t = {
+  lps : Core.Lp.t array;
+  combining : bool;
+  flush_at : int;
+  (* outstanding weight per object (owner, id); the owner's Lp retention
+     is held while this is positive *)
+  totals : (int * int, int) Hashtbl.t;
+  (* remote children embedded in cons cells, keyed by their unique
+     placeholder symbol *)
+  proxies : (string, handle) Hashtbl.t;
+  mutable proxy_counter : int;
+  queues : (int * int, queue_entry list ref) Hashtbl.t;
+  mutable messages : int;
+  mutable remote_accesses : int;
+  mutable local_accesses : int;
+  mutable weight_refills : int;
+}
+
+let create ?(lpt_size = 512) ?(flush_at = 8) ~nodes ~combining () =
+  if nodes <= 0 then invalid_arg "Cluster.create: need at least one node";
+  { lps = Array.init nodes (fun _ -> Core.Lp.create ~lpt_size ());
+    combining; flush_at;
+    totals = Hashtbl.create 64; proxies = Hashtbl.create 16; proxy_counter = 0;
+    queues = Hashtbl.create 16;
+    messages = 0; remote_accesses = 0; local_accesses = 0; weight_refills = 0 }
+
+let nodes t = Array.length t.lps
+let lp t node = t.lps.(node)
+
+let holder h = h.holder
+let owner _t h = h.h_owner
+
+let send_msg t ~from ~target = if from <> target then t.messages <- t.messages + 1
+
+(* ---- weight accounting at the owner ---- *)
+
+let total t key = Option.value ~default:0 (Hashtbl.find_opt t.totals key)
+
+(* Issue a fresh weighted handle for object (owner, id) to [holder]:
+   purely owner-local bookkeeping. *)
+let issue t ~owner ~id ~holder =
+  let key = (owner, id) in
+  let existing = total t key in
+  if existing = 0 then Core.Lp.retain (lp t owner) id;  (* the weight anchor *)
+  Hashtbl.replace t.totals key (existing + initial_weight);
+  { holder; h_owner = owner; id; weight = initial_weight; dropped = false }
+
+let deliver t key amount =
+  let remaining = total t key - amount in
+  Hashtbl.replace t.totals key remaining;
+  if remaining <= 0 then begin
+    Hashtbl.remove t.totals key;
+    let o, id = key in
+    Core.Lp.release (lp t o) id
+  end
+
+let queue_for t ~from ~target =
+  match Hashtbl.find_opt t.queues (from, target) with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.replace t.queues (from, target) q;
+    q
+
+let flush_link t ~from ~target =
+  let q = queue_for t ~from ~target in
+  List.iter
+    (fun e ->
+       send_msg t ~from ~target;
+       deliver t e.q_key e.amount)
+    !q;
+  q := []
+
+let return_weight t ~from key amount =
+  let target = fst key in
+  if from = target then deliver t key amount
+  else if not t.combining then begin
+    send_msg t ~from ~target;
+    deliver t key amount
+  end
+  else begin
+    let q = queue_for t ~from ~target in
+    (match List.find_opt (fun e -> e.q_key = key) !q with
+     | Some e -> e.amount <- e.amount + amount
+     | None -> q := { q_key = key; amount } :: !q);
+    if List.length !q >= t.flush_at then flush_link t ~from ~target
+  end
+
+let flush t =
+  let links = Hashtbl.fold (fun (f, g) _ acc -> (f, g) :: acc) t.queues [] in
+  List.iter (fun (from, target) -> flush_link t ~from ~target) links
+
+(* ---- references ---- *)
+
+let check h name =
+  if h.dropped then invalid_arg (Printf.sprintf "Cluster.%s: dropped handle" name)
+
+let read_in t ~node d =
+  let id = Core.Lp.read_in (lp t node) d in
+  (* read_in retained once; transfer that retention to the weight anchor *)
+  let key = (node, id) in
+  Hashtbl.replace t.totals key initial_weight;
+  { holder = node; h_owner = node; id; weight = initial_weight; dropped = false }
+
+let send t h ~to_node =
+  check h "send";
+  if h.weight <= 1 then begin
+    (* exhausted: ask the owner for more weight *)
+    send_msg t ~from:h.holder ~target:h.h_owner;
+    t.weight_refills <- t.weight_refills + 1;
+    let key = (h.h_owner, h.id) in
+    Hashtbl.replace t.totals key (total t key + initial_weight);
+    h.weight <- h.weight + initial_weight
+  end;
+  let half = h.weight / 2 in
+  h.weight <- h.weight - half;
+  { holder = to_node; h_owner = h.h_owner; id = h.id; weight = half; dropped = false }
+
+let drop t h =
+  check h "drop";
+  h.dropped <- true;
+  return_weight t ~from:h.holder (h.h_owner, h.id) h.weight
+
+(* ---- access ---- *)
+
+let placeholder t =
+  t.proxy_counter <- t.proxy_counter + 1;
+  Printf.sprintf "<remote%d>" t.proxy_counter
+
+let part_of_lp t ~owner = function
+  | Core.Lp.Obj id -> Ref (issue t ~owner ~id ~holder:owner)
+  | Core.Lp.Val d -> Imm d
+
+let access t h ~field =
+  check h "car/cdr";
+  let o = h.h_owner in
+  let local = h.holder = o in
+  if local then t.local_accesses <- t.local_accesses + 1
+  else begin
+    t.remote_accesses <- t.remote_accesses + 1;
+    (* request + reply *)
+    send_msg t ~from:h.holder ~target:o;
+    send_msg t ~from:o ~target:h.holder
+  end;
+  let part =
+    match field with
+    | `Car -> Core.Lp.car (lp t o) h.id
+    | `Cdr -> Core.Lp.cdr (lp t o) h.id
+  in
+  match part_of_lp t ~owner:o part with
+  | Ref r -> Ref { r with holder = h.holder }   (* shipped to the requester *)
+  | Imm d -> Imm d
+
+let car t h = access t h ~field:`Car
+let cdr t h = access t h ~field:`Cdr
+
+let cons t ~at a d =
+  (* a cross-node child is embedded as a unique proxy atom; the local
+     node holds a weighted handle to it (the Fig 6.4 weight field) *)
+  let lp_part = function
+    | Imm v -> (Core.Lp.Val v, None)
+    | Ref r when r.h_owner = at -> (Core.Lp.Obj r.id, None)
+    | Ref r ->
+      let sym = placeholder t in
+      (Core.Lp.Val (D.Sym sym), Some (sym, r))
+  in
+  let pa, ra = lp_part a in
+  let pd, rd = lp_part d in
+  let id = Core.Lp.cons (lp t at) pa pd in
+  let register = function
+    | Some (sym, r) -> Hashtbl.replace t.proxies sym (send t r ~to_node:at)
+    | None -> ()
+  in
+  register ra;
+  register rd;
+  (* transfer the cons retention to the weight anchor *)
+  let key = (at, id) in
+  Hashtbl.replace t.totals key initial_weight;
+  { holder = at; h_owner = at; id; weight = initial_weight; dropped = false }
+
+let rec externalize t h =
+  check h "externalize";
+  let o = h.h_owner in
+  if h.holder <> o then begin
+    (* fetch the whole value: request + reply *)
+    send_msg t ~from:h.holder ~target:o;
+    send_msg t ~from:o ~target:h.holder
+  end;
+  let raw = Core.Lp.externalize (lp t o) h.id in
+  (* substitute remote-child proxies (recursively fetching them) *)
+  let rec subst (d : D.t) =
+    match d with
+    | Sym s ->
+      (match Hashtbl.find_opt t.proxies s with
+       | Some r -> externalize t r
+       | None -> d)
+    | Cons (a, x) -> D.Cons (subst a, subst x)
+    | Nil | Int _ | Str _ -> d
+  in
+  subst raw
+
+type counters = {
+  messages : int;
+  remote_accesses : int;
+  local_accesses : int;
+  weight_refills : int;
+}
+
+let counters (t : t) =
+  { messages = t.messages; remote_accesses = t.remote_accesses;
+    local_accesses = t.local_accesses; weight_refills = t.weight_refills }
+
+let node_lpt t node = Core.Lp.lpt_counters (lp t node)

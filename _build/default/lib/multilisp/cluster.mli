@@ -1,0 +1,82 @@
+(** A SMALL Multilisp system (§6.3, Figures 6.1, 6.4, 6.5).
+
+    Each node is a complete SMALL: an Evaluation Processor with its own
+    List Processor and LPT (Figure 6.1).  List objects live in their
+    owner node's table; other nodes hold {e remote references} — (node,
+    identifier) pairs carrying a reference {e weight} (the extended LPT
+    entry of Figure 6.4).  Operations on a remote object cross the
+    interconnect:
+
+    - [remote_car]/[remote_cdr] send a request to the owner, which
+      performs the access on its LPT and replies with a part — either an
+      immediate atom or a fresh remote reference (non-local copying,
+      Figure 6.5: the owner splits weight off for the requester without
+      touching the count);
+    - copying a reference between nodes splits its weight locally, no
+      message;
+    - dropping one returns its weight, through the node's combining
+      queue when enabled (Figure 6.6).
+
+    Message and hop counters expose the communication cost the chapter
+    reasons about. *)
+
+type t
+
+type handle
+(** A reference some node holds to a (possibly remote) list object. *)
+
+(** [create ~nodes ~combining ()] — [nodes] complete SMALL nodes, each
+    with its own LPT of [lpt_size] entries (default 512). *)
+val create : ?lpt_size:int -> ?flush_at:int -> nodes:int -> combining:bool -> unit -> t
+
+val nodes : t -> int
+
+(** [read_in t ~node d] loads list [d] at [node]; the handle is held by
+    [node].  @raise Invalid_argument on atoms. *)
+val read_in : t -> node:int -> Sexp.Datum.t -> handle
+
+(** Where the handle is held, and where its object lives. *)
+val holder : handle -> int
+
+val owner : t -> handle -> int
+
+type part =
+  | Ref of handle                (** another (possibly remote) object *)
+  | Imm of Sexp.Datum.t          (** an immediate atom, shipped by value *)
+
+(** [car t h] / [cdr t h]: local table access when the holder owns the
+    object, a request/reply message pair otherwise.  The returned handle
+    is held by [h]'s holder. *)
+val car : t -> handle -> part
+
+val cdr : t -> handle -> part
+
+(** [cons t ~at a d]: builds at node [at]; list parts that live elsewhere
+    stay remote children (the endo-structure spans nodes). *)
+val cons : t -> at:int -> part -> part -> handle
+
+(** [send t h ~to_node] hands a copy of [h] to another node by splitting
+    its weight — no message to the owner (Fig 6.5). *)
+val send : t -> handle -> to_node:int -> handle
+
+(** [drop t h] discards a handle, returning its weight to the owner. *)
+val drop : t -> handle -> unit
+
+(** [externalize t h] reconstructs the whole s-expression, fetching
+    remote parts as needed (counts messages). *)
+val externalize : t -> handle -> Sexp.Datum.t
+
+(** Drain every combining queue. *)
+val flush : t -> unit
+
+type counters = {
+  messages : int;        (** request/reply/weight messages that crossed nodes *)
+  remote_accesses : int; (** car/cdr served by a non-holder node *)
+  local_accesses : int;
+  weight_refills : int;  (** exhausted-weight messages *)
+}
+
+val counters : t -> counters
+
+(** Per-node LPT counters (the Fig 6.1 node's LP). *)
+val node_lpt : t -> int -> Core.Lpt.counters

@@ -1,0 +1,96 @@
+type task = {
+  cost : int;
+  subtasks : task list;
+}
+
+let leaf cost = { cost; subtasks = [] }
+let node cost subtasks = { cost; subtasks }
+
+let rec sequential_time t =
+  t.cost + List.fold_left (fun acc s -> acc + sequential_time s) 0 t.subtasks
+
+let rec critical_path t =
+  t.cost + List.fold_left (fun acc s -> max acc (critical_path s)) 0 t.subtasks
+
+(* Greedy list scheduling by levels: a task becomes ready when all its
+   subtasks have completed.  We simulate with an event loop over [p]
+   workers picking the ready task with the longest remaining critical
+   path (a standard LPT-style heuristic). *)
+let makespan t ~processors =
+  if processors < 1 then invalid_arg "Futures.makespan: processors >= 1";
+  (* Flatten into nodes with dependency counts. *)
+  let module N = struct
+    type n = {
+      cost : int;
+      mutable waiting : int;          (* unfinished subtasks *)
+      mutable parent : n option;
+      path : int;                     (* critical path through this node *)
+    }
+  end in
+  let open N in
+  let ready = ref [] in
+  let rec build parent (tk : task) =
+    let n =
+      { cost = tk.cost; waiting = List.length tk.subtasks; parent;
+        path = critical_path tk }
+    in
+    List.iter (fun s -> ignore (build (Some n) s)) tk.subtasks;
+    if n.waiting = 0 then ready := n :: !ready;
+    n
+  in
+  let _root = build None t in
+  let running = ref [] in  (* (finish_time, node) *)
+  let clock = ref 0 in
+  let finished_total = ref 0 in
+  ignore finished_total;
+  let pick () =
+    match List.sort (fun a b -> compare b.path a.path) !ready with
+    | [] -> None
+    | best :: rest ->
+      ready := rest;
+      Some best
+  in
+  let result = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    (* start as many ready tasks as idle processors allow *)
+    let idle = processors - List.length !running in
+    for _ = 1 to idle do
+      match pick () with
+      | Some n -> running := (!clock + n.cost, n) :: !running
+      | None -> ()
+    done;
+    match !running with
+    | [] -> continue_ := false
+    | running_now ->
+      (* advance to the earliest completion *)
+      let finish, done_node =
+        List.fold_left
+          (fun (bf, bn) (f, n) -> if f < bf then (f, n) else (bf, bn))
+          (List.hd running_now) (List.tl running_now)
+      in
+      clock := finish;
+      result := max !result finish;
+      running := List.filter (fun (_, n) -> not (n == done_node)) !running;
+      (match done_node.parent with
+       | Some p ->
+         p.waiting <- p.waiting - 1;
+         if p.waiting = 0 then ready := p :: !ready
+       | None -> ())
+  done;
+  !result
+
+let speedup t ~processors =
+  let seq = sequential_time t in
+  let par = makespan t ~processors in
+  if par = 0 then 1. else float_of_int seq /. float_of_int par
+
+let rec of_expr ?(call_cost = 3) ?(prim_cost = 1) (d : Sexp.Datum.t) =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> leaf prim_cost
+  | Cons _ ->
+    let args =
+      try Sexp.Datum.to_list d
+      with Invalid_argument _ -> [ Sexp.Datum.car d; Sexp.Datum.cdr d ]
+    in
+    node call_cost (List.map (of_expr ~call_cost ~prim_cost) args)

@@ -1,0 +1,36 @@
+(** Future-based parallel evaluation model (§6.2, after Halstead's
+    Multilisp).
+
+    A Multilisp [pcall]/[future] annotation turns argument evaluation
+    into a task tree: a task's subtasks (its arguments) may run in
+    parallel, and the task body runs once all of them have resolved.
+    This module computes, for such a tree, the sequential time, the
+    critical-path time (unbounded processors) and a greedy list-schedule
+    makespan on [p] processors — the speedup bounds a SMALL Multilisp
+    could reach on the workload. *)
+
+type task = {
+  cost : int;            (** body evaluation time after arguments resolve *)
+  subtasks : task list;  (** argument evaluations, forkable *)
+}
+
+val leaf : int -> task
+val node : int -> task list -> task
+
+(** Total work: sum of all costs. *)
+val sequential_time : task -> int
+
+(** Critical path: unbounded-processor makespan. *)
+val critical_path : task -> int
+
+(** [makespan task ~processors] greedy-schedules ready tasks onto [p]
+    processors (arguments before bodies); [p >= 1].  Between
+    [critical_path] and [sequential_time]. *)
+val makespan : task -> processors:int -> int
+
+val speedup : task -> processors:int -> float
+
+(** [of_expr ?call_cost ?prim_cost d] derives a task tree from an
+    s-expression viewed as nested calls: each list is a call whose
+    arguments are its elements' trees. *)
+val of_expr : ?call_cost:int -> ?prim_cost:int -> Sexp.Datum.t -> task

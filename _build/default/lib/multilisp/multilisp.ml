@@ -1,0 +1,8 @@
+(** Chapter 6's SMALL Multilisp extensions: distributed reference
+    management by reference weighting with combining queues
+    (Figures 6.2–6.6), and a future-based parallel evaluation model for
+    speedup estimation. *)
+
+module Refweight = Refweight
+module Cluster = Cluster
+module Futures = Futures

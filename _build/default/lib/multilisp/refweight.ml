@@ -1,0 +1,134 @@
+type scheme =
+  | Naive
+  | Weighted
+
+(* The initial weight handed to a creating reference. *)
+let initial_weight = 1 lsl 16
+
+type obj_state = {
+  owner : int;
+  mutable total : int;   (* Naive: reference count; Weighted: outstanding weight *)
+  mutable dead : bool;
+  id : int;
+}
+
+type obj = obj_state
+
+type reference = {
+  obj : obj_state;
+  holder : int;
+  mutable weight : int;  (* always 1 under Naive *)
+  mutable dropped : bool;
+}
+
+type queue_entry = { q_obj : obj_state; mutable amount : int }
+
+type t = {
+  nodes : int;
+  scheme : scheme;
+  combining : bool;
+  flush_at : int;
+  queues : (int * int, queue_entry list ref) Hashtbl.t;  (* (from, to) links *)
+  mutable live_refs : reference list;   (* for the extant-weight invariant *)
+  mutable messages : int;
+  mutable next_id : int;
+}
+
+let create ?(flush_at = 8) ~nodes ~scheme ~combining () =
+  if nodes <= 0 then invalid_arg "Refweight.create: need at least one node";
+  { nodes; scheme; combining; flush_at; queues = Hashtbl.create 16; live_refs = [];
+    messages = 0; next_id = 0 }
+
+let send t ~from ~target = if from <> target then t.messages <- t.messages + 1
+
+let deliver obj amount =
+  obj.total <- obj.total - amount;
+  if obj.total <= 0 then obj.dead <- true
+
+let queue_for t ~from ~target =
+  match Hashtbl.find_opt t.queues (from, target) with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.replace t.queues (from, target) q;
+    q
+
+let flush_link t ~from ~target =
+  let q = queue_for t ~from ~target in
+  (* one message per distinct object: the point of combining (Fig 6.6) *)
+  List.iter
+    (fun e ->
+       send t ~from ~target;
+       deliver e.q_obj e.amount)
+    !q;
+  q := []
+
+(* An owner-bound return of [amount] weight (or one count under Naive). *)
+let owner_update t ~from obj amount =
+  if from = obj.owner then deliver obj amount
+  else if not t.combining then begin
+    send t ~from ~target:obj.owner;
+    deliver obj amount
+  end
+  else begin
+    let q = queue_for t ~from ~target:obj.owner in
+    (match List.find_opt (fun e -> e.q_obj == obj) !q with
+     | Some e -> e.amount <- e.amount + amount  (* combined: no extra message *)
+     | None -> q := { q_obj = obj; amount } :: !q);
+    if List.length !q >= t.flush_at then flush_link t ~from ~target:obj.owner
+  end
+
+let create_object t ~node =
+  if node < 0 || node >= t.nodes then invalid_arg "Refweight.create_object: bad node";
+  t.next_id <- t.next_id + 1;
+  let weight = match t.scheme with Naive -> 1 | Weighted -> initial_weight in
+  let obj = { owner = node; total = weight; dead = false; id = t.next_id } in
+  let r = { obj; holder = node; weight; dropped = false } in
+  t.live_refs <- r :: t.live_refs;
+  (obj, r)
+
+let copy_ref t r ~to_node =
+  if r.dropped then invalid_arg "Refweight.copy_ref: reference was dropped";
+  if to_node < 0 || to_node >= t.nodes then invalid_arg "Refweight.copy_ref: bad node";
+  let copy =
+    match t.scheme with
+    | Naive ->
+      (* every copy is an increment message to the owner (Fig 6.2) *)
+      send t ~from:r.holder ~target:r.obj.owner;
+      r.obj.total <- r.obj.total + 1;
+      { obj = r.obj; holder = to_node; weight = 1; dropped = false }
+    | Weighted ->
+      if r.weight <= 1 then begin
+        (* exhausted: request fresh weight from the owner — the only
+           copy-time message the weighted scheme ever sends *)
+        send t ~from:r.holder ~target:r.obj.owner;
+        r.obj.total <- r.obj.total + initial_weight;
+        r.weight <- r.weight + initial_weight
+      end;
+      let half = r.weight / 2 in
+      r.weight <- r.weight - half;
+      { obj = r.obj; holder = to_node; weight = half; dropped = false }
+  in
+  t.live_refs <- copy :: t.live_refs;
+  copy
+
+let drop_ref t r =
+  if r.dropped then invalid_arg "Refweight.drop_ref: double drop";
+  r.dropped <- true;
+  t.live_refs <- List.filter (fun r' -> not (r' == r)) t.live_refs;
+  owner_update t ~from:r.holder r.obj r.weight
+
+let flush t =
+  let links = Hashtbl.fold (fun (f, g) _ acc -> (f, g) :: acc) t.queues [] in
+  List.iter (fun (from, target) -> flush_link t ~from ~target) links
+
+let alive _t obj = not obj.dead
+
+let messages t = t.messages
+
+let owner_total _t obj = obj.total
+
+let extant_weight t obj =
+  List.fold_left
+    (fun acc r -> if r.obj == obj && not r.dropped then acc + r.weight else acc)
+    0 t.live_refs

@@ -1,0 +1,58 @@
+(** Distributed reference management for a SMALL Multilisp (§6.3,
+    Figures 6.2–6.6).
+
+    Plain reference counting breaks down in a multiprocessor: every copy
+    or deletion of a remote reference is a message to the owning node,
+    and increment/decrement messages can race (Figure 6.2).  {e Reference
+    weighting} (Figure 6.3) fixes both: each reference carries a weight
+    and the owner records only the object's total; copying a reference
+    splits its weight locally (no message, no race), deleting one returns
+    its weight to the owner.  A reference whose weight has dwindled to 1
+    must request fresh weight from the owner — the only copy-time message
+    left.  Per-link {e combining queues} (Figure 6.6) batch weight
+    returns, merging updates to the same object into one message.
+
+    The simulator runs both schemes over the same operation stream so
+    message counts can be compared (bench [ablation.weights]). *)
+
+type scheme =
+  | Naive              (** count updates at the owner on every copy/drop *)
+  | Weighted           (** reference weights, message-free local copies *)
+
+type t
+
+type obj
+type reference
+
+(** [create ~nodes ~scheme ~combining] builds an idle [nodes]-node
+    system.  [combining] batches owner-bound messages per link (only
+    meaningful under [Weighted]; a batch is flushed when it holds
+    [flush_at] updates, merging same-object entries). *)
+val create : ?flush_at:int -> nodes:int -> scheme:scheme -> combining:bool -> unit -> t
+
+(** [create_object t ~node] makes an object owned by [node], returning
+    its creating reference (held at [node]). *)
+val create_object : t -> node:int -> obj * reference
+
+(** [copy_ref t r ~to_node] hands a copy of [r] to [to_node] (Fig 6.5's
+    non-local copying). *)
+val copy_ref : t -> reference -> to_node:int -> reference
+
+(** [drop_ref t r] discards a reference.  Dropping twice is an error. *)
+val drop_ref : t -> reference -> unit
+
+(** [flush t] drains every combining queue (end-of-run accounting). *)
+val flush : t -> unit
+
+(** An object is dead once every reference is gone (after [flush]). *)
+val alive : t -> obj -> bool
+
+(** Messages that crossed node boundaries so far. *)
+val messages : t -> int
+
+(** Outstanding weight / count recorded at the owner (diagnostic). *)
+val owner_total : t -> obj -> int
+
+(** Sum of extant reference weights (diagnostic; equals {!owner_total}
+    after [flush] — the invariant the property tests check). *)
+val extant_weight : t -> obj -> int

@@ -1,0 +1,1 @@
+lib/repr/repr.ml: Cdar Cdr_coding Conc Cost Eps Exception_table Linked_vector Offset_coding Two_pointer

@@ -1,0 +1,1 @@
+lib/repr/cdar.ml: Bool List Sexp String

@@ -1,0 +1,1 @@
+lib/repr/cdar.mli: Sexp

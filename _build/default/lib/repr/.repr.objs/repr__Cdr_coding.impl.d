@@ -1,0 +1,1 @@
+lib/repr/cdr_coding.ml: Array Heap List Sexp String

@@ -1,0 +1,1 @@
+lib/repr/cdr_coding.mli: Heap Sexp

@@ -1,0 +1,1 @@
+lib/repr/conc.ml: Array List Sexp

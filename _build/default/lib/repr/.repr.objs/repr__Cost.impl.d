@@ -1,0 +1,1 @@
+lib/repr/cost.ml: Cdar Cdr_coding Eps Format Linked_vector Sexp Two_pointer

@@ -1,0 +1,1 @@
+lib/repr/cost.mli: Format Sexp

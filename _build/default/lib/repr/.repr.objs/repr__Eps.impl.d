@@ -1,0 +1,1 @@
+lib/repr/eps.ml: Array Buffer List Sexp

@@ -1,0 +1,1 @@
+lib/repr/eps.mli: Sexp

@@ -1,0 +1,1 @@
+lib/repr/exception_table.ml: List Sexp

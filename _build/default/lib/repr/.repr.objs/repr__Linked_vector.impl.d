@@ -1,0 +1,1 @@
+lib/repr/linked_vector.ml: Array Heap List Sexp String

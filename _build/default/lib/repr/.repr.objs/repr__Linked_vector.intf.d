@@ -1,0 +1,1 @@
+lib/repr/linked_vector.mli: Heap Sexp

@@ -1,0 +1,1 @@
+lib/repr/offset_coding.ml: Array List Sexp

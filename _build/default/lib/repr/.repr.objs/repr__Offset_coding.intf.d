@@ -1,0 +1,1 @@
+lib/repr/offset_coding.mli: Sexp

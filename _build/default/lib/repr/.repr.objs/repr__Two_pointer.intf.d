@@ -1,0 +1,1 @@
+lib/repr/two_pointer.mli: Heap Sexp

@@ -1,0 +1,51 @@
+type entry = {
+  path : bool list;
+  node : int;
+  value : Sexp.Datum.t;
+}
+
+type t = entry list
+
+let node_of_path path = List.fold_left (fun n b -> (2 * n) + Bool.to_int b) 1 path
+
+let encode d =
+  let rec go prefix (d : Sexp.Datum.t) acc =
+    match d with
+    | Nil -> acc
+    | Sym _ | Int _ | Str _ ->
+      let path = List.rev prefix in
+      { path; node = node_of_path path; value = d } :: acc
+    | Cons (a, x) -> go (false :: prefix) a (go (true :: prefix) x acc)
+  in
+  go [] d []
+
+let rec decode (entries : t) : Sexp.Datum.t =
+  match entries with
+  | [] -> Nil
+  | [ { path = []; value; _ } ] -> value
+  | entries ->
+    if List.exists (fun e -> e.path = []) entries then
+      invalid_arg "Cdar.decode: atom entry shadowed by deeper entries";
+    let strip side =
+      List.filter_map
+        (fun e ->
+           match e.path with
+           | b :: rest when b = side ->
+             Some { e with path = rest; node = node_of_path rest }
+           | _ -> None)
+        entries
+    in
+    Cons (decode (strip false), decode (strip true))
+
+let lookup entries path =
+  List.find_map (fun e -> if e.path = path then Some e.value else None) entries
+
+let cells (t : t) = List.length t
+
+let bits t ~word_bits ~path_bits = cells t * (word_bits + path_bits)
+
+let code_string ~width e =
+  let bits = List.rev_map (fun b -> if b then '1' else '0') e.path in
+  let s = String.init (List.length bits) (List.nth bits) in
+  if String.length s >= width then s
+  else String.make (width - String.length s) '0' ^ s

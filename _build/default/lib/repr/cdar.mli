@@ -1,0 +1,44 @@
+(** CDAR coding (Figure 2.10, [Pott83a]) — a structure-coded
+    representation.
+
+    Each symbol of a list is tagged with the string of car (0) and cdr (1)
+    operations that reaches it from the list root, least-significant
+    operation first; equivalently the path word of the BLAST node number
+    N = 2^l + k (§2.3.3.2).  Only the [n] symbols are stored — structural
+    information lives entirely in the tags — so any element is addressable
+    without touching other cells, at the price of harder splitting and
+    merging (§4.3.3.2). *)
+
+type entry = {
+  path : bool list;    (** root-to-symbol operations; [false]=car, [true]=cdr *)
+  node : int;          (** BLAST node number: 1 then path bits appended *)
+  value : Sexp.Datum.t;(** the symbol (a non-nil atom) *)
+}
+
+type t = entry list
+(** An encoded list: one entry per symbol, in left-to-right order. *)
+
+(** [encode d] produces the exception-table encoding of [d]. *)
+val encode : Sexp.Datum.t -> t
+
+(** [decode t] reconstructs the s-expression; leaves not covered by any
+    entry's path are [Nil].  [decode (encode d) = d] whenever [d] contains
+    no [Nil] elements in atom position (a stored [Nil] is indistinguishable
+    from an implicit one — the representation's documented blind spot). *)
+val decode : t -> Sexp.Datum.t
+
+(** [lookup t path] finds the entry at exactly [path], if any — the
+    constant-time associative access the scheme is designed for. *)
+val lookup : t -> bool list -> Sexp.Datum.t option
+
+(** Cells used: one per symbol ([n], vs [n + p] for pointer schemes). *)
+val cells : t -> int
+
+(** Space in bits with [word_bits]-wide symbol fields and [path_bits]-wide
+    code fields per entry. *)
+val bits : t -> word_bits:int -> path_bits:int -> int
+
+(** Render an entry's CDAR code as a fixed-width 0/1 string of [width]
+    characters, least-significant (first) operation rightmost — the format
+    of Figure 2.10. *)
+val code_string : width:int -> entry -> string

@@ -1,0 +1,143 @@
+type code = Cdr_next | Cdr_nil | Cdr_normal | Cdr_error
+
+type car_word =
+  | Atom of Heap.Word.t
+  | Ref of int
+  | Invisible of int
+
+type cell = { mutable word : car_word; mutable code : code }
+
+type t = {
+  mutable cells : cell array;
+  mutable len : int;
+  mutable invisible_hops : int;
+  symtab : Heap.Symtab.t;
+}
+
+let create () =
+  { cells = Array.init 16 (fun _ -> { word = Atom Heap.Word.Nil; code = Cdr_nil });
+    len = 0;
+    invisible_hops = 0;
+    symtab = Heap.Symtab.create () }
+
+let cells t = t.len
+
+let bits t ~word_bits = t.len * (word_bits + 2)
+
+let grow t needed =
+  let cap = Array.length t.cells in
+  if t.len + needed > cap then begin
+    let cap' = max (2 * cap) (t.len + needed) in
+    let fresh = Array.init cap' (fun i ->
+        if i < cap then t.cells.(i) else { word = Atom Heap.Word.Nil; code = Cdr_nil })
+    in
+    t.cells <- fresh
+  end
+
+(* Reserve [k] consecutive cells, returning the index of the first. *)
+let reserve t k =
+  grow t k;
+  let first = t.len in
+  t.len <- t.len + k;
+  for i = first to first + k - 1 do
+    t.cells.(i) <- { word = Atom Heap.Word.Nil; code = Cdr_nil }
+  done;
+  first
+
+let atom_word t (d : Sexp.Datum.t) : Heap.Word.t =
+  match d with
+  | Nil -> Heap.Word.Nil
+  | Int n -> Heap.Word.Int n
+  | Sym s -> Heap.Word.Sym (Heap.Symtab.intern t.symtab s)
+  | Str s -> Heap.Word.Sym (Heap.Symtab.intern t.symtab ("\"" ^ s))
+  | Cons _ -> invalid_arg "atom_word"
+
+let rec encode t (d : Sexp.Datum.t) : car_word =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> Atom (atom_word t d)
+  | Cons _ ->
+    let rec spine acc = function
+      | Sexp.Datum.Cons (a, rest) -> spine (a :: acc) rest
+      | tail -> (List.rev acc, tail)
+    in
+    let items, tail = spine [] d in
+    let k = List.length items in
+    (match tail with
+     | Nil ->
+       (* Pure vector run: k compact cells. *)
+       let first = reserve t k in
+       List.iteri
+         (fun i item ->
+            let c = t.cells.(first + i) in
+            c.word <- encode t item;
+            c.code <- (if i = k - 1 then Cdr_nil else Cdr_next))
+         items;
+       Ref first
+     | tail ->
+       (* Dotted tail: compact run then a normal/error pair at the end. *)
+       let first = reserve t (k + 1) in
+       List.iteri
+         (fun i item ->
+            let c = t.cells.(first + i) in
+            c.word <- encode t item;
+            c.code <- (if i = k - 1 then Cdr_normal else Cdr_next))
+         items;
+       let last = t.cells.(first + k) in
+       last.word <- encode t tail;
+       last.code <- Cdr_error;
+       Ref first)
+
+let rec resolve t i =
+  match t.cells.(i).word with
+  | Invisible j ->
+    t.invisible_hops <- t.invisible_hops + 1;
+    resolve t j
+  | Atom _ | Ref _ -> i
+
+let car t i =
+  let i = resolve t i in
+  t.cells.(i).word
+
+let cdr t i =
+  let i = resolve t i in
+  match t.cells.(i).code with
+  | Cdr_nil -> Atom Heap.Word.Nil
+  | Cdr_next -> Ref (i + 1)
+  | Cdr_normal -> t.cells.(i + 1).word
+  | Cdr_error -> invalid_arg "Cdr_coding.cdr: cdr-error cell"
+
+let rplaca t i w =
+  let i = resolve t i in
+  t.cells.(i).word <- w
+
+let rplacd t i w =
+  let i = resolve t i in
+  match t.cells.(i).code with
+  | Cdr_normal -> t.cells.(i + 1).word <- w; false
+  | Cdr_error -> invalid_arg "Cdr_coding.rplacd: cdr-error cell"
+  | Cdr_next | Cdr_nil ->
+    (* Cannot widen in place: forward to a fresh normal pair. *)
+    let j = reserve t 2 in
+    t.cells.(j) <- { word = t.cells.(i).word; code = Cdr_normal };
+    t.cells.(j + 1) <- { word = w; code = Cdr_error };
+    t.cells.(i).word <- Invisible j;
+    true
+
+let rec decode t (w : car_word) : Sexp.Datum.t =
+  match w with
+  | Atom Heap.Word.Nil -> Nil
+  | Atom (Heap.Word.Int n) -> Int n
+  | Atom (Heap.Word.Sym s) ->
+    let name = Heap.Symtab.name t.symtab s in
+    if String.length name >= 1 && name.[0] = '"' then
+      Str (String.sub name 1 (String.length name - 1))
+    else Sym name
+  | Atom (Heap.Word.Ptr _) -> invalid_arg "Cdr_coding.decode: raw pointer"
+  | Invisible j ->
+    t.invisible_hops <- t.invisible_hops + 1;
+    decode t (Ref j)
+  | Ref i ->
+    let i = resolve t i in
+    Cons (decode t (car t i), decode t (cdr t i))
+
+let invisible_hops t = t.invisible_hops

@@ -1,0 +1,56 @@
+(** MIT Lisp Machine cdr-coding (Figure 2.8, §2.3.3.1).
+
+    A cdr-coded cell is a wide car word plus a 2-bit cdr code:
+    - [Cdr_next]: the cdr is the cell at the next address;
+    - [Cdr_nil]: the cdr is nil (last cell of a vector run);
+    - [Cdr_normal]: the cdr pointer lives in the neighbouring cell, whose
+      own code is [Cdr_error] — the pair behaves like a two-pointer cell;
+    - [Cdr_error]: the cell is the second half of a normal pair.
+
+    Destructive [rplacd] on a compact cell cannot rewrite the neighbour (it
+    belongs to another list element), so the cell is replaced by an
+    {e invisible pointer} to a freshly allocated normal pair, dereferenced
+    transparently on access — exactly the MIT machine's escape hatch. *)
+
+type code = Cdr_next | Cdr_nil | Cdr_normal | Cdr_error
+
+type car_word =
+  | Atom of Heap.Word.t     (** a non-pointer atom ([Ptr] is rejected) *)
+  | Ref of int              (** index of another cdr-coded cell *)
+  | Invisible of int        (** forwarding pointer, dereferenced on access *)
+
+type t
+(** A growable cdr-coded list space. *)
+
+val create : unit -> t
+
+(** Number of cells currently in the space. *)
+val cells : t -> int
+
+(** Space cost in bits, with [word_bits]-wide car fields: each cell is
+    [word_bits + 2] bits.  Compare {!Two_pointer.bits}. *)
+val bits : t -> word_bits:int -> int
+
+(** [encode t d] lays out datum [d]; returns its root word. *)
+val encode : t -> Sexp.Datum.t -> car_word
+
+(** [decode t w] reconstructs the s-expression at [w]. *)
+val decode : t -> car_word -> Sexp.Datum.t
+
+(** [car t i] / [cdr t i] follow invisible pointers and return the
+    car/cdr of cell [i] as a [car_word] ([Atom Nil] for nil). *)
+val car : t -> int -> car_word
+
+val cdr : t -> int -> car_word
+
+(** [rplaca t i w] replaces the car of cell [i]. *)
+val rplaca : t -> int -> car_word -> unit
+
+(** [rplacd t i w] replaces the cdr of cell [i], converting a compact cell
+    into an invisible pointer to a normal pair when needed.  Returns [true]
+    if an invisible pointer had to be created. *)
+val rplacd : t -> int -> car_word -> bool
+
+(** Number of invisible-pointer dereferences performed so far (the hidden
+    access cost of mutation under compact coding). *)
+val invisible_hops : t -> int

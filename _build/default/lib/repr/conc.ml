@@ -1,0 +1,84 @@
+type t =
+  | Tuple of elem array
+  | Conc of t * t
+
+and elem =
+  | Atom of Sexp.Datum.t
+  | Sub of t
+
+let rec of_datum (d : Sexp.Datum.t) =
+  match d with
+  | Nil -> Tuple [||]
+  | Sym _ | Int _ | Str _ -> invalid_arg "Conc.of_datum: not a list"
+  | Cons _ ->
+    let items = Sexp.Datum.to_list d in
+    Tuple
+      (Array.of_list
+         (List.map
+            (fun (item : Sexp.Datum.t) ->
+               match item with
+               | Cons _ | Nil -> Sub (of_datum item)
+               | Sym _ | Int _ | Str _ -> Atom item)
+            items))
+
+let rec to_datum t =
+  let rec elems t acc =
+    match t with
+    | Conc (a, b) -> elems a (elems b acc)
+    | Tuple es ->
+      Array.fold_right
+        (fun e acc ->
+           let d = match e with Atom a -> a | Sub s -> to_datum s in
+           Sexp.Datum.Cons (d, acc))
+        es acc
+  in
+  ignore to_datum;
+  elems t Sexp.Datum.Nil
+
+let concat a b = Conc (a, b)
+
+let rec length = function
+  | Tuple es -> Array.length es
+  | Conc (a, b) -> length a + length b
+
+let nth t i =
+  let rec go t i hops =
+    match t with
+    | Tuple es ->
+      if i < Array.length es then (es.(i), hops)
+      else invalid_arg "Conc.nth: index out of range"
+    | Conc (a, b) ->
+      let la = length a in
+      if i < la then go a i (hops + 1) else go b (i - la) (hops + 1)
+  in
+  go t i 0
+
+type space = {
+  tuple_cells : int;
+  descriptors : int;
+  conc_cells : int;
+}
+
+let space t =
+  let rec go t acc =
+    match t with
+    | Tuple es ->
+      let acc =
+        { acc with
+          tuple_cells = acc.tuple_cells + Array.length es;
+          descriptors = acc.descriptors + 1 }
+      in
+      Array.fold_left
+        (fun acc e -> match e with Sub s -> go s acc | Atom _ -> acc)
+        acc es
+    | Conc (a, b) -> go b (go a { acc with conc_cells = acc.conc_cells + 1 })
+  in
+  go t { tuple_cells = 0; descriptors = 0; conc_cells = 0 }
+
+let flatten t =
+  let rec collect t acc =
+    match t with
+    | Conc (a, b) -> collect a (collect b acc)
+    | Tuple es -> Array.fold_right (fun e acc -> e :: acc) es acc
+  in
+  Tuple (Array.of_list (collect t []))

@@ -1,0 +1,52 @@
+(** The conc representation (§2.3.3.1, [Kell80a]).
+
+    Linear runs of list elements are stored as {e tuples} — contiguous
+    vectors accessed through a descriptor (length, pointer) — while
+    {e conc cells} implement concatenation without modifying either
+    operand: concatenating L1 and L2 allocates one conc cell whose
+    fields point at them (contrast the two-pointer representation, where
+    append must copy or rplacd).
+
+    Access cost: indexing into a tuple is O(1) after following its
+    descriptor; conc cells add one indirection per crossing, so a list
+    built from [k] concatenations costs up to O(log k) hops per access
+    if balanced, O(k) if degenerate — the trade-off the thesis notes for
+    vector-coded schemes. *)
+
+type t =
+  | Tuple of elem array           (** a run of elements *)
+  | Conc of t * t                 (** concatenation node *)
+
+and elem =
+  | Atom of Sexp.Datum.t          (** a non-nil atom *)
+  | Sub of t                      (** a nested list *)
+
+(** [of_datum d] builds a single-tuple representation of proper list [d]
+    (sublists become [Sub] tuples).
+    @raise Invalid_argument on atoms or dotted lists. *)
+val of_datum : Sexp.Datum.t -> t
+
+val to_datum : t -> Sexp.Datum.t
+
+(** O(1) concatenation: allocates exactly one conc cell. *)
+val concat : t -> t -> t
+
+val length : t -> int
+
+(** [nth t i] returns the element and the number of conc-cell hops the
+    access crossed.  @raise Invalid_argument if out of range. *)
+val nth : t -> int -> elem * int
+
+(** Space model: tuple cells = total elements; descriptors = number of
+    tuples; conc cells counted separately. *)
+type space = {
+  tuple_cells : int;
+  descriptors : int;
+  conc_cells : int;
+}
+
+val space : t -> space
+
+(** [flatten t] copies everything into one fresh tuple (the compaction a
+    conc system performs when indirection costs accumulate). *)
+val flatten : t -> t

@@ -1,0 +1,44 @@
+type summary = {
+  n : int;
+  p : int;
+  two_pointer_cells : int;
+  cdr_coded_cells : int;
+  linked_vector_cells : int;
+  structure_coded_cells : int;
+  two_pointer_bits : int;
+  cdr_coded_bits : int;
+  linked_vector_bits : int;
+  cdar_bits : int;
+  eps_bits : int;
+}
+
+let summarize ?(vector_size = 8) d =
+  let n, p = Sexp.Metrics.np d in
+  let tp = Two_pointer.create ~capacity:(max 16 (4 * (n + p + 1))) in
+  ignore (Two_pointer.encode tp d);
+  let cc = Cdr_coding.create () in
+  ignore (Cdr_coding.encode cc d);
+  let lv = Linked_vector.create ~vector_size in
+  ignore (Linked_vector.encode lv d);
+  let cd = Cdar.encode d in
+  let ep = Eps.encode d in
+  {
+    n;
+    p;
+    two_pointer_cells = Two_pointer.cells tp;
+    cdr_coded_cells = Cdr_coding.cells cc;
+    linked_vector_cells = Linked_vector.total_cells lv;
+    structure_coded_cells = Cdar.cells cd;
+    two_pointer_bits = Two_pointer.bits tp ~word_bits:32;
+    cdr_coded_bits = Cdr_coding.bits cc ~word_bits:29;
+    linked_vector_bits = Linked_vector.bits lv ~word_bits:29;
+    cdar_bits = Cdar.bits cd ~word_bits:24 ~path_bits:8;
+    eps_bits = Eps.bits ep ~word_bits:24 ~count_bits:8;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "n=%d p=%d | cells: 2ptr=%d cdr=%d lvec=%d struct=%d | bits: 2ptr=%d cdr=%d lvec=%d cdar=%d eps=%d"
+    s.n s.p s.two_pointer_cells s.cdr_coded_cells s.linked_vector_cells
+    s.structure_coded_cells s.two_pointer_bits s.cdr_coded_bits
+    s.linked_vector_bits s.cdar_bits s.eps_bits

@@ -1,0 +1,27 @@
+(** Side-by-side space costs of the representation schemes for a given
+    s-expression — the comparison behind Figure 3.2 and §2.3.3.3.
+
+    Field widths default to the MIT Lisp Machine's: 32-bit words for
+    two-pointer cells, 29+2-bit cdr-coded cells, 24-bit symbols with
+    BLAST-style path codes for the structure-coded schemes. *)
+
+type summary = {
+  n : int;                      (** symbols in the list *)
+  p : int;                      (** internal parenthesis pairs *)
+  two_pointer_cells : int;      (** = n + p *)
+  cdr_coded_cells : int;
+  linked_vector_cells : int;    (** total incl. fragmentation *)
+  structure_coded_cells : int;  (** = n (CDAR and EPS alike) *)
+  two_pointer_bits : int;
+  cdr_coded_bits : int;
+  linked_vector_bits : int;
+  cdar_bits : int;
+  eps_bits : int;
+}
+
+(** [summarize ?vector_size d] encodes [d] under every scheme and reports
+    the costs.  [d] must be a proper nested list without nil elements
+    (the common domain of all schemes).  [vector_size] defaults to 8. *)
+val summarize : ?vector_size:int -> Sexp.Datum.t -> summary
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,70 @@
+type entry = {
+  left : int;
+  right : int;
+  position : int;
+  value : Sexp.Datum.t;
+}
+
+type t = entry list
+
+type token = Lp | Rp | Symb of Sexp.Datum.t
+
+(* Flatten the printed form of [d] into a token stream. *)
+let rec tokens (d : Sexp.Datum.t) acc =
+  match d with
+  | Nil -> invalid_arg "Eps.encode: nil element is not expressible"
+  | Sym _ | Int _ | Str _ -> Symb d :: acc
+  | Cons _ ->
+    let items = Sexp.Datum.to_list d in
+    if items = [] then invalid_arg "Eps.encode: empty list is not expressible";
+    Lp :: List.fold_right tokens items (Rp :: acc)
+
+let encode d =
+  (match d with
+   | Sexp.Datum.Cons _ -> ()
+   | Nil | Sym _ | Int _ | Str _ -> invalid_arg "Eps.encode: not a list");
+  let toks = Array.of_list (tokens d []) in
+  let n = Array.length toks in
+  let entries = ref [] in
+  let lefts = ref 0 and rights = ref 0 and pos = ref 0 in
+  Array.iteri
+    (fun i tok ->
+       match tok with
+       | Lp -> incr lefts
+       | Rp -> incr rights
+       | Symb v ->
+         incr pos;
+         (* closes immediately following this symbol *)
+         let following = ref 0 in
+         let j = ref (i + 1) in
+         while !j < n && toks.(!j) = Rp do incr following; incr j done;
+         entries :=
+           { left = !lefts; right = !rights + !following; position = !pos; value = v }
+           :: !entries)
+    toks;
+  List.rev !entries
+
+let decode (entries : t) : Sexp.Datum.t =
+  match entries with
+  | [] -> Nil
+  | entries ->
+    (* Between consecutive symbols the stream is some ')'s (all adjacent to
+       the earlier symbol, so recoverable from its [right]) then some '('s
+       (from the [left] difference); rebuild the text and re-read it. *)
+    let buf = Buffer.create 64 in
+    let prev_left = ref 0 and prev_right = ref 0 in
+    List.iter
+      (fun e ->
+         for _ = 1 to e.left - !prev_left do Buffer.add_char buf '(' done;
+         Buffer.add_string buf (Sexp.Printer.to_string e.value);
+         Buffer.add_char buf ' ';
+         for _ = 1 to e.right - !prev_right do Buffer.add_char buf ')' done;
+         prev_left := e.left;
+         prev_right := e.right)
+      entries;
+    for _ = 1 to !prev_left - !prev_right do Buffer.add_char buf ')' done;
+    Sexp.Reader.parse (Buffer.contents buf)
+
+let cells (t : t) = List.length t
+
+let bits t ~word_bits ~count_bits = cells t * (word_bits + (3 * count_bits))

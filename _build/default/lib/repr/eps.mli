@@ -1,0 +1,37 @@
+(** Explicit Parenthesis Storage (EPS) representation (Figure 2.10,
+    [Pott83a]).
+
+    Each symbol of a list is tagged with three counts:
+    - [left]: left parentheses in the printed list to the left of the
+      symbol;
+    - [right]: right parentheses to the left of {e and immediately
+      following} the symbol;
+    - [position]: the symbol's 1-based position among all symbols.
+
+    The triple sequence determines the list: the parentheses opened
+    before symbol [i] number [left(i) - left(i-1)], and since
+    [right(i) = closes_before(i+1)], the closes between consecutive
+    symbols are recoverable too. *)
+
+type entry = {
+  left : int;
+  right : int;
+  position : int;
+  value : Sexp.Datum.t;
+}
+
+type t = entry list
+
+(** [encode d] tags every symbol of list [d].  [d] must be a proper nested
+    list whose atoms are non-nil (nil elements and dotted pairs are not
+    expressible in EPS). *)
+val encode : Sexp.Datum.t -> t
+
+(** [decode t] reconstructs the list.  [decode (encode d) = d] for
+    EPS-expressible [d]. *)
+val decode : t -> Sexp.Datum.t
+
+val cells : t -> int
+
+(** Space in bits per entry: symbol word plus three count fields. *)
+val bits : t -> word_bits:int -> count_bits:int -> int

@@ -1,0 +1,79 @@
+type t =
+  | Table of (int * Sexp.Datum.t) list   (* (node number, symbol), sorted *)
+  | Fwd of t * t                         (* cheap merge: two forwardings *)
+
+let scan_counter = ref 0
+
+let entries_scanned () = !scan_counter
+let reset_scan_counter () = scan_counter := 0
+
+let encode d =
+  let rec go n (d : Sexp.Datum.t) acc =
+    match d with
+    | Nil -> acc
+    | Sym _ | Int _ | Str _ -> (n, d) :: acc
+    | Cons (a, x) -> go (2 * n) a (go ((2 * n) + 1) x acc)
+  in
+  Table (List.sort (fun (a, _) (b, _) -> compare a b) (go 1 d []))
+
+(* Path length of node number n (root = 0); its first path bit selects the
+   car (0) or cdr (1) subtree. *)
+let path_len n =
+  let rec go n acc = if n <= 1 then acc else go (n / 2) (acc + 1) in
+  go n 0
+
+let first_bit n = (n lsr (path_len n - 1)) land 1
+
+(* Renumber a node into its subtree: strip the first path bit. *)
+let strip n =
+  let k = path_len n in
+  (1 lsl (k - 1)) lor (n land ((1 lsl (k - 1)) - 1))
+
+let partition entries =
+  let left =
+    List.filter_map (fun (n, s) -> if first_bit n = 0 then Some (strip n, s) else None)
+      entries
+  in
+  let right =
+    List.filter_map (fun (n, s) -> if first_bit n = 1 then Some (strip n, s) else None)
+      entries
+  in
+  (left, right)
+
+let rec decode = function
+  | Fwd (a, b) -> Sexp.Datum.Cons (decode a, decode b)
+  | Table [] -> Sexp.Datum.Nil
+  | Table [ (1, atom) ] -> atom
+  | Table entries ->
+    if List.exists (fun (n, _) -> n = 1) entries then
+      invalid_arg "Exception_table.decode: atom entry shadowed by deeper entries";
+    let left, right = partition entries in
+    Sexp.Datum.Cons (decode (Table left), decode (Table right))
+
+let rec lookup t n =
+  match t with
+  | Table entries -> List.assoc_opt n entries
+  | Fwd (a, b) ->
+    if n = 1 then None
+    else if first_bit n = 0 then lookup a (strip n)
+    else lookup b (strip n)
+
+let split = function
+  | Fwd (a, b) -> (a, b)
+  | Table [] -> invalid_arg "Exception_table.split: nil object"
+  | Table [ (1, _) ] -> invalid_arg "Exception_table.split: atom object"
+  | Table entries ->
+    (* the expensive path: every entry is examined and renumbered *)
+    scan_counter := !scan_counter + List.length entries;
+    let left, right = partition entries in
+    (Table left, Table right)
+
+let merge a b = Fwd (a, b)
+
+let rec entries = function
+  | Table es -> List.length es
+  | Fwd (a, b) -> entries a + entries b
+
+let rec forwardings = function
+  | Table _ -> 0
+  | Fwd (a, b) -> 1 + forwardings a + forwardings b

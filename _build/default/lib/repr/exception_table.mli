@@ -1,0 +1,46 @@
+(** BLAST-style exception tables (§2.3.3.2, [Sohi85a]; split/merge costs
+    discussed in §4.3.3.2).
+
+    A list maps to a binary tree whose leaves are its symbols; each
+    symbol is stored with its Minsky/BLAST node number N = 2^l + k (the
+    root is 1, node N's children are 2N and 2N+1).  A list is then a set
+    of (node number, symbol) tuples held in an associatively searched
+    table — every element addressable without touching any other cell.
+
+    The price appears at structure surgery: {!split} must scan the whole
+    table and renumber each entry into one of two new tables, while a
+    cheap {!merge} allocates a table of two {e forwarding} entries — the
+    indirections and fragmentation §4.3.3.2 warns about. *)
+
+type t
+
+(** [encode d] builds the table for [d]; nil leaves are implicit.  Like
+    CDAR coding the scheme cannot represent an explicit [Nil] in atom
+    position. *)
+val encode : Sexp.Datum.t -> t
+
+val decode : t -> Sexp.Datum.t
+
+(** [lookup t n] finds the symbol at node number [n] (following
+    forwarding entries), if any. *)
+val lookup : t -> int -> Sexp.Datum.t option
+
+(** [split t] returns the car-subtree and cdr-subtree tables with
+    renumbered entries; returns an expensive full-scan cost via the
+    [entries_scanned] count.  @raise Invalid_argument on an atom table. *)
+val split : t -> t * t
+
+(** [merge a b] — cheap: one table holding two forwarding pointers. *)
+val merge : t -> t -> t
+
+(** Symbol entries stored (forwarding entries excluded). *)
+val entries : t -> int
+
+(** Forwarding entries accumulated by cheap merges. *)
+val forwardings : t -> int
+
+(** Entries scanned by all [split]s performed on tables derived from
+    this value's lineage so far — a process-wide cost counter. *)
+val entries_scanned : unit -> int
+
+val reset_scan_counter : unit -> unit

@@ -1,0 +1,121 @@
+type tag = Default_next | Default_nil | Indirect | Unused
+
+type element =
+  | Elem of Heap.Word.t
+  | Link of int
+
+type cell = { mutable tag : tag; mutable elem : element }
+
+type t = {
+  size : int;
+  mutable vecs : cell array list;  (* newest first; id = vec_index * size + offset *)
+  mutable nvecs : int;
+  mutable used : int;
+  mutable indirections : int;
+  symtab : Heap.Symtab.t;
+}
+
+let create ~vector_size =
+  if vector_size < 2 then invalid_arg "Linked_vector.create: size must be >= 2";
+  { size = vector_size; vecs = []; nvecs = 0; used = 0; indirections = 0;
+    symtab = Heap.Symtab.create () }
+
+let new_vector t =
+  let v = Array.init t.size (fun _ -> { tag = Unused; elem = Elem Heap.Word.Nil }) in
+  t.vecs <- t.vecs @ [ v ];
+  let index = t.nvecs in
+  t.nvecs <- t.nvecs + 1;
+  index
+
+let cell t id =
+  let v = List.nth t.vecs (id / t.size) in
+  v.(id mod t.size)
+
+let atom_word t (d : Sexp.Datum.t) : Heap.Word.t =
+  match d with
+  | Nil -> Heap.Word.Nil
+  | Int n -> Heap.Word.Int n
+  | Sym s -> Heap.Word.Sym (Heap.Symtab.intern t.symtab s)
+  | Str s -> Heap.Word.Sym (Heap.Symtab.intern t.symtab ("\"" ^ s))
+  | Cons _ -> invalid_arg "atom_word"
+
+let rec encode t (d : Sexp.Datum.t) =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> None
+  | Cons _ ->
+    let items = Sexp.Datum.to_list d in
+    (* Encode sublists first, turning every element into a word. *)
+    let words =
+      List.map
+        (fun item ->
+           match encode t item with
+           | Some id -> Heap.Word.Ptr id
+           | None -> atom_word t item)
+        items
+    in
+    Some (lay_out t words)
+
+(* Fill words into vectors; the last slot of a full vector is an
+   indirection to the continuation. *)
+and lay_out t words =
+  let vec = new_vector t in
+  let base = vec * t.size in
+  let rec fill offset words =
+    match words with
+    | [] -> assert false
+    | [ w ] ->
+      let c = cell t (base + offset) in
+      c.tag <- Default_nil;
+      c.elem <- Elem w;
+      t.used <- t.used + 1
+    | w :: rest ->
+      if offset = t.size - 1 then begin
+        (* Out of room: indirect to a continuation vector. *)
+        let c = cell t (base + offset) in
+        c.tag <- Indirect;
+        c.elem <- Link (lay_out t words);
+        t.used <- t.used + 1;
+        t.indirections <- t.indirections + 1
+      end
+      else begin
+        let c = cell t (base + offset) in
+        c.tag <- Default_next;
+        c.elem <- Elem w;
+        t.used <- t.used + 1;
+        fill (offset + 1) rest
+      end
+  in
+  fill 0 words;
+  base
+
+let word_datum t (w : Heap.Word.t) : Sexp.Datum.t =
+  match w with
+  | Nil -> Nil
+  | Int n -> Int n
+  | Sym s ->
+    let name = Heap.Symtab.name t.symtab s in
+    if String.length name >= 1 && name.[0] = '"' then
+      Str (String.sub name 1 (String.length name - 1))
+    else Sym name
+  | Ptr _ -> assert false
+
+let rec decode t id =
+  let c = cell t id in
+  match c.tag, c.elem with
+  | Default_next, Elem w -> Sexp.Datum.Cons (decode_elem t w, decode t (id + 1))
+  | Default_nil, Elem w -> Sexp.Datum.Cons (decode_elem t w, Nil)
+  | Indirect, Link target -> decode t target
+  | Unused, _ -> decode t (id + 1)
+  | (Default_next | Default_nil), Link _ | Indirect, Elem _ ->
+    invalid_arg "Linked_vector.decode: corrupt cell"
+
+and decode_elem t (w : Heap.Word.t) =
+  match w with
+  | Ptr id -> decode t id
+  | Nil | Sym _ | Int _ -> word_datum t w
+
+let vectors t = t.nvecs
+let indirections t = t.indirections
+let used_cells t = t.used
+let total_cells t = t.nvecs * t.size
+let bits t ~word_bits = total_cells t * (word_bits + 2)

@@ -1,0 +1,43 @@
+(** Linked-vector list representation (Figure 2.7, [Li85a]).
+
+    Lists are stored in fixed-size vectors of tagged elements.  A two-bit
+    tag distinguishes: a {e default} cell whose cdr is the next cell in the
+    vector; a default cell whose cdr is {e nil}; an {e indirection} cell
+    holding a pointer to a cell in another vector (used to chain vectors
+    and for structure sharing); and an {e unused} cell (left behind by
+    deletions so compaction can be deferred). *)
+
+type tag = Default_next | Default_nil | Indirect | Unused
+
+type element =
+  | Elem of Heap.Word.t       (** a list element: atom or [Ptr] to a cell id *)
+  | Link of int               (** indirection target: global cell id *)
+
+type t
+
+(** [create ~vector_size] builds an empty space of [vector_size]-element
+    vectors. *)
+val create : vector_size:int -> t
+
+(** [encode t d] lays out datum [d]; returns the global cell id of its
+    first cell, or [None] for atoms (atoms are not stored). *)
+val encode : t -> Sexp.Datum.t -> int option
+
+(** [decode t id] rebuilds the list starting at cell [id]. *)
+val decode : t -> int -> Sexp.Datum.t
+
+(** Total vectors allocated. *)
+val vectors : t -> int
+
+(** Cells used (non-[Unused]) and total cells (vectors × size). *)
+val used_cells : t -> int
+
+val total_cells : t -> int
+
+(** Indirection cells created — the fragmentation cost of small vectors
+    (§2.3.3.1). *)
+val indirections : t -> int
+
+(** Space in bits: every element is a [word_bits]-wide field plus the
+    2-bit tag, and whole vectors are allocated at a time. *)
+val bits : t -> word_bits:int -> int

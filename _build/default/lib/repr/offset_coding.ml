@@ -1,0 +1,115 @@
+type car_field =
+  | CAtom of Sexp.Datum.t    (* an immediate atom *)
+  | CPtr of int              (* pointer to another cell (a sublist head) *)
+  | CCdrPtr of int           (* a displaced cdr pointer (escape cells) *)
+
+type cell = { mutable car : car_field; mutable code : int }
+
+type t = {
+  mutable cells : cell array;
+  mutable len : int;
+  mutable indirections : int;
+}
+
+let create () =
+  { cells = Array.init 16 (fun _ -> { car = CAtom Sexp.Datum.Nil; code = 0 });
+    len = 0; indirections = 0 }
+
+let cells t = t.len
+let indirections t = t.indirections
+let bits t = t.len * (24 + 8)
+
+let reserve t k =
+  let cap = Array.length t.cells in
+  if t.len + k > cap then begin
+    let cap' = max (2 * cap) (t.len + k) in
+    let fresh =
+      Array.init cap' (fun i ->
+          if i < cap then t.cells.(i) else { car = CAtom Sexp.Datum.Nil; code = 0 })
+    in
+    t.cells <- fresh
+  end;
+  let first = t.len in
+  t.len <- t.len + k;
+  for i = first to first + k - 1 do
+    t.cells.(i) <- { car = CAtom Sexp.Datum.Nil; code = 0 }
+  done;
+  first
+
+let rec encode t (d : Sexp.Datum.t) =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> None
+  | Cons _ ->
+    let items = Sexp.Datum.to_list d in
+    let k = List.length items in
+    (* the spine first, contiguously, so every cdr offset is 1 *)
+    let first = reserve t k in
+    List.iteri
+      (fun i item ->
+         let c = t.cells.(first + i) in
+         c.code <- (if i = k - 1 then 0 else 1);
+         c.car <-
+           (match encode t item with
+            | Some sub -> CPtr sub
+            | None -> CAtom item))
+      items;
+    Some first
+
+let cdr_code t addr = t.cells.(addr).code
+
+(* Resolve code-128 invisible cells to the real cell. *)
+let rec resolve t addr =
+  let c = t.cells.(addr) in
+  if c.code = 128 then
+    match c.car with
+    | CPtr real -> resolve t real
+    | CAtom _ | CCdrPtr _ -> invalid_arg "Offset_coding: corrupt invisible cell"
+  else addr
+
+let rec decode t addr =
+  let addr = resolve t addr in
+  let c = t.cells.(addr) in
+  let car =
+    match c.car with
+    | CAtom d -> d
+    | CPtr sub -> decode t sub
+    | CCdrPtr _ -> invalid_arg "Offset_coding.decode: escape cell in data position"
+  in
+  let cdr =
+    if c.code = 0 then Sexp.Datum.Nil
+    else if c.code <= 127 then decode t (addr + c.code)
+    else begin
+      (* 129..255: the cell at addr + code - 128 holds the cdr pointer *)
+      let p = addr + c.code - 128 in
+      match t.cells.(p).car with
+      | CCdrPtr target -> decode t target
+      | CAtom _ | CPtr _ -> invalid_arg "Offset_coding.decode: bad escape"
+    end
+  in
+  Sexp.Datum.Cons (car, cdr)
+
+let rplacd t addr v =
+  let addr = resolve t addr in
+  let c = t.cells.(addr) in
+  match v with
+  | `Nil ->
+    c.code <- 0;
+    false
+  | `Cell target ->
+    let target = resolve t target in
+    let delta = target - addr in
+    if delta >= 1 && delta <= 127 then begin
+      c.code <- delta;
+      false
+    end
+    else begin
+      (* out of offset reach: displace the cell to a fresh pair and leave
+         an invisible pointer behind (the paged system's escape) *)
+      let pair = reserve t 2 in
+      t.cells.(pair) <- { car = c.car; code = 129 };      (* ptr in next cell *)
+      t.cells.(pair + 1) <- { car = CCdrPtr target; code = 0 };
+      c.car <- CPtr pair;
+      c.code <- 128;
+      t.indirections <- t.indirections + 1;
+      true
+    end

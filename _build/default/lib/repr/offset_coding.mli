@@ -1,0 +1,43 @@
+(** Deutsch's offset cdr-coding (§2.3.3.1, [Deut78a]).
+
+    Each cell is a 24-bit car field plus an 8-bit cdr code interpreted
+    against the cell's own address:
+    - code 0: the cdr is nil;
+    - codes 1..127: the cdr is the cell at [address + code];
+    - code 128: the cdr pointer occupies this cell's car field (the car
+      itself has been displaced — here modelled as a dedicated indirect
+      cell);
+    - codes 129..255: the cell at [address + code - 128] holds the cdr
+      pointer.
+
+    The scheme was designed for a paged system (256-word pages): a cdr
+    can only be encoded compactly if it lands within offset reach, so the
+    encoder allocates list spines contiguously and falls back to
+    indirection cells when structure sharing or mutation defeats it. *)
+
+type t
+
+val create : unit -> t
+
+(** [encode t d] lays out the proper nested list [d]; returns the cell
+    address of its head ([None] for atoms, which are immediate). *)
+val encode : t -> Sexp.Datum.t -> int option
+
+val decode : t -> int -> Sexp.Datum.t
+
+(** [cdr_code t addr] — the raw 8-bit code, for inspection. *)
+val cdr_code : t -> int -> int
+
+(** [rplacd t addr v] replaces the cdr of the cell at [addr].  In-reach
+    replacements rewrite the code; otherwise an indirection cell is
+    appended and the code switches to the 129..255 form.  Returns [true]
+    when an indirection had to be created. *)
+val rplacd : t -> int -> [ `Nil | `Cell of int ] -> bool
+
+(** Cells allocated (including indirection cells). *)
+val cells : t -> int
+
+val indirections : t -> int
+
+(** Space in bits: every cell is 24 + 8 bits. *)
+val bits : t -> int

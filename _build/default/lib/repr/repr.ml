@@ -1,0 +1,15 @@
+(** List representation schemes surveyed in §2.3.3 (Figures 2.6–2.10):
+    the uniform two-pointer cell, the vector-coded schemes (MIT
+    cdr-coding, linked vectors, conc tuples) and the structure-coded
+    schemes (CDAR, EPS, BLAST exception tables), each with encode/decode and a space-cost model.  {!Cost}
+    compares them on a given list. *)
+
+module Two_pointer = Two_pointer
+module Cdr_coding = Cdr_coding
+module Offset_coding = Offset_coding
+module Linked_vector = Linked_vector
+module Conc = Conc
+module Cdar = Cdar
+module Eps = Eps
+module Exception_table = Exception_table
+module Cost = Cost

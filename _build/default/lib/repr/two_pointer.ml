@@ -1,0 +1,27 @@
+type t = { store : Heap.Store.t; symtab : Heap.Symtab.t }
+
+let create ~capacity =
+  { store = Heap.Store.create ~capacity; symtab = Heap.Symtab.create () }
+
+let encode t d = Heap.Linearize.store_linear t.symtab t.store d
+let decode t w = Heap.Linearize.read t.symtab t.store w
+
+let cells t = Heap.Store.live t.store
+let bits t ~word_bits = 2 * word_bits * cells t
+
+let dependent_reads t root =
+  let n = ref 0 in
+  let rec go (w : Heap.Word.t) =
+    match w with
+    | Nil | Sym _ | Int _ -> ()
+    | Ptr a ->
+      (* car and cdr of [a] are two reads, each dependent on having [a]. *)
+      n := !n + 2;
+      go (Heap.Store.car t.store a);
+      go (Heap.Store.cdr t.store a)
+  in
+  go root;
+  !n
+
+let store t = t.store
+let symtab t = t.symtab

@@ -1,0 +1,31 @@
+(** The classical two-pointer cell representation (Figure 2.6) and its
+    cost model.
+
+    Uniform (no exception cases) but space-inefficient: every cell holds
+    two full-width pointers, and traversal is address-generation bound —
+    the address of the next cell is only known after the previous read
+    completes (§2.3.3.3). *)
+
+type t
+
+val create : capacity:int -> t
+
+(** [encode t d] loads [d] into the underlying cell store (cdr-linearised)
+    and returns the root word. *)
+val encode : t -> Sexp.Datum.t -> Heap.Word.t
+
+val decode : t -> Heap.Word.t -> Sexp.Datum.t
+
+(** Cells allocated so far. *)
+val cells : t -> int
+
+(** Space in bits, with two [word_bits]-wide pointer fields per cell. *)
+val bits : t -> word_bits:int -> int
+
+(** [dependent_reads t root] counts the memory reads needed to traverse
+    the full structure at [root], all of which are serially dependent —
+    the addressing-bottleneck measure contrasted with vector coding. *)
+val dependent_reads : t -> Heap.Word.t -> int
+
+val store : t -> Heap.Store.t
+val symtab : t -> Heap.Symtab.t

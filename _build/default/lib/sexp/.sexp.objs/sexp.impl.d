@@ -1,0 +1,1 @@
+lib/sexp/sexp.ml: Datum Metrics Printer Reader Tree

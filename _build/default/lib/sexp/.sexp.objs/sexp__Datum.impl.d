@@ -1,0 +1,1 @@
+lib/sexp/datum.ml: Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/sexp/datum.mli:

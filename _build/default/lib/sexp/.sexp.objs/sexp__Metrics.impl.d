@@ -1,0 +1,1 @@
+lib/sexp/metrics.ml: Datum

@@ -1,0 +1,1 @@
+lib/sexp/printer.ml: Buffer Datum Format String

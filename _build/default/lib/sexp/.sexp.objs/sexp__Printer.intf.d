@@ -1,0 +1,1 @@
+lib/sexp/printer.mli: Datum Format

@@ -1,0 +1,1 @@
+lib/sexp/reader.ml: Buffer Datum Format List String

@@ -1,0 +1,1 @@
+lib/sexp/reader.mli: Datum

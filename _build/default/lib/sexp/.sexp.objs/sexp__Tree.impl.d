@@ -1,0 +1,1 @@
+lib/sexp/tree.ml: Datum List Stdlib

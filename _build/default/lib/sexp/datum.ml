@@ -1,0 +1,140 @@
+type t =
+  | Nil
+  | Sym of string
+  | Int of int
+  | Str of string
+  | Cons of t * t
+
+let nil = Nil
+let sym s = Sym s
+let int n = Int n
+let str s = Str s
+let cons a d = Cons (a, d)
+
+let list xs = List.fold_right cons xs Nil
+let of_ints xs = list (List.map int xs)
+
+let rec to_list = function
+  | Nil -> []
+  | Cons (a, d) -> a :: to_list d
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.to_list: improper list"
+
+let car = function
+  | Cons (a, _) -> a
+  | Nil -> Nil
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.car: atom"
+
+let cdr = function
+  | Cons (_, d) -> d
+  | Nil -> Nil
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.cdr: atom"
+
+let is_atom = function
+  | Nil | Sym _ | Int _ | Str _ -> true
+  | Cons _ -> false
+
+let rec is_list = function
+  | Nil -> true
+  | Cons (_, d) -> is_list d
+  | Sym _ | Int _ | Str _ -> false
+
+let is_nil d = d = Nil
+
+let rec equal a b =
+  match a, b with
+  | Nil, Nil -> true
+  | Sym x, Sym y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Cons (a1, d1), Cons (a2, d2) -> equal a1 a2 && equal d1 d2
+  | (Nil | Sym _ | Int _ | Str _ | Cons _), _ -> false
+
+let rec compare a b =
+  let rank = function
+    | Nil -> 0 | Sym _ -> 1 | Int _ -> 2 | Str _ -> 3 | Cons _ -> 4
+  in
+  match a, b with
+  | Nil, Nil -> 0
+  | Sym x, Sym y -> String.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Cons (a1, d1), Cons (a2, d2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare d1 d2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let hash d =
+  (* Bounded-depth structural hash; collisions only degrade hash tables. *)
+  let rec go depth acc d =
+    if depth > 12 then acc
+    else
+      match d with
+      | Nil -> (acc * 31) + 1
+      | Sym s -> (acc * 31) + Hashtbl.hash s
+      | Int n -> (acc * 31) + (n lxor 0x5bd1)
+      | Str s -> (acc * 31) + Hashtbl.hash s + 7
+      | Cons (a, x) -> go (depth + 1) (go (depth + 1) ((acc * 31) + 5) a) x
+  in
+  go 0 0 d land max_int
+
+let rec length = function
+  | Nil -> 0
+  | Cons (_, d) -> 1 + length d
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.length: improper list"
+
+let rec depth = function
+  | Nil | Sym _ | Int _ | Str _ -> 0
+  | Cons (a, d) ->
+    let da = 1 + depth a in
+    let dd = depth_tail d in
+    max da dd
+
+and depth_tail = function
+  | Nil -> 1
+  | Cons (a, d) -> max (1 + depth a) (depth_tail d)
+  | Sym _ | Int _ | Str _ -> 1
+
+let rec nth n d =
+  match n, d with
+  | 0, Cons (a, _) -> a
+  | n, Cons (_, d) when n > 0 -> nth (n - 1) d
+  | _, (Nil | Sym _ | Int _ | Str _ | Cons _) ->
+    invalid_arg "Datum.nth: index out of range"
+
+let rec append a b =
+  match a with
+  | Nil -> b
+  | Cons (x, d) -> Cons (x, append d b)
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.append: improper list"
+
+let rev d =
+  let rec go acc = function
+    | Nil -> acc
+    | Cons (a, d) -> go (Cons (a, acc)) d
+    | Sym _ | Int _ | Str _ -> invalid_arg "Datum.rev: improper list"
+  in
+  go Nil d
+
+let rec map f = function
+  | Nil -> Nil
+  | Cons (a, d) -> Cons (f a, map f d)
+  | Sym _ | Int _ | Str _ -> invalid_arg "Datum.map: improper list"
+
+let rec iter_atoms f = function
+  | Nil -> ()
+  | Sym _ | Int _ | Str _ as a -> f a
+  | Cons (a, d) -> iter_atoms f a; iter_atoms f d
+
+let rec fold_cells f acc d =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> acc
+  | Cons (a, x) -> fold_cells f (fold_cells f (f acc d) a) x
+
+let cell_count d = fold_cells (fun n _ -> n + 1) 0 d
+
+let rec subst ~old_ ~new_ d =
+  if equal d old_ then new_
+  else
+    match d with
+    | Nil | Sym _ | Int _ | Str _ -> d
+    | Cons (a, x) -> Cons (subst ~old_ ~new_ a, subst ~old_ ~new_ x)

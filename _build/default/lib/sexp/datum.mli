@@ -1,0 +1,88 @@
+(** S-expressions: the data objects of the mini-Lisp.
+
+    An s-expression is either an atom (the empty list [nil], a symbol, an
+    integer, or a string) or a cons pair of two s-expressions.  Lists are
+    right-nested chains of pairs terminated by [Nil], exactly the
+    representation of Figure 2.1 of the thesis. *)
+
+type t =
+  | Nil                 (** the empty list / false *)
+  | Sym of string       (** an interned symbolic atom *)
+  | Int of int          (** an integer atom *)
+  | Str of string       (** a string atom *)
+  | Cons of t * t       (** a pair: car and cdr *)
+
+val nil : t
+val sym : string -> t
+val int : int -> t
+val str : string -> t
+val cons : t -> t -> t
+
+(** [list xs] builds a proper list from [xs]. *)
+val list : t list -> t
+
+(** [of_ints xs] builds a proper list of integer atoms. *)
+val of_ints : int list -> t
+
+(** [to_list d] returns the elements of the proper list [d].
+    @raise Invalid_argument if [d] is not a proper list. *)
+val to_list : t -> t list
+
+(** [car d] is the first component of a pair; [car Nil = Nil] following the
+    permissive Lisp convention.  @raise Invalid_argument on other atoms. *)
+val car : t -> t
+
+(** [cdr d] is the second component of a pair; [cdr Nil = Nil].
+    @raise Invalid_argument on other atoms. *)
+val cdr : t -> t
+
+val is_atom : t -> bool
+
+(** [is_list d] holds iff [d] is a proper ([Nil]-terminated) list. *)
+val is_list : t -> bool
+
+val is_nil : t -> bool
+
+(** Structural equality ([equal] in Lisp). *)
+val equal : t -> t -> bool
+
+(** Total order consistent with [equal]; used for sets/maps of datums. *)
+val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal]. *)
+val hash : t -> int
+
+(** [length d] is the number of top-level elements of a proper list.
+    @raise Invalid_argument if [d] is not a proper list. *)
+val length : t -> int
+
+(** [depth d] is the maximum nesting depth of lists in [d]; atoms have
+    depth 0, [(a b c)] depth 1. *)
+val depth : t -> int
+
+(** [nth n d] is the [n]-th (0-based) element of proper list [d].
+    @raise Invalid_argument if out of range. *)
+val nth : int -> t -> t
+
+(** [append a b] is list concatenation of the proper list [a] onto [b]. *)
+val append : t -> t -> t
+
+(** [rev d] reverses a proper list. *)
+val rev : t -> t
+
+(** [map f d] maps [f] over a proper list's elements. *)
+val map : (t -> t) -> t -> t
+
+(** [iter_atoms f d] applies [f] to every non-[Nil] atom of [d] in
+    left-to-right order. *)
+val iter_atoms : (t -> unit) -> t -> unit
+
+(** [fold_cells f init d] folds over every cons cell of [d] in pre-order. *)
+val fold_cells : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Number of cons cells in the two-pointer representation of [d]. *)
+val cell_count : t -> int
+
+(** [subst ~old_ ~new_ d] structurally replaces every subterm equal to
+    [old_] by [new_]. *)
+val subst : old_:t -> new_:t -> t -> t

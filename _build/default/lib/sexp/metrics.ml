@@ -1,0 +1,36 @@
+(* One recursive pass computing (symbols, internal parenthesis pairs).
+   [top] distinguishes the outermost list (its parentheses are not
+   "internal") from nested occurrences. *)
+let rec count ~top (d : Datum.t) =
+  match d with
+  | Nil -> (0, 0)
+  | Sym _ | Int _ | Str _ -> (1, 0)
+  | Cons _ ->
+    let self = if top then 0 else 1 in
+    let rec elements (n, p) = function
+      | Datum.Nil -> (n, p)
+      | Cons (a, rest) ->
+        let na, pa = count ~top:false a in
+        elements (n + na, p + pa) rest
+      | Sym _ | Int _ | Str _ as a ->
+        (* dotted tail: count the atom itself *)
+        let na, pa = count ~top:false a in
+        (n + na, p + pa)
+    in
+    elements (0, self) d
+
+let np d = count ~top:true d
+let n d = fst (np d)
+let p d = snd (np d)
+
+let two_pointer_cells d =
+  let n, p = np d in
+  n + p
+
+let structure_coded_cells d = n d
+
+let is_linear d = p d = 0
+
+let structuredness d =
+  let n, p = np d in
+  if n + p = 0 then 0. else float_of_int p /. float_of_int (n + p)

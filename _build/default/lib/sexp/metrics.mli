@@ -1,0 +1,32 @@
+(** Structural metrics of lists: the [n] and [p] measures of §3.3.1.
+
+    For a list [d]:
+    - [n d] is the number of symbols (non-[Nil] atoms) contained anywhere in
+      the list;
+    - [p d] is the number of internal parenthesis pairs, i.e. the number of
+      sub-list occurrences below the outermost level.
+
+    Figure 3.2 of the thesis: [(A B C (D E) F G)] has n = 7, p = 1 and takes
+    8 two-pointer list cells; [(A (B (C (D E) F) G))] has n = 7, p = 3 and
+    takes 10 cells.  In general a list needs [n + p] two-pointer (or
+    cdr-coded) cells and [n] cells under a structure-coded representation. *)
+
+val n : Datum.t -> int
+val p : Datum.t -> int
+
+(** [np d] computes both in one pass. *)
+val np : Datum.t -> int * int
+
+(** Space cost in two-pointer list cells: [n + p].  Matches
+    {!Datum.cell_count} on proper nested lists. *)
+val two_pointer_cells : Datum.t -> int
+
+(** Space cost in structure-coded (CDAR/EPS-style) cells: [n]. *)
+val structure_coded_cells : Datum.t -> int
+
+(** [is_linear d]: no element of [d] is itself a list (p = 0). *)
+val is_linear : Datum.t -> bool
+
+(** Structuredness ratio p / (n + p); 0 for linear lists, approaching 1 for
+    deeply nested ones.  Returns 0 for the empty list. *)
+val structuredness : Datum.t -> float

@@ -1,0 +1,38 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf (d : Datum.t) =
+  match d with
+  | Nil -> Format.pp_print_string ppf "nil"
+  | Sym s -> Format.pp_print_string ppf s
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | Cons _ ->
+    Format.pp_print_char ppf '(';
+    pp_tail ppf d;
+    Format.pp_print_char ppf ')'
+
+and pp_tail ppf = function
+  | Datum.Cons (a, Nil) -> pp ppf a
+  | Cons (a, (Cons _ as d)) ->
+    pp ppf a;
+    Format.pp_print_char ppf ' ';
+    pp_tail ppf d
+  | Cons (a, d) ->
+    (* improper tail *)
+    pp ppf a;
+    Format.pp_print_string ppf " . ";
+    pp ppf d
+  | Nil | Sym _ | Int _ | Str _ -> assert false
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,7 @@
+(** Printer: render {!Datum.t} back to the textual notation accepted by
+    {!Reader}.  [parse (to_string d)] is structurally equal to [d]. *)
+
+val to_string : Datum.t -> string
+
+(** Pretty-printer compatible with {!Fmt} combinators. *)
+val pp : Format.formatter -> Datum.t -> unit

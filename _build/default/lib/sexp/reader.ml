@@ -1,0 +1,111 @@
+exception Parse_error of string
+
+type token =
+  | Lparen
+  | Rparen
+  | Dot
+  | Quote
+  | Atom of string
+  | String of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Tokenizer: one pass over the string, accumulating tokens in order. *)
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let is_delim c =
+    match c with
+    | '(' | ')' | '\'' | ';' | '"' -> true
+    | c -> c = ' ' || c = '\t' || c = '\n' || c = '\r'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then begin
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '(' then (emit Lparen; incr i)
+    else if c = ')' then (emit Rparen; incr i)
+    else if c = '\'' then (emit Quote; incr i)
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "unterminated string literal"
+        else begin
+          let c = s.[!i] in
+          if c = '"' then (closed := true; incr i)
+          else if c = '\\' then begin
+            if !i + 1 >= n then fail "dangling escape in string literal";
+            (match s.[!i + 1] with
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | c -> Buffer.add_char buf c);
+            i := !i + 2
+          end
+          else (Buffer.add_char buf c; incr i)
+        end
+      done;
+      emit (String (Buffer.contents buf))
+    end
+    else begin
+      let start = !i in
+      while !i < n && not (is_delim s.[!i]) do incr i done;
+      let tok = String.sub s start (!i - start) in
+      if tok = "." then emit Dot else emit (Atom tok)
+    end
+  done;
+  List.rev !toks
+
+let atom_of_string a =
+  let is_int =
+    let body = if a.[0] = '-' || a.[0] = '+' then String.sub a 1 (String.length a - 1) else a in
+    body <> "" && String.for_all (fun c -> c >= '0' && c <= '9') body
+  in
+  if a = "nil" || a = "NIL" then Datum.Nil
+  else if is_int then Datum.Int (int_of_string a)
+  else Datum.Sym (String.lowercase_ascii a)
+
+(* Recursive-descent parse of one datum; returns it with the rest of the
+   token stream. *)
+let rec parse_one = function
+  | [] -> fail "unexpected end of input"
+  | String s :: rest -> (Datum.Str s, rest)
+  | Atom a :: rest -> (atom_of_string a, rest)
+  | Quote :: rest ->
+    let d, rest = parse_one rest in
+    (Datum.list [ Datum.Sym "quote"; d ], rest)
+  | Lparen :: rest -> parse_list rest
+  | Rparen :: _ -> fail "unexpected ')'"
+  | Dot :: _ -> fail "unexpected '.'"
+
+and parse_list = function
+  | [] -> fail "unterminated list"
+  | Rparen :: rest -> (Datum.Nil, rest)
+  | Dot :: rest ->
+    let tail, rest = parse_one rest in
+    (match rest with
+     | Rparen :: rest -> (tail, rest)
+     | _ -> fail "expected ')' after dotted tail")
+  | toks ->
+    let head, rest = parse_one toks in
+    let tail, rest = parse_list rest in
+    (Datum.Cons (head, tail), rest)
+
+let parse s =
+  match parse_one (tokenize s) with
+  | d, [] -> d
+  | _, _ -> fail "trailing input after datum"
+
+let parse_many s =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | toks ->
+      let d, rest = parse_one toks in
+      go (d :: acc) rest
+  in
+  go [] (tokenize s)

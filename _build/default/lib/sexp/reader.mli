@@ -1,0 +1,20 @@
+(** Reader: parse the textual s-expression notation into {!Datum.t}.
+
+    Accepted syntax:
+    - lists: [( e1 e2 ... )], the empty list [()] reads as [Nil];
+    - dotted pairs: [(a . b)];
+    - integers: an optional sign followed by digits;
+    - strings: double-quoted with [\\] escapes;
+    - symbols: any other token; [nil] and [t] read as [Nil] and [Sym "t"];
+    - comments: from [;] to end of line. *)
+
+exception Parse_error of string
+(** Raised on malformed input, with a human-readable description. *)
+
+(** [parse s] reads exactly one datum from [s].
+    @raise Parse_error on malformed or trailing input. *)
+val parse : string -> Datum.t
+
+(** [parse_many s] reads all datums from [s] (possibly none).
+    @raise Parse_error on malformed input. *)
+val parse_many : string -> Datum.t list

@@ -1,0 +1,16 @@
+(** S-expression substrate: datatype, reader, printer, structural metrics
+    and the binary-tree view used by the structure-coded representations
+    and the traversal analysis of §5.3.1. *)
+
+module Datum = Datum
+module Reader = Reader
+module Printer = Printer
+module Metrics = Metrics
+module Tree = Tree
+
+type t = Datum.t
+
+let parse = Reader.parse
+let parse_many = Reader.parse_many
+let to_string = Printer.to_string
+let pp = Printer.pp

@@ -1,0 +1,64 @@
+type t =
+  | Leaf of Datum.t
+  | Node of t * t
+
+let rec of_datum (d : Datum.t) =
+  match d with
+  | Nil | Sym _ | Int _ | Str _ -> Leaf d
+  | Cons (a, x) -> Node (of_datum a, of_datum x)
+
+let rec to_datum = function
+  | Leaf d -> d
+  | Node (a, x) -> Datum.Cons (to_datum a, to_datum x)
+
+let rec leaf_count = function
+  | Leaf _ -> 1
+  | Node (a, b) -> leaf_count a + leaf_count b
+
+let rec internal_count = function
+  | Leaf _ -> 0
+  | Node (a, b) -> 1 + internal_count a + internal_count b
+
+let node_count t = leaf_count t + internal_count t
+
+let node_numbers t =
+  let rec go num node acc =
+    match node with
+    | Leaf _ -> (num, node) :: acc
+    | Node (a, b) -> (num, node) :: go (2 * num) a (go ((2 * num) + 1) b acc)
+  in
+  List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) (go 1 t [])
+
+type order = Pre | In | Post
+
+let visit_sequence order t =
+  let rec go num node acc =
+    match node with
+    | Leaf _ -> num :: acc
+    | Node (a, b) ->
+      let left acc = go (2 * num) a acc in
+      let right acc = go ((2 * num) + 1) b acc in
+      (match order with
+       | Pre -> num :: left (right acc)
+       | In -> left (num :: right acc)
+       | Post -> left (right (num :: acc)))
+  in
+  go 1 t []
+
+let touch_sequence t =
+  (* Each internal node is touched on the way down, between its subtrees,
+     and on the way back up (§5.3.1). *)
+  let rec go num node acc =
+    match node with
+    | Leaf _ -> num :: acc
+    | Node (a, b) ->
+      num :: go (2 * num) a (num :: go ((2 * num) + 1) b (num :: acc))
+  in
+  go 1 t []
+
+let traversal_hits_misses t =
+  let internal = internal_count t in
+  let leaves = leaf_count t in
+  let touches = (3 * internal) + leaves in
+  let misses = internal in
+  (misses, touches - misses)

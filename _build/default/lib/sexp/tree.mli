@@ -1,0 +1,44 @@
+(** Binary-tree view of an s-expression (Figure 5.6 of the thesis).
+
+    Every cons cell maps to an internal node whose left subtree is the car
+    and right subtree the cdr; atoms (including terminating [Nil]s) map to
+    leaves.  A list with [n] atoms and [p] internal left parentheses yields
+    [n + p + 1] leaves ([n] atomic, [p + 1] nil) and [n + p] internal nodes,
+    [2n + 2p + 1] nodes in total (§5.3.1).
+
+    The module also provides the Minsky / BLAST structure-code node
+    numbering [(l, k) -> N = 2^l + k] (§2.3.3.2): the root is 1 and the
+    children of node [N] are [2N] and [2N + 1]. *)
+
+type t =
+  | Leaf of Datum.t             (** an atom or a terminating [Nil] *)
+  | Node of t * t               (** a cons cell: car subtree, cdr subtree *)
+
+val of_datum : Datum.t -> t
+
+(** Inverse of {!of_datum}: [to_datum (of_datum d) = d]. *)
+val to_datum : t -> Datum.t
+
+val leaf_count : t -> int
+val internal_count : t -> int
+val node_count : t -> int
+
+(** [node_numbers t] lists [(number, node)] pairs under the BLAST numbering,
+    in increasing node-number order within each level. *)
+val node_numbers : t -> (int * t) list
+
+type order = Pre | In | Post
+
+(** [visit_sequence order t] is the sequence of node numbers in the given
+    ordered traversal (the "Preorder/Inorder/Postorder" lines of §5.3.1). *)
+val visit_sequence : order -> t -> int list
+
+(** [touch_sequence t] is the traversal super-sequence of §5.3.1: the order
+    in which nodes are *touched* during any of the three ordered traversals.
+    Each internal node appears exactly three times, each leaf once. *)
+val touch_sequence : t -> int list
+
+(** Guaranteed LPT statistics for a full ordered traversal of the list
+    (§5.3.1): [(misses, hits)] = [(n + p, 3n + 3p + 1)], i.e. a 75% hit rate
+    in the limit.  Derived from the tree shape, not simulated. *)
+val traversal_hits_misses : t -> int * int

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Capture Event Io Preprocess Synth

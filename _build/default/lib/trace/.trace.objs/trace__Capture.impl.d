@@ -1,0 +1,1 @@
+lib/trace/capture.ml: Array Event

@@ -1,0 +1,1 @@
+lib/trace/io.ml: Array Capture Event Fun Sexp String

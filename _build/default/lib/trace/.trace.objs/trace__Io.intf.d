@@ -1,0 +1,1 @@
+lib/trace/io.mli: Capture Event Sexp

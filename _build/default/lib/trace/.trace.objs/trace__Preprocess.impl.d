@@ -1,0 +1,1 @@
+lib/trace/preprocess.ml: Array Capture Event Hashtbl List Sexp

@@ -1,0 +1,1 @@
+lib/trace/preprocess.mli: Capture Event Sexp

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Array Capture Event List Printf Sexp Util

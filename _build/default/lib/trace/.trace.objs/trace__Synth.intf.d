@@ -1,0 +1,1 @@
+lib/trace/synth.mli: Capture

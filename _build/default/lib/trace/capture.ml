@@ -1,0 +1,39 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+}
+
+let create () = { events = Array.make 1024 (Event.Return { name = "" }); len = 0 }
+
+let record t e =
+  if t.len = Array.length t.events then begin
+    let grown = Array.make (2 * t.len) e in
+    Array.blit t.events 0 grown 0 t.len;
+    t.events <- grown
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let events t = Array.sub t.events 0 t.len
+
+let length t = t.len
+
+type stats = {
+  functions : int;
+  primitives : int;
+  max_depth : int;
+}
+
+let stats t =
+  let functions = ref 0 and primitives = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  for i = 0 to t.len - 1 do
+    match t.events.(i) with
+    | Event.Prim _ -> incr primitives
+    | Event.Call _ ->
+      incr functions;
+      incr depth;
+      if !depth > !max_depth then max_depth := !depth
+    | Event.Return _ -> decr depth
+  done;
+  { functions = !functions; primitives = !primitives; max_depth = !max_depth }

@@ -1,0 +1,22 @@
+(** In-memory trace builder and whole-trace statistics (Table 5.1). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Event.t -> unit
+
+(** Events in capture order. *)
+val events : t -> Event.t array
+
+(** Number of events recorded. *)
+val length : t -> int
+
+type stats = {
+  functions : int;      (** user-defined function calls *)
+  primitives : int;     (** traced list-primitive calls *)
+  max_depth : int;      (** maximum dynamic nesting of function calls *)
+}
+
+(** The Table 5.1 characterisation of a trace. *)
+val stats : t -> stats

@@ -1,0 +1,41 @@
+type prim =
+  | Car
+  | Cdr
+  | Cons
+  | Rplaca
+  | Rplacd
+
+let prim_name = function
+  | Car -> "car"
+  | Cdr -> "cdr"
+  | Cons -> "cons"
+  | Rplaca -> "rplaca"
+  | Rplacd -> "rplacd"
+
+let prim_of_name = function
+  | "car" -> Some Car
+  | "cdr" -> Some Cdr
+  | "cons" -> Some Cons
+  | "rplaca" -> Some Rplaca
+  | "rplacd" -> Some Rplacd
+  | _ -> None
+
+let all_prims = [ Car; Cdr; Cons; Rplaca; Rplacd ]
+
+type t =
+  | Prim of {
+      prim : prim;
+      args : Sexp.Datum.t list;
+      result : Sexp.Datum.t;
+    }
+  | Call of { name : string; nargs : int }
+  | Return of { name : string }
+
+let pp ppf = function
+  | Prim { prim; args; result } ->
+    Format.fprintf ppf "(%s%a) -> %a" (prim_name prim)
+      (fun ppf args ->
+         List.iter (fun a -> Format.fprintf ppf " %a" Sexp.pp a) args)
+      args Sexp.pp result
+  | Call { name; nargs } -> Format.fprintf ppf "call %s/%d" name nargs
+  | Return { name } -> Format.fprintf ppf "return %s" name

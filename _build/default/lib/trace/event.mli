@@ -1,0 +1,32 @@
+(** Trace events, as captured from an instrumented interpreter run
+    (§3.3.1, §5.2.1).
+
+    The trace records (a) each list-manipulating primitive call with its
+    name and s-expression arguments and result, and (b) entry to and exit
+    from each user-defined function with its argument count — exactly the
+    information the thesis's modified Franz Lisp interpreter wrote to its
+    trace files. *)
+
+type prim =
+  | Car
+  | Cdr
+  | Cons
+  | Rplaca
+  | Rplacd
+
+val prim_name : prim -> string
+val prim_of_name : string -> prim option
+
+(** [all_prims] in a canonical order (for histogram axes). *)
+val all_prims : prim list
+
+type t =
+  | Prim of {
+      prim : prim;
+      args : Sexp.Datum.t list;   (** list arguments, in s-expression form *)
+      result : Sexp.Datum.t;      (** the value returned *)
+    }
+  | Call of { name : string; nargs : int }
+  | Return of { name : string }
+
+val pp : Format.formatter -> t -> unit

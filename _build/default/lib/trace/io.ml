@@ -1,0 +1,44 @@
+module D = Sexp.Datum
+
+let event_to_datum (e : Event.t) : D.t =
+  match e with
+  | Prim { prim; args; result } ->
+    D.list [ D.sym "p"; D.sym (Event.prim_name prim); D.list args; result ]
+  | Call { name; nargs } -> D.list [ D.sym "c"; D.sym name; D.int nargs ]
+  | Return { name } -> D.list [ D.sym "r"; D.sym name ]
+
+let event_of_datum (d : D.t) : Event.t =
+  match d with
+  | Cons (Sym "p", Cons (Sym prim, Cons (args, Cons (result, Nil)))) ->
+    (match Event.prim_of_name prim with
+     | Some prim -> Prim { prim; args = D.to_list args; result }
+     | None -> invalid_arg ("Trace.Io: unknown primitive " ^ prim))
+  | Cons (Sym "c", Cons (Sym name, Cons (Int nargs, Nil))) -> Call { name; nargs }
+  | Cons (Sym "r", Cons (Sym name, Nil)) -> Return { name }
+  | _ -> invalid_arg "Trace.Io: malformed event"
+
+let write_channel oc capture =
+  Array.iter
+    (fun e ->
+       output_string oc (Sexp.to_string (event_to_datum e));
+       output_char oc '\n')
+    (Capture.events capture)
+
+let read_channel ic =
+  let capture = Capture.create () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         Capture.record capture (event_of_datum (Sexp.parse line))
+     done
+   with End_of_file -> ());
+  capture
+
+let save path capture =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc capture)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

@@ -1,0 +1,17 @@
+(** Trace serialisation: one datum per line, round-trippable.
+
+    Events are written as s-expressions:
+    - [(p <prim> (<args>...) <result>)]
+    - [(c <name> <nargs>)]
+    - [(r <name>)] *)
+
+val event_to_datum : Event.t -> Sexp.Datum.t
+
+(** @raise Invalid_argument on a malformed event datum. *)
+val event_of_datum : Sexp.Datum.t -> Event.t
+
+val write_channel : out_channel -> Capture.t -> unit
+val read_channel : in_channel -> Capture.t
+
+val save : string -> Capture.t -> unit
+val load : string -> Capture.t

@@ -1,0 +1,95 @@
+type arg =
+  | Atom of Sexp.Datum.t
+  | List of { id : int; chained : bool }
+
+type pevent =
+  | Pprim of {
+      prim : Event.prim;
+      args : arg list;
+      result : arg;
+    }
+  | Pcall of { name : string; nargs : int }
+  | Preturn of { name : string }
+
+type t = {
+  events : pevent array;
+  distinct_lists : int;
+  stats : Capture.stats;
+  np_by_id : (int * int) array;
+}
+
+module Dtbl = Hashtbl.Make (struct
+    type t = Sexp.Datum.t
+
+    let equal = Sexp.Datum.equal
+    let hash = Sexp.Datum.hash
+  end)
+
+let run capture =
+  (* [ids] maps a list's s-expression form to the id of the most recently
+     created object of that shape: structurally identical arguments are
+     assumed to be that latest object (the thesis's assumption), but a
+     cons (or rplac) *result* is always a fresh cell, however familiar it
+     looks — without this, recurring small numeric lists stitch unrelated
+     structures together. *)
+  let ids = Dtbl.create 1024 in
+  let nps = ref [] in
+  let next = ref 0 in
+  let fresh_id d =
+    let id = !next in
+    incr next;
+    Dtbl.replace ids d id;
+    nps := Sexp.Metrics.np d :: !nps;
+    id
+  in
+  let id_of d =
+    match Dtbl.find_opt ids d with
+    | Some id -> id
+    | None -> fresh_id d
+  in
+  (* The previous primitive's list result id, for the chaining flag. *)
+  let prev_result = ref None in
+  let classify prev (d : Sexp.Datum.t) =
+    match d with
+    | Cons _ ->
+      let id = id_of d in
+      List { id; chained = prev = Some id }
+    | Nil | Sym _ | Int _ | Str _ -> Atom d
+  in
+  let classify_result (prim : Event.prim) (d : Sexp.Datum.t) =
+    match d, prim with
+    | Cons _, (Event.Cons | Event.Rplaca | Event.Rplacd) ->
+      List { id = fresh_id d; chained = false }
+    | _, _ -> classify None d
+  in
+  let events =
+    Array.map
+      (fun (e : Event.t) ->
+         match e with
+         | Call { name; nargs } -> Pcall { name; nargs }
+         | Return { name } -> Preturn { name }
+         | Prim { prim; args; result } ->
+           let prev = !prev_result in
+           let args = List.map (classify prev) args in
+           let result = classify_result prim result in
+           prev_result := (match result with List { id; _ } -> Some id | Atom _ -> None);
+           Pprim { prim; args; result })
+      (Capture.events capture)
+  in
+  {
+    events;
+    distinct_lists = !next;
+    stats = Capture.stats capture;
+    np_by_id = Array.of_list (List.rev !nps);
+  }
+
+let prim_refs t =
+  let refs = ref [] in
+  Array.iter
+    (function
+      | Pprim { args; result; _ } ->
+        List.iter (function List { id; _ } -> refs := id :: !refs | Atom _ -> ()) args;
+        (match result with List { id; _ } -> refs := id :: !refs | Atom _ -> ())
+      | Pcall _ | Preturn _ -> ())
+    t.events;
+  Array.of_list (List.rev !refs)

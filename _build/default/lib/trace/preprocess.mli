@@ -1,0 +1,37 @@
+(** Trace preprocessing (§5.2.1).
+
+    Raw traces identify list arguments only by their s-expression form; two
+    structurally identical arguments may or may not be the same heap
+    object.  Following the thesis, every list argument is replaced by two
+    integers: a {e unique identifier} (structurally identical lists share
+    one) and a {e chaining flag}, set when the argument is the value
+    returned by the previous primitive call in the trace (so it is
+    certainly the same object, available "on top of the stack"). *)
+
+type arg =
+  | Atom of Sexp.Datum.t       (** a non-list argument, kept verbatim *)
+  | List of { id : int; chained : bool }
+
+type pevent =
+  | Pprim of {
+      prim : Event.prim;
+      args : arg list;
+      result : arg;             (** ids let car/cdr relate parent to child *)
+    }
+  | Pcall of { name : string; nargs : int }
+  | Preturn of { name : string }
+
+type t = {
+  events : pevent array;
+  distinct_lists : int;        (** number of unique list identifiers *)
+  stats : Capture.stats;
+  np_by_id : (int * int) array; (** id -> (n, p) of that list's s-expression *)
+}
+
+(** [run capture] preprocesses a captured trace. *)
+val run : Capture.t -> t
+
+(** [prim_refs t] extracts the flat stream of list-object references made
+    by primitives (arguments then result, per event, ids only) — the list
+    access reference stream analysed in Chapter 3. *)
+val prim_refs : t -> int array

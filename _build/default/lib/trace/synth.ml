@@ -1,0 +1,152 @@
+module D = Sexp.Datum
+
+type config = {
+  length : int;
+  seed : int;
+  car_w : float;
+  cdr_w : float;
+  cons_w : float;
+  rplaca_w : float;
+  rplacd_w : float;
+  chain_prob : float;
+  mean_n : float;
+  mean_p : float;
+  call_every : int;
+}
+
+let default =
+  { length = 10_000; seed = 42; car_w = 0.40; cdr_w = 0.45; cons_w = 0.10;
+    rplaca_w = 0.025; rplacd_w = 0.025; chain_prob = 0.45; mean_n = 10.;
+    mean_p = 2.; call_every = 6 }
+
+let cons_heavy =
+  { default with car_w = 0.25; cdr_w = 0.30; cons_w = 0.40; rplaca_w = 0.025;
+                 rplacd_w = 0.025; chain_prob = 0.25 }
+
+let rplac_heavy =
+  { default with car_w = 0.25; cdr_w = 0.25; cons_w = 0.10; rplaca_w = 0.20;
+                 rplacd_w = 0.20; chain_prob = 0.05 }
+
+(* Truncated geometric with the given mean, >= min_v. *)
+let geometric rng ~mean ~min_v =
+  if mean <= float_of_int min_v then min_v
+  else begin
+    let p = 1. /. (mean -. float_of_int min_v +. 1.) in
+    let rec go k = if k > 200 || Util.Rng.bool rng ~p then k else go (k + 1) in
+    go min_v
+  end
+
+let fresh_atom counter rng =
+  incr counter;
+  if Util.Rng.bool rng ~p:0.3 then D.Int (Util.Rng.int rng 1000)
+  else D.Sym (Printf.sprintf "g%d" !counter)
+
+(* A fresh list with ~n atoms and ~p internal parenthesis pairs: start flat,
+   then wrap p random slices into sublists. *)
+let fresh_list counter rng ~mean_n ~mean_p =
+  let n = geometric rng ~mean:mean_n ~min_v:1 in
+  let p = geometric rng ~mean:mean_p ~min_v:0 in
+  let items = ref (List.init n (fun _ -> fresh_atom counter rng)) in
+  for _ = 1 to p do
+    let len = List.length !items in
+    if len >= 1 then begin
+      let start = Util.Rng.int rng len in
+      let span = 1 + Util.Rng.int rng (max 1 (len - start)) in
+      let before = List.filteri (fun i _ -> i < start) !items in
+      let inside = List.filteri (fun i _ -> i >= start && i < start + span) !items in
+      let after = List.filteri (fun i _ -> i >= start + span) !items in
+      items := before @ [ D.list inside ] @ after
+    end
+  done;
+  D.list !items
+
+let generate cfg =
+  let rng = Util.Rng.create ~seed:cfg.seed in
+  let counter = ref 0 in
+  let capture = Capture.create () in
+  let pool = Array.make 256 D.Nil in
+  let pool_used = ref 0 in
+  let add_to_pool d =
+    match d with
+    | D.Cons _ ->
+      if !pool_used < Array.length pool then begin
+        pool.(!pool_used) <- d;
+        incr pool_used
+      end
+      else pool.(Util.Rng.int rng (Array.length pool)) <- d
+    | _ -> ()
+  in
+  let fresh () =
+    let l = fresh_list counter rng ~mean_n:cfg.mean_n ~mean_p:cfg.mean_p in
+    add_to_pool l;
+    l
+  in
+  (* Seed the pool. *)
+  for _ = 1 to 16 do ignore (fresh ()) done;
+  let prev_result = ref D.Nil in
+  let pick_list () =
+    match !prev_result with
+    | D.Cons _ when Util.Rng.bool rng ~p:cfg.chain_prob -> !prev_result
+    | _ ->
+      let d = pool.(Util.Rng.int rng !pool_used) in
+      (match d with D.Cons _ -> d | _ -> fresh ())
+  in
+  let depth = ref 0 in
+  let maybe_call () =
+    if cfg.call_every > 0 && Util.Rng.int rng cfg.call_every = 0 then begin
+      if !depth > 0 && Util.Rng.bool rng ~p:0.5 then begin
+        decr depth;
+        Capture.record capture (Event.Return { name = Printf.sprintf "f%d" !depth })
+      end
+      else if !depth < 24 then begin
+        Capture.record capture
+          (Event.Call { name = Printf.sprintf "f%d" !depth;
+                        nargs = 1 + Util.Rng.int rng 3 });
+        incr depth
+      end
+    end
+  in
+  let weights = [| cfg.car_w; cfg.cdr_w; cfg.cons_w; cfg.rplaca_w; cfg.rplacd_w |] in
+  for _ = 1 to cfg.length do
+    maybe_call ();
+    let prim = List.nth Event.all_prims (Util.Rng.weighted rng weights) in
+    let event =
+      match prim with
+      | Event.Car ->
+        let arg = pick_list () in
+        let result = D.car arg in
+        Event.Prim { prim; args = [ arg ]; result }
+      | Event.Cdr ->
+        let arg = pick_list () in
+        let result = D.cdr arg in
+        Event.Prim { prim; args = [ arg ]; result }
+      | Event.Cons ->
+        let head =
+          if Util.Rng.bool rng ~p:0.5 then pick_list () else fresh_atom counter rng
+        in
+        let tail = pick_list () in
+        let result = D.cons head tail in
+        Event.Prim { prim; args = [ head; tail ]; result }
+      | Event.Rplaca ->
+        let arg = pick_list () in
+        let v = fresh_atom counter rng in
+        let result = D.cons v (D.cdr arg) in
+        Event.Prim { prim; args = [ arg; v ]; result }
+      | Event.Rplacd ->
+        let arg = pick_list () in
+        let tail = pick_list () in
+        let result = D.cons (D.car arg) tail in
+        Event.Prim { prim; args = [ arg; tail ]; result }
+    in
+    (match event with
+     | Event.Prim { result; _ } ->
+       prev_result := result;
+       add_to_pool result
+     | _ -> ());
+    Capture.record capture event
+  done;
+  while !depth > 0 do
+    decr depth;
+    Capture.record capture (Event.Return { name = Printf.sprintf "f%d" !depth })
+  done;
+  capture

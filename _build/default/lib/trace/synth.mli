@@ -1,0 +1,34 @@
+(** Synthetic trace generator.
+
+    Drives scale tests and benches without running the interpreter: a pool
+    of live lists is maintained; each step draws a primitive from a
+    configurable mix (Fig 3.1 shape), picks its arguments (the previous
+    result with probability [chain_prob], a pool element otherwise), and
+    applies real car/cdr/cons/rplac semantics so the resulting stream is a
+    valid trace.  New lists are drawn with n and p from truncated geometric
+    distributions matching the Chapter 3 shapes (Figs 3.3a/3.3b). *)
+
+type config = {
+  length : int;              (** primitive events to generate *)
+  seed : int;
+  car_w : float;             (** primitive mix weights *)
+  cdr_w : float;
+  cons_w : float;
+  rplaca_w : float;
+  rplacd_w : float;
+  chain_prob : float;        (** P(argument = previous result) *)
+  mean_n : float;            (** mean symbols per fresh list *)
+  mean_p : float;            (** mean internal parenthesis pairs *)
+  call_every : int;          (** emit a function Call/Return every k prims *)
+}
+
+(** A mix echoing the access-dominated traces of Fig 3.1. *)
+val default : config
+
+(** A cons-heavy mix (the SLANG outlier of Fig 3.1). *)
+val cons_heavy : config
+
+(** An rplac-heavy mix (the PEARL outlier of Fig 3.1). *)
+val rplac_heavy : config
+
+val generate : config -> Capture.t

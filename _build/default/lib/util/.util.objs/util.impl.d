@@ -1,0 +1,1 @@
+lib/util/util.ml: Dist Rng Series

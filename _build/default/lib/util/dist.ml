@@ -1,0 +1,80 @@
+type t = {
+  mutable values : (float * int) list;  (* observation, weight; unsorted *)
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { values = []; count = 0; total = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add ?(weight = 1) t x =
+  t.values <- (x, weight) :: t.values;
+  t.count <- t.count + weight;
+  t.total <- t.total +. (x *. float_of_int weight);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let sorted t =
+  List.sort (fun (a, _) (b, _) -> Float.compare a b) t.values
+
+let percentile t q =
+  if t.count = 0 then invalid_arg "Dist.percentile: empty";
+  let q = Float.max 0. (Float.min 1. q) in
+  let target = q *. float_of_int (t.count - 1) in
+  let lo = int_of_float (Float.floor target) in
+  let frac = target -. Float.of_int lo in
+  (* Walk the weighted sorted list to positions lo and lo+1. *)
+  let rec at idx pos = function
+    | [] -> invalid_arg "Dist.percentile: out of range"
+    | (v, w) :: rest -> if idx < pos + w then v else at idx (pos + w) rest
+  in
+  let s = sorted t in
+  let a = at lo 0 s in
+  let b = at (min (t.count - 1) (lo + 1)) 0 s in
+  a +. (frac *. (b -. a))
+
+let histogram t ~buckets =
+  if t.count = 0 || buckets <= 0 then []
+  else begin
+    let lo = t.min_v and hi = t.max_v in
+    let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1. in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun (v, w) ->
+         let b = int_of_float ((v -. lo) /. width) in
+         let b = max 0 (min (buckets - 1) b) in
+         counts.(b) <- counts.(b) + w)
+      t.values;
+    List.init buckets (fun i -> (lo +. (float_of_int i *. width), counts.(i)))
+  end
+
+let cumulative t =
+  let s = sorted t in
+  let n = float_of_int t.count in
+  let rec go acc seen = function
+    | [] -> List.rev acc
+    | (v, w) :: rest ->
+      let seen = seen + w in
+      (match rest with
+       | (v', _) :: _ when v' = v ->
+         (* merge equal values *)
+         go acc seen rest
+       | _ -> go ((v, float_of_int seen /. n) :: acc) seen rest)
+  in
+  go [] 0 s
+
+let of_list xs =
+  let t = create () in
+  List.iter (fun x -> add t x) xs;
+  t
+
+let values t =
+  List.concat_map (fun (v, w) -> List.init w (fun _ -> v)) (sorted t)

@@ -1,0 +1,32 @@
+(** Empirical distributions: accumulation, summary statistics, histograms
+    and cumulative curves — the machinery behind the thesis's figures
+    (distributions of n, p, list-set sizes, lifetimes, stack distances). *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] records one observation (an [add ~weight] variant records
+    several). *)
+val add : ?weight:int -> t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** [percentile t q] for [q] in [0, 1], by linear interpolation over the
+    sorted observations.  @raise Invalid_argument if empty. *)
+val percentile : t -> float -> float
+
+(** [histogram t ~buckets] returns [(lower_bound, count)] rows of an
+    equal-width histogram over the observed range. *)
+val histogram : t -> buckets:int -> (float * int) list
+
+(** [cumulative t] returns the empirical CDF as [(value, fraction <= value)]
+    points, ascending, deduplicated. *)
+val cumulative : t -> (float * float) list
+
+val of_list : float list -> t
+val values : t -> float list

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulators takes an explicit [Rng.t]
+    so that runs are reproducible from a seed and independent streams do
+    not interfere — re-seeding and re-running a trace simulates a fresh
+    access pattern, the methodology behind Figure 5.2. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound) ; [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli draw. *)
+val bool : t -> p:float -> bool
+
+(** [pick t arr] draws a uniform element.  @raise Invalid_argument if
+    empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [weighted t weights] draws index [i] with probability proportional to
+    [weights.(i)] (non-negative, not all zero). *)
+val weighted : t -> float array -> int
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

@@ -1,0 +1,84 @@
+type t = {
+  label : string;
+  points : (float * float) list;
+}
+
+let make ~label points = { label; points }
+
+let fmt_num x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%d" (int_of_float x)
+  else Printf.sprintf "%.3f" x
+
+let print_rows ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r -> max m (String.length (Option.value ~default:"" (List.nth_opt r c))))
+      0 all
+  in
+  let widths = List.init cols width in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+            let cell = Option.value ~default:"" (List.nth_opt r c) in
+            cell ^ String.make (w - String.length cell) ' ')
+         widths)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun r -> print_endline (line r)) rows
+
+let print_table ~title ~x_label ~y_label series =
+  let xs =
+    List.sort_uniq Float.compare
+      (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  let header = x_label :: List.map (fun s -> s.label) series in
+  let rows =
+    List.map
+      (fun x ->
+         fmt_num x
+         :: List.map
+              (fun s ->
+                 match List.assoc_opt x s.points with
+                 | Some y -> fmt_num y
+                 | None -> "")
+              series)
+      xs
+  in
+  print_rows ~title:(Printf.sprintf "%s  [y: %s]" title y_label) ~header rows
+
+let print_ascii ~title ?(width = 64) ?(height = 16) series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then Printf.printf "\n== %s == (no data)\n" title
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x0 = List.fold_left Float.min infinity xs
+    and x1 = List.fold_left Float.max neg_infinity xs
+    and y0 = List.fold_left Float.min infinity ys
+    and y1 = List.fold_left Float.max neg_infinity ys in
+    let xr = if x1 > x0 then x1 -. x0 else 1. in
+    let yr = if y1 > y0 then y1 -. y0 else 1. in
+    let canvas = Array.make_matrix height width ' ' in
+    let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |] in
+    List.iteri
+      (fun i s ->
+         let g = glyphs.(i mod Array.length glyphs) in
+         List.iter
+           (fun (x, y) ->
+              let cx = int_of_float ((x -. x0) /. xr *. float_of_int (width - 1)) in
+              let cy = int_of_float ((y -. y0) /. yr *. float_of_int (height - 1)) in
+              canvas.(height - 1 - cy).(cx) <- g)
+           s.points)
+      series;
+    Printf.printf "\n== %s ==\n" title;
+    Array.iter (fun row -> Printf.printf "|%s|\n" (String.init width (Array.get row))) canvas;
+    Printf.printf "x: %s .. %s   y: %s .. %s\n" (fmt_num x0) (fmt_num x1) (fmt_num y0)
+      (fmt_num y1);
+    List.iteri
+      (fun i s -> Printf.printf "  %c = %s\n" glyphs.(i mod Array.length glyphs) s.label)
+      series
+  end

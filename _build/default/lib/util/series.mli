@@ -1,0 +1,23 @@
+(** Text rendering of figure data: labelled (x, y) series printed as
+    aligned tables and quick ASCII plots, so every thesis figure can be
+    regenerated as terminal output by the bench harness. *)
+
+type t = {
+  label : string;
+  points : (float * float) list;
+}
+
+val make : label:string -> (float * float) list -> t
+
+(** [print_table ~title ~x_label ~y_label series] prints one row per
+    distinct x value with a column per series. *)
+val print_table :
+  title:string -> x_label:string -> y_label:string -> t list -> unit
+
+(** [print_ascii ~title ~width ~height series] draws a crude scatter of all
+    series on one ASCII canvas (one glyph per series). *)
+val print_ascii : title:string -> ?width:int -> ?height:int -> t list -> unit
+
+(** [print_rows ~title ~header rows] prints an aligned table of string
+    cells — for the thesis's numbered tables. *)
+val print_rows : title:string -> header:string list -> string list list -> unit

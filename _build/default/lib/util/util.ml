@@ -1,0 +1,7 @@
+(** Shared utilities: a deterministic splitmix64 RNG (every stochastic
+    component takes an explicit generator for reproducibility), empirical
+    distributions, and text renderers for the tables and figure series. *)
+
+module Rng = Rng
+module Dist = Dist
+module Series = Series

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Editor Lyra Pearl Plagen Registry Slang

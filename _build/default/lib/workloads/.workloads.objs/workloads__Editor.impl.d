@@ -1,0 +1,1 @@
+lib/workloads/editor.ml: Lisp Sexp

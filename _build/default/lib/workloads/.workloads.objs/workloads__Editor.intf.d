@@ -1,0 +1,1 @@
+lib/workloads/editor.mli: Sexp Trace

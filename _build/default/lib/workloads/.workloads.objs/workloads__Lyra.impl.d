@@ -1,0 +1,1 @@
+lib/workloads/lyra.ml: Array Lisp List Sexp Util

@@ -1,0 +1,1 @@
+lib/workloads/lyra.mli: Sexp Trace

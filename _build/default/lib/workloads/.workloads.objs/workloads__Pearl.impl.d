@@ -1,0 +1,1 @@
+lib/workloads/pearl.ml: Array Lisp List Sexp Util

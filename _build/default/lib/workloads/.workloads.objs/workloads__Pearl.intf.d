@@ -1,0 +1,1 @@
+lib/workloads/pearl.mli: Sexp Trace

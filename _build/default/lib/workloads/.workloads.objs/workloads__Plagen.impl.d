@@ -1,0 +1,1 @@
+lib/workloads/plagen.ml: Lisp List Sexp

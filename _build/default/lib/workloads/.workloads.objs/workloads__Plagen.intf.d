@@ -1,0 +1,1 @@
+lib/workloads/plagen.mli: Sexp Trace

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Editor Hashtbl Lisp List Lyra Pearl Plagen Sexp Slang Trace

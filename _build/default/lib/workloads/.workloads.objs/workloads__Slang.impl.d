@@ -1,0 +1,1 @@
+lib/workloads/slang.ml: Lisp List Sexp

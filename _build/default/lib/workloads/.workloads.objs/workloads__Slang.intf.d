@@ -1,0 +1,1 @@
+lib/workloads/slang.mli: Sexp Trace

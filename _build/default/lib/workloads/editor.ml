@@ -1,0 +1,132 @@
+let source = {|
+; EDITOR: apply an editing script to a function body.
+; Input: the body, then commands like (subst new old), (count x),
+; (depth), (find x), (wrap x w), (prune x); nil ends the script.
+
+(def count-sym (lambda (x e)
+  (cond ((atom e) (cond ((eq e x) 1) (t 0)))
+        (t (+ (count-sym x (car e)) (count-sym x (cdr e)))))))
+
+(def max2 (lambda (a b) (cond ((greaterp a b) a) (t b))))
+
+(def edepth (lambda (e)
+  (cond ((atom e) 0)
+        (t (max2 (add1 (edepth (car e))) (edepth (cdr e)))))))
+
+(def find-sym (lambda (x e)
+  (cond ((atom e) (eq e x))
+        ((find-sym x (car e)) t)
+        (t (find-sym x (cdr e))))))
+
+; replace occurrences of atom x with (w x)
+(def wrap-sym (lambda (x w e)
+  (cond ((atom e) (cond ((eq e x) (list2 w x)) (t e)))
+        (t (cons (wrap-sym x w (car e)) (wrap-sym x w (cdr e)))))))
+
+; drop list elements equal to atom x, at any level
+(def prune (lambda (x e)
+  (cond ((atom e) e)
+        ((eq (car e) x) (prune x (cdr e)))
+        (t (cons (prune x (car e)) (prune x (cdr e)))))))
+
+(def apply-cmd (lambda (cmd body)
+  (prog (op)
+    (setq op (car cmd))
+    (cond ((eq op (quote subst))
+           (return (subst (nth 1 cmd) (nth 2 cmd) body)))
+          ((eq op (quote count))
+           (write (count-sym (nth 1 cmd) body))
+           (return body))
+          ((eq op (quote depth))
+           (write (edepth body))
+           (return body))
+          ((eq op (quote find))
+           (write (find-sym (nth 1 cmd) body))
+           (return body))
+          ((eq op (quote wrap))
+           (return (wrap-sym (nth 1 cmd) (nth 2 cmd) body)))
+          ((eq op (quote prune))
+           (return (prune (nth 1 cmd) body)))
+          (t (return body))))))
+
+(def main (lambda ()
+  (prog (body cmd)
+    (setq body (read))
+    loop
+    (setq cmd (read))
+    (cond ((null cmd)
+           (write (edepth body))
+           (return (count-sym (quote cond) body))))
+    (setq body (apply-cmd cmd body))
+    (go loop))))
+
+(main)
+|}
+
+(* A deeply nested pseudo-function body (EDITOR's lists were the suite's
+   outliers: n ~ 75, p ~ 21 in Table 3.1) and a 40-command script. *)
+let input =
+  let module D = Sexp.Datum in
+  let s = D.sym in
+  let body =
+    Sexp.parse
+      {|(prog (x y z acc)
+          (setq acc nil)
+          (setq x (car input))
+          (cond ((null x) (return nil))
+                ((atom x) (setq y (cons x acc)))
+                (t (prog (u v)
+                     (setq u (car x))
+                     (setq v (cdr x))
+                     (cond ((equal u marker)
+                            (setq acc (cons (cons u (cons v nil)) acc)))
+                           ((greaterp (weight u) limit)
+                            (setq acc (append (flatten u) acc))
+                            (setq z (cons (cons u (cons v nil)) z)))
+                           (t (setq acc (cons v acc)))))))
+          loop
+          (cond ((null y) (go done))
+                ((atom (car y)) (setq acc (cons (car y) acc)))
+                (t (setq acc (append (reverse (car y)) acc))))
+          (setq y (cdr y))
+          (go loop)
+          done
+          (cond ((greaterp (length acc) bound)
+                 (return (cons (quote overflow) (cons acc nil))))
+                (t (return acc))))|}
+  in
+  let cmds =
+    [ D.list [ s "count"; s "setq" ];
+      D.list [ s "depth" ];
+      D.list [ s "subst"; s "accum"; s "acc" ];
+      D.list [ s "count"; s "accum" ];
+      D.list [ s "find"; s "marker" ];
+      D.list [ s "wrap"; s "limit"; s "check" ];
+      D.list [ s "subst"; s "item"; s "x" ];
+      D.list [ s "depth" ];
+      D.list [ s "prune"; s "done" ];
+      D.list [ s "count"; s "cond" ];
+      D.list [ s "subst"; s "result"; s "accum" ];
+      D.list [ s "wrap"; s "bound"; s "check" ];
+      D.list [ s "find"; s "overflow" ];
+      D.list [ s "count"; s "cons" ];
+      D.list [ s "subst"; s "val"; s "v" ];
+      D.list [ s "depth" ];
+      D.list [ s "prune"; s "loop" ];
+      D.list [ s "count"; s "result" ];
+      D.list [ s "wrap"; s "item"; s "touch" ];
+      D.list [ s "subst"; s "weightof"; s "weight" ];
+      D.list [ s "find"; s "flatten" ];
+      D.list [ s "count"; s "t" ];
+      D.list [ s "subst"; s "collect"; s "append" ];
+      D.list [ s "depth" ];
+      D.list [ s "count"; s "touch" ];
+      D.list [ s "wrap"; s "val"; s "quote" ];
+      D.list [ s "subst"; s "u2"; s "u" ];
+      D.list [ s "find"; s "u2" ];
+      D.list [ s "count"; s "check" ];
+      D.list [ s "depth" ] ]
+  in
+  (body :: cmds) @ [ D.Nil ]
+
+let trace () = Lisp.Tracer.trace_program ~input source

@@ -1,0 +1,15 @@
+(** EDITOR analogue: a structure editor session.
+
+    The thesis traced the Interlisp TTY editor performing global
+    substitutions, searches and modifications on a function definition.
+    This workload loads a large nested function body and applies a
+    command script (substitute, count, find-depth, wrap, prune), each
+    command walking and copying the structure — the deep, complex-list
+    profile behind EDITOR's outlier n/p values in Table 3.1. *)
+
+val source : string
+
+(** The edited function body followed by the command script; nil ends. *)
+val input : Sexp.Datum.t list
+
+val trace : unit -> Trace.Capture.t

@@ -1,0 +1,127 @@
+let source = {|
+; LYRA: design-rule checks over a rectangle layout.
+; A rectangle is (layer x1 y1 x2 y2); the input stream ends with nil.
+
+(def read-rects (lambda ()
+  (prog (rects r)
+    loop
+    (setq r (read))
+    (cond ((null r) (return (reverse rects))))
+    (setq rects (cons r rects))
+    (go loop))))
+
+(def rlayer (lambda (r) (car r)))
+(def rx1 (lambda (r) (nth 1 r)))
+(def ry1 (lambda (r) (nth 2 r)))
+(def rx2 (lambda (r) (nth 3 r)))
+(def ry2 (lambda (r) (nth 4 r)))
+
+; a transient, margin-inflated bounding box built per comparison, as real
+; checkers allocate scratch geometry: (box x1-1 y1-1 x2+1 y2+1)
+(def bbox (lambda (r)
+  (list5 (quote box) (sub1 (rx1 r)) (sub1 (ry1 r)) (add1 (rx2 r)) (add1 (ry2 r)))))
+(def bx1 (lambda (b) (nth 1 b)))
+(def by1 (lambda (b) (nth 2 b)))
+(def bx2 (lambda (b) (nth 3 b)))
+(def by2 (lambda (b) (nth 4 b)))
+
+; rule 1: minimum feature width
+(def width-ok (lambda (r minw)
+  (and (greaterp (- (rx2 r) (rx1 r)) (sub1 minw))
+       (greaterp (- (ry2 r) (ry1 r)) (sub1 minw)))))
+
+; bounding boxes separated by at least s?
+(def apart (lambda (a b s)
+  (or (greaterp (bx1 b) (+ (bx2 a) (sub1 s)))
+      (greaterp (bx1 a) (+ (bx2 b) (sub1 s)))
+      (greaterp (by1 b) (+ (by2 a) (sub1 s)))
+      (greaterp (by1 a) (+ (by2 b) (sub1 s))))))
+
+(def overlapping (lambda (a b)
+  (and (lessp (bx1 a) (bx2 b)) (lessp (bx1 b) (bx2 a))
+       (lessp (by1 a) (by2 b)) (lessp (by1 b) (by2 a)))))
+
+; rule 2: same-layer spacing; rule 3: poly/diff overlap needs metal cover
+(def pair-violation (lambda (a b)
+  (prog (ba bb)
+    (setq ba (bbox a))
+    (setq bb (bbox b))
+    (cond ((eq (rlayer a) (rlayer b))
+           (cond ((apart ba bb 2) (return nil))
+                 ((overlapping ba bb) (return nil)) ; touching shapes merge
+                 (t (return (list3 (quote spacing) a b)))))
+          ((and (eq (rlayer a) (quote poly)) (eq (rlayer b) (quote diff)))
+           (cond ((overlapping ba bb) (return (list3 (quote gate) a b)))
+                 (t (return nil))))
+          (t (return nil))))))
+
+(def check-pair-list (lambda (r others errs)
+  (prog (v)
+    loop
+    (cond ((null others) (return errs)))
+    (setq v (pair-violation r (car others)))
+    (cond ((null v))
+          (t (setq errs (cons v errs))))
+    (setq others (cdr others))
+    (go loop))))
+
+(def check-widths (lambda (rects errs)
+  (prog ()
+    loop
+    (cond ((null rects) (return errs))
+          ((width-ok (car rects) 2))
+          (t (setq errs (cons (list2 (quote width) (car rects)) errs))))
+    (setq rects (cdr rects))
+    (go loop))))
+
+(def check-pairs (lambda (rects errs)
+  (prog ()
+    loop
+    (cond ((null rects) (return errs)))
+    (setq errs (check-pair-list (car rects) (cdr rects) errs))
+    (setq rects (cdr rects))
+    (go loop))))
+
+; histogram of violations by rule name
+(def tally (lambda (errs counts)
+  (prog (key e)
+    loop
+    (cond ((null errs) (return counts)))
+    (setq key (car (car errs)))
+    (setq e (assq key counts))
+    (cond ((null e) (setq counts (cons (list2 key 1) counts)))
+          (t (rplacd e (cons (add1 (car (cdr e))) nil))))
+    (setq errs (cdr errs))
+    (go loop))))
+
+(def main (lambda ()
+  (prog (rects errs)
+    (setq rects (read-rects))
+    (setq errs (check-widths rects nil))
+    (setq errs (check-pairs rects errs))
+    (write (length errs))
+    (write (tally errs nil))
+    (return (length errs)))))
+
+(main)
+|}
+
+(* A pseudo-random but deterministic layout: three layers, a grid of
+   cells with wires and contacts, some deliberately too close or too
+   thin. *)
+let input =
+  let module D = Sexp.Datum in
+  let rng = Util.Rng.create ~seed:20260706 in
+  let layers = [| "metal"; "poly"; "diff" |] in
+  let rects =
+    List.init 120 (fun i ->
+        let layer = layers.(Util.Rng.int rng 3) in
+        let x1 = Util.Rng.int rng 40 and y1 = Util.Rng.int rng 40 in
+        let w = 1 + Util.Rng.int rng 6 and h = 1 + Util.Rng.int rng 6 in
+        ignore i;
+        D.list
+          [ D.sym layer; D.int x1; D.int y1; D.int (x1 + w); D.int (y1 + h) ])
+  in
+  rects @ [ D.Nil ]
+
+let trace () = Lisp.Tracer.trace_program ~input source

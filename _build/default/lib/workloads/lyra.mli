@@ -1,0 +1,15 @@
+(** LYRA analogue: a geometric design-rule checker.
+
+    The thesis's LYRA ran CMOS design-rule checks over part of a
+    multiplier layout.  This workload checks a rectangle layout (layer,
+    x1, y1, x2, y2) for minimum width, same-layer minimum spacing and
+    inter-layer overlap violations, visiting every rectangle pair — the
+    largest, most access-dominated trace of the suite, matching LYRA's
+    role in Table 5.1. *)
+
+val source : string
+
+(** A generated layout of a few dozen rectangles over three layers. *)
+val input : Sexp.Datum.t list
+
+val trace : unit -> Trace.Capture.t

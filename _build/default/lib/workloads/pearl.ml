@@ -1,0 +1,117 @@
+let source = {|
+; PEARL: a record database updated in place.
+; Input: records (id (field . value) ...) until the symbol end, then
+; commands (upd id field val) | (bump id field) | (get id field) |
+; (add record) until nil.
+
+(def find-rec (lambda (id db)
+  (cond ((null db) nil)
+        ((eq (car (car db)) id) (car db))
+        (t (find-rec id (cdr db))))))
+
+(def field-pair (lambda (f rec) (assq f (cdr rec))))
+
+(def upd (lambda (id f v db)
+  (prog (rec pair)
+    (setq rec (find-rec id db))
+    (cond ((null rec) (return nil)))
+    (setq pair (field-pair f rec))
+    (cond ((null pair)
+           (rplacd rec (cons (cons f v) (cdr rec)))
+           (return t)))
+    (rplacd pair v)
+    (return t))))
+
+(def bump-field (lambda (f rec)
+  (prog (pair)
+    (setq pair (field-pair f rec))
+    (cond ((null pair)
+           (rplacd rec (cons (cons f 1) (cdr rec)))
+           (return t)))
+    (cond ((numberp (cdr pair)) (rplacd pair (add1 (cdr pair))))
+          (t (rplacd pair 1)))
+    (return t))))
+
+; a bump touches the salary, grade and hit-count fields in place
+(def bump (lambda (id f db)
+  (prog (rec)
+    (setq rec (find-rec id db))
+    (cond ((null rec) (return nil)))
+    (bump-field f rec)
+    (bump-field (quote grade) rec)
+    (bump-field (quote hits) rec)
+    (return t))))
+
+(def get (lambda (id f db)
+  (prog (rec pair)
+    (setq rec (find-rec id db))
+    (cond ((null rec) (return nil)))
+    (setq pair (field-pair f rec))
+    (cond ((null pair) (return nil)))
+    (return (cdr pair)))))
+
+(def rename (lambda (id newid db)
+  (prog (rec)
+    (setq rec (find-rec id db))
+    (cond ((null rec) (return nil)))
+    (rplaca rec newid)
+    (return t))))
+
+(def read-db (lambda ()
+  (prog (db rec)
+    loop
+    (setq rec (read))
+    (cond ((eq rec (quote end)) (return db)))
+    (setq db (cons rec db))
+    (go loop))))
+
+(def main (lambda ()
+  (prog (db cmd op)
+    (setq db (read-db))
+    loop
+    (setq cmd (read))
+    (cond ((null cmd) (write (length db)) (return (length db))))
+    (setq op (car cmd))
+    (cond ((eq op (quote upd)) (upd (nth 1 cmd) (nth 2 cmd) (nth 3 cmd) db))
+          ((eq op (quote bump)) (bump (nth 1 cmd) (nth 2 cmd) db))
+          ((eq op (quote get)) (write (get (nth 1 cmd) (nth 2 cmd) db)))
+          ((eq op (quote rename)) (rename (nth 1 cmd) (nth 2 cmd) db))
+          ((eq op (quote add)) (setq db (cons (nth 1 cmd) db))))
+    (go loop))))
+
+(main)
+|}
+
+let input =
+  let module D = Sexp.Datum in
+  let s = D.sym in
+  let record id name dept sal =
+    D.cons (s id)
+      (D.list
+         [ D.cons (s "name") (s name); D.cons (s "dept") (s dept);
+           D.cons (s "sal") (D.int sal) ])
+  in
+  let records =
+    [ record "r1" "ada" "eng" 120; record "r2" "bob" "ops" 90;
+      record "r3" "cyd" "eng" 105; record "r4" "dan" "mkt" 80 ]
+  in
+  let rng = Util.Rng.create ~seed:1983 in
+  let ids = [| "r1"; "r2"; "r3"; "r4" |] in
+  let fields = [| "sal"; "dept"; "name" |] in
+  let commands =
+    List.init 120 (fun i ->
+        let id = s ids.(Util.Rng.int rng (Array.length ids)) in
+        match i mod 9 with
+        | 0 | 1 | 2 | 3 | 4 -> D.list [ s "bump"; id; s "sal" ]
+        | 5 ->
+          D.list [ s "upd"; id; s fields.(Util.Rng.int rng 3);
+                   D.int (Util.Rng.int rng 200) ]
+        | 6 ->
+          (* rename and immediately rename back so later commands still hit *)
+          D.list [ s "rename"; id; id ]
+        | 7 -> D.list [ s "get"; id; s fields.(Util.Rng.int rng 3) ]
+        | _ -> D.list [ s "upd"; id; s "grade"; D.int (Util.Rng.int rng 10) ])
+  in
+  records @ [ s "end" ] @ commands @ [ D.Nil ]
+
+let trace () = Lisp.Tracer.trace_program ~input source

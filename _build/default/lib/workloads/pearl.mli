@@ -1,0 +1,15 @@
+(** PEARL analogue: an in-place association database.
+
+    The thesis's PEARL (Package for Efficient Access to Representations
+    in Lisp) maintained its data in directly accessed hunks, so its list
+    trace was tiny and unusually rplaca/rplacd-heavy (Figure 3.1).  This
+    workload builds a small record database and performs destructive
+    field updates and insertions — a short trace dominated by
+    modification primitives. *)
+
+val source : string
+
+(** Record definitions followed by update commands; nil ends. *)
+val input : Sexp.Datum.t list
+
+val trace : unit -> Trace.Capture.t

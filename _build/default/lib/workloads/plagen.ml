@@ -1,0 +1,120 @@
+let source = {|
+; PLAGEN: generate a PLA from a truth table.
+; Rows arrive on the input stream as ((i5 .. i0) (o3 .. o0)); nil ends.
+
+(def read-rows (lambda ()
+  (prog (rows row)
+    loop
+    (setq row (read))
+    (cond ((null row) (return (reverse rows))))
+    (setq rows (cons row rows))
+    (go loop))))
+
+(def row-inputs (lambda (row) (car row)))
+(def row-outputs (lambda (row) (car (cdr row))))
+
+; a row contributes a product term if any output is asserted
+(def active-row (lambda (row) (member 1 (row-outputs row))))
+
+(def gather-terms (lambda (rows)
+  (prog (acc)
+    loop
+    (cond ((null rows) (return (reverse acc)))
+          ((active-row (car rows))
+           (setq acc (cons (row-inputs (car rows)) acc))))
+    (setq rows (cdr rows))
+    (go loop))))
+
+(def dedup (lambda (terms seen)
+  (prog ()
+    loop
+    (cond ((null terms) (return (reverse seen)))
+          ((member (car terms) seen))
+          (t (setq seen (cons (car terms) seen))))
+    (setq terms (cdr terms))
+    (go loop))))
+
+; AND-plane row: one drive symbol per input column
+(def drive (lambda (bit) (cond ((= bit 1) (quote on)) (t (quote off)))))
+(def and-row (lambda (term) (mapcar (lambda (b) (drive b)) term)))
+(def and-plane (lambda (terms) (mapcar (lambda (tm) (and-row tm)) terms)))
+
+; OR-plane: per output column, the product terms that drive it
+(def or-column (lambda (rows k)
+  (prog (acc)
+    loop
+    (cond ((null rows) (return (reverse acc)))
+          ((= (nth k (row-outputs (car rows))) 1)
+           (setq acc (cons (row-inputs (car rows)) acc))))
+    (setq rows (cdr rows))
+    (go loop))))
+
+(def build-or-plane (lambda (rows k width)
+  (prog (acc)
+    loop
+    (cond ((= k width) (return (reverse acc))))
+    (setq acc (cons (or-column rows k) acc))
+    (setq k (add1 k))
+    (go loop))))
+
+; term folding score: literals shared between term pairs (placement metric)
+(def shared (lambda (a b)
+  (cond ((null a) 0)
+        ((equal (car a) (car b)) (add1 (shared (cdr a) (cdr b))))
+        (t (shared (cdr a) (cdr b))))))
+
+(def fold-score (lambda (term others)
+  (prog (score)
+    (setq score 0)
+    loop
+    (cond ((null others) (return score)))
+    (setq score (+ score (shared term (car others))))
+    (setq others (cdr others))
+    (go loop))))
+
+(def fold-pass (lambda (terms)
+  (prog (score)
+    (setq score 0)
+    loop
+    (cond ((null terms) (return score)))
+    (setq score (+ score (fold-score (car terms) (cdr terms))))
+    (setq terms (cdr terms))
+    (go loop))))
+
+(def main (lambda ()
+  (prog (rows terms aplane oplane score)
+    (setq rows (read-rows))
+    (setq terms (dedup (gather-terms rows) nil))
+    (setq aplane (and-plane terms))
+    (setq oplane (build-or-plane rows 0 4))
+    (setq score (fold-pass terms))
+    (write (length terms))
+    (write score)
+    (write (length aplane))
+    (write (length oplane))
+    (return (length terms)))))
+
+(main)
+|}
+
+(* A 6-input, 4-output controller truth table: next-state and light
+   outputs of a traffic-light-style state machine over (cars, long, short,
+   extra, s1, s0). *)
+let input =
+  let module D = Sexp.Datum in
+  let rows =
+    List.init 64 (fun i ->
+        let bit k = (i lsr k) land 1 in
+        let cars = bit 5 and long = bit 4 and short = bit 3 in
+        let extra = bit 2 and s1 = bit 1 and s0 = bit 0 in
+        let n1 = if s1 = 0 && s0 = 1 && long = 1 then 1 else if s1 = 1 && short = 1 then 0 else s1 in
+        let n0 = if s1 = 0 && s0 = 0 && cars = 1 then 1 else if s0 = 1 && long = 1 then 0 else s0 in
+        let green = if s1 = 0 && s0 = 0 then 1 else 0 in
+        let red = if (s1 = 1 && extra = 0) || (s0 = 1 && cars = 0) then 1 else 0 in
+        D.list
+          [ D.of_ints [ cars; long; short; extra; s1; s0 ];
+            D.of_ints [ n1; n0; green; red ] ])
+  in
+  rows @ [ D.Nil ]
+
+let trace () = Lisp.Tracer.trace_program ~input source

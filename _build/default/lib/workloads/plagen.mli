@@ -1,0 +1,14 @@
+(** PLAGEN analogue: a PLA (programmable logic array) generator.
+
+    The thesis's PLAGEN generated a PLA for a traffic-light controller
+    from a truth table.  This workload takes a truth table (list of
+    (inputs -> outputs) rows), extracts product terms, folds shared
+    terms, and lays out AND-plane and OR-plane row lists — heavy list
+    construction and traversal with a car/cdr-dominated profile. *)
+
+val source : string
+
+(** Input rows for a small traffic-light-controller-style truth table. *)
+val input : Sexp.Datum.t list
+
+val trace : unit -> Trace.Capture.t

@@ -1,0 +1,42 @@
+type workload = {
+  name : string;
+  description : string;
+  source : string;
+  input : Sexp.Datum.t list;
+}
+
+let all =
+  [ { name = "plagen"; description = "PLA generator (traffic-light controller)";
+      source = Plagen.source; input = Plagen.input };
+    { name = "slang"; description = "gate-level circuit simulator (BCD decoder)";
+      source = Slang.source; input = Slang.input };
+    { name = "lyra"; description = "VLSI design-rule checker";
+      source = Lyra.source; input = Lyra.input };
+    { name = "editor"; description = "structure editor session";
+      source = Editor.source; input = Editor.input };
+    { name = "pearl"; description = "record database with in-place updates";
+      source = Pearl.source; input = Pearl.input } ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let trace_cache : (string, Trace.Capture.t) Hashtbl.t = Hashtbl.create 8
+
+let trace w =
+  match Hashtbl.find_opt trace_cache w.name with
+  | Some c -> c
+  | None ->
+    let c = Lisp.Tracer.trace_program ~input:w.input w.source in
+    Hashtbl.replace trace_cache w.name c;
+    c
+
+let prep_cache : (string, Trace.Preprocess.t) Hashtbl.t = Hashtbl.create 8
+
+let preprocessed w =
+  match Hashtbl.find_opt prep_cache w.name with
+  | Some p -> p
+  | None ->
+    let p = Trace.Preprocess.run (trace w) in
+    Hashtbl.replace prep_cache w.name p;
+    p
+
+let simulation_suite () = List.filter (fun w -> w.name <> "pearl") all

@@ -1,0 +1,27 @@
+(** The benchmark suite: the five workloads of §3.3.1 by name, with
+    cached traces (tracing an interpreted run is the expensive step; every
+    analysis and simulation reuses the same capture). *)
+
+type workload = {
+  name : string;
+  description : string;
+  source : string;
+  input : Sexp.Datum.t list;
+}
+
+(** plagen, slang, lyra, editor, pearl — in the thesis's listing order. *)
+val all : workload list
+
+val find : string -> workload option
+
+(** [trace w] runs the workload under the instrumented interpreter
+    (memoised per workload). *)
+val trace : workload -> Trace.Capture.t
+
+(** [preprocessed w] is the §5.2.1 preprocessing of [trace w]
+    (memoised). *)
+val preprocessed : workload -> Trace.Preprocess.t
+
+(** The four simulation traces of Table 5.1 (everything but pearl, whose
+    trace the thesis also dropped from Chapter 5). *)
+val simulation_suite : unit -> workload list

@@ -1,0 +1,118 @@
+let source = {|
+; SLANG: settle a combinational netlist over input vectors.
+; Wire values live in a positional list, updated functionally: each gate
+; evaluation rebuilds the prefix of the value list (the cons-heavy
+; profile of Fig 3.1).  Input stream: wire count, netlist, then vectors;
+; nil ends.  A gate is (type (in-index...) out-index).
+
+(def getw (lambda (k vals) (nth k vals)))
+
+; functional update: copy the prefix, splice the new value
+(def setw (lambda (k v vals)
+  (prog (acc)
+    loop
+    (cond ((zerop k) (return (revappend acc (cons v (cdr vals))))))
+    (setq acc (cons (car vals) acc))
+    (setq vals (cdr vals))
+    (setq k (sub1 k))
+    (go loop))))
+
+(def zeros (lambda (k)
+  (prog (acc)
+    loop
+    (cond ((zerop k) (return acc)))
+    (setq acc (cons 0 acc))
+    (setq k (sub1 k))
+    (go loop))))
+
+(def gate-type (lambda (g) (car g)))
+(def gate-ins (lambda (g) (car (cdr g))))
+(def gate-out (lambda (g) (car (cdr (cdr g)))))
+
+(def eval-gate (lambda (g vals)
+  (prog (a b ty ins)
+    (setq ty (gate-type g))
+    (setq ins (gate-ins g))
+    (setq a (getw (car ins) vals))
+    (cond ((null (cdr ins)) (setq b 0))
+          (t (setq b (getw (car (cdr ins)) vals))))
+    (cond ((eq ty (quote and2)) (return (cond ((and (= a 1) (= b 1)) 1) (t 0))))
+          ((eq ty (quote or2)) (return (cond ((or (= a 1) (= b 1)) 1) (t 0))))
+          ((eq ty (quote inv)) (return (cond ((= a 1) 0) (t 1))))
+          (t (return 0))))))
+
+; one settling pass: evaluate every gate against the evolving value list
+(def pass (lambda (gates vals)
+  (prog ()
+    loop
+    (cond ((null gates) (return vals)))
+    (setq vals (setw (gate-out (car gates)) (eval-gate (car gates) vals) vals))
+    (setq gates (cdr gates))
+    (go loop))))
+
+(def load-inputs (lambda (vec vals k)
+  (prog ()
+    loop
+    (cond ((null vec) (return vals)))
+    (setq vals (setw k (car vec) vals))
+    (setq vec (cdr vec))
+    (setq k (add1 k))
+    (go loop))))
+
+(def read-outs (lambda (outs vals)
+  (prog (acc)
+    loop
+    (cond ((null outs) (return (reverse acc))))
+    (setq acc (cons (getw (car outs) vals) acc))
+    (setq outs (cdr outs))
+    (go loop))))
+
+(def sim-vector (lambda (nwires gates outs vec)
+  (prog (vals)
+    (setq vals (load-inputs vec (zeros nwires) 0))
+    (setq vals (pass gates vals))
+    (return (read-outs outs vals)))))
+
+(def main (lambda ()
+  (prog (nwires gates outs vec results)
+    (setq nwires (read))
+    (setq gates (read))
+    (setq outs (read))
+    loop
+    (setq vec (read))
+    (cond ((null vec)
+           (write (length results))
+           (return (length results))))
+    (setq results (cons (sim-vector nwires gates outs vec) results))
+    (go loop))))
+
+(main)
+|}
+
+(* BCD-to-decimal decoder over numbered wires: 0-3 inputs, 4-7 inverted
+   inputs, then x/y partial products and the ten digit outputs. *)
+let input =
+  let module D = Sexp.Datum in
+  let gate ty ins out =
+    D.list [ D.sym ty; D.of_ints ins; D.int out ]
+  in
+  (* wires: b3 b2 b1 b0 = 0..3; n3 n2 n1 n0 = 4..7;
+     x_d = 8+2d, y_d = 9+2d, d_d = 28+d; total 38 wires *)
+  let invs = List.init 4 (fun b -> gate "inv" [ b ] (4 + b)) in
+  let decoders =
+    List.concat
+      (List.init 10 (fun digit ->
+           let lit k = if (digit lsr k) land 1 = 1 then 3 - k else 4 + (3 - k) in
+           [ gate "and2" [ lit 3; lit 2 ] (8 + (2 * digit));
+             gate "and2" [ lit 1; lit 0 ] (9 + (2 * digit));
+             gate "and2" [ 8 + (2 * digit); 9 + (2 * digit) ] (28 + digit) ]))
+  in
+  let netlist = D.list (invs @ decoders) in
+  let outs = D.of_ints (List.init 10 (fun d -> 28 + d)) in
+  let vectors =
+    List.init 10 (fun digit ->
+        D.of_ints (List.init 4 (fun k -> (digit lsr (3 - k)) land 1)))
+  in
+  (D.int 38 :: netlist :: outs :: vectors) @ [ D.Nil ]
+
+let trace () = Lisp.Tracer.trace_program ~input source

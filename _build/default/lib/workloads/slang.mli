@@ -1,0 +1,15 @@
+(** SLANG analogue: an event-free gate-level circuit simulator.
+
+    The thesis's SLANG simulated a BCD-to-decimal converter.  This
+    workload reads a gate netlist and input vectors, then settles the
+    circuit by repeated evaluation passes, rebuilding the wire-value
+    association list each pass — the cons-heavy profile SLANG shows in
+    Figure 3.1. *)
+
+val source : string
+
+(** The BCD-to-decimal decoder netlist followed by the ten digit input
+    vectors (each simulated twice). *)
+val input : Sexp.Datum.t list
+
+val trace : unit -> Trace.Capture.t

@@ -1,0 +1,11 @@
+(** The benchmark workload suite (§3.3.1): re-implementations of the
+    thesis's five programs — PLAGEN, SLANG, LYRA, EDITOR and PEARL — in
+    the mini-Lisp, with deterministic inputs, plus a registry with trace
+    caching. *)
+
+module Plagen = Plagen
+module Slang = Slang
+module Lyra = Lyra
+module Editor = Editor
+module Pearl = Pearl
+module Registry = Registry

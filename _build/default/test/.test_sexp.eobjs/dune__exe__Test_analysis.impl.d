@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Float List QCheck QCheck_alcotest Sexp Trace

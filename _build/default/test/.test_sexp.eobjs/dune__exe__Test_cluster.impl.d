@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Core List Multilisp QCheck QCheck_alcotest Sexp

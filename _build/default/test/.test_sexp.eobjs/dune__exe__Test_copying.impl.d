@@ -1,0 +1,1 @@
+test/test_copying.ml: Alcotest Heap List QCheck QCheck_alcotest

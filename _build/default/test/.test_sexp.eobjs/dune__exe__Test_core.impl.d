@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Float List QCheck QCheck_alcotest Sexp Trace

@@ -1,0 +1,1 @@
+test/test_gc_extra.ml: Alcotest Heap List Util

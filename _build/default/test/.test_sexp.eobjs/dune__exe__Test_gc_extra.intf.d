@@ -1,0 +1,1 @@
+test/test_gc_extra.mli:

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Hashtbl Heap List Option Printf QCheck QCheck_alcotest Sexp

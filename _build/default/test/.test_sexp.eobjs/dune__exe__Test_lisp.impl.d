@@ -1,0 +1,1 @@
+test/test_lisp.ml: Alcotest Array Lisp List Printf QCheck QCheck_alcotest Sexp Trace

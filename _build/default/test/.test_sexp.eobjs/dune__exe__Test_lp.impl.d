@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Core List QCheck QCheck_alcotest Sexp

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Core Lisp List Machine Option Printf QCheck QCheck_alcotest Sexp String Workloads

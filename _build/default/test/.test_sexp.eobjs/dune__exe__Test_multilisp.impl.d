@@ -1,0 +1,1 @@
+test/test_multilisp.ml: Alcotest List Multilisp Sexp Util

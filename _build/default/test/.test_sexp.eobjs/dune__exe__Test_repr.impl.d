@@ -1,0 +1,1 @@
+test/test_repr.ml: Alcotest Heap List Printf QCheck QCheck_alcotest Repr Sexp

@@ -1,0 +1,1 @@
+test/test_repr_extra.ml: Alcotest Fun List Option Printf QCheck QCheck_alcotest Repr Sexp

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest List Printf QCheck QCheck_alcotest Sexp

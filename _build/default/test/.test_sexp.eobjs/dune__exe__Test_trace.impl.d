@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Analysis Array Filename List Printf QCheck QCheck_alcotest Sexp Sys Trace

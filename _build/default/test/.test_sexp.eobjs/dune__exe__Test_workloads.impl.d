@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analysis Core Lisp List Option Sexp Trace Workloads

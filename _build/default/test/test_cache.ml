@@ -1,0 +1,85 @@
+(* Tests for the fully associative LRU data cache of §5.2.5. *)
+
+let test_hit_miss () =
+  let c = Cache.Lru_cache.create ~lines:2 ~line_size:1 in
+  Alcotest.(check bool) "cold miss" false (Cache.Lru_cache.access c 10);
+  Alcotest.(check bool) "hit" true (Cache.Lru_cache.access c 10);
+  Alcotest.(check bool) "second line" false (Cache.Lru_cache.access c 20);
+  Alcotest.(check bool) "both resident" true (Cache.Lru_cache.access c 20);
+  Alcotest.(check int) "hits" 2 (Cache.Lru_cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.Lru_cache.misses c)
+
+let test_lru_eviction () =
+  let c = Cache.Lru_cache.create ~lines:2 ~line_size:1 in
+  ignore (Cache.Lru_cache.access c 1);
+  ignore (Cache.Lru_cache.access c 2);
+  ignore (Cache.Lru_cache.access c 1);      (* 1 is now MRU *)
+  ignore (Cache.Lru_cache.access c 3);      (* evicts 2, the LRU *)
+  Alcotest.(check bool) "1 survived" true (Cache.Lru_cache.mem c 1);
+  Alcotest.(check bool) "2 evicted" false (Cache.Lru_cache.mem c 2);
+  Alcotest.(check bool) "3 resident" true (Cache.Lru_cache.mem c 3)
+
+let test_line_prefetch () =
+  (* a 4-cell line makes neighbouring addresses hit after one miss *)
+  let c = Cache.Lru_cache.create ~lines:4 ~line_size:4 in
+  Alcotest.(check bool) "miss at 8" false (Cache.Lru_cache.access c 8);
+  Alcotest.(check bool) "hit at 9 (same line)" true (Cache.Lru_cache.access c 9);
+  Alcotest.(check bool) "hit at 11" true (Cache.Lru_cache.access c 11);
+  Alcotest.(check bool) "miss at 12 (next line)" false (Cache.Lru_cache.access c 12)
+
+let test_negative_addresses () =
+  let c = Cache.Lru_cache.create ~lines:4 ~line_size:4 in
+  ignore (Cache.Lru_cache.access c (-1));
+  Alcotest.(check bool) "-1 and -4 share a line" true (Cache.Lru_cache.mem c (-4));
+  Alcotest.(check bool) "-5 is another line" false (Cache.Lru_cache.mem c (-5));
+  Alcotest.(check bool) "0 is another line" false (Cache.Lru_cache.mem c 0)
+
+let test_occupancy_bound () =
+  let c = Cache.Lru_cache.create ~lines:8 ~line_size:2 in
+  for i = 0 to 99 do
+    ignore (Cache.Lru_cache.access c (i * 2))
+  done;
+  Alcotest.(check int) "never above capacity" 8 (Cache.Lru_cache.occupancy c)
+
+let test_sequential_vs_random () =
+  (* spatial locality pays off only with multi-cell lines *)
+  let run ~line_size ~stride =
+    let c = Cache.Lru_cache.create ~lines:16 ~line_size in
+    for i = 0 to 499 do
+      ignore (Cache.Lru_cache.access c (i * stride mod 4096))
+    done;
+    Cache.Lru_cache.hit_rate c
+  in
+  Alcotest.(check bool) "wide lines help sequential streams" true
+    (run ~line_size:8 ~stride:1 > run ~line_size:1 ~stride:1 +. 0.5);
+  Alcotest.(check bool) "wide lines useless at large stride" true
+    (Float.abs (run ~line_size:8 ~stride:64 -. run ~line_size:1 ~stride:64) < 0.05)
+
+(* reference model: naive list-based LRU over lines *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"cache = naive LRU reference" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 80) (0 -- 40)) (1 -- 4))
+    (fun (addrs, line_size) ->
+      let lines = 4 in
+      let c = Cache.Lru_cache.create ~lines ~line_size in
+      let model = ref [] in
+      List.for_all
+        (fun addr ->
+           let tag = addr / line_size in
+           let model_hit = List.mem tag !model in
+           model := tag :: List.filter (fun t -> t <> tag) !model;
+           if List.length !model > lines then
+             model := List.filteri (fun i _ -> i < lines) !model;
+           Cache.Lru_cache.access c addr = model_hit)
+        addrs)
+
+let () =
+  Alcotest.run "cache"
+    [ ("lru_cache",
+       [ Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+         Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+         Alcotest.test_case "line prefetch" `Quick test_line_prefetch;
+         Alcotest.test_case "negative addresses" `Quick test_negative_addresses;
+         Alcotest.test_case "occupancy bound" `Quick test_occupancy_bound;
+         Alcotest.test_case "sequential vs random" `Quick test_sequential_vs_random ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_reference ]) ]

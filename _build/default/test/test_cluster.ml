@@ -1,0 +1,135 @@
+(* Tests for the multi-node SMALL cluster of §6.3: per-node LPTs, remote
+   references with weights, cross-node access costs, cons spanning nodes,
+   and reclamation across the machine. *)
+
+module C = Multilisp.Cluster
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp D.equal
+
+let test_local_access_is_free () =
+  let t = C.create ~nodes:2 ~combining:false () in
+  let h = C.read_in t ~node:0 (Sexp.parse "(a b c)") in
+  (match C.car t h with
+   | C.Imm v -> Alcotest.check d "car" (D.sym "a") v
+   | Ref _ -> Alcotest.fail "expected an immediate");
+  Alcotest.(check int) "no messages for local access" 0 (C.counters t).C.messages;
+  Alcotest.(check int) "one local access" 1 (C.counters t).C.local_accesses
+
+let test_remote_access_messages () =
+  let t = C.create ~nodes:2 ~combining:false () in
+  let h0 = C.read_in t ~node:0 (Sexp.parse "(a b c)") in
+  let h1 = C.send t h0 ~to_node:1 in
+  Alcotest.(check int) "sending a reference is message-free" 0
+    (C.counters t).C.messages;
+  (match C.cdr t h1 with
+   | C.Ref tail ->
+     Alcotest.(check int) "part handle held at the requester" 1 (C.holder tail);
+     Alcotest.(check int) "object still owned by node 0" 0 (C.owner t tail);
+     Alcotest.check d "remote structure readable" (Sexp.parse "(b c)")
+       (C.externalize t tail)
+   | Imm _ -> Alcotest.fail "expected a reference");
+  let c = C.counters t in
+  Alcotest.(check int) "one remote access" 1 c.C.remote_accesses;
+  Alcotest.(check bool) "request/reply messages counted" true (c.C.messages >= 2)
+
+let test_cross_node_cons () =
+  let t = C.create ~nodes:3 ~combining:false () in
+  let left = C.read_in t ~node:0 (Sexp.parse "(x y)") in
+  let right = C.read_in t ~node:1 (Sexp.parse "(p q)") in
+  (* build at node 2 from parts living on nodes 0 and 1 *)
+  let r1 = C.send t left ~to_node:2 in
+  let r2 = C.send t right ~to_node:2 in
+  let z = C.cons t ~at:2 (C.Ref r1) (C.Ref r2) in
+  Alcotest.(check int) "cons lives at node 2" 2 (C.owner t z);
+  Alcotest.check d "structure spans three nodes" (Sexp.parse "((x y) p q)")
+    (C.externalize t z)
+
+let test_weight_accounting_and_death () =
+  let t = C.create ~nodes:4 ~combining:false () in
+  let h = C.read_in t ~node:0 (Sexp.parse "(a b)") in
+  let copies = List.init 6 (fun i -> C.send t h ~to_node:(i mod 4)) in
+  (* all references dropped: the object dies at its owner *)
+  List.iter (fun c -> C.drop t c) copies;
+  C.drop t h;
+  C.flush t;
+  let lpt0 = C.node_lpt t 0 in
+  Alcotest.(check bool) "owner entry reclaimed" true (lpt0.Core.Lpt.frees >= 1)
+
+let test_combining_reduces_messages () =
+  let run combining =
+    let t = C.create ~flush_at:16 ~nodes:2 ~combining () in
+    let h = C.read_in t ~node:0 (Sexp.parse "(a)") in
+    let copies = List.init 12 (fun _ -> C.send t h ~to_node:1) in
+    List.iter (fun c -> C.drop t c) copies;
+    C.flush t;
+    (C.counters t).C.messages
+  in
+  Alcotest.(check int) "12 drop messages plain" 12 (run false);
+  Alcotest.(check int) "1 combined message" 1 (run true)
+
+let test_remote_walk () =
+  (* node 1 walks a list owned by node 0: every step is a message pair,
+     the Ch 6 motivation for locality-aware placement *)
+  let t = C.create ~nodes:2 ~combining:false () in
+  let h = C.read_in t ~node:0 (D.of_ints [ 1; 2; 3; 4 ]) in
+  let remote = C.send t h ~to_node:1 in
+  let rec walk part acc =
+    match part with
+    | C.Imm D.Nil -> List.rev acc
+    | C.Ref r ->
+      let hd = match C.car t r with C.Imm v -> v | Ref _ -> D.Nil in
+      walk (C.cdr t r) (hd :: acc)
+    | C.Imm _ -> List.rev acc
+  in
+  let items = walk (C.Ref remote) [] in
+  Alcotest.(check (list d)) "walked remotely" [ D.Int 1; D.Int 2; D.Int 3; D.Int 4 ]
+    items;
+  let c = C.counters t in
+  Alcotest.(check bool) "every step crossed the interconnect" true
+    (c.C.remote_accesses >= 8);
+  Alcotest.(check bool) "messages ~ 2 per access" true
+    (c.C.messages >= 2 * c.C.remote_accesses)
+
+let test_double_drop () =
+  let t = C.create ~nodes:2 ~combining:false () in
+  let h = C.read_in t ~node:0 (Sexp.parse "(a)") in
+  C.drop t h;
+  Alcotest.check_raises "double drop"
+    (Invalid_argument "Cluster.drop: dropped handle") (fun () -> C.drop t h)
+
+let prop_cluster_externalize =
+  (* structure is preserved no matter which node it is read from *)
+  let gen =
+    QCheck.Gen.(
+      let atom = map (fun n -> D.Int n) (int_range 0 99) in
+      let rec go depth =
+        if depth = 0 then atom
+        else
+          frequency
+            [ (3, atom);
+              (2, int_range 1 4 >>= fun len -> map D.list (list_repeat len (go (depth - 1)))) ]
+      in
+      int_range 1 5 >>= fun len -> map D.list (list_repeat len (go 2)))
+  in
+  QCheck.Test.make ~name:"externalize is node-independent" ~count:60
+    (QCheck.make ~print:Sexp.to_string gen) (fun x ->
+      let t = C.create ~nodes:3 ~combining:false () in
+      let h = C.read_in t ~node:0 x in
+      let r1 = C.send t h ~to_node:1 in
+      let r2 = C.send t r1 ~to_node:2 in
+      D.equal x (C.externalize t h)
+      && D.equal x (C.externalize t r1)
+      && D.equal x (C.externalize t r2))
+
+let () =
+  Alcotest.run "cluster"
+    [ ("cluster",
+       [ Alcotest.test_case "local access free" `Quick test_local_access_is_free;
+         Alcotest.test_case "remote access messages" `Quick test_remote_access_messages;
+         Alcotest.test_case "cross-node cons" `Quick test_cross_node_cons;
+         Alcotest.test_case "weights and death" `Quick test_weight_accounting_and_death;
+         Alcotest.test_case "combining" `Quick test_combining_reduces_messages;
+         Alcotest.test_case "remote walk" `Quick test_remote_walk;
+         Alcotest.test_case "double drop" `Quick test_double_drop ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cluster_externalize ]) ]

@@ -1,0 +1,161 @@
+(* Tests for the Baker-style semispace copying collector: structure
+   preservation across flips, forwarding of shared structure, root
+   updating, incremental pause bounds, and exhaustion. *)
+
+module W = Heap.Word
+module C = Heap.Copying
+
+(* Build the list (1 2 ... k) and return its head word. *)
+let build_chain gc k =
+  let rec go i tail =
+    if i = 0 then tail else go (i - 1) (W.Ptr (C.alloc gc ~car:(W.Int i) ~cdr:tail))
+  in
+  go k W.Nil
+
+let read_chain gc w =
+  let rec go (w : W.t) acc =
+    match w with
+    | Nil -> List.rev acc
+    | Ptr a ->
+      (match C.car gc a with
+       | W.Int n -> go (C.cdr gc a) (n :: acc)
+       | _ -> Alcotest.fail "expected int car")
+    | _ -> Alcotest.fail "expected pointer or nil"
+  in
+  go w []
+
+let test_alloc_read () =
+  let gc = C.create ~semispace:64 ~increment:0 in
+  let w = build_chain gc 5 in
+  let r = C.add_root gc w in
+  Alcotest.(check (list int)) "chain intact" [ 1; 2; 3; 4; 5 ]
+    (read_chain gc (C.root_value gc r))
+
+let test_flip_preserves_roots () =
+  let gc = C.create ~semispace:64 ~increment:0 in
+  let w = build_chain gc 8 in
+  let r = C.add_root gc w in
+  ignore (build_chain gc 10);  (* garbage *)
+  C.flip gc;
+  Alcotest.(check (list int)) "rooted chain survives the flip"
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ] (read_chain gc (C.root_value gc r));
+  Alcotest.(check int) "only live cells copied" 8 (C.allocated gc)
+
+let test_garbage_not_copied () =
+  let gc = C.create ~semispace:32 ~increment:0 in
+  ignore (build_chain gc 10);
+  C.flip gc;
+  Alcotest.(check int) "all garbage collected" 0 (C.allocated gc);
+  Alcotest.(check int) "nothing copied" 0 (C.counters gc).C.copied
+
+let test_shared_structure_forwarded_once () =
+  let gc = C.create ~semispace:64 ~increment:0 in
+  let shared = C.alloc gc ~car:(W.Int 42) ~cdr:W.Nil in
+  let a = C.alloc gc ~car:(W.Ptr shared) ~cdr:W.Nil in
+  let b = C.alloc gc ~car:(W.Ptr shared) ~cdr:W.Nil in
+  let ra = C.add_root gc (W.Ptr a) and rb = C.add_root gc (W.Ptr b) in
+  C.flip gc;
+  Alcotest.(check int) "three cells live (sharing preserved)" 3 (C.allocated gc);
+  (* both parents must point at the same copy *)
+  let target root =
+    match C.root_value gc root with
+    | W.Ptr p -> C.car gc p
+    | _ -> Alcotest.fail "expected pointer root"
+  in
+  Alcotest.(check bool) "one copy, shared" true (target ra = target rb)
+
+let test_cycles_survive () =
+  let gc = C.create ~semispace:32 ~increment:0 in
+  let a = C.alloc gc ~car:(W.Int 1) ~cdr:W.Nil in
+  let b = C.alloc gc ~car:(W.Int 2) ~cdr:(W.Ptr a) in
+  C.set_cdr gc a (W.Ptr b);
+  let r = C.add_root gc (W.Ptr a) in
+  C.flip gc;
+  Alcotest.(check int) "cycle copied once" 2 (C.allocated gc);
+  (match C.root_value gc r with
+   | W.Ptr a' ->
+     (match C.cdr gc a' with
+      | W.Ptr b' ->
+        Alcotest.(check bool) "cycle closed" true (C.cdr gc b' = W.Ptr a')
+      | _ -> Alcotest.fail "broken cycle")
+   | _ -> Alcotest.fail "expected pointer")
+
+let test_automatic_flip () =
+  (* keep a small live set while allocating far more than a semispace *)
+  let gc = C.create ~semispace:16 ~increment:0 in
+  let r = C.add_root gc W.Nil in
+  for i = 1 to 100 do
+    let a = C.alloc gc ~car:(W.Int i) ~cdr:W.Nil in
+    C.set_root gc r (W.Ptr a)
+  done;
+  Alcotest.(check bool) "flips happened" true ((C.counters gc).C.flips > 3);
+  (match C.root_value gc r with
+   | W.Ptr a -> Alcotest.(check bool) "latest survives" true (C.car gc a = W.Int 100)
+   | _ -> Alcotest.fail "expected pointer")
+
+let test_incremental_bounded_pause () =
+  let run increment =
+    let gc = C.create ~semispace:512 ~increment in
+    let r = C.add_root gc W.Nil in
+    (* a sizable live list, then churn to force collections *)
+    C.set_root gc r (build_chain gc 200);
+    for i = 1 to 2000 do
+      ignore (C.alloc gc ~car:(W.Int i) ~cdr:W.Nil)
+    done;
+    C.counters gc
+  in
+  let stw = run 0 and inc = run 4 in
+  Alcotest.(check bool) "both modes collected" true (stw.C.flips > 0 && inc.C.flips > 0);
+  Alcotest.(check bool) "stop-the-world pause covers the live set" true
+    (stw.C.max_pause >= 200);
+  Alcotest.(check bool) "incremental pause is bounded" true (inc.C.max_pause <= 16)
+
+let test_read_barrier () =
+  (* in incremental mode, reading through a not-yet-scavenged cell must
+     still yield tospace pointers *)
+  let gc = C.create ~semispace:256 ~increment:1 in
+  let w = build_chain gc 50 in
+  let r = C.add_root gc w in
+  C.flip gc;  (* incremental: only roots evacuated so far *)
+  Alcotest.(check (list int)) "barrier chases forwarding"
+    (List.init 50 (fun i -> i + 1))
+    (read_chain gc (C.root_value gc r))
+
+let test_out_of_memory () =
+  let gc = C.create ~semispace:8 ~increment:0 in
+  let r = C.add_root gc W.Nil in
+  Alcotest.check_raises "live set exceeds a semispace" C.Out_of_memory (fun () ->
+      for _ = 1 to 50 do
+        C.set_root gc r (W.Ptr (C.alloc gc ~car:W.Nil ~cdr:(C.root_value gc r)))
+      done)
+
+(* Property: random rooted structures survive arbitrary collection. *)
+let prop_structure_survives =
+  QCheck.Test.make ~name:"rooted structure identical across flips" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 40) (0 -- 99)) (1 -- 3))
+    (fun (xs, increment) ->
+      let gc = C.create ~semispace:256 ~increment in
+      let rec build = function
+        | [] -> W.Nil
+        | x :: rest -> W.Ptr (C.alloc gc ~car:(W.Int x) ~cdr:(build rest))
+      in
+      let r = C.add_root gc (build xs) in
+      (* churn garbage to force several collections *)
+      for i = 1 to 600 do
+        ignore (C.alloc gc ~car:(W.Int i) ~cdr:W.Nil)
+      done;
+      read_chain gc (C.root_value gc r) = xs)
+
+let () =
+  Alcotest.run "copying"
+    [ ("copying",
+       [ Alcotest.test_case "alloc/read" `Quick test_alloc_read;
+         Alcotest.test_case "flip preserves roots" `Quick test_flip_preserves_roots;
+         Alcotest.test_case "garbage dropped" `Quick test_garbage_not_copied;
+         Alcotest.test_case "sharing forwarded once" `Quick test_shared_structure_forwarded_once;
+         Alcotest.test_case "cycles survive" `Quick test_cycles_survive;
+         Alcotest.test_case "automatic flip" `Quick test_automatic_flip;
+         Alcotest.test_case "incremental pause bound" `Quick test_incremental_bounded_pause;
+         Alcotest.test_case "read barrier" `Quick test_read_barrier;
+         Alcotest.test_case "out of memory" `Quick test_out_of_memory ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_structure_survives ]) ]

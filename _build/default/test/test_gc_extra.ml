@@ -1,0 +1,163 @@
+(* Tests for the surveyed heap-maintenance variants: M3L-style small
+   saturating reference counts (§2.3.4, [Sans82a]) and FACOM Alpha-style
+   sub-space counting ([Haya83a]). *)
+
+module W = Heap.Word
+
+(* ---- small counts ---- *)
+
+let mk_small ?(capacity = 256) ?(width = 3) () =
+  let store = Heap.Store.create ~capacity in
+  (store, Heap.Small_counts.create store ~width)
+
+let test_small_basic () =
+  let store, sc = mk_small () in
+  let a = Heap.Small_counts.alloc sc ~car:(W.Int 1) ~cdr:W.Nil in
+  Alcotest.(check int) "count 1" 1 (Heap.Small_counts.count sc a);
+  Heap.Small_counts.decr sc a;
+  Alcotest.(check bool) "reclaimed on zero" false (Heap.Store.is_allocated store a)
+
+let test_small_saturation () =
+  let store, sc = mk_small ~width:3 () in
+  let a = Heap.Small_counts.alloc sc ~car:W.Nil ~cdr:W.Nil in
+  (* push the count past the 3-bit ceiling *)
+  for _ = 1 to 10 do
+    Heap.Small_counts.incr sc a
+  done;
+  Alcotest.(check bool) "saturated at 7" true (Heap.Small_counts.is_saturated sc a);
+  Alcotest.(check int) "ceiling" 7 (Heap.Small_counts.count sc a);
+  Alcotest.(check bool) "saturations counted" true
+    ((Heap.Small_counts.counters sc).Heap.Small_counts.saturations >= 4);
+  (* decrements no longer move it: the cell leaks *)
+  for _ = 1 to 20 do
+    Heap.Small_counts.decr sc a
+  done;
+  Alcotest.(check bool) "stuck cell survives counting" true
+    (Heap.Store.is_allocated store a);
+  (* ...until the backup collector runs *)
+  let freed = Heap.Small_counts.backup_sweep sc ~roots:[] in
+  Alcotest.(check int) "backup sweep reclaims it" 1 freed;
+  Alcotest.(check bool) "gone" false (Heap.Store.is_allocated store a)
+
+let test_small_stack_flag () =
+  let store, sc = mk_small () in
+  let a = Heap.Small_counts.alloc sc ~car:W.Nil ~cdr:W.Nil in
+  Heap.Small_counts.set_stack_flag sc a true;
+  Heap.Small_counts.decr sc a;
+  Alcotest.(check bool) "flagged cell not reclaimed at zero" true
+    (Heap.Store.is_allocated store a);
+  (* the flag also roots the backup sweep *)
+  ignore (Heap.Small_counts.backup_sweep sc ~roots:[]);
+  Alcotest.(check bool) "flagged cell survives the sweep" true
+    (Heap.Store.is_allocated store a);
+  Heap.Small_counts.set_stack_flag sc a false;
+  ignore (Heap.Small_counts.backup_sweep sc ~roots:[]);
+  Alcotest.(check bool) "reclaimed once unflagged" false
+    (Heap.Store.is_allocated store a)
+
+let test_small_recovery_rate () =
+  (* [Sans82a]: ~98% of garbage is reclaimed by tiny counts alone.
+     Build/drop chains with occasional extra sharing that saturates a few
+     cells, and check counting recovers the vast majority. *)
+  let store, sc = mk_small ~capacity:4096 ~width:3 () in
+  let rng = Util.Rng.create ~seed:6 in
+  for _ = 1 to 300 do
+    let cells =
+      List.init 8 (fun i -> Heap.Small_counts.alloc sc ~car:(W.Int i) ~cdr:W.Nil)
+    in
+    (* a few cells get transiently hot (many increments then decrements) *)
+    List.iter
+      (fun a ->
+         if Util.Rng.bool rng ~p:0.05 then begin
+           for _ = 1 to 9 do Heap.Small_counts.incr sc a done;
+           for _ = 1 to 9 do Heap.Small_counts.decr sc a done
+         end)
+      cells;
+    List.iter (fun a -> Heap.Small_counts.decr sc a) cells
+  done;
+  ignore (Heap.Small_counts.backup_sweep sc ~roots:[]);
+  let rate = Heap.Small_counts.count_recovery_rate sc in
+  Alcotest.(check bool) "counting recovers the vast majority" true (rate > 0.9);
+  Alcotest.(check bool) "but not everything (saturation leaks)" true (rate < 1.0);
+  Alcotest.(check int) "heap empty after backup" 0 (Heap.Store.live store)
+
+(* ---- sub-space counting ---- *)
+
+let mk_sub ?(capacity = 64) ?(size = 8) () =
+  let store = Heap.Store.create ~capacity in
+  (store, Heap.Subspace.create store ~subspace_size:size)
+
+let test_subspace_counts () =
+  let _store, ss = mk_sub () in
+  (* cells 0..7 are sub-space 0; force a cross-space pointer *)
+  let a = Heap.Subspace.alloc ss ~car:W.Nil ~cdr:W.Nil in   (* space 0 *)
+  Alcotest.(check int) "intra-space allocs don't count" 0
+    (Heap.Subspace.subspace_count ss 0);
+  (* fill space 0 so the next alloc lands in space 1 *)
+  for _ = 1 to 7 do
+    ignore (Heap.Subspace.alloc ss ~car:W.Nil ~cdr:W.Nil)
+  done;
+  let b = Heap.Subspace.alloc ss ~car:(W.Ptr a) ~cdr:W.Nil in
+  Alcotest.(check int) "b is in space 1" 1 (Heap.Subspace.subspace_of ss b);
+  Alcotest.(check int) "cross-space pointer counted" 1
+    (Heap.Subspace.subspace_count ss 0);
+  Heap.Subspace.set_car ss b W.Nil;
+  Alcotest.(check int) "released on overwrite" 0 (Heap.Subspace.subspace_count ss 0)
+
+let test_subspace_reclaims_cycles () =
+  let store, ss = mk_sub () in
+  (* an intra-sub-space cycle, unreferenced from outside *)
+  let a = Heap.Subspace.alloc ss ~car:(W.Int 1) ~cdr:W.Nil in
+  let b = Heap.Subspace.alloc ss ~car:(W.Int 2) ~cdr:(W.Ptr a) in
+  Heap.Subspace.set_cdr ss a (W.Ptr b);
+  Alcotest.(check int) "cycle is invisible to the space count" 0
+    (Heap.Subspace.subspace_count ss 0);
+  let freed = Heap.Subspace.reclaim_subspaces ss ~stack_roots:[] in
+  Alcotest.(check int) "the cycle's space is recycled wholesale" 2 freed;
+  Alcotest.(check int) "heap empty" 0 (Heap.Store.live store)
+
+let test_subspace_stack_roots_protect () =
+  let store, ss = mk_sub () in
+  let a = Heap.Subspace.alloc ss ~car:(W.Int 1) ~cdr:W.Nil in
+  let freed = Heap.Subspace.reclaim_subspaces ss ~stack_roots:[ W.Ptr a ] in
+  Alcotest.(check int) "rooted space survives" 0 freed;
+  Alcotest.(check bool) "cell alive" true (Heap.Store.is_allocated store a)
+
+let test_subspace_cascade () =
+  let store, ss = mk_sub ~capacity:32 ~size:4 () in
+  (* space 0 points into space 1; nothing points at space 0: freeing
+     space 0 must release space 1 on the next fixpoint round *)
+  let b = ref (-1) in
+  for _ = 1 to 4 do
+    b := Heap.Subspace.alloc ss ~car:W.Nil ~cdr:W.Nil
+  done;
+  (* fill the rest of space 0? a0..a3 are space 0 *)
+  let target = Heap.Subspace.alloc ss ~car:W.Nil ~cdr:W.Nil in  (* space 1 *)
+  Heap.Subspace.set_car ss !b (W.Ptr target);
+  Alcotest.(check int) "space 1 externally referenced" 1
+    (Heap.Subspace.subspace_count ss (Heap.Subspace.subspace_of ss target));
+  let freed = Heap.Subspace.reclaim_subspaces ss ~stack_roots:[] in
+  Alcotest.(check int) "both spaces drained at the fixpoint" 5 freed;
+  Alcotest.(check int) "empty" 0 (Heap.Store.live store)
+
+let test_subspace_marking_rebuilds () =
+  let store, ss = mk_sub () in
+  let a = Heap.Subspace.alloc ss ~car:(W.Int 1) ~cdr:W.Nil in
+  ignore (Heap.Subspace.alloc ss ~car:(W.Int 2) ~cdr:W.Nil); (* garbage *)
+  let freed = Heap.Subspace.collect ss ~stack_roots:[ W.Ptr a ] in
+  Alcotest.(check int) "marking freed the garbage" 1 freed;
+  Alcotest.(check bool) "root survives" true (Heap.Store.is_allocated store a)
+
+let () =
+  Alcotest.run "gc_extra"
+    [ ("small_counts",
+       [ Alcotest.test_case "basics" `Quick test_small_basic;
+         Alcotest.test_case "saturation" `Quick test_small_saturation;
+         Alcotest.test_case "stack flag" `Quick test_small_stack_flag;
+         Alcotest.test_case "recovery rate" `Quick test_small_recovery_rate ]);
+      ("subspace",
+       [ Alcotest.test_case "cross-space counts" `Quick test_subspace_counts;
+         Alcotest.test_case "reclaims cycles" `Quick test_subspace_reclaims_cycles;
+         Alcotest.test_case "stack roots protect" `Quick test_subspace_stack_roots_protect;
+         Alcotest.test_case "cascade" `Quick test_subspace_cascade;
+         Alcotest.test_case "marking rebuilds" `Quick test_subspace_marking_rebuilds ]) ]

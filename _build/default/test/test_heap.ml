@@ -1,0 +1,301 @@
+(* Tests for the array-backed cell heap: store allocation disciplines,
+   mark-sweep, reference counting (eager vs lazy), linearisation and
+   pointer statistics. *)
+
+module W = Heap.Word
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp Sexp.Datum.equal
+
+let gen_list =
+  QCheck.Gen.(
+    let atom =
+      oneof
+        [ map (fun n -> D.Int n) (int_range 0 99);
+          map (fun i -> D.Sym (Printf.sprintf "a%d" i)) (int_range 0 20) ]
+    in
+    let rec go depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2, int_range 0 5 >>= fun len -> map D.list (list_repeat len (go (depth - 1)))) ]
+    in
+    int_range 0 6 >>= fun len -> map D.list (list_repeat len (go 3)))
+
+let arb_list = QCheck.make ~print:Sexp.to_string gen_list
+
+(* ---- Store ---- *)
+
+let test_store_basics () =
+  let s = Heap.Store.create ~capacity:4 in
+  let a = Heap.Store.alloc s ~car:(W.Int 1) ~cdr:W.Nil in
+  let b = Heap.Store.alloc s ~car:(W.Int 2) ~cdr:(W.Ptr a) in
+  Alcotest.(check int) "live" 2 (Heap.Store.live s);
+  Alcotest.(check bool) "car b" true (W.equal (Heap.Store.car s b) (W.Int 2));
+  Alcotest.(check bool) "cdr b" true (W.equal (Heap.Store.cdr s b) (W.Ptr a));
+  Heap.Store.set_car s a (W.Int 9);
+  Alcotest.(check bool) "set_car" true (W.equal (Heap.Store.car s a) (W.Int 9));
+  Heap.Store.release s a;
+  Alcotest.(check int) "live after release" 1 (Heap.Store.live s);
+  Alcotest.(check bool) "is_allocated" false (Heap.Store.is_allocated s a)
+
+let test_store_exhaustion () =
+  let s = Heap.Store.create ~capacity:2 in
+  ignore (Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil);
+  ignore (Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil);
+  Alcotest.check_raises "full" Heap.Store.Out_of_memory (fun () ->
+      ignore (Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil))
+
+let test_store_lifo_reuse () =
+  let s = Heap.Store.create ~capacity:8 in
+  let a = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  let _b = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  Heap.Store.release s a;
+  let c = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  Alcotest.(check int) "LIFO: freed cell reused first" a c
+
+let test_store_fifo_reuse () =
+  let s = Heap.Store.create ~capacity:3 in
+  Heap.Store.set_discipline s Heap.Store.Fifo;
+  let a = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  let b = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  let c = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  Heap.Store.release s b;
+  Heap.Store.release s a;
+  ignore c;
+  let x = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  Alcotest.(check int) "FIFO: earliest-freed reused first" b x
+
+let test_store_double_free () =
+  let s = Heap.Store.create ~capacity:2 in
+  let a = Heap.Store.alloc s ~car:W.Nil ~cdr:W.Nil in
+  Heap.Store.release s a;
+  Alcotest.check_raises "double free detected"
+    (Invalid_argument (Printf.sprintf "Store: access to free cell %d" a))
+    (fun () -> Heap.Store.release s a)
+
+(* ---- Mark-sweep ---- *)
+
+let test_marksweep () =
+  let s = Heap.Store.create ~capacity:16 in
+  let tab = Heap.Symtab.create () in
+  let root = Heap.Linearize.store_linear tab s (Sexp.parse "(a (b c) d)") in
+  let garbage = Heap.Linearize.store_linear tab s (Sexp.parse "(x y)") in
+  ignore garbage;
+  let live_before = Heap.Store.live s in
+  let { Heap.Marksweep.marked; swept } = Heap.Marksweep.collect s ~roots:[ root ] in
+  Alcotest.(check int) "swept the unrooted list" 2 swept;
+  Alcotest.(check int) "marked the rooted cells" (live_before - 2) marked;
+  (* The rooted structure is intact. *)
+  Alcotest.check d "rooted structure survives" (Sexp.parse "(a (b c) d)")
+    (Heap.Linearize.read tab s root)
+
+let test_marksweep_cycle () =
+  let s = Heap.Store.create ~capacity:8 in
+  (* Build a cycle a -> b -> a, unreferenced. *)
+  let a = Heap.Store.alloc s ~car:(W.Int 1) ~cdr:W.Nil in
+  let b = Heap.Store.alloc s ~car:(W.Int 2) ~cdr:(W.Ptr a) in
+  Heap.Store.set_cdr s a (W.Ptr b);
+  let { Heap.Marksweep.swept; marked = _ } = Heap.Marksweep.collect s ~roots:[] in
+  Alcotest.(check int) "cycles are collected" 2 swept;
+  Alcotest.(check int) "nothing live" 0 (Heap.Store.live s)
+
+let prop_marksweep_preserves_reachable =
+  QCheck.Test.make ~name:"mark-sweep preserves exactly the reachable structure"
+    ~count:100 (QCheck.pair arb_list arb_list) (fun (keep, drop) ->
+      let s = Heap.Store.create ~capacity:4096 in
+      let tab = Heap.Symtab.create () in
+      let root = Heap.Linearize.store_linear tab s keep in
+      ignore (Heap.Linearize.store_linear tab s drop);
+      let reach = Heap.Marksweep.reachable s ~roots:[ root ] in
+      let { Heap.Marksweep.marked; swept = _ } = Heap.Marksweep.collect s ~roots:[ root ] in
+      marked = List.length reach
+      && Heap.Store.live s = marked
+      && D.equal keep (Heap.Linearize.read tab s root))
+
+(* ---- Reference counting ---- *)
+
+let alloc_chain rc k =
+  (* Build the list (1 2 ... k) bottom-up; returns the head address.  Each
+     cell is allocated with count 1 (our handle); once embedded in its
+     parent (which adds its own reference) we drop the handle, leaving
+     exactly the structural references plus one handle on the head. *)
+  let rec go i tail =
+    if i = 0 then tail
+    else begin
+      let a = Heap.Refcount.alloc rc ~car:(W.Int i) ~cdr:tail in
+      (match tail with W.Ptr b -> Heap.Refcount.decr rc b | _ -> ());
+      go (i - 1) (W.Ptr a)
+    end
+  in
+  match go k W.Nil with
+  | W.Ptr a -> a
+  | _ -> assert false
+
+let test_refcount_eager_cascade () =
+  let s = Heap.Store.create ~capacity:64 in
+  let rc = Heap.Refcount.create s ~policy:Heap.Refcount.Eager in
+  let head = alloc_chain rc 10 in
+  Alcotest.(check int) "10 live" 10 (Heap.Store.live s);
+  Heap.Refcount.decr rc head;
+  (* Eager policy: the whole chain is reclaimed at once. *)
+  Alcotest.(check int) "all reclaimed" 0 (Heap.Store.live s);
+  Alcotest.(check int) "10 reclaims" 10 (Heap.Refcount.reclaimed rc)
+
+let test_refcount_lazy_defers () =
+  let s = Heap.Store.create ~capacity:64 in
+  let rc = Heap.Refcount.create s ~policy:Heap.Refcount.Lazy in
+  let head = alloc_chain rc 10 in
+  let ops_before = Heap.Refcount.refops rc in
+  Heap.Refcount.decr rc head;
+  (* Lazy policy: O(1) work now; only the head is logically reclaimed. *)
+  Alcotest.(check int) "one refop" 1 (Heap.Refcount.refops rc - ops_before);
+  Alcotest.(check int) "one reclaim so far" 1 (Heap.Refcount.reclaimed rc);
+  (* Reusing cells drains the chain one deferred decrement at a time. *)
+  for _ = 1 to 10 do
+    ignore (Heap.Refcount.alloc rc ~car:(W.Int 0) ~cdr:W.Nil)
+  done;
+  Alcotest.(check int) "chain fully reclaimed through reuse" 10
+    (Heap.Refcount.reclaimed rc)
+
+let test_refcount_rplac () =
+  let s = Heap.Store.create ~capacity:64 in
+  let rc = Heap.Refcount.create s ~policy:Heap.Refcount.Eager in
+  let a = Heap.Refcount.alloc rc ~car:(W.Int 1) ~cdr:W.Nil in
+  let b = Heap.Refcount.alloc rc ~car:(W.Int 2) ~cdr:W.Nil in
+  let c = Heap.Refcount.alloc rc ~car:(W.Ptr a) ~cdr:(W.Ptr b) in
+  Alcotest.(check int) "a has 2 refs" 2 (Heap.Refcount.count rc a);
+  (* rplaca c away from a: a's count drops; with our own ref gone it dies. *)
+  Heap.Refcount.set_car rc c W.Nil;
+  Alcotest.(check int) "a count back to 1" 1 (Heap.Refcount.count rc a);
+  Heap.Refcount.decr rc a;
+  Alcotest.(check bool) "a is gone" false (Heap.Store.is_allocated s a);
+  Alcotest.(check bool) "b survives" true (Heap.Store.is_allocated s b)
+
+let test_refcount_eager_vs_lazy_refops () =
+  (* Table 5.2's point: eager recursive decrementing performs strictly more
+     refcount operations than the lazy free-stack policy at release time. *)
+  let run policy =
+    let s = Heap.Store.create ~capacity:256 in
+    let rc = Heap.Refcount.create s ~policy in
+    let head = alloc_chain rc 50 in
+    let before = Heap.Refcount.refops rc in
+    Heap.Refcount.decr rc head;
+    Heap.Refcount.refops rc - before
+  in
+  let eager = run Heap.Refcount.Eager and lazy_ = run Heap.Refcount.Lazy in
+  Alcotest.(check bool) "eager does more refops at release" true (eager > lazy_);
+  Alcotest.(check int) "lazy is O(1)" 1 lazy_
+
+(* ---- Linearize ---- *)
+
+let test_linearize_roundtrip () =
+  let s = Heap.Store.create ~capacity:256 in
+  let tab = Heap.Symtab.create () in
+  let x = Sexp.parse "(a (b (c)) \"s\" 42 (d e f))" in
+  let root = Heap.Linearize.store_linear tab s x in
+  Alcotest.check d "linear roundtrip" x (Heap.Linearize.read tab s root);
+  let root2 = Heap.Linearize.store_naive tab s x in
+  Alcotest.check d "naive roundtrip" x (Heap.Linearize.read tab s root2)
+
+let test_linearity_measure () =
+  let s = Heap.Store.create ~capacity:256 in
+  let tab = Heap.Symtab.create () in
+  let x = Sexp.parse "(a b c d e f g h)" in
+  let root = Heap.Linearize.store_linear tab s x in
+  Alcotest.(check (float 0.001)) "linear allocator: all cdrs at distance 1" 1.0
+    (Heap.Linearize.linearity s ~root)
+
+let test_pointer_stats () =
+  let s = Heap.Store.create ~capacity:64 in
+  let tab = Heap.Symtab.create () in
+  let root = Heap.Linearize.store_linear tab s (Sexp.parse "(a (b) c)") in
+  let st = Heap.Linearize.pointer_stats s ~root in
+  (* 4 cells: 3 spine + 1 sublist. cars: a, Ptr, c, b; cdrs: 2 Ptr + 2 nil. *)
+  Alcotest.(check int) "car->atom" 3 st.Heap.Linearize.car_to_atom;
+  Alcotest.(check int) "car->list" 1 st.Heap.Linearize.car_to_list;
+  Alcotest.(check int) "cdr->list" 2 st.Heap.Linearize.cdr_to_list;
+  Alcotest.(check int) "cdr->nil" 2 st.Heap.Linearize.cdr_to_nil
+
+let prop_linearize_roundtrip =
+  QCheck.Test.make ~name:"store_linear/read round-trip" ~count:150 arb_list (fun x ->
+      let s = Heap.Store.create ~capacity:8192 in
+      let tab = Heap.Symtab.create () in
+      let root = Heap.Linearize.store_linear tab s x in
+      D.equal x (Heap.Linearize.read tab s root))
+
+let prop_store_cell_conservation =
+  QCheck.Test.make ~name:"store uses exactly cell_count cells" ~count:150 arb_list
+    (fun x ->
+      let s = Heap.Store.create ~capacity:8192 in
+      let tab = Heap.Symtab.create () in
+      ignore (Heap.Linearize.store_linear tab s x);
+      Heap.Store.live s = D.cell_count x)
+
+let prop_refcount_counts_are_refs =
+  QCheck.Test.make ~name:"refcount = extant pointers + 1 root ref" ~count:100 arb_list
+    (fun x ->
+      (* After loading a tree through Refcount.alloc, each cell's count must
+         equal the number of Ptr words referencing it, plus the allocation
+         reference for the root. *)
+      let s = Heap.Store.create ~capacity:8192 in
+      let rc = Heap.Refcount.create s ~policy:Heap.Refcount.Eager in
+      let rec load (d : D.t) : W.t =
+        match d with
+        | Nil -> W.Nil
+        | Int n -> W.Int n
+        | Sym _ | Str _ -> W.Sym 0
+        | Cons (a, x) ->
+          let cdr = load x in
+          let car = load a in
+          let addr = Heap.Refcount.alloc rc ~car ~cdr in
+          (* alloc gave it count 1 (our reference); parent will add one when
+             it embeds the pointer, so drop ours unless this is the root. *)
+          W.Ptr addr
+      in
+      let root = load x in
+      let incoming = Hashtbl.create 64 in
+      let bump a = Hashtbl.replace incoming a (1 + Option.value ~default:0 (Hashtbl.find_opt incoming a)) in
+      (match root with W.Ptr a -> bump a | _ -> ());
+      Heap.Store.iter_live
+        (fun a ->
+           (match Heap.Store.car s a with W.Ptr b -> bump b | _ -> ());
+           (match Heap.Store.cdr s a with W.Ptr b -> bump b | _ -> ()))
+        s;
+      let ok = ref true in
+      Heap.Store.iter_live
+        (fun a ->
+           let expect = Option.value ~default:0 (Hashtbl.find_opt incoming a) in
+           (* count = incoming pointers + 1 (the alloc-time reference we kept) *)
+           if Heap.Refcount.count rc a <> expect + 1 - (match root with W.Ptr r when r = a -> 1 | _ -> 0)
+           then ok := false)
+        s;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_marksweep_preserves_reachable; prop_linearize_roundtrip;
+      prop_store_cell_conservation; prop_refcount_counts_are_refs ]
+
+let () =
+  Alcotest.run "heap"
+    [ ("store",
+       [ Alcotest.test_case "basics" `Quick test_store_basics;
+         Alcotest.test_case "exhaustion" `Quick test_store_exhaustion;
+         Alcotest.test_case "lifo reuse" `Quick test_store_lifo_reuse;
+         Alcotest.test_case "fifo reuse" `Quick test_store_fifo_reuse;
+         Alcotest.test_case "double free" `Quick test_store_double_free ]);
+      ("marksweep",
+       [ Alcotest.test_case "collects garbage" `Quick test_marksweep;
+         Alcotest.test_case "collects cycles" `Quick test_marksweep_cycle ]);
+      ("refcount",
+       [ Alcotest.test_case "eager cascade" `Quick test_refcount_eager_cascade;
+         Alcotest.test_case "lazy defers" `Quick test_refcount_lazy_defers;
+         Alcotest.test_case "rplaca/rplacd counts" `Quick test_refcount_rplac;
+         Alcotest.test_case "eager vs lazy refops" `Quick test_refcount_eager_vs_lazy_refops ]);
+      ("linearize",
+       [ Alcotest.test_case "roundtrip" `Quick test_linearize_roundtrip;
+         Alcotest.test_case "linearity" `Quick test_linearity_measure;
+         Alcotest.test_case "pointer stats" `Quick test_pointer_stats ]);
+      ("properties", props) ]

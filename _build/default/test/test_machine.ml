@@ -1,0 +1,228 @@
+(* Tests for the SMALL stack machine: compiler output shape (Fig 4.14),
+   emulator semantics, agreement with the interpreter on closed programs,
+   and EP-LP interaction of compiled code. *)
+
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp D.equal
+
+let run_machine ?input src =
+  let prog = Machine.Compile.parse_and_compile src in
+  let em = Machine.Emulator.create ?input prog in
+  match Machine.Emulator.run em with
+  | Some v -> (Machine.Emulator.datum_of em v, Machine.Emulator.output em, em)
+  | None -> (D.Nil, Machine.Emulator.output em, em)
+
+let check_result ?input name expected src =
+  let result, _, _ = run_machine ?input src in
+  Alcotest.check d name (Sexp.parse expected) result
+
+(* ---- Fig 4.14: factorial ---- *)
+
+let fact_src =
+  "(def fact (lambda (x) (cond ((= x 0) 1) (t (* x (fact (- x 1))))))) (fact 10)"
+
+let test_factorial () = check_result "fact 10" "3628800" fact_src
+
+let test_factorial_code_shape () =
+  (* the compiled prologue and test should follow Fig 4.14: BINDN, pushes,
+     then a fused NEQUALP branch *)
+  let prog = Machine.Compile.parse_and_compile fact_src in
+  match List.assoc_opt "fact" prog.Machine.Isa.fns with
+  | None -> Alcotest.fail "fact not compiled"
+  | Some fn ->
+    (match Array.to_list fn.Machine.Isa.code with
+     | Machine.Isa.BINDN "x" :: Machine.Isa.PUSHVAR 0
+       :: Machine.Isa.PUSHCONST (D.Int 0) :: Machine.Isa.NEQUALP _ :: _ -> ()
+     | _ ->
+       Alcotest.failf "unexpected prologue:\n%s"
+         (Machine.Isa.disassemble fn.Machine.Isa.code))
+
+(* ---- Fig 4.15: list manipulation and function calling ---- *)
+
+let test_fig_4_15 () =
+  let result, output, _ =
+    run_machine ~input:[ Sexp.parse "(a b c d e)" ]
+      {|(def prnt (lambda (junk) (write (cdr junk))))
+        (def doit (lambda ()
+          (prog (lst)
+            (setq lst (read))
+            (prnt lst)
+            (setq lst (cdr (cdr lst)))
+            (return lst))))
+        (doit)|}
+  in
+  Alcotest.check d "doit result" (Sexp.parse "(c d e)") result;
+  Alcotest.(check (list d)) "prnt output" [ Sexp.parse "(b c d e)" ] output
+
+(* ---- semantics ---- *)
+
+let test_basics () =
+  check_result "arith" "14" "(* 2 (+ 3 4))";
+  check_result "car" "a" "(car (quote (a b)))";
+  check_result "cons" "(1 2)" "(cons 1 (quote (2)))";
+  check_result "cond" "two" "(cond ((= 1 2) (quote one)) (t (quote two)))";
+  check_result "and" "nil" "(and t nil)";
+  check_result "or" "t" "(or nil 5)";
+  check_result "equal on lists" "t" "(equal (quote (a (b))) (quote (a (b))))";
+  check_result "setq value" "5" "(prog (x) (setq x 5) (return x))";
+  check_result "greaterp" "t" "(greaterp 7 3)";
+  check_result "zerop" "t" "(zerop 0)"
+
+let test_prog_loop () =
+  check_result "iterative factorial" "120"
+    "(prog (n acc) (setq n 5) (setq acc 1) loop (cond ((zerop n) (return acc))) (setq acc (* acc n)) (setq n (- n 1)) (go loop))"
+
+let test_rplac () =
+  check_result "rplaca" "(9 b)"
+    "(prog (x) (setq x (quote (a b))) (rplaca x 9) (return x))";
+  check_result "rplacd" "(a . 9)"
+    "(prog (x) (setq x (quote (a b))) (rplacd x 9) (return x))"
+
+let test_dynamic_lookup () =
+  (* free names resolve dynamically (LOOKUP) *)
+  check_result "dynamic scope" "7"
+    "(def getx (lambda () x)) (def callit (lambda (x) (getx))) (callit 7)"
+
+let test_machine_errors () =
+  let expect_error src =
+    let prog = Machine.Compile.parse_and_compile src in
+    let em = Machine.Emulator.create prog in
+    match Machine.Emulator.run em with
+    | exception Machine.Emulator.Runtime_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected runtime error" src
+  in
+  expect_error "(car 5)";
+  expect_error "(+ 1 (quote a))";
+  expect_error "(undefined 3)";
+  expect_error "(/ 1 0)"
+
+let test_compile_errors () =
+  let expect_error src =
+    match Machine.Compile.parse_and_compile src with
+    | exception Machine.Compile.Error _ -> ()
+    | _ -> Alcotest.failf "%s: expected compile error" src
+  in
+  expect_error "(def f 5)";
+  expect_error "((1 2) 3)"
+
+(* ---- agreement with the interpreter ---- *)
+
+let agreement_programs =
+  [ fact_src;
+    "(def fib (lambda (n) (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2))))))) (fib 12)";
+    "(def len (lambda (l) (cond ((null l) 0) (t (add1 (len (cdr l))))))) (len (quote (a b c d e)))";
+    "(def app (lambda (a b) (cond ((null a) b) (t (cons (car a) (app (cdr a) b)))))) (app (quote (1 2)) (quote (3 4)))";
+    "(def rev (lambda (l acc) (cond ((null l) acc) (t (rev (cdr l) (cons (car l) acc)))))) (rev (quote (a b c)) nil)";
+    "(prog (n acc) (setq n 10) (setq acc 0) loop (cond ((zerop n) (return acc))) (setq acc (+ acc n)) (setq n (sub1 n)) (go loop))";
+    "(cons (car (quote ((x) y))) (cdr (quote (p q r))))" ]
+
+let test_agreement () =
+  List.iter
+    (fun src ->
+       let interp = Lisp.Interp.create () in
+       let expected = Lisp.Value.to_datum (Lisp.Interp.run_program interp src) in
+       let got, _, _ = run_machine src in
+       Alcotest.check d (String.sub src 0 (min 40 (String.length src))) expected got)
+    agreement_programs
+
+(* ---- EP-LP interaction ---- *)
+
+let test_lpt_traffic () =
+  let _, _, em =
+    run_machine "(cdr (cdr (quote (a b c d))))"
+  in
+  let c = Machine.Emulator.lpt_counters em in
+  (* quoted list read in, then two cdr requests: both split (misses) *)
+  Alcotest.(check int) "two misses" 2 c.Core.Lpt.misses;
+  Alcotest.(check bool) "entries allocated" true (c.Core.Lpt.gets >= 5)
+
+let test_refcount_balance () =
+  (* entries must be reclaimed as bindings disappear: a recursive walk
+     over a long list completes inside a tiny LPT only if table space is
+     recycled (reference counting + lazy child decrement under reuse) *)
+  let items = String.concat " " (List.init 40 string_of_int) in
+  (* iterative walk: each (setq l (cdr l)) releases the previous tail, so
+     a tiny table suffices; a recursive walk would rightly overflow, since
+     every frame pins its tail *)
+  let prog =
+    Machine.Compile.parse_and_compile
+      (Printf.sprintf
+         "(prog (l n) (setq l (quote (%s))) (setq n 0) loop (cond ((null l) (return n))) (setq n (add1 n)) (setq l (cdr l)) (go loop))"
+         items)
+  in
+  let em = Machine.Emulator.create ~lpt_size:24 prog in
+  (match Machine.Emulator.run em with
+   | Some v -> Alcotest.check d "result" (D.Int 40) (Machine.Emulator.datum_of em v)
+   | None -> Alcotest.fail "no result");
+  let c = Machine.Emulator.lpt_counters em in
+  Alcotest.(check bool) "entries were recycled" true
+    (c.Core.Lpt.gets > 24 && c.Core.Lpt.frees > 0)
+
+let test_compiled_workloads () =
+  (* whole benchmark programs (prelude included) compiled onto the SMALL
+     machine must compute exactly what the interpreter computes — the
+     strongest end-to-end check of the ISA, compiler, emulator and LP.
+     (plagen and lyra use lambda-valued arguments, beyond the compiled
+     subset.) *)
+  List.iter
+    (fun name ->
+       let w = Option.get (Workloads.Registry.find name) in
+       let src = Lisp.Prelude.source ^ "\n" ^ w.Workloads.Registry.source in
+       let prog = Machine.Compile.parse_and_compile src in
+       let em =
+         Machine.Emulator.create ~lpt_size:16384 ~input:w.Workloads.Registry.input prog
+       in
+       let compiled =
+         match Machine.Emulator.run em with
+         | Some v -> Machine.Emulator.datum_of em v
+         | None -> D.Nil
+       in
+       let interp = Lisp.Interp.create () in
+       Lisp.Prelude.load interp;
+       Lisp.Interp.provide_input interp w.Workloads.Registry.input;
+       let expected =
+         Lisp.Value.to_datum (Lisp.Interp.run_program interp w.Workloads.Registry.source)
+       in
+       Alcotest.check d (name ^ " result") expected compiled;
+       Alcotest.(check (list d)) (name ^ " outputs") (Lisp.Interp.output interp)
+         (Machine.Emulator.output em);
+       (* the machine really worked its heap *)
+       let c = Machine.Emulator.lpt_counters em in
+       Alcotest.(check bool) (name ^ " LP activity") true
+         (c.Core.Lpt.gets > 50 && c.Core.Lpt.refops > 100))
+    [ "pearl"; "editor" ]
+
+let prop_machine_interp_agree_on_arith =
+  QCheck.Test.make ~name:"machine = interpreter on arithmetic trees" ~count:60
+    QCheck.(pair (int_range 1 20) (int_range 1 20))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "(+ (* %d (sub1 %d)) (cond ((greaterp %d %d) 100) (t (- %d %d))))" a b a b b a
+      in
+      let interp = Lisp.Interp.create () in
+      let expected = Lisp.Value.to_datum (Lisp.Interp.run_program interp src) in
+      let got, _, _ = run_machine src in
+      D.equal expected got)
+
+let () =
+  Alcotest.run "machine"
+    [ ("fig4.14",
+       [ Alcotest.test_case "factorial" `Quick test_factorial;
+         Alcotest.test_case "code shape" `Quick test_factorial_code_shape ]);
+      ("fig4.15", [ Alcotest.test_case "list manipulation" `Quick test_fig_4_15 ]);
+      ("semantics",
+       [ Alcotest.test_case "basics" `Quick test_basics;
+         Alcotest.test_case "prog loop" `Quick test_prog_loop;
+         Alcotest.test_case "rplac" `Quick test_rplac;
+         Alcotest.test_case "dynamic lookup" `Quick test_dynamic_lookup;
+         Alcotest.test_case "runtime errors" `Quick test_machine_errors;
+         Alcotest.test_case "compile errors" `Quick test_compile_errors ]);
+      ("agreement",
+       [ Alcotest.test_case "vs interpreter" `Quick test_agreement;
+         Alcotest.test_case "compiled workloads" `Slow test_compiled_workloads;
+         QCheck_alcotest.to_alcotest prop_machine_interp_agree_on_arith ]);
+      ("ep-lp",
+       [ Alcotest.test_case "lpt traffic" `Quick test_lpt_traffic;
+         Alcotest.test_case "refcount balance" `Quick test_refcount_balance ]) ]

@@ -1,0 +1,189 @@
+(* Tests for the Chapter 6 Multilisp extensions: reference weighting vs
+   naive distributed counting, combining queues, and the futures
+   scheduling model. *)
+
+module R = Multilisp.Refweight
+module F = Multilisp.Futures
+
+(* ---- reference weighting ---- *)
+
+let test_weighted_local_copies_free () =
+  let t = R.create ~nodes:4 ~scheme:R.Weighted ~combining:false () in
+  let _obj, r = R.create_object t ~node:0 in
+  (* copying across nodes costs no message under weighting (Fig 6.3) *)
+  let copies = List.init 10 (fun i -> R.copy_ref t r ~to_node:(i mod 4)) in
+  Alcotest.(check int) "no copy messages" 0 (R.messages t);
+  List.iter (fun c -> R.drop_ref t c) copies;
+  ignore copies
+
+let test_naive_copies_cost_messages () =
+  let t = R.create ~nodes:4 ~scheme:R.Naive ~combining:false () in
+  let _obj, r = R.create_object t ~node:0 in
+  let r1 = R.copy_ref t r ~to_node:1 in       (* holder 0 = owner: free *)
+  let _r2 = R.copy_ref t r1 ~to_node:2 in     (* holder 1 <> owner: message *)
+  Alcotest.(check int) "remote copy sends to owner" 1 (R.messages t)
+
+let test_object_death () =
+  List.iter
+    (fun scheme ->
+       let t = R.create ~nodes:3 ~scheme ~combining:false () in
+       let obj, r = R.create_object t ~node:0 in
+       let c1 = R.copy_ref t r ~to_node:1 in
+       let c2 = R.copy_ref t c1 ~to_node:2 in
+       Alcotest.(check bool) "alive with refs" true (R.alive t obj);
+       R.drop_ref t r;
+       R.drop_ref t c1;
+       Alcotest.(check bool) "still alive" true (R.alive t obj);
+       R.drop_ref t c2;
+       Alcotest.(check bool) "dead once all dropped" false (R.alive t obj))
+    [ R.Naive; R.Weighted ]
+
+let test_weight_invariant () =
+  let t = R.create ~nodes:4 ~scheme:R.Weighted ~combining:false () in
+  let obj, r = R.create_object t ~node:0 in
+  let refs = ref [ r ] in
+  let rng = Util.Rng.create ~seed:7 in
+  for _ = 1 to 50 do
+    match !refs with
+    | [] -> ()
+    | refs_now ->
+      let pick = List.nth refs_now (Util.Rng.int rng (List.length refs_now)) in
+      if Util.Rng.bool rng ~p:0.7 then
+        refs := R.copy_ref t pick ~to_node:(Util.Rng.int rng 4) :: !refs
+      else begin
+        R.drop_ref t pick;
+        refs := List.filter (fun x -> x != pick) !refs
+      end
+  done;
+  R.flush t;
+  (* the defining invariant: owner total = sum of extant weights *)
+  Alcotest.(check int) "owner total = extant weight" (R.extant_weight t obj)
+    (R.owner_total t obj)
+
+let test_weight_exhaustion_refill () =
+  let t = R.create ~nodes:2 ~scheme:R.Weighted ~combining:false () in
+  let obj, r = R.create_object t ~node:0 in
+  (* halve the weight until it pins at 1, forcing a refill message *)
+  let current = ref (R.copy_ref t r ~to_node:1) in
+  let dropped = ref [] in
+  for _ = 1 to 40 do
+    let c = R.copy_ref t !current ~to_node:1 in
+    dropped := !current :: !dropped;
+    current := c
+  done;
+  Alcotest.(check bool) "refill messages eventually sent" true (R.messages t > 0);
+  R.drop_ref t !current;
+  List.iter (fun c -> R.drop_ref t c) !dropped;
+  R.drop_ref t r;
+  R.flush t;
+  Alcotest.(check bool) "object dies despite refills" false (R.alive t obj)
+
+let test_combining_queue () =
+  (* many drops of references to the same object from the same node must
+     combine into fewer messages (Fig 6.6) *)
+  let run combining =
+    let t = R.create ~flush_at:16 ~nodes:2 ~scheme:R.Weighted ~combining () in
+    let _obj, r = R.create_object t ~node:0 in
+    let copies = List.init 12 (fun _ -> R.copy_ref t r ~to_node:1) in
+    List.iter (fun c -> R.drop_ref t c) copies;
+    R.flush t;
+    R.messages t
+  in
+  let plain = run false and combined = run true in
+  Alcotest.(check int) "12 drop messages without combining" 12 plain;
+  Alcotest.(check int) "one combined message" 1 combined
+
+let test_weighted_beats_naive_messages () =
+  (* the ablation headline: a copy-heavy distributed workload sends far
+     fewer messages under weighting; combining queues (Fig 6.6) batch the
+     remaining weight returns *)
+  let run (scheme, combining) =
+    let t = R.create ~nodes:8 ~scheme ~combining () in
+    let _obj, r = R.create_object t ~node:0 in
+    let rng = Util.Rng.create ~seed:11 in
+    let refs = ref [ r ] in
+    for _ = 1 to 200 do
+      let pick = List.nth !refs (Util.Rng.int rng (List.length !refs)) in
+      refs := R.copy_ref t pick ~to_node:(Util.Rng.int rng 8) :: !refs
+    done;
+    List.iter (fun c -> R.drop_ref t c) !refs;
+    R.flush t;
+    R.messages t
+  in
+  let naive = run (R.Naive, false) in
+  let weighted = run (R.Weighted, false) in
+  let combined = run (R.Weighted, true) in
+  Alcotest.(check bool) "weighting alone cuts traffic" true (weighted < naive);
+  Alcotest.(check bool) "with combining, far fewer messages" true
+    (combined * 2 < naive)
+
+let test_double_drop_rejected () =
+  let t = R.create ~nodes:2 ~scheme:R.Weighted ~combining:false () in
+  let _obj, r = R.create_object t ~node:0 in
+  R.drop_ref t r;
+  Alcotest.check_raises "double drop"
+    (Invalid_argument "Refweight.drop_ref: double drop") (fun () -> R.drop_ref t r)
+
+(* ---- futures ---- *)
+
+let test_futures_times () =
+  (* ((a b) (c d)) shaped task: root cost 1, two subtasks cost 1 each with
+     two leaves cost 2 each *)
+  let leaf = F.leaf 2 in
+  let t = F.node 1 [ F.node 1 [ leaf; leaf ]; F.node 1 [ leaf; leaf ] ] in
+  Alcotest.(check int) "sequential = total work" 11 (F.sequential_time t);
+  Alcotest.(check int) "critical path" 4 (F.critical_path t);
+  Alcotest.(check int) "1 processor = sequential" 11 (F.makespan t ~processors:1);
+  Alcotest.(check bool) "4 processors near critical path" true
+    (F.makespan t ~processors:4 <= 5);
+  Alcotest.(check bool) "speedup between 1 and work/span" true
+    (let s = F.speedup t ~processors:4 in
+     s >= 1. && s <= 11. /. 4. +. 0.001)
+
+let test_futures_bounds_random () =
+  let rng = Util.Rng.create ~seed:3 in
+  let rec build depth =
+    if depth = 0 then F.leaf (1 + Util.Rng.int rng 5)
+    else
+      F.node (1 + Util.Rng.int rng 3)
+        (List.init (1 + Util.Rng.int rng 3) (fun _ -> build (depth - 1)))
+  in
+  for _ = 1 to 20 do
+    let t = build 3 in
+    let seq = F.sequential_time t and span = F.critical_path t in
+    List.iter
+      (fun p ->
+         let m = F.makespan t ~processors:p in
+         Alcotest.(check bool) "span <= makespan <= work" true (span <= m && m <= seq))
+      [ 1; 2; 4; 16 ]
+  done
+
+let test_futures_monotone_in_processors () =
+  let t =
+    F.node 1 (List.init 8 (fun i -> F.node 1 [ F.leaf (i + 1); F.leaf (9 - i) ]))
+  in
+  let m2 = F.makespan t ~processors:2 in
+  let m8 = F.makespan t ~processors:8 in
+  Alcotest.(check bool) "more processors never slower" true (m8 <= m2)
+
+let test_of_expr () =
+  let t = F.of_expr (Sexp.parse "(f (g 1 2) (h 3))") in
+  Alcotest.(check bool) "arguments parallelise" true
+    (F.critical_path t < F.sequential_time t)
+
+let () =
+  Alcotest.run "multilisp"
+    [ ("refweight",
+       [ Alcotest.test_case "weighted copies are free" `Quick test_weighted_local_copies_free;
+         Alcotest.test_case "naive copies message" `Quick test_naive_copies_cost_messages;
+         Alcotest.test_case "object death" `Quick test_object_death;
+         Alcotest.test_case "weight invariant" `Quick test_weight_invariant;
+         Alcotest.test_case "exhaustion refill" `Quick test_weight_exhaustion_refill;
+         Alcotest.test_case "combining queue" `Quick test_combining_queue;
+         Alcotest.test_case "weighted beats naive" `Quick test_weighted_beats_naive_messages;
+         Alcotest.test_case "double drop" `Quick test_double_drop_rejected ]);
+      ("futures",
+       [ Alcotest.test_case "times" `Quick test_futures_times;
+         Alcotest.test_case "bounds" `Quick test_futures_bounds_random;
+         Alcotest.test_case "monotone" `Quick test_futures_monotone_in_processors;
+         Alcotest.test_case "of_expr" `Quick test_of_expr ]) ]

@@ -1,0 +1,245 @@
+(* Tests for the list representation schemes of §2.3.3: encode/decode
+   round-trips, the worked examples of Figures 2.8-2.10 and 3.2, mutation
+   behaviour under cdr-coding, and the space-cost model. *)
+
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp Sexp.Datum.equal
+
+(* Proper nested lists with non-nil atoms: common domain of all schemes. *)
+let gen_list =
+  QCheck.Gen.(
+    let atom =
+      oneof
+        [ map (fun n -> D.Int n) (int_range 0 99);
+          map (fun i -> D.Sym (Printf.sprintf "a%d" i)) (int_range 0 20) ]
+    in
+    let rec go depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2, int_range 1 5 >>= fun len -> map D.list (list_repeat len (go (depth - 1)))) ]
+    in
+    int_range 1 6 >>= fun len -> map D.list (list_repeat len (go 3)))
+
+let arb_list = QCheck.make ~print:Sexp.to_string gen_list
+
+let fig_list = Sexp.parse "(a b c (d e) f g)"
+
+(* ---- Two-pointer ---- *)
+
+let test_two_pointer () =
+  let t = Repr.Two_pointer.create ~capacity:64 in
+  let root = Repr.Two_pointer.encode t fig_list in
+  Alcotest.check d "roundtrip" fig_list (Repr.Two_pointer.decode t root);
+  Alcotest.(check int) "cells = n+p" 8 (Repr.Two_pointer.cells t);
+  Alcotest.(check int) "bits = 2*32*cells" (2 * 32 * 8) (Repr.Two_pointer.bits t ~word_bits:32);
+  (* Every cell costs two serially dependent reads in a full traversal. *)
+  Alcotest.(check int) "dependent reads" 16 (Repr.Two_pointer.dependent_reads t root)
+
+(* ---- cdr-coding ---- *)
+
+let test_cdr_coding_layout () =
+  let t = Repr.Cdr_coding.create () in
+  let root = Repr.Cdr_coding.encode t (Sexp.parse "(a b c)") in
+  (* A linear list is one compact run: cdr-next, cdr-next, cdr-nil. *)
+  Alcotest.(check int) "3 cells for 3 atoms" 3 (Repr.Cdr_coding.cells t);
+  (match root with
+   | Repr.Cdr_coding.Ref i ->
+     (match Repr.Cdr_coding.cdr t i with
+      | Repr.Cdr_coding.Ref j -> Alcotest.(check int) "cdr is next cell" (i + 1) j
+      | _ -> Alcotest.fail "expected Ref");
+     (match Repr.Cdr_coding.cdr t (i + 2) with
+      | Repr.Cdr_coding.Atom Heap.Word.Nil -> ()
+      | _ -> Alcotest.fail "expected cdr-nil at run end")
+   | _ -> Alcotest.fail "expected Ref root")
+
+let test_cdr_coding_roundtrip_fig () =
+  let t = Repr.Cdr_coding.create () in
+  let root = Repr.Cdr_coding.encode t fig_list in
+  Alcotest.check d "fig 2.8 roundtrip" fig_list (Repr.Cdr_coding.decode t root);
+  (* n+p = 8 cells, same count as two-pointer but ~half the bits. *)
+  Alcotest.(check int) "compact cells" 8 (Repr.Cdr_coding.cells t);
+  Alcotest.(check bool) "fewer bits than two-pointer" true
+    (Repr.Cdr_coding.bits t ~word_bits:29 < 2 * 32 * 8)
+
+let test_cdr_coding_dotted () =
+  let t = Repr.Cdr_coding.create () in
+  let x = Sexp.parse "(a b . c)" in
+  let root = Repr.Cdr_coding.encode t x in
+  Alcotest.check d "dotted pair uses normal/error pair" x (Repr.Cdr_coding.decode t root)
+
+let test_cdr_coding_rplacd () =
+  let t = Repr.Cdr_coding.create () in
+  let root = Repr.Cdr_coding.encode t (Sexp.parse "(a b c)") in
+  let i = match root with Repr.Cdr_coding.Ref i -> i | _ -> assert false in
+  (* rplacd the first cell: compact cell must grow an invisible pointer. *)
+  let made_invisible =
+    Repr.Cdr_coding.rplacd t i (Repr.Cdr_coding.Atom (Heap.Word.Int 42))
+  in
+  Alcotest.(check bool) "invisible pointer created" true made_invisible;
+  Alcotest.check d "mutated structure reads back" (Sexp.parse "(a . 42)")
+    (Repr.Cdr_coding.decode t root);
+  Alcotest.(check bool) "dereference cost recorded" true
+    (Repr.Cdr_coding.invisible_hops t > 0)
+
+let test_cdr_coding_rplaca () =
+  let t = Repr.Cdr_coding.create () in
+  let root = Repr.Cdr_coding.encode t (Sexp.parse "(a b)") in
+  let i = match root with Repr.Cdr_coding.Ref i -> i | _ -> assert false in
+  Repr.Cdr_coding.rplaca t i (Repr.Cdr_coding.Atom (Heap.Word.Int 7));
+  Alcotest.check d "rplaca in place" (Sexp.parse "(7 b)") (Repr.Cdr_coding.decode t root)
+
+(* ---- Linked vector ---- *)
+
+let test_linked_vector_roundtrip () =
+  let t = Repr.Linked_vector.create ~vector_size:4 in
+  (match Repr.Linked_vector.encode t fig_list with
+   | Some id -> Alcotest.check d "roundtrip" fig_list (Repr.Linked_vector.decode t id)
+   | None -> Alcotest.fail "expected a list id")
+
+let test_linked_vector_fragmentation () =
+  (* A 10-element linear list in 4-cell vectors needs indirections. *)
+  let t = Repr.Linked_vector.create ~vector_size:4 in
+  let l = D.of_ints [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  (match Repr.Linked_vector.encode t l with
+   | Some id ->
+     Alcotest.check d "long list roundtrip" l (Repr.Linked_vector.decode t id);
+     (* 3+3+4 elements across three 4-slot vectors, two indirections. *)
+     Alcotest.(check int) "indirections created" 2 (Repr.Linked_vector.indirections t);
+     Alcotest.(check int) "vectors chained" 3 (Repr.Linked_vector.vectors t)
+   | None -> Alcotest.fail "expected a list id")
+
+let test_linked_vector_big_vectors_no_indirection () =
+  let t = Repr.Linked_vector.create ~vector_size:32 in
+  let l = D.of_ints [ 1; 2; 3; 4; 5 ] in
+  ignore (Repr.Linked_vector.encode t l);
+  Alcotest.(check int) "no indirections in a big vector" 0
+    (Repr.Linked_vector.indirections t);
+  (* ...but internal fragmentation instead. *)
+  Alcotest.(check int) "used" 5 (Repr.Linked_vector.used_cells t);
+  Alcotest.(check int) "total" 32 (Repr.Linked_vector.total_cells t)
+
+(* ---- CDAR coding ---- *)
+
+let test_cdar_fig_2_10 () =
+  (* Figure 2.10: CDAR codes of (A B C (D E) F G), width 6. *)
+  let entries = Repr.Cdar.encode fig_list in
+  let code sym =
+    let e = List.find (fun e -> D.equal e.Repr.Cdar.value (D.sym sym)) entries in
+    Repr.Cdar.code_string ~width:6 e
+  in
+  Alcotest.(check string) "A" "000000" (code "a");
+  Alcotest.(check string) "B" "000001" (code "b");
+  Alcotest.(check string) "C" "000011" (code "c");
+  Alcotest.(check string) "D" "000111" (code "d");
+  Alcotest.(check string) "E" "010111" (code "e");
+  Alcotest.(check string) "F" "001111" (code "f");
+  Alcotest.(check string) "G" "011111" (code "g");
+  Alcotest.(check int) "n cells only" 7 (Repr.Cdar.cells entries)
+
+let test_cdar_roundtrip () =
+  let entries = Repr.Cdar.encode fig_list in
+  Alcotest.check d "decode rebuilds" fig_list (Repr.Cdar.decode entries)
+
+let test_cdar_lookup () =
+  let entries = Repr.Cdar.encode fig_list in
+  (* E is at path cdr cdr cdr car cdr car = [1;1;1;0;1;0] root-first. *)
+  Alcotest.(check (option (Alcotest.testable Sexp.pp D.equal))) "lookup E"
+    (Some (D.sym "e"))
+    (Repr.Cdar.lookup entries [ true; true; true; false; true; false ]);
+  Alcotest.(check (option (Alcotest.testable Sexp.pp D.equal))) "lookup miss" None
+    (Repr.Cdar.lookup entries [ false; false ])
+
+(* ---- EPS ---- *)
+
+let test_eps_fig_2_10 () =
+  (* Figure 2.10: EPS triples of (A B C (D E) F G). *)
+  let entries = Repr.Eps.encode fig_list in
+  let find sym =
+    let e = List.find (fun e -> D.equal e.Repr.Eps.value (D.sym sym)) entries in
+    (e.Repr.Eps.left, e.Repr.Eps.right, e.Repr.Eps.position)
+  in
+  Alcotest.(check (triple int int int)) "A" (1, 0, 1) (find "a");
+  Alcotest.(check (triple int int int)) "B" (1, 0, 2) (find "b");
+  Alcotest.(check (triple int int int)) "C" (1, 0, 3) (find "c");
+  Alcotest.(check (triple int int int)) "D" (2, 0, 4) (find "d");
+  Alcotest.(check (triple int int int)) "E" (2, 1, 5) (find "e");
+  Alcotest.(check (triple int int int)) "F" (2, 1, 6) (find "f");
+  Alcotest.(check (triple int int int)) "G" (2, 2, 7) (find "g")
+
+let test_eps_roundtrip () =
+  let entries = Repr.Eps.encode fig_list in
+  Alcotest.check d "decode rebuilds" fig_list (Repr.Eps.decode entries)
+
+let test_eps_rejects_nil_element () =
+  Alcotest.check_raises "nil element"
+    (Invalid_argument "Eps.encode: nil element is not expressible") (fun () ->
+      ignore (Repr.Eps.encode (Sexp.parse "(a nil b)")))
+
+(* ---- Cost summary ---- *)
+
+let test_cost_summary () =
+  let s = Repr.Cost.summarize fig_list in
+  Alcotest.(check int) "n" 7 s.Repr.Cost.n;
+  Alcotest.(check int) "p" 1 s.Repr.Cost.p;
+  Alcotest.(check int) "two-pointer cells" 8 s.Repr.Cost.two_pointer_cells;
+  Alcotest.(check int) "structure-coded cells" 7 s.Repr.Cost.structure_coded_cells;
+  Alcotest.(check bool) "cdr-coding saves space over two-pointer" true
+    (s.Repr.Cost.cdr_coded_bits < s.Repr.Cost.two_pointer_bits)
+
+(* ---- Properties ---- *)
+
+let prop_roundtrip name encode_decode =
+  QCheck.Test.make ~name ~count:200 arb_list encode_decode
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip "two-pointer roundtrip" (fun x ->
+          let t = Repr.Two_pointer.create ~capacity:16384 in
+          D.equal x (Repr.Two_pointer.decode t (Repr.Two_pointer.encode t x)));
+      prop_roundtrip "cdr-coding roundtrip" (fun x ->
+          let t = Repr.Cdr_coding.create () in
+          D.equal x (Repr.Cdr_coding.decode t (Repr.Cdr_coding.encode t x)));
+      prop_roundtrip "linked-vector roundtrip" (fun x ->
+          let t = Repr.Linked_vector.create ~vector_size:4 in
+          match Repr.Linked_vector.encode t x with
+          | Some id -> D.equal x (Repr.Linked_vector.decode t id)
+          | None -> D.is_atom x);
+      prop_roundtrip "cdar roundtrip" (fun x ->
+          D.equal x (Repr.Cdar.decode (Repr.Cdar.encode x)));
+      prop_roundtrip "eps roundtrip" (fun x ->
+          D.equal x (Repr.Eps.decode (Repr.Eps.encode x)));
+      prop_roundtrip "cdar cells = n" (fun x ->
+          Repr.Cdar.cells (Repr.Cdar.encode x) = Sexp.Metrics.n x);
+      prop_roundtrip "eps cells = n" (fun x ->
+          Repr.Eps.cells (Repr.Eps.encode x) = Sexp.Metrics.n x);
+      prop_roundtrip "cdr-coding cells = n+p on pure lists" (fun x ->
+          let t = Repr.Cdr_coding.create () in
+          ignore (Repr.Cdr_coding.encode t x);
+          Repr.Cdr_coding.cells t = Sexp.Metrics.two_pointer_cells x) ]
+
+let () =
+  Alcotest.run "repr"
+    [ ("two_pointer", [ Alcotest.test_case "cost and roundtrip" `Quick test_two_pointer ]);
+      ("cdr_coding",
+       [ Alcotest.test_case "compact layout" `Quick test_cdr_coding_layout;
+         Alcotest.test_case "fig 2.8 roundtrip" `Quick test_cdr_coding_roundtrip_fig;
+         Alcotest.test_case "dotted pairs" `Quick test_cdr_coding_dotted;
+         Alcotest.test_case "rplacd via invisible pointer" `Quick test_cdr_coding_rplacd;
+         Alcotest.test_case "rplaca in place" `Quick test_cdr_coding_rplaca ]);
+      ("linked_vector",
+       [ Alcotest.test_case "roundtrip" `Quick test_linked_vector_roundtrip;
+         Alcotest.test_case "fragmentation" `Quick test_linked_vector_fragmentation;
+         Alcotest.test_case "big vectors" `Quick test_linked_vector_big_vectors_no_indirection ]);
+      ("cdar",
+       [ Alcotest.test_case "fig 2.10 codes" `Quick test_cdar_fig_2_10;
+         Alcotest.test_case "roundtrip" `Quick test_cdar_roundtrip;
+         Alcotest.test_case "lookup" `Quick test_cdar_lookup ]);
+      ("eps",
+       [ Alcotest.test_case "fig 2.10 triples" `Quick test_eps_fig_2_10;
+         Alcotest.test_case "roundtrip" `Quick test_eps_roundtrip;
+         Alcotest.test_case "rejects nil" `Quick test_eps_rejects_nil_element ]);
+      ("cost", [ Alcotest.test_case "summary" `Quick test_cost_summary ]);
+      ("properties", props) ]

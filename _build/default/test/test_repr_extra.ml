@@ -1,0 +1,217 @@
+(* Tests for the conc representation and the BLAST exception tables —
+   the remaining §2.3.3 schemes — including the structure-surgery cost
+   asymmetry the thesis discusses in §4.3.3.2. *)
+
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp D.equal
+
+let gen_list =
+  QCheck.Gen.(
+    let atom =
+      oneof
+        [ map (fun n -> D.Int n) (int_range 0 99);
+          map (fun i -> D.Sym (Printf.sprintf "a%d" i)) (int_range 0 20) ]
+    in
+    let rec go depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2, int_range 1 5 >>= fun len -> map D.list (list_repeat len (go (depth - 1)))) ]
+    in
+    int_range 1 6 >>= fun len -> map D.list (list_repeat len (go 3)))
+
+let arb_list = QCheck.make ~print:Sexp.to_string gen_list
+
+(* ---- conc ---- *)
+
+let test_conc_roundtrip () =
+  let x = Sexp.parse "(a b (c d) e)" in
+  Alcotest.check d "roundtrip" x (Repr.Conc.to_datum (Repr.Conc.of_datum x))
+
+let test_conc_concat_is_o1 () =
+  let a = Repr.Conc.of_datum (Sexp.parse "(1 2 3)") in
+  let b = Repr.Conc.of_datum (Sexp.parse "(4 5)") in
+  let ab = Repr.Conc.concat a b in
+  Alcotest.check d "concat result" (Sexp.parse "(1 2 3 4 5)") (Repr.Conc.to_datum ab);
+  let s = Repr.Conc.space ab in
+  Alcotest.(check int) "exactly one conc cell" 1 s.Repr.Conc.conc_cells;
+  Alcotest.(check int) "no element copied" 5 s.Repr.Conc.tuple_cells;
+  (* operands unchanged (non-destructive, unlike rplacd-append) *)
+  Alcotest.check d "left operand intact" (Sexp.parse "(1 2 3)") (Repr.Conc.to_datum a)
+
+let test_conc_nth_hops () =
+  let t =
+    Repr.Conc.concat
+      (Repr.Conc.concat
+         (Repr.Conc.of_datum (Sexp.parse "(1 2)"))
+         (Repr.Conc.of_datum (Sexp.parse "(3)")))
+      (Repr.Conc.of_datum (Sexp.parse "(4 5)"))
+  in
+  let elem, hops = Repr.Conc.nth t 0 in
+  (match elem with
+   | Repr.Conc.Atom a -> Alcotest.check d "element 0" (D.Int 1) a
+   | Sub _ -> Alcotest.fail "expected atom");
+  Alcotest.(check int) "two conc hops to the deepest tuple" 2 hops;
+  let _, hops4 = Repr.Conc.nth t 4 in
+  Alcotest.(check int) "one hop to the right tuple" 1 hops4;
+  Alcotest.(check int) "length" 5 (Repr.Conc.length t)
+
+let test_conc_flatten () =
+  let t =
+    Repr.Conc.concat
+      (Repr.Conc.of_datum (Sexp.parse "(1 2)"))
+      (Repr.Conc.of_datum (Sexp.parse "(3 4)"))
+  in
+  let flat = Repr.Conc.flatten t in
+  Alcotest.check d "same content" (Repr.Conc.to_datum t) (Repr.Conc.to_datum flat);
+  Alcotest.(check int) "no conc cells left" 0 (Repr.Conc.space flat).Repr.Conc.conc_cells;
+  let _, hops = Repr.Conc.nth flat 3 in
+  Alcotest.(check int) "direct access after compaction" 0 hops
+
+(* ---- Deutsch offset coding ---- *)
+
+let test_offset_roundtrip () =
+  let t = Repr.Offset_coding.create () in
+  let x = Sexp.parse "(a b (c d) e)" in
+  match Repr.Offset_coding.encode t x with
+  | Some addr -> Alcotest.check d "roundtrip" x (Repr.Offset_coding.decode t addr)
+  | None -> Alcotest.fail "expected a cell"
+
+let test_offset_codes () =
+  let t = Repr.Offset_coding.create () in
+  let addr = Option.get (Repr.Offset_coding.encode t (Sexp.parse "(a b c)")) in
+  (* a contiguous spine: codes 1, 1, 0 *)
+  Alcotest.(check int) "first cell: cdr at +1" 1 (Repr.Offset_coding.cdr_code t addr);
+  Alcotest.(check int) "second cell: cdr at +1" 1 (Repr.Offset_coding.cdr_code t (addr + 1));
+  Alcotest.(check int) "last cell: nil" 0 (Repr.Offset_coding.cdr_code t (addr + 2))
+
+let test_offset_rplacd_near () =
+  let t = Repr.Offset_coding.create () in
+  let a = Option.get (Repr.Offset_coding.encode t (Sexp.parse "(a b)")) in
+  (* point a's cdr back at its own second cell: offset 1, no indirection *)
+  let ind = Repr.Offset_coding.rplacd t a (`Cell (a + 1)) in
+  Alcotest.(check bool) "in-reach rewrite" false ind;
+  Alcotest.(check int) "no indirections" 0 (Repr.Offset_coding.indirections t)
+
+let test_offset_rplacd_far () =
+  let t = Repr.Offset_coding.create () in
+  (* two lists laid far apart (a filler in between busts the 127 reach) *)
+  let a = Option.get (Repr.Offset_coding.encode t (Sexp.parse "(a b)")) in
+  ignore (Repr.Offset_coding.encode t (Sexp.Datum.of_ints (List.init 200 Fun.id)));
+  let c = Option.get (Repr.Offset_coding.encode t (Sexp.parse "(x y)")) in
+  (* far rplacd needs the escape cells *)
+  let ind = Repr.Offset_coding.rplacd t a (`Cell c) in
+  Alcotest.(check bool) "escape created" true ind;
+  Alcotest.(check int) "one indirection" 1 (Repr.Offset_coding.indirections t);
+  Alcotest.check d "structure reads back through the escape"
+    (Sexp.parse "(a x y)") (Repr.Offset_coding.decode t a);
+  (* backward rplacd also needs the escape (offsets are positive only);
+     target a+1 is still a direct low-address cell *)
+  let ind2 = Repr.Offset_coding.rplacd t c (`Cell (a + 1)) in
+  Alcotest.(check bool) "backward pointer escapes" true ind2;
+  Alcotest.check d "backward structure reads back" (Sexp.parse "(x b)")
+    (Repr.Offset_coding.decode t c)
+
+let test_offset_rplacd_nil () =
+  let t = Repr.Offset_coding.create () in
+  let a = Option.get (Repr.Offset_coding.encode t (Sexp.parse "(a b c)")) in
+  ignore (Repr.Offset_coding.rplacd t a `Nil);
+  Alcotest.check d "truncated" (Sexp.parse "(a)") (Repr.Offset_coding.decode t a)
+
+(* ---- exception tables ---- *)
+
+let fig_list = Sexp.parse "(a b c (d e) f g)"
+
+let test_et_roundtrip () =
+  Alcotest.check d "fig 2.10 list roundtrip" fig_list
+    (Repr.Exception_table.decode (Repr.Exception_table.encode fig_list))
+
+let test_et_node_numbers () =
+  (* Fig 2.9/BLAST numbering: in (a b), a sits at node 2 (car of root),
+     b at node 6 (car of cdr) *)
+  let t = Repr.Exception_table.encode (Sexp.parse "(a b)") in
+  Alcotest.(check (option d)) "a at node 2" (Some (D.sym "a"))
+    (Repr.Exception_table.lookup t 2);
+  Alcotest.(check (option d)) "b at node 6" (Some (D.sym "b"))
+    (Repr.Exception_table.lookup t 6);
+  Alcotest.(check (option d)) "nothing at node 7" None
+    (Repr.Exception_table.lookup t 7);
+  Alcotest.(check int) "n entries only" 2 (Repr.Exception_table.entries t)
+
+let test_et_split () =
+  Repr.Exception_table.reset_scan_counter ();
+  let t = Repr.Exception_table.encode fig_list in
+  let car_t, cdr_t = Repr.Exception_table.split t in
+  Alcotest.check d "car part" (D.sym "a") (Repr.Exception_table.decode car_t);
+  Alcotest.check d "cdr part" (Sexp.parse "(b c (d e) f g)")
+    (Repr.Exception_table.decode cdr_t);
+  (* the §4.3.3.2 cost: splitting scanned every entry *)
+  Alcotest.(check int) "split scanned all 7 entries" 7
+    (Repr.Exception_table.entries_scanned ())
+
+let test_et_merge_is_cheap () =
+  Repr.Exception_table.reset_scan_counter ();
+  let a = Repr.Exception_table.encode (Sexp.parse "(a b)") in
+  let b = Repr.Exception_table.encode (Sexp.parse "(c)") in
+  let m = Repr.Exception_table.merge a b in
+  Alcotest.check d "merged structure" (Sexp.parse "((a b) c)")
+    (Repr.Exception_table.decode m);
+  Alcotest.(check int) "no entries scanned" 0 (Repr.Exception_table.entries_scanned ());
+  Alcotest.(check int) "one forwarding pair" 1 (Repr.Exception_table.forwardings m);
+  (* lookups route through the forwarding entries: b's path in the merged
+     tree is car,cdr,car = 010, node 1010b = 10 *)
+  Alcotest.(check (option d)) "lookup through forwarding" (Some (D.sym "b"))
+    (Repr.Exception_table.lookup m 10);
+  (* splitting a merged table is free: the forwardings come apart *)
+  let a', b' = Repr.Exception_table.split m in
+  Alcotest.(check int) "split of a merge scans nothing" 0
+    (Repr.Exception_table.entries_scanned ());
+  Alcotest.check d "car side" (Sexp.parse "(a b)") (Repr.Exception_table.decode a');
+  Alcotest.check d "cdr side" (Sexp.parse "(c)") (Repr.Exception_table.decode b')
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ QCheck.Test.make ~name:"conc roundtrip" ~count:200 arb_list (fun x ->
+          D.equal x (Repr.Conc.to_datum (Repr.Conc.of_datum x)));
+      QCheck.Test.make ~name:"conc concat = datum append" ~count:150
+        (QCheck.pair arb_list arb_list) (fun (a, b) ->
+          D.equal (D.append a b)
+            (Repr.Conc.to_datum
+               (Repr.Conc.concat (Repr.Conc.of_datum a) (Repr.Conc.of_datum b))));
+      QCheck.Test.make ~name:"offset-coding roundtrip" ~count:200 arb_list (fun x ->
+          let t = Repr.Offset_coding.create () in
+          match Repr.Offset_coding.encode t x with
+          | Some addr -> D.equal x (Repr.Offset_coding.decode t addr)
+          | None -> false);
+      QCheck.Test.make ~name:"exception-table roundtrip" ~count:200 arb_list (fun x ->
+          D.equal x (Repr.Exception_table.decode (Repr.Exception_table.encode x)));
+      QCheck.Test.make ~name:"exception-table split = car/cdr" ~count:150 arb_list
+        (fun x ->
+          let a, b = Repr.Exception_table.split (Repr.Exception_table.encode x) in
+          D.equal (D.car x) (Repr.Exception_table.decode a)
+          && D.equal (D.cdr x) (Repr.Exception_table.decode b));
+      QCheck.Test.make ~name:"exception-table entries = n" ~count:150 arb_list (fun x ->
+          Repr.Exception_table.entries (Repr.Exception_table.encode x)
+          = Sexp.Metrics.n x) ]
+
+let () =
+  Alcotest.run "repr_extra"
+    [ ("conc",
+       [ Alcotest.test_case "roundtrip" `Quick test_conc_roundtrip;
+         Alcotest.test_case "O(1) concat" `Quick test_conc_concat_is_o1;
+         Alcotest.test_case "nth hops" `Quick test_conc_nth_hops;
+         Alcotest.test_case "flatten" `Quick test_conc_flatten ]);
+      ("offset_coding",
+       [ Alcotest.test_case "roundtrip" `Quick test_offset_roundtrip;
+         Alcotest.test_case "codes" `Quick test_offset_codes;
+         Alcotest.test_case "rplacd in reach" `Quick test_offset_rplacd_near;
+         Alcotest.test_case "rplacd escape" `Quick test_offset_rplacd_far;
+         Alcotest.test_case "rplacd nil" `Quick test_offset_rplacd_nil ]);
+      ("exception_table",
+       [ Alcotest.test_case "roundtrip" `Quick test_et_roundtrip;
+         Alcotest.test_case "node numbers" `Quick test_et_node_numbers;
+         Alcotest.test_case "split cost" `Quick test_et_split;
+         Alcotest.test_case "cheap merge" `Quick test_et_merge_is_cheap ]);
+      ("properties", props) ]

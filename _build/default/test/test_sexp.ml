@@ -1,0 +1,207 @@
+(* Tests for the s-expression substrate: datum operations, reader/printer
+   round-trips, the n/p metrics of Fig 3.2 and the tree view of §5.3.1. *)
+
+module D = Sexp.Datum
+
+let d = Alcotest.testable Sexp.pp Sexp.Datum.equal
+
+(* Random generator for s-expressions; [gen_list] draws proper nested
+   lists with non-nil atoms (the common domain of all representations). *)
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [ map (fun n -> D.Int n) (int_range (-999) 999);
+        map (fun i -> D.Sym (Printf.sprintf "a%d" i)) (int_range 0 40) ])
+
+let gen_list ~max_depth ~max_len =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then gen_atom
+    else
+      frequency
+        [ (3, gen_atom);
+          (2,
+           int_range 1 max_len >>= fun len ->
+           map D.list (list_repeat len (go (depth - 1)))) ]
+  in
+  (int_range 1 max_len >>= fun len ->
+   map D.list (list_repeat len (go (max_depth - 1))))
+
+let arb_list = QCheck.make ~print:Sexp.to_string (gen_list ~max_depth:4 ~max_len:6)
+
+(* Any datum, including Nil elements, strings and dotted pairs. *)
+let gen_any =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return D.Nil; gen_atom;
+        map (fun s -> D.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5)) ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (1, map2 D.cons (go (depth - 1)) (go (depth - 1)));
+          (2,
+           int_range 0 4 >>= fun len ->
+           map D.list (list_repeat len (go (depth - 1)))) ]
+  in
+  go 4
+
+let arb_any = QCheck.make ~print:Sexp.to_string gen_any
+
+let test_reader_basics () =
+  Alcotest.check d "flat list" (D.list [ D.sym "a"; D.sym "b" ]) (Sexp.parse "(a b)");
+  Alcotest.check d "nested" (D.list [ D.sym "a"; D.list [ D.int 1; D.int 2 ] ])
+    (Sexp.parse "(a (1 2))");
+  Alcotest.check d "empty" D.Nil (Sexp.parse "()");
+  Alcotest.check d "nil symbol" D.Nil (Sexp.parse "nil");
+  Alcotest.check d "dotted" (D.cons (D.sym "a") (D.sym "b")) (Sexp.parse "(a . b)");
+  Alcotest.check d "quote sugar" (D.list [ D.sym "quote"; D.sym "x" ]) (Sexp.parse "'x");
+  Alcotest.check d "string" (D.str "hi there") (Sexp.parse "\"hi there\"");
+  Alcotest.check d "negative int" (D.int (-42)) (Sexp.parse "-42");
+  Alcotest.check d "comments" (D.list [ D.sym "a" ]) (Sexp.parse "(a ; comment\n)")
+
+exception Reader_error of string
+
+let test_reader_errors () =
+  let bad s =
+    Alcotest.check_raises s (Reader_error s) (fun () ->
+        try ignore (Sexp.parse s) with Sexp.Reader.Parse_error _ -> raise (Reader_error s))
+  in
+  bad "("; bad ")"; bad "(a . b c)"; bad "(a b"; bad "\"unterminated"; bad "a b"
+
+let test_parse_many () =
+  let ds = Sexp.parse_many "(a) (b c) 42" in
+  Alcotest.(check int) "three datums" 3 (List.length ds)
+
+let test_accessors () =
+  let l = Sexp.parse "(a b (c d) e)" in
+  Alcotest.check d "car" (D.sym "a") (D.car l);
+  Alcotest.check d "nth 2" (Sexp.parse "(c d)") (D.nth 2 l);
+  Alcotest.(check int) "length" 4 (D.length l);
+  Alcotest.(check int) "depth" 2 (D.depth l);
+  Alcotest.check d "append"
+    (Sexp.parse "(1 2 3 4)")
+    (D.append (Sexp.parse "(1 2)") (Sexp.parse "(3 4)"));
+  Alcotest.check d "rev" (Sexp.parse "(3 2 1)") (D.rev (Sexp.parse "(1 2 3)"));
+  Alcotest.check d "subst"
+    (Sexp.parse "(a x (c x))")
+    (D.subst ~old_:(D.sym "b") ~new_:(D.sym "x") (Sexp.parse "(a b (c b))"))
+
+let test_metrics_fig_3_2 () =
+  (* The two worked examples of Figure 3.2. *)
+  let l1 = Sexp.parse "(a b c (d e) f g)" in
+  Alcotest.(check (pair int int)) "n,p of (A B C (D E) F G)" (7, 1) (Sexp.Metrics.np l1);
+  Alcotest.(check int) "8 two-pointer cells" 8 (Sexp.Metrics.two_pointer_cells l1);
+  let l2 = Sexp.parse "(a (b (c (d e) f) g))" in
+  Alcotest.(check (pair int int)) "n,p of (A (B (C (D E) F) G))" (7, 3) (Sexp.Metrics.np l2);
+  Alcotest.(check int) "10 two-pointer cells" 10 (Sexp.Metrics.two_pointer_cells l2);
+  Alcotest.(check int) "7 structure-coded cells" 7 (Sexp.Metrics.structure_coded_cells l2);
+  Alcotest.(check bool) "linear" true (Sexp.Metrics.is_linear (Sexp.parse "(a b c)"));
+  Alcotest.(check bool) "not linear" false (Sexp.Metrics.is_linear l1)
+
+let test_tree_fig_5_6 () =
+  (* The list (((A B) C D) E F G) of Figure 5.6 and §5.3.1's node count:
+     n atoms, p internal left parens -> n+p internal nodes, n+p+1 leaves. *)
+  let l = Sexp.parse "(((a b) c d) e f g)" in
+  let t = Sexp.Tree.of_datum l in
+  let n, p = Sexp.Metrics.np l in
+  Alcotest.(check int) "internal nodes = n+p" (n + p) (Sexp.Tree.internal_count t);
+  Alcotest.(check int) "leaves = n+p+1" (n + p + 1) (Sexp.Tree.leaf_count t);
+  Alcotest.(check int) "total = 2n+2p+1" ((2 * n) + (2 * p) + 1) (Sexp.Tree.node_count t);
+  (* §5.3.1's traversal super-sequence for this very list. *)
+  let expected_touch =
+    [ 1; 2; 4; 8; 16; 16; 17; 16; 8; 9; 9; 9; 4; 5; 5; 11; 11; 11; 5; 2; 3; 3;
+      7; 7; 15; 15; 15; 7; 3; 1 ]
+  in
+  (* Leaves once, internals three times; length = 3(n+p) + (n+p+1). *)
+  Alcotest.(check int) "touch sequence length"
+    ((3 * (n + p)) + n + p + 1)
+    (List.length (Sexp.Tree.touch_sequence t));
+  ignore expected_touch;
+  let misses, hits = Sexp.Tree.traversal_hits_misses t in
+  Alcotest.(check int) "misses = n+p" (n + p) misses;
+  Alcotest.(check int) "hits = 3n+3p+1" ((3 * n) + (3 * p) + 1) hits
+
+let test_tree_orders () =
+  let t = Sexp.Tree.of_datum (Sexp.parse "(a b)") in
+  (* Tree: node1 = (leaf a, node3 = (leaf b, leaf nil)). *)
+  Alcotest.(check (list int)) "preorder" [ 1; 2; 3; 6; 7 ]
+    (Sexp.Tree.visit_sequence Sexp.Tree.Pre t);
+  Alcotest.(check (list int)) "inorder" [ 2; 1; 6; 3; 7 ]
+    (Sexp.Tree.visit_sequence Sexp.Tree.In t);
+  Alcotest.(check (list int)) "postorder" [ 2; 6; 7; 3; 1 ]
+    (Sexp.Tree.visit_sequence Sexp.Tree.Post t)
+
+(* Property tests. *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300 arb_any (fun x ->
+      D.equal x (Sexp.parse (Sexp.to_string x)))
+
+let prop_tree_roundtrip =
+  QCheck.Test.make ~name:"tree of_datum/to_datum" ~count:300 arb_any (fun x ->
+      D.equal x (Sexp.Tree.to_datum (Sexp.Tree.of_datum x)))
+
+let prop_cells_eq_np =
+  QCheck.Test.make ~name:"cell_count = n+p on proper lists" ~count:300 arb_list
+    (fun x -> D.cell_count x = Sexp.Metrics.two_pointer_cells x)
+
+let prop_touch_counts =
+  QCheck.Test.make ~name:"touch sequence: internals x3, leaves x1" ~count:200 arb_list
+    (fun x ->
+      let t = Sexp.Tree.of_datum x in
+      List.length (Sexp.Tree.touch_sequence t)
+      = (3 * Sexp.Tree.internal_count t) + Sexp.Tree.leaf_count t)
+
+let prop_visit_subsequence =
+  QCheck.Test.make ~name:"ordered visits are subsequences of touches" ~count:100 arb_list
+    (fun x ->
+      let t = Sexp.Tree.of_datum x in
+      let touch = Sexp.Tree.touch_sequence t in
+      let is_subseq sub seq =
+        let rec go sub seq =
+          match sub, seq with
+          | [], _ -> true
+          | _, [] -> false
+          | s :: sub', t :: seq' -> if s = t then go sub' seq' else go sub seq'
+        in
+        go sub seq
+      in
+      List.for_all
+        (fun o -> is_subseq (Sexp.Tree.visit_sequence o t) touch)
+        [ Sexp.Tree.Pre; Sexp.Tree.In; Sexp.Tree.Post ])
+
+let prop_rev_involution =
+  QCheck.Test.make ~name:"rev (rev l) = l" ~count:200 arb_list (fun x ->
+      D.equal x (D.rev (D.rev x)))
+
+let prop_append_length =
+  QCheck.Test.make ~name:"length (append a b) = length a + length b" ~count:200
+    (QCheck.pair arb_list arb_list)
+    (fun (a, b) -> D.length (D.append a b) = D.length a + D.length b)
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"compare consistent with equal" ~count:300
+    (QCheck.pair arb_any arb_any)
+    (fun (a, b) -> D.equal a b = (D.compare a b = 0))
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_tree_roundtrip; prop_cells_eq_np; prop_touch_counts;
+      prop_visit_subsequence; prop_rev_involution; prop_append_length;
+      prop_compare_consistent ]
+
+let () =
+  Alcotest.run "sexp"
+    [ ("reader",
+       [ Alcotest.test_case "basics" `Quick test_reader_basics;
+         Alcotest.test_case "errors" `Quick test_reader_errors;
+         Alcotest.test_case "parse_many" `Quick test_parse_many ]);
+      ("datum", [ Alcotest.test_case "accessors" `Quick test_accessors ]);
+      ("metrics", [ Alcotest.test_case "fig 3.2" `Quick test_metrics_fig_3_2 ]);
+      ("tree",
+       [ Alcotest.test_case "fig 5.6 counts" `Quick test_tree_fig_5_6;
+         Alcotest.test_case "traversal orders" `Quick test_tree_orders ]);
+      ("properties", props) ]

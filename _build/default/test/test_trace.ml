@@ -1,0 +1,226 @@
+(* Tests for the trace substrate: capture statistics, serialisation
+   round-trips, the §5.2.1 preprocessing (unique ids + chaining flags) and
+   the synthetic generator. *)
+
+module D = Sexp.Datum
+module E = Trace.Event
+
+let mk_capture events =
+  let c = Trace.Capture.create () in
+  List.iter (Trace.Capture.record c) events;
+  c
+
+let prim p args result = E.Prim { prim = p; args; result }
+
+let test_stats () =
+  let c =
+    mk_capture
+      [ E.Call { name = "f"; nargs = 1 };
+        prim E.Car [ Sexp.parse "(a b)" ] (D.sym "a");
+        E.Call { name = "g"; nargs = 2 };
+        prim E.Cdr [ Sexp.parse "(a b)" ] (Sexp.parse "(b)");
+        E.Return { name = "g" };
+        E.Return { name = "f" } ]
+  in
+  let st = Trace.Capture.stats c in
+  Alcotest.(check int) "functions" 2 st.Trace.Capture.functions;
+  Alcotest.(check int) "primitives" 2 st.Trace.Capture.primitives;
+  Alcotest.(check int) "max depth" 2 st.Trace.Capture.max_depth
+
+let test_capture_growth () =
+  let c = Trace.Capture.create () in
+  for i = 1 to 5000 do
+    Trace.Capture.record c (prim E.Cons [ D.int i ] (D.list [ D.int i ]))
+  done;
+  Alcotest.(check int) "all recorded" 5000 (Trace.Capture.length c)
+
+let test_io_roundtrip () =
+  let c =
+    mk_capture
+      [ E.Call { name = "f"; nargs = 1 };
+        prim E.Cons [ D.sym "a"; Sexp.parse "(b)" ] (Sexp.parse "(a b)");
+        prim E.Rplaca [ Sexp.parse "(a b)"; D.int 3 ] (Sexp.parse "(3 b)");
+        E.Return { name = "f" } ]
+  in
+  let path = Filename.temp_file "trace" ".txt" in
+  Trace.Io.save path c;
+  let c' = Trace.Io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "same length" (Trace.Capture.length c) (Trace.Capture.length c');
+  Array.iteri
+    (fun i e ->
+       let d1 = Trace.Io.event_to_datum e in
+       let d2 = Trace.Io.event_to_datum (Trace.Capture.events c').(i) in
+       Alcotest.(check bool) (Printf.sprintf "event %d" i) true (D.equal d1 d2))
+    (Trace.Capture.events c)
+
+let test_io_rejects_malformed () =
+  Alcotest.check_raises "bad event"
+    (Invalid_argument "Trace.Io: malformed event") (fun () ->
+      ignore (Trace.Io.event_of_datum (Sexp.parse "(x y)")))
+
+(* ---- preprocessing ---- *)
+
+let test_preprocess_ids () =
+  let l1 = Sexp.parse "(a b)" and l2 = Sexp.parse "(c d)" in
+  let c =
+    mk_capture
+      [ prim E.Car [ l1 ] (D.sym "a");
+        prim E.Car [ l2 ] (D.sym "c");
+        prim E.Cdr [ l1 ] (Sexp.parse "(b)") ]
+  in
+  let p = Trace.Preprocess.run c in
+  Alcotest.(check int) "distinct lists: (a b), (c d), (b)" 3 p.Trace.Preprocess.distinct_lists;
+  (* first and third events reference the same id *)
+  let id_of_event i =
+    match p.Trace.Preprocess.events.(i) with
+    | Trace.Preprocess.Pprim { args = [ List { id; _ } ]; _ } -> id
+    | _ -> Alcotest.fail "expected a single list arg"
+  in
+  Alcotest.(check int) "structurally equal args share ids" (id_of_event 0) (id_of_event 2);
+  Alcotest.(check bool) "different lists get different ids" true
+    (id_of_event 0 <> id_of_event 1)
+
+let test_preprocess_chaining () =
+  let l = Sexp.parse "(a b c)" in
+  let tail = Sexp.parse "(b c)" in
+  let c =
+    mk_capture
+      [ prim E.Cdr [ l ] tail;
+        (* chained: argument = previous result *)
+        prim E.Car [ tail ] (D.sym "b");
+        (* not chained: argument repeats the first list *)
+        prim E.Car [ l ] (D.sym "a") ]
+  in
+  let p = Trace.Preprocess.run c in
+  let chained_of i =
+    match p.Trace.Preprocess.events.(i) with
+    | Trace.Preprocess.Pprim { args = [ List { chained; _ } ]; _ } -> chained
+    | _ -> Alcotest.fail "expected list arg"
+  in
+  Alcotest.(check bool) "second event chained" true (chained_of 1);
+  Alcotest.(check bool) "third event not chained" false (chained_of 2)
+
+let test_preprocess_chaining_across_calls () =
+  (* function call/return events between two prims do not break chaining
+     (§3.3.2.3: no pointer creation happens in between) *)
+  let l = Sexp.parse "(a b)" and tail = Sexp.parse "(b)" in
+  let c =
+    mk_capture
+      [ prim E.Cdr [ l ] tail;
+        E.Call { name = "f"; nargs = 1 };
+        prim E.Car [ tail ] (D.sym "b") ]
+  in
+  let p = Trace.Preprocess.run c in
+  (match p.Trace.Preprocess.events.(2) with
+   | Trace.Preprocess.Pprim { args = [ List { chained; _ } ]; _ } ->
+     Alcotest.(check bool) "chained across the call" true chained
+   | _ -> Alcotest.fail "expected list arg")
+
+let test_preprocess_atoms () =
+  let c = mk_capture [ prim E.Cons [ D.int 1; Sexp.parse "(2)" ] (Sexp.parse "(1 2)") ] in
+  let p = Trace.Preprocess.run c in
+  (match p.Trace.Preprocess.events.(0) with
+   | Trace.Preprocess.Pprim { args = [ Atom (D.Int 1); List _ ]; result = List _; _ } -> ()
+   | _ -> Alcotest.fail "atom argument must stay an atom");
+  Alcotest.(check int) "np table sized by distinct lists"
+    p.Trace.Preprocess.distinct_lists
+    (Array.length p.Trace.Preprocess.np_by_id)
+
+let test_prim_refs () =
+  let l = Sexp.parse "(a b)" in
+  let c =
+    mk_capture
+      [ prim E.Cdr [ l ] (Sexp.parse "(b)");
+        E.Call { name = "f"; nargs = 0 };
+        prim E.Cons [ D.int 1; l ] (D.cons (D.int 1) l) ]
+  in
+  let refs = Trace.Preprocess.prim_refs (Trace.Preprocess.run c) in
+  (* cdr: arg + list result = 2; cons: 1 list arg + result = 2 *)
+  Alcotest.(check int) "reference stream length" 4 (Array.length refs)
+
+(* ---- synthetic generator ---- *)
+
+let test_synth_deterministic () =
+  let cfg = { Trace.Synth.default with length = 500 } in
+  let a = Trace.Synth.generate cfg and b = Trace.Synth.generate cfg in
+  Alcotest.(check int) "same length" (Trace.Capture.length a) (Trace.Capture.length b);
+  let da = Array.map Trace.Io.event_to_datum (Trace.Capture.events a) in
+  let db = Array.map Trace.Io.event_to_datum (Trace.Capture.events b) in
+  Alcotest.(check bool) "identical streams from one seed" true
+    (Array.for_all2 D.equal da db)
+
+let test_synth_valid_semantics () =
+  (* every car/cdr event's result must actually be the car/cdr of its
+     argument *)
+  let cap = Trace.Synth.generate { Trace.Synth.default with length = 2000 } in
+  Array.iter
+    (fun (e : E.t) ->
+       match e with
+       | E.Prim { prim = E.Car; args = [ a ]; result } ->
+         Alcotest.(check bool) "car semantics" true (D.equal result (D.car a))
+       | E.Prim { prim = E.Cdr; args = [ a ]; result } ->
+         Alcotest.(check bool) "cdr semantics" true (D.equal result (D.cdr a))
+       | E.Prim { prim = E.Cons; args = [ a; d ]; result } ->
+         Alcotest.(check bool) "cons semantics" true (D.equal result (D.cons a d))
+       | _ -> ())
+    (Trace.Capture.events cap)
+
+let test_synth_balanced_calls () =
+  let cap = Trace.Synth.generate { Trace.Synth.default with length = 3000 } in
+  let depth = ref 0 in
+  Array.iter
+    (fun (e : E.t) ->
+       match e with
+       | E.Call _ -> incr depth
+       | E.Return _ ->
+         decr depth;
+         Alcotest.(check bool) "never returns below zero" true (!depth >= 0)
+       | E.Prim _ -> ())
+    (Trace.Capture.events cap);
+  Alcotest.(check int) "calls balanced at end" 0 !depth
+
+let test_synth_mix_profiles () =
+  let share prim cfg =
+    let mix = Analysis.Prim_mix.analyze (Trace.Synth.generate { cfg with Trace.Synth.length = 4000 }) in
+    Analysis.Prim_mix.pct mix prim
+  in
+  Alcotest.(check bool) "cons-heavy profile really is" true
+    (share E.Cons Trace.Synth.cons_heavy > share E.Cons Trace.Synth.default +. 5.);
+  Alcotest.(check bool) "rplac-heavy profile really is" true
+    (share E.Rplaca Trace.Synth.rplac_heavy +. share E.Rplacd Trace.Synth.rplac_heavy
+     > 20.)
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"io event datum round-trip" ~count:100
+    (QCheck.make
+       (QCheck.Gen.oneof
+          [ QCheck.Gen.return (E.Call { name = "fn"; nargs = 2 });
+            QCheck.Gen.return (E.Return { name = "fn" });
+            QCheck.Gen.map
+              (fun n -> prim E.Cons [ D.int n; Sexp.parse "(x)" ] (D.list [ D.int n; D.sym "x" ]))
+              (QCheck.Gen.int_range 0 100) ]))
+    (fun e ->
+      let d = Trace.Io.event_to_datum e in
+      D.equal d (Trace.Io.event_to_datum (Trace.Io.event_of_datum d)))
+
+let () =
+  Alcotest.run "trace"
+    [ ("capture",
+       [ Alcotest.test_case "stats" `Quick test_stats;
+         Alcotest.test_case "growth" `Quick test_capture_growth ]);
+      ("io",
+       [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+         Alcotest.test_case "malformed" `Quick test_io_rejects_malformed ]);
+      ("preprocess",
+       [ Alcotest.test_case "unique ids" `Quick test_preprocess_ids;
+         Alcotest.test_case "chaining" `Quick test_preprocess_chaining;
+         Alcotest.test_case "chaining across calls" `Quick test_preprocess_chaining_across_calls;
+         Alcotest.test_case "atoms" `Quick test_preprocess_atoms;
+         Alcotest.test_case "prim refs" `Quick test_prim_refs ]);
+      ("synth",
+       [ Alcotest.test_case "deterministic" `Quick test_synth_deterministic;
+         Alcotest.test_case "valid semantics" `Quick test_synth_valid_semantics;
+         Alcotest.test_case "balanced calls" `Quick test_synth_balanced_calls;
+         Alcotest.test_case "mix profiles" `Quick test_synth_mix_profiles ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_io_roundtrip ]) ]
