@@ -16,20 +16,31 @@ let pct x = Printf.sprintf "%.2f" x
 let pct1 x = Printf.sprintf "%.1f" x
 let int_s = string_of_int
 
-(* A size sweep for one trace: run at [sizes], return stats per size. *)
+(* A size sweep for one trace: run at [sizes], return stats per size.
+   The independent runs go through the work pool (a no-op until the
+   harness raises the default domain count via --jobs). *)
 let sweep ?(config = Core.Simulator.default_config) sizes trace =
-  List.map
+  Util.Parallel.map
     (fun size ->
        (size, Core.Simulator.run { config with Core.Simulator.table_size = size } trace))
     sizes
 
-(* Representative sizes bracketing each trace's knee (found once). *)
+(* Representative sizes bracketing each trace's knee (found once).  The
+   cache is shared across sections, which may now probe it from several
+   domains at once. *)
 let knee_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+let knee_lock = Mutex.create ()
 
 let knee name =
+  Mutex.lock knee_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock knee_lock) @@ fun () ->
   match Hashtbl.find_opt knee_cache name with
   | Some k -> k
   | None ->
-    let k, _ = Core.Simulator.min_table_size Core.Simulator.default_config (pre name) in
+    let k, _ =
+      Core.Simulator.min_table_size
+        ~jobs:(Util.Parallel.default_domains ())
+        Core.Simulator.default_config (pre name)
+    in
     Hashtbl.replace knee_cache name k;
     k

@@ -6,15 +6,66 @@
      dune exec bench/main.exe                 # every section
      dune exec bench/main.exe -- fig3.4 table5.2
      dune exec bench/main.exe -- --list
-     dune exec bench/main.exe -- --timings *)
+     dune exec bench/main.exe -- --timings
+     dune exec bench/main.exe -- --jobs 8     # multicore sweeps/dispatch
+     dune exec bench/main.exe -- --json out.json   # machine-readable results *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~file ~jobs ~sections ~timings =
+  let oc = open_out file in
+  let item (name, secs) =
+    Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.4f}" (json_escape name) secs
+  in
+  let timing (name, est) =
+    Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}" (json_escape name)
+      (match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null")
+  in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"sections\": [\n%s\n  ],\n  \"timings\": [\n%s\n  ]\n}\n"
+    jobs
+    (String.concat ",\n" (List.map item sections))
+    (String.concat ",\n" (List.map timing timings));
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse args (jobs, json, rest) =
+    match args with
+    | "--jobs" :: n :: tl ->
+      let n =
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ -> Printf.eprintf "--jobs expects a positive integer, got %s\n" n; exit 2
+      in
+      parse tl (n, json, rest)
+    | [ "--jobs" ] -> Printf.eprintf "--jobs expects an argument\n"; exit 2
+    | "--json" :: file :: tl -> parse tl (jobs, Some file, rest)
+    | [ "--json" ] -> Printf.eprintf "--json expects a file argument\n"; exit 2
+    | a :: tl -> parse tl (jobs, json, a :: rest)
+    | [] -> (jobs, json, List.rev rest)
+  in
+  let jobs, json, args = parse args (1, None, []) in
+  Util.Parallel.set_default_domains jobs;
   let sections = Sections.all () in
   if List.mem "--list" args then begin
     print_endline "available sections:";
     List.iter (fun (name, descr, _) -> Printf.printf "  %-14s %s\n" name descr) sections;
-    print_endline "  --timings      bechamel micro-benchmarks"
+    print_endline "  --timings      bechamel micro-benchmarks";
+    print_endline "  --jobs N       run sweeps and section dispatch on N domains";
+    print_endline "  --json FILE    write per-section wall-clock (and timings) as JSON"
   end
   else begin
     let wanted = List.filter (fun a -> a <> "--timings") args in
@@ -31,16 +82,46 @@ let () =
           wanted
     in
     let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun (name, descr, fn) ->
-         Printf.printf "\n################ %s — %s\n" name descr;
-         let t = Unix.gettimeofday () in
-         fn ();
-         Printf.printf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t))
-      selected;
-    if List.mem "--timings" args then begin
-      print_endline "\n################ timings (bechamel)";
-      Timings.benchmark ()
-    end;
-    Printf.printf "\nall sections done in %.1fs\n" (Unix.gettimeofday () -. t0)
+    let section_times =
+      if jobs <= 1 then
+        (* sequential: stream each section's output as it runs *)
+        List.map
+          (fun (name, descr, fn) ->
+             Printf.printf "\n################ %s — %s\n" name descr;
+             let t = Unix.gettimeofday () in
+             fn ();
+             let dt = Unix.gettimeofday () -. t in
+             Printf.printf "[%s done in %.1fs]\n" name dt;
+             (name, dt))
+          selected
+      else begin
+        (* parallel dispatch: each worker captures its section's output,
+           the main domain prints everything in registry order *)
+        let results =
+          Util.Parallel.map ~domains:jobs
+            (fun (name, descr, fn) ->
+               let t = Unix.gettimeofday () in
+               let out = Util.Series.with_capture fn in
+               (name, descr, out, Unix.gettimeofday () -. t))
+            selected
+        in
+        List.map
+          (fun (name, descr, out, dt) ->
+             Printf.printf "\n################ %s — %s\n%s[%s done in %.1fs]\n"
+               name descr out name dt;
+             (name, dt))
+          results
+      end
+    in
+    let timings =
+      if List.mem "--timings" args then begin
+        print_endline "\n################ timings (bechamel)";
+        Timings.benchmark ()
+      end
+      else []
+    in
+    Printf.printf "\nall sections done in %.1fs\n" (Unix.gettimeofday () -. t0);
+    match json with
+    | Some file -> write_json ~file ~jobs ~sections:section_times ~timings
+    | None -> ()
   end

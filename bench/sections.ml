@@ -58,7 +58,7 @@ let () =
     (series_of Analysis.Np_stats.p_cumulative "")
 
 let partition_all separation =
-  List.map
+  Util.Parallel.map
     (fun w ->
        (w.Workloads.Registry.name,
         Analysis.List_sets.partition ~separation (Workloads.Registry.preprocessed w)))
@@ -135,7 +135,7 @@ let () =
   register "fig3.7" "List-set LRU stack distances" @@ fun () ->
   let rows, series =
     List.split
-      (List.map
+      (Util.Parallel.map
          (fun w ->
             let stream =
               Analysis.List_sets.set_id_stream ~separation:0.10
@@ -170,7 +170,9 @@ let () =
   register "fig3.8-10" "Sensitivity: varying separation constraint (slang)" @@ fun () ->
   let pre = Context.pre "slang" in
   let seps = [ 0.05; 0.10; 0.25; 0.50; 1.00 ] in
-  let parts = List.map (fun s -> (s, Analysis.List_sets.partition ~separation:s pre)) seps in
+  let parts =
+    Util.Parallel.map (fun s -> (s, Analysis.List_sets.partition ~separation:s pre)) seps
+  in
   Util.Series.print_rows
     ~title:"Figs 3.8-3.10 — slang list-set partition vs separation constraint"
     ~header:[ "separation"; "sets"; "for 80%"; "median life%"; "refs in >50% life" ]
@@ -229,7 +231,7 @@ let () =
          "Figs 3.11-3.13 — fixed separation window of %d references (10%% of shortest)"
          window)
     ~header:[ "trace"; "refs"; "sets"; "for 80%"; "window as % of trace" ]
-    (List.map
+    (Util.Parallel.map
        (fun w ->
           let pre = Workloads.Registry.preprocessed w in
           let refs = Array.length (Trace.Preprocess.prim_refs pre) in
@@ -293,7 +295,7 @@ let () =
        (fun w ->
           let pre = Workloads.Registry.preprocessed w in
           let knees =
-            List.map
+            Util.Parallel.map
               (fun seed ->
                  fst
                    (Core.Simulator.min_table_size
@@ -322,7 +324,7 @@ let () =
        Util.Series.print_rows
          ~title:(Printf.sprintf "Fig 5.3 — %s: average LPT occupancy by policy" name)
          ~header:[ "size"; "Compress-One avg"; "Compress-All avg"; "C-One ovf"; "C-All ovf" ]
-         (List.map
+         (Util.Parallel.map
             (fun size ->
                let one = run Core.Lpt.Compress_one size in
                let all = run Core.Lpt.Compress_all size in
@@ -340,7 +342,7 @@ let () =
     ~title:
       "Table 5.2 — reference-count traffic: lazy child decrement (Refops) vs naive recursive (RecRefops)"
     ~header:[ "trace"; "Refops"; "Gets"; "Frees"; "RecRefops"; "increase" ]
-    (List.map
+    (Util.Parallel.map
        (fun w ->
           let pre = Workloads.Registry.preprocessed w in
           let lazy_ = Core.Simulator.run Core.Simulator.default_config pre in
@@ -364,7 +366,7 @@ let () =
     ~title:
       "Table 5.3 — LP-side refcount ops: all counts in the LPT (Then) vs stack counts in the EP (Now)"
     ~header:[ "trace"; "Refops Then"; "Refops Now"; "reduction"; "MaxCount Then"; "MaxCount Now" ]
-    (List.map
+    (Util.Parallel.map
        (fun w ->
           let pre = Workloads.Registry.preprocessed w in
           let plain = Core.Simulator.run Core.Simulator.default_config pre in
@@ -393,7 +395,7 @@ let () =
       (fun w ->
          let name = w.Workloads.Registry.name in
          let pre = Workloads.Registry.preprocessed w in
-         List.map
+         Util.Parallel.map
            (fun size ->
               let stats =
                 Core.Simulator.run
@@ -430,7 +432,7 @@ let () =
       [ max 16 (k / 4); max 16 (k / 2); max 16 (3 * k / 4); k; 3 * k / 2; 2 * k ]
   in
   let points =
-    List.map
+    Util.Parallel.map
       (fun size ->
          let stats =
            Core.Simulator.run
@@ -469,29 +471,30 @@ let () =
        let pre = Context.pre name in
        let k = Context.knee name in
        let sizes = List.sort_uniq compare [ k; 2 * k ] in
-       let rows =
-         List.concat_map
-           (fun size ->
-              List.map
-                (fun line ->
-                   let cells = 2 * size in
-                   let stats =
-                     Core.Simulator.run
-                       { Core.Simulator.default_config with
-                         table_size = size;
-                         cache =
-                           Some
-                             { Core.Simulator.cache_lines = max 1 (cells / line);
-                               cache_line_size = line } }
-                       pre
-                   in
-                   let ratio =
-                     float_of_int stats.Core.Simulator.cache_misses
-                     /. float_of_int (max 1 stats.Core.Simulator.lpt.Core.Lpt.misses)
-                   in
-                   [ Context.int_s size; Context.int_s line; Context.pct ratio ])
-                [ 1; 2; 4; 8; 16 ])
+       let runs =
+         List.concat_map (fun size -> List.map (fun line -> (size, line)) [ 1; 2; 4; 8; 16 ])
            sizes
+       in
+       let rows =
+         Util.Parallel.map
+           (fun (size, line) ->
+              let cells = 2 * size in
+              let stats =
+                Core.Simulator.run
+                  { Core.Simulator.default_config with
+                    table_size = size;
+                    cache =
+                      Some
+                        { Core.Simulator.cache_lines = max 1 (cells / line);
+                          cache_line_size = line } }
+                  pre
+              in
+              let ratio =
+                float_of_int stats.Core.Simulator.cache_misses
+                /. float_of_int (max 1 stats.Core.Simulator.lpt.Core.Lpt.misses)
+              in
+              [ Context.int_s size; Context.int_s line; Context.pct ratio ])
+           runs
        in
        Util.Series.print_rows
          ~title:
@@ -516,7 +519,9 @@ let () =
       ("HiRead", { base with read_prob = 0.03 });
       ("HiBind", { base with bind_prob = 0.03 }) ]
   in
-  let stats = List.map (fun (label, cfg) -> (label, Core.Simulator.run cfg pre)) variants in
+  let stats =
+    Util.Parallel.map (fun (label, cfg) -> (label, Core.Simulator.run cfg pre)) variants
+  in
   let row name f = name :: List.map (fun (_, st) -> f st) stats in
   Util.Series.print_rows
     ~title:"Table 5.5 — sensitivity of the simulation to the probability parameters"

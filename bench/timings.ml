@@ -1,6 +1,7 @@
 (* Bechamel micro-benchmarks of the hot paths: LPT operation cost, cache
-   access cost, Mattson stack analysis, list-set partitioning and the
-   interpreter itself.  Run with `dune exec bench/main.exe -- --timings`. *)
+   access cost, Mattson stack analysis (Fenwick vs move-to-front),
+   list-set partitioning and the interpreter itself.  Run with
+   `dune exec bench/main.exe -- --timings`. *)
 
 open Bechamel
 open Toolkit
@@ -42,6 +43,25 @@ let list_sets =
     (Staged.stage (fun () ->
          ignore (Analysis.List_sets.partition (Lazy.force pre))))
 
+(* The acceptance stream for the locality engine: 50k references over a
+   few hundred distinct set ids, the regime of the Chapter 3 figures on
+   long synthetic traces.  The Fenwick [analyze] must beat the
+   move-to-front [analyze_naive] by >= 5x here. *)
+let lru_stream =
+  lazy
+    (let rng = Util.Rng.create ~seed:11 in
+     Array.init 50_000 (fun _ -> Util.Rng.int rng 256))
+
+let lru_fenwick =
+  Test.make ~name:"analysis: stack distances, 50k refs (Fenwick)"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Lru_stack.analyze (Lazy.force lru_stream))))
+
+let lru_naive =
+  Test.make ~name:"analysis: stack distances, 50k refs (naive MTF)"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Lru_stack.analyze_naive (Lazy.force lru_stream))))
+
 let simulator =
   let pre = lazy (Trace.Preprocess.run (Lazy.force synth_trace)) in
   Test.make ~name:"simulator: 2k-event SMALL run"
@@ -65,25 +85,31 @@ let emulator =
     (Staged.stage (fun () ->
          ignore (Machine.Emulator.run (Machine.Emulator.create prog))))
 
+(* Runs the whole suite, prints one line per test and returns
+   [(name, ns_per_run)] pairs ([None] when OLS produced no estimate) so
+   the harness can serialise them with --json. *)
 let benchmark () =
   let tests =
-    [ lpt_ops; cache_ops; preprocess; list_sets; simulator; interpreter; emulator ]
+    [ lpt_ops; cache_ops; preprocess; list_sets; lru_fenwick; lru_naive;
+      simulator; interpreter; emulator ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
-  (* analyse and print one line per test *)
-  List.iter
+  List.concat_map
     (fun test ->
        let results = Benchmark.all cfg instances test in
        let ols =
          Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
            (Instance.monotonic_clock) results
        in
-       Hashtbl.iter
-         (fun name result ->
+       Hashtbl.fold
+         (fun name result acc ->
             match Bechamel.Analyze.OLS.estimates result with
-            | Some [ est ] -> Printf.printf "  %-42s %12.0f ns/run\n" name est
-            | _ -> Printf.printf "  %-42s (no estimate)\n" name)
-         ols)
-    tests;
-  ()
+            | Some [ est ] ->
+              Printf.printf "  %-48s %12.0f ns/run\n" name est;
+              (name, Some est) :: acc
+            | _ ->
+              Printf.printf "  %-48s (no estimate)\n" name;
+              (name, None) :: acc)
+         ols [])
+    tests

@@ -3,6 +3,7 @@
     coverage/lifetime curves (Figs 3.4–3.6, 3.8–3.13), LRU stack distances
     over list sets (Fig 3.7) and primitive chaining (Table 3.2). *)
 
+module Fenwick = Fenwick
 module Prim_mix = Prim_mix
 module Np_stats = Np_stats
 module List_sets = List_sets

@@ -1,0 +1,35 @@
+(* Classic 1-based Fenwick layout: tree.(i) owns the (i land -i) slots
+   ending at i.  Slot indices are 0-based at the interface. *)
+
+type t = {
+  tree : int array;   (* tree.(0) unused *)
+  n : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Fenwick.create: negative size";
+  { tree = Array.make (n + 1) 0; n }
+
+let length t = t.n
+
+let add t i delta =
+  if i < 0 || i >= t.n then invalid_arg "Fenwick.add: index out of bounds";
+  let i = ref (i + 1) in
+  while !i <= t.n do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+let prefix t i =
+  if i < 0 || i > t.n then invalid_arg "Fenwick.prefix: index out of bounds";
+  let s = ref 0 in
+  let i = ref i in
+  while !i > 0 do
+    s := !s + t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !s
+
+let range t lo hi = if hi <= lo then 0 else prefix t hi - prefix t lo
+
+let total t = prefix t t.n

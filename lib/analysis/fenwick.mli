@@ -1,0 +1,26 @@
+(** Fenwick (binary indexed) tree over [0, n): point updates and prefix
+    sums in O(log n).
+
+    The locality analyses use one as the holes-counting structure of the
+    Olken/Bennett–Kruskal stack-distance algorithm: one slot per access
+    timestamp, a 1 marking the *latest* access of each distinct item, so
+    a range sum counts the distinct items touched inside a window. *)
+
+type t
+
+(** [create n] is a tree of [n] slots, all zero. *)
+val create : int -> t
+
+val length : t -> int
+
+(** [add t i delta] adds [delta] to slot [i]. *)
+val add : t -> int -> int -> unit
+
+(** [prefix t i] is the sum of slots with index < [i] (so [prefix t 0]
+    is 0 and [prefix t (length t)] is the total). *)
+val prefix : t -> int -> int
+
+(** [range t lo hi] is the sum of slots in [lo, hi). *)
+val range : t -> int -> int -> int
+
+val total : t -> int

@@ -4,15 +4,40 @@ type result = {
   total : int;
 }
 
-(* Move-to-front list; the position of an item at access time is its stack
-   distance.  O(stream * distinct), fine for the set-level streams here. *)
+let bump distances d =
+  Hashtbl.replace distances d
+    (1 + Option.value ~default:0 (Hashtbl.find_opt distances d))
+
+(* Olken/Bennett–Kruskal: a Fenwick tree over access timestamps holds a 1
+   at the *latest* access of each distinct item, so the stack distance of
+   a re-reference at time [t] to an item last seen at [lt] is one plus the
+   number of marks strictly between them — O(log n) per access instead of
+   the move-to-front list walk. *)
 let analyze stream =
+  let n = Array.length stream in
+  let distances = Hashtbl.create 64 in
+  let cold = ref 0 in
+  let last = Hashtbl.create 64 in
+  let marks = Fenwick.create n in
+  Array.iteri
+    (fun t x ->
+       (match Hashtbl.find_opt last x with
+        | Some lt ->
+          bump distances (1 + Fenwick.range marks (lt + 1) t);
+          Fenwick.add marks lt (-1)
+        | None -> incr cold);
+       Fenwick.add marks t 1;
+       Hashtbl.replace last x t)
+    stream;
+  { distances; cold = !cold; total = n }
+
+(* Move-to-front list; the position of an item at access time is its stack
+   distance.  O(stream * distinct) — kept as the independent reference the
+   Fenwick version is cross-checked against. *)
+let analyze_naive stream =
   let distances = Hashtbl.create 64 in
   let cold = ref 0 in
   let stack = ref [] in
-  let bump d =
-    Hashtbl.replace distances d (1 + Option.value ~default:0 (Hashtbl.find_opt distances d))
-  in
   Array.iter
     (fun x ->
        let rec remove depth acc = function
@@ -23,7 +48,7 @@ let analyze stream =
        in
        match remove 1 [] !stack with
        | Some (depth, rest) ->
-         bump depth;
+         bump distances depth;
          stack := x :: rest
        | None ->
          incr cold;
@@ -44,17 +69,37 @@ let curve r ~max_depth =
       let k = i + 1 in
       (float_of_int k, hit_fraction r k))
 
+(* Explicit LRU buffer as a depth-bounded index array kept in recency
+   order: a linear scan finds the item, an overlapping blit moves it to
+   the front.  Same O(stream * size) bound as the old list walk but no
+   allocation and contiguous traversal. *)
 let naive_hits stream ~size =
-  let stack = ref [] in
-  let hits = ref 0 in
-  Array.iter
-    (fun x ->
-       let present = List.mem x !stack in
-       if present then incr hits;
-       let without = List.filter (fun y -> y <> x) !stack in
-       let with_x = x :: without in
-       stack :=
-         if List.length with_x > size then List.filteri (fun i _ -> i < size) with_x
-         else with_x)
-    stream;
-  !hits
+  if size <= 0 then 0
+  else begin
+    let stack = Array.make size 0 in
+    let depth = ref 0 in
+    let hits = ref 0 in
+    Array.iter
+      (fun x ->
+         let pos = ref (-1) in
+         (try
+            for i = 0 to !depth - 1 do
+              if stack.(i) = x then begin
+                pos := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !pos >= 0 then begin
+           incr hits;
+           Array.blit stack 0 stack 1 !pos
+         end
+         else begin
+           let d = min size (!depth + 1) in
+           Array.blit stack 0 stack 1 (d - 1);
+           depth := d
+         end;
+         stack.(0) <- x)
+      stream;
+    !hits
+  end

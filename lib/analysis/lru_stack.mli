@@ -13,7 +13,15 @@ type result = {
   total : int;
 }
 
+(** One pass via the Olken/Bennett–Kruskal algorithm — a {!Fenwick} tree
+    counts the distinct items between consecutive accesses of the same
+    item — O(n log n) over an n-reference stream. *)
 val analyze : int array -> result
+
+(** The direct move-to-front list simulation, O(stream × distinct items).
+    Produces identical results to {!analyze} (enforced by a property
+    test); kept as the independent reference implementation. *)
+val analyze_naive : int array -> result
 
 (** [hit_fraction r k] = fraction of all references at stack distance
     <= [k]. *)

@@ -127,8 +127,10 @@ and decr_internal t id =
 
 let incr_internal t id =
   t.refops <- t.refops + 1;
-  t.refc.(id) <- t.refc.(id) + 1;
-  if refcount t id > t.max_refcount then t.max_refcount <- refcount t id
+  let rc = t.refc.(id) + 1 in
+  t.refc.(id) <- rc;
+  let total = if t.split_counts then rc + t.ep_count.(id) else rc in
+  if total > t.max_refcount then t.max_refcount <- total
 
 (* ---- compression (Fig 4.8) ---- *)
 
@@ -342,13 +344,9 @@ let get_cdr t id =
   end
 
 let replace t id ~field child =
-  let get, set =
-    match field with
-    | `Car -> ((fun () -> t.car.(id)), fun v -> t.car.(id) <- v)
-    | `Cdr -> ((fun () -> t.cdr.(id)), fun v -> t.cdr.(id) <- v)
-  in
+  let fields = match field with `Car -> t.car | `Cdr -> t.cdr in
   let was_hit =
-    if get () <> unset then begin
+    if fields.(id) <> unset then begin
       t.hits <- t.hits + 1;
       true
     end
@@ -359,10 +357,11 @@ let replace t id ~field child =
   in
   (* Incr the incoming child before decring the old one: replacing a part
      with itself must not transiently free it.  An atom value still sets
-     the field (later accesses hit), it just names no entry. *)
+     the field (later accesses hit), it just names no entry.  [fields] is
+     re-read after the split above may have filled it. *)
   (match child with Some c -> incr_internal t c | None -> ());
-  let old = get () in
-  set (match child with Some c -> c | None -> atom_child);
+  let old = fields.(id) in
+  fields.(id) <- (match child with Some c -> c | None -> atom_child);
   if old >= 0 then decr_internal t old;
   was_hit
 

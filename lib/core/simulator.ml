@@ -322,20 +322,69 @@ let cache_hit_rate (stats : stats) =
 let overflow_free (stats : stats) =
   (not stats.true_overflow) && stats.lpt.Lpt.pseudo_overflows = 0
 
-let min_table_size cfg trace =
-  (* Double until overflow-free, then bisect down to the knee. *)
+let min_table_size ?(jobs = 1) cfg trace =
+  (* Double until overflow-free, then bisect down to the knee.  With
+     [jobs] > 1 the probe runs go through [Util.Parallel]: the doubling
+     phase probes a batch of sizes at once, and the bisection phase
+     speculatively evaluates the next levels of its decision tree in
+     parallel — both walk the same decision sequence as the sequential
+     search, so the result is identical for every [jobs]. *)
+  let probe size = run { cfg with table_size = size } trace in
   let rec grow size =
-    let stats = run { cfg with table_size = size } trace in
-    if overflow_free stats then (size, stats) else grow (2 * size)
+    if jobs <= 1 then begin
+      let stats = probe size in
+      if overflow_free stats then (size, stats) else grow (2 * size)
+    end
+    else begin
+      let batch = List.init jobs (fun i -> size * (1 lsl i)) in
+      let stats = Util.Parallel.map ~domains:jobs probe batch in
+      match
+        List.find_opt
+          (fun (_, st) -> overflow_free st)
+          (List.combine batch stats)
+      with
+      | Some (sz, st) -> (sz, st)
+      | None -> grow (size * (1 lsl jobs))
+    end
   in
   let hi, hi_stats = grow 64 in
+  (* All candidate midpoints of the next [depth] bisection levels: the
+     root midpoint plus, recursively, the midpoints of both halves. *)
+  let rec candidates depth lo hi acc =
+    if depth = 0 || hi - lo <= 1 then acc
+    else begin
+      let mid = (lo + hi) / 2 in
+      candidates (depth - 1) lo mid (candidates (depth - 1) mid hi (mid :: acc))
+    end
+  in
+  let depth =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    max 1 (log2 (jobs + 1))
+  in
   let rec bisect lo hi hi_stats =
     (* invariant: hi is overflow-free, lo is not (or lo = hi) *)
     if hi - lo <= 1 then (hi, hi_stats)
-    else begin
+    else if jobs <= 1 then begin
       let mid = (lo + hi) / 2 in
-      let stats = run { cfg with table_size = mid } trace in
+      let stats = probe mid in
       if overflow_free stats then bisect lo mid stats else bisect mid hi hi_stats
+    end
+    else begin
+      let sizes = List.sort_uniq compare (candidates depth lo hi []) in
+      let results =
+        List.combine sizes (Util.Parallel.map ~domains:jobs probe sizes)
+      in
+      (* Resolve [depth] sequential decisions from the precomputed runs. *)
+      let rec walk d lo hi hi_stats =
+        if d = 0 || hi - lo <= 1 then bisect lo hi hi_stats
+        else begin
+          let mid = (lo + hi) / 2 in
+          let stats = List.assoc mid results in
+          if overflow_free stats then walk (d - 1) lo mid stats
+          else walk (d - 1) mid hi hi_stats
+        end
+      in
+      walk depth lo hi hi_stats
     end
   in
   bisect (hi / 2) hi hi_stats

@@ -58,8 +58,14 @@ val run : config -> Trace.Preprocess.t -> stats
 val lpt_hit_rate : stats -> float
 val cache_hit_rate : stats -> float
 
-(** [min_table_size config trace] searches for the knee of Figure 5.1:
-    the smallest table size (within the probe sequence) at which no
-    overflow of any kind occurs, by doubling then bisecting.  Returns the
-    size and the stats of the run at that size. *)
-val min_table_size : config -> Trace.Preprocess.t -> int * stats
+(** [min_table_size ?jobs config trace] searches for the knee of
+    Figure 5.1: the smallest table size (within the probe sequence) at
+    which no overflow of any kind occurs, by doubling then bisecting.
+    Returns the size and the stats of the run at that size.
+
+    With [jobs] > 1 the probe simulations run on a [Util.Parallel] pool —
+    the doubling phase probes whole batches of sizes at once and the
+    bisection phase speculatively evaluates the next levels of its
+    decision tree — while following the same decision sequence as the
+    sequential search, so the result is identical for every [jobs]. *)
+val min_table_size : ?jobs:int -> config -> Trace.Preprocess.t -> int * stats

@@ -1,0 +1,53 @@
+let default = Atomic.make 1
+
+let set_default_domains n = Atomic.set default (max 1 n)
+let default_domains () = Atomic.get default
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* Nested [map] calls run sequentially: a worker spawning its own pool
+   would multiply the domain count past the runtime's sweet spot. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Atomic.get default
+  in
+  let n = List.length xs in
+  let domains = min domains n in
+  if domains <= 1 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f input.(i));
+          loop ()
+        end
+      in
+      try loop ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      work ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    (* The caller participates too; flag it so [f] can't re-enter. *)
+    Domain.DLS.set in_worker true;
+    work ();
+    Domain.DLS.set in_worker false;
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let iter ?domains f xs = ignore (map ?domains f xs)

@@ -1,0 +1,29 @@
+(** A small [Domain.spawn] work pool for the embarrassingly parallel
+    sweeps of the bench harness and the simulator's table-size probes.
+
+    [map ~domains f xs] applies [f] to every element of [xs], spreading
+    the calls over up to [domains] domains (the calling domain included),
+    and returns the results in input order — the result equals
+    [List.map f xs] whenever [f] is pure.  With [domains <= 1], a short
+    list, or when called from inside another [map] worker (nested
+    parallelism would oversubscribe the runtime), it degrades to a plain
+    sequential [List.map].
+
+    Work items are handed out through a shared atomic counter, so uneven
+    item costs balance across domains.  If any call raises, the first
+    exception (in completion order) is re-raised in the caller after all
+    domains have been joined. *)
+
+(** Pool width used when [map]'s [?domains] is omitted.  Starts at 1
+    (fully sequential); the bench harness sets it from [--jobs]. *)
+val set_default_domains : int -> unit
+
+val default_domains : unit -> int
+
+(** The runtime's [Domain.recommended_domain_count]. *)
+val recommended_domains : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ~domains f xs] = [ignore (map ~domains f xs)]. *)
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

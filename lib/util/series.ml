@@ -5,6 +5,25 @@ type t = {
 
 let make ~label points = { label; points }
 
+(* All rendering goes through a domain-local sink so a worker domain can
+   capture a whole section's output and hand it back for in-order
+   printing (parallel bench dispatch). *)
+let sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let emit s =
+  match Domain.DLS.get sink with
+  | Some b -> Buffer.add_string b s
+  | None -> print_string s
+
+let pr fmt = Printf.ksprintf emit fmt
+
+let with_capture fn =
+  let b = Buffer.create 1024 in
+  let previous = Domain.DLS.get sink in
+  Domain.DLS.set sink (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink previous) fn;
+  Buffer.contents b
+
 let fmt_num x =
   if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%d" (int_of_float x)
   else Printf.sprintf "%.3f" x
@@ -26,10 +45,10 @@ let print_rows ~title ~header rows =
             cell ^ String.make (w - String.length cell) ' ')
          widths)
   in
-  Printf.printf "\n== %s ==\n" title;
-  print_endline (line header);
-  print_endline (String.make (String.length (line header)) '-');
-  List.iter (fun r -> print_endline (line r)) rows
+  pr "\n== %s ==\n" title;
+  pr "%s\n" (line header);
+  pr "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun r -> pr "%s\n" (line r)) rows
 
 let print_table ~title ~x_label ~y_label series =
   let xs =
@@ -53,7 +72,7 @@ let print_table ~title ~x_label ~y_label series =
 
 let print_ascii ~title ?(width = 64) ?(height = 16) series =
   let all_points = List.concat_map (fun s -> s.points) series in
-  if all_points = [] then Printf.printf "\n== %s == (no data)\n" title
+  if all_points = [] then pr "\n== %s == (no data)\n" title
   else begin
     let xs = List.map fst all_points and ys = List.map snd all_points in
     let x0 = List.fold_left Float.min infinity xs
@@ -74,11 +93,11 @@ let print_ascii ~title ?(width = 64) ?(height = 16) series =
               canvas.(height - 1 - cy).(cx) <- g)
            s.points)
       series;
-    Printf.printf "\n== %s ==\n" title;
-    Array.iter (fun row -> Printf.printf "|%s|\n" (String.init width (Array.get row))) canvas;
-    Printf.printf "x: %s .. %s   y: %s .. %s\n" (fmt_num x0) (fmt_num x1) (fmt_num y0)
+    pr "\n== %s ==\n" title;
+    Array.iter (fun row -> pr "|%s|\n" (String.init width (Array.get row))) canvas;
+    pr "x: %s .. %s   y: %s .. %s\n" (fmt_num x0) (fmt_num x1) (fmt_num y0)
       (fmt_num y1);
     List.iteri
-      (fun i s -> Printf.printf "  %c = %s\n" glyphs.(i mod Array.length glyphs) s.label)
+      (fun i s -> pr "  %c = %s\n" glyphs.(i mod Array.length glyphs) s.label)
       series
   end

@@ -9,6 +9,12 @@ type t = {
 
 val make : label:string -> (float * float) list -> t
 
+(** [with_capture fn] runs [fn] with this module's printers redirected
+    into a buffer (domain-local, so concurrent captures don't mix) and
+    returns what was printed.  Used by the bench harness to run sections
+    in parallel while emitting their output in order. *)
+val with_capture : (unit -> unit) -> string
+
 (** [print_table ~title ~x_label ~y_label series] prints one row per
     distinct x value with a column per series. *)
 val print_table :

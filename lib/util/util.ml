@@ -1,7 +1,9 @@
 (** Shared utilities: a deterministic splitmix64 RNG (every stochastic
     component takes an explicit generator for reproducibility), empirical
-    distributions, and text renderers for the tables and figure series. *)
+    distributions, text renderers for the tables and figure series, and a
+    [Domain.spawn] work pool for parallel sweeps. *)
 
 module Rng = Rng
 module Dist = Dist
 module Series = Series
+module Parallel = Parallel

@@ -19,9 +19,20 @@ let all =
 
 let find name = List.find_opt (fun w -> w.name = name) all
 
+(* One lock guards both caches: bench sections now run under
+   [Util.Parallel], so concurrent first requests for a workload must not
+   race the tables (or trace the same program twice).  The lock is held
+   across the fill, serialising cache misses; hits after warm-up only
+   pay the lock/unlock. *)
+let cache_lock = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
 let trace_cache : (string, Trace.Capture.t) Hashtbl.t = Hashtbl.create 8
 
-let trace w =
+let trace_unlocked w =
   match Hashtbl.find_opt trace_cache w.name with
   | Some c -> c
   | None ->
@@ -29,14 +40,17 @@ let trace w =
     Hashtbl.replace trace_cache w.name c;
     c
 
+let trace w = with_cache_lock (fun () -> trace_unlocked w)
+
 let prep_cache : (string, Trace.Preprocess.t) Hashtbl.t = Hashtbl.create 8
 
 let preprocessed w =
-  match Hashtbl.find_opt prep_cache w.name with
-  | Some p -> p
-  | None ->
-    let p = Trace.Preprocess.run (trace w) in
-    Hashtbl.replace prep_cache w.name p;
-    p
+  with_cache_lock (fun () ->
+      match Hashtbl.find_opt prep_cache w.name with
+      | Some p -> p
+      | None ->
+        let p = Trace.Preprocess.run (trace_unlocked w) in
+        Hashtbl.replace prep_cache w.name p;
+        p)
 
 let simulation_suite () = List.filter (fun w -> w.name <> "pearl") all

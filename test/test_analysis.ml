@@ -118,6 +118,42 @@ let test_set_id_stream () =
   let distinct = List.sort_uniq compare (Array.to_list stream) in
   Alcotest.(check int) "two distinct sets" 2 (List.length distinct)
 
+(* ---- Fenwick tree ---- *)
+
+let test_fenwick_basic () =
+  let t = Analysis.Fenwick.create 8 in
+  Alcotest.(check int) "empty total" 0 (Analysis.Fenwick.total t);
+  Analysis.Fenwick.add t 0 3;
+  Analysis.Fenwick.add t 3 5;
+  Analysis.Fenwick.add t 7 1;
+  Analysis.Fenwick.add t 3 (-2);
+  Alcotest.(check int) "prefix 0" 0 (Analysis.Fenwick.prefix t 0);
+  Alcotest.(check int) "prefix 1" 3 (Analysis.Fenwick.prefix t 1);
+  Alcotest.(check int) "prefix 4" 6 (Analysis.Fenwick.prefix t 4);
+  Alcotest.(check int) "range [3,8)" 4 (Analysis.Fenwick.range t 3 8);
+  Alcotest.(check int) "empty range" 0 (Analysis.Fenwick.range t 5 5);
+  Alcotest.(check int) "total" 7 (Analysis.Fenwick.total t)
+
+let prop_fenwick_prefix_sums =
+  (* prefix sums must match a plain array fold under random updates *)
+  QCheck.Test.make ~name:"Fenwick prefix = array fold" ~count:200
+    QCheck.(list (pair (0 -- 31) (-5 -- 5)))
+    (fun updates ->
+      let n = 32 in
+      let t = Analysis.Fenwick.create n in
+      let reference = Array.make n 0 in
+      List.iter
+        (fun (i, d) ->
+           Analysis.Fenwick.add t i d;
+           reference.(i) <- reference.(i) + d)
+        updates;
+      let ok = ref true in
+      for i = 0 to n do
+        let expect = Array.fold_left ( + ) 0 (Array.sub reference 0 i) in
+        if Analysis.Fenwick.prefix t i <> expect then ok := false
+      done;
+      !ok)
+
 (* ---- LRU stack distances (Fig 3.7) ---- *)
 
 let test_lru_basic () =
@@ -128,6 +164,30 @@ let test_lru_basic () =
     (Analysis.Lru_stack.hit_fraction r 2);
   Alcotest.(check (float 0.001)) "depth-3 captures 3/6" 0.5
     (Analysis.Lru_stack.hit_fraction r 3)
+
+let sorted_histogram r =
+  List.sort compare
+    (Hashtbl.fold (fun d c acc -> (d, c) :: acc) r.Analysis.Lru_stack.distances [])
+
+(* Streams of several lengths and alphabet widths: the Fenwick engine
+   must reproduce the move-to-front reference exactly — same distance
+   histogram, same cold-miss and total counts. *)
+let prop_fenwick_equals_mtf =
+  let stream_gen =
+    QCheck.Gen.(
+      int_range 1 48 >>= fun alphabet ->
+      int_range 0 1500 >>= fun len ->
+      list_size (return len) (int_range 0 (alphabet - 1)))
+  in
+  QCheck.Test.make ~name:"Fenwick analyze = move-to-front analyze_naive" ~count:100
+    (QCheck.make ~print:QCheck.Print.(list int) stream_gen)
+    (fun xs ->
+      let stream = Array.of_list xs in
+      let fast = Analysis.Lru_stack.analyze stream in
+      let slow = Analysis.Lru_stack.analyze_naive stream in
+      fast.Analysis.Lru_stack.cold = slow.Analysis.Lru_stack.cold
+      && fast.Analysis.Lru_stack.total = slow.Analysis.Lru_stack.total
+      && sorted_histogram fast = sorted_histogram slow)
 
 let prop_mattson_equals_naive =
   (* the one-pass distances must reproduce per-size stack simulation *)
@@ -181,8 +241,12 @@ let () =
          Alcotest.test_case "lifetimes" `Quick test_list_sets_lifetime;
          Alcotest.test_case "coverage curve" `Quick test_coverage_curve;
          Alcotest.test_case "set id stream" `Quick test_set_id_stream ]);
+      ("fenwick",
+       [ Alcotest.test_case "point adds and prefix sums" `Quick test_fenwick_basic;
+         QCheck_alcotest.to_alcotest prop_fenwick_prefix_sums ]);
       ("lru",
        [ Alcotest.test_case "distances" `Quick test_lru_basic;
+         QCheck_alcotest.to_alcotest prop_fenwick_equals_mtf;
          QCheck_alcotest.to_alcotest prop_mattson_equals_naive ]);
       ("chaining",
        [ Alcotest.test_case "flags aggregated" `Quick test_chaining;

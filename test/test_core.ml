@@ -279,6 +279,21 @@ let test_simulator_knee () =
     (smaller.Core.Simulator.lpt.Core.Lpt.pseudo_overflows > 0
      || smaller.Core.Simulator.true_overflow)
 
+let test_knee_jobs_invariant () =
+  (* the parallel probe runs must walk the same decision sequence as the
+     sequential search: identical knee for every jobs count *)
+  let trace = synth_trace ~length:3000 () in
+  let seq, _ = Core.Simulator.min_table_size ~jobs:1 Core.Simulator.default_config trace in
+  List.iter
+    (fun jobs ->
+       let par, stats =
+         Core.Simulator.min_table_size ~jobs Core.Simulator.default_config trace
+       in
+       Alcotest.(check int) (Printf.sprintf "same knee with %d jobs" jobs) seq par;
+       Alcotest.(check int) "overflow-free at the knee" 0
+         stats.Core.Simulator.lpt.Core.Lpt.pseudo_overflows)
+    [ 2; 3; 5 ]
+
 let test_simulator_compress_all_lower_avg () =
   (* §5.2.3: Compress-All keeps average occupancy at or below
      Compress-One's (when overflows actually occur) *)
@@ -426,6 +441,7 @@ let () =
          Alcotest.test_case "deterministic" `Quick test_simulator_deterministic;
          Alcotest.test_case "seed sensitivity" `Quick test_simulator_seed_sensitivity;
          Alcotest.test_case "knee" `Quick test_simulator_knee;
+         Alcotest.test_case "knee jobs-invariant" `Quick test_knee_jobs_invariant;
          Alcotest.test_case "compression policy" `Quick test_simulator_compress_all_lower_avg;
          Alcotest.test_case "cache comparison" `Quick test_simulator_cache_comparison ]);
       ("traversal",

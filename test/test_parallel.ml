@@ -1,0 +1,92 @@
+(* Tests for the Util.Parallel work pool: [map] must agree with
+   [List.map] — same results, same order — for every domain count, keep
+   balancing deterministic under uneven work, and re-raise worker
+   exceptions. *)
+
+let domains_under_test = [ 1; 2; 3; 8 ]
+
+let test_map_matches_list_map () =
+  List.iter
+    (fun domains ->
+       List.iter
+         (fun n ->
+            let xs = List.init n (fun i -> i) in
+            Alcotest.(check (list int))
+              (Printf.sprintf "square map, %d items, %d domains" n domains)
+              (List.map (fun x -> x * x) xs)
+              (Util.Parallel.map ~domains (fun x -> x * x) xs))
+         [ 0; 1; 2; 7; 100 ])
+    domains_under_test
+
+let test_map_uneven_work () =
+  (* items that take visibly different times must still land in order *)
+  let xs = List.init 40 (fun i -> i) in
+  let slow x =
+    let spin = if x mod 7 = 0 then 20_000 else 10 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := !acc + (i mod 3)
+    done;
+    ignore !acc;
+    2 * x
+  in
+  List.iter
+    (fun domains ->
+       Alcotest.(check (list int))
+         (Printf.sprintf "uneven work, %d domains" domains)
+         (List.map slow xs)
+         (Util.Parallel.map ~domains slow xs))
+    domains_under_test
+
+let prop_map_equals_list_map =
+  QCheck.Test.make ~name:"Parallel.map = List.map for any domain count" ~count:50
+    QCheck.(pair (list int) (1 -- 8))
+    (fun (xs, domains) ->
+      Util.Parallel.map ~domains (fun x -> (x * 31) lxor 5) xs
+      = List.map (fun x -> (x * 31) lxor 5) xs)
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+       Alcotest.check_raises
+         (Printf.sprintf "worker exception re-raised, %d domains" domains) Boom
+         (fun () ->
+            ignore
+              (Util.Parallel.map ~domains
+                 (fun x -> if x = 13 then raise Boom else x)
+                 (List.init 20 (fun i -> i)))))
+    domains_under_test
+
+let test_nested_map_degrades () =
+  (* a map inside a worker must fall back to sequential, not spawn *)
+  let outer =
+    Util.Parallel.map ~domains:4
+      (fun i -> Util.Parallel.map ~domains:4 (fun j -> (i * 10) + j) [ 1; 2; 3 ])
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results correct"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]
+    outer
+
+let test_default_domains () =
+  let saved = Util.Parallel.default_domains () in
+  Util.Parallel.set_default_domains 3;
+  Alcotest.(check int) "default set" 3 (Util.Parallel.default_domains ());
+  Alcotest.(check (list int)) "map uses default" [ 2; 4; 6 ]
+    (Util.Parallel.map (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Util.Parallel.set_default_domains 0;
+  Alcotest.(check int) "clamped to 1" 1 (Util.Parallel.default_domains ());
+  Util.Parallel.set_default_domains saved
+
+let () =
+  Alcotest.run "parallel"
+    [ ("map",
+       [ Alcotest.test_case "matches List.map" `Quick test_map_matches_list_map;
+         Alcotest.test_case "uneven work, stable order" `Quick test_map_uneven_work;
+         QCheck_alcotest.to_alcotest prop_map_equals_list_map;
+         Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+         Alcotest.test_case "nested maps degrade" `Quick test_nested_map_degrades;
+         Alcotest.test_case "default domain count" `Quick test_default_domains ]) ]
