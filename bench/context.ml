@@ -16,18 +16,79 @@ let pct x = Printf.sprintf "%.2f" x
 let pct1 x = Printf.sprintf "%.1f" x
 let int_s = string_of_int
 
-(* A size sweep for one trace: run at [sizes], return stats per size.
-   The independent runs go through the work pool (a no-op until the
-   harness raises the default domain count via --jobs). *)
-let sweep ?(config = Core.Simulator.default_config) sizes trace =
-  Util.Parallel.map
-    (fun size ->
-       (size, Core.Simulator.run { config with Core.Simulator.table_size = size } trace))
-    sizes
+(* The shared job service: simulation sweeps and knee searches go through
+   its scheduler (worker pool) and content-addressed result cache, so a
+   second bench run over the same traces and configs is cache-warm.  The
+   on-disk store defaults to .smallsim-cache; point SMALLSIM_BENCH_CACHE
+   elsewhere (or run with it unset in a scratch dir) to start cold. *)
+let service =
+  lazy
+    (let cache_dir =
+       match Sys.getenv_opt "SMALLSIM_BENCH_CACHE" with
+       | Some d -> d
+       | None -> ".smallsim-cache"
+     in
+     let t =
+       Server.Service.create ~cache_dir
+         ~workers:(Util.Parallel.default_domains ())
+         ~queue_capacity:4096 ()
+     in
+     at_exit (fun () -> Server.Service.shutdown t);
+     t)
+
+let simulate_job config name =
+  { Server.Job.source = Server.Job.Workload name;
+    spec = Server.Job.Simulate config;
+    timeout = None }
+
+(* Submit-all-then-await: the pool runs the batch concurrently while the
+   results come back in request order.  A rejected or failed job falls
+   back to running inline. *)
+let through_service jobs fallback unpack =
+  let joins =
+    List.map (fun job -> (job, Server.Service.submit (Lazy.force service) job)) jobs
+  in
+  List.map
+    (fun (job, submitted) ->
+       match submitted with
+       | Error (`Queue_full | `Shutdown) -> fallback job
+       | Ok join ->
+         (match (join ()).Server.Service.outcome with
+          | Ok out ->
+            (match unpack out with Some v -> v | None -> fallback job)
+          | Error _ -> fallback job))
+    joins
+
+let sweep ?(config = Core.Simulator.default_config) sizes trace_name =
+  let with_size size = { config with Core.Simulator.table_size = size } in
+  List.combine sizes
+    (through_service
+       (List.map (fun size -> simulate_job (with_size size) trace_name) sizes)
+       (fun job ->
+          match job.Server.Job.spec with
+          | Server.Job.Simulate cfg -> Core.Simulator.run cfg (pre trace_name)
+          | _ -> assert false)
+       (function Server.Exec.Simulate_out stats -> Some stats | _ -> None))
+
+(* Knee (minimum overflow-free size) searches per (trace, seed), also
+   cache-backed; [seed_knees] submits the whole seed batch at once. *)
+let seed_knees ?(config = Core.Simulator.default_config) name seeds =
+  let job seed =
+    { Server.Job.source = Server.Job.Workload name;
+      spec = Server.Job.Knee { config with Core.Simulator.seed };
+      timeout = None }
+  in
+  through_service
+    (List.map job seeds)
+    (fun job ->
+       match job.Server.Job.spec with
+       | Server.Job.Knee cfg -> fst (Core.Simulator.min_table_size cfg (pre name))
+       | _ -> assert false)
+    (function Server.Exec.Knee_out { size; _ } -> Some size | _ -> None)
 
 (* Representative sizes bracketing each trace's knee (found once).  The
-   cache is shared across sections, which may now probe it from several
-   domains at once. *)
+   per-process table sits in front of the service's result cache, which
+   may now be probed from several domains at once. *)
 let knee_cache : (string, int) Hashtbl.t = Hashtbl.create 8
 let knee_lock = Mutex.create ()
 
@@ -37,10 +98,10 @@ let knee name =
   match Hashtbl.find_opt knee_cache name with
   | Some k -> k
   | None ->
-    let k, _ =
-      Core.Simulator.min_table_size
-        ~jobs:(Util.Parallel.default_domains ())
-        Core.Simulator.default_config (pre name)
+    let k =
+      match seed_knees name [ Core.Simulator.default_config.Core.Simulator.seed ] with
+      | [ k ] -> k
+      | _ -> assert false
     in
     Hashtbl.replace knee_cache name k;
     k

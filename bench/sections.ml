@@ -275,7 +275,7 @@ let () =
                  else if stats.Core.Simulator.lpt.Core.Lpt.pseudo_overflows > 0 then
                    Printf.sprintf "%d pseudo" stats.Core.Simulator.lpt.Core.Lpt.pseudo_overflows
                  else "clean") ])
-           (Context.sweep sizes (Context.pre name))
+           (Context.sweep sizes name)
        in
        Util.Series.print_rows
          ~title:(Printf.sprintf "Fig 5.1 — %s: peak LPT usage vs size (knee at %d)" name k)
@@ -293,15 +293,7 @@ let () =
     ~header:[ "trace"; "min knee"; "max knee" ]
     (List.map
        (fun w ->
-          let pre = Workloads.Registry.preprocessed w in
-          let knees =
-            Util.Parallel.map
-              (fun seed ->
-                 fst
-                   (Core.Simulator.min_table_size
-                      { Core.Simulator.default_config with seed } pre))
-              seeds
-          in
+          let knees = Context.seed_knees w.Workloads.Registry.name seeds in
           [ w.Workloads.Registry.name;
             Context.int_s (List.fold_left min max_int knees);
             Context.int_s (List.fold_left max 0 knees) ])
@@ -942,6 +934,46 @@ let () =
             Context.int_s s.Repr.Cost.cdar_bits;
             Context.int_s s.Repr.Cost.eps_bits ])
        [ "(a b c (d e) f g)"; "(a (b (c (d e) f) g))" ])
+
+let () =
+  register "traceio" "Trace store: binary vs sexp size and load time" @@ fun () ->
+  (* the largest capture (slang, ~50k primitive events) through both
+     on-disk formats: bytes, write time, and best-of-3 load time *)
+  let capture = Context.trace "slang" in
+  let events = Trace.Capture.length capture in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure format suffix =
+    let path = Filename.temp_file "smallsim-trace" suffix in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+         let (), write_s = time (fun () -> Trace.Io.save ~format path capture) in
+         let bytes = (Unix.stat path).Unix.st_size in
+         let best = ref infinity in
+         for _ = 1 to 3 do
+           let loaded, load_s = time (fun () -> Trace.Io.load path) in
+           if Trace.Capture.length loaded <> events then
+             failwith "traceio: reloaded trace has the wrong length";
+           if load_s < !best then best := load_s
+         done;
+         (bytes, write_s, !best))
+  in
+  let s_bytes, s_write, s_load = measure Trace.Io.Sexp_lines ".trace" in
+  let b_bytes, b_write, b_load = measure Trace.Io.Binary ".btrace" in
+  let row label (bytes, write_s, load_s) speedup =
+    [ label; Context.int_s bytes; Printf.sprintf "%.4f" write_s;
+      Printf.sprintf "%.4f" load_s; speedup ]
+  in
+  Util.Series.print_rows
+    ~title:(Printf.sprintf "Trace store — sexp vs binary on the %d-event slang trace" events)
+    ~header:[ "format"; "bytes"; "write s"; "load s"; "load speedup" ]
+    [ row "sexp lines" (s_bytes, s_write, s_load) "1.00x";
+      row "binary" (b_bytes, b_write, b_load)
+        (Printf.sprintf "%.2fx" (s_load /. Float.max b_load 1e-9)) ]
 
 let () =
   register "ablation.cluster" "Multi-node SMALL: placement vs interconnect traffic" @@ fun () ->

@@ -6,6 +6,8 @@
      trace     run a workload (or program) under tracing; save/summarise
      analyze   Chapter 3 analyses over a saved or built-in trace
      simulate  Chapter 5 SMALL simulation over a trace
+     serve     run the simulation-job service (smalld)
+     submit    send job requests to a running service
      workloads list the built-in benchmark workloads *)
 
 open Cmdliner
@@ -145,7 +147,15 @@ let trace_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Save the trace to this file.")
   in
-  let action workload file out =
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ] ~doc:"Save in the compact binary format (see Trace.Binary).")
+  in
+  let show_stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Also report unique list objects and the trace digest.")
+  in
+  let action workload file out binary show_stats =
     match load_trace workload file with
     | Error _ as e -> e
     | Ok capture ->
@@ -159,14 +169,23 @@ let trace_cmd =
            Printf.printf "  %-7s %6.2f%%\n" (Trace.Event.prim_name p)
              (Analysis.Prim_mix.pct mix p))
         Trace.Event.all_prims;
+      if show_stats then begin
+        let pre = Trace.Preprocess.run capture in
+        Printf.printf "unique list objects: %d\n" pre.Trace.Preprocess.distinct_lists;
+        Printf.printf "digest: %s\n" (Trace.Binary.digest capture)
+      end;
       (match out with
        | Some path ->
-         Trace.Io.save path capture;
-         Printf.printf "saved to %s\n" path
+         let format = if binary then Trace.Io.Binary else Trace.Io.Sexp_lines in
+         Trace.Io.save ~format path capture;
+         Printf.printf "saved to %s%s\n" path (if binary then " (binary)" else "")
        | None -> ());
       Ok ()
   in
-  let term = Term.(term_result (const action $ trace_source $ trace_file $ out)) in
+  let term =
+    Term.(term_result
+            (const action $ trace_source $ trace_file $ out $ binary $ show_stats))
+  in
   Cmd.v (Cmd.info "trace" ~doc:"Capture or summarise a list-primitive trace") term
 
 (* ---- analyze ---- *)
@@ -282,6 +301,98 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Trace-driven SMALL simulation (Chapter 5)") term
 
+(* ---- serve / submit ---- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path for the job service." in
+  Arg.(value & opt string "smalld.sock" & info [ "socket" ] ~doc)
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int (max 1 (Domain.recommended_domain_count () - 1))
+         & info [ "workers" ] ~doc:"Worker domains in the pool.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~doc:"Queue capacity; further submissions are rejected.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ]
+             ~doc:"Persist the result cache here (omit for memory-only).")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ] ~doc:"Serve one session on stdin/stdout instead of a socket.")
+  in
+  let action socket workers queue cache_dir stdio =
+    if workers < 1 then Error (`Msg "--workers must be at least 1")
+    else if queue < 1 then Error (`Msg "--queue must be at least 1")
+    else begin
+      let t = Server.Service.create ?cache_dir ~workers ~queue_capacity:queue () in
+      Fun.protect
+        ~finally:(fun () -> Server.Service.shutdown t)
+        (fun () ->
+           if stdio then ignore (Server.Service.serve_channels t stdin stdout)
+           else begin
+             Printf.eprintf "smalld: %d workers, queue %d, listening on %s\n%!"
+               workers queue socket;
+             Server.Service.serve_socket t ~path:socket
+           end);
+      Ok ()
+    end
+  in
+  let term =
+    Term.(term_result (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the simulation-job service (newline-delimited requests, JSON results)")
+    term
+
+let submit_cmd =
+  let request =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"REQUEST"
+             ~doc:"A job s-expression, e.g. (simulate (workload slang) (size 512)). \
+                   Omitted: requests are read from stdin, one per line.")
+  in
+  let action socket request =
+    let requests =
+      match request with
+      | Some r -> [ r ]
+      | None ->
+        let rec loop acc =
+          match input_line stdin with
+          | l -> loop (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop []
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (`Msg (Printf.sprintf "cannot connect to %s: %s (is `smallsim serve` running?)"
+                 socket (Unix.error_message e)))
+    | () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter (fun l -> output_string oc l; output_char oc '\n') requests;
+      flush oc;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (try
+         while true do
+           print_endline (input_line ic)
+         done
+       with End_of_file -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Ok ()
+  in
+  let term = Term.(term_result (const action $ socket_arg $ request)) in
+  Cmd.v (Cmd.info "submit" ~doc:"Send job requests to a running service") term
+
 (* ---- workloads ---- *)
 
 let workloads_cmd =
@@ -301,4 +412,4 @@ let () =
   let info = Cmd.info "smallsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; compile_cmd; trace_cmd; analyze_cmd; simulate_cmd;
-                      workloads_cmd ]))
+                      serve_cmd; submit_cmd; workloads_cmd ]))

@@ -21,6 +21,23 @@ let default_config =
     bind_prob = 0.01; read_prob = 0.01; seed = 1; split_counts = false;
     eager_decrement = false; cache = None }
 
+(* The fingerprint spells out every field so that adding one forces a
+   revisit here; bump the leading version when the simulation semantics
+   change under an unchanged config. *)
+let config_fingerprint c =
+  Printf.sprintf
+    "simconfig:v1 size=%d policy=%s arg=%h loc=%h bind=%h read=%h seed=%d \
+     split=%b eager=%b cache=%s"
+    c.table_size
+    (match c.policy with Lpt.Compress_one -> "one" | Lpt.Compress_all -> "all")
+    c.arg_prob c.loc_prob c.bind_prob c.read_prob c.seed c.split_counts
+    c.eager_decrement
+    (match c.cache with
+     | None -> "none"
+     | Some cc -> Printf.sprintf "%d/%d" cc.cache_lines cc.cache_line_size)
+
+let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
+
 type stats = {
   events : int;
   true_overflow : bool;       (** overflow mode was entered at least once *)

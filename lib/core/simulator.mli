@@ -39,6 +39,16 @@ type config = {
     ReadProb 0.01, Compress-One, 2048 entries, split counts off. *)
 val default_config : config
 
+(** A canonical, version-tagged textual form of every config field
+    (floats in lossless [%h] notation).  Two configs fingerprint equally
+    iff a run over the same trace is guaranteed to produce the same
+    stats. *)
+val config_fingerprint : config -> string
+
+(** MD5 hex of {!config_fingerprint} — the config half of the server's
+    content-addressed result-cache key. *)
+val config_digest : config -> string
+
 type stats = {
   events : int;              (** primitive events simulated *)
   true_overflow : bool;      (** overflow mode was entered at least once *)

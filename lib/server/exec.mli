@@ -1,0 +1,59 @@
+(** Job execution: loads and digests the trace named by a job's source,
+    runs the measurement, and converts outputs between their typed form,
+    the cacheable s-expression form, and the wire JSON.
+
+    The sexp form is the cache's value format and round-trips exactly
+    ([output_of_sexp (output_to_sexp o) = Ok o] — floats are stored in
+    lossless [%h] notation), so a cache hit reconstructs the same typed
+    result a fresh run would produce. *)
+
+type output =
+  | Stats_out of {
+      events : int;
+      primitives : int;
+      functions : int;
+      max_depth : int;
+      distinct_lists : int;                   (** unique list objects *)
+      mix : (Trace.Event.prim * int) list;    (** counts, all_prims order *)
+    }
+  | Analyze_out of {
+      separation : float;
+      distinct_lists : int;
+      mean_n : float;
+      mean_p : float;
+      sets : int;
+      stream_length : int;
+      sets_for_50 : int;
+      sets_for_80 : int;
+      sets_for_95 : int;
+      lru_hits : (int * float) list;          (** depth -> hit fraction *)
+      car_chain_pct : float;
+      cdr_chain_pct : float;
+    }
+  | Simulate_out of Core.Simulator.stats
+  | Knee_out of {
+      size : int;
+      stats : Core.Simulator.stats;
+    }
+
+(** [capture_of_source s] traces the workload (memoised by the registry)
+    or loads the file (either {!Trace.Io} format).
+    @raise Sys_error / Invalid_argument on an unreadable source. *)
+val capture_of_source : Job.source -> Trace.Capture.t
+
+(** The trace half of the result-cache key: for a workload, the MD5 of
+    its binary encoding (memoised); for a file, the MD5 of the file
+    bytes. *)
+val trace_digest : Job.source -> string
+
+(** [run ?should_stop job] executes the job in the calling domain.
+    [should_stop] is polled between pipeline stages (a simulation in
+    flight is not interrupted); when it turns true, {!Scheduler.Stop}
+    is raised. *)
+val run : ?should_stop:(unit -> bool) -> Job.t -> output
+
+val output_to_sexp : output -> Sexp.Datum.t
+val output_of_sexp : Sexp.Datum.t -> (output, string) result
+
+(** The wire rendering of a result body. *)
+val output_to_json : output -> Json.t

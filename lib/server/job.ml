@@ -1,0 +1,184 @@
+module D = Sexp.Datum
+
+type source =
+  | Workload of string
+  | Trace_file of string
+
+type spec =
+  | Stats
+  | Analyze of { separation : float }
+  | Simulate of Core.Simulator.config
+  | Knee of Core.Simulator.config
+
+type t = {
+  source : source;
+  spec : spec;
+  timeout : float option;
+}
+
+(* ---- parsing ---- *)
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let name_of = function
+  | D.Sym s -> s
+  | D.Str s -> s
+  | d -> bad "expected a name, got %s" (Sexp.to_string d)
+
+let float_of = function
+  | D.Int n -> float_of_int n
+  | D.Sym s | D.Str s ->
+    (match float_of_string_opt s with
+     | Some f -> f
+     | None -> bad "expected a number, got %s" s)
+  | d -> bad "expected a number, got %s" (Sexp.to_string d)
+
+let int_of = function
+  | D.Int n -> n
+  | d -> bad "expected an integer, got %s" (Sexp.to_string d)
+
+(* Each clause is [(key args...)]; returns (key, args). *)
+let clause = function
+  | D.Cons (D.Sym key, args) when D.is_list args -> (key, D.to_list args)
+  | d -> bad "expected a (key ...) clause, got %s" (Sexp.to_string d)
+
+let source_of_clause = function
+  | ("workload", [ n ]) -> Some (Workload (name_of n))
+  | ("trace-file", [ p ]) -> Some (Trace_file (name_of p))
+  | _ -> None
+
+let config_of_clauses clauses =
+  List.fold_left
+    (fun (cfg : Core.Simulator.config) cl ->
+       match cl with
+       | ("size", [ n ]) -> { cfg with table_size = int_of n }
+       | ("policy", [ D.Sym "one" ]) -> { cfg with policy = Core.Lpt.Compress_one }
+       | ("policy", [ D.Sym "all" ]) -> { cfg with policy = Core.Lpt.Compress_all }
+       | ("policy", [ d ]) -> bad "policy must be one|all, got %s" (Sexp.to_string d)
+       | ("seed", [ n ]) -> { cfg with seed = int_of n }
+       | ("arg-prob", [ f ]) -> { cfg with arg_prob = float_of f }
+       | ("loc-prob", [ f ]) -> { cfg with loc_prob = float_of f }
+       | ("bind-prob", [ f ]) -> { cfg with bind_prob = float_of f }
+       | ("read-prob", [ f ]) -> { cfg with read_prob = float_of f }
+       | ("split-counts", []) -> { cfg with split_counts = true }
+       | ("eager-decrement", []) -> { cfg with eager_decrement = true }
+       | ("cache", [ lines; line ]) ->
+         { cfg with
+           cache = Some { Core.Simulator.cache_lines = int_of lines;
+                          cache_line_size = int_of line } }
+       | (key, _) -> bad "unknown simulate clause (%s ...)" key)
+    Core.Simulator.default_config clauses
+
+let of_sexp d =
+  try
+    let verb, clauses =
+      match d with
+      | D.Cons (D.Sym verb, rest) when D.is_list rest -> (verb, D.to_list rest)
+      | d -> bad "a job is (verb (clause)...), got %s" (Sexp.to_string d)
+    in
+    let clauses = List.map clause clauses in
+    let source =
+      match List.filter_map source_of_clause clauses with
+      | [ s ] -> s
+      | [] -> bad "missing (workload NAME) or (trace-file PATH)"
+      | _ -> bad "more than one trace source"
+    in
+    (match source with
+     | Workload w when Workloads.Registry.find w = None ->
+       bad "unknown workload %s" w
+     | Workload _ | Trace_file _ -> ());
+    let timeout = ref None in
+    let rest =
+      List.filter
+        (fun cl ->
+           match cl with
+           | ("timeout", [ f ]) -> timeout := Some (float_of f); false
+           | cl -> source_of_clause cl = None)
+        clauses
+    in
+    let spec =
+      match verb, rest with
+      | "stats", [] -> Stats
+      | "stats", _ -> bad "stats takes no clauses beyond the source"
+      | "analyze", [] -> Analyze { separation = 0.10 }
+      | "analyze", [ ("separation", [ f ]) ] -> Analyze { separation = float_of f }
+      | "analyze", _ -> bad "analyze accepts only (separation F)"
+      | "simulate", cls -> Simulate (config_of_clauses cls)
+      | "knee", cls -> Knee (config_of_clauses cls)
+      | verb, _ -> bad "unknown job verb %s" verb
+    in
+    Ok { source; spec; timeout = !timeout }
+  with Bad msg -> Error msg
+
+let parse line =
+  match Sexp.parse line with
+  | d -> of_sexp d
+  | exception Sexp.Reader.Parse_error msg -> Error ("parse error: " ^ msg)
+
+(* ---- printing ---- *)
+
+let float_datum f =
+  (* exact if integral, else full precision; the reader gives it back to
+     [float_of] verbatim *)
+  if Float.is_integer f && Float.abs f < 1e15 then D.int (int_of_float f)
+  else D.sym (Printf.sprintf "%.17g" f)
+
+let source_to_sexp = function
+  | Workload w -> D.list [ D.sym "workload"; D.sym w ]
+  | Trace_file p -> D.list [ D.sym "trace-file"; D.str p ]
+
+let config_clauses (c : Core.Simulator.config) =
+  let d = Core.Simulator.default_config in
+  List.concat
+    [ (if c.table_size <> d.table_size then
+         [ D.list [ D.sym "size"; D.int c.table_size ] ] else []);
+      (if c.policy <> d.policy then [ D.list [ D.sym "policy"; D.sym "all" ] ] else []);
+      (if c.seed <> d.seed then [ D.list [ D.sym "seed"; D.int c.seed ] ] else []);
+      (if c.arg_prob <> d.arg_prob then
+         [ D.list [ D.sym "arg-prob"; float_datum c.arg_prob ] ] else []);
+      (if c.loc_prob <> d.loc_prob then
+         [ D.list [ D.sym "loc-prob"; float_datum c.loc_prob ] ] else []);
+      (if c.bind_prob <> d.bind_prob then
+         [ D.list [ D.sym "bind-prob"; float_datum c.bind_prob ] ] else []);
+      (if c.read_prob <> d.read_prob then
+         [ D.list [ D.sym "read-prob"; float_datum c.read_prob ] ] else []);
+      (if c.split_counts then [ D.list [ D.sym "split-counts" ] ] else []);
+      (if c.eager_decrement then [ D.list [ D.sym "eager-decrement" ] ] else []);
+      (match c.cache with
+       | None -> []
+       | Some cc ->
+         [ D.list [ D.sym "cache"; D.int cc.cache_lines; D.int cc.cache_line_size ] ]) ]
+
+let to_sexp t =
+  let verb, clauses =
+    match t.spec with
+    | Stats -> ("stats", [])
+    | Analyze { separation } ->
+      ("analyze", [ D.list [ D.sym "separation"; float_datum separation ] ])
+    | Simulate c -> ("simulate", config_clauses c)
+    | Knee c -> ("knee", config_clauses c)
+  in
+  let timeout =
+    match t.timeout with
+    | None -> []
+    | Some f -> [ D.list [ D.sym "timeout"; float_datum f ] ]
+  in
+  D.list ((D.sym verb :: source_to_sexp t.source :: clauses) @ timeout)
+
+let describe t =
+  let src = match t.source with Workload w -> w | Trace_file p -> p in
+  match t.spec with
+  | Stats -> Printf.sprintf "stats %s" src
+  | Analyze { separation } -> Printf.sprintf "analyze %s sep=%g" src separation
+  | Simulate c -> Printf.sprintf "simulate %s size=%d seed=%d" src c.table_size c.seed
+  | Knee c -> Printf.sprintf "knee %s seed=%d" src c.seed
+
+let spec_fingerprint = function
+  | Stats -> "job:v1 stats"
+  | Analyze { separation } -> Printf.sprintf "job:v1 analyze sep=%h" separation
+  | Simulate c -> "job:v1 simulate " ^ Core.Simulator.config_fingerprint c
+  | Knee c -> "job:v1 knee " ^ Core.Simulator.config_fingerprint c
+
+let digest t = Digest.to_hex (Digest.string (spec_fingerprint t.spec))

@@ -1,0 +1,51 @@
+(** Typed job descriptions for the simulation service.
+
+    A job names a trace source and a measurement over it.  The wire form
+    is one s-expression per line:
+
+    {v
+    (stats (workload plagen))
+    (analyze (workload slang) (separation 0.25))
+    (simulate (workload slang) (size 512) (seed 3) (policy all)
+              (cache 512 4) (timeout 30))
+    (knee (trace-file "/tmp/editor.trace") (seed 7))
+    v}
+
+    [simulate] and [knee] accept every {!Core.Simulator.config} knob:
+    [(size N)], [(policy one|all)], [(seed N)], [(arg-prob F)],
+    [(loc-prob F)], [(bind-prob F)], [(read-prob F)], [(split-counts)],
+    [(eager-decrement)], [(cache LINES LINE_SIZE)]; unset knobs take
+    {!Core.Simulator.default_config}.  [(timeout SECONDS)] bounds the
+    job's execution in the scheduler. *)
+
+type source =
+  | Workload of string         (** a built-in workload, traced on demand *)
+  | Trace_file of string       (** a saved trace, either Io format *)
+
+type spec =
+  | Stats                               (** trace content + primitive mix *)
+  | Analyze of { separation : float }   (** the Chapter 3 battery *)
+  | Simulate of Core.Simulator.config   (** one §5.2 simulation *)
+  | Knee of Core.Simulator.config       (** [Simulator.min_table_size] *)
+
+type t = {
+  source : source;
+  spec : spec;
+  timeout : float option;      (** seconds; [None] = no limit *)
+}
+
+val of_sexp : Sexp.Datum.t -> (t, string) result
+
+(** [parse line] reads the wire form. *)
+val parse : string -> (t, string) result
+
+val to_sexp : t -> Sexp.Datum.t
+
+(** One-line human label, e.g. ["simulate slang size=512 seed=3"]. *)
+val describe : t -> string
+
+(** A canonical digest of the measurement alone (source and timeout
+    excluded): the job half of the result-cache key.  Cache keys combine
+    it with the trace digest, so two sources with identical content
+    share cached results. *)
+val digest : t -> string

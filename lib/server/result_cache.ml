@@ -1,0 +1,89 @@
+type t = {
+  dir : string option;
+  lock : Mutex.t;
+  mem : (string, string) Hashtbl.t;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+}
+
+let create ?dir () =
+  { dir; lock = Mutex.create (); mem = Hashtbl.create 64; hits = 0;
+    disk_hits = 0; misses = 0; stores = 0 }
+
+let key ~trace_digest ~job_digest =
+  Digest.to_hex (Digest.string (trace_digest ^ "+" ^ job_digest))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Two-level layout keeps any one directory small under big sweeps. *)
+let path_of t key =
+  Option.map
+    (fun dir -> Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".result"))
+    t.dir
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    Some
+      (Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+           really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file_atomic path contents =
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  let tmp = Filename.temp_file ~temp_dir:dir "result" ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc contents);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.mem key with
+      | Some v -> t.hits <- t.hits + 1; Some v
+      | None ->
+        match Option.bind (path_of t key) read_file with
+        | Some v ->
+          Hashtbl.replace t.mem key v;
+          t.hits <- t.hits + 1;
+          t.disk_hits <- t.disk_hits + 1;
+          Some v
+        | None -> t.misses <- t.misses + 1; None)
+
+let store t key value =
+  locked t (fun () ->
+      Hashtbl.replace t.mem key value;
+      t.stores <- t.stores + 1;
+      match path_of t key with
+      | Some path -> write_file_atomic path value
+      | None -> ())
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
+        stores = t.stores })
+
+let dir t = t.dir

@@ -1,0 +1,33 @@
+(** Content-addressed result store.
+
+    Keys are MD5 hex digests of [(trace digest, job digest)]; values are
+    the serialised job outputs (one s-expression line).  An in-memory
+    table fronts an optional on-disk store (one file per key,
+    [<dir>/<k0k1>/<key>.result], written atomically), so results survive
+    across processes and repeated sweeps hit the cache instead of
+    re-simulating.  All operations are thread-safe. *)
+
+type t
+
+(** [create ?dir ()] — with [dir] the store persists there (the
+    directory is created on demand); without, it is memory-only. *)
+val create : ?dir:string -> unit -> t
+
+val key : trace_digest:string -> job_digest:string -> string
+
+(** [find t key] — [None] counts a miss; hits record whether they came
+    from memory or disk. *)
+val find : t -> string -> string option
+
+val store : t -> string -> string -> unit
+
+type stats = {
+  hits : int;                  (** memory + disk *)
+  disk_hits : int;             (** subset of [hits] loaded from disk *)
+  misses : int;
+  stores : int;
+}
+
+val stats : t -> stats
+
+val dir : t -> string option

@@ -1,0 +1,168 @@
+type 'a outcome =
+  | Done of 'a
+  | Failed of string
+  | Cancelled
+  | Timed_out
+
+exception Stop
+
+type 'a state =
+  | Pending
+  | Running
+  | Finished of 'a outcome
+
+type 'a ticket = {
+  job : should_stop:(unit -> bool) -> 'a;
+  timeout : float option;
+  mutable state : 'a state;
+  mutable stop_requested : bool;
+}
+
+type 'a t = {
+  lock : Mutex.t;
+  work_available : Condition.t;   (* queue gained an item, or shutdown *)
+  job_finished : Condition.t;     (* some ticket reached Finished *)
+  queue : 'a ticket Queue.t;
+  capacity : int;
+  mutable shutting_down : bool;
+  mutable running : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable cancelled_jobs : int;
+  mutable timed_out_jobs : int;
+  mutable workers : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let finalize_locked t tk outcome =
+  tk.state <- Finished outcome;
+  t.completed <- t.completed + 1;
+  (match outcome with
+   | Cancelled -> t.cancelled_jobs <- t.cancelled_jobs + 1
+   | Timed_out -> t.timed_out_jobs <- t.timed_out_jobs + 1
+   | Done _ | Failed _ -> ());
+  Condition.broadcast t.job_finished
+
+let run_job t tk =
+  let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> started +. s) tk.timeout in
+  let past_deadline () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let should_stop () = tk.stop_requested || past_deadline () in
+  let outcome =
+    match tk.job ~should_stop with
+    | v ->
+      if tk.stop_requested then Cancelled
+      else if past_deadline () then Timed_out
+      else Done v
+    | exception Stop -> if tk.stop_requested then Cancelled else Timed_out
+    | exception e -> Failed (Printexc.to_string e)
+  in
+  locked t (fun () ->
+      t.running <- t.running - 1;
+      finalize_locked t tk outcome)
+
+let rec worker_loop t =
+  let job =
+    locked t (fun () ->
+        while Queue.is_empty t.queue && not t.shutting_down do
+          Condition.wait t.work_available t.lock
+        done;
+        match Queue.take_opt t.queue with
+        | None -> None                       (* shutting down, queue drained *)
+        | Some tk ->
+          (match tk.state with
+           | Finished _ -> Some None         (* cancelled while queued: skip *)
+           | Pending | Running ->
+             tk.state <- Running;
+             t.running <- t.running + 1;
+             Some (Some tk)))
+  in
+  match job with
+  | None -> ()
+  | Some None -> worker_loop t
+  | Some (Some tk) ->
+    run_job t tk;
+    worker_loop t
+
+let create ~workers ~capacity () =
+  if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
+  let t =
+    { lock = Mutex.create (); work_available = Condition.create ();
+      job_finished = Condition.create (); queue = Queue.create (); capacity;
+      shutting_down = false; running = 0; completed = 0; rejected = 0;
+      cancelled_jobs = 0; timed_out_jobs = 0; workers = [] }
+  in
+  t.workers <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t ?timeout job =
+  locked t (fun () ->
+      if t.shutting_down then Error `Shutdown
+      else if Queue.length t.queue >= t.capacity then begin
+        t.rejected <- t.rejected + 1;
+        Error `Queue_full
+      end
+      else begin
+        let tk = { job; timeout; state = Pending; stop_requested = false } in
+        Queue.push tk t.queue;
+        Condition.signal t.work_available;
+        Ok tk
+      end)
+
+let await t tk =
+  locked t (fun () ->
+      let rec wait () =
+        match tk.state with
+        | Finished outcome -> outcome
+        | Pending | Running -> Condition.wait t.job_finished t.lock; wait ()
+      in
+      wait ())
+
+let cancel t tk =
+  locked t (fun () ->
+      match tk.state with
+      | Pending ->
+        tk.stop_requested <- true;
+        (* finalise now; the worker skips Finished tickets at the pop *)
+        finalize_locked t tk Cancelled;
+        true
+      | Running -> tk.stop_requested <- true; false
+      | Finished _ -> false)
+
+type stats = {
+  queued : int;
+  running : int;
+  completed : int;
+  rejected : int;
+  cancelled : int;
+  timed_out : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      (* queued counts only live tickets, not cancelled husks *)
+      let live =
+        Queue.fold
+          (fun n (tk : _ ticket) ->
+             match tk.state with Pending -> n + 1 | Running | Finished _ -> n)
+          0 t.queue
+      in
+      { queued = live; running = t.running; completed = t.completed;
+        rejected = t.rejected; cancelled = t.cancelled_jobs;
+        timed_out = t.timed_out_jobs })
+
+let shutdown t =
+  let already =
+    locked t (fun () ->
+        let a = t.shutting_down in
+        t.shutting_down <- true;
+        Condition.broadcast t.work_available;
+        a)
+  in
+  if not already then List.iter Domain.join t.workers

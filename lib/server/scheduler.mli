@@ -1,0 +1,59 @@
+(** A FIFO job scheduler: a bounded submission queue (backpressure by
+    rejection when full) drained by a pool of worker domains, with
+    per-job timeouts and cancellation.
+
+    Jobs are closures [fun ~should_stop -> ...].  Cancellation and
+    timeouts are cooperative while a job runs: [should_stop ()] turns
+    true once the job is cancelled or past its deadline, and a polling
+    job may raise {!Stop} to abort early; a job that never polls is
+    still classified [Timed_out]/[Cancelled] at completion, its result
+    discarded.  Jobs still in the queue cancel immediately.
+
+    All operations are thread-safe; [await] may be called from any
+    domain, any number of times. *)
+
+type 'a t
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string           (** the job raised; carries the exception text *)
+  | Cancelled
+  | Timed_out
+
+type 'a ticket
+
+(** Raised (optionally) by a job that observes [should_stop () = true]. *)
+exception Stop
+
+(** [create ~workers ~capacity ()] spawns [workers] domains (at least 1)
+    over a queue holding at most [capacity] pending jobs. *)
+val create : workers:int -> capacity:int -> unit -> 'a t
+
+(** [submit t ?timeout job] enqueues; [Error `Queue_full] applies
+    backpressure, [Error `Shutdown] after {!shutdown}. *)
+val submit :
+  'a t -> ?timeout:float -> (should_stop:(unit -> bool) -> 'a) ->
+  ('a ticket, [ `Queue_full | `Shutdown ]) result
+
+(** Blocks until the ticket's job finishes (or is cancelled). *)
+val await : 'a t -> 'a ticket -> 'a outcome
+
+(** [cancel t ticket] — [true] if the job was still queued and is now
+    finalised as [Cancelled]; for a running job the cooperative flag is
+    raised and the eventual outcome reports the cancellation. *)
+val cancel : 'a t -> 'a ticket -> bool
+
+type stats = {
+  queued : int;                (** pending in the queue now *)
+  running : int;
+  completed : int;             (** includes failed/cancelled/timed out *)
+  rejected : int;              (** submissions refused with [`Queue_full] *)
+  cancelled : int;
+  timed_out : int;
+}
+
+val stats : 'a t -> stats
+
+(** Drains the queue (remaining jobs still run), then joins the worker
+    domains.  Subsequent submissions are rejected. *)
+val shutdown : 'a t -> unit

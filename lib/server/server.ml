@@ -1,0 +1,12 @@
+(** smalld — the simulation-job service: typed job descriptions over the
+    workload/trace/analysis/simulator stack, a bounded-FIFO scheduler on
+    a pool of worker domains, a content-addressed result cache keyed by
+    (trace digest, config digest), and the newline-delimited JSON wire
+    protocol behind [smallsim serve]/[submit]. *)
+
+module Json = Json
+module Job = Job
+module Scheduler = Scheduler
+module Result_cache = Result_cache
+module Exec = Exec
+module Service = Service

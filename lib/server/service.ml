@@ -1,0 +1,202 @@
+type failure =
+  | Exec_failed of string
+  | Timed_out
+  | Cancelled
+  | Source_error of string
+
+type response = {
+  job : Job.t;
+  cached : bool;
+  elapsed : float;
+  outcome : (Exec.output, failure) result;
+}
+
+type t = {
+  scheduler : Exec.output Scheduler.t;
+  result_cache : Result_cache.t;
+  lock : Mutex.t;
+  mutable jobs_executed : int;      (* cache misses actually run *)
+}
+
+let create ?cache_dir ~workers ~queue_capacity () =
+  { scheduler = Scheduler.create ~workers ~capacity:queue_capacity ();
+    result_cache = Result_cache.create ?dir:cache_dir ();
+    lock = Mutex.create (); jobs_executed = 0 }
+
+let cache t = t.result_cache
+let scheduler_stats t = Scheduler.stats t.scheduler
+let shutdown t = Scheduler.shutdown t.scheduler
+
+(* ---- the cache-aware submit path ---- *)
+
+let submit t (job : Job.t) =
+  let now () = Unix.gettimeofday () in
+  let started = now () in
+  match
+    let trace_digest = Exec.trace_digest job.source in
+    Result_cache.key ~trace_digest ~job_digest:(Job.digest job)
+  with
+  | exception e ->
+    (* an unreadable source fails without occupying the queue *)
+    let failure = Source_error (Printexc.to_string e) in
+    Ok (fun () -> { job; cached = false; elapsed = 0.; outcome = Error failure })
+  | key ->
+    match Result_cache.find t.result_cache key with
+    | Some stored ->
+      let outcome =
+        match Exec.output_of_sexp (Sexp.parse stored) with
+        | Ok out -> Ok out
+        | Error msg -> Error (Exec_failed ("corrupt cache entry: " ^ msg))
+        | exception Sexp.Reader.Parse_error msg ->
+          Error (Exec_failed ("corrupt cache entry: " ^ msg))
+      in
+      Ok (fun () -> { job; cached = true; elapsed = now () -. started; outcome })
+    | None ->
+      let run ~should_stop = Exec.run ~should_stop job in
+      (match Scheduler.submit t.scheduler ?timeout:job.timeout run with
+       | Error _ as e -> e
+       | Ok ticket ->
+         Ok
+           (fun () ->
+              let outcome =
+                match Scheduler.await t.scheduler ticket with
+                | Scheduler.Done out ->
+                  Mutex.lock t.lock;
+                  t.jobs_executed <- t.jobs_executed + 1;
+                  Mutex.unlock t.lock;
+                  Result_cache.store t.result_cache key
+                    (Sexp.to_string (Exec.output_to_sexp out));
+                  Ok out
+                | Scheduler.Failed msg -> Error (Exec_failed msg)
+                | Scheduler.Timed_out -> Error Timed_out
+                | Scheduler.Cancelled -> Error Cancelled
+              in
+              { job; cached = false; elapsed = now () -. started; outcome }))
+
+let run_job t job =
+  match submit t job with
+  | Ok join -> Ok (join ())
+  | Error _ as e -> e
+
+(* ---- wire rendering ---- *)
+
+let response_json r =
+  let base status rest =
+    Json.Obj
+      (("status", Json.Str status)
+       :: ("job", Json.Str (Job.describe r.job))
+       :: ("cached", Json.Bool r.cached)
+       :: ("elapsed", Json.Float r.elapsed)
+       :: rest)
+  in
+  match r.outcome with
+  | Ok out -> base "ok" [ ("result", Exec.output_to_json out) ]
+  | Error (Exec_failed msg) -> base "error" [ ("error", Json.Str msg) ]
+  | Error (Source_error msg) -> base "error" [ ("error", Json.Str msg) ]
+  | Error Timed_out -> base "timeout" []
+  | Error Cancelled -> base "cancelled" []
+
+let error_line msg =
+  Json.to_string (Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
+
+let rejected_line (job : Job.t) =
+  Json.to_string
+    (Json.Obj
+       [ ("status", Json.Str "rejected");
+         ("job", Json.Str (Job.describe job));
+         ("error", Json.Str "queue full") ])
+
+let stats_json t =
+  let c = Result_cache.stats t.result_cache in
+  let s = Scheduler.stats t.scheduler in
+  Mutex.lock t.lock;
+  let executed = t.jobs_executed in
+  Mutex.unlock t.lock;
+  Json.Obj
+    [ ("status", Json.Str "ok");
+      ("jobs_executed", Json.Int executed);
+      ("cache",
+       Json.Obj
+         [ ("hits", Json.Int c.Result_cache.hits);
+           ("disk_hits", Json.Int c.Result_cache.disk_hits);
+           ("misses", Json.Int c.Result_cache.misses);
+           ("stores", Json.Int c.Result_cache.stores) ]);
+      ("scheduler",
+       Json.Obj
+         [ ("queued", Json.Int s.Scheduler.queued);
+           ("running", Json.Int s.Scheduler.running);
+           ("completed", Json.Int s.Scheduler.completed);
+           ("rejected", Json.Int s.Scheduler.rejected);
+           ("cancelled", Json.Int s.Scheduler.cancelled);
+           ("timed_out", Json.Int s.Scheduler.timed_out) ]) ]
+
+let respond t job =
+  match run_job t job with
+  | Ok r -> Json.to_string (response_json r)
+  | Error (`Queue_full | `Shutdown) -> rejected_line job
+
+let handle_batch t datums =
+  (* submit everything before awaiting anything: the pool runs the batch
+     concurrently while responses keep request order *)
+  let joins =
+    List.map
+      (fun d ->
+         match Job.of_sexp d with
+         | Error msg -> fun () -> error_line msg
+         | Ok job ->
+           (match submit t job with
+            | Ok join -> fun () -> Json.to_string (response_json (join ()))
+            | Error (`Queue_full | `Shutdown) -> fun () -> rejected_line job))
+      datums
+  in
+  List.map (fun join -> join ()) joins
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then []
+  else
+    match Sexp.parse line with
+    | exception Sexp.Reader.Parse_error msg -> [ error_line ("parse error: " ^ msg) ]
+    | Sexp.Datum.Cons (Sym "stats", Nil) -> [ Json.to_string (stats_json t) ]
+    | Sexp.Datum.Cons (Sym "batch", rest) when Sexp.Datum.is_list rest ->
+      handle_batch t (Sexp.Datum.to_list rest)
+    | d ->
+      (match Job.of_sexp d with
+       | Ok job -> [ respond t job ]
+       | Error msg -> [ error_line msg ])
+
+let serve_channels t ic oc =
+  let quit = ref false in
+  (try
+     while not !quit do
+       let line = input_line ic in
+       if String.trim line = "(quit)" then quit := true
+       else
+         List.iter
+           (fun resp -> output_string oc resp; output_char oc '\n'; flush oc)
+           (handle_line t line)
+     done
+   with End_of_file -> ());
+  !quit
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 16;
+       let quit = ref false in
+       while not !quit do
+         let fd, _ = Unix.accept sock in
+         let ic = Unix.in_channel_of_descr fd in
+         let oc = Unix.out_channel_of_descr fd in
+         (match serve_channels t ic oc with
+          | q -> quit := q
+          | exception Sys_error _ -> ());
+         (try flush oc with Sys_error _ -> ());
+         try Unix.close fd with Unix.Unix_error _ -> ()
+       done)

@@ -1,0 +1,66 @@
+(** The simulation-job service: requests are parsed into {!Job.t}s, keyed
+    by (trace digest, job digest) against the {!Result_cache}, and on a
+    miss executed FIFO by the {!Scheduler}'s worker pool; results are
+    stored back and streamed as one JSON object per line.
+
+    Wire protocol (newline-delimited, over stdin/stdout or a Unix
+    socket):
+    - a job s-expression (see {!Job}) — answered with one result line;
+    - [(batch JOB JOB ...)] — all jobs are submitted concurrently,
+      answered with one result line each, in request order;
+    - [(stats)] — service counters (cache hits/misses, scheduler state);
+    - [(quit)] — ends the session (and a socket server's accept loop).
+
+    Result lines:
+    {v
+    {"status":"ok","job":"simulate slang ...","cached":false,
+     "elapsed":1.23,"result":{...}}
+    {"status":"error"|"timeout"|"cancelled"|"rejected",...}
+    v} *)
+
+type t
+
+type failure =
+  | Exec_failed of string     (** the job raised *)
+  | Timed_out
+  | Cancelled
+  | Source_error of string    (** the trace source could not be read *)
+
+type response = {
+  job : Job.t;
+  cached : bool;
+  elapsed : float;            (** seconds; ~0 on a cache hit *)
+  outcome : (Exec.output, failure) result;
+}
+
+(** [create ?cache_dir ~workers ~queue_capacity ()] — omit [cache_dir]
+    for a memory-only cache. *)
+val create : ?cache_dir:string -> workers:int -> queue_capacity:int -> unit -> t
+
+(** Cache lookup, then submit-and-await.  [Error `Queue_full] is the
+    scheduler's backpressure surfacing to the caller. *)
+val run_job : t -> Job.t -> (response, [ `Queue_full | `Shutdown ]) result
+
+(** Async form: returns a join.  The cache hit (or source error) is
+    resolved immediately; a miss resolves when the pool finishes. *)
+val submit : t -> Job.t -> (unit -> response, [ `Queue_full | `Shutdown ]) result
+
+(** [handle_line t line] — one request line to response lines (a batch
+    yields several).  Never raises: malformed input becomes an error
+    line. *)
+val handle_line : t -> string -> string list
+
+(** Serves until EOF or [(quit)]; returns [true] iff [(quit)] was seen.
+    Responses are flushed per line. *)
+val serve_channels : t -> in_channel -> out_channel -> bool
+
+(** Binds a Unix domain socket at [path] (replacing a stale file) and
+    serves connections sequentially until a client sends [(quit)]. *)
+val serve_socket : t -> path:string -> unit
+
+val cache : t -> Result_cache.t
+val scheduler_stats : t -> Scheduler.stats
+val stats_json : t -> Json.t
+
+(** Drains and joins the worker pool. *)
+val shutdown : t -> unit

@@ -1,0 +1,318 @@
+let magic = "SMTB\x01\n"
+
+(* ---- encoding primitives ----
+
+   All integers are unsigned LEB128 varints; signed values are
+   zigzag-folded first.  Strings are interned: a reference is either
+   [0] (a new string follows inline: varint length + bytes, taking the
+   next table index) or [1 + index] of an already-seen string. *)
+
+let put_varint buf n =
+  (* the int is treated as unsigned: lsr clears the sign bit, so a
+     top-bit-set value (zigzagged min_int/max_int) terminates too *)
+  let n = ref n in
+  while !n < 0 || !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag u = (u lsr 1) lxor (- (u land 1))
+
+type intern = {
+  ids : (string, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let intern_create () = { ids = Hashtbl.create 64; next = 0 }
+
+let put_string_ref t buf s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> put_varint buf (1 + id)
+  | None ->
+    Hashtbl.replace t.ids s t.next;
+    t.next <- t.next + 1;
+    put_varint buf 0;
+    put_varint buf (String.length s);
+    Buffer.add_string buf s
+
+(* Datum tags: 0 nil, 1 sym (ref follows), 2 int, 3 str, 5 proper list
+   (varint length + that many cars), 6 improper spine (varint length +
+   cars + an explicit non-nil tail).  Tag bytes >= [small_sym_base]
+   carry an already-interned symbol's index inline, so the hot symbols
+   of a trace cost one byte.  Spines are length-prefixed rather than
+   cons-tagged per cell: a k-element list costs k car encodings plus a
+   2-3 byte header, and decoding it needs no cdr recursion. *)
+let small_sym_base = 8
+let small_sym_max = 255 - small_sym_base
+
+let put_sym t buf s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id when id <= small_sym_max -> Buffer.add_char buf (Char.chr (small_sym_base + id))
+  | _ -> Buffer.add_char buf '\x01'; put_string_ref t buf s
+
+let rec spine_length acc (d : Sexp.Datum.t) =
+  match d with
+  | Cons (_, rest) -> spine_length (acc + 1) rest
+  | tail -> (acc, tail)
+
+let rec put_datum t buf (d : Sexp.Datum.t) =
+  match d with
+  | Nil -> Buffer.add_char buf '\x00'
+  | Sym s -> put_sym t buf s
+  | Int n -> Buffer.add_char buf '\x02'; put_varint buf (zigzag n)
+  | Str s -> Buffer.add_char buf '\x03'; put_string_ref t buf s
+  | Cons _ ->
+    let count, tail = spine_length 0 d in
+    (match tail with
+     | Nil -> Buffer.add_char buf '\x05'
+     | _ -> Buffer.add_char buf '\x06');
+    put_varint buf count;
+    let rec cars (d : Sexp.Datum.t) =
+      match d with
+      | Cons (a, rest) -> put_datum t buf a; cars rest
+      | _ -> ()
+    in
+    cars d;
+    (match tail with Nil -> () | tail -> put_datum t buf tail)
+
+let prim_tag = function
+  | Event.Car -> 2
+  | Event.Cdr -> 3
+  | Event.Cons -> 4
+  | Event.Rplaca -> 5
+  | Event.Rplacd -> 6
+
+let prim_of_tag = function
+  | 2 -> Event.Car
+  | 3 -> Event.Cdr
+  | 4 -> Event.Cons
+  | 5 -> Event.Rplaca
+  | 6 -> Event.Rplacd
+  | t -> invalid_arg (Printf.sprintf "Trace.Binary: bad primitive tag %d" t)
+
+(* Event tags: 0 call, 1 return, 2-6 the primitives. *)
+let put_event t buf (e : Event.t) =
+  match e with
+  | Call { name; nargs } ->
+    Buffer.add_char buf '\x00';
+    put_string_ref t buf name;
+    put_varint buf nargs
+  | Return { name } ->
+    Buffer.add_char buf '\x01';
+    put_string_ref t buf name
+  | Prim { prim; args; result } ->
+    Buffer.add_char buf (Char.chr (prim_tag prim));
+    put_varint buf (List.length args);
+    List.iter (put_datum t buf) args;
+    put_datum t buf result
+
+(* ---- streaming writer ---- *)
+
+type sink = {
+  put : string -> unit;
+}
+
+type writer = {
+  sink : sink;
+  chunk_events : int;
+  chunk : Buffer.t;      (* payload of the chunk being built *)
+  frame : Buffer.t;      (* scratch for the chunk header *)
+  intern : intern;
+  mutable pending : int;
+  mutable closed : bool;
+}
+
+let writer_of_sink ?(chunk_events = 4096) sink =
+  if chunk_events < 1 then invalid_arg "Trace.Binary.writer: chunk_events < 1";
+  sink.put magic;
+  { sink; chunk_events; chunk = Buffer.create 65536; frame = Buffer.create 16;
+    intern = intern_create (); pending = 0; closed = false }
+
+let flush_chunk w =
+  if w.pending > 0 then begin
+    Buffer.clear w.frame;
+    put_varint w.frame w.pending;
+    put_varint w.frame (Buffer.length w.chunk);
+    w.sink.put (Buffer.contents w.frame);
+    w.sink.put (Buffer.contents w.chunk);
+    Buffer.clear w.chunk;
+    w.pending <- 0
+  end
+
+let write_event w e =
+  if w.closed then invalid_arg "Trace.Binary.write_event: writer closed";
+  put_event w.intern w.chunk e;
+  w.pending <- w.pending + 1;
+  if w.pending >= w.chunk_events then flush_chunk w
+
+let close_writer w =
+  if not w.closed then begin
+    flush_chunk w;
+    w.sink.put "\x00";          (* event_count = 0: end of stream *)
+    w.closed <- true
+  end
+
+let writer ?chunk_events oc =
+  writer_of_sink ?chunk_events { put = (fun s -> output_string oc s) }
+
+(* ---- streaming reader ---- *)
+
+(* A chunk is decoded out of one [Bytes.t] payload; the intern table
+   persists across chunks as a growable array mirroring the writer's. *)
+type table = {
+  mutable strs : string array;
+  mutable len : int;
+}
+
+let table_add tbl s =
+  if tbl.len = Array.length tbl.strs then begin
+    let grown = Array.make (max 64 (2 * tbl.len)) "" in
+    Array.blit tbl.strs 0 grown 0 tbl.len;
+    tbl.strs <- grown
+  end;
+  tbl.strs.(tbl.len) <- s;
+  tbl.len <- tbl.len + 1;
+  s
+
+let corrupt what = invalid_arg ("Trace.Binary: corrupt stream (" ^ what ^ ")")
+
+let get_varint b pos =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= Bytes.length b then corrupt "varint past chunk end";
+    if !shift > Sys.int_size - 1 then corrupt "varint too long";
+    let c = Char.code (Bytes.get b !pos) in
+    incr pos;
+    n := !n lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := c land 0x80 <> 0
+  done;
+  !n
+
+let get_string_ref tbl b pos =
+  let r = get_varint b pos in
+  if r = 0 then begin
+    let len = get_varint b pos in
+    if !pos + len > Bytes.length b then corrupt "string past chunk end";
+    let s = Bytes.sub_string b !pos len in
+    pos := !pos + len;
+    table_add tbl s
+  end
+  else if r - 1 < tbl.len then tbl.strs.(r - 1)
+  else corrupt "string reference out of range"
+
+let rec get_datum tbl b pos : Sexp.Datum.t =
+  if !pos >= Bytes.length b then corrupt "datum past chunk end";
+  let tag = Char.code (Bytes.get b !pos) in
+  incr pos;
+  match tag with
+  | 0 -> Nil
+  | 1 -> Sym (get_string_ref tbl b pos)
+  | 2 -> Int (unzigzag (get_varint b pos))
+  | 3 -> Str (get_string_ref tbl b pos)
+  | 5 | 6 ->
+    let count = get_varint b pos in
+    (* every car costs at least one byte, so a sane count fits the chunk *)
+    if count > Bytes.length b - !pos then corrupt "list longer than chunk";
+    let cars = Array.make count Sexp.Datum.Nil in
+    for i = 0 to count - 1 do
+      cars.(i) <- get_datum tbl b pos
+    done;
+    let tail : Sexp.Datum.t = if tag = 5 then Nil else get_datum tbl b pos in
+    Array.fold_right (fun a d -> Sexp.Datum.Cons (a, d)) cars tail
+  | t when t >= small_sym_base ->
+    let id = t - small_sym_base in
+    if id < tbl.len then Sym tbl.strs.(id) else corrupt "symbol index out of range"
+  | t -> corrupt (Printf.sprintf "datum tag %d" t)
+
+let get_event tbl b pos : Event.t =
+  if !pos >= Bytes.length b then corrupt "event past chunk end";
+  let tag = Char.code (Bytes.get b !pos) in
+  incr pos;
+  match tag with
+  | 0 ->
+    let name = get_string_ref tbl b pos in
+    let nargs = get_varint b pos in
+    Call { name; nargs }
+  | 1 -> Return { name = get_string_ref tbl b pos }
+  | 2 | 3 | 4 | 5 | 6 ->
+    let prim = prim_of_tag tag in
+    let nargs = get_varint b pos in
+    let args = List.init nargs (fun _ -> get_datum tbl b pos) in
+    let result = get_datum tbl b pos in
+    Prim { prim; args; result }
+  | t -> corrupt (Printf.sprintf "event tag %d" t)
+
+let read_channel_varint ic =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  (try
+     while !continue do
+       if !shift > Sys.int_size - 1 then corrupt "varint too long";
+       let c = input_byte ic in
+       n := !n lor ((c land 0x7f) lsl !shift);
+       shift := !shift + 7;
+       continue := c land 0x80 <> 0
+     done
+   with End_of_file -> corrupt "truncated chunk header");
+  !n
+
+let iter_channel ic f =
+  (match really_input_string ic (String.length magic) with
+   | m when m = magic -> ()
+   | _ -> corrupt "bad magic"
+   | exception End_of_file -> corrupt "bad magic");
+  let tbl = { strs = Array.make 64 ""; len = 0 } in
+  let finished = ref false in
+  while not !finished do
+    let count = read_channel_varint ic in
+    if count = 0 then finished := true
+    else begin
+      let len = read_channel_varint ic in
+      let payload = Bytes.create len in
+      (try really_input ic payload 0 len
+       with End_of_file -> corrupt "truncated chunk payload");
+      let pos = ref 0 in
+      for _ = 1 to count do
+        f (get_event tbl payload pos)
+      done;
+      if !pos <> len then corrupt "chunk length mismatch"
+    end
+  done
+
+(* ---- whole-capture convenience ---- *)
+
+let write_channel oc capture =
+  let w = writer oc in
+  Array.iter (write_event w) (Capture.events capture);
+  close_writer w
+
+let read_channel ic =
+  let capture = Capture.create () in
+  iter_channel ic (Capture.record capture);
+  capture
+
+let to_string capture =
+  let buf = Buffer.create 65536 in
+  let w = writer_of_sink { put = Buffer.add_string buf } in
+  Array.iter (write_event w) (Capture.events capture);
+  close_writer w;
+  Buffer.contents buf
+
+let digest capture = Digest.to_hex (Digest.string (to_string capture))
+
+let save path capture =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "trace" ".smtb.tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc capture);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

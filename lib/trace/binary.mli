@@ -1,0 +1,57 @@
+(** Compact binary trace format ("SMTB"): length-prefixed chunks of
+    varint-coded events with incrementally interned symbol/function
+    names, so large traces serialise to a fraction of the s-expression
+    form and load without parsing text.
+
+    Framing:
+    - the magic {!magic} ("SMTB\x01\n");
+    - a sequence of chunks, each [varint event_count, varint byte_length,
+      payload]; a chunk with [event_count = 0] terminates the stream.
+
+    Within a chunk, events are tag bytes followed by varint fields; all
+    integers use LEB128 (signed values zigzag-coded), and every symbol,
+    function name and string is written once and referenced by table
+    index afterwards (the intern table persists across chunks).  The
+    reader processes one chunk's payload at a time, so memory tracks the
+    chunk size, not the file size. *)
+
+(** The 6-byte magic prefix identifying a binary trace. *)
+val magic : string
+
+(** {1 Streaming writer} *)
+
+type writer
+
+(** [writer oc] starts a binary stream on [oc] (writes the header).
+    [chunk_events] bounds how many events are buffered before a chunk is
+    flushed (default 4096). *)
+val writer : ?chunk_events:int -> out_channel -> writer
+
+val write_event : writer -> Event.t -> unit
+
+(** Flushes the final partial chunk and the end-of-stream marker.  The
+    channel itself is left open for the caller to close. *)
+val close_writer : writer -> unit
+
+(** {1 Streaming reader} *)
+
+(** [iter_channel ic f] decodes events chunk by chunk, calling [f] on
+    each.  @raise Invalid_argument on a corrupt or truncated stream. *)
+val iter_channel : in_channel -> (Event.t -> unit) -> unit
+
+(** {1 Whole-capture convenience} *)
+
+val write_channel : out_channel -> Capture.t -> unit
+val read_channel : in_channel -> Capture.t
+
+(** Atomic: encodes to a temp file in the target directory, then renames. *)
+val save : string -> Capture.t -> unit
+
+val load : string -> Capture.t
+
+(** [to_string capture] is the full encoded stream in memory. *)
+val to_string : Capture.t -> string
+
+(** [digest capture] is the MD5 hex digest of the binary encoding — the
+    content address of a trace, used to key the server's result cache. *)
+val digest : Capture.t -> string

@@ -17,6 +17,8 @@ let event_of_datum (d : D.t) : Event.t =
   | Cons (Sym "r", Cons (Sym name, Nil)) -> Return { name }
   | _ -> invalid_arg "Trace.Io: malformed event"
 
+type format = Sexp_lines | Binary
+
 let write_channel oc capture =
   Array.iter
     (fun e ->
@@ -35,10 +37,39 @@ let read_channel ic =
    with End_of_file -> ());
   capture
 
-let save path capture =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc capture)
+(* Saves are atomic: encode to a temp file in the target directory, then
+   rename over the destination, so a killed run can never leave a
+   truncated trace behind. *)
+let save ?(format = Sexp_lines) path capture =
+  match format with
+  | Binary -> Binary.save path capture
+  | Sexp_lines ->
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir "trace" ".tmp" in
+    (try
+       let oc = open_out tmp in
+       Fun.protect ~finally:(fun () -> close_out oc)
+         (fun () -> write_channel oc capture);
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
+(* [load] serves either format: a binary trace announces itself with the
+   SMTB magic, anything else is read as datum lines. *)
 let load path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let probe = Bytes.create (String.length Binary.magic) in
+  let rec fill off =
+    if off >= Bytes.length probe then off
+    else
+      match input ic probe off (Bytes.length probe - off) with
+      | 0 -> off
+      | k -> fill (off + k)
+  in
+  let got = fill 0 in
+  seek_in ic 0;
+  if got = Bytes.length probe && Bytes.to_string probe = Binary.magic then
+    Binary.read_channel ic
+  else read_channel ic

@@ -1,17 +1,31 @@
-(** Trace serialisation: one datum per line, round-trippable.
+(** Trace serialisation.
 
-    Events are written as s-expressions:
-    - [(p <prim> (<args>...) <result>)]
-    - [(c <name> <nargs>)]
-    - [(r <name>)] *)
+    Two formats share one [load] entry point:
+    - {!Sexp_lines} — one datum per line, human-greppable:
+      [(p <prim> (<args>...) <result>)], [(c <name> <nargs>)],
+      [(r <name>)];
+    - {!Binary} — the compact chunked {!Binary} format, detected on
+      load by its magic prefix.
+
+    [save] is atomic in both formats: the encoding goes to a temp file
+    in the destination directory which is then renamed into place, so a
+    killed run cannot leave a truncated trace behind. *)
 
 val event_to_datum : Event.t -> Sexp.Datum.t
 
 (** @raise Invalid_argument on a malformed event datum. *)
 val event_of_datum : Sexp.Datum.t -> Event.t
 
+type format = Sexp_lines | Binary
+
+(** s-expression lines only; [Binary.write_channel] handles the other
+    format. *)
 val write_channel : out_channel -> Capture.t -> unit
+
 val read_channel : in_channel -> Capture.t
 
-val save : string -> Capture.t -> unit
+(** [save ?format path capture] writes atomically; default {!Sexp_lines}. *)
+val save : ?format:format -> string -> Capture.t -> unit
+
+(** [load path] auto-detects the format from the file's first bytes. *)
 val load : string -> Capture.t

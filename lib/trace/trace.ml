@@ -7,4 +7,5 @@ module Event = Event
 module Capture = Capture
 module Preprocess = Preprocess
 module Io = Io
+module Binary = Binary
 module Synth = Synth

@@ -1,0 +1,374 @@
+(* Tests for the job service: scheduler ordering/backpressure/timeouts/
+   cancellation, the content-addressed result cache (memory and disk),
+   job parsing and digesting, and the end-to-end guarantee that served
+   results are identical to direct Core.Simulator runs. *)
+
+module Sch = Server.Scheduler
+module D = Sexp.Datum
+
+let ok = function
+  | Ok v -> v
+  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full"
+  | Error `Shutdown -> Alcotest.fail "unexpected Shutdown"
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let wait_for ?(tries = 2000) pred =
+  let rec go n =
+    if pred () then ()
+    else if n = 0 then Alcotest.fail "condition never became true"
+    else begin
+      Unix.sleepf 0.002;
+      go (n - 1)
+    end
+  in
+  go tries
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+(* ---- scheduler ---- *)
+
+let test_fifo_order () =
+  let s = Sch.create ~workers:1 ~capacity:16 () in
+  let order = ref [] in
+  let lock = Mutex.create () in
+  let tickets =
+    List.map
+      (fun i ->
+         ok
+           (Sch.submit s (fun ~should_stop:_ ->
+                Mutex.lock lock;
+                order := i :: !order;
+                Mutex.unlock lock;
+                i)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  List.iteri
+    (fun idx t ->
+       match Sch.await s t with
+       | Sch.Done v -> Alcotest.(check int) "result" (idx + 1) v
+       | _ -> Alcotest.fail "job did not complete")
+    tickets;
+  Alcotest.(check (list int)) "single worker runs FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  Sch.shutdown s
+
+let test_backpressure () =
+  let s = Sch.create ~workers:1 ~capacity:1 () in
+  let gate = Atomic.make false in
+  let blocker ~should_stop:_ =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    0
+  in
+  let t1 = ok (Sch.submit s blocker) in
+  wait_for (fun () -> (Sch.stats s).Sch.running = 1);
+  let t2 = ok (Sch.submit s (fun ~should_stop:_ -> 1)) in
+  (match Sch.submit s (fun ~should_stop:_ -> 2) with
+   | Error `Queue_full -> ()
+   | Ok _ | Error `Shutdown -> Alcotest.fail "expected Queue_full");
+  Alcotest.(check int) "rejection counted" 1 (Sch.stats s).Sch.rejected;
+  Atomic.set gate true;
+  (match Sch.await s t1, Sch.await s t2 with
+   | Sch.Done 0, Sch.Done 1 -> ()
+   | _ -> Alcotest.fail "queued jobs must still run");
+  Sch.shutdown s
+
+let test_timeout () =
+  let s = Sch.create ~workers:1 ~capacity:4 () in
+  (* a polling job aborts early via Stop *)
+  let t1 =
+    ok
+      (Sch.submit s ~timeout:0.05 (fun ~should_stop ->
+           while not (should_stop ()) do
+             Unix.sleepf 0.002
+           done;
+           raise Sch.Stop))
+  in
+  (match Sch.await s t1 with
+   | Sch.Timed_out -> ()
+   | _ -> Alcotest.fail "polling job must time out");
+  (* a non-polling job is classified at completion, result discarded *)
+  let t2 =
+    ok (Sch.submit s ~timeout:0.01 (fun ~should_stop:_ -> Unix.sleepf 0.05; 7))
+  in
+  (match Sch.await s t2 with
+   | Sch.Timed_out -> ()
+   | _ -> Alcotest.fail "overdue job must be classified Timed_out");
+  Alcotest.(check int) "timeouts counted" 2 (Sch.stats s).Sch.timed_out;
+  Sch.shutdown s
+
+let test_cancel () =
+  let s = Sch.create ~workers:1 ~capacity:4 () in
+  let gate = Atomic.make false in
+  let t1 =
+    ok
+      (Sch.submit s (fun ~should_stop ->
+           while not (Atomic.get gate) && not (should_stop ()) do
+             Unix.sleepf 0.002
+           done;
+           if should_stop () then raise Sch.Stop;
+           0))
+  in
+  wait_for (fun () -> (Sch.stats s).Sch.running = 1);
+  let t2 = ok (Sch.submit s (fun ~should_stop:_ -> 1)) in
+  Alcotest.(check bool) "pending job cancels immediately" true (Sch.cancel s t2);
+  (match Sch.await s t2 with
+   | Sch.Cancelled -> ()
+   | _ -> Alcotest.fail "cancelled pending job");
+  Alcotest.(check bool) "running job only gets the flag" false (Sch.cancel s t1);
+  (match Sch.await s t1 with
+   | Sch.Cancelled -> ()
+   | _ -> Alcotest.fail "polling job must observe cancellation");
+  Sch.shutdown s
+
+let test_failure_capture () =
+  let s = Sch.create ~workers:1 ~capacity:4 () in
+  let t = ok (Sch.submit s (fun ~should_stop:_ -> failwith "boom")) in
+  (match Sch.await s t with
+   | Sch.Failed msg ->
+     Alcotest.(check bool) "exception text captured" true (contains msg "boom")
+   | _ -> Alcotest.fail "raising job must be Failed");
+  Sch.shutdown s
+
+(* ---- result cache ---- *)
+
+let test_cache_memory_accounting () =
+  let c = Server.Result_cache.create () in
+  let k = Server.Result_cache.key ~trace_digest:"t" ~job_digest:"j" in
+  Alcotest.(check (option string)) "miss" None (Server.Result_cache.find c k);
+  Server.Result_cache.store c k "value";
+  Alcotest.(check (option string)) "hit" (Some "value") (Server.Result_cache.find c k);
+  let st = Server.Result_cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Server.Result_cache.hits;
+  Alcotest.(check int) "misses" 1 st.Server.Result_cache.misses;
+  Alcotest.(check int) "stores" 1 st.Server.Result_cache.stores;
+  Alcotest.(check int) "no disk" 0 st.Server.Result_cache.disk_hits
+
+let test_cache_disk_persistence () =
+  let dir = temp_dir "rescache" in
+  let k = Server.Result_cache.key ~trace_digest:"td" ~job_digest:"jd" in
+  let c1 = Server.Result_cache.create ~dir () in
+  Server.Result_cache.store c1 k "persisted";
+  (* a fresh instance over the same directory must find it on disk *)
+  let c2 = Server.Result_cache.create ~dir () in
+  Alcotest.(check (option string)) "disk hit" (Some "persisted")
+    (Server.Result_cache.find c2 k);
+  let st = Server.Result_cache.stats c2 in
+  Alcotest.(check int) "counted as disk hit" 1 st.Server.Result_cache.disk_hits;
+  (* and the second lookup is served from memory *)
+  ignore (Server.Result_cache.find c2 k);
+  let st = Server.Result_cache.stats c2 in
+  Alcotest.(check int) "second hit from memory" 1 st.Server.Result_cache.disk_hits;
+  Alcotest.(check int) "both hits counted" 2 st.Server.Result_cache.hits
+
+let test_cache_key_shape () =
+  let k1 = Server.Result_cache.key ~trace_digest:"a" ~job_digest:"b" in
+  let k2 = Server.Result_cache.key ~trace_digest:"a" ~job_digest:"c" in
+  Alcotest.(check int) "md5 hex" 32 (String.length k1);
+  Alcotest.(check bool) "job digest matters" true (k1 <> k2)
+
+(* ---- jobs ---- *)
+
+let test_job_parse () =
+  let job =
+    match
+      Server.Job.parse
+        "(simulate (workload slang) (size 512) (policy all) (seed 3) (timeout 5))"
+    with
+    | Ok j -> j
+    | Error msg -> Alcotest.fail msg
+  in
+  (match job.Server.Job.source with
+   | Server.Job.Workload w -> Alcotest.(check string) "source" "slang" w
+   | _ -> Alcotest.fail "expected workload source");
+  (match job.Server.Job.spec with
+   | Server.Job.Simulate cfg ->
+     Alcotest.(check int) "size" 512 cfg.Core.Simulator.table_size;
+     Alcotest.(check int) "seed" 3 cfg.Core.Simulator.seed;
+     Alcotest.(check bool) "policy" true
+       (cfg.Core.Simulator.policy = Core.Lpt.Compress_all)
+   | _ -> Alcotest.fail "expected simulate spec");
+  Alcotest.(check (option (float 1e-9))) "timeout" (Some 5.) job.Server.Job.timeout
+
+let test_job_sexp_roundtrip () =
+  List.iter
+    (fun line ->
+       let job = Result.get_ok (Server.Job.parse line) in
+       let again =
+         match Server.Job.of_sexp (Server.Job.to_sexp job) with
+         | Ok j -> j
+         | Error msg -> Alcotest.fail ("re-parse failed: " ^ msg)
+       in
+       Alcotest.(check string) ("digest stable: " ^ line) (Server.Job.digest job)
+         (Server.Job.digest again);
+       Alcotest.(check string) ("describe stable: " ^ line)
+         (Server.Job.describe job) (Server.Job.describe again))
+    [ "(stats (workload plagen))";
+      "(analyze (workload slang) (separation 0.25))";
+      "(simulate (workload editor) (size 256) (seed 9) (cache 128 4) (split-counts))";
+      "(knee (workload lyra) (seed 7) (eager-decrement))" ]
+
+let test_job_errors () =
+  (match Server.Job.parse "(simulate (workload nosuch))" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown workload must be rejected");
+  (match Server.Job.parse "(simulate (size 64))" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing source must be rejected");
+  (match Server.Job.parse "(simulate (workload slang) (frobnicate 1))" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown clause must be rejected")
+
+let test_job_digest_semantics () =
+  let j line = Result.get_ok (Server.Job.parse line) in
+  let base = j "(simulate (workload slang) (size 512))" in
+  Alcotest.(check string) "timeout is not part of the measurement"
+    (Server.Job.digest base)
+    (Server.Job.digest (j "(simulate (workload slang) (size 512) (timeout 9))"));
+  Alcotest.(check string) "source is not part of the job half"
+    (Server.Job.digest base)
+    (Server.Job.digest (j "(simulate (workload editor) (size 512))"));
+  Alcotest.(check bool) "config is" true
+    (Server.Job.digest base <> Server.Job.digest (j "(simulate (workload slang) (size 256))"))
+
+(* ---- exec output codec ---- *)
+
+let synth_capture = lazy (Trace.Synth.generate { Trace.Synth.default with length = 3000 })
+
+let test_output_sexp_roundtrip () =
+  let pre = Trace.Preprocess.run (Lazy.force synth_capture) in
+  let stats =
+    Core.Simulator.run { Core.Simulator.default_config with table_size = 64 } pre
+  in
+  List.iter
+    (fun out ->
+       match Server.Exec.output_of_sexp (Server.Exec.output_to_sexp out) with
+       | Ok back -> Alcotest.(check bool) "lossless round-trip" true (out = back)
+       | Error msg -> Alcotest.fail ("decode failed: " ^ msg))
+    [ Server.Exec.Simulate_out stats;
+      Server.Exec.Knee_out { size = 96; stats } ]
+
+(* ---- service end-to-end ---- *)
+
+let with_service ?cache_dir f =
+  let svc = Server.Service.create ?cache_dir ~workers:2 ~queue_capacity:32 () in
+  Fun.protect ~finally:(fun () -> Server.Service.shutdown svc) (fun () -> f svc)
+
+let saved_synth_trace = lazy (
+  let path = Filename.temp_file "synth" ".smtb" in
+  Trace.Io.save ~format:Trace.Io.Binary path (Lazy.force synth_capture);
+  path)
+
+let sim_config seed = { Core.Simulator.default_config with table_size = 64; seed }
+
+let sim_job seed =
+  { Server.Job.source = Server.Job.Trace_file (Lazy.force saved_synth_trace);
+    spec = Server.Job.Simulate (sim_config seed);
+    timeout = None }
+
+let result_bytes (r : Server.Service.response) =
+  match r.Server.Service.outcome with
+  | Ok out -> Server.Json.to_string (Server.Exec.output_to_json out)
+  | Error _ -> Alcotest.fail "job failed"
+
+let direct_bytes seed =
+  let pre = Trace.Preprocess.run (Lazy.force synth_capture) in
+  Server.Json.to_string
+    (Server.Exec.output_to_json
+       (Server.Exec.Simulate_out (Core.Simulator.run (sim_config seed) pre)))
+
+let test_service_matches_direct_runs () =
+  with_service @@ fun svc ->
+  let seeds = [ 1; 2; 3; 4 ] in
+  (* submit the whole batch before awaiting: the jobs run concurrently *)
+  let joins = List.map (fun seed -> ok (Server.Service.submit svc (sim_job seed))) seeds in
+  List.iter2
+    (fun seed join ->
+       let r = join () in
+       Alcotest.(check bool) "first runs are not cached" false r.Server.Service.cached;
+       Alcotest.(check string)
+         (Printf.sprintf "seed %d byte-identical to a direct run" seed)
+         (direct_bytes seed) (result_bytes r))
+    seeds joins
+
+let test_service_cache_hit () =
+  let dir = temp_dir "svccache" in
+  let first =
+    with_service ~cache_dir:dir @@ fun svc ->
+    let r = ok (Server.Service.run_job svc (sim_job 1)) in
+    Alcotest.(check bool) "cold run executes" false r.Server.Service.cached;
+    result_bytes r
+  in
+  (* same job again: served from memory cache without re-simulation *)
+  with_service ~cache_dir:dir @@ fun svc ->
+  let r1 = ok (Server.Service.run_job svc (sim_job 1)) in
+  Alcotest.(check bool) "resubmission across processes hits disk" true
+    r1.Server.Service.cached;
+  Alcotest.(check string) "cached bytes identical" first (result_bytes r1);
+  let st = Server.Result_cache.stats (Server.Service.cache svc) in
+  Alcotest.(check int) "counted as a disk hit" 1 st.Server.Result_cache.disk_hits;
+  let r2 = ok (Server.Service.run_job svc (sim_job 1)) in
+  Alcotest.(check bool) "second resubmission hits memory" true r2.Server.Service.cached;
+  Alcotest.(check int) "nothing was executed"
+    0 (Server.Service.scheduler_stats svc).Sch.completed
+
+let test_handle_line () =
+  with_service @@ fun svc ->
+  (match Server.Service.handle_line svc "  " with
+   | [] -> ()
+   | _ -> Alcotest.fail "blank lines are ignored");
+  (match Server.Service.handle_line svc "(not a job" with
+   | [ line ] ->
+     Alcotest.(check bool) "parse errors answered in-band" true
+       (String.length line > 0 && String.sub line 0 1 = "{")
+   | _ -> Alcotest.fail "one error line expected");
+  (match Server.Service.handle_line svc "(stats)" with
+   | [ line ] ->
+     Alcotest.(check bool) "stats is a json object" true (String.sub line 0 1 = "{")
+   | _ -> Alcotest.fail "one stats line expected");
+  let path = Lazy.force saved_synth_trace in
+  let batch =
+    Printf.sprintf
+      "(batch (simulate (trace-file \"%s\") (size 64) (seed 1)) (simulate (trace-file \"%s\") (size 64) (seed 2)))"
+      path path
+  in
+  match Server.Service.handle_line svc batch with
+  | [ a; b ] ->
+    Alcotest.(check bool) "both ok" true
+      (contains a "\"status\":\"ok\"" && contains b "\"status\":\"ok\"");
+    Alcotest.(check bool) "request order kept" true
+      (contains a "seed=1" && contains b "seed=2")
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected 2 batch responses, got %d" (List.length other))
+
+let () =
+  Alcotest.run "server"
+    [ ("scheduler",
+       [ Alcotest.test_case "fifo order" `Quick test_fifo_order;
+         Alcotest.test_case "backpressure" `Quick test_backpressure;
+         Alcotest.test_case "timeout" `Quick test_timeout;
+         Alcotest.test_case "cancel" `Quick test_cancel;
+         Alcotest.test_case "failure" `Quick test_failure_capture ]);
+      ("result cache",
+       [ Alcotest.test_case "memory accounting" `Quick test_cache_memory_accounting;
+         Alcotest.test_case "disk persistence" `Quick test_cache_disk_persistence;
+         Alcotest.test_case "key shape" `Quick test_cache_key_shape ]);
+      ("jobs",
+       [ Alcotest.test_case "parse" `Quick test_job_parse;
+         Alcotest.test_case "sexp roundtrip" `Quick test_job_sexp_roundtrip;
+         Alcotest.test_case "errors" `Quick test_job_errors;
+         Alcotest.test_case "digest semantics" `Quick test_job_digest_semantics ]);
+      ("exec", [ Alcotest.test_case "output sexp roundtrip" `Quick test_output_sexp_roundtrip ]);
+      ("service",
+       [ Alcotest.test_case "matches direct runs" `Quick test_service_matches_direct_runs;
+         Alcotest.test_case "cache hit" `Quick test_service_cache_hit;
+         Alcotest.test_case "wire handling" `Quick test_handle_line ]) ]

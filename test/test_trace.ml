@@ -59,6 +59,90 @@ let test_io_rejects_malformed () =
     (Invalid_argument "Trace.Io: malformed event") (fun () ->
       ignore (Trace.Io.event_of_datum (Sexp.parse "(x y)")))
 
+(* ---- binary format ---- *)
+
+let captures_equal c c' =
+  Trace.Capture.length c = Trace.Capture.length c'
+  && Array.for_all2
+       (fun a b -> D.equal (Trace.Io.event_to_datum a) (Trace.Io.event_to_datum b))
+       (Trace.Capture.events c) (Trace.Capture.events c')
+
+let test_binary_roundtrip_synth () =
+  (* a real-sized stream through small chunks, so the intern table is
+     exercised across many chunk boundaries *)
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 3000 } in
+  let path = Filename.temp_file "trace" ".smtb" in
+  let oc = open_out_bin path in
+  let w = Trace.Binary.writer ~chunk_events:100 oc in
+  Array.iter (Trace.Binary.write_event w) (Trace.Capture.events c);
+  Trace.Binary.close_writer w;
+  close_out oc;
+  let c' = Trace.Io.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "multi-chunk round-trip" true (captures_equal c c')
+
+let test_binary_edge_datums () =
+  let c =
+    mk_capture
+      [ E.Call { name = "Weird Name"; nargs = 0 };
+        prim E.Cons [ D.int (-1); D.str "with \"quotes\" and \n" ]
+          (D.cons (D.int max_int) (D.int min_int));
+        (* improper spine and deep nesting *)
+        prim E.Car [ Sexp.parse "((a . b) (c d . e))" ] (Sexp.parse "(a . b)");
+        prim E.Cdr [ D.Nil ] D.Nil;
+        prim E.Rplacd [ Sexp.parse "(((((x)))))"; D.sym "y" ] (Sexp.parse "(((((x)))))");
+        E.Return { name = "Weird Name" } ]
+  in
+  let path = Filename.temp_file "trace" ".smtb" in
+  Trace.Io.save ~format:Trace.Io.Binary path c;
+  let c' = Trace.Io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "length" (Trace.Capture.length c) (Trace.Capture.length c');
+  Array.iteri
+    (fun i e ->
+       Alcotest.(check bool) (Printf.sprintf "event %d" i) true
+         (e = (Trace.Capture.events c').(i)))
+    (Trace.Capture.events c)
+
+let test_binary_digest () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 200 } in
+  let c2 = Trace.Synth.generate { Trace.Synth.default with length = 200 } in
+  Alcotest.(check string) "equal captures digest alike"
+    (Trace.Binary.digest c) (Trace.Binary.digest c2);
+  Trace.Capture.record c2 (prim E.Car [ Sexp.parse "(z)" ] (D.sym "z"));
+  Alcotest.(check bool) "an extra event changes the digest" true
+    (Trace.Binary.digest c <> Trace.Binary.digest c2)
+
+let test_binary_rejects_corrupt () =
+  let path = Filename.temp_file "trace" ".smtb" in
+  let oc = open_out_bin path in
+  output_string oc Trace.Binary.magic;
+  output_string oc "\x05\x03garbage";   (* 5 events claimed, 3 payload bytes *)
+  close_out oc;
+  let raised =
+    match Trace.Io.load path with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "corrupt stream rejected" true raised
+
+let test_save_is_atomic () =
+  let dir = Filename.temp_file "tracedir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "t.trace" in
+  let c = mk_capture [ prim E.Car [ Sexp.parse "(a)" ] (D.sym "a") ] in
+  Trace.Io.save path c;
+  let c2 = mk_capture [ prim E.Cdr [ Sexp.parse "(a b)" ] (Sexp.parse "(b)") ] in
+  Trace.Io.save ~format:Trace.Io.Binary path c2;   (* overwrite in place *)
+  Alcotest.(check bool) "overwritten content wins" true
+    (captures_equal c2 (Trace.Io.load path));
+  Alcotest.(check (list string)) "no temp files left behind" [ "t.trace" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)));
+  Sys.remove path;
+  Sys.rmdir dir
+
 (* ---- preprocessing ---- *)
 
 let test_preprocess_ids () =
@@ -204,6 +288,60 @@ let prop_io_roundtrip =
       let d = Trace.Io.event_to_datum e in
       D.equal d (Trace.Io.event_to_datum (Trace.Io.event_of_datum d)))
 
+(* Random event streams: [Binary.write . Binary.read = id], cross-checked
+   against the sexp-lines codec over the same capture.  Atoms are kept
+   inside what the sexp reader round-trips exactly (lower-case symbols,
+   ints, nil), so both codecs must agree with the original and with each
+   other. *)
+let gen_datum =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let atom =
+          oneof
+            [ return D.Nil;
+              map D.int (int_range (-1000) 1000);
+              map D.sym (oneofl [ "a"; "b"; "x"; "longer-symbol" ]) ]
+        in
+        if n <= 0 then atom
+        else
+          frequency
+            [ (2, atom);
+              (3,
+               map2
+                 (fun elems tail -> List.fold_right D.cons elems tail)
+                 (list_size (int_range 1 4) (self (n / 2)))
+                 (oneof [ return D.Nil; map D.int (int_range 0 9) ])) ]))
+
+let gen_event =
+  QCheck.Gen.(
+    frequency
+      [ (1, map2 (fun name nargs -> E.Call { name; nargs })
+             (oneofl [ "f"; "g"; "h" ]) (int_range 0 4));
+        (1, map (fun name -> E.Return { name }) (oneofl [ "f"; "g"; "h" ]));
+        (4,
+         map3
+           (fun p args result -> prim p args result)
+           (oneofl [ E.Car; E.Cdr; E.Cons; E.Rplaca; E.Rplacd ])
+           (list_size (int_range 0 3) gen_datum)
+           gen_datum) ])
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~name:"binary round-trip matches sexp codec" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) gen_event))
+    (fun events ->
+      let c = mk_capture events in
+      let via format suffix =
+        let path = Filename.temp_file "trace" suffix in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+             Trace.Io.save ~format path c;
+             Trace.Io.load path)
+      in
+      let b = via Trace.Io.Binary ".smtb" in
+      let s = via Trace.Io.Sexp_lines ".trace" in
+      captures_equal c b && captures_equal c s && captures_equal b s)
+
 let () =
   Alcotest.run "trace"
     [ ("capture",
@@ -211,7 +349,13 @@ let () =
          Alcotest.test_case "growth" `Quick test_capture_growth ]);
       ("io",
        [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
-         Alcotest.test_case "malformed" `Quick test_io_rejects_malformed ]);
+         Alcotest.test_case "malformed" `Quick test_io_rejects_malformed;
+         Alcotest.test_case "atomic save" `Quick test_save_is_atomic ]);
+      ("binary",
+       [ Alcotest.test_case "multi-chunk roundtrip" `Quick test_binary_roundtrip_synth;
+         Alcotest.test_case "edge datums" `Quick test_binary_edge_datums;
+         Alcotest.test_case "digest" `Quick test_binary_digest;
+         Alcotest.test_case "corrupt stream" `Quick test_binary_rejects_corrupt ]);
       ("preprocess",
        [ Alcotest.test_case "unique ids" `Quick test_preprocess_ids;
          Alcotest.test_case "chaining" `Quick test_preprocess_chaining;
@@ -223,4 +367,6 @@ let () =
          Alcotest.test_case "valid semantics" `Quick test_synth_valid_semantics;
          Alcotest.test_case "balanced calls" `Quick test_synth_balanced_calls;
          Alcotest.test_case "mix profiles" `Quick test_synth_mix_profiles ]);
-      ("properties", [ QCheck_alcotest.to_alcotest prop_io_roundtrip ]) ]
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_io_roundtrip;
+         QCheck_alcotest.to_alcotest prop_binary_roundtrip ]) ]
