@@ -976,6 +976,48 @@ let () =
         (Printf.sprintf "%.2fx" (s_load /. Float.max b_load 1e-9)) ]
 
 let () =
+  register "obs.overhead" "Metrics instrumentation: simulation throughput cost" @@ fun () ->
+  (* the observability layer promises to be near-free when no registry is
+     attached and within a few percent when one is: time the same slang
+     simulation bare and instrumented, best-of-N to shed scheduler noise.
+     SMALLSIM_BENCH_SMOKE=1 (CI) cuts the repetitions down. *)
+  let pre = Context.pre "slang" in
+  let events = Array.length (Trace.Preprocess.prim_refs pre) in
+  let config = { Core.Simulator.default_config with table_size = 2048 } in
+  let reps = if Sys.getenv_opt "SMALLSIM_BENCH_SMOKE" <> None then 3 else 7 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f () : Core.Simulator.stats);
+    Unix.gettimeofday () -. t0
+  in
+  (* warm the trace/minor-heap state before timing anything *)
+  ignore (Core.Simulator.run config pre : Core.Simulator.stats);
+  let reg = Obs.Registry.create () in
+  (* interleave the repetitions so both variants see the same machine
+     load; best-of sheds the scheduler noise *)
+  let bare = ref infinity and instrumented = ref infinity in
+  for _ = 1 to reps do
+    bare := Float.min !bare (time (fun () -> Core.Simulator.run config pre));
+    instrumented :=
+      Float.min !instrumented
+        (time (fun () -> Core.Simulator.run ~metrics:reg config pre))
+  done;
+  let bare = !bare and instrumented = !instrumented in
+  let throughput s = float_of_int events /. Float.max s 1e-9 /. 1e6 in
+  let overhead = 100. *. (instrumented /. Float.max bare 1e-9 -. 1.) in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Observability — slang simulation (%d events, table 2048, best of %d)"
+         events reps)
+    ~header:[ "variant"; "seconds"; "Mevents/s"; "overhead" ]
+    [ [ "bare"; Printf.sprintf "%.4f" bare;
+        Printf.sprintf "%.2f" (throughput bare); "-" ];
+      [ "instrumented"; Printf.sprintf "%.4f" instrumented;
+        Printf.sprintf "%.2f" (throughput instrumented);
+        Printf.sprintf "%+.2f%%" overhead ] ]
+
+let () =
   register "ablation.cluster" "Multi-node SMALL: placement vs interconnect traffic" @@ fun () ->
   (* walk a list from its owner node vs from across the machine (Fig 6.1's
      cost structure), and measure weighted-reference message costs of

@@ -254,7 +254,13 @@ let simulate_cmd =
   let find_knee =
     Arg.(value & flag & info [ "knee" ] ~doc:"Search for the minimum overflow-free size.")
   in
-  let action workload file size policy seed cache_lines line_size split find_knee =
+  let with_metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect run metrics and print the Prometheus exposition afterwards.")
+  in
+  let action workload file size policy seed cache_lines line_size split find_knee
+      with_metrics =
     match load_trace workload file with
     | Error _ as e -> e
     | Ok capture ->
@@ -267,13 +273,14 @@ let simulate_cmd =
               (fun lines -> { Core.Simulator.cache_lines = lines; cache_line_size = line_size })
               cache_lines }
       in
+      let metrics = if with_metrics then Some (Obs.Registry.create ()) else None in
       if find_knee then begin
-        let k, stats = Core.Simulator.min_table_size config pre in
+        let k, stats = Core.Simulator.min_table_size ?metrics config pre in
         Printf.printf "knee: %d entries (peak usage %d, no overflow)\n" k
           stats.Core.Simulator.peak_lpt
       end
       else begin
-        let s = Core.Simulator.run config pre in
+        let s = Core.Simulator.run ?metrics config pre in
         Printf.printf "events %d; peak LPT %d, average %.1f\n" s.Core.Simulator.events
           s.Core.Simulator.peak_lpt s.Core.Simulator.avg_lpt;
         Printf.printf "LPT: %d hits, %d misses (hit rate %.2f%%)\n"
@@ -292,12 +299,15 @@ let simulate_cmd =
              (100. *. Core.Simulator.cache_hit_rate s)
          | None -> ())
       end;
+      (match metrics with
+       | Some reg -> print_newline (); print_string (Obs.Expo.of_registry reg)
+       | None -> ());
       Ok ()
   in
   let term =
     Term.(term_result
             (const action $ trace_source $ trace_file $ size $ policy $ seed
-             $ cache_lines $ line_size $ split $ find_knee))
+             $ cache_lines $ line_size $ split $ find_knee $ with_metrics))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Trace-driven SMALL simulation (Chapter 5)") term
 
@@ -325,11 +335,20 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "stdio" ] ~doc:"Serve one session on stdin/stdout instead of a socket.")
   in
-  let action socket workers queue cache_dir stdio =
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the Prometheus exposition here after every handled request \
+                   (atomically, so a scraper can read it at any time).")
+  in
+  let action socket workers queue cache_dir stdio metrics_file =
     if workers < 1 then Error (`Msg "--workers must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
     else begin
-      let t = Server.Service.create ?cache_dir ~workers ~queue_capacity:queue () in
+      let t =
+        Server.Service.create ?cache_dir ?metrics_file ~workers
+          ~queue_capacity:queue ()
+      in
       Fun.protect
         ~finally:(fun () -> Server.Service.shutdown t)
         (fun () ->
@@ -343,7 +362,9 @@ let serve_cmd =
     end
   in
   let term =
-    Term.(term_result (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio))
+    Term.(term_result
+            (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio
+             $ metrics_file))
   in
   Cmd.v
     (Cmd.info "serve"

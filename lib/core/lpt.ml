@@ -425,3 +425,24 @@ let counters (t : t) =
     compressions = t.compressions; cycle_recoveries = t.cycle_recoveries;
     peak_live = t.peak_live; max_refcount = t.max_refcount;
     max_stack_count = t.max_stack_count }
+
+(* The counters above are plain per-table ints (the hot path stays
+   lock-free and single-owner); observability folds them into a shared
+   registry only at recording points, so concurrent recorders from
+   several tables never lose increments. *)
+let record_metrics (t : t) reg =
+  let c name help v = Obs.Metric.Counter.add (Obs.Registry.counter reg ~help name) v in
+  c "small_lpt_hits_total" "LPT accesses answered from a set car/cdr field" t.hits;
+  c "small_lpt_misses_total" "LPT accesses that split an unexpanded object" t.misses;
+  c "small_lpt_refops_total" "LP-side reference-count operations" t.refops;
+  c "small_lpt_ep_refops_total" "EP-side (split-count) reference operations" t.ep_refops;
+  c "small_lpt_gets_total" "LPT entry allocations" t.gets;
+  c "small_lpt_frees_total" "refcount reclamations (entries freed)" t.frees;
+  c "small_lpt_compress_total" "pairs compressed on pseudo-overflow" t.compressions;
+  c "small_lpt_pseudo_overflows_total" "allocations that found the table full"
+    t.pseudo_overflows;
+  c "small_lpt_cycle_recoveries_total" "cycle-recovery sweeps that freed entries"
+    t.cycle_recoveries;
+  Obs.Metric.Gauge.set_max
+    (Obs.Registry.gauge reg ~help:"peak live LPT entries" "small_lpt_peak_live")
+    t.peak_live

@@ -131,3 +131,9 @@ type counters = {
 }
 
 val counters : t -> counters
+
+(** Fold this table's counters into an {!Obs.Registry.t}: counter adds
+    for the activity totals plus a monotone peak-live gauge.  Safe to
+    call from several domains over one shared registry (e.g. parallel
+    knee probes); counters then accumulate across tables. *)
+val record_metrics : t -> Obs.Registry.t -> unit

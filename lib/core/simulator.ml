@@ -71,6 +71,7 @@ type state = {
   mutable overflow_mode : bool;        (* LPT bypassed after true overflow *)
   mutable overflow_events : int;
   mutable entered_overflow : bool;
+  mutable overflow_entries : int;      (* transitions into overflow mode *)
 }
 
 let push_item st id =
@@ -263,7 +264,33 @@ let simulate_return st =
      | Some id when not (Lpt.is_live st.lpt id) -> st.prev_result <- None
      | _ -> ())
 
-let run cfg trace =
+(* Per-event observability: with a registry attached, each primitive
+   event records the live-entry count into an occupancy histogram; the
+   activity counters are folded in once at the end of the run (they are
+   already kept by the LPT/heap), so detached runs pay only one option
+   match per event and the simulated stats are bit-identical either
+   way — the registry never touches the RNG or the simulation state. *)
+let record_run_metrics st reg ~events =
+  Lpt.record_metrics st.lpt reg;
+  let c name help v = Obs.Metric.Counter.add (Obs.Registry.counter reg ~help name) v in
+  c "small_sim_events_total" "primitive events simulated" events;
+  c "small_sim_overflow_entries_total" "transitions into LPT-bypass overflow mode"
+    st.overflow_entries;
+  c "small_sim_overflow_events_total" "primitive events served in overflow mode"
+    st.overflow_events;
+  let h = Heap_model.counters st.heap in
+  c "small_sim_heap_reads_total" "heap-controller object read-ins" h.Heap_model.reads;
+  c "small_sim_heap_reclaims_total" "heap reclamations (refcount frees)"
+    h.Heap_model.reclaims;
+  c "small_sim_heap_cells_reclaimed_total" "heap cells reclaimed"
+    h.Heap_model.cells_reclaimed;
+  (match st.cache with
+   | None -> ()
+   | Some cache ->
+     c "small_sim_cache_hits_total" "data-cache hits" (Cache.Lru_cache.hits cache);
+     c "small_sim_cache_misses_total" "data-cache misses" (Cache.Lru_cache.misses cache))
+
+let run ?metrics cfg trace =
   let heap = Heap_model.create ~seed:(cfg.seed * 7919 + 1) in
   let lpt =
     Lpt.create ~size:cfg.table_size ~policy:cfg.policy ~split_counts:cfg.split_counts
@@ -278,7 +305,19 @@ let run cfg trace =
     { cfg; rng = Util.Rng.create ~seed:cfg.seed; lpt; heap; cache; trace;
       stack = Array.make 1024 { id = -1 }; sp = 0; frames = []; prev_result = None;
       occupancy_sum = 0.; samples = 0; overflow_mode = false; overflow_events = 0;
-      entered_overflow = false }
+      entered_overflow = false; overflow_entries = 0 }
+  in
+  (* resolved once: the hot loop sees a plain option *)
+  (* a Local accumulator keeps the per-event cost to plain-field writes;
+     it is flushed before the end-of-run counter fold below *)
+  let occupancy =
+    Option.map
+      (fun reg ->
+         Obs.Metric.Histogram.Local.create
+           (Obs.Registry.histogram reg ~help:"live LPT entries sampled per event"
+              ~bounds:Obs.Metric.Histogram.default_size_bounds
+              "small_sim_lpt_occupancy"))
+      metrics
   in
   let events = ref 0 in
   (* Seed the top level with a few read-in bindings. *)
@@ -286,7 +325,10 @@ let run cfg trace =
      for _ = 1 to 8 do
        push_item st (fresh_list st)
      done
-   with Lpt.True_overflow -> st.overflow_mode <- true; st.entered_overflow <- true);
+   with Lpt.True_overflow ->
+     st.overflow_mode <- true;
+     st.entered_overflow <- true;
+     st.overflow_entries <- st.overflow_entries + 1);
   Array.iter
     (fun (e : Trace.Preprocess.pevent) ->
        match e with
@@ -308,12 +350,23 @@ let run cfg trace =
            with Lpt.True_overflow ->
              st.overflow_mode <- true;
              st.entered_overflow <- true;
+             st.overflow_entries <- st.overflow_entries + 1;
              st.overflow_events <- st.overflow_events + 1;
              st.prev_result <- None
          end;
          st.occupancy_sum <- st.occupancy_sum +. float_of_int (Lpt.live st.lpt);
-         st.samples <- st.samples + 1)
+         st.samples <- st.samples + 1;
+         match occupancy with
+         | None -> ()
+         | Some l ->
+           Obs.Metric.Histogram.Local.record l (float_of_int (Lpt.live st.lpt)))
     trace.Trace.Preprocess.events;
+  (match occupancy with
+   | None -> ()
+   | Some l -> Obs.Metric.Histogram.Local.flush l);
+  (match metrics with
+   | None -> ()
+   | Some reg -> record_run_metrics st reg ~events:!events);
   let counters = Lpt.counters lpt in
   {
     events = !events;
@@ -339,14 +392,18 @@ let cache_hit_rate (stats : stats) =
 let overflow_free (stats : stats) =
   (not stats.true_overflow) && stats.lpt.Lpt.pseudo_overflows = 0
 
-let min_table_size ?(jobs = 1) cfg trace =
+let min_table_size ?(jobs = 1) ?metrics cfg trace =
   (* Double until overflow-free, then bisect down to the knee.  With
      [jobs] > 1 the probe runs go through [Util.Parallel]: the doubling
      phase probes a batch of sizes at once, and the bisection phase
      speculatively evaluates the next levels of its decision tree in
      parallel — both walk the same decision sequence as the sequential
      search, so the result is identical for every [jobs]. *)
-  let probe size = run { cfg with table_size = size } trace in
+  (* Probes share the registry: with [jobs] > 1 several domains record
+     into the same counters at once — safe by construction, and the
+     search decisions never read the metrics, so the result is
+     registry-independent. *)
+  let probe size = run ?metrics { cfg with table_size = size } trace in
   let rec grow size =
     if jobs <= 1 then begin
       let stats = probe size in

@@ -63,12 +63,18 @@ type stats = {
   cache_accesses : int;
 }
 
-val run : config -> Trace.Preprocess.t -> stats
+(** [run ?metrics config trace] simulates the whole trace.  With
+    [metrics] attached, the run folds its activity into the registry
+    ([small_sim_*] and [small_lpt_*] series, including a per-event
+    occupancy histogram); the registry is write-only for the simulator,
+    so the returned stats are bit-identical with and without it, and a
+    detached run pays only one option test per event. *)
+val run : ?metrics:Obs.Registry.t -> config -> Trace.Preprocess.t -> stats
 
 val lpt_hit_rate : stats -> float
 val cache_hit_rate : stats -> float
 
-(** [min_table_size ?jobs config trace] searches for the knee of
+(** [min_table_size ?jobs ?metrics config trace] searches for the knee of
     Figure 5.1: the smallest table size (within the probe sequence) at
     which no overflow of any kind occurs, by doubling then bisecting.
     Returns the size and the stats of the run at that size.
@@ -77,5 +83,10 @@ val cache_hit_rate : stats -> float
     the doubling phase probes whole batches of sizes at once and the
     bisection phase speculatively evaluates the next levels of its
     decision tree — while following the same decision sequence as the
-    sequential search, so the result is identical for every [jobs]. *)
-val min_table_size : ?jobs:int -> config -> Trace.Preprocess.t -> int * stats
+    sequential search, so the result is identical for every [jobs].
+
+    [metrics] is shared by every probe run (concurrent probes record
+    into it at once); the search result does not depend on it. *)
+val min_table_size :
+  ?jobs:int -> ?metrics:Obs.Registry.t -> config -> Trace.Preprocess.t ->
+  int * stats

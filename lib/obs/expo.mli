@@ -1,0 +1,8 @@
+(** Prometheus text exposition (format 0.0.4) of registry snapshots:
+    one [# HELP]/[# TYPE] header per family, histograms expanded into
+    cumulative [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+
+val text : Registry.sample list -> string
+
+(** [of_registry reg] = [text (Registry.snapshot reg)]. *)
+val of_registry : Registry.t -> string

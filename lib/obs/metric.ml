@@ -1,0 +1,200 @@
+(* Domain-safe metric primitives.  Counters and gauges are single atomic
+   ints; histograms keep one atomic count per bucket plus a CAS-looped
+   boxed-float sum, so concurrent [record]s from scheduler workers or a
+   Util.Parallel pool never lose increments. *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = Atomic.incr t
+  let add t n =
+    if n < 0 then invalid_arg "Obs.Metric.Counter.add: negative increment";
+    ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let set t v = Atomic.set t v
+  let incr t = Atomic.incr t
+  let decr t = Atomic.decr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+
+  (* Monotone raise-to: used for peaks aggregated across domains. *)
+  let rec set_max t v =
+    let cur = Atomic.get t in
+    if v > cur && not (Atomic.compare_and_set t cur v) then set_max t v
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;          (* strictly increasing upper bounds *)
+    counts : int Atomic.t array;   (* length bounds + 1; last is +Inf *)
+    sum : float Atomic.t;          (* CAS loop; boxed-float identity CAS *)
+  }
+
+  let exponential ~least ~factor ~count =
+    if least <= 0. || factor <= 1. || count < 1 then
+      invalid_arg "Obs.Metric.Histogram.exponential";
+    Array.init count (fun i -> least *. (factor ** float_of_int i))
+
+  (* 10us .. ~84s in powers of two: wide enough for queue waits and whole
+     bench-section run times alike. *)
+  let default_latency_bounds = exponential ~least:1e-5 ~factor:2. ~count:23
+
+  (* 1 .. 2^20 entries/bytes. *)
+  let default_size_bounds = exponential ~least:1. ~factor:2. ~count:21
+
+  let validate_bounds bounds =
+    if Array.length bounds = 0 then
+      invalid_arg "Obs.Metric.Histogram: empty bucket bounds";
+    Array.iteri
+      (fun i b ->
+         if i > 0 && bounds.(i - 1) >= b then
+           invalid_arg "Obs.Metric.Histogram: bounds must strictly increase")
+      bounds
+
+  let create ?(bounds = default_latency_bounds) () =
+    validate_bounds bounds;
+    { bounds = Array.copy bounds;
+      counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+      sum = Atomic.make 0. }
+
+  (* Binary search for the first bound >= v; n on overflow.  This is the
+     per-record hot path, so it must stay cheap for per-event callers
+     like the simulator's occupancy histogram. *)
+  let bucket_of t v =
+    let bounds = t.bounds in
+    let n = Array.length bounds in
+    if v <= Array.unsafe_get bounds 0 then 0
+    else if v > Array.unsafe_get bounds (n - 1) then n
+    else begin
+      (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if v <= Array.unsafe_get bounds mid then hi := mid else lo := mid
+      done;
+      !hi
+    end
+
+  let rec add_sum t v =
+    let old = Atomic.get t.sum in
+    if not (Atomic.compare_and_set t.sum old (old +. v)) then add_sum t v
+
+  let record t v =
+    Atomic.incr t.counts.(bucket_of t v);
+    add_sum t v
+
+  (* Single-domain batch accumulator over a shared histogram: [record]
+     touches only plain fields (no atomics, no boxed-float allocation),
+     [flush] publishes the whole batch.  Per-event hot paths (the
+     simulator's occupancy series) use this to keep instrumentation
+     near-free; successive values repeat often there, so the last bucket
+     is memoised. *)
+  module Local = struct
+    type h = t
+
+    type nonrec t = {
+      target : h;
+      lcounts : int array;
+      mutable lsum : float;
+      mutable last_v : float;
+      mutable last_bucket : int;
+    }
+
+    let create target =
+      { target;
+        lcounts = Array.make (Array.length target.counts) 0;
+        lsum = 0.; last_v = nan; last_bucket = -1 }
+
+    let record l v =
+      let b =
+        if v = l.last_v then l.last_bucket
+        else begin
+          let b = bucket_of l.target v in
+          l.last_v <- v;
+          l.last_bucket <- b;
+          b
+        end
+      in
+      Array.unsafe_set l.lcounts b (Array.unsafe_get l.lcounts b + 1);
+      l.lsum <- l.lsum +. v
+
+    let flush l =
+      Array.iteri
+        (fun i c ->
+           if c > 0 then begin
+             ignore (Atomic.fetch_and_add l.target.counts.(i) c);
+             l.lcounts.(i) <- 0
+           end)
+        l.lcounts;
+      if l.lsum <> 0. then begin
+        add_sum l.target l.lsum;
+        l.lsum <- 0.
+      end
+  end
+
+  type snapshot = {
+    sbounds : float array;
+    scounts : int array;           (* length sbounds + 1; last is +Inf *)
+    ssum : float;
+  }
+
+  let snapshot t =
+    { sbounds = Array.copy t.bounds;
+      scounts = Array.map Atomic.get t.counts;
+      ssum = Atomic.get t.sum }
+
+  let count s = Array.fold_left ( + ) 0 s.scounts
+
+  (* Cumulative counts per bucket (the Prometheus [le] series). *)
+  let cumulative s =
+    let acc = ref 0 in
+    Array.map (fun c -> acc := !acc + c; !acc) s.scounts
+
+  (* The [rank]-th recorded value (1-based) lies in some bucket
+     [(lower, upper]]; the estimate interpolates linearly inside it and
+     therefore always stays within the bucket bounds.  The overflow
+     bucket has no finite upper bound: its estimate is its lower bound
+     (the largest finite boundary). *)
+  let quantile s q =
+    let q = Float.min 1. (Float.max 0. q) in
+    let total = count s in
+    if total = 0 then 0.
+    else begin
+      let rank =
+        Stdlib.max 1 (Stdlib.min total (int_of_float (ceil (q *. float_of_int total))))
+      in
+      let nb = Array.length s.sbounds in
+      let rec find i cum_before =
+        let cum = cum_before + s.scounts.(i) in
+        if cum >= rank then begin
+          let lower = if i = 0 then 0. else s.sbounds.(i - 1) in
+          if i >= nb then lower
+          else begin
+            let upper = s.sbounds.(i) in
+            let inside = float_of_int (rank - cum_before) in
+            let width = float_of_int s.scounts.(i) in
+            (* clamp: rounding in the interpolation must not push the
+               estimate past the bucket bounds *)
+            Float.max lower
+              (Float.min upper (lower +. ((upper -. lower) *. inside /. width)))
+          end
+        end
+        else find (i + 1) cum
+      in
+      find 0 0
+    end
+
+  let merge a b =
+    if a.sbounds <> b.sbounds then
+      invalid_arg "Obs.Metric.Histogram.merge: bucket layouts differ";
+    { sbounds = a.sbounds;
+      scounts = Array.map2 ( + ) a.scounts b.scounts;
+      ssum = a.ssum +. b.ssum }
+end

@@ -1,0 +1,95 @@
+(** Domain-safe metric primitives: atomic counters and gauges, and
+    log-bucketed histograms with quantile estimation.  All mutation is
+    lock-free and safe under concurrent use from any number of domains;
+    no increment is ever lost. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+
+  (** Counters are monotone; a negative increment is [invalid_arg]. *)
+  val add : t -> int -> unit
+
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> int -> unit
+  val incr : t -> unit
+  val decr : t -> unit
+  val add : t -> int -> unit
+
+  (** [set_max g v] raises the gauge to [v] if it is below it (a CAS
+      loop) — for peaks aggregated from several domains. *)
+  val set_max : t -> int -> unit
+
+  val get : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  (** [exponential ~least ~factor ~count] — bucket upper bounds
+      [least * factor^i] for [i < count]. *)
+  val exponential : least:float -> factor:float -> count:int -> float array
+
+  (** 1e-5s to ~84s in powers of two — the default for latencies. *)
+  val default_latency_bounds : float array
+
+  (** 1 to 2^20 in powers of two — for sizes and occupancies. *)
+  val default_size_bounds : float array
+
+  (** Bounds must strictly increase; an implicit +Inf overflow bucket is
+      always appended. *)
+  val create : ?bounds:float array -> unit -> t
+
+  (** [record t v] adds [v] to the first bucket with [v <= bound] (the
+      overflow bucket if none). *)
+  val record : t -> float -> unit
+
+  (** A single-domain batch accumulator over a shared histogram:
+      {!Local.record} costs a couple of plain-field writes (no atomics,
+      no allocation), {!Local.flush} publishes the whole batch to the
+      underlying histogram.  One accumulator must only ever be used from
+      one domain at a time; the histogram it feeds stays safe to share. *)
+  module Local : sig
+    type histogram := t
+    type t
+
+    val create : histogram -> t
+    val record : t -> float -> unit
+
+    (** Idempotent between records: flushing twice publishes nothing new. *)
+    val flush : t -> unit
+  end
+
+  type snapshot = {
+    sbounds : float array;   (** finite upper bounds, ascending *)
+    scounts : int array;     (** per-bucket counts; one longer, last = +Inf *)
+    ssum : float;
+  }
+
+  val snapshot : t -> snapshot
+
+  (** Total recorded observations: the sum of all bucket counts. *)
+  val count : snapshot -> int
+
+  (** Cumulative (Prometheus [le]) counts; same length as [scounts],
+      non-decreasing, last element = {!count}. *)
+  val cumulative : snapshot -> int array
+
+  (** Quantile estimate by linear interpolation inside the bucket
+      holding the rank: always within that bucket's bounds.  [q] is
+      clamped to [0,1]; an empty histogram estimates 0.  The overflow
+      bucket estimates its lower bound. *)
+  val quantile : snapshot -> float -> float
+
+  (** Element-wise sum; commutative.  [invalid_arg] if the bucket
+      layouts differ. *)
+  val merge : snapshot -> snapshot -> snapshot
+end

@@ -1,0 +1,9 @@
+(** Dependency-free observability layer: atomic metric primitives, a
+    named registry with labeled families, monotonic timing scopes, and
+    Prometheus-style text exposition.  The JSON wire form lives in
+    [Server.Obs_json] (it reuses [Server.Json]). *)
+
+module Metric = Metric
+module Registry = Registry
+module Span = Span
+module Expo = Expo

@@ -1,0 +1,131 @@
+(* Named metric registration.  Registration (get-or-create) takes a
+   mutex; the returned handles are then mutated lock-free, so hot paths
+   resolve their handles once and never touch the registry again. *)
+
+type labels = (string * string) list
+
+type metric =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+type entry = {
+  help : string;
+  labels : labels;
+  metric : metric;
+}
+
+type t = {
+  lock : Mutex.t;
+  (* name -> children, newest first; one child per label set *)
+  families : (string, entry list ref) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); families = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let same_kind a b =
+  match a, b with
+  | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ -> true
+  | (Counter _ | Gauge _ | Histogram _), _ -> false
+
+(* Get-or-create: a second registration of the same (name, labels) hands
+   back the existing handle, so per-run registries can be shared across
+   repeated runs (counters then accumulate). *)
+let register t ?(help = "") ?(labels = []) name fresh =
+  if not (valid_name name) then
+    invalid_arg ("Obs.Registry: invalid metric name " ^ name);
+  let labels = norm_labels labels in
+  locked t (fun () ->
+      let children =
+        match Hashtbl.find_opt t.families name with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add t.families name r;
+          r
+      in
+      match List.find_opt (fun e -> e.labels = labels) !children with
+      | Some e ->
+        let m = fresh () in
+        if not (same_kind e.metric m) then
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %s is a %s, re-registered as a %s"
+               name (kind_name e.metric) (kind_name m));
+        e.metric
+      | None ->
+        let help =
+          (* a family's help comes from whichever child named it first *)
+          match !children with [] -> help | e :: _ -> e.help
+        in
+        let e = { help; labels; metric = fresh () } in
+        children := e :: !children;
+        e.metric)
+
+let counter t ?help ?labels name =
+  match register t ?help ?labels name (fun () -> Counter (Metric.Counter.create ())) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> assert false
+
+let gauge t ?help ?labels name =
+  match register t ?help ?labels name (fun () -> Gauge (Metric.Gauge.create ())) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> assert false
+
+let histogram t ?help ?labels ?bounds name =
+  match
+    register t ?help ?labels name
+      (fun () -> Histogram (Metric.Histogram.create ?bounds ()))
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> assert false
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of Metric.Histogram.snapshot
+
+type sample = {
+  name : string;
+  help : string;
+  labels : labels;
+  value : value;
+}
+
+let snapshot t =
+  let samples =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name children acc ->
+             List.fold_left
+               (fun acc e ->
+                  let value =
+                    match e.metric with
+                    | Counter c -> Counter_v (Metric.Counter.get c)
+                    | Gauge g -> Gauge_v (Metric.Gauge.get g)
+                    | Histogram h -> Histogram_v (Metric.Histogram.snapshot h)
+                  in
+                  { name; help = e.help; labels = e.labels; value } :: acc)
+               acc !children)
+          t.families [])
+  in
+  (* deterministic order for exposition and golden tests *)
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) samples

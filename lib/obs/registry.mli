@@ -1,0 +1,42 @@
+(** Named metric registration with labeled families and point-in-time
+    snapshots.
+
+    Registration is get-or-create: asking twice for the same
+    [(name, labels)] pair returns the same handle (so shared registries
+    accumulate across runs); asking with a different metric kind is
+    [invalid_arg].  A family is a name registered under several label
+    sets; its help text comes from the first registration.
+
+    Registration takes a mutex; the returned {!Metric} handles are
+    lock-free.  Hot paths should resolve handles once up front. *)
+
+type t
+
+type labels = (string * string) list
+
+val create : unit -> t
+
+(** Names must match [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+val counter : t -> ?help:string -> ?labels:labels -> string -> Metric.Counter.t
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> Metric.Gauge.t
+
+val histogram :
+  t -> ?help:string -> ?labels:labels -> ?bounds:float array -> string ->
+  Metric.Histogram.t
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of Metric.Histogram.snapshot
+
+type sample = {
+  name : string;
+  help : string;
+  labels : labels;   (** sorted by label name *)
+  value : value;
+}
+
+(** A consistent-enough point-in-time read of every registered metric,
+    sorted by [(name, labels)] — deterministic for golden tests. *)
+val snapshot : t -> sample list

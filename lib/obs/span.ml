@@ -1,0 +1,24 @@
+(* Monotonicised timing scopes.  [Unix.gettimeofday] can step backwards
+   (NTP); a process-wide high-water mark makes the reported clock
+   non-decreasing, so span durations are never negative. *)
+
+let watermark = Atomic.make 0.
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let last = Atomic.get watermark in
+  if t <= last then last
+  else if Atomic.compare_and_set watermark last t then t
+  else now ()
+
+type t = { started : float }
+
+let start () = { started = now () }
+
+let elapsed s = now () -. s.started
+
+let finish s h = Metric.Histogram.record h (elapsed s)
+
+let time h f =
+  let s = start () in
+  Fun.protect ~finally:(fun () -> finish s h) f

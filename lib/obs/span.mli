@@ -1,0 +1,19 @@
+(** Timing scopes over a monotonicised wall clock. *)
+
+(** Seconds since the epoch, guaranteed non-decreasing within the
+    process even if the system clock steps backwards. *)
+val now : unit -> float
+
+type t
+
+val start : unit -> t
+
+(** Seconds since [start]; never negative. *)
+val elapsed : t -> float
+
+(** [finish span hist] records the elapsed seconds into [hist]. *)
+val finish : t -> Metric.Histogram.t -> unit
+
+(** [time hist f] runs [f] inside a span, recording its duration into
+    [hist] even if [f] raises. *)
+val time : Metric.Histogram.t -> (unit -> 'a) -> 'a

@@ -1,0 +1,56 @@
+(* JSON form of an Obs registry snapshot, reusing the wire Json emitter.
+   One object keyed by metric name; each family carries its type, help,
+   and one sample per label set (samples arrive sorted, so the shape is
+   deterministic and golden-testable). *)
+
+let value_type = function
+  | Obs.Registry.Counter_v _ -> "counter"
+  | Obs.Registry.Gauge_v _ -> "gauge"
+  | Obs.Registry.Histogram_v _ -> "histogram"
+
+let histogram_json (h : Obs.Metric.Histogram.snapshot) =
+  let nb = Array.length h.Obs.Metric.Histogram.sbounds in
+  let buckets =
+    List.init (nb + 1) (fun i ->
+        let le =
+          if i < nb then Json.Float h.Obs.Metric.Histogram.sbounds.(i)
+          else Json.Str "+Inf"
+        in
+        Json.Obj
+          [ ("le", le);
+            ("count", Json.Int h.Obs.Metric.Histogram.scounts.(i)) ])
+  in
+  Json.Obj
+    [ ("count", Json.Int (Obs.Metric.Histogram.count h));
+      ("sum", Json.Float h.Obs.Metric.Histogram.ssum);
+      ("p50", Json.Float (Obs.Metric.Histogram.quantile h 0.5));
+      ("p99", Json.Float (Obs.Metric.Histogram.quantile h 0.99));
+      ("buckets", Json.List buckets) ]
+
+let sample_json (s : Obs.Registry.sample) =
+  Json.Obj
+    [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.labels));
+      ("value",
+       match s.value with
+       | Obs.Registry.Counter_v v -> Json.Int v
+       | Obs.Registry.Gauge_v v -> Json.Int v
+       | Obs.Registry.Histogram_v h -> histogram_json h) ]
+
+let snapshot_json samples =
+  (* group consecutive samples of one family (input is sorted by name) *)
+  let rec group = function
+    | [] -> []
+    | (s : Obs.Registry.sample) :: _ as all ->
+      let mine, rest =
+        List.partition (fun (x : Obs.Registry.sample) -> x.name = s.name) all
+      in
+      ( s.name,
+        Json.Obj
+          [ ("type", Json.Str (value_type s.value));
+            ("help", Json.Str s.help);
+            ("samples", Json.List (List.map sample_json mine)) ] )
+      :: group rest
+  in
+  Json.Obj (group samples)
+
+let registry_json reg = snapshot_json (Obs.Registry.snapshot reg)

@@ -1,0 +1,10 @@
+(** JSON rendering of {!Obs.Registry} snapshots for the wire protocol:
+    an object keyed by metric name, each family carrying its type, help,
+    and one sample per label set (histograms expanded into count / sum /
+    p50 / p99 / buckets).  Sample order follows the snapshot's sorted
+    order, so the output is deterministic. *)
+
+val snapshot_json : Obs.Registry.sample list -> Json.t
+
+(** [registry_json reg] = [snapshot_json (Obs.Registry.snapshot reg)]. *)
+val registry_json : Obs.Registry.t -> Json.t

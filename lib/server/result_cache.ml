@@ -1,7 +1,16 @@
+type metric_handles = {
+  m_hits : Obs.Metric.Counter.t;
+  m_disk_hits : Obs.Metric.Counter.t;
+  m_misses : Obs.Metric.Counter.t;
+  m_stores : Obs.Metric.Counter.t;
+  m_disk_bytes : Obs.Metric.Counter.t;
+}
+
 type t = {
   dir : string option;
   lock : Mutex.t;
   mem : (string, string) Hashtbl.t;
+  metrics : metric_handles option;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
@@ -15,9 +24,20 @@ type stats = {
   stores : int;
 }
 
-let create ?dir () =
-  { dir; lock = Mutex.create (); mem = Hashtbl.create 64; hits = 0;
-    disk_hits = 0; misses = 0; stores = 0 }
+let resolve_metrics reg =
+  let c name help = Obs.Registry.counter reg ~help name in
+  { m_hits = c "small_cache_hits_total" "result-cache hits (memory + disk)";
+    m_disk_hits = c "small_cache_disk_hits_total" "result-cache hits loaded from disk";
+    m_misses = c "small_cache_misses_total" "result-cache misses";
+    m_stores = c "small_cache_stores_total" "results stored";
+    m_disk_bytes = c "small_cache_disk_bytes_total" "result bytes written to disk" }
+
+let with_metrics t f = match t.metrics with None -> () | Some m -> f m
+
+let create ?metrics ?dir () =
+  { dir; lock = Mutex.create (); mem = Hashtbl.create 64;
+    metrics = Option.map resolve_metrics metrics;
+    hits = 0; disk_hits = 0; misses = 0; stores = 0 }
 
 let key ~trace_digest ~job_digest =
   Digest.to_hex (Digest.string (trace_digest ^ "+" ^ job_digest))
@@ -63,22 +83,35 @@ let write_file_atomic path contents =
 let find t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.mem key with
-      | Some v -> t.hits <- t.hits + 1; Some v
+      | Some v ->
+        t.hits <- t.hits + 1;
+        with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_hits);
+        Some v
       | None ->
         match Option.bind (path_of t key) read_file with
         | Some v ->
           Hashtbl.replace t.mem key v;
           t.hits <- t.hits + 1;
           t.disk_hits <- t.disk_hits + 1;
+          with_metrics t (fun m ->
+              Obs.Metric.Counter.incr m.m_hits;
+              Obs.Metric.Counter.incr m.m_disk_hits);
           Some v
-        | None -> t.misses <- t.misses + 1; None)
+        | None ->
+          t.misses <- t.misses + 1;
+          with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_misses);
+          None)
 
 let store t key value =
   locked t (fun () ->
       Hashtbl.replace t.mem key value;
       t.stores <- t.stores + 1;
+      with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_stores);
       match path_of t key with
-      | Some path -> write_file_atomic path value
+      | Some path ->
+        write_file_atomic path value;
+        with_metrics t (fun m ->
+            Obs.Metric.Counter.add m.m_disk_bytes (String.length value))
       | None -> ())
 
 let stats t =

@@ -9,9 +9,12 @@
 
 type t
 
-(** [create ?dir ()] — with [dir] the store persists there (the
-    directory is created on demand); without, it is memory-only. *)
-val create : ?dir:string -> unit -> t
+(** [create ?metrics ?dir ()] — with [dir] the store persists there (the
+    directory is created on demand); without, it is memory-only.  With
+    [metrics], the cache keeps [small_cache_*] counters in the registry:
+    hits (plus the disk subset), misses, stores, and bytes written to
+    disk. *)
+val create : ?metrics:Obs.Registry.t -> ?dir:string -> unit -> t
 
 val key : trace_digest:string -> job_digest:string -> string
 

@@ -16,6 +16,24 @@ type 'a ticket = {
   timeout : float option;
   mutable state : 'a state;
   mutable stop_requested : bool;
+  mutable submitted_at : float;   (* Obs.Span clock; 0. when unmetered *)
+}
+
+(* Handles resolved once at [create]; every hot-path touch is a single
+   atomic op behind one option test.  All gauge/counter updates happen
+   under the scheduler lock, in the same critical sections as the plain
+   counters they mirror, so snapshot invariants (outcome counters sum to
+   completed, queue depth matches live queue) hold at any instant. *)
+type metric_handles = {
+  queue_depth : Obs.Metric.Gauge.t;     (* live (non-cancelled) queued *)
+  inflight : Obs.Metric.Gauge.t;        (* running right now *)
+  queue_wait : Obs.Metric.Histogram.t;  (* submit -> start, seconds *)
+  run_time : Obs.Metric.Histogram.t;    (* start -> finish, seconds *)
+  done_jobs : Obs.Metric.Counter.t;     (* small_sched_jobs_total family *)
+  failed_jobs : Obs.Metric.Counter.t;
+  cancelled_jobs : Obs.Metric.Counter.t;
+  timed_out_jobs : Obs.Metric.Counter.t;
+  rejected_jobs : Obs.Metric.Counter.t;
 }
 
 type 'a t = {
@@ -24,6 +42,7 @@ type 'a t = {
   job_finished : Condition.t;     (* some ticket reached Finished *)
   queue : 'a ticket Queue.t;
   capacity : int;
+  metrics : metric_handles option;
   mutable shutting_down : bool;
   mutable running : int;
   mutable completed : int;
@@ -37,6 +56,31 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let resolve_metrics reg =
+  let jobs outcome =
+    Obs.Registry.counter reg ~help:"finalised jobs by outcome"
+      ~labels:[ ("outcome", outcome) ] "small_sched_jobs_total"
+  in
+  { queue_depth =
+      Obs.Registry.gauge reg ~help:"live jobs waiting in the queue"
+        "small_sched_queue_depth";
+    inflight =
+      Obs.Registry.gauge reg ~help:"jobs running on worker domains"
+        "small_sched_inflight";
+    queue_wait =
+      Obs.Registry.histogram reg ~help:"seconds from submit to start"
+        "small_sched_queue_wait_seconds";
+    run_time =
+      Obs.Registry.histogram reg ~help:"seconds from start to finish"
+        "small_sched_run_seconds";
+    done_jobs = jobs "done";
+    failed_jobs = jobs "failed";
+    cancelled_jobs = jobs "cancelled";
+    timed_out_jobs = jobs "timed_out";
+    rejected_jobs = jobs "rejected" }
+
+let with_metrics t f = match t.metrics with None -> () | Some m -> f m
+
 let finalize_locked t tk outcome =
   tk.state <- Finished outcome;
   t.completed <- t.completed + 1;
@@ -44,6 +88,13 @@ let finalize_locked t tk outcome =
    | Cancelled -> t.cancelled_jobs <- t.cancelled_jobs + 1
    | Timed_out -> t.timed_out_jobs <- t.timed_out_jobs + 1
    | Done _ | Failed _ -> ());
+  with_metrics t (fun m ->
+      Obs.Metric.Counter.incr
+        (match outcome with
+         | Done _ -> m.done_jobs
+         | Failed _ -> m.failed_jobs
+         | Cancelled -> m.cancelled_jobs
+         | Timed_out -> m.timed_out_jobs));
   Condition.broadcast t.job_finished
 
 let run_job t tk =
@@ -53,6 +104,7 @@ let run_job t tk =
     match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
   let should_stop () = tk.stop_requested || past_deadline () in
+  let span = match t.metrics with Some _ -> Some (Obs.Span.start ()) | None -> None in
   let outcome =
     match tk.job ~should_stop with
     | v ->
@@ -64,6 +116,11 @@ let run_job t tk =
   in
   locked t (fun () ->
       t.running <- t.running - 1;
+      with_metrics t (fun m ->
+          Obs.Metric.Gauge.decr m.inflight;
+          match span with
+          | Some s -> Obs.Span.finish s m.run_time
+          | None -> ());
       finalize_locked t tk outcome)
 
 let rec worker_loop t =
@@ -80,20 +137,39 @@ let rec worker_loop t =
            | Pending | Running ->
              tk.state <- Running;
              t.running <- t.running + 1;
+             with_metrics t (fun m ->
+                 Obs.Metric.Gauge.decr m.queue_depth;
+                 Obs.Metric.Gauge.incr m.inflight;
+                 Obs.Metric.Histogram.record m.queue_wait
+                   (Float.max 0. (Obs.Span.now () -. tk.submitted_at)));
              Some (Some tk)))
   in
   match job with
   | None -> ()
   | Some None -> worker_loop t
   | Some (Some tk) ->
-    run_job t tk;
+    (* [run_job] catches everything a job can raise, but if the
+       bookkeeping around it ever raises, the bare recursion would kill
+       the worker domain with the ticket still Running: awaiters would
+       hang and the in-flight count would never drop.  Settle the ticket
+       and keep the worker alive instead. *)
+    (try run_job t tk
+     with e ->
+       locked t (fun () ->
+           match tk.state with
+           | Finished _ -> ()
+           | Pending | Running ->
+             t.running <- t.running - 1;
+             with_metrics t (fun m -> Obs.Metric.Gauge.decr m.inflight);
+             finalize_locked t tk (Failed (Printexc.to_string e))));
     worker_loop t
 
-let create ~workers ~capacity () =
+let create ?metrics ~workers ~capacity () =
   if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
   let t =
     { lock = Mutex.create (); work_available = Condition.create ();
       job_finished = Condition.create (); queue = Queue.create (); capacity;
+      metrics = Option.map resolve_metrics metrics;
       shutting_down = false; running = 0; completed = 0; rejected = 0;
       cancelled_jobs = 0; timed_out_jobs = 0; workers = [] }
   in
@@ -106,10 +182,17 @@ let submit t ?timeout job =
       if t.shutting_down then Error `Shutdown
       else if Queue.length t.queue >= t.capacity then begin
         t.rejected <- t.rejected + 1;
+        with_metrics t (fun m -> Obs.Metric.Counter.incr m.rejected_jobs);
         Error `Queue_full
       end
       else begin
-        let tk = { job; timeout; state = Pending; stop_requested = false } in
+        let tk =
+          { job; timeout; state = Pending; stop_requested = false;
+            submitted_at = 0. }
+        in
+        with_metrics t (fun m ->
+            tk.submitted_at <- Obs.Span.now ();
+            Obs.Metric.Gauge.incr m.queue_depth);
         Queue.push tk t.queue;
         Condition.signal t.work_available;
         Ok tk
@@ -130,6 +213,7 @@ let cancel t tk =
       | Pending ->
         tk.stop_requested <- true;
         (* finalise now; the worker skips Finished tickets at the pop *)
+        with_metrics t (fun m -> Obs.Metric.Gauge.decr m.queue_depth);
         finalize_locked t tk Cancelled;
         true
       | Running -> tk.stop_requested <- true; false

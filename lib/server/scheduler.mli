@@ -25,9 +25,18 @@ type 'a ticket
 (** Raised (optionally) by a job that observes [should_stop () = true]. *)
 exception Stop
 
-(** [create ~workers ~capacity ()] spawns [workers] domains (at least 1)
-    over a queue holding at most [capacity] pending jobs. *)
-val create : workers:int -> capacity:int -> unit -> 'a t
+(** [create ?metrics ~workers ~capacity ()] spawns [workers] domains (at
+    least 1) over a queue holding at most [capacity] pending jobs.
+
+    With [metrics], the pool keeps a [small_sched_*] family in the
+    registry: a queue-depth gauge (live pending jobs; returns to 0 when
+    the queue drains), an in-flight gauge, queue-wait and run-time
+    histograms, and a [small_sched_jobs_total{outcome=...}] counter
+    family (done/failed/cancelled/timed_out/rejected).  A worker that
+    dies mid-job settles its ticket as [Failed] and stays in the pool,
+    so the in-flight accounting cannot leak. *)
+val create :
+  ?metrics:Obs.Registry.t -> workers:int -> capacity:int -> unit -> 'a t
 
 (** [submit t ?timeout job] enqueues; [Error `Queue_full] applies
     backpressure, [Error `Shutdown] after {!shutdown}. *)

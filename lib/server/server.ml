@@ -5,6 +5,7 @@
     protocol behind [smallsim serve]/[submit]. *)
 
 module Json = Json
+module Obs_json = Obs_json
 module Job = Job
 module Scheduler = Scheduler
 module Result_cache = Result_cache

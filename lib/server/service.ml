@@ -14,18 +14,74 @@ type response = {
 type t = {
   scheduler : Exec.output Scheduler.t;
   result_cache : Result_cache.t;
+  metrics : Obs.Registry.t;
+  req_latency : Obs.Metric.Histogram.t;
+  req_ok : Obs.Metric.Counter.t;        (* small_svc_requests_total family *)
+  req_error : Obs.Metric.Counter.t;
+  req_timeout : Obs.Metric.Counter.t;
+  req_cancelled : Obs.Metric.Counter.t;
+  req_rejected : Obs.Metric.Counter.t;
+  metrics_file : string option;
   lock : Mutex.t;
   mutable jobs_executed : int;      (* cache misses actually run *)
 }
 
-let create ?cache_dir ~workers ~queue_capacity () =
-  { scheduler = Scheduler.create ~workers ~capacity:queue_capacity ();
-    result_cache = Result_cache.create ?dir:cache_dir ();
+let create ?cache_dir ?metrics_file ~workers ~queue_capacity () =
+  let metrics = Obs.Registry.create () in
+  let req status =
+    Obs.Registry.counter metrics ~help:"job requests answered, by status"
+      ~labels:[ ("status", status) ] "small_svc_requests_total"
+  in
+  { scheduler = Scheduler.create ~metrics ~workers ~capacity:queue_capacity ();
+    result_cache = Result_cache.create ~metrics ?dir:cache_dir ();
+    metrics;
+    req_latency =
+      Obs.Registry.histogram metrics ~help:"seconds from request to response"
+        "small_svc_request_seconds";
+    req_ok = req "ok"; req_error = req "error"; req_timeout = req "timeout";
+    req_cancelled = req "cancelled"; req_rejected = req "rejected";
+    metrics_file;
     lock = Mutex.create (); jobs_executed = 0 }
 
 let cache t = t.result_cache
+let metrics t = t.metrics
+let metrics_text t = Obs.Expo.of_registry t.metrics
 let scheduler_stats t = Scheduler.stats t.scheduler
-let shutdown t = Scheduler.shutdown t.scheduler
+
+(* Exposition written atomically (temp + rename), so a scraper never
+   reads a half-written file. *)
+let write_metrics_file t =
+  match t.metrics_file with
+  | None -> ()
+  | Some path ->
+    let text = metrics_text t in
+    let dir = Filename.dirname path in
+    (try
+       let tmp = Filename.temp_file ~temp_dir:dir "metrics" ".tmp" in
+       (try
+          let oc = open_out_bin tmp in
+          Fun.protect ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc text);
+          Sys.rename tmp path
+        with e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e)
+     with Sys_error _ | Unix.Unix_error _ -> ())
+
+let shutdown t =
+  Scheduler.shutdown t.scheduler;
+  write_metrics_file t
+
+(* Every answered job request lands here exactly once. *)
+let observe_response t (r : response) =
+  Obs.Metric.Histogram.record t.req_latency r.elapsed;
+  Obs.Metric.Counter.incr
+    (match r.outcome with
+     | Ok _ -> t.req_ok
+     | Error (Exec_failed _ | Source_error _) -> t.req_error
+     | Error Timed_out -> t.req_timeout
+     | Error Cancelled -> t.req_cancelled);
+  r
 
 (* ---- the cache-aware submit path ---- *)
 
@@ -39,7 +95,10 @@ let submit t (job : Job.t) =
   | exception e ->
     (* an unreadable source fails without occupying the queue *)
     let failure = Source_error (Printexc.to_string e) in
-    Ok (fun () -> { job; cached = false; elapsed = 0.; outcome = Error failure })
+    Ok
+      (fun () ->
+         observe_response t
+           { job; cached = false; elapsed = 0.; outcome = Error failure })
   | key ->
     match Result_cache.find t.result_cache key with
     | Some stored ->
@@ -50,11 +109,16 @@ let submit t (job : Job.t) =
         | exception Sexp.Reader.Parse_error msg ->
           Error (Exec_failed ("corrupt cache entry: " ^ msg))
       in
-      Ok (fun () -> { job; cached = true; elapsed = now () -. started; outcome })
+      Ok
+        (fun () ->
+           observe_response t
+             { job; cached = true; elapsed = now () -. started; outcome })
     | None ->
       let run ~should_stop = Exec.run ~should_stop job in
       (match Scheduler.submit t.scheduler ?timeout:job.timeout run with
-       | Error _ as e -> e
+       | Error _ as e ->
+         Obs.Metric.Counter.incr t.req_rejected;
+         e
        | Ok ticket ->
          Ok
            (fun () ->
@@ -71,7 +135,8 @@ let submit t (job : Job.t) =
                 | Scheduler.Timed_out -> Error Timed_out
                 | Scheduler.Cancelled -> Error Cancelled
               in
-              { job; cached = false; elapsed = now () -. started; outcome }))
+              observe_response t
+                { job; cached = false; elapsed = now () -. started; outcome }))
 
 let run_job t job =
   match submit t job with
@@ -128,7 +193,8 @@ let stats_json t =
            ("completed", Json.Int s.Scheduler.completed);
            ("rejected", Json.Int s.Scheduler.rejected);
            ("cancelled", Json.Int s.Scheduler.cancelled);
-           ("timed_out", Json.Int s.Scheduler.timed_out) ]) ]
+           ("timed_out", Json.Int s.Scheduler.timed_out) ]);
+      ("metrics", Obs_json.registry_json t.metrics) ]
 
 let respond t job =
   match run_job t job with
@@ -151,11 +217,8 @@ let handle_batch t datums =
   in
   List.map (fun join -> join ()) joins
 
-let handle_line t line =
-  let line = String.trim line in
-  if line = "" then []
-  else
-    match Sexp.parse line with
+let handle_parsed t line =
+  match Sexp.parse line with
     | exception Sexp.Reader.Parse_error msg -> [ error_line ("parse error: " ^ msg) ]
     | Sexp.Datum.Cons (Sym "stats", Nil) -> [ Json.to_string (stats_json t) ]
     | Sexp.Datum.Cons (Sym "batch", rest) when Sexp.Datum.is_list rest ->
@@ -164,6 +227,17 @@ let handle_line t line =
       (match Job.of_sexp d with
        | Ok job -> [ respond t job ]
        | Error msg -> [ error_line msg ])
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then []
+  else begin
+    let responses = handle_parsed t line in
+    (* refresh the exposition file after every handled request, so an
+       external scraper always sees the latest counters *)
+    write_metrics_file t;
+    responses
+  end
 
 let serve_channels t ic oc =
   let quit = ref false in

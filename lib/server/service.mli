@@ -33,9 +33,18 @@ type response = {
   outcome : (Exec.output, failure) result;
 }
 
-(** [create ?cache_dir ~workers ~queue_capacity ()] — omit [cache_dir]
-    for a memory-only cache. *)
-val create : ?cache_dir:string -> workers:int -> queue_capacity:int -> unit -> t
+(** [create ?cache_dir ?metrics_file ~workers ~queue_capacity ()] — omit
+    [cache_dir] for a memory-only cache.
+
+    Every service owns an {!Obs.Registry.t} threaded through its
+    scheduler ([small_sched_*]) and result cache ([small_cache_*]), plus
+    per-request latency and status counters ([small_svc_*]).  With
+    [metrics_file], the Prometheus exposition is rewritten (atomically)
+    after every handled request line and at shutdown, so an external
+    scraper can read it on demand. *)
+val create :
+  ?cache_dir:string -> ?metrics_file:string -> workers:int ->
+  queue_capacity:int -> unit -> t
 
 (** Cache lookup, then submit-and-await.  [Error `Queue_full] is the
     scheduler's backpressure surfacing to the caller. *)
@@ -60,6 +69,15 @@ val serve_socket : t -> path:string -> unit
 
 val cache : t -> Result_cache.t
 val scheduler_stats : t -> Scheduler.stats
+
+(** The service's metric registry (shared with its scheduler and cache). *)
+val metrics : t -> Obs.Registry.t
+
+(** Prometheus text exposition of {!metrics}. *)
+val metrics_text : t -> string
+
+(** Service counters plus the full registry snapshot under ["metrics"]
+    (see {!Obs_json}); this is the [(stats)] response body. *)
 val stats_json : t -> Json.t
 
 (** Drains and joins the worker pool. *)

@@ -139,6 +139,93 @@ let test_failure_capture () =
    | _ -> Alcotest.fail "raising job must be Failed");
   Sch.shutdown s
 
+(* A thunk that raises must settle its ticket as Failed, restore the
+   in-flight accounting, and leave the worker alive for the next job. *)
+let test_failure_keeps_pool_usable () =
+  let reg = Obs.Registry.create () in
+  let s = Sch.create ~metrics:reg ~workers:1 ~capacity:4 () in
+  let t1 = ok (Sch.submit s (fun ~should_stop:_ -> failwith "die")) in
+  (match Sch.await s t1 with
+   | Sch.Failed _ -> ()
+   | _ -> Alcotest.fail "raising job must be Failed");
+  let t2 = ok (Sch.submit s (fun ~should_stop:_ -> 9)) in
+  (match Sch.await s t2 with
+   | Sch.Done 9 -> ()
+   | _ -> Alcotest.fail "the worker must survive a raising thunk");
+  Alcotest.(check int) "running accounting restored" 0 (Sch.stats s).Sch.running;
+  let gauge name =
+    Obs.Metric.Gauge.get (Obs.Registry.gauge reg name)
+  in
+  Alcotest.(check int) "in-flight gauge restored" 0 (gauge "small_sched_inflight");
+  Alcotest.(check int) "queue-depth gauge empty" 0 (gauge "small_sched_queue_depth");
+  Sch.shutdown s
+
+(* N jobs across mixed outcomes on a shared registry: the per-outcome
+   counters must sum to N and the gauges must settle back to zero. *)
+let test_scheduler_metrics_concurrent () =
+  let reg = Obs.Registry.create () in
+  let s = Sch.create ~metrics:reg ~workers:4 ~capacity:128 () in
+  let submitted = ref 0 in
+  let tickets = ref [] in
+  let push t = incr submitted; tickets := t :: !tickets in
+  for i = 1 to 60 do
+    match i mod 4 with
+    | 0 -> push (ok (Sch.submit s (fun ~should_stop:_ -> i)))
+    | 1 -> push (ok (Sch.submit s (fun ~should_stop:_ -> failwith "boom")))
+    | 2 ->
+      push
+        (ok
+           (Sch.submit s ~timeout:0.005 (fun ~should_stop ->
+                while not (should_stop ()) do
+                  Unix.sleepf 0.001
+                done;
+                raise Sch.Stop)))
+    | _ ->
+      let t =
+        ok
+          (Sch.submit s (fun ~should_stop ->
+               Unix.sleepf 0.002;
+               if should_stop () then raise Sch.Stop;
+               i))
+      in
+      ignore (Sch.cancel s t : bool);
+      push t
+  done;
+  List.iter (fun t -> ignore (Sch.await s t : int Sch.outcome)) !tickets;
+  let counter labels =
+    Obs.Metric.Counter.get
+      (Obs.Registry.counter reg ~labels "small_sched_jobs_total")
+  in
+  let outcomes =
+    List.map (fun o -> counter [ ("outcome", o) ])
+      [ "done"; "failed"; "timed_out"; "cancelled" ]
+  in
+  Alcotest.(check int) "per-outcome counters sum to N" !submitted
+    (List.fold_left ( + ) 0 outcomes);
+  Alcotest.(check bool) "every class was exercised" true
+    (List.for_all (fun c -> c > 0) outcomes);
+  Alcotest.(check int) "rejected stays zero" 0
+    (counter [ ("outcome", "rejected") ]);
+  let gauge name = Obs.Metric.Gauge.get (Obs.Registry.gauge reg name) in
+  Alcotest.(check int) "queue depth settled to zero" 0 (gauge "small_sched_queue_depth");
+  Alcotest.(check int) "in-flight settled to zero" 0 (gauge "small_sched_inflight");
+  (* wait/run histograms saw every job that reached a worker *)
+  let hist_count name =
+    match
+      List.find_opt
+        (fun (x : Obs.Registry.sample) -> x.Obs.Registry.name = name)
+        (Obs.Registry.snapshot reg)
+    with
+    | Some { value = Obs.Registry.Histogram_v h; _ } ->
+      Obs.Metric.Histogram.count h
+    | _ -> Alcotest.fail (name ^ " not registered")
+  in
+  Alcotest.(check bool) "queue waits recorded" true
+    (hist_count "small_sched_queue_wait_seconds" > 0);
+  Alcotest.(check bool) "run times recorded" true
+    (hist_count "small_sched_run_seconds" > 0);
+  Sch.shutdown s
+
 (* ---- result cache ---- *)
 
 let test_cache_memory_accounting () =
@@ -169,6 +256,32 @@ let test_cache_disk_persistence () =
   let st = Server.Result_cache.stats c2 in
   Alcotest.(check int) "second hit from memory" 1 st.Server.Result_cache.disk_hits;
   Alcotest.(check int) "both hits counted" 2 st.Server.Result_cache.hits
+
+let test_cache_metrics () =
+  let reg = Obs.Registry.create () in
+  let dir = temp_dir "rescache-metrics" in
+  let c = Server.Result_cache.create ~metrics:reg ~dir () in
+  let k = Server.Result_cache.key ~trace_digest:"t" ~job_digest:"j" in
+  ignore (Server.Result_cache.find c k : string option);
+  Server.Result_cache.store c k "0123456789";
+  ignore (Server.Result_cache.find c k : string option);
+  let counter name =
+    Obs.Metric.Counter.get (Obs.Registry.counter reg name)
+  in
+  Alcotest.(check int) "miss counted" 1 (counter "small_cache_misses_total");
+  Alcotest.(check int) "store counted" 1 (counter "small_cache_stores_total");
+  Alcotest.(check int) "hit counted" 1 (counter "small_cache_hits_total");
+  Alcotest.(check int) "bytes written to disk" 10
+    (counter "small_cache_disk_bytes_total");
+  (* a fresh instance over the same directory counts the disk hit *)
+  let reg2 = Obs.Registry.create () in
+  let c2 = Server.Result_cache.create ~metrics:reg2 ~dir () in
+  ignore (Server.Result_cache.find c2 k : string option);
+  let counter2 name =
+    Obs.Metric.Counter.get (Obs.Registry.counter reg2 name)
+  in
+  Alcotest.(check int) "disk hit counted" 1 (counter2 "small_cache_disk_hits_total");
+  Alcotest.(check int) "disk hit is a hit" 1 (counter2 "small_cache_hits_total")
 
 let test_cache_key_shape () =
   let k1 = Server.Result_cache.key ~trace_digest:"a" ~job_digest:"b" in
@@ -357,10 +470,15 @@ let () =
          Alcotest.test_case "backpressure" `Quick test_backpressure;
          Alcotest.test_case "timeout" `Quick test_timeout;
          Alcotest.test_case "cancel" `Quick test_cancel;
-         Alcotest.test_case "failure" `Quick test_failure_capture ]);
+         Alcotest.test_case "failure" `Quick test_failure_capture;
+         Alcotest.test_case "failure keeps pool usable" `Quick
+           test_failure_keeps_pool_usable;
+         Alcotest.test_case "metrics under concurrency" `Quick
+           test_scheduler_metrics_concurrent ]);
       ("result cache",
        [ Alcotest.test_case "memory accounting" `Quick test_cache_memory_accounting;
          Alcotest.test_case "disk persistence" `Quick test_cache_disk_persistence;
+         Alcotest.test_case "metrics" `Quick test_cache_metrics;
          Alcotest.test_case "key shape" `Quick test_cache_key_shape ]);
       ("jobs",
        [ Alcotest.test_case "parse" `Quick test_job_parse;
