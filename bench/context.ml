@@ -39,7 +39,7 @@ let service =
 let simulate_job config name =
   { Server.Job.source = Server.Job.Workload name;
     spec = Server.Job.Simulate config;
-    timeout = None }
+    timeout = None; priority = 0 }
 
 (* Submit-all-then-await: the pool runs the batch concurrently while the
    results come back in request order.  A rejected or failed job falls
@@ -51,7 +51,7 @@ let through_service jobs fallback unpack =
   List.map
     (fun (job, submitted) ->
        match submitted with
-       | Error (`Queue_full | `Shutdown) -> fallback job
+       | Error (`Overloaded | `Shutdown) -> fallback job
        | Ok join ->
          (match (join ()).Server.Service.outcome with
           | Ok out ->
@@ -76,7 +76,7 @@ let seed_knees ?(config = Core.Simulator.default_config) name seeds =
   let job seed =
     { Server.Job.source = Server.Job.Workload name;
       spec = Server.Job.Knee { config with Core.Simulator.seed };
-      timeout = None }
+      timeout = None; priority = 0 }
   in
   through_service
     (List.map job seeds)

@@ -341,30 +341,51 @@ let serve_cmd =
              ~doc:"Write the Prometheus exposition here after every handled request \
                    (atomically, so a scraper can read it at any time).")
   in
-  let action socket workers queue cache_dir stdio metrics_file =
+  let fault_plan =
+    Arg.(value & opt (some string) None
+         & info [ "fault-plan" ] ~docv:"FILE"
+             ~doc:"Inject faults on the seeded schedule in this plan file \
+                   (see Fault.Plan; for robustness testing).")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~doc:"Re-run a failed job up to this many times.")
+  in
+  let action socket workers queue cache_dir stdio metrics_file fault_plan retries =
     if workers < 1 then Error (`Msg "--workers must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
+    else if retries < 0 then Error (`Msg "--retries must be non-negative")
     else begin
-      let t =
-        Server.Service.create ?cache_dir ?metrics_file ~workers
-          ~queue_capacity:queue ()
-      in
-      Fun.protect
-        ~finally:(fun () -> Server.Service.shutdown t)
-        (fun () ->
-           if stdio then ignore (Server.Service.serve_channels t stdin stdout)
-           else begin
-             Printf.eprintf "smalld: %d workers, queue %d, listening on %s\n%!"
-               workers queue socket;
-             Server.Service.serve_socket t ~path:socket
-           end);
-      Ok ()
+      match
+        match fault_plan with
+        | None -> Ok None
+        | Some path ->
+          (match Fault.Plan.load path with
+           | Ok plan -> Ok (Some plan)
+           | Error msg -> Error (`Msg ("bad fault plan: " ^ msg)))
+      with
+      | Error _ as e -> e
+      | Ok fault ->
+        let t =
+          Server.Service.create ?cache_dir ?metrics_file ?fault ~retries ~workers
+            ~queue_capacity:queue ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Server.Service.shutdown t)
+          (fun () ->
+             if stdio then ignore (Server.Service.serve_channels t stdin stdout)
+             else begin
+               Printf.eprintf "smalld: %d workers, queue %d, listening on %s\n%!"
+                 workers queue socket;
+               Server.Service.serve_socket t ~path:socket
+             end);
+        Ok ()
     end
   in
   let term =
     Term.(term_result
             (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio
-             $ metrics_file))
+             $ metrics_file $ fault_plan $ retries))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -428,9 +449,24 @@ let workloads_cmd =
   let term = Term.(term_result (const action $ const ())) in
   Cmd.v (Cmd.info "workloads" ~doc:"List the built-in benchmark workloads") term
 
+(* Error discipline: every failure — bad arguments, a missing or corrupt
+   trace, an unreadable fault plan, any uncaught exception — exits 2
+   with a single line on stderr.  Scripts and CI can rely on it. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) (String.trim s)
+
 let () =
+  Printexc.record_backtrace false;
   let doc = "SMALL: a structured memory access architecture for Lisp (reproduction)" in
-  let info = Cmd.info "smallsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-                    [ run_cmd; compile_cmd; trace_cmd; analyze_cmd; simulate_cmd;
-                      serve_cmd; submit_cmd; workloads_cmd ]))
+  let info = Cmd.info "smallsim" ~version:"1.0.0" ~doc ~exits:Cmd.Exit.defaults in
+  let group =
+    Cmd.group info
+      [ run_cmd; compile_cmd; trace_cmd; analyze_cmd; simulate_cmd;
+        serve_cmd; submit_cmd; workloads_cmd ]
+  in
+  match Cmd.eval ~catch:false group with
+  | 0 -> exit 0
+  | _ -> exit 2
+  | exception e ->
+    Printf.eprintf "smallsim: %s\n" (one_line (Printexc.to_string e));
+    exit 2

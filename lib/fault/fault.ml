@@ -1,0 +1,7 @@
+(** Deterministic fault injection: a seeded {!Plan} threaded as an
+    optional hook into filesystem writes ({!Trace.Io}, the result
+    cache), scheduler worker thunks, and service request handling, so
+    the serving stack's recovery ladder can be exercised reproducibly
+    (the degraded-mode analogue of the LPT's overflow ladder). *)
+
+module Plan = Plan

@@ -1,0 +1,274 @@
+module D = Sexp.Datum
+
+type config = {
+  seed : int;
+  write_fail : float;
+  torn_write : float;
+  crash : float;
+  delay : float;
+  delay_s : float;
+  garbage : float;
+}
+
+let default =
+  { seed = 0; write_fail = 0.; torn_write = 0.; crash = 0.; delay = 0.;
+    delay_s = 0.01; garbage = 0. }
+
+exception Injected_crash of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash site -> Some ("injected worker crash (" ^ site ^ ")")
+    | _ -> None)
+
+(* Kinds are indexed; names are the metric label values. *)
+let kind_names = [| "write_error"; "torn_write"; "crash"; "delay"; "garbage" |]
+let k_write_error = 0
+let k_torn_write = 1
+let k_crash = 2
+let k_delay = 3
+let k_garbage = 4
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;                            (* guards [sites] *)
+  sites : (string, int Atomic.t) Hashtbl.t;  (* per-site operation counters *)
+  injected : int Atomic.t array;
+  mutable metrics : Obs.Metric.Counter.t array option;
+}
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault.Plan: %s must be in [0,1], got %g" name p)
+
+let create cfg =
+  check_prob "write-fail" cfg.write_fail;
+  check_prob "torn-write" cfg.torn_write;
+  check_prob "crash" cfg.crash;
+  check_prob "delay" cfg.delay;
+  check_prob "garbage" cfg.garbage;
+  if cfg.write_fail +. cfg.torn_write > 1. then
+    invalid_arg "Fault.Plan: write-fail + torn-write > 1";
+  if cfg.crash +. cfg.delay > 1. then invalid_arg "Fault.Plan: crash + delay > 1";
+  if cfg.delay_s < 0. then invalid_arg "Fault.Plan: delay seconds < 0";
+  { cfg; lock = Mutex.create (); sites = Hashtbl.create 8;
+    injected = Array.init (Array.length kind_names) (fun _ -> Atomic.make 0);
+    metrics = None }
+
+let config t = t.cfg
+
+(* ---- the deterministic draw ----
+
+   Decision = splitmix64(fnv1a64(seed, site, n, salt)).  The per-site
+   counter makes the k-th draw at a site a pure function of the seed, so
+   the injection schedule replays exactly; only the assignment of draws
+   to concurrent operations can vary with interleaving. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_init = 0xcbf29ce484222325L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let draw t ~site ~n ~salt =
+  let h = ref (fnv_byte fnv_init t.cfg.seed) in
+  let h' = fnv_byte !h (t.cfg.seed asr 8) in
+  h := h';
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) site;
+  h := fnv_byte !h 0xfe;
+  for i = 0 to 7 do
+    h := fnv_byte !h ((n lsr (8 * i)) land 0xff)
+  done;
+  h := fnv_byte !h salt;
+  splitmix64 !h
+
+(* Uniform in [0,1): the top 53 bits of the mixed hash. *)
+let u01 bits = Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.
+
+let next t site =
+  let counter =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+    match Hashtbl.find_opt t.sites site with
+    | Some a -> a
+    | None ->
+      let a = Atomic.make 0 in
+      Hashtbl.replace t.sites site a;
+      a
+  in
+  Atomic.fetch_and_add counter 1
+
+let note t kind =
+  Atomic.incr t.injected.(kind);
+  match t.metrics with
+  | Some counters -> Obs.Metric.Counter.incr counters.(kind)
+  | None -> ()
+
+(* ---- fault draws per layer ---- *)
+
+type write_fault =
+  | Write_error
+  | Torn_write of float
+
+let on_write t ~site =
+  if t.cfg.write_fail <= 0. && t.cfg.torn_write <= 0. then None
+  else begin
+    let n = next t site in
+    let u = u01 (draw t ~site ~n ~salt:0) in
+    if u < t.cfg.write_fail then begin
+      note t k_write_error;
+      Some Write_error
+    end
+    else if u < t.cfg.write_fail +. t.cfg.torn_write then begin
+      note t k_torn_write;
+      Some (Torn_write (u01 (draw t ~site ~n ~salt:1)))
+    end
+    else None
+  end
+
+type job_fault =
+  | Crash
+  | Delay of float
+
+let on_job t ~site =
+  if t.cfg.crash <= 0. && t.cfg.delay <= 0. then None
+  else begin
+    let n = next t site in
+    let u = u01 (draw t ~site ~n ~salt:0) in
+    if u < t.cfg.crash then begin
+      note t k_crash;
+      Some Crash
+    end
+    else if u < t.cfg.crash +. t.cfg.delay then begin
+      note t k_delay;
+      Some (Delay (t.cfg.delay_s *. (0.5 +. u01 (draw t ~site ~n ~salt:1))))
+    end
+    else None
+  end
+
+(* An oversized request big enough to trip any sane wire cap. *)
+let oversize_padding = 2 * 1024 * 1024
+
+let on_wire t ~site line =
+  if t.cfg.garbage <= 0. then None
+  else begin
+    let n = next t site in
+    if u01 (draw t ~site ~n ~salt:0) >= t.cfg.garbage then None
+    else begin
+      note t k_garbage;
+      let r = draw t ~site ~n ~salt:1 in
+      let len = String.length line in
+      let pos =
+        if len = 0 then 0
+        else Int64.to_int (Int64.rem (Int64.shift_right_logical r 8) (Int64.of_int len))
+      in
+      match Int64.to_int (Int64.logand r 3L) with
+      | 0 when len > 0 ->
+        (* truncate mid-request *)
+        Some (String.sub line 0 pos)
+      | 1 | 2 when len > 0 ->
+        (* flip a byte *)
+        let b = Bytes.of_string line in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+        Some (Bytes.to_string b)
+      | _ ->
+        (* oversized: pad far past the request cap *)
+        Some (line ^ String.make oversize_padding 'x')
+    end
+  end
+
+let counts t =
+  Array.to_list (Array.mapi (fun i name -> (name, Atomic.get t.injected.(i))) kind_names)
+
+let total t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.injected
+
+let attach t reg =
+  t.metrics <-
+    Some
+      (Array.map
+         (fun kind ->
+            Obs.Registry.counter reg ~help:"injected faults by kind"
+              ~labels:[ ("kind", kind) ] "small_fault_injected_total")
+         kind_names)
+
+(* ---- plan files ---- *)
+
+let fnum f = D.str (Printf.sprintf "%g" f)
+
+let to_sexp cfg =
+  D.list
+    [ D.sym "fault-plan";
+      D.list [ D.sym "seed"; D.int cfg.seed ];
+      D.list [ D.sym "write-fail"; fnum cfg.write_fail ];
+      D.list [ D.sym "torn-write"; fnum cfg.torn_write ];
+      D.list [ D.sym "crash"; fnum cfg.crash ];
+      D.list [ D.sym "delay"; fnum cfg.delay; fnum cfg.delay_s ];
+      D.list [ D.sym "garbage"; fnum cfg.garbage ] ]
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let float_of = function
+  | D.Int n -> float_of_int n
+  | D.Sym s | D.Str s ->
+    (match float_of_string_opt s with
+     | Some f -> f
+     | None -> bad "expected a number, got %s" s)
+  | d -> bad "expected a number, got %s" (Sexp.to_string d)
+
+let int_of = function
+  | D.Int n -> n
+  | d -> bad "expected an integer, got %s" (Sexp.to_string d)
+
+let config_of_sexp d =
+  try
+    let clauses =
+      match d with
+      | D.Cons (D.Sym "fault-plan", rest) when D.is_list rest -> D.to_list rest
+      | d -> bad "a plan is (fault-plan (clause)...), got %s" (Sexp.to_string d)
+    in
+    Ok
+      (List.fold_left
+         (fun cfg cl ->
+            match cl with
+            | D.Cons (D.Sym "seed", D.Cons (n, D.Nil)) -> { cfg with seed = int_of n }
+            | D.Cons (D.Sym "write-fail", D.Cons (f, D.Nil)) ->
+              { cfg with write_fail = float_of f }
+            | D.Cons (D.Sym "torn-write", D.Cons (f, D.Nil)) ->
+              { cfg with torn_write = float_of f }
+            | D.Cons (D.Sym "crash", D.Cons (f, D.Nil)) -> { cfg with crash = float_of f }
+            | D.Cons (D.Sym "delay", D.Cons (p, D.Cons (s, D.Nil))) ->
+              { cfg with delay = float_of p; delay_s = float_of s }
+            | D.Cons (D.Sym "delay", D.Cons (p, D.Nil)) -> { cfg with delay = float_of p }
+            | D.Cons (D.Sym "garbage", D.Cons (f, D.Nil)) ->
+              { cfg with garbage = float_of f }
+            | d -> bad "unknown fault-plan clause %s" (Sexp.to_string d))
+         default clauses)
+  with Bad msg -> Error msg
+
+let parse s =
+  match Sexp.parse s with
+  | d -> config_of_sexp d
+  | exception Sexp.Reader.Parse_error msg -> Error ("parse error: " ^ msg)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    match parse contents with
+    | Error msg -> Error (path ^ ": " ^ msg)
+    | Ok cfg ->
+      match create cfg with
+      | t -> Ok t
+      | exception Invalid_argument msg -> Error (path ^ ": " ^ msg)

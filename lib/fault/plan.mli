@@ -1,0 +1,85 @@
+(** Deterministic fault injection.
+
+    A plan is a seeded schedule of faults threaded as an optional hook
+    into the filesystem, scheduler, and wire layers.  Every decision is
+    a pure function of [(seed, site, n)] where [n] is the per-site
+    operation counter: the k-th operation at a given site always draws
+    the same fault for a given seed, regardless of thread interleaving,
+    so a failing run can be replayed by seed alone.
+
+    Sites are short dotted names chosen by the instrumented call sites
+    ("cache.store", "trace.save", "sched.job", "svc.wire").  A plan
+    with all probabilities zero never draws and costs nothing.
+
+    Injections are counted per kind (see {!counts}) and, once
+    {!attach}ed to a registry, under
+    [small_fault_injected_total{kind=...}]. *)
+
+type config = {
+  seed : int;
+  write_fail : float;   (** P(a file write raises an EIO-style [Sys_error]) *)
+  torn_write : float;   (** P(a file write lands partially yet "succeeds") *)
+  crash : float;        (** P(a worker thunk raises {!Injected_crash}) *)
+  delay : float;        (** P(a worker thunk sleeps before running) *)
+  delay_s : float;      (** mean-ish delay duration, seconds *)
+  garbage : float;      (** P(a wire request line is garbled before parsing) *)
+}
+
+(** Seed 0, every probability 0, [delay_s = 0.01]. *)
+val default : config
+
+type t
+
+(** @raise Invalid_argument if a probability is outside [0,1], if
+    [write_fail +. torn_write > 1.], or [crash +. delay > 1.]. *)
+val create : config -> t
+
+val config : t -> config
+
+(** Raised by job thunks on an injected crash; carries the site. *)
+exception Injected_crash of string
+
+type write_fault =
+  | Write_error            (** the write must raise [Sys_error] *)
+  | Torn_write of float    (** a prefix of this fraction lands, then "succeeds" *)
+
+type job_fault =
+  | Crash
+  | Delay of float         (** seconds to sleep before running *)
+
+(** One draw per call; [None] means the operation proceeds normally. *)
+val on_write : t -> site:string -> write_fault option
+
+val on_job : t -> site:string -> job_fault option
+
+(** [on_wire t ~site line] — [Some garbled] replaces the request line:
+    truncated, byte-flipped, or padded past any sane request size. *)
+val on_wire : t -> site:string -> string -> string option
+
+(** Injections so far, by kind name
+    (["write_error"; "torn_write"; "crash"; "delay"; "garbage"]). *)
+val counts : t -> (string * int) list
+
+val total : t -> int
+
+(** Register [small_fault_injected_total{kind=...}] counters; later
+    injections increment them.  Call before injecting. *)
+val attach : t -> Obs.Registry.t -> unit
+
+(** {1 Plan files}
+
+    {v
+    (fault-plan (seed 42) (write-fail 0.1) (torn-write 0.05)
+                (crash 0.1) (delay 0.05 0.002) (garbage 0.02))
+    v} *)
+
+val to_sexp : config -> Sexp.Datum.t
+
+val config_of_sexp : Sexp.Datum.t -> (config, string) result
+
+(** [parse s] reads the plan-file form from a string. *)
+val parse : string -> (config, string) result
+
+(** [load path] reads and validates a plan file; unreadable files and
+    malformed plans come back as [Error] with a one-line message. *)
+val load : string -> (t, string) result

@@ -14,6 +14,7 @@ type t = {
   source : source;
   spec : spec;
   timeout : float option;
+  priority : int;
 }
 
 (* ---- parsing ---- *)
@@ -90,11 +91,13 @@ let of_sexp d =
        bad "unknown workload %s" w
      | Workload _ | Trace_file _ -> ());
     let timeout = ref None in
+    let priority = ref 0 in
     let rest =
       List.filter
         (fun cl ->
            match cl with
            | ("timeout", [ f ]) -> timeout := Some (float_of f); false
+           | ("priority", [ n ]) -> priority := int_of n; false
            | cl -> source_of_clause cl = None)
         clauses
     in
@@ -109,7 +112,7 @@ let of_sexp d =
       | "knee", cls -> Knee (config_of_clauses cls)
       | verb, _ -> bad "unknown job verb %s" verb
     in
-    Ok { source; spec; timeout = !timeout }
+    Ok { source; spec; timeout = !timeout; priority = !priority }
   with Bad msg -> Error msg
 
 let parse line =
@@ -165,7 +168,11 @@ let to_sexp t =
     | None -> []
     | Some f -> [ D.list [ D.sym "timeout"; float_datum f ] ]
   in
-  D.list ((D.sym verb :: source_to_sexp t.source :: clauses) @ timeout)
+  let priority =
+    if t.priority = 0 then []
+    else [ D.list [ D.sym "priority"; D.int t.priority ] ]
+  in
+  D.list ((D.sym verb :: source_to_sexp t.source :: clauses) @ timeout @ priority)
 
 let describe t =
   let src = match t.source with Workload w -> w | Trace_file p -> p in

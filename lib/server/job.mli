@@ -16,7 +16,9 @@
     [(loc-prob F)], [(bind-prob F)], [(read-prob F)], [(split-counts)],
     [(eager-decrement)], [(cache LINES LINE_SIZE)]; unset knobs take
     {!Core.Simulator.default_config}.  [(timeout SECONDS)] bounds the
-    job's execution in the scheduler. *)
+    job's execution in the scheduler; [(priority N)] (default 0) ranks
+    the job for load shedding — under overload, lower-priority queued
+    jobs are shed first. *)
 
 type source =
   | Workload of string         (** a built-in workload, traced on demand *)
@@ -32,6 +34,7 @@ type t = {
   source : source;
   spec : spec;
   timeout : float option;      (** seconds; [None] = no limit *)
+  priority : int;              (** shed rank; higher survives overload longer *)
 }
 
 val of_sexp : Sexp.Datum.t -> (t, string) result
@@ -44,8 +47,8 @@ val to_sexp : t -> Sexp.Datum.t
 (** One-line human label, e.g. ["simulate slang size=512 seed=3"]. *)
 val describe : t -> string
 
-(** A canonical digest of the measurement alone (source and timeout
-    excluded): the job half of the result-cache key.  Cache keys combine
+(** A canonical digest of the measurement alone (source, timeout, and
+    priority excluded): the job half of the result-cache key.  Cache keys combine
     it with the trace digest, so two sources with identical content
     share cached results. *)
 val digest : t -> string

@@ -4,10 +4,13 @@ type metric_handles = {
   m_misses : Obs.Metric.Counter.t;
   m_stores : Obs.Metric.Counter.t;
   m_disk_bytes : Obs.Metric.Counter.t;
+  m_corrupt : Obs.Metric.Counter.t;
+  m_write_errors : Obs.Metric.Counter.t;
 }
 
 type t = {
   dir : string option;
+  fault : Fault.Plan.t option;
   lock : Mutex.t;
   mem : (string, string) Hashtbl.t;
   metrics : metric_handles option;
@@ -15,6 +18,8 @@ type t = {
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable corrupt : int;
+  mutable write_errors : int;
 }
 
 type stats = {
@@ -22,6 +27,8 @@ type stats = {
   disk_hits : int;
   misses : int;
   stores : int;
+  corrupt : int;
+  write_errors : int;
 }
 
 let resolve_metrics reg =
@@ -30,14 +37,16 @@ let resolve_metrics reg =
     m_disk_hits = c "small_cache_disk_hits_total" "result-cache hits loaded from disk";
     m_misses = c "small_cache_misses_total" "result-cache misses";
     m_stores = c "small_cache_stores_total" "results stored";
-    m_disk_bytes = c "small_cache_disk_bytes_total" "result bytes written to disk" }
+    m_disk_bytes = c "small_cache_disk_bytes_total" "result bytes written to disk";
+    m_corrupt = c "small_cache_corrupt_total" "corrupt entries quarantined on read";
+    m_write_errors = c "small_cache_write_errors_total" "failed disk writes (memory kept)" }
 
 let with_metrics t f = match t.metrics with None -> () | Some m -> f m
 
-let create ?metrics ?dir () =
-  { dir; lock = Mutex.create (); mem = Hashtbl.create 64;
+let create ?metrics ?dir ?fault () =
+  { dir; fault; lock = Mutex.create (); mem = Hashtbl.create 64;
     metrics = Option.map resolve_metrics metrics;
-    hits = 0; disk_hits = 0; misses = 0; stores = 0 }
+    hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0; write_errors = 0 }
 
 let key ~trace_digest ~job_digest =
   Digest.to_hex (Digest.string (trace_digest ^ "+" ^ job_digest))
@@ -51,6 +60,37 @@ let path_of t key =
   Option.map
     (fun dir -> Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".result"))
     t.dir
+
+(* ---- on-disk entry format ----
+
+   "SMRC1 <md5hex-of-value> <value-length>\n<value>"
+
+   The header binds the payload to its own digest, so a torn write, a
+   flipped byte, or a foreign file in the cache directory is detected on
+   read instead of being served as a result. *)
+
+let entry_magic = "SMRC1"
+
+let encode_entry value =
+  Printf.sprintf "%s %s %d\n%s" entry_magic
+    (Digest.to_hex (Digest.string value)) (String.length value) value
+
+let decode_entry raw =
+  match String.index_opt raw '\n' with
+  | None -> Error "no header line"
+  | Some nl ->
+    match String.split_on_char ' ' (String.sub raw 0 nl) with
+    | [ magic; hex; len ] ->
+      if magic <> entry_magic then Error "bad magic"
+      else
+        let value = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+        (match int_of_string_opt len with
+         | Some n when n = String.length value ->
+           if Digest.to_hex (Digest.string value) = hex then Ok value
+           else Error "digest mismatch"
+         | Some _ -> Error "length mismatch"
+         | None -> Error "bad length field")
+    | _ -> Error "malformed header"
 
 let read_file path =
   match open_in_bin path with
@@ -67,41 +107,73 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let write_file_atomic path contents =
-  let dir = Filename.dirname path in
-  mkdir_p dir;
-  let tmp = Filename.temp_file ~temp_dir:dir "result" ".tmp" in
-  (try
-     let oc = open_out_bin tmp in
-     Fun.protect ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc contents);
-     Sys.rename tmp path
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e)
+(* A corrupt entry is moved aside to [path ^ ".corrupt"] (never deleted:
+   the evidence is worth keeping) and the lookup becomes a miss, so the
+   caller recomputes and overwrites with a good entry. *)
+let quarantine (t : t) path =
+  t.corrupt <- t.corrupt + 1;
+  with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_corrupt);
+  try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ()
+
+let write_file_atomic t path contents =
+  match Option.bind t.fault (fun p -> Fault.Plan.on_write p ~site:"cache.store") with
+  | Some Fault.Plan.Write_error -> raise (Sys_error (path ^ ": injected write error"))
+  | fault ->
+    let contents =
+      match fault with
+      | Some (Fault.Plan.Torn_write keep) ->
+        (* lying disk: a strict prefix lands and the write "succeeds" *)
+        let n = max 1 (min (String.length contents - 1)
+                         (int_of_float (keep *. float_of_int (String.length contents)))) in
+        String.sub contents 0 n
+      | _ -> contents
+    in
+    let dir = Filename.dirname path in
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir "result" ".tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc contents);
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
 let find t key =
   locked t (fun () ->
+      let miss () =
+        t.misses <- t.misses + 1;
+        with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_misses);
+        None
+      in
       match Hashtbl.find_opt t.mem key with
       | Some v ->
         t.hits <- t.hits + 1;
         with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_hits);
         Some v
       | None ->
-        match Option.bind (path_of t key) read_file with
-        | Some v ->
-          Hashtbl.replace t.mem key v;
-          t.hits <- t.hits + 1;
-          t.disk_hits <- t.disk_hits + 1;
-          with_metrics t (fun m ->
-              Obs.Metric.Counter.incr m.m_hits;
-              Obs.Metric.Counter.incr m.m_disk_hits);
-          Some v
-        | None ->
-          t.misses <- t.misses + 1;
-          with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_misses);
-          None)
+        match path_of t key with
+        | None -> miss ()
+        | Some path ->
+          match read_file path with
+          | None -> miss ()
+          | Some raw ->
+            match decode_entry raw with
+            | Ok v ->
+              Hashtbl.replace t.mem key v;
+              t.hits <- t.hits + 1;
+              t.disk_hits <- t.disk_hits + 1;
+              with_metrics t (fun m ->
+                  Obs.Metric.Counter.incr m.m_hits;
+                  Obs.Metric.Counter.incr m.m_disk_hits);
+              Some v
+            | Error _ ->
+              quarantine t path;
+              miss ())
 
+(* The memory entry is installed unconditionally; a failed disk write
+   degrades persistence, never correctness. *)
 let store t key value =
   locked t (fun () ->
       Hashtbl.replace t.mem key value;
@@ -109,14 +181,19 @@ let store t key value =
       with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_stores);
       match path_of t key with
       | Some path ->
-        write_file_atomic path value;
-        with_metrics t (fun m ->
-            Obs.Metric.Counter.add m.m_disk_bytes (String.length value))
+        let entry = encode_entry value in
+        (match write_file_atomic t path entry with
+         | () ->
+           with_metrics t (fun m ->
+               Obs.Metric.Counter.add m.m_disk_bytes (String.length entry))
+         | exception Sys_error _ ->
+           t.write_errors <- t.write_errors + 1;
+           with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_write_errors))
       | None -> ())
 
 let stats t =
   locked t (fun () ->
       { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
-        stores = t.stores })
+        stores = t.stores; corrupt = t.corrupt; write_errors = t.write_errors })
 
 let dir t = t.dir

@@ -5,21 +5,31 @@
     table fronts an optional on-disk store (one file per key,
     [<dir>/<k0k1>/<key>.result], written atomically), so results survive
     across processes and repeated sweeps hit the cache instead of
-    re-simulating.  All operations are thread-safe. *)
+    re-simulating.  All operations are thread-safe.
+
+    On-disk entries are self-verifying
+    (["SMRC1 <md5hex> <length>\n<payload>"]): a read that fails the
+    digest check quarantines the file to [*.corrupt] and reports a miss,
+    so a torn write or flipped byte is recomputed, never served.  A
+    failed disk write keeps the in-memory entry and counts
+    [small_cache_write_errors_total] — persistence degrades, correctness
+    does not. *)
 
 type t
 
-(** [create ?metrics ?dir ()] — with [dir] the store persists there (the
-    directory is created on demand); without, it is memory-only.  With
-    [metrics], the cache keeps [small_cache_*] counters in the registry:
-    hits (plus the disk subset), misses, stores, and bytes written to
-    disk. *)
-val create : ?metrics:Obs.Registry.t -> ?dir:string -> unit -> t
+(** [create ?metrics ?dir ?fault ()] — with [dir] the store persists
+    there (the directory is created on demand); without, it is
+    memory-only.  With [metrics], the cache keeps [small_cache_*]
+    counters in the registry: hits (plus the disk subset), misses,
+    stores, bytes written, corrupt entries quarantined, and failed
+    writes.  [fault] injects write failures at site ["cache.store"]. *)
+val create : ?metrics:Obs.Registry.t -> ?dir:string -> ?fault:Fault.Plan.t -> unit -> t
 
 val key : trace_digest:string -> job_digest:string -> string
 
 (** [find t key] — [None] counts a miss; hits record whether they came
-    from memory or disk. *)
+    from memory or disk.  Corrupt disk entries are quarantined and
+    reported as misses. *)
 val find : t -> string -> string option
 
 val store : t -> string -> string -> unit
@@ -29,6 +39,8 @@ type stats = {
   disk_hits : int;             (** subset of [hits] loaded from disk *)
   misses : int;
   stores : int;
+  corrupt : int;               (** disk entries quarantined on read *)
+  write_errors : int;          (** failed disk writes (memory kept) *)
 }
 
 val stats : t -> stats

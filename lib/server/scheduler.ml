@@ -3,6 +3,7 @@ type 'a outcome =
   | Failed of string
   | Cancelled
   | Timed_out
+  | Shed
 
 exception Stop
 
@@ -14,6 +15,11 @@ type 'a state =
 type 'a ticket = {
   job : should_stop:(unit -> bool) -> 'a;
   timeout : float option;
+  priority : int;
+  retries : int;                  (* additional attempts allowed after the first *)
+  mutable attempts : int;         (* failed runs so far *)
+  mutable deadline : float;       (* nan until the first run starts; then
+                                     absolute, so retries never extend it *)
   mutable state : 'a state;
   mutable stop_requested : bool;
   mutable submitted_at : float;   (* Obs.Span clock; 0. when unmetered *)
@@ -34,6 +40,8 @@ type metric_handles = {
   cancelled_jobs : Obs.Metric.Counter.t;
   timed_out_jobs : Obs.Metric.Counter.t;
   rejected_jobs : Obs.Metric.Counter.t;
+  shed_jobs : Obs.Metric.Counter.t;
+  retried : Obs.Metric.Counter.t;
 }
 
 type 'a t = {
@@ -42,13 +50,17 @@ type 'a t = {
   job_finished : Condition.t;     (* some ticket reached Finished *)
   queue : 'a ticket Queue.t;
   capacity : int;
+  backoff : float;                (* base retry backoff, seconds *)
   metrics : metric_handles option;
   mutable shutting_down : bool;
+  mutable live_queued : int;      (* Pending tickets in the queue, husks excluded *)
   mutable running : int;
   mutable completed : int;
   mutable rejected : int;
   mutable cancelled_jobs : int;
   mutable timed_out_jobs : int;
+  mutable shed_jobs : int;
+  mutable retried : int;
   mutable workers : unit Domain.t list;
 }
 
@@ -77,7 +89,11 @@ let resolve_metrics reg =
     failed_jobs = jobs "failed";
     cancelled_jobs = jobs "cancelled";
     timed_out_jobs = jobs "timed_out";
-    rejected_jobs = jobs "rejected" }
+    rejected_jobs = jobs "rejected";
+    shed_jobs = jobs "shed";
+    retried =
+      Obs.Registry.counter reg ~help:"job attempts retried after a failure"
+        "small_jobs_retried_total" }
 
 let with_metrics t f = match t.metrics with None -> () | Some m -> f m
 
@@ -87,6 +103,7 @@ let finalize_locked t tk outcome =
   (match outcome with
    | Cancelled -> t.cancelled_jobs <- t.cancelled_jobs + 1
    | Timed_out -> t.timed_out_jobs <- t.timed_out_jobs + 1
+   | Shed -> t.shed_jobs <- t.shed_jobs + 1
    | Done _ | Failed _ -> ());
   with_metrics t (fun m ->
       Obs.Metric.Counter.incr
@@ -94,34 +111,72 @@ let finalize_locked t tk outcome =
          | Done _ -> m.done_jobs
          | Failed _ -> m.failed_jobs
          | Cancelled -> m.cancelled_jobs
-         | Timed_out -> m.timed_out_jobs));
+         | Timed_out -> m.timed_out_jobs
+         | Shed -> m.shed_jobs));
   Condition.broadcast t.job_finished
+
+(* The worker's verdict on one run: settle the ticket, or put it back. *)
+type 'a verdict =
+  | Settle of 'a outcome
+  | Retry of string   (* the failure being retried; carries the backoff below *)
 
 let run_job t tk =
   let started = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> started +. s) tk.timeout in
-  let past_deadline () =
-    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
-  in
+  (* the deadline is fixed at the FIRST start: retries spend the same
+     budget, they do not extend it *)
+  if Float.is_nan tk.deadline then
+    tk.deadline <-
+      (match tk.timeout with Some s -> started +. s | None -> infinity);
+  let past_deadline () = Unix.gettimeofday () > tk.deadline in
   let should_stop () = tk.stop_requested || past_deadline () in
   let span = match t.metrics with Some _ -> Some (Obs.Span.start ()) | None -> None in
-  let outcome =
+  let verdict =
     match tk.job ~should_stop with
     | v ->
-      if tk.stop_requested then Cancelled
-      else if past_deadline () then Timed_out
-      else Done v
-    | exception Stop -> if tk.stop_requested then Cancelled else Timed_out
-    | exception e -> Failed (Printexc.to_string e)
+      if tk.stop_requested then Settle Cancelled
+      else if past_deadline () then Settle Timed_out
+      else Settle (Done v)
+    | exception Stop -> Settle (if tk.stop_requested then Cancelled else Timed_out)
+    | exception e ->
+      tk.attempts <- tk.attempts + 1;
+      if tk.attempts <= tk.retries && not (should_stop ()) then
+        Retry (Printexc.to_string e)
+      else Settle (Failed (Printexc.to_string e))
   in
-  locked t (fun () ->
-      t.running <- t.running - 1;
-      with_metrics t (fun m ->
-          Obs.Metric.Gauge.decr m.inflight;
-          match span with
-          | Some s -> Obs.Span.finish s m.run_time
-          | None -> ());
-      finalize_locked t tk outcome)
+  let finish_run () =
+    t.running <- t.running - 1;
+    with_metrics t (fun m ->
+        Obs.Metric.Gauge.decr m.inflight;
+        match span with
+        | Some s -> Obs.Span.finish s m.run_time
+        | None -> ())
+  in
+  match verdict with
+  | Settle outcome ->
+    locked t (fun () ->
+        finish_run ();
+        finalize_locked t tk outcome)
+  | Retry _ ->
+    (* exponential backoff, slept on the worker outside the lock; the
+       ticket stays accounted as in-flight while it waits *)
+    Unix.sleepf (t.backoff *. Float.pow 2. (float_of_int (tk.attempts - 1)));
+    locked t (fun () ->
+        if tk.stop_requested then begin
+          finish_run ();
+          finalize_locked t tk Cancelled
+        end
+        else begin
+          finish_run ();
+          tk.state <- Pending;
+          t.retried <- t.retried + 1;
+          t.live_queued <- t.live_queued + 1;
+          with_metrics t (fun m ->
+              Obs.Metric.Counter.incr m.retried;
+              Obs.Metric.Gauge.incr m.queue_depth;
+              tk.submitted_at <- Obs.Span.now ());
+          Queue.push tk t.queue;
+          Condition.signal t.work_available
+        end)
 
 let rec worker_loop t =
   let job =
@@ -133,16 +188,27 @@ let rec worker_loop t =
         | None -> None                       (* shutting down, queue drained *)
         | Some tk ->
           (match tk.state with
-           | Finished _ -> Some None         (* cancelled while queued: skip *)
+           | Finished _ -> Some None         (* cancelled/shed while queued: skip *)
            | Pending | Running ->
-             tk.state <- Running;
-             t.running <- t.running + 1;
+             t.live_queued <- t.live_queued - 1;
              with_metrics t (fun m ->
                  Obs.Metric.Gauge.decr m.queue_depth;
-                 Obs.Metric.Gauge.incr m.inflight;
                  Obs.Metric.Histogram.record m.queue_wait
                    (Float.max 0. (Obs.Span.now () -. tk.submitted_at)));
-             Some (Some tk)))
+             (* a requeued ticket whose deadline already passed is dead
+                on arrival: settle it without burning a run *)
+             if (not (Float.is_nan tk.deadline))
+                && Unix.gettimeofday () > tk.deadline
+             then begin
+               finalize_locked t tk Timed_out;
+               Some None
+             end
+             else begin
+               tk.state <- Running;
+               t.running <- t.running + 1;
+               with_metrics t (fun m -> Obs.Metric.Gauge.incr m.inflight);
+               Some (Some tk)
+             end))
   in
   match job with
   | None -> ()
@@ -164,39 +230,68 @@ let rec worker_loop t =
              finalize_locked t tk (Failed (Printexc.to_string e))));
     worker_loop t
 
-let create ?metrics ~workers ~capacity () =
+let create ?metrics ?(backoff = 0.01) ~workers ~capacity () =
   if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
+  if backoff < 0. then invalid_arg "Scheduler.create: backoff < 0";
   let t =
     { lock = Mutex.create (); work_available = Condition.create ();
       job_finished = Condition.create (); queue = Queue.create (); capacity;
-      metrics = Option.map resolve_metrics metrics;
-      shutting_down = false; running = 0; completed = 0; rejected = 0;
-      cancelled_jobs = 0; timed_out_jobs = 0; workers = [] }
+      backoff; metrics = Option.map resolve_metrics metrics;
+      shutting_down = false; live_queued = 0; running = 0; completed = 0;
+      rejected = 0; cancelled_jobs = 0; timed_out_jobs = 0; shed_jobs = 0;
+      retried = 0; workers = [] }
   in
   t.workers <-
     List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?timeout job =
+let submit t ?(priority = 0) ?timeout ?(retries = 0) job =
+  if retries < 0 then invalid_arg "Scheduler.submit: retries < 0";
   locked t (fun () ->
       if t.shutting_down then Error `Shutdown
-      else if Queue.length t.queue >= t.capacity then begin
+      else if t.live_queued >= t.capacity then begin
         t.rejected <- t.rejected + 1;
         with_metrics t (fun m -> Obs.Metric.Counter.incr m.rejected_jobs);
         Error `Queue_full
       end
       else begin
         let tk =
-          { job; timeout; state = Pending; stop_requested = false;
-            submitted_at = 0. }
+          { job; timeout; priority; retries; attempts = 0; deadline = Float.nan;
+            state = Pending; stop_requested = false; submitted_at = 0. }
         in
         with_metrics t (fun m ->
             tk.submitted_at <- Obs.Span.now ();
             Obs.Metric.Gauge.incr m.queue_depth);
+        t.live_queued <- t.live_queued + 1;
         Queue.push tk t.queue;
         Condition.signal t.work_available;
         Ok tk
       end)
+
+(* Overload relief: finalise the lowest-priority queued job strictly
+   below [priority] as {!Shed}, making room for a more important
+   submission.  The husk stays in the queue; the pop loop skips it. *)
+let shed_lower t ~priority =
+  locked t (fun () ->
+      let victim =
+        Queue.fold
+          (fun best (tk : _ ticket) ->
+             match tk.state with
+             | Pending when tk.priority < priority ->
+               (match best with
+                | Some (b : _ ticket) when b.priority <= tk.priority -> best
+                | _ -> Some tk)
+             | _ -> best)
+          None t.queue
+      in
+      match victim with
+      | None -> false
+      | Some tk ->
+        tk.stop_requested <- true;
+        t.live_queued <- t.live_queued - 1;
+        with_metrics t (fun m -> Obs.Metric.Gauge.decr m.queue_depth);
+        finalize_locked t tk Shed;
+        true)
 
 let await t tk =
   locked t (fun () ->
@@ -213,6 +308,7 @@ let cancel t tk =
       | Pending ->
         tk.stop_requested <- true;
         (* finalise now; the worker skips Finished tickets at the pop *)
+        t.live_queued <- t.live_queued - 1;
         with_metrics t (fun m -> Obs.Metric.Gauge.decr m.queue_depth);
         finalize_locked t tk Cancelled;
         true
@@ -226,20 +322,15 @@ type stats = {
   rejected : int;
   cancelled : int;
   timed_out : int;
+  shed : int;
+  retried : int;
 }
 
 let stats t =
   locked t (fun () ->
-      (* queued counts only live tickets, not cancelled husks *)
-      let live =
-        Queue.fold
-          (fun n (tk : _ ticket) ->
-             match tk.state with Pending -> n + 1 | Running | Finished _ -> n)
-          0 t.queue
-      in
-      { queued = live; running = t.running; completed = t.completed;
+      { queued = t.live_queued; running = t.running; completed = t.completed;
         rejected = t.rejected; cancelled = t.cancelled_jobs;
-        timed_out = t.timed_out_jobs })
+        timed_out = t.timed_out_jobs; shed = t.shed_jobs; retried = t.retried })
 
 let shutdown t =
   let already =

@@ -1,6 +1,7 @@
 (** A FIFO job scheduler: a bounded submission queue (backpressure by
     rejection when full) drained by a pool of worker domains, with
-    per-job timeouts and cancellation.
+    per-job timeouts, bounded retry, cancellation, and priority-based
+    load shedding.
 
     Jobs are closures [fun ~should_stop -> ...].  Cancellation and
     timeouts are cooperative while a job runs: [should_stop ()] turns
@@ -9,6 +10,12 @@
     still classified [Timed_out]/[Cancelled] at completion, its result
     discarded.  Jobs still in the queue cancel immediately.
 
+    A job submitted with [retries = n] that raises is re-run up to [n]
+    more times with exponential backoff; the deadline is fixed when the
+    first attempt starts, so retries spend the job's time budget rather
+    than extending it.  {!shed_lower} finalises the lowest-priority
+    queued job as {!Shed} to make room under overload.
+
     All operations are thread-safe; [await] may be called from any
     domain, any number of times. *)
 
@@ -16,35 +23,50 @@ type 'a t
 
 type 'a outcome =
   | Done of 'a
-  | Failed of string           (** the job raised; carries the exception text *)
+  | Failed of string           (** the job raised (and exhausted any retries) *)
   | Cancelled
   | Timed_out
+  | Shed                       (** evicted from the queue by {!shed_lower} *)
 
 type 'a ticket
 
 (** Raised (optionally) by a job that observes [should_stop () = true]. *)
 exception Stop
 
-(** [create ?metrics ~workers ~capacity ()] spawns [workers] domains (at
-    least 1) over a queue holding at most [capacity] pending jobs.
+(** [create ?metrics ?backoff ~workers ~capacity ()] spawns [workers]
+    domains (at least 1) over a queue holding at most [capacity] pending
+    jobs.  [backoff] is the base retry delay in seconds (default 0.01);
+    attempt [k]'s failure waits [backoff *. 2^(k-1)] before requeueing.
 
     With [metrics], the pool keeps a [small_sched_*] family in the
     registry: a queue-depth gauge (live pending jobs; returns to 0 when
     the queue drains), an in-flight gauge, queue-wait and run-time
-    histograms, and a [small_sched_jobs_total{outcome=...}] counter
-    family (done/failed/cancelled/timed_out/rejected).  A worker that
-    dies mid-job settles its ticket as [Failed] and stays in the pool,
-    so the in-flight accounting cannot leak. *)
+    histograms, a [small_sched_jobs_total{outcome=...}] counter family
+    (done/failed/cancelled/timed_out/rejected/shed), and
+    [small_jobs_retried_total].  A worker that dies mid-job settles its
+    ticket as [Failed] and stays in the pool, so the in-flight
+    accounting cannot leak. *)
 val create :
-  ?metrics:Obs.Registry.t -> workers:int -> capacity:int -> unit -> 'a t
+  ?metrics:Obs.Registry.t -> ?backoff:float -> workers:int -> capacity:int ->
+  unit -> 'a t
 
-(** [submit t ?timeout job] enqueues; [Error `Queue_full] applies
-    backpressure, [Error `Shutdown] after {!shutdown}. *)
+(** [submit t ?priority ?timeout ?retries job] enqueues; [Error
+    `Queue_full] applies backpressure, [Error `Shutdown] after
+    {!shutdown}.  [priority] (default 0) only matters to {!shed_lower};
+    the queue itself stays FIFO.  [retries] (default 0) is the number of
+    re-runs allowed after a raising attempt. *)
 val submit :
-  'a t -> ?timeout:float -> (should_stop:(unit -> bool) -> 'a) ->
+  'a t -> ?priority:int -> ?timeout:float -> ?retries:int ->
+  (should_stop:(unit -> bool) -> 'a) ->
   ('a ticket, [ `Queue_full | `Shutdown ]) result
 
-(** Blocks until the ticket's job finishes (or is cancelled). *)
+(** [shed_lower t ~priority] finalises the lowest-priority queued job
+    strictly below [priority] as {!Shed}; [false] if there is none.
+    The overload ladder's first rung: shed cheap queued work before
+    rejecting important new work. *)
+val shed_lower : 'a t -> priority:int -> bool
+
+(** Blocks until the ticket's job finishes (or is cancelled/shed). *)
 val await : 'a t -> 'a ticket -> 'a outcome
 
 (** [cancel t ticket] — [true] if the job was still queued and is now
@@ -55,10 +77,12 @@ val cancel : 'a t -> 'a ticket -> bool
 type stats = {
   queued : int;                (** pending in the queue now *)
   running : int;
-  completed : int;             (** includes failed/cancelled/timed out *)
+  completed : int;             (** includes failed/cancelled/timed out/shed *)
   rejected : int;              (** submissions refused with [`Queue_full] *)
   cancelled : int;
   timed_out : int;
+  shed : int;                  (** evicted by {!shed_lower} *)
+  retried : int;               (** attempts re-run after a failure *)
 }
 
 val stats : 'a t -> stats

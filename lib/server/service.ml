@@ -2,6 +2,7 @@ type failure =
   | Exec_failed of string
   | Timed_out
   | Cancelled
+  | Shed
   | Source_error of string
 
 type response = {
@@ -14,6 +15,9 @@ type response = {
 type t = {
   scheduler : Exec.output Scheduler.t;
   result_cache : Result_cache.t;
+  fault : Fault.Plan.t option;
+  retries : int;
+  max_request_bytes : int;
   metrics : Obs.Registry.t;
   req_latency : Obs.Metric.Histogram.t;
   req_ok : Obs.Metric.Counter.t;        (* small_svc_requests_total family *)
@@ -21,25 +25,33 @@ type t = {
   req_timeout : Obs.Metric.Counter.t;
   req_cancelled : Obs.Metric.Counter.t;
   req_rejected : Obs.Metric.Counter.t;
+  req_overloaded : Obs.Metric.Counter.t;
+  req_shed : Obs.Metric.Counter.t;
   metrics_file : string option;
   lock : Mutex.t;
   mutable jobs_executed : int;      (* cache misses actually run *)
 }
 
-let create ?cache_dir ?metrics_file ~workers ~queue_capacity () =
+let create ?cache_dir ?metrics_file ?fault ?(retries = 0)
+    ?(max_request_bytes = 1 lsl 20) ~workers ~queue_capacity () =
+  if retries < 0 then invalid_arg "Service.create: retries < 0";
+  if max_request_bytes < 1 then invalid_arg "Service.create: max_request_bytes < 1";
   let metrics = Obs.Registry.create () in
+  Option.iter (fun p -> Fault.Plan.attach p metrics) fault;
   let req status =
     Obs.Registry.counter metrics ~help:"job requests answered, by status"
       ~labels:[ ("status", status) ] "small_svc_requests_total"
   in
   { scheduler = Scheduler.create ~metrics ~workers ~capacity:queue_capacity ();
-    result_cache = Result_cache.create ~metrics ?dir:cache_dir ();
+    result_cache = Result_cache.create ~metrics ?dir:cache_dir ?fault ();
+    fault; retries; max_request_bytes;
     metrics;
     req_latency =
       Obs.Registry.histogram metrics ~help:"seconds from request to response"
         "small_svc_request_seconds";
     req_ok = req "ok"; req_error = req "error"; req_timeout = req "timeout";
     req_cancelled = req "cancelled"; req_rejected = req "rejected";
+    req_overloaded = req "overloaded"; req_shed = req "shed";
     metrics_file;
     lock = Mutex.create (); jobs_executed = 0 }
 
@@ -80,10 +92,20 @@ let observe_response t (r : response) =
      | Ok _ -> t.req_ok
      | Error (Exec_failed _ | Source_error _) -> t.req_error
      | Error Timed_out -> t.req_timeout
-     | Error Cancelled -> t.req_cancelled);
+     | Error Cancelled -> t.req_cancelled
+     | Error Shed -> t.req_shed);
   r
 
 (* ---- the cache-aware submit path ---- *)
+
+(* An injected fault hits each ATTEMPT: a crashed thunk that the
+   scheduler retries draws again, so a retry can genuinely recover. *)
+let wrap_thunk t job ~should_stop =
+  (match Option.bind t.fault (fun p -> Fault.Plan.on_job p ~site:"sched.job") with
+   | Some Fault.Plan.Crash -> raise (Fault.Plan.Injected_crash "sched.job")
+   | Some (Fault.Plan.Delay s) -> Unix.sleepf s
+   | None -> ());
+  Exec.run ~should_stop job
 
 let submit t (job : Job.t) =
   let now () = Unix.gettimeofday () in
@@ -114,11 +136,25 @@ let submit t (job : Job.t) =
            observe_response t
              { job; cached = true; elapsed = now () -. started; outcome })
     | None ->
-      let run ~should_stop = Exec.run ~should_stop job in
-      (match Scheduler.submit t.scheduler ?timeout:job.timeout run with
-       | Error _ as e ->
-         Obs.Metric.Counter.incr t.req_rejected;
-         e
+      let run = wrap_thunk t job in
+      let sched_submit () =
+        Scheduler.submit t.scheduler ~priority:job.priority ?timeout:job.timeout
+          ~retries:t.retries run
+      in
+      (* Overload ladder, rung 1: a full queue first sheds a queued job
+         of strictly lower priority to make room; only when nothing can
+         be shed does the caller see (overloaded). *)
+      let submitted =
+        match sched_submit () with
+        | Error `Queue_full when Scheduler.shed_lower t.scheduler ~priority:job.priority ->
+          sched_submit ()
+        | r -> r
+      in
+      (match submitted with
+       | Error `Queue_full ->
+         Obs.Metric.Counter.incr t.req_overloaded;
+         Error `Overloaded
+       | Error `Shutdown -> Error `Shutdown
        | Ok ticket ->
          Ok
            (fun () ->
@@ -134,6 +170,7 @@ let submit t (job : Job.t) =
                 | Scheduler.Failed msg -> Error (Exec_failed msg)
                 | Scheduler.Timed_out -> Error Timed_out
                 | Scheduler.Cancelled -> Error Cancelled
+                | Scheduler.Shed -> Error Shed
               in
               observe_response t
                 { job; cached = false; elapsed = now () -. started; outcome }))
@@ -160,16 +197,17 @@ let response_json r =
   | Error (Source_error msg) -> base "error" [ ("error", Json.Str msg) ]
   | Error Timed_out -> base "timeout" []
   | Error Cancelled -> base "cancelled" []
+  | Error Shed -> base "shed" [ ("error", Json.Str "shed under overload") ]
 
 let error_line msg =
   Json.to_string (Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
 
-let rejected_line (job : Job.t) =
+let overloaded_line (job : Job.t) =
   Json.to_string
     (Json.Obj
-       [ ("status", Json.Str "rejected");
+       [ ("status", Json.Str "overloaded");
          ("job", Json.Str (Job.describe job));
-         ("error", Json.Str "queue full") ])
+         ("error", Json.Str "queue full, nothing lower-priority to shed") ])
 
 let stats_json t =
   let c = Result_cache.stats t.result_cache in
@@ -185,7 +223,9 @@ let stats_json t =
          [ ("hits", Json.Int c.Result_cache.hits);
            ("disk_hits", Json.Int c.Result_cache.disk_hits);
            ("misses", Json.Int c.Result_cache.misses);
-           ("stores", Json.Int c.Result_cache.stores) ]);
+           ("stores", Json.Int c.Result_cache.stores);
+           ("corrupt", Json.Int c.Result_cache.corrupt);
+           ("write_errors", Json.Int c.Result_cache.write_errors) ]);
       ("scheduler",
        Json.Obj
          [ ("queued", Json.Int s.Scheduler.queued);
@@ -193,13 +233,16 @@ let stats_json t =
            ("completed", Json.Int s.Scheduler.completed);
            ("rejected", Json.Int s.Scheduler.rejected);
            ("cancelled", Json.Int s.Scheduler.cancelled);
-           ("timed_out", Json.Int s.Scheduler.timed_out) ]);
+           ("timed_out", Json.Int s.Scheduler.timed_out);
+           ("shed", Json.Int s.Scheduler.shed);
+           ("retried", Json.Int s.Scheduler.retried) ]);
       ("metrics", Obs_json.registry_json t.metrics) ]
 
 let respond t job =
   match run_job t job with
   | Ok r -> Json.to_string (response_json r)
-  | Error (`Queue_full | `Shutdown) -> rejected_line job
+  | Error `Overloaded -> overloaded_line job
+  | Error `Shutdown -> overloaded_line job
 
 let handle_batch t datums =
   (* submit everything before awaiting anything: the pool runs the batch
@@ -212,7 +255,7 @@ let handle_batch t datums =
          | Ok job ->
            (match submit t job with
             | Ok join -> fun () -> Json.to_string (response_json (join ()))
-            | Error (`Queue_full | `Shutdown) -> fun () -> rejected_line job))
+            | Error (`Overloaded | `Shutdown) -> fun () -> overloaded_line job))
       datums
   in
   List.map (fun join -> join ()) joins
@@ -232,7 +275,22 @@ let handle_line t line =
   let line = String.trim line in
   if line = "" then []
   else begin
-    let responses = handle_parsed t line in
+    (* wire fault injection garbles the request BEFORE any parsing, so
+       the whole input path is exercised: truncated and byte-flipped
+       lines must come back as one typed error line, oversized ones must
+       trip the size cap — never an exception out of the accept loop *)
+    let line =
+      match Option.bind t.fault (fun p -> Fault.Plan.on_wire p ~site:"svc.wire" line) with
+      | Some garbled -> garbled
+      | None -> line
+    in
+    let responses =
+      if String.length line > t.max_request_bytes then
+        [ error_line
+            (Printf.sprintf "request too large (%d bytes, cap %d)"
+               (String.length line) t.max_request_bytes) ]
+      else handle_parsed t line
+    in
     (* refresh the exposition file after every handled request, so an
        external scraper always sees the latest counters *)
     write_metrics_file t;

@@ -15,15 +15,24 @@
     {v
     {"status":"ok","job":"simulate slang ...","cached":false,
      "elapsed":1.23,"result":{...}}
-    {"status":"error"|"timeout"|"cancelled"|"rejected",...}
-    v} *)
+    {"status":"error"|"timeout"|"cancelled"|"shed"|"overloaded",...}
+    v}
+
+    Under overload the service climbs a ladder before failing work: a
+    full queue first sheds the lowest-priority queued job (answered
+    ["shed"]) to make room for a higher-priority submission; when
+    nothing lower-priority remains, the new request itself is answered
+    ["overloaded"].  Oversized or unparseable request lines come back as
+    one typed error line — nothing a client sends can raise out of the
+    serving loop. *)
 
 type t
 
 type failure =
-  | Exec_failed of string     (** the job raised *)
+  | Exec_failed of string     (** the job raised (after any retries) *)
   | Timed_out
   | Cancelled
+  | Shed                      (** evicted from the queue under overload *)
   | Source_error of string    (** the trace source could not be read *)
 
 type response = {
@@ -33,8 +42,17 @@ type response = {
   outcome : (Exec.output, failure) result;
 }
 
-(** [create ?cache_dir ?metrics_file ~workers ~queue_capacity ()] — omit
-    [cache_dir] for a memory-only cache.
+(** [create ?cache_dir ?metrics_file ?fault ?retries ?max_request_bytes
+    ~workers ~queue_capacity ()] — omit [cache_dir] for a memory-only
+    cache.
+
+    [fault] threads a {!Fault.Plan} through the whole stack: cache
+    writes (site ["cache.store"]), worker thunks (["sched.job"]), and
+    request lines (["svc.wire"]); its injection counters are registered
+    in this service's registry.  [retries] (default 0) re-runs a raising
+    job thunk with exponential backoff.  [max_request_bytes] (default
+    1 MiB) bounds one request line; longer lines are answered with an
+    error instead of being parsed.
 
     Every service owns an {!Obs.Registry.t} threaded through its
     scheduler ([small_sched_*]) and result cache ([small_cache_*]), plus
@@ -43,20 +61,21 @@ type response = {
     after every handled request line and at shutdown, so an external
     scraper can read it on demand. *)
 val create :
-  ?cache_dir:string -> ?metrics_file:string -> workers:int ->
+  ?cache_dir:string -> ?metrics_file:string -> ?fault:Fault.Plan.t ->
+  ?retries:int -> ?max_request_bytes:int -> workers:int ->
   queue_capacity:int -> unit -> t
 
-(** Cache lookup, then submit-and-await.  [Error `Queue_full] is the
-    scheduler's backpressure surfacing to the caller. *)
-val run_job : t -> Job.t -> (response, [ `Queue_full | `Shutdown ]) result
+(** Cache lookup, then submit-and-await.  [Error `Overloaded] means the
+    queue was full and shedding could not make room. *)
+val run_job : t -> Job.t -> (response, [ `Overloaded | `Shutdown ]) result
 
 (** Async form: returns a join.  The cache hit (or source error) is
     resolved immediately; a miss resolves when the pool finishes. *)
-val submit : t -> Job.t -> (unit -> response, [ `Queue_full | `Shutdown ]) result
+val submit : t -> Job.t -> (unit -> response, [ `Overloaded | `Shutdown ]) result
 
 (** [handle_line t line] — one request line to response lines (a batch
-    yields several).  Never raises: malformed input becomes an error
-    line. *)
+    yields several).  Never raises: malformed or oversized input becomes
+    an error line. *)
 val handle_line : t -> string -> string list
 
 (** Serves until EOF or [(quit)]; returns [true] iff [(quit)] was seen.

@@ -1,5 +1,44 @@
 let magic = "SMTB\x01\n"
 
+exception Corrupt of { offset : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { offset; reason } ->
+      Some (Printf.sprintf "Trace.Binary.Corrupt: %s at byte %d" reason offset)
+    | _ -> None)
+
+(* ---- stream checksum ----
+
+   The writer maintains an FNV-1a 64 hash of every byte it emits, from
+   the magic through the end-of-stream marker, and appends it as a
+   12-byte trailer ("SMCK" + 8 bytes big-endian).  The reader hashes
+   what it consumes and verifies the trailer when present, so a torn
+   write that lands a structurally-decodable prefix (or a flipped
+   payload byte that still parses) is still detected.  Streams without
+   a trailer (pre-checksum files) are accepted. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_init = 0xcbf29ce484222325L
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_bytes h b =
+  let h = ref h in
+  Bytes.iter (fun c -> h := fnv_byte !h (Char.code c)) b;
+  !h
+
+let checksum_tag = "SMCK"
+let trailer_length = String.length checksum_tag + 8
+
+let hash_to_string h =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical h (8 * (7 - i))) land 0xff))
+
 (* ---- encoding primitives ----
 
    All integers are unsigned LEB128 varints; signed values are
@@ -84,14 +123,6 @@ let prim_tag = function
   | Event.Rplaca -> 5
   | Event.Rplacd -> 6
 
-let prim_of_tag = function
-  | 2 -> Event.Car
-  | 3 -> Event.Cdr
-  | 4 -> Event.Cons
-  | 5 -> Event.Rplaca
-  | 6 -> Event.Rplacd
-  | t -> invalid_arg (Printf.sprintf "Trace.Binary: bad primitive tag %d" t)
-
 (* Event tags: 0 call, 1 return, 2-6 the primitives. *)
 let put_event t buf (e : Event.t) =
   match e with
@@ -120,23 +151,31 @@ type writer = {
   chunk : Buffer.t;      (* payload of the chunk being built *)
   frame : Buffer.t;      (* scratch for the chunk header *)
   intern : intern;
+  mutable hash : int64;  (* FNV-1a of every emitted byte so far *)
   mutable pending : int;
   mutable closed : bool;
 }
 
+let wput w s =
+  w.hash <- fnv_string w.hash s;
+  w.sink.put s
+
 let writer_of_sink ?(chunk_events = 4096) sink =
   if chunk_events < 1 then invalid_arg "Trace.Binary.writer: chunk_events < 1";
-  sink.put magic;
-  { sink; chunk_events; chunk = Buffer.create 65536; frame = Buffer.create 16;
-    intern = intern_create (); pending = 0; closed = false }
+  let w =
+    { sink; chunk_events; chunk = Buffer.create 65536; frame = Buffer.create 16;
+      intern = intern_create (); hash = fnv_init; pending = 0; closed = false }
+  in
+  wput w magic;
+  w
 
 let flush_chunk w =
   if w.pending > 0 then begin
     Buffer.clear w.frame;
     put_varint w.frame w.pending;
     put_varint w.frame (Buffer.length w.chunk);
-    w.sink.put (Buffer.contents w.frame);
-    w.sink.put (Buffer.contents w.chunk);
+    wput w (Buffer.contents w.frame);
+    wput w (Buffer.contents w.chunk);
     Buffer.clear w.chunk;
     w.pending <- 0
   end
@@ -150,7 +189,9 @@ let write_event w e =
 let close_writer w =
   if not w.closed then begin
     flush_chunk w;
-    w.sink.put "\x00";          (* event_count = 0: end of stream *)
+    wput w "\x00";          (* event_count = 0: end of stream *)
+    (* the trailer itself is not part of the hashed stream *)
+    w.sink.put (checksum_tag ^ hash_to_string w.hash);
     w.closed <- true
   end
 
@@ -176,7 +217,20 @@ let table_add tbl s =
   tbl.len <- tbl.len + 1;
   s
 
-let corrupt what = invalid_arg ("Trace.Binary: corrupt stream (" ^ what ^ ")")
+(* In-payload decode errors carry the chunk-relative position implicitly
+   (the caller's [pos] ref); [iter_channel] rebases them to a stream
+   offset and raises the public {!Corrupt}. *)
+exception Local of string
+
+let corrupt what = raise (Local what)
+
+let prim_of_tag = function
+  | 2 -> Event.Car
+  | 3 -> Event.Cdr
+  | 4 -> Event.Cons
+  | 5 -> Event.Rplaca
+  | 6 -> Event.Rplacd
+  | t -> corrupt (Printf.sprintf "bad primitive tag %d" t)
 
 let get_varint b pos =
   let n = ref 0 and shift = ref 0 and continue = ref true in
@@ -195,7 +249,7 @@ let get_string_ref tbl b pos =
   let r = get_varint b pos in
   if r = 0 then begin
     let len = get_varint b pos in
-    if !pos + len > Bytes.length b then corrupt "string past chunk end";
+    if len < 0 || !pos + len > Bytes.length b then corrupt "string past chunk end";
     let s = Bytes.sub_string b !pos len in
     pos := !pos + len;
     table_add tbl s
@@ -215,7 +269,7 @@ let rec get_datum tbl b pos : Sexp.Datum.t =
   | 5 | 6 ->
     let count = get_varint b pos in
     (* every car costs at least one byte, so a sane count fits the chunk *)
-    if count > Bytes.length b - !pos then corrupt "list longer than chunk";
+    if count < 0 || count > Bytes.length b - !pos then corrupt "list longer than chunk";
     let cars = Array.make count Sexp.Datum.Nil in
     for i = 0 to count - 1 do
       cars.(i) <- get_datum tbl b pos
@@ -240,46 +294,91 @@ let get_event tbl b pos : Event.t =
   | 2 | 3 | 4 | 5 | 6 ->
     let prim = prim_of_tag tag in
     let nargs = get_varint b pos in
+    (* each argument costs at least one byte *)
+    if nargs < 0 || nargs > Bytes.length b - !pos then corrupt "argument count past chunk end";
     let args = List.init nargs (fun _ -> get_datum tbl b pos) in
     let result = get_datum tbl b pos in
     Prim { prim; args; result }
   | t -> corrupt (Printf.sprintf "event tag %d" t)
 
-let read_channel_varint ic =
-  let n = ref 0 and shift = ref 0 and continue = ref true in
-  (try
-     while !continue do
-       if !shift > Sys.int_size - 1 then corrupt "varint too long";
-       let c = input_byte ic in
-       n := !n lor ((c land 0x7f) lsl !shift);
-       shift := !shift + 7;
-       continue := c land 0x80 <> 0
-     done
-   with End_of_file -> corrupt "truncated chunk header");
-  !n
+(* Fill [buf] with as many bytes as the channel still has; returns how
+   many were read (used for the probe-like trailer read). *)
+let read_available ic buf =
+  let rec fill off =
+    if off >= Bytes.length buf then off
+    else
+      match input ic buf off (Bytes.length buf - off) with
+      | 0 -> off
+      | k -> fill (off + k)
+  in
+  fill 0
 
 let iter_channel ic f =
+  let stream_pos () = try pos_in ic with Sys_error _ -> -1 in
+  let fail reason = raise (Corrupt { offset = stream_pos (); reason }) in
+  let hash = ref fnv_init in
   (match really_input_string ic (String.length magic) with
-   | m when m = magic -> ()
-   | _ -> corrupt "bad magic"
-   | exception End_of_file -> corrupt "bad magic");
+   | m when m = magic -> hash := fnv_string !hash m
+   | _ -> fail "bad magic"
+   | exception End_of_file -> fail "bad magic");
+  let read_varint what =
+    let n = ref 0 and shift = ref 0 and continue = ref true in
+    (try
+       while !continue do
+         if !shift > Sys.int_size - 1 then fail (what ^ ": varint too long");
+         let c = input_byte ic in
+         hash := fnv_byte !hash c;
+         n := !n lor ((c land 0x7f) lsl !shift);
+         shift := !shift + 7;
+         continue := c land 0x80 <> 0
+       done
+     with End_of_file -> fail ("truncated " ^ what));
+    !n
+  in
+  let remaining () =
+    match in_channel_length ic - pos_in ic with
+    | n -> n
+    | exception Sys_error _ -> max_int   (* non-seekable: trust the frame *)
+  in
   let tbl = { strs = Array.make 64 ""; len = 0 } in
   let finished = ref false in
   while not !finished do
-    let count = read_channel_varint ic in
+    let count = read_varint "chunk header" in
     if count = 0 then finished := true
     else begin
-      let len = read_channel_varint ic in
+      let len = read_varint "chunk header" in
+      (* guard the allocation: a corrupt frame must not make us build a
+         multi-gigabyte buffer or spin on an absurd event count *)
+      if len < 0 || len > remaining () then fail "chunk length past end of file";
+      if count > len then fail "more events than payload bytes";
       let payload = Bytes.create len in
       (try really_input ic payload 0 len
-       with End_of_file -> corrupt "truncated chunk payload");
+       with End_of_file -> fail "truncated chunk payload");
+      hash := fnv_bytes !hash payload;
+      let base = stream_pos () in
+      let base = if base >= 0 then base - len else base in
       let pos = ref 0 in
-      for _ = 1 to count do
-        f (get_event tbl payload pos)
-      done;
-      if !pos <> len then corrupt "chunk length mismatch"
+      (try
+         for _ = 1 to count do
+           f (get_event tbl payload pos)
+         done;
+         if !pos <> len then corrupt "chunk length mismatch"
+       with Local reason ->
+         raise (Corrupt { offset = (if base >= 0 then base + !pos else -1); reason }))
     end
-  done
+  done;
+  (* Checksum trailer.  Zero trailing bytes is a pre-checksum stream and
+     is accepted; anything else must be a complete valid trailer — a
+     damaged tag or hash must not read as "legacy". *)
+  let trailer = Bytes.create trailer_length in
+  let got = read_available ic trailer in
+  if got > 0 then begin
+    if got < trailer_length then fail "truncated checksum trailer";
+    if Bytes.sub_string trailer 0 (String.length checksum_tag) <> checksum_tag then
+      fail "bad checksum trailer";
+    if Bytes.sub_string trailer (String.length checksum_tag) 8 <> hash_to_string !hash
+    then fail "checksum mismatch"
+  end
 
 (* ---- whole-capture convenience ---- *)
 
@@ -302,16 +401,38 @@ let to_string capture =
 
 let digest capture = Digest.to_hex (Digest.string (to_string capture))
 
-let save path capture =
+let write_string_atomic path data =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir "trace" ".smtb.tmp" in
   (try
      let oc = open_out_bin tmp in
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc capture);
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
      Sys.rename tmp path
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e)
+
+let save ?fault path capture =
+  match Option.bind fault (fun p -> Fault.Plan.on_write p ~site:"trace.save") with
+  | Some Fault.Plan.Write_error ->
+    raise (Sys_error (path ^ ": injected write error"))
+  | Some (Fault.Plan.Torn_write keep) ->
+    (* a lying disk: a strict prefix lands at the destination and the
+       save "succeeds"; the checksum trailer makes the load catch it *)
+    let data = to_string capture in
+    let n = max 1 (min (String.length data - 1)
+                     (int_of_float (keep *. float_of_int (String.length data)))) in
+    write_string_atomic path (String.sub data 0 n)
+  | None ->
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir "trace" ".smtb.tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc capture);
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
 let load path =
   let ic = open_in_bin path in

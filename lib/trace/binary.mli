@@ -6,7 +6,10 @@
     Framing:
     - the magic {!magic} ("SMTB\x01\n");
     - a sequence of chunks, each [varint event_count, varint byte_length,
-      payload]; a chunk with [event_count = 0] terminates the stream.
+      payload]; a chunk with [event_count = 0] terminates the stream;
+    - an optional 12-byte trailer ["SMCK" ^ fnv1a64(stream)] (big-endian)
+      covering every byte through the end marker.  Streams without a
+      trailer (pre-checksum files) still load.
 
     Within a chunk, events are tag bytes followed by varint fields; all
     integers use LEB128 (signed values zigzag-coded), and every symbol,
@@ -17,6 +20,11 @@
 
 (** The 6-byte magic prefix identifying a binary trace. *)
 val magic : string
+
+(** Raised on a corrupt or truncated stream.  [offset] is the byte
+    position in the stream where the damage was detected ([-1] when the
+    channel is not seekable). *)
+exception Corrupt of { offset : int; reason : string }
 
 (** {1 Streaming writer} *)
 
@@ -29,14 +37,15 @@ val writer : ?chunk_events:int -> out_channel -> writer
 
 val write_event : writer -> Event.t -> unit
 
-(** Flushes the final partial chunk and the end-of-stream marker.  The
-    channel itself is left open for the caller to close. *)
+(** Flushes the final partial chunk, the end-of-stream marker, and the
+    checksum trailer.  The channel itself is left open for the caller to
+    close. *)
 val close_writer : writer -> unit
 
 (** {1 Streaming reader} *)
 
 (** [iter_channel ic f] decodes events chunk by chunk, calling [f] on
-    each.  @raise Invalid_argument on a corrupt or truncated stream. *)
+    each.  @raise Corrupt on a corrupt or truncated stream. *)
 val iter_channel : in_channel -> (Event.t -> unit) -> unit
 
 (** {1 Whole-capture convenience} *)
@@ -44,9 +53,14 @@ val iter_channel : in_channel -> (Event.t -> unit) -> unit
 val write_channel : out_channel -> Capture.t -> unit
 val read_channel : in_channel -> Capture.t
 
-(** Atomic: encodes to a temp file in the target directory, then renames. *)
-val save : string -> Capture.t -> unit
+(** Atomic: encodes to a temp file in the target directory, then
+    renames.  [?fault] draws from the plan at site ["trace.save"]: an
+    injected write error raises [Sys_error] leaving the destination
+    untouched; a torn write lands a strict prefix at the destination
+    (the checksum trailer makes {!load} detect it). *)
+val save : ?fault:Fault.Plan.t -> string -> Capture.t -> unit
 
+(** @raise Corrupt on a damaged file. *)
 val load : string -> Capture.t
 
 (** [to_string capture] is the full encoded stream in memory. *)

@@ -1,5 +1,13 @@
 module D = Sexp.Datum
 
+exception Corrupt of { path : string; offset : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { path; offset; reason } ->
+      Some (Printf.sprintf "Trace.Io.Corrupt: %s: %s at byte %d" path reason offset)
+    | _ -> None)
+
 let event_to_datum (e : Event.t) : D.t =
   match e with
   | Prim { prim; args; result } ->
@@ -26,37 +34,85 @@ let write_channel oc capture =
        output_char oc '\n')
     (Capture.events capture)
 
-let read_channel ic =
+(* Line-by-line sexp reads track the byte offset of each line so parse
+   and shape errors surface as typed {!Corrupt} instead of leaking
+   [Parse_error] / [Invalid_argument] to the serving layer. *)
+let read_sexp_channel ~path ic =
   let capture = Capture.create () in
+  let offset = ref 0 in
   (try
      while true do
+       let line_start = !offset in
        let line = input_line ic in
-       if String.trim line <> "" then
-         Capture.record capture (event_of_datum (Sexp.parse line))
+       (* input_line consumes the newline; channels here are binary *)
+       offset := !offset + String.length line + 1;
+       if String.trim line <> "" then begin
+         let d =
+           try Sexp.parse line
+           with Sexp.Reader.Parse_error msg ->
+             raise (Corrupt { path; offset = line_start; reason = msg })
+         in
+         match event_of_datum d with
+         | e -> Capture.record capture e
+         | exception Invalid_argument msg ->
+           raise (Corrupt { path; offset = line_start; reason = msg })
+       end
      done
    with End_of_file -> ());
   capture
 
+let read_channel ic = read_sexp_channel ~path:"<channel>" ic
+
+let write_string_atomic path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "trace" ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
 (* Saves are atomic: encode to a temp file in the target directory, then
    rename over the destination, so a killed run can never leave a
-   truncated trace behind. *)
-let save ?(format = Sexp_lines) path capture =
+   truncated trace behind.  An injected [Torn_write] deliberately
+   bypasses that guarantee — it models a disk that acknowledged bytes it
+   never persisted — which is exactly what the load-side checks exist
+   to catch. *)
+let save ?(format = Sexp_lines) ?fault path capture =
   match format with
-  | Binary -> Binary.save path capture
+  | Binary -> Binary.save ?fault path capture
   | Sexp_lines ->
-    let dir = Filename.dirname path in
-    let tmp = Filename.temp_file ~temp_dir:dir "trace" ".tmp" in
-    (try
-       let oc = open_out tmp in
-       Fun.protect ~finally:(fun () -> close_out oc)
-         (fun () -> write_channel oc capture);
-       Sys.rename tmp path
-     with e ->
-       (try Sys.remove tmp with Sys_error _ -> ());
-       raise e)
+    match Option.bind fault (fun p -> Fault.Plan.on_write p ~site:"trace.save") with
+    | Some Fault.Plan.Write_error ->
+      raise (Sys_error (path ^ ": injected write error"))
+    | Some (Fault.Plan.Torn_write keep) ->
+      let buf = Buffer.create 65536 in
+      Array.iter
+        (fun e ->
+           Buffer.add_string buf (Sexp.to_string (event_to_datum e));
+           Buffer.add_char buf '\n')
+        (Capture.events capture);
+      let data = Buffer.contents buf in
+      let n = max 1 (min (String.length data - 1)
+                       (int_of_float (keep *. float_of_int (String.length data)))) in
+      write_string_atomic path (String.sub data 0 n)
+    | None ->
+      let dir = Filename.dirname path in
+      let tmp = Filename.temp_file ~temp_dir:dir "trace" ".tmp" in
+      (try
+         let oc = open_out tmp in
+         Fun.protect ~finally:(fun () -> close_out oc)
+           (fun () -> write_channel oc capture);
+         Sys.rename tmp path
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e)
 
 (* [load] serves either format: a binary trace announces itself with the
-   SMTB magic, anything else is read as datum lines. *)
+   SMTB magic, anything else is read as datum lines.  Damage in either
+   format surfaces as {!Corrupt} carrying the path and byte offset. *)
 let load path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
@@ -71,5 +127,6 @@ let load path =
   let got = fill 0 in
   seek_in ic 0;
   if got = Bytes.length probe && Bytes.to_string probe = Binary.magic then
-    Binary.read_channel ic
-  else read_channel ic
+    try Binary.read_channel ic
+    with Binary.Corrupt { offset; reason } -> raise (Corrupt { path; offset; reason })
+  else read_sexp_channel ~path ic

@@ -9,7 +9,15 @@
 
     [save] is atomic in both formats: the encoding goes to a temp file
     in the destination directory which is then renamed into place, so a
-    killed run cannot leave a truncated trace behind. *)
+    killed run cannot leave a truncated trace behind.  [load] verifies
+    structure (and, for binary traces, the checksum trailer) and raises
+    the typed {!Corrupt} on damaged input in either format — callers
+    never see parser internals or [Invalid_argument]. *)
+
+(** Raised by {!load} on truncated or garbage input.  [offset] is the
+    byte position of the damaged line or chunk within the file ([-1]
+    when unknown). *)
+exception Corrupt of { path : string; offset : int; reason : string }
 
 val event_to_datum : Event.t -> Sexp.Datum.t
 
@@ -22,10 +30,15 @@ type format = Sexp_lines | Binary
     format. *)
 val write_channel : out_channel -> Capture.t -> unit
 
+(** @raise Corrupt on malformed input (path reported as ["<channel>"]). *)
 val read_channel : in_channel -> Capture.t
 
-(** [save ?format path capture] writes atomically; default {!Sexp_lines}. *)
-val save : ?format:format -> string -> Capture.t -> unit
+(** [save ?format ?fault path capture] writes atomically; default
+    {!Sexp_lines}.  [?fault] draws at site ["trace.save"]: an injected
+    write error raises [Sys_error] with the destination untouched; a
+    torn write lands a strict prefix of the encoding ("lying disk"). *)
+val save : ?format:format -> ?fault:Fault.Plan.t -> string -> Capture.t -> unit
 
-(** [load path] auto-detects the format from the file's first bytes. *)
+(** [load path] auto-detects the format from the file's first bytes.
+    @raise Corrupt on truncated or garbage input in either format. *)
 val load : string -> Capture.t

@@ -1,0 +1,138 @@
+(* End-to-end CLI error discipline: every failure — bad arguments, a
+   missing or corrupt trace, an unreadable fault plan — exits 2 with a
+   short diagnostic on stderr, never a backtrace.  Runs the real
+   executable (a dune rule dependency) via the shell. *)
+
+let exe = "../bin/smallsim.exe"
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* [run args] -> (exit code, stderr lines); stdout is discarded. *)
+let run args =
+  let err = Filename.temp_file "clierr" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s %s >/dev/null 2>%s" exe args err) in
+  let ic = open_in err in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove err;
+  (code, List.rev !lines)
+
+let check_failure ?expect name args =
+  let code, lines = run args in
+  Alcotest.(check int) (name ^ ": exit code") 2 code;
+  Alcotest.(check bool) (name ^ ": stderr not empty") true (lines <> []);
+  (* a backtrace would add "Raised at ..." lines *)
+  List.iter
+    (fun l ->
+       Alcotest.(check bool) (name ^ ": no backtrace") false
+         (contains l "Raised at" || contains l "Called from"))
+    lines;
+  match expect with
+  | None -> ()
+  | Some needle ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stderr mentions %S" name needle)
+      true
+      (List.exists (fun l -> contains l needle) lines)
+
+let one_line name args expect =
+  let code, lines = run args in
+  Alcotest.(check int) (name ^ ": exit code") 2 code;
+  Alcotest.(check int) (name ^ ": exactly one stderr line") 1 (List.length lines);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: line mentions %S" name expect)
+    true
+    (contains (List.hd lines) expect)
+
+let test_missing_source () =
+  one_line "analyze without a source" "analyze" "need --workload or --trace"
+
+let test_missing_trace_file () =
+  check_failure "nonexistent trace file" "analyze -t /nonexistent/trace.smtb"
+
+let test_corrupt_trace () =
+  let path = Filename.temp_file "clibad" ".trace" in
+  let oc = open_out_bin path in
+  output_string oc "((((((((( this is not a trace";
+  close_out oc;
+  one_line "corrupt trace" (Printf.sprintf "analyze -t %s" (Filename.quote path))
+    "Corrupt";
+  Sys.remove path
+
+let test_truncated_binary_trace () =
+  let capture = Trace.Synth.generate { Trace.Synth.default with length = 200 } in
+  let path = Filename.temp_file "clitrunc" ".smtb" in
+  Trace.Io.save ~format:Trace.Io.Binary path capture;
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  one_line "truncated binary trace"
+    (Printf.sprintf "simulate -t %s" (Filename.quote path))
+    "Corrupt";
+  Sys.remove path
+
+let test_missing_fault_plan () =
+  one_line "missing fault plan" "serve --stdio --fault-plan /nonexistent/plan.sexp"
+    "bad fault plan"
+
+let test_malformed_fault_plan () =
+  let path = Filename.temp_file "cliplan" ".sexp" in
+  let oc = open_out path in
+  output_string oc "(fault-plan (seed banana))";
+  close_out oc;
+  one_line "malformed fault plan"
+    (Printf.sprintf "serve --stdio --fault-plan %s" (Filename.quote path))
+    "bad fault plan";
+  Sys.remove path
+
+let test_invalid_fault_rate () =
+  let path = Filename.temp_file "cliplan" ".sexp" in
+  let oc = open_out path in
+  output_string oc "(fault-plan (seed 1) (write-fail 2.5))";
+  close_out oc;
+  one_line "out-of-range fault rate"
+    (Printf.sprintf "serve --stdio --fault-plan %s" (Filename.quote path))
+    "bad fault plan";
+  Sys.remove path
+
+let test_bad_retries () =
+  one_line "negative retries" "serve --stdio --retries=-1"
+    "--retries must be non-negative"
+
+let test_unknown_option () =
+  check_failure "unknown option" "simulate --frobnicate"
+
+let test_unknown_command () =
+  check_failure "unknown command" "transmogrify"
+
+let test_success_paths () =
+  let code, _ = run "workloads" in
+  Alcotest.(check int) "workloads exits 0" 0 code;
+  let code, _ = run "--version" in
+  Alcotest.(check int) "--version exits 0" 0 code
+
+let () =
+  Alcotest.run "cli"
+    [ ("errors",
+       [ Alcotest.test_case "missing source" `Quick test_missing_source;
+         Alcotest.test_case "missing trace file" `Quick test_missing_trace_file;
+         Alcotest.test_case "corrupt trace" `Quick test_corrupt_trace;
+         Alcotest.test_case "truncated binary trace" `Quick test_truncated_binary_trace;
+         Alcotest.test_case "missing fault plan" `Quick test_missing_fault_plan;
+         Alcotest.test_case "malformed fault plan" `Quick test_malformed_fault_plan;
+         Alcotest.test_case "out-of-range fault rate" `Quick test_invalid_fault_rate;
+         Alcotest.test_case "negative retries" `Quick test_bad_retries;
+         Alcotest.test_case "unknown option" `Quick test_unknown_option;
+         Alcotest.test_case "unknown command" `Quick test_unknown_command;
+         Alcotest.test_case "success paths" `Quick test_success_paths ]) ]

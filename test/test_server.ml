@@ -8,8 +8,7 @@ module D = Sexp.Datum
 
 let ok = function
   | Ok v -> v
-  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full"
-  | Error `Shutdown -> Alcotest.fail "unexpected Shutdown"
+  | Error _ -> Alcotest.fail "unexpected submit error"
 
 let contains hay needle =
   let n = String.length needle and h = String.length hay in
@@ -271,7 +270,8 @@ let test_cache_metrics () =
   Alcotest.(check int) "miss counted" 1 (counter "small_cache_misses_total");
   Alcotest.(check int) "store counted" 1 (counter "small_cache_stores_total");
   Alcotest.(check int) "hit counted" 1 (counter "small_cache_hits_total");
-  Alcotest.(check int) "bytes written to disk" 10
+  (* the self-verifying entry = "SMRC1 <32-hex> <len>\n" header + payload *)
+  Alcotest.(check int) "bytes written to disk" (6 + 32 + 1 + 2 + 1 + 10)
     (counter "small_cache_disk_bytes_total");
   (* a fresh instance over the same directory counts the disk hit *)
   let reg2 = Obs.Registry.create () in
@@ -386,7 +386,7 @@ let sim_config seed = { Core.Simulator.default_config with table_size = 64; seed
 let sim_job seed =
   { Server.Job.source = Server.Job.Trace_file (Lazy.force saved_synth_trace);
     spec = Server.Job.Simulate (sim_config seed);
-    timeout = None }
+    timeout = None; priority = 0 }
 
 let result_bytes (r : Server.Service.response) =
   match r.Server.Service.outcome with

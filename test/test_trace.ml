@@ -122,10 +122,80 @@ let test_binary_rejects_corrupt () =
   let raised =
     match Trace.Io.load path with
     | _ -> false
-    | exception Invalid_argument _ -> true
+    | exception Trace.Io.Corrupt { path = p; offset; reason } ->
+      p = path && offset >= 0 && reason <> ""
   in
   Sys.remove path;
-  Alcotest.(check bool) "corrupt stream rejected" true raised
+  Alcotest.(check bool) "corrupt stream rejected with typed error" true raised
+
+(* Satellite: a valid binary trace truncated at EVERY byte boundary must
+   load as Corrupt — never crash, hang, or silently yield a trace. *)
+let test_binary_truncation_everywhere () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 120; seed = 9 } in
+  let data = Trace.Binary.to_string c in
+  let dir = Filename.temp_file "tracetrunc" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "t.smtb" in
+  for cut = 0 to String.length data - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub data 0 cut);
+    close_out oc;
+    match Trace.Io.load path with
+    | c' ->
+      (* two legal silent loads: the empty prefix (sexp format, zero
+         events), and stripping exactly the 12-byte trailer — a valid
+         pre-checksum stream whose every event landed *)
+      if cut = 0 then
+        Alcotest.(check int) "empty prefix loads as empty sexp trace"
+          0 (Trace.Capture.length c')
+      else if cut = String.length data - 12 then
+        Alcotest.(check bool) "trailer-stripped stream is still complete"
+          true (captures_equal c c')
+      else Alcotest.failf "truncation at %d/%d loaded silently" cut (String.length data)
+    | exception Trace.Io.Corrupt { path = p; offset = _; reason = _ } ->
+      Alcotest.(check string) "corrupt error names the file" path p
+  done;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_sexp_corrupt_offsets () =
+  let path = Filename.temp_file "trace" ".trace" in
+  let oc = open_out_bin path in
+  output_string oc "(c f 1)\n(((\n";
+  close_out oc;
+  (match Trace.Io.load path with
+   | _ -> Alcotest.fail "garbage line accepted"
+   | exception Trace.Io.Corrupt { offset; _ } ->
+     Alcotest.(check int) "offset points at the bad line" 8 offset);
+  let oc = open_out_bin path in
+  output_string oc "(c f 1)\n(x y)\n";
+  close_out oc;
+  (match Trace.Io.load path with
+   | _ -> Alcotest.fail "malformed event accepted"
+   | exception Trace.Io.Corrupt { offset; _ } ->
+     Alcotest.(check int) "offset points at the bad event" 8 offset);
+  Sys.remove path
+
+let test_binary_checksum_catches_bitflip () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 80; seed = 3 } in
+  let data = Trace.Binary.to_string c in
+  let path = Filename.temp_file "trace" ".smtb" in
+  let caught = ref 0 and clean = ref 0 in
+  for pos = String.length Trace.Binary.magic to String.length data - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc;
+    match Trace.Io.load path with
+    | _ -> incr clean
+    | exception Trace.Io.Corrupt _ -> incr caught
+  done;
+  Sys.remove path;
+  (* with the checksum trailer, every single-bit flip must be caught *)
+  Alcotest.(check int) "every bit-flip detected" 0 !clean;
+  Alcotest.(check bool) "some flips exercised" true (!caught > 0)
 
 let test_save_is_atomic () =
   let dir = Filename.temp_file "tracedir" "" in
@@ -342,6 +412,42 @@ let prop_binary_roundtrip =
       let s = via Trace.Io.Sexp_lines ".trace" in
       captures_equal c b && captures_equal c s && captures_equal b s)
 
+(* Fuzz the decoder: random byte-flips and truncations of a valid
+   encoded stream must load as either a typed Corrupt or a valid capture
+   — never any other exception, crash, or hang. *)
+let prop_binary_fuzz_corruption =
+  QCheck.Test.make ~name:"corrupted binary streams fail typed or load" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (list_size (int_range 1 30) gen_event)
+           (list_size (int_range 0 6) (pair (int_range 0 10_000) (int_range 1 255)))
+           (opt (int_range 0 10_000))))
+    (fun (events, flips, trunc) ->
+      let data = Trace.Binary.to_string (mk_capture events) in
+      let b = Bytes.of_string data in
+      List.iter
+        (fun (pos, x) ->
+           let pos = pos mod Bytes.length b in
+           Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x)))
+        flips;
+      let mutated =
+        match trunc with
+        | Some cut -> Bytes.sub_string b 0 (cut mod (Bytes.length b + 1))
+        | None -> Bytes.to_string b
+      in
+      let path = Filename.temp_file "tracefuzz" ".smtb" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+           let oc = open_out_bin path in
+           output_string oc mutated;
+           close_out oc;
+           match Trace.Io.load path with
+           | (_ : Trace.Capture.t) -> true
+           | exception Trace.Io.Corrupt _ -> true
+           | exception _ -> false))
+
 let () =
   Alcotest.run "trace"
     [ ("capture",
@@ -355,7 +461,11 @@ let () =
        [ Alcotest.test_case "multi-chunk roundtrip" `Quick test_binary_roundtrip_synth;
          Alcotest.test_case "edge datums" `Quick test_binary_edge_datums;
          Alcotest.test_case "digest" `Quick test_binary_digest;
-         Alcotest.test_case "corrupt stream" `Quick test_binary_rejects_corrupt ]);
+         Alcotest.test_case "corrupt stream" `Quick test_binary_rejects_corrupt;
+         Alcotest.test_case "truncation everywhere" `Quick test_binary_truncation_everywhere;
+         Alcotest.test_case "sexp corrupt offsets" `Quick test_sexp_corrupt_offsets;
+         Alcotest.test_case "checksum catches bit-flips" `Quick
+           test_binary_checksum_catches_bitflip ]);
       ("preprocess",
        [ Alcotest.test_case "unique ids" `Quick test_preprocess_ids;
          Alcotest.test_case "chaining" `Quick test_preprocess_chaining;
@@ -369,4 +479,5 @@ let () =
          Alcotest.test_case "mix profiles" `Quick test_synth_mix_profiles ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_io_roundtrip;
-         QCheck_alcotest.to_alcotest prop_binary_roundtrip ]) ]
+         QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+         QCheck_alcotest.to_alcotest prop_binary_fuzz_corruption ]) ]
