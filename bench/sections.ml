@@ -936,16 +936,43 @@ let () =
        [ "(a b c (d e) f g)"; "(a (b (c (d e) f) g))" ])
 
 let () =
-  register "traceio" "Trace store: binary vs sexp size and load time" @@ fun () ->
-  (* the largest capture (slang, ~50k primitive events) through both
-     on-disk formats: bytes, write time, and best-of-3 load time *)
-  let capture = Context.trace "slang" in
+  register "traceio" "Trace store: zero-copy mmap replay vs the legacy reader" @@ fun () ->
+  (* Two experiments on one large synthetic trace.  First the store
+     comparison (sexp vs binary bytes, write and load time), then the
+     replay pipelines over the binary file:
+     - legacy: open a channel and decode the whole stream into a
+       capture before any event is visible ([Trace.Binary.read_channel],
+       what [Trace.Io.load] did before mmap);
+     - mapped: [source_of_path] (mmap, O(1)) and flat batch iteration —
+       startup is the time to the first decoded batch, replay never
+       materialises an event.
+     SMALLSIM_BENCH_SMOKE=1 (CI) shrinks the trace, and then a mapped
+     replay slower than the legacy reader fails the bench; with
+     SMALLSIM_BENCH_REPLAY_OUT=FILE the measurements land as JSON (the
+     BENCH_replay.json trajectory). *)
+  let smoke = Sys.getenv_opt "SMALLSIM_BENCH_SMOKE" <> None in
+  let length = if smoke then 60_000 else 400_000 in
+  let capture = Trace.Synth.generate { Trace.Synth.default with length } in
   let events = Trace.Capture.length capture in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let _, s = time f in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let alloc_of f =
+    let before = Gc.allocated_bytes () in
+    ignore (f ());
+    Gc.allocated_bytes () -. before
+  in
+  let mb bytes = bytes /. (1024. *. 1024.) in
   let measure format suffix =
     let path = Filename.temp_file "smallsim-trace" suffix in
     Fun.protect
@@ -969,11 +996,90 @@ let () =
       Printf.sprintf "%.4f" load_s; speedup ]
   in
   Util.Series.print_rows
-    ~title:(Printf.sprintf "Trace store — sexp vs binary on the %d-event slang trace" events)
+    ~title:(Printf.sprintf "Trace store — sexp vs binary on a %d-event synthetic trace" events)
     ~header:[ "format"; "bytes"; "write s"; "load s"; "load speedup" ]
     [ row "sexp lines" (s_bytes, s_write, s_load) "1.00x";
       row "binary" (b_bytes, b_write, b_load)
-        (Printf.sprintf "%.2fx" (s_load /. Float.max b_load 1e-9)) ]
+        (Printf.sprintf "%.2fx" (s_load /. Float.max b_load 1e-9)) ];
+  (* ---- replay pipelines over the binary file ---- *)
+  let path = Filename.temp_file "smallsim-replay" ".smtb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Trace.Io.save ~format:Trace.Io.Binary path capture;
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  let reps = if smoke then 3 else 5 in
+  let legacy_load () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+         let c = Trace.Binary.read_channel ic in
+         if Trace.Capture.length c <> events then
+           failwith "traceio: legacy reader saw the wrong event count")
+  in
+  let mapped_startup () =
+    let r = Trace.Binary.read_source (Trace.Binary.source_of_path path) in
+    if Trace.Binary.next_batch r = None && events > 0 then
+      failwith "traceio: mapped reader produced no batch"
+  in
+  let batch_replay () =
+    let n = ref 0 in
+    Trace.Binary.iter_batches (Trace.Binary.source_of_path path) (fun b ->
+        n := !n + Trace.Binary.Batch.length b);
+    if !n <> events then failwith "traceio: batch replay saw the wrong event count"
+  in
+  let legacy_s = best_of reps legacy_load in
+  let startup_s = best_of reps mapped_startup in
+  let replay_s = best_of reps batch_replay in
+  let legacy_alloc = alloc_of legacy_load in
+  let batch_alloc = alloc_of batch_replay in
+  let header_stats () = ignore (Trace.Binary.header_stats (Trace.Binary.source_of_path path)) in
+  let stats_s = best_of reps header_stats in
+  let pre_reps = if smoke then 1 else 2 in
+  let pre_run_s = best_of pre_reps (fun () -> ignore (Trace.Preprocess.run capture)) in
+  let pre_src_s =
+    best_of pre_reps (fun () ->
+        ignore (Trace.Preprocess.run_source (Trace.Binary.source_of_path path)))
+  in
+  let startup_speedup = legacy_s /. Float.max startup_s 1e-9 in
+  let replay_speedup = legacy_s /. Float.max replay_s 1e-9 in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf "Replay — legacy whole-file reader vs zero-copy batches (%d events, %d bytes)"
+         events file_bytes)
+    ~header:[ "pipeline"; "startup s"; "full replay s"; "alloc MB"; "replay speedup" ]
+    [ [ "legacy read_channel"; Printf.sprintf "%.4f" legacy_s;
+        Printf.sprintf "%.4f" legacy_s; Printf.sprintf "%.1f" (mb legacy_alloc);
+        "1.00x" ];
+      [ "mmap + flat batches"; Printf.sprintf "%.6f" startup_s;
+        Printf.sprintf "%.4f" replay_s; Printf.sprintf "%.1f" (mb batch_alloc);
+        Printf.sprintf "%.2fx" replay_speedup ] ];
+  Printf.printf "replay startup: %.6fs mapped vs %.4fs legacy (%.0fx); \
+                 header-only stats: %.6fs\n"
+    startup_s legacy_s startup_speedup stats_s;
+  Printf.printf "preprocess: run %.4fs vs run_source %.4fs (%.2fx)\n"
+    pre_run_s pre_src_s (pre_run_s /. Float.max pre_src_s 1e-9);
+  (match Sys.getenv_opt "SMALLSIM_BENCH_REPLAY_OUT" with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     Printf.fprintf oc
+       "{\"bench\": \"replay\", \"smoke\": %b, \"events\": %d, \"file_bytes\": %d,\n\
+       \ \"legacy_load_s\": %.6f, \"legacy_alloc_mb\": %.2f,\n\
+       \ \"mapped_startup_s\": %.6f, \"startup_speedup\": %.1f,\n\
+       \ \"batch_replay_s\": %.6f, \"batch_alloc_mb\": %.2f, \"replay_speedup\": %.2f,\n\
+       \ \"header_stats_s\": %.6f,\n\
+       \ \"preprocess_run_s\": %.6f, \"preprocess_run_source_s\": %.6f}\n"
+       smoke events file_bytes legacy_s (mb legacy_alloc) startup_s startup_speedup
+       replay_s (mb batch_alloc) replay_speedup stats_s pre_run_s pre_src_s;
+     close_out oc;
+     Printf.printf "wrote %s\n" file);
+  if smoke && replay_s > legacy_s then
+    failwith
+      (Printf.sprintf
+         "traceio: mapped replay (%.4fs) slower than the legacy reader (%.4fs)"
+         replay_s legacy_s)
 
 let () =
   register "obs.overhead" "Metrics instrumentation: simulation throughput cost" @@ fun () ->

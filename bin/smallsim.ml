@@ -40,10 +40,19 @@ let trace_file =
   let doc = "A previously saved trace file." in
   Arg.(value & opt (some file) None & info [ "t"; "trace" ] ~doc)
 
-let load_trace workload file =
+(* Analysis and simulation need only the preprocessed form; binary trace
+   files reach it through the zero-copy mapped source without ever
+   materialising events. *)
+let load_preprocessed workload file =
   match workload, file with
-  | Some w, _ -> Ok (Workloads.Registry.trace w)
-  | None, Some path -> Ok (Trace.Io.load path)
+  | Some w, _ -> Ok (Workloads.Registry.preprocessed w)
+  | None, Some path ->
+    (match Trace.Io.open_path path with
+     | Trace.Io.Binary_source src ->
+       (try Ok (Trace.Preprocess.run_source src)
+        with Trace.Binary.Corrupt { offset; reason } ->
+          raise (Trace.Io.Corrupt { path; offset; reason }))
+     | Trace.Io.Sexp_capture c -> Ok (Trace.Preprocess.run c))
   | None, None -> Error (`Msg "need --workload or --trace")
 
 (* ---- run ---- *)
@@ -155,31 +164,76 @@ let trace_cmd =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Also report unique list objects and the trace digest.")
   in
+  let print_mix mix =
+    List.iter
+      (fun p ->
+         Printf.printf "  %-7s %6.2f%%\n" (Trace.Event.prim_name p)
+           (Analysis.Prim_mix.pct mix p))
+      Trace.Event.all_prims
+  in
+  let save_to capture out binary =
+    match out with
+    | Some path ->
+      let format = if binary then Trace.Io.Binary else Trace.Io.Sexp_lines in
+      Trace.Io.save ~format path capture;
+      Printf.printf "saved to %s%s\n" path (if binary then " (binary)" else "")
+    | None -> ()
+  in
+  (* The whole-capture path: workloads and sexp-lines traces. *)
+  let summarise_capture capture out binary show_stats =
+    let st = Trace.Capture.stats capture in
+    Printf.printf "events: %d (%d primitives, %d function calls, max depth %d)\n"
+      (Trace.Capture.length capture) st.Trace.Capture.primitives
+      st.Trace.Capture.functions st.Trace.Capture.max_depth;
+    print_mix (Analysis.Prim_mix.analyze capture);
+    if show_stats then begin
+      let pre = Trace.Preprocess.run capture in
+      Printf.printf "unique list objects: %d\n" pre.Trace.Preprocess.distinct_lists;
+      Printf.printf "digest: %s\n" (Trace.Binary.digest capture)
+    end;
+    save_to capture out binary
+  in
+  (* Binary trace files summarise off the mapped source: the event
+     count comes from the chunk headers alone, the mix and depth from
+     the flat batches, and the digest from the raw file bytes (the
+     server's cache key for trace files) — no event is materialised
+     unless [-o] asks for a re-encode. *)
+  let summarise_source path src out binary show_stats =
+    let guard f =
+      try f ()
+      with Trace.Binary.Corrupt { offset; reason } ->
+        raise (Trace.Io.Corrupt { path; offset; reason })
+    in
+    let hs = guard (fun () -> Trace.Binary.header_stats src) in
+    let st = guard (fun () -> Trace.Binary.scan_stats src) in
+    Printf.printf "events: %d (%d primitives, %d function calls, max depth %d)\n"
+      hs.Trace.Binary.h_events st.Trace.Capture.primitives
+      st.Trace.Capture.functions st.Trace.Capture.max_depth;
+    Printf.printf "binary v%d: %d chunks, %d bytes (%d payload)%s\n"
+      hs.Trace.Binary.h_version hs.Trace.Binary.h_chunks hs.Trace.Binary.h_bytes
+      hs.Trace.Binary.h_payload_bytes
+      (if Trace.Binary.source_mapped src then ", mmapped" else "");
+    print_mix (guard (fun () -> Analysis.Prim_mix.analyze_source src));
+    if show_stats then begin
+      let pre = guard (fun () -> Trace.Preprocess.run_source src) in
+      Printf.printf "unique list objects: %d\n" pre.Trace.Preprocess.distinct_lists;
+      Printf.printf "digest: %s\n" (Digest.to_hex (Digest.file path))
+    end;
+    if out <> None then
+      save_to (guard (fun () -> Trace.Binary.capture_of_source src)) out binary
+  in
   let action workload file out binary show_stats =
-    match load_trace workload file with
-    | Error _ as e -> e
-    | Ok capture ->
-      let st = Trace.Capture.stats capture in
-      Printf.printf "events: %d (%d primitives, %d function calls, max depth %d)\n"
-        (Trace.Capture.length capture) st.Trace.Capture.primitives
-        st.Trace.Capture.functions st.Trace.Capture.max_depth;
-      let mix = Analysis.Prim_mix.analyze capture in
-      List.iter
-        (fun p ->
-           Printf.printf "  %-7s %6.2f%%\n" (Trace.Event.prim_name p)
-             (Analysis.Prim_mix.pct mix p))
-        Trace.Event.all_prims;
-      if show_stats then begin
-        let pre = Trace.Preprocess.run capture in
-        Printf.printf "unique list objects: %d\n" pre.Trace.Preprocess.distinct_lists;
-        Printf.printf "digest: %s\n" (Trace.Binary.digest capture)
-      end;
-      (match out with
-       | Some path ->
-         let format = if binary then Trace.Io.Binary else Trace.Io.Sexp_lines in
-         Trace.Io.save ~format path capture;
-         Printf.printf "saved to %s%s\n" path (if binary then " (binary)" else "")
-       | None -> ());
+    match workload, file with
+    | None, None -> Error (`Msg "need --workload or --trace")
+    | Some w, _ ->
+      summarise_capture (Workloads.Registry.trace w) out binary show_stats;
+      Ok ()
+    | None, Some path ->
+      (match Trace.Io.open_path path with
+       | Trace.Io.Sexp_capture capture ->
+         summarise_capture capture out binary show_stats
+       | Trace.Io.Binary_source src ->
+         summarise_source path src out binary show_stats);
       Ok ()
   in
   let term =
@@ -196,10 +250,9 @@ let analyze_cmd =
          & info [ "separation" ] ~doc:"List-set separation constraint (fraction).")
   in
   let action workload file separation =
-    match load_trace workload file with
+    match load_preprocessed workload file with
     | Error _ as e -> e
-    | Ok capture ->
-      let pre = Trace.Preprocess.run capture in
+    | Ok pre ->
       let np = Analysis.Np_stats.analyze pre in
       Printf.printf "lists: %d distinct; mean n = %.2f, mean p = %.2f\n"
         pre.Trace.Preprocess.distinct_lists (Analysis.Np_stats.mean_n np)
@@ -261,10 +314,9 @@ let simulate_cmd =
   in
   let action workload file size policy seed cache_lines line_size split find_knee
       with_metrics =
-    match load_trace workload file with
+    match load_preprocessed workload file with
     | Error _ as e -> e
-    | Ok capture ->
-      let pre = Trace.Preprocess.run capture in
+    | Ok pre ->
       let config =
         { Core.Simulator.default_config with
           table_size = size; policy; seed; split_counts = split;

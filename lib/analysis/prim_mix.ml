@@ -22,6 +22,57 @@ let analyze capture =
     total = !total;
   }
 
+(* Same counts off the flat batches of a mapped binary trace: the wire
+   kind is the primitive tag, so no event is materialised. *)
+let analyze_source src =
+  let module B = Trace.Binary.Batch in
+  let car = ref 0 and cdr = ref 0 and cons = ref 0 in
+  let rplaca = ref 0 and rplacd = ref 0 in
+  Trace.Binary.iter_batches src (fun b ->
+      for i = 0 to B.length b - 1 do
+        match B.kind b i with
+        | 2 -> incr car
+        | 3 -> incr cdr
+        | 4 -> incr cons
+        | 5 -> incr rplaca
+        | 6 -> incr rplacd
+        | _ -> ()
+      done);
+  let counts =
+    List.map
+      (fun (p : Trace.Event.prim) ->
+         ( p,
+           match p with
+           | Car -> !car
+           | Cdr -> !cdr
+           | Cons -> !cons
+           | Rplaca -> !rplaca
+           | Rplacd -> !rplacd ))
+      Trace.Event.all_prims
+  in
+  { counts; total = !car + !cdr + !cons + !rplaca + !rplacd }
+
+(* And off an already-preprocessed trace (primitive identity survives
+   preprocessing untouched). *)
+let of_preprocessed (p : Trace.Preprocess.t) =
+  let tbl = Hashtbl.create 8 in
+  let total = ref 0 in
+  Array.iter
+    (function
+      | Trace.Preprocess.Pprim { prim; _ } ->
+        incr total;
+        Hashtbl.replace tbl prim
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl prim))
+      | Trace.Preprocess.Pcall _ | Trace.Preprocess.Preturn _ -> ())
+    p.Trace.Preprocess.events;
+  {
+    counts =
+      List.map
+        (fun p -> (p, Option.value ~default:0 (Hashtbl.find_opt tbl p)))
+        Trace.Event.all_prims;
+    total = !total;
+  }
+
 let pct r prim =
   if r.total = 0 then 0.
   else

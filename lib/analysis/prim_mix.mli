@@ -9,5 +9,12 @@ type result = {
 
 val analyze : Trace.Capture.t -> result
 
+(** Same counts off the flat batches of a mapped binary trace — no
+    event or datum is materialised. *)
+val analyze_source : Trace.Binary.source -> result
+
+(** Same counts off a preprocessed trace. *)
+val of_preprocessed : Trace.Preprocess.t -> result
+
 (** [pct r prim] as a percentage of all traced primitives. *)
 val pct : result -> Trace.Event.prim -> float

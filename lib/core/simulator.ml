@@ -24,7 +24,7 @@ let default_config =
 (* The fingerprint spells out every field so that adding one forces a
    revisit here; bump the leading version when the simulation semantics
    change under an unchanged config. *)
-let config_fingerprint c =
+let render_fingerprint c =
   Printf.sprintf
     "simconfig:v1 size=%d policy=%s arg=%h loc=%h bind=%h read=%h seed=%d \
      split=%b eager=%b cache=%s"
@@ -36,7 +36,32 @@ let config_fingerprint c =
      | None -> "none"
      | Some cc -> Printf.sprintf "%d/%d" cc.cache_lines cc.cache_line_size)
 
-let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
+(* Sweep loops and the server's cache lookups fingerprint the same few
+   configs over and over, so the Printf + MD5 round runs once per
+   structural config.  The table is capped (a sweep touches at most a
+   few hundred configs; the reset only guards a pathological caller)
+   and guarded for the threaded server's worker pool. *)
+let fp_memo : (config, string * string) Hashtbl.t = Hashtbl.create 64
+let fp_memo_mutex = Mutex.create ()
+let fp_memo_cap = 4096
+
+let fingerprint_and_digest c =
+  Mutex.lock fp_memo_mutex;
+  let cached = Hashtbl.find_opt fp_memo c in
+  Mutex.unlock fp_memo_mutex;
+  match cached with
+  | Some pair -> pair
+  | None ->
+    let fp = render_fingerprint c in
+    let pair = (fp, Digest.to_hex (Digest.string fp)) in
+    Mutex.lock fp_memo_mutex;
+    if Hashtbl.length fp_memo >= fp_memo_cap then Hashtbl.reset fp_memo;
+    Hashtbl.replace fp_memo c pair;
+    Mutex.unlock fp_memo_mutex;
+    pair
+
+let config_fingerprint c = fst (fingerprint_and_digest c)
+let config_digest c = snd (fingerprint_and_digest c)
 
 type stats = {
   events : int;

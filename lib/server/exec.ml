@@ -61,12 +61,21 @@ let trace_digest = function
        Hashtbl.replace workload_digests w d;
        d)
 
+(* Trace files preprocess straight off the mapped source: no capture,
+   no per-event allocation, O(1) open.  (Sexp-lines files have no
+   random-access form and still go through a capture.) *)
 let preprocessed_of_source = function
   | Job.Workload w ->
     (match Workloads.Registry.find w with
      | Some w -> Workloads.Registry.preprocessed w
      | None -> invalid_arg ("Server.Exec: unknown workload " ^ w))
-  | Job.Trace_file p -> Trace.Preprocess.run (Trace.Io.load p)
+  | Job.Trace_file p ->
+    (match Trace.Io.open_path p with
+     | Trace.Io.Binary_source src ->
+       (try Trace.Preprocess.run_source src
+        with Trace.Binary.Corrupt { offset; reason } ->
+          raise (Trace.Io.Corrupt { path = p; offset; reason }))
+     | Trace.Io.Sexp_capture c -> Trace.Preprocess.run c)
 
 (* ---- execution ---- *)
 
@@ -76,14 +85,15 @@ let run ?(should_stop = fun () -> false) (job : Job.t) =
   check should_stop;
   match job.spec with
   | Job.Stats ->
-    let capture = capture_of_source job.source in
-    check should_stop;
-    let st = Trace.Capture.stats capture in
-    let mix = Analysis.Prim_mix.analyze capture in
-    check should_stop;
+    (* everything a stats job reports lives in the preprocessed form,
+       so one (possibly zero-copy) pass serves the whole job — no
+       capture is materialised for binary trace files *)
     let pre = preprocessed_of_source job.source in
+    check should_stop;
+    let st = pre.Trace.Preprocess.stats in
+    let mix = Analysis.Prim_mix.of_preprocessed pre in
     Stats_out
-      { events = Trace.Capture.length capture;
+      { events = Array.length pre.Trace.Preprocess.events;
         primitives = st.Trace.Capture.primitives;
         functions = st.Trace.Capture.functions;
         max_depth = st.Trace.Capture.max_depth;

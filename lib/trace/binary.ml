@@ -1,4 +1,18 @@
+(* Two on-disk revisions share the event/datum wire encoding and differ
+   only in framing and checksums:
+
+   v1 ("SMTB\x01\n"): chunk header = [varint count][varint len]; one
+   FNV-1a 64 trailer over every byte of the stream.
+
+   v2 ("SMTB\x02\n"), the format written today: chunk header =
+   [varint count][varint len][8-byte FNV-1a of the payload], so a
+   mapped reader verifies each chunk as it decodes it — no up-front
+   pass over the file — and the stream trailer covers only the magic,
+   the chunk headers and the end marker (the structure), since the
+   payloads carry their own sums. *)
+
 let magic = "SMTB\x01\n"
+let magic_v2 = "SMTB\x02\n"
 
 exception Corrupt of { offset : int; reason : string }
 
@@ -8,15 +22,7 @@ let () =
       Some (Printf.sprintf "Trace.Binary.Corrupt: %s at byte %d" reason offset)
     | _ -> None)
 
-(* ---- stream checksum ----
-
-   The writer maintains an FNV-1a 64 hash of every byte it emits, from
-   the magic through the end-of-stream marker, and appends it as a
-   12-byte trailer ("SMCK" + 8 bytes big-endian).  The reader hashes
-   what it consumes and verifies the trailer when present, so a torn
-   write that lands a structurally-decodable prefix (or a flipped
-   payload byte that still parses) is still detected.  Streams without
-   a trailer (pre-checksum files) are accepted. *)
+(* ---- FNV-1a 64 ---- *)
 
 let fnv_prime = 0x100000001b3L
 let fnv_init = 0xcbf29ce484222325L
@@ -27,9 +33,11 @@ let fnv_string h s =
   String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
   !h
 
-let fnv_bytes h b =
+let fnv_buffer h buf =
   let h = ref h in
-  Bytes.iter (fun c -> h := fnv_byte !h (Char.code c)) b;
+  for i = 0 to Buffer.length buf - 1 do
+    h := fnv_byte !h (Char.code (Buffer.nth buf i))
+  done;
   !h
 
 let checksum_tag = "SMCK"
@@ -38,6 +46,12 @@ let trailer_length = String.length checksum_tag + 8
 let hash_to_string h =
   String.init 8 (fun i ->
       Char.chr (Int64.to_int (Int64.shift_right_logical h (8 * (7 - i))) land 0xff))
+
+let add_hash64 buf h =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical h (8 * (7 - i))) land 0xff))
+  done
 
 (* ---- encoding primitives ----
 
@@ -141,17 +155,25 @@ let put_event t buf (e : Event.t) =
 
 (* ---- streaming writer ---- *)
 
+type format_version = V1 | V2
+
 type sink = {
   put : string -> unit;
+  put_buf : Buffer.t -> unit;    (* frame/chunk path: no contents copy *)
 }
 
 type writer = {
   sink : sink;
+  version : format_version;
   chunk_events : int;
-  chunk : Buffer.t;      (* payload of the chunk being built *)
+  chunk : Buffer.t;      (* payload of the chunk being built; [Buffer.clear]
+                            keeps its storage, so after the first few chunks
+                            it is sized by the observed payloads and the
+                            frame path stops allocating *)
   frame : Buffer.t;      (* scratch for the chunk header *)
   intern : intern;
-  mutable hash : int64;  (* FNV-1a of every emitted byte so far *)
+  mutable hash : int64;  (* v1: FNV of every emitted byte; v2: FNV of the
+                            magic + chunk headers + end marker only *)
   mutable pending : int;
   mutable closed : bool;
 }
@@ -160,13 +182,13 @@ let wput w s =
   w.hash <- fnv_string w.hash s;
   w.sink.put s
 
-let writer_of_sink ?(chunk_events = 4096) sink =
+let writer_of_sink ?(version = V2) ?(chunk_events = 4096) sink =
   if chunk_events < 1 then invalid_arg "Trace.Binary.writer: chunk_events < 1";
   let w =
-    { sink; chunk_events; chunk = Buffer.create 65536; frame = Buffer.create 16;
+    { sink; version; chunk_events; chunk = Buffer.create 4096; frame = Buffer.create 16;
       intern = intern_create (); hash = fnv_init; pending = 0; closed = false }
   in
-  wput w magic;
+  wput w (match version with V1 -> magic | V2 -> magic_v2);
   w
 
 let flush_chunk w =
@@ -174,8 +196,15 @@ let flush_chunk w =
     Buffer.clear w.frame;
     put_varint w.frame w.pending;
     put_varint w.frame (Buffer.length w.chunk);
-    wput w (Buffer.contents w.frame);
-    wput w (Buffer.contents w.chunk);
+    (match w.version with
+     | V2 -> add_hash64 w.frame (fnv_buffer fnv_init w.chunk)
+     | V1 -> ());
+    w.hash <- fnv_buffer w.hash w.frame;
+    w.sink.put_buf w.frame;
+    (match w.version with
+     | V1 -> w.hash <- fnv_buffer w.hash w.chunk
+     | V2 -> ());
+    w.sink.put_buf w.chunk;
     Buffer.clear w.chunk;
     w.pending <- 0
   end
@@ -195,17 +224,20 @@ let close_writer w =
     w.closed <- true
   end
 
-let writer ?chunk_events oc =
-  writer_of_sink ?chunk_events { put = (fun s -> output_string oc s) }
+let channel_sink oc =
+  { put = (fun s -> output_string oc s); put_buf = (fun b -> Buffer.output_buffer oc b) }
 
-(* ---- streaming reader ---- *)
+let writer ?version ?chunk_events oc = writer_of_sink ?version ?chunk_events (channel_sink oc)
 
-(* A chunk is decoded out of one [Bytes.t] payload; the intern table
-   persists across chunks as a growable array mirroring the writer's. *)
+(* ---- shared reader state ---- *)
+
+(* The intern table persists across chunks, mirroring the writer's. *)
 type table = {
   mutable strs : string array;
   mutable len : int;
 }
+
+let table_create () = { strs = Array.make 64 ""; len = 0 }
 
 let table_add tbl s =
   if tbl.len = Array.length tbl.strs then begin
@@ -217,20 +249,537 @@ let table_add tbl s =
   tbl.len <- tbl.len + 1;
   s
 
-(* In-payload decode errors carry the chunk-relative position implicitly
-   (the caller's [pos] ref); [iter_channel] rebases them to a stream
-   offset and raises the public {!Corrupt}. *)
+let prim_of_tag_opt = function
+  | 2 -> Some Event.Car
+  | 3 -> Some Event.Cdr
+  | 4 -> Some Event.Cons
+  | 5 -> Some Event.Rplaca
+  | 6 -> Some Event.Rplacd
+  | _ -> None
+
+(* ---- zero-copy sources ----
+
+   A [source] is the whole stream as random-access bytes: either an
+   mmapped [Bigarray] (O(1) startup, the file never fully materialises
+   in the OCaml heap) or a plain [Bytes] fallback for non-mmap inputs
+   (strings, filesystems without mmap).  All decoding below works off
+   a source; offsets in [Corrupt] are absolute stream positions. *)
+
+type view =
+  | Map of (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | Mem of Bytes.t
+
+type source = {
+  view : view;
+  slen : int;
+  sversion : format_version;
+}
+
+let source_length s = s.slen
+let source_version s = s.sversion
+let source_mapped s = match s.view with Map _ -> true | Mem _ -> false
+
+let corrupt_at offset reason = raise (Corrupt { offset; reason })
+
+let sbyte src i =
+  match src.view with
+  | Map a -> Char.code (Bigarray.Array1.unsafe_get a i)
+  | Mem b -> Char.code (Bytes.unsafe_get b i)
+
+let ssub src pos len =
+  match src.view with
+  | Mem b -> Bytes.sub_string b pos len
+  | Map a -> String.init len (fun i -> Bigarray.Array1.unsafe_get a (pos + i))
+
+let fnv_span src h pos len =
+  let h = ref h in
+  (match src.view with
+   | Mem b ->
+     for i = pos to pos + len - 1 do
+       h := fnv_byte !h (Char.code (Bytes.unsafe_get b i))
+     done
+   | Map a ->
+     for i = pos to pos + len - 1 do
+       h := fnv_byte !h (Char.code (Bigarray.Array1.unsafe_get a i))
+     done);
+  !h
+
+let version_of_first_bytes probe =
+  if probe = magic then Some V1
+  else if probe = magic_v2 then Some V2
+  else None
+
+let source_of_view view slen =
+  if slen < String.length magic then corrupt_at 0 "bad magic";
+  let src0 = { view; slen; sversion = V2 } in
+  match version_of_first_bytes (ssub src0 0 (String.length magic)) with
+  | Some v -> { src0 with sversion = v }
+  | None -> corrupt_at 0 "bad magic"
+
+let source_of_string s = source_of_view (Mem (Bytes.unsafe_of_string s)) (String.length s)
+
+let read_fd_to_bytes fd len =
+  let b = Bytes.create len in
+  let rec fill off =
+    if off >= len then ()
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 -> corrupt_at off "file shrank while reading"
+      | k -> fill (off + k)
+  in
+  fill 0;
+  b
+
+(* Memory-map [path] (Bytes fallback on any mmap failure, or when
+   [mmap:false] is forced).  Replay startup is O(1) in the file size on
+   the mapped path: nothing is read until a chunk is decoded. *)
+let source_of_path ?(mmap = true) path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len < String.length magic then corrupt_at 0 "bad magic";
+  let view =
+    if mmap then
+      match Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |] with
+      | g -> Map (Bigarray.array1_of_genarray g)
+      | exception (Unix.Unix_error _ | Sys_error _) -> Mem (read_fd_to_bytes fd len)
+    else Mem (read_fd_to_bytes fd len)
+  in
+  source_of_view view len
+
+(* ---- flat event batches ----
+
+   One chunk decodes into one reusable batch: a struct-of-arrays form
+   with no per-event variant allocation.  Per event i:
+   - [tags.(i)] packs the wire kind (low 3 bits: 0 call, 1 return,
+     2..6 primitives) with the argument count ([lsl 3]);
+   - [names.(i)] is the intern index of a call/return's function name
+     (-1 for primitives);
+   - tokens [ev_tok.(i) .. ev_tok.(i+1)) hold the event's datums (a
+     primitive's arguments in order, then its result) as a preorder
+     token stream.
+
+   Token tags: 0 nil; 1 sym (value = intern index); 2 int (value,
+   zigzag already undone); 3 str (value = intern index); 4 proper list
+   (value = car count >= 1, the cars follow as trees); 5 improper
+   spine (value = car count >= 1, cars then an explicit tail tree).
+   The stream is canonical for writer-produced files, so two datums
+   are structurally equal iff their token spans are identical — which
+   is what lets preprocessing assign list identities without ever
+   building datums for repeat arguments. *)
+
+module Batch = struct
+  type t = {
+    mutable n : int;
+    mutable tags : int array;
+    mutable names : int array;
+    mutable ev_tok : int array;    (* n + 1 entries *)
+    mutable ntok : int;
+    mutable tok_tag : int array;
+    mutable tok_val : int array;
+    tbl : table;
+  }
+
+  let ttag_nil = 0
+  let ttag_sym = 1
+  let ttag_int = 2
+  let ttag_str = 3
+  let ttag_list = 4
+  let ttag_improper = 5
+
+  let create tbl =
+    { n = 0; tags = Array.make 1024 0; names = Array.make 1024 (-1);
+      ev_tok = Array.make 1025 0; ntok = 0; tok_tag = Array.make 4096 0;
+      tok_val = Array.make 4096 0; tbl }
+
+  let grow a n = let g = Array.make (max n (2 * Array.length a)) 0 in
+    Array.blit a 0 g 0 (Array.length a); g
+
+  let reserve_events b n =
+    if n + 1 > Array.length b.ev_tok then begin
+      b.tags <- grow b.tags (n + 1);
+      b.names <- grow b.names (n + 1);
+      b.ev_tok <- grow b.ev_tok (n + 2)
+    end
+
+  let push_tok b tag v =
+    if b.ntok = Array.length b.tok_tag then begin
+      b.tok_tag <- grow b.tok_tag 0;
+      b.tok_val <- grow b.tok_val 0
+    end;
+    b.tok_tag.(b.ntok) <- tag;
+    b.tok_val.(b.ntok) <- v;
+    b.ntok <- b.ntok + 1
+
+  let length b = b.n
+  let kind b i = b.tags.(i) land 7
+  let nargs b i = b.tags.(i) lsr 3
+  let name b i = b.tbl.strs.(b.names.(i))
+  let tok_start b i = b.ev_tok.(i)
+  let tok_stop b i = b.ev_tok.(i + 1)
+  let tok_tag b k = b.tok_tag.(k)
+  let tok_val b k = b.tok_val.(k)
+  let tok_str b k = b.tbl.strs.(b.tok_val.(k))
+
+  let rec skip_tree b k =
+    match b.tok_tag.(k) with
+    | 4 ->
+      let count = b.tok_val.(k) in
+      let k = ref (k + 1) in
+      for _ = 1 to count do k := skip_tree b !k done;
+      !k
+    | 5 ->
+      let count = b.tok_val.(k) in
+      let k = ref (k + 1) in
+      for _ = 1 to count + 1 do k := skip_tree b !k done;
+      !k
+    | _ -> k + 1
+
+  (* Materialise the datum rooted at token [k]; returns it and the next
+     token index.  Only adapters and cold paths use this. *)
+  let rec datum b k : Sexp.Datum.t * int =
+    match b.tok_tag.(k) with
+    | 0 -> (Nil, k + 1)
+    | 1 -> (Sym b.tbl.strs.(b.tok_val.(k)), k + 1)
+    | 2 -> (Int b.tok_val.(k), k + 1)
+    | 3 -> (Str b.tbl.strs.(b.tok_val.(k)), k + 1)
+    | tag ->
+      let count = b.tok_val.(k) in
+      let cars = Array.make count Sexp.Datum.Nil in
+      let k = ref (k + 1) in
+      for i = 0 to count - 1 do
+        let d, k' = datum b !k in
+        cars.(i) <- d;
+        k := k'
+      done;
+      let tail : Sexp.Datum.t =
+        if tag = 4 then Nil
+        else begin
+          let d, k' = datum b !k in
+          k := k';
+          d
+        end
+      in
+      (Array.fold_right (fun a d -> Sexp.Datum.Cons (a, d)) cars tail, !k)
+
+  (* The thin per-event adapter: rebuild the original [Event.t]. *)
+  let event b i : Event.t =
+    let kd = kind b i and na = nargs b i in
+    match kd with
+    | 0 -> Call { name = name b i; nargs = na }
+    | 1 -> Return { name = name b i }
+    | kd ->
+      let prim = Option.get (prim_of_tag_opt kd) in
+      let k = ref (tok_start b i) in
+      let args =
+        List.init na (fun _ ->
+            let d, k' = datum b !k in
+            k := k';
+            d)
+      in
+      let result, _ = datum b !k in
+      Prim { prim; args; result }
+end
+
+(* ---- chunk decoding into a batch ---- *)
+
+let get_varint_src src ~limit pos what =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= limit then corrupt_at !pos (what ^ ": varint past end");
+    if !shift > Sys.int_size - 1 then corrupt_at !pos (what ^ ": varint too long");
+    let c = sbyte src !pos in
+    incr pos;
+    n := !n lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := c land 0x80 <> 0
+  done;
+  !n
+
+let get_string_id src ~limit pos tbl =
+  let r = get_varint_src src ~limit pos "string ref" in
+  if r = 0 then begin
+    let len = get_varint_src src ~limit pos "string length" in
+    if len < 0 || !pos + len > limit then corrupt_at !pos "string past chunk end";
+    let s = ssub src !pos len in
+    pos := !pos + len;
+    ignore (table_add tbl s : string);
+    tbl.len - 1
+  end
+  else if r - 1 < tbl.len then r - 1
+  else corrupt_at !pos "string reference out of range"
+
+let rec decode_datum_tokens src ~limit pos (b : Batch.t) =
+  if !pos >= limit then corrupt_at !pos "datum past chunk end";
+  let tag = sbyte src !pos in
+  incr pos;
+  match tag with
+  | 0 -> Batch.push_tok b Batch.ttag_nil 0
+  | 1 -> Batch.push_tok b Batch.ttag_sym (get_string_id src ~limit pos b.Batch.tbl)
+  | 2 ->
+    Batch.push_tok b Batch.ttag_int
+      (unzigzag (get_varint_src src ~limit pos "int datum"))
+  | 3 -> Batch.push_tok b Batch.ttag_str (get_string_id src ~limit pos b.Batch.tbl)
+  | 5 | 6 ->
+    let count = get_varint_src src ~limit pos "list length" in
+    (* every car costs at least one byte, so a sane count fits the chunk *)
+    if count < 0 || count > limit - !pos then corrupt_at !pos "list longer than chunk";
+    (* normalise degenerate spines so token streams stay canonical *)
+    if count = 0 then begin
+      if tag = 5 then Batch.push_tok b Batch.ttag_nil 0
+      else decode_datum_tokens src ~limit pos b
+    end
+    else begin
+      Batch.push_tok b (if tag = 5 then Batch.ttag_list else Batch.ttag_improper) count;
+      for _ = 1 to count do
+        decode_datum_tokens src ~limit pos b
+      done;
+      if tag = 6 then decode_datum_tokens src ~limit pos b
+    end
+  | t when t >= small_sym_base ->
+    let id = t - small_sym_base in
+    if id < b.Batch.tbl.len then Batch.push_tok b Batch.ttag_sym id
+    else corrupt_at !pos "symbol index out of range"
+  | t -> corrupt_at (!pos - 1) (Printf.sprintf "datum tag %d" t)
+
+let decode_event src ~limit pos (b : Batch.t) =
+  if !pos >= limit then corrupt_at !pos "event past chunk end";
+  let tag = sbyte src !pos in
+  incr pos;
+  let i = b.Batch.n in
+  (match tag with
+   | 0 ->
+     let id = get_string_id src ~limit pos b.Batch.tbl in
+     let nargs = get_varint_src src ~limit pos "call arity" in
+     b.Batch.tags.(i) <- 0 lor (nargs lsl 3);
+     b.Batch.names.(i) <- id
+   | 1 ->
+     let id = get_string_id src ~limit pos b.Batch.tbl in
+     b.Batch.tags.(i) <- 1;
+     b.Batch.names.(i) <- id
+   | 2 | 3 | 4 | 5 | 6 ->
+     let nargs = get_varint_src src ~limit pos "argument count" in
+     (* each argument costs at least one byte *)
+     if nargs < 0 || nargs > limit - !pos then
+       corrupt_at !pos "argument count past chunk end";
+     for _ = 1 to nargs do
+       decode_datum_tokens src ~limit pos b
+     done;
+     decode_datum_tokens src ~limit pos b;
+     b.Batch.tags.(i) <- tag lor (nargs lsl 3);
+     b.Batch.names.(i) <- -1
+   | t -> corrupt_at (!pos - 1) (Printf.sprintf "event tag %d" t));
+  b.Batch.n <- i + 1;
+  b.Batch.ev_tok.(i + 1) <- b.Batch.ntok
+
+(* ---- batched replay reader ---- *)
+
+type reader = {
+  src : source;
+  batch : Batch.t;
+  mutable pos : int;
+  mutable hash : int64;   (* v1: running FNV of the whole stream;
+                             v2: FNV of magic + headers + end marker *)
+  mutable finished : bool;
+}
+
+let read_source src =
+  let tbl = table_create () in
+  { src;
+    batch = Batch.create tbl;
+    pos = String.length magic;
+    hash = fnv_span src fnv_init 0 (String.length magic);
+    finished = false }
+
+(* Read a header varint, folding its bytes into the stream hash. *)
+let header_varint r what =
+  let limit = r.src.slen in
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if r.pos >= limit then corrupt_at r.pos ("truncated " ^ what);
+    if !shift > Sys.int_size - 1 then corrupt_at r.pos (what ^ ": varint too long");
+    let c = sbyte r.src r.pos in
+    r.pos <- r.pos + 1;
+    r.hash <- fnv_byte r.hash c;
+    n := !n lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := c land 0x80 <> 0
+  done;
+  !n
+
+let check_trailer r =
+  (* Zero trailing bytes is a pre-checksum stream and is accepted;
+     anything else must be a complete valid trailer — a damaged tag or
+     hash must not read as "legacy".  (Bytes beyond the trailer are
+     ignored, as the channel reader always did.) *)
+  let available = r.src.slen - r.pos in
+  if available > 0 then begin
+    if available < trailer_length then corrupt_at r.pos "truncated checksum trailer";
+    if ssub r.src r.pos (String.length checksum_tag) <> checksum_tag then
+      corrupt_at r.pos "bad checksum trailer";
+    if ssub r.src (r.pos + String.length checksum_tag) 8 <> hash_to_string r.hash then
+      corrupt_at r.pos "checksum mismatch"
+  end
+
+(* Decode the next chunk into the reader's reused batch.  [decode:false]
+   (the header-only path) skips payload decoding and verification and
+   returns an empty batch whose event count is reported separately. *)
+let next_chunk ~decode r =
+  if r.finished then None
+  else begin
+    let count = header_varint r "chunk header" in
+    if count = 0 then begin
+      r.finished <- true;
+      (* v1 stats walks skip payload bytes, so the whole-stream hash
+         cannot be checked; the structural v2 trailer always can *)
+      (match r.src.sversion, decode with
+       | V1, false -> ()
+       | _ -> check_trailer r);
+      None
+    end
+    else begin
+      let len = header_varint r "chunk header" in
+      let expected =
+        match r.src.sversion with
+        | V1 -> 0L
+        | V2 ->
+          if r.pos + 8 > r.src.slen then corrupt_at r.pos "truncated chunk header";
+          let h = ref 0L in
+          for _ = 1 to 8 do
+            let c = sbyte r.src r.pos in
+            r.pos <- r.pos + 1;
+            r.hash <- fnv_byte r.hash c;
+            h := Int64.logor (Int64.shift_left !h 8) (Int64.of_int c)
+          done;
+          !h
+      in
+      (* guard the decode: a corrupt frame must not make us walk a
+         multi-gigabyte span or spin on an absurd event count *)
+      if len < 0 || r.pos + len > r.src.slen then
+        corrupt_at r.pos "chunk length past end of file";
+      if count > len then corrupt_at r.pos "more events than payload bytes";
+      let payload = r.pos in
+      (match r.src.sversion with
+       | V1 ->
+         (* the v1 trailer covers payload bytes too *)
+         if decode then r.hash <- fnv_span r.src r.hash payload len
+         else r.hash <- 0L  (* poisoned: stats walks skip the payload *)
+       | V2 ->
+         if decode && fnv_span r.src fnv_init payload len <> expected then
+           corrupt_at payload "chunk checksum mismatch");
+      r.pos <- payload + len;
+      if decode then begin
+        let b = r.batch in
+        b.Batch.n <- 0;
+        b.Batch.ntok <- 0;
+        Batch.reserve_events b count;
+        b.Batch.ev_tok.(0) <- 0;
+        let p = ref payload in
+        let limit = payload + len in
+        for _ = 1 to count do
+          decode_event r.src ~limit p b
+        done;
+        if !p <> limit then corrupt_at !p "chunk length mismatch"
+      end;
+      Some count
+    end
+  end
+
+let next_batch r =
+  match next_chunk ~decode:true r with
+  | Some _ -> Some r.batch
+  | None -> None
+
+let iter_batches src f =
+  let r = read_source src in
+  let rec go () =
+    match next_batch r with
+    | Some b -> f b; go ()
+    | None -> ()
+  in
+  go ()
+
+let iter_source src f =
+  iter_batches src (fun b ->
+      for i = 0 to Batch.length b - 1 do
+        f (Batch.event b i)
+      done)
+
+(* ---- header-only statistics ---- *)
+
+type header_stats = {
+  h_version : int;
+  h_events : int;
+  h_chunks : int;
+  h_bytes : int;
+  h_payload_bytes : int;
+}
+
+(* Chunk headers alone: total events and sizes without touching any
+   payload byte.  On a v2 stream the structural trailer is still
+   verified, so damaged headers are detected; v1 trailers cover the
+   payloads we skip and so cannot be checked here. *)
+let header_stats src =
+  let r = read_source src in
+  let events = ref 0 and chunks = ref 0 and payload = ref 0 in
+  let rec go () =
+    let before = r.pos in
+    match next_chunk ~decode:false r with
+    | Some count ->
+      events := !events + count;
+      incr chunks;
+      (* payload span = advance minus the header bytes *)
+      let header_len =
+        let p = ref before in
+        let n = ref 0 in
+        (* count varint *)
+        while sbyte src !p land 0x80 <> 0 do incr p; incr n done;
+        incr p; incr n;
+        while sbyte src !p land 0x80 <> 0 do incr p; incr n done;
+        incr n;
+        (match src.sversion with V1 -> !n | V2 -> !n + 8)
+      in
+      payload := !payload + (r.pos - before - header_len);
+      go ()
+    | None -> ()
+  in
+  go ();
+  { h_version = (match src.sversion with V1 -> 1 | V2 -> 2);
+    h_events = !events; h_chunks = !chunks; h_bytes = src.slen;
+    h_payload_bytes = !payload }
+
+(* Whole-trace capture statistics off the flat batches: no [Event.t] or
+   datum is ever materialised. *)
+let scan_stats src : Capture.stats =
+  let functions = ref 0 and primitives = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  iter_batches src (fun b ->
+      for i = 0 to Batch.length b - 1 do
+        match Batch.kind b i with
+        | 0 ->
+          incr functions;
+          incr depth;
+          if !depth > !max_depth then max_depth := !depth
+        | 1 -> decr depth
+        | _ -> incr primitives
+      done);
+  { Capture.functions = !functions; primitives = !primitives; max_depth = !max_depth }
+
+(* ---- streaming channel reader (legacy path) ----
+
+   Kept for non-seekable inputs and as the independent cross-check the
+   equivalence tests compare the mapped reader against.  Reads both
+   format revisions. *)
+
 exception Local of string
 
 let corrupt what = raise (Local what)
 
-let prim_of_tag = function
-  | 2 -> Event.Car
-  | 3 -> Event.Cdr
-  | 4 -> Event.Cons
-  | 5 -> Event.Rplaca
-  | 6 -> Event.Rplacd
-  | t -> corrupt (Printf.sprintf "bad primitive tag %d" t)
+let prim_of_tag t =
+  match prim_of_tag_opt t with
+  | Some p -> p
+  | None -> corrupt (Printf.sprintf "bad primitive tag %d" t)
 
 let get_varint b pos =
   let n = ref 0 and shift = ref 0 and continue = ref true in
@@ -317,10 +866,14 @@ let iter_channel ic f =
   let stream_pos () = try pos_in ic with Sys_error _ -> -1 in
   let fail reason = raise (Corrupt { offset = stream_pos (); reason }) in
   let hash = ref fnv_init in
-  (match really_input_string ic (String.length magic) with
-   | m when m = magic -> hash := fnv_string !hash m
-   | _ -> fail "bad magic"
-   | exception End_of_file -> fail "bad magic");
+  let version =
+    match really_input_string ic (String.length magic) with
+    | m ->
+      (match version_of_first_bytes m with
+       | Some v -> hash := fnv_string !hash m; v
+       | None -> fail "bad magic")
+    | exception End_of_file -> fail "bad magic"
+  in
   let read_varint what =
     let n = ref 0 and shift = ref 0 and continue = ref true in
     (try
@@ -340,13 +893,27 @@ let iter_channel ic f =
     | n -> n
     | exception Sys_error _ -> max_int   (* non-seekable: trust the frame *)
   in
-  let tbl = { strs = Array.make 64 ""; len = 0 } in
+  let tbl = table_create () in
   let finished = ref false in
   while not !finished do
     let count = read_varint "chunk header" in
     if count = 0 then finished := true
     else begin
       let len = read_varint "chunk header" in
+      let expected =
+        match version with
+        | V1 -> 0L
+        | V2 ->
+          let h = ref 0L in
+          (try
+             for _ = 1 to 8 do
+               let c = input_byte ic in
+               hash := fnv_byte !hash c;
+               h := Int64.logor (Int64.shift_left !h 8) (Int64.of_int c)
+             done
+           with End_of_file -> fail "truncated chunk header");
+          !h
+      in
       (* guard the allocation: a corrupt frame must not make us build a
          multi-gigabyte buffer or spin on an absurd event count *)
       if len < 0 || len > remaining () then fail "chunk length past end of file";
@@ -354,7 +921,11 @@ let iter_channel ic f =
       let payload = Bytes.create len in
       (try really_input ic payload 0 len
        with End_of_file -> fail "truncated chunk payload");
-      hash := fnv_bytes !hash payload;
+      (match version with
+       | V1 -> hash := fnv_string !hash (Bytes.unsafe_to_string payload)
+       | V2 ->
+         if fnv_string fnv_init (Bytes.unsafe_to_string payload) <> expected then
+           fail "chunk checksum mismatch");
       let base = stream_pos () in
       let base = if base >= 0 then base - len else base in
       let pos = ref 0 in
@@ -367,9 +938,7 @@ let iter_channel ic f =
          raise (Corrupt { offset = (if base >= 0 then base + !pos else -1); reason }))
     end
   done;
-  (* Checksum trailer.  Zero trailing bytes is a pre-checksum stream and
-     is accepted; anything else must be a complete valid trailer — a
-     damaged tag or hash must not read as "legacy". *)
+  (* Checksum trailer, same accept-if-absent rule as the mapped path. *)
   let trailer = Bytes.create trailer_length in
   let got = read_available ic trailer in
   if got > 0 then begin
@@ -382,8 +951,8 @@ let iter_channel ic f =
 
 (* ---- whole-capture convenience ---- *)
 
-let write_channel oc capture =
-  let w = writer oc in
+let write_channel ?version oc capture =
+  let w = writer ?version oc in
   Array.iter (write_event w) (Capture.events capture);
   close_writer w
 
@@ -392,9 +961,17 @@ let read_channel ic =
   iter_channel ic (Capture.record capture);
   capture
 
-let to_string capture =
+let capture_of_source src =
+  let capture = Capture.create () in
+  iter_source src (Capture.record capture);
+  capture
+
+let to_string ?version capture =
   let buf = Buffer.create 65536 in
-  let w = writer_of_sink { put = Buffer.add_string buf } in
+  let w =
+    writer_of_sink ?version
+      { put = Buffer.add_string buf; put_buf = (fun b -> Buffer.add_buffer buf b) }
+  in
   Array.iter (write_event w) (Capture.events capture);
   close_writer w;
   Buffer.contents buf
@@ -418,7 +995,7 @@ let save ?fault path capture =
     raise (Sys_error (path ^ ": injected write error"))
   | Some (Fault.Plan.Torn_write keep) ->
     (* a lying disk: a strict prefix lands at the destination and the
-       save "succeeds"; the checksum trailer makes the load catch it *)
+       save "succeeds"; the checksums make the load catch it *)
     let data = to_string capture in
     let n = max 1 (min (String.length data - 1)
                      (int_of_float (keep *. float_of_int (String.length data)))) in
@@ -434,6 +1011,4 @@ let save ?fault path capture =
        (try Sys.remove tmp with Sys_error _ -> ());
        raise e)
 
-let load path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+let load path = capture_of_source (source_of_path path)

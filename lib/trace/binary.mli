@@ -3,23 +3,31 @@
     names, so large traces serialise to a fraction of the s-expression
     form and load without parsing text.
 
-    Framing:
-    - the magic {!magic} ("SMTB\x01\n");
-    - a sequence of chunks, each [varint event_count, varint byte_length,
-      payload]; a chunk with [event_count = 0] terminates the stream;
-    - an optional 12-byte trailer ["SMCK" ^ fnv1a64(stream)] (big-endian)
-      covering every byte through the end marker.  Streams without a
-      trailer (pre-checksum files) still load.
+    Two framing revisions are read; v2 is written:
+    - v1 ({!magic}, "SMTB\x01\n"): chunks of [varint event_count,
+      varint byte_length, payload]; [event_count = 0] terminates the
+      stream; an optional 12-byte trailer ["SMCK" ^ fnv1a64(stream)]
+      (big-endian) covers every byte through the end marker.
+    - v2 ({!magic_v2}, "SMTB\x02\n"): each chunk header additionally
+      carries the big-endian FNV-1a 64 of its payload, verified as the
+      chunk is decoded — so a memory-mapped reader needs no up-front
+      pass over the file — and the trailer covers only the magic, the
+      chunk headers and the end marker (the stream's structure).
+
+    Streams without a trailer (pre-checksum files) still load.
 
     Within a chunk, events are tag bytes followed by varint fields; all
     integers use LEB128 (signed values zigzag-coded), and every symbol,
     function name and string is written once and referenced by table
     index afterwards (the intern table persists across chunks).  The
-    reader processes one chunk's payload at a time, so memory tracks the
-    chunk size, not the file size. *)
+    reader processes one chunk at a time, so memory tracks the chunk
+    size, not the file size. *)
 
-(** The 6-byte magic prefix identifying a binary trace. *)
+(** The 6-byte magic prefix of a v1 binary trace. *)
 val magic : string
+
+(** The 6-byte magic prefix of a v2 binary trace (the format written). *)
+val magic_v2 : string
 
 (** Raised on a corrupt or truncated stream.  [offset] is the byte
     position in the stream where the damage was detected ([-1] when the
@@ -28,12 +36,15 @@ exception Corrupt of { offset : int; reason : string }
 
 (** {1 Streaming writer} *)
 
+type format_version = V1 | V2
+
 type writer
 
 (** [writer oc] starts a binary stream on [oc] (writes the header).
     [chunk_events] bounds how many events are buffered before a chunk is
-    flushed (default 4096). *)
-val writer : ?chunk_events:int -> out_channel -> writer
+    flushed (default 4096).  [version] defaults to {!V2}; [V1] exists
+    for compatibility tests. *)
+val writer : ?version:format_version -> ?chunk_events:int -> out_channel -> writer
 
 val write_event : writer -> Event.t -> unit
 
@@ -42,7 +53,129 @@ val write_event : writer -> Event.t -> unit
     close. *)
 val close_writer : writer -> unit
 
-(** {1 Streaming reader} *)
+(** {1 Zero-copy sources}
+
+    A {!source} exposes a whole stream as random-access bytes — an
+    [mmap]ed region when possible, an in-memory copy otherwise — so
+    replay starts without reading or materialising the file. *)
+
+type source
+
+(** [source_of_path path] memory-maps the file ([Bytes] fallback when
+    mmap is unavailable or [~mmap:false] forces it).  O(1) in the file
+    size on the mapped path.  @raise Corrupt if the magic is missing. *)
+val source_of_path : ?mmap:bool -> string -> source
+
+(** @raise Corrupt if the magic is missing. *)
+val source_of_string : string -> source
+
+val source_length : source -> int
+val source_version : source -> format_version
+
+(** Whether the source is an mmapped region (vs. the [Bytes] fallback). *)
+val source_mapped : source -> bool
+
+(** {1 Flat event batches}
+
+    One chunk decodes into one reusable struct-of-arrays batch: packed
+    [kind|nargs] tags, intern indices for names, and a flat preorder
+    token stream for datums — no per-event variant allocation on the
+    hot path. *)
+
+module Batch : sig
+  type t
+
+  (** Events in the batch. *)
+  val length : t -> int
+
+  (** Wire kind of event [i]: 0 call, 1 return, 2 car, 3 cdr, 4 cons,
+      5 rplaca, 6 rplacd. *)
+  val kind : t -> int -> int
+
+  (** Call arity / primitive argument count of event [i]. *)
+  val nargs : t -> int -> int
+
+  (** Function name of a call/return event. *)
+  val name : t -> int -> string
+
+  (** Token span of event [i]: a primitive's arguments in order, then
+      its result, as preorder trees.  Empty for calls and returns. *)
+  val tok_start : t -> int -> int
+
+  val tok_stop : t -> int -> int
+
+  (** Token tags: 0 nil; 1 sym; 2 int; 3 str; 4 proper list (value =
+      car count >= 1); 5 improper spine (value = car count >= 1,
+      followed by an explicit tail tree).  The stream is canonical:
+      token spans are identical iff the datums are structurally
+      equal. *)
+  val tok_tag : t -> int -> int
+
+  (** Sym/str: intern index.  Int: the value.  Lists: the car count. *)
+  val tok_val : t -> int -> int
+
+  (** The interned string behind a sym/str token. *)
+  val tok_str : t -> int -> string
+
+  (** Index just past the tree rooted at token [k]. *)
+  val skip_tree : t -> int -> int
+
+  (** Materialise the datum rooted at token [k] (cold paths only). *)
+  val datum : t -> int -> Sexp.Datum.t * int
+
+  (** Rebuild event [i] as an {!Event.t} — the thin adapter legacy
+      consumers go through. *)
+  val event : t -> int -> Event.t
+end
+
+(** {1 Batched replay} *)
+
+type reader
+
+(** [read_source src] positions a reader after the magic.  O(1). *)
+val read_source : source -> reader
+
+(** The next decoded, checksum-verified batch, or [None] at end of
+    stream (after trailer verification).  The returned batch is REUSED
+    by the next call — consume it before advancing.
+    @raise Corrupt on damage. *)
+val next_batch : reader -> Batch.t option
+
+(** [iter_batches src f] runs [f] over every chunk's batch. *)
+val iter_batches : source -> (Batch.t -> unit) -> unit
+
+(** Per-event iteration over a source via the batch adapter. *)
+val iter_source : source -> (Event.t -> unit) -> unit
+
+(** Decode a whole source into a capture (equivalent to the legacy
+    channel reader, byte-identical results). *)
+val capture_of_source : source -> Capture.t
+
+(** {1 Header-only statistics} *)
+
+type header_stats = {
+  h_version : int;
+  h_events : int;
+  h_chunks : int;
+  h_bytes : int;          (** whole stream, trailer included *)
+  h_payload_bytes : int;  (** sum of chunk payload lengths *)
+}
+
+(** Walk chunk headers only — no payload byte is read, no event is
+    materialised.  On a v2 stream the structural trailer is verified;
+    a v1 trailer covers the skipped payloads and cannot be checked
+    here.  @raise Corrupt on damaged framing. *)
+val header_stats : source -> header_stats
+
+(** Whole-trace {!Capture.stats} off the flat batches: payloads are
+    decoded and verified, but no [Event.t] or datum is allocated. *)
+val scan_stats : source -> Capture.stats
+
+(** {1 Streaming channel reader}
+
+    The legacy path, kept for non-seekable inputs and as the
+    independent cross-check for the mapped reader.  Reads both format
+    revisions. *)
 
 (** [iter_channel ic f] decodes events chunk by chunk, calling [f] on
     each.  @raise Corrupt on a corrupt or truncated stream. *)
@@ -50,21 +183,21 @@ val iter_channel : in_channel -> (Event.t -> unit) -> unit
 
 (** {1 Whole-capture convenience} *)
 
-val write_channel : out_channel -> Capture.t -> unit
+val write_channel : ?version:format_version -> out_channel -> Capture.t -> unit
 val read_channel : in_channel -> Capture.t
 
 (** Atomic: encodes to a temp file in the target directory, then
     renames.  [?fault] draws from the plan at site ["trace.save"]: an
     injected write error raises [Sys_error] leaving the destination
     untouched; a torn write lands a strict prefix at the destination
-    (the checksum trailer makes {!load} detect it). *)
+    (the checksums make {!load} detect it). *)
 val save : ?fault:Fault.Plan.t -> string -> Capture.t -> unit
 
-(** @raise Corrupt on a damaged file. *)
+(** Loads through a mapped source.  @raise Corrupt on a damaged file. *)
 val load : string -> Capture.t
 
 (** [to_string capture] is the full encoded stream in memory. *)
-val to_string : Capture.t -> string
+val to_string : ?version:format_version -> Capture.t -> string
 
 (** [digest capture] is the MD5 hex digest of the binary encoding — the
     content address of a trace, used to key the server's result cache. *)

@@ -110,10 +110,9 @@ let save ?(format = Sexp_lines) ?fault path capture =
          (try Sys.remove tmp with Sys_error _ -> ());
          raise e)
 
-(* [load] serves either format: a binary trace announces itself with the
-   SMTB magic, anything else is read as datum lines.  Damage in either
-   format surfaces as {!Corrupt} carrying the path and byte offset. *)
-let load path =
+(* Format sniffing: a binary trace announces itself with one of the
+   SMTB magics, anything else is datum lines. *)
+let probe_is_binary path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
   let probe = Bytes.create (String.length Binary.magic) in
@@ -125,8 +124,34 @@ let load path =
       | k -> fill (off + k)
   in
   let got = fill 0 in
-  seek_in ic 0;
-  if got = Bytes.length probe && Bytes.to_string probe = Binary.magic then
-    try Binary.read_channel ic
+  got = Bytes.length probe
+  && (let m = Bytes.to_string probe in
+      m = Binary.magic || m = Binary.magic_v2)
+
+type loaded =
+  | Binary_source of Binary.source
+  | Sexp_capture of Capture.t
+
+(* [open_path] sniffs the format and, for binary traces, opens a
+   zero-copy mapped source instead of materialising events — the cheap
+   entry point for stats, analysis and preprocessing over trace files.
+   Damage in either format surfaces as {!Corrupt} carrying the path and
+   byte offset. *)
+let open_path path =
+  if probe_is_binary path then
+    try Binary_source (Binary.source_of_path path)
     with Binary.Corrupt { offset; reason } -> raise (Corrupt { path; offset; reason })
-  else read_sexp_channel ~path ic
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    Sexp_capture (read_sexp_channel ~path ic)
+  end
+
+(* [load] serves either format as a whole capture; binary traces decode
+   through the mapped source. *)
+let load path =
+  match open_path path with
+  | Sexp_capture c -> c
+  | Binary_source src ->
+    (try Binary.capture_of_source src
+     with Binary.Corrupt { offset; reason } -> raise (Corrupt { path; offset; reason }))

@@ -39,6 +39,19 @@ val read_channel : in_channel -> Capture.t
     torn write lands a strict prefix of the encoding ("lying disk"). *)
 val save : ?format:format -> ?fault:Fault.Plan.t -> string -> Capture.t -> unit
 
-(** [load path] auto-detects the format from the file's first bytes.
+(** What {!open_path} found: a binary trace as a zero-copy
+    {!Binary.source}, or a sexp-lines trace already parsed into a
+    capture (that format has no random-access representation). *)
+type loaded =
+  | Binary_source of Binary.source
+  | Sexp_capture of Capture.t
+
+(** [open_path path] auto-detects the format; binary traces open as a
+    mapped source in O(1) without decoding any event.
+    @raise Corrupt on a missing magic or garbage sexp input. *)
+val open_path : string -> loaded
+
+(** [load path] auto-detects the format from the file's first bytes and
+    decodes everything (binary traces via the mapped source).
     @raise Corrupt on truncated or garbage input in either format. *)
 val load : string -> Capture.t

@@ -83,6 +83,194 @@ let run capture =
     np_by_id = Array.of_list (List.rev !nps);
   }
 
+(* [run_source] is [run] off the flat batches of a mapped binary trace.
+   The token stream of a batch is canonical — two datums are
+   structurally equal iff their token spans are identical (intern ids
+   are first-occurrence indices, fixed for the whole stream) — so list
+   identity can be assigned from span equality alone, and a datum is
+   materialised only when a list shape is seen for the first time (its
+   (n, p) metrics need the tree) or an argument is an atom.  Everything
+   else — the id table keys, the probe comparisons — stays in flat int
+   arrays. *)
+let run_source src =
+  let module B = Binary.Batch in
+  (* Open-addressing span -> latest-id table, replacing {!Dtbl}.  Keys
+     are the token span copied as an interleaved [tag, val, ...] int
+     array; probes compare the live span against stored keys without
+     allocating. *)
+  let cap = ref 4096 in
+  let mask = ref (!cap - 1) in
+  let keys = ref (Array.make !cap [||]) in
+  let kids = ref (Array.make !cap 0) in
+  let filled = ref 0 in
+  let mix h x = (h lxor x) * 16777619 land max_int in
+  let hash_key key = Array.fold_left mix 0x811c9dc5 key in
+  let hash_span b k stop =
+    let h = ref 0x811c9dc5 in
+    for i = k to stop - 1 do
+      h := mix (mix !h (B.tok_tag b i)) (B.tok_val b i)
+    done;
+    !h
+  in
+  let key_matches key b k stop =
+    Array.length key = 2 * (stop - k)
+    && (let ok = ref true and j = ref 0 in
+        let i = ref k in
+        while !ok && !i < stop do
+          if key.(!j) <> B.tok_tag b !i || key.(!j + 1) <> B.tok_val b !i then
+            ok := false;
+          incr i;
+          j := !j + 2
+        done;
+        !ok)
+  in
+  let find_slot b k stop =
+    let s = ref (hash_span b k stop land !mask) in
+    let continue = ref true in
+    while !continue do
+      let key = !keys.(!s) in
+      if Array.length key = 0 || key_matches key b k stop then continue := false
+      else s := (!s + 1) land !mask
+    done;
+    !s
+  in
+  let grow () =
+    let ncap = 2 * !cap in
+    let nmask = ncap - 1 in
+    let nkeys = Array.make ncap [||] and nids = Array.make ncap 0 in
+    Array.iteri
+      (fun i key ->
+         if Array.length key > 0 then begin
+           let s = ref (hash_key key land nmask) in
+           while Array.length nkeys.(!s) > 0 do
+             s := (!s + 1) land nmask
+           done;
+           nkeys.(!s) <- key;
+           nids.(!s) <- !kids.(i)
+         end)
+      !keys;
+    keys := nkeys;
+    kids := nids;
+    cap := ncap;
+    mask := nmask
+  in
+  let key_of_span b k stop =
+    let a = Array.make (2 * (stop - k)) 0 in
+    let j = ref 0 in
+    for i = k to stop - 1 do
+      a.(!j) <- B.tok_tag b i;
+      a.(!j + 1) <- B.tok_val b i;
+      j := !j + 2
+    done;
+    a
+  in
+  let nps = ref [] in
+  let next = ref 0 in
+  (* Same replace semantics as [run]: a fresh id always advances the
+     counter and takes over its shape's table slot. *)
+  let fresh_id b k stop =
+    if 2 * (!filled + 1) >= !cap then grow ();
+    let id = !next in
+    incr next;
+    let slot = find_slot b k stop in
+    if Array.length !keys.(slot) = 0 then begin
+      !keys.(slot) <- key_of_span b k stop;
+      incr filled
+    end;
+    !kids.(slot) <- id;
+    let d, _ = B.datum b k in
+    nps := Sexp.Metrics.np d :: !nps;
+    id
+  in
+  let id_of b k stop =
+    let slot = find_slot b k stop in
+    if Array.length !keys.(slot) = 0 then fresh_id b k stop else !kids.(slot)
+  in
+  (* growable pevent accumulator (total event count is not known until
+     the last chunk header) *)
+  let evs = ref (Array.make 1024 (Preturn { name = "" })) in
+  let n_ev = ref 0 in
+  let push e =
+    if !n_ev = Array.length !evs then begin
+      let g = Array.make (2 * !n_ev) e in
+      Array.blit !evs 0 g 0 !n_ev;
+      evs := g
+    end;
+    !evs.(!n_ev) <- e;
+    incr n_ev
+  in
+  let functions = ref 0 and primitives = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  let prev_result = ref None in
+  Binary.iter_batches src (fun b ->
+      for i = 0 to B.length b - 1 do
+        match B.kind b i with
+        | 0 ->
+          incr functions;
+          incr depth;
+          if !depth > !max_depth then max_depth := !depth;
+          push (Pcall { name = B.name b i; nargs = B.nargs b i })
+        | 1 ->
+          decr depth;
+          push (Preturn { name = B.name b i })
+        | kd ->
+          incr primitives;
+          let prim : Event.prim =
+            match kd with
+            | 2 -> Car
+            | 3 -> Cdr
+            | 4 -> Cons
+            | 5 -> Rplaca
+            | _ -> Rplacd
+          in
+          let prev = !prev_result in
+          let k = ref (B.tok_start b i) in
+          let rev_args = ref [] in
+          for _ = 1 to B.nargs b i do
+            let k0 = !k in
+            let stop = B.skip_tree b k0 in
+            k := stop;
+            let arg =
+              match B.tok_tag b k0 with
+              | 4 | 5 ->
+                let id = id_of b k0 stop in
+                List { id; chained = prev = Some id }
+              | _ ->
+                let d, _ = B.datum b k0 in
+                Atom d
+            in
+            rev_args := arg :: !rev_args
+          done;
+          let args = List.rev !rev_args in
+          let k0 = !k in
+          let stop = B.skip_tree b k0 in
+          let result =
+            match B.tok_tag b k0, prim with
+            | (4 | 5), (Event.Cons | Event.Rplaca | Event.Rplacd) ->
+              (* a cons/rplac result is a fresh cell, however familiar
+                 its shape — mirrors [classify_result] *)
+              List { id = fresh_id b k0 stop; chained = false }
+            | (4 | 5), _ ->
+              let id = id_of b k0 stop in
+              List { id; chained = false }
+            | _ ->
+              let d, _ = B.datum b k0 in
+              Atom d
+          in
+          prev_result :=
+            (match result with List { id; _ } -> Some id | Atom _ -> None);
+          push (Pprim { prim; args; result })
+      done);
+  {
+    events = Array.sub !evs 0 !n_ev;
+    distinct_lists = !next;
+    stats =
+      { Capture.functions = !functions;
+        primitives = !primitives;
+        max_depth = !max_depth };
+    np_by_id = Array.of_list (List.rev !nps);
+  }
+
 let prim_refs t =
   let refs = ref [] in
   Array.iter

@@ -31,6 +31,13 @@ type t = {
 (** [run capture] preprocesses a captured trace. *)
 val run : Capture.t -> t
 
+(** [run_source src] preprocesses a binary trace directly off its flat
+    event batches: identical output to
+    [run (Binary.capture_of_source src)] — same ids, chaining flags,
+    statistics and (n, p) table — but no [Event.t] is built and a datum
+    is materialised only for atoms and first-seen list shapes. *)
+val run_source : Binary.source -> t
+
 (** [prim_refs t] extracts the flat stream of list-object references made
     by primitives (arguments then result, per event, ids only) — the list
     access reference stream analysed in Chapter 3. *)

@@ -122,6 +122,25 @@ let test_success_paths () =
   let code, _ = run "--version" in
   Alcotest.(check int) "--version exits 0" 0 code
 
+(* Regression for the header-only stats path: `trace --stats` over a
+   multi-MB binary trace must succeed quickly through the real CLI —
+   the event count comes from chunk headers and preprocessing runs off
+   the flat batches, with no event materialisation. *)
+let test_trace_stats_large_binary () =
+  let capture = Trace.Synth.generate { Trace.Synth.default with length = 300_000 } in
+  let path = Filename.temp_file "clibig" ".smtb" in
+  Trace.Io.save ~format:Trace.Io.Binary path capture;
+  let ic = open_in_bin path in
+  let size = in_channel_length ic in
+  close_in ic;
+  Alcotest.(check bool) "trace is multi-MB" true (size > 2_000_000);
+  let code, lines =
+    run (Printf.sprintf "trace --stats -t %s" (Filename.quote path))
+  in
+  Sys.remove path;
+  Alcotest.(check int) "trace --stats exits 0" 0 code;
+  Alcotest.(check (list string)) "no stderr noise" [] lines
+
 let () =
   Alcotest.run "cli"
     [ ("errors",
@@ -135,4 +154,6 @@ let () =
          Alcotest.test_case "negative retries" `Quick test_bad_retries;
          Alcotest.test_case "unknown option" `Quick test_unknown_option;
          Alcotest.test_case "unknown command" `Quick test_unknown_command;
-         Alcotest.test_case "success paths" `Quick test_success_paths ]) ]
+         Alcotest.test_case "success paths" `Quick test_success_paths;
+         Alcotest.test_case "trace --stats on a large binary trace" `Quick
+           test_trace_stats_large_binary ]) ]

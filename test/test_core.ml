@@ -229,6 +229,39 @@ let test_split_counts_vs_plain_refops () =
 let synth_trace ?(length = 4000) ?(seed = 42) () =
   Trace.Preprocess.run (Trace.Synth.generate { Trace.Synth.default with length; seed })
 
+(* The fingerprint is the cache-key contract: its exact text must not
+   drift (a drift silently invalidates every persisted result), and the
+   memoized digest must be the plain MD5 of it. *)
+let test_config_fingerprint_text () =
+  Alcotest.(check string) "golden fingerprint"
+    "simconfig:v1 size=2048 policy=one arg=0x1.3333333333333p-1 \
+     loc=0x1.3333333333333p-2 bind=0x1.47ae147ae147bp-7 \
+     read=0x1.47ae147ae147bp-7 seed=1 split=false eager=false cache=none"
+    (Core.Simulator.config_fingerprint Core.Simulator.default_config);
+  let c =
+    { Core.Simulator.default_config with
+      table_size = 512; seed = 7; split_counts = true;
+      cache = Some { Core.Simulator.cache_lines = 64; cache_line_size = 4 } }
+  in
+  Alcotest.(check string) "golden fingerprint with cache"
+    "simconfig:v1 size=512 policy=one arg=0x1.3333333333333p-1 \
+     loc=0x1.3333333333333p-2 bind=0x1.47ae147ae147bp-7 \
+     read=0x1.47ae147ae147bp-7 seed=7 split=true eager=false cache=64/4"
+    (Core.Simulator.config_fingerprint c)
+
+let test_config_digest_memoized () =
+  let c = Core.Simulator.default_config in
+  Alcotest.(check string) "digest is MD5 of the fingerprint"
+    (Digest.to_hex (Digest.string (Core.Simulator.config_fingerprint c)))
+    (Core.Simulator.config_digest c);
+  (* memoization: structurally equal configs share one rendered string *)
+  let c' = { c with table_size = c.Core.Simulator.table_size } in
+  Alcotest.(check bool) "fingerprint is computed once per config" true
+    (Core.Simulator.config_fingerprint c == Core.Simulator.config_fingerprint c');
+  Alcotest.(check bool) "distinct configs digest differently" true
+    (Core.Simulator.config_digest c
+     <> Core.Simulator.config_digest { c with Core.Simulator.seed = 2 })
+
 let test_simulator_runs () =
   let trace = synth_trace () in
   let stats = Core.Simulator.run Core.Simulator.default_config trace in
@@ -437,7 +470,9 @@ let () =
        [ Alcotest.test_case "stackbit transitions" `Quick test_split_counts;
          Alcotest.test_case "traffic reduction" `Quick test_split_counts_vs_plain_refops ]);
       ("simulator",
-       [ Alcotest.test_case "runs" `Quick test_simulator_runs;
+       [ Alcotest.test_case "fingerprint text" `Quick test_config_fingerprint_text;
+         Alcotest.test_case "digest memoized" `Quick test_config_digest_memoized;
+         Alcotest.test_case "runs" `Quick test_simulator_runs;
          Alcotest.test_case "deterministic" `Quick test_simulator_deterministic;
          Alcotest.test_case "seed sensitivity" `Quick test_simulator_seed_sensitivity;
          Alcotest.test_case "knee" `Quick test_simulator_knee;

@@ -1,0 +1,369 @@
+(* Zero-copy replay: equivalence of the mapped, Bytes-fallback and
+   legacy streaming readers; corruption fuzz of the mapped path; the
+   header-only stats path; and the determinism regression that flat-batch
+   preprocessing (and simulation on top of it) is byte-identical to the
+   capture-based pipeline. *)
+
+module D = Sexp.Datum
+module E = Trace.Event
+module B = Trace.Binary
+
+let mk_capture events =
+  let c = Trace.Capture.create () in
+  List.iter (Trace.Capture.record c) events;
+  c
+
+let prim p args result = E.Prim { prim = p; args; result }
+
+let captures_equal c c' =
+  Trace.Capture.length c = Trace.Capture.length c'
+  && Array.for_all2
+       (fun a b -> D.equal (Trace.Io.event_to_datum a) (Trace.Io.event_to_datum b))
+       (Trace.Capture.events c) (Trace.Capture.events c')
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let with_temp_trace data f =
+  let path = Filename.temp_file "replay" ".smtb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       write_file path data;
+       f path)
+
+(* Decode [data] through each reader. *)
+let via_mapped path = B.capture_of_source (B.source_of_path path)
+let via_bytes path = B.capture_of_source (B.source_of_path ~mmap:false path)
+let via_string data = B.capture_of_source (B.source_of_string data)
+
+let via_channel path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> B.read_channel ic)
+
+let encode ?version ?(chunk_events = 4096) capture =
+  let buf = Buffer.create 4096 in
+  let path = Filename.temp_file "replayenc" ".smtb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let oc = open_out_bin path in
+       let w = B.writer ?version ~chunk_events oc in
+       Array.iter (B.write_event w) (Trace.Capture.events capture);
+       B.close_writer w;
+       close_out oc;
+       let ic = open_in_bin path in
+       Buffer.add_string buf (really_input_string ic (in_channel_length ic));
+       close_in ic;
+       Buffer.contents buf)
+
+(* ---- reader equivalence ---- *)
+
+let check_all_readers name capture data =
+  with_temp_trace data (fun path ->
+      Alcotest.(check bool) (name ^ ": mapped") true
+        (captures_equal capture (via_mapped path));
+      Alcotest.(check bool) (name ^ ": bytes fallback") true
+        (captures_equal capture (via_bytes path));
+      Alcotest.(check bool) (name ^ ": string source") true
+        (captures_equal capture (via_string data));
+      Alcotest.(check bool) (name ^ ": legacy channel") true
+        (captures_equal capture (via_channel path)))
+
+let test_readers_agree_synth () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 3000; seed = 7 } in
+  check_all_readers "v2 multi-chunk" c (encode ~chunk_events:100 c);
+  check_all_readers "v1 multi-chunk" c (encode ~version:B.V1 ~chunk_events:100 c)
+
+let test_readers_agree_edge_chunking () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 64; seed = 11 } in
+  (* one event per chunk, and everything in one chunk *)
+  check_all_readers "chunk_events=1" c (encode ~chunk_events:1 c);
+  check_all_readers "chunk_events=4096" c (encode ~chunk_events:4096 c)
+
+let test_trailerless_legacy_files () =
+  (* strip the 12-byte trailer: a pre-checksum file, both revisions *)
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 200; seed = 5 } in
+  List.iter
+    (fun version ->
+       let data = encode ?version c in
+       let stripped = String.sub data 0 (String.length data - 12) in
+       check_all_readers "trailer-less" c stripped)
+    [ None; Some B.V1 ]
+
+let test_empty_trace () =
+  let c = mk_capture [] in
+  check_all_readers "empty" c (encode c)
+
+(* ---- the batch adapter ---- *)
+
+let test_batch_adapter_roundtrip () =
+  let c =
+    mk_capture
+      [ E.Call { name = "Weird Name"; nargs = 0 };
+        prim E.Cons [ D.int (-1); D.str "s \"q\" \n" ]
+          (D.cons (D.int max_int) (D.int min_int));
+        prim E.Car [ Sexp.parse "((a . b) (c d . e))" ] (Sexp.parse "(a . b)");
+        prim E.Cdr [ D.Nil ] D.Nil;
+        prim E.Rplacd [ Sexp.parse "(((((x)))))"; D.sym "y" ] (Sexp.parse "(((((x)))))");
+        E.Return { name = "Weird Name" } ]
+  in
+  let data = encode c in
+  let events = ref [] in
+  B.iter_source (B.source_of_string data) (fun e -> events := e :: !events);
+  let events = Array.of_list (List.rev !events) in
+  Alcotest.(check int) "length" (Trace.Capture.length c) (Array.length events);
+  Array.iteri
+    (fun i e ->
+       Alcotest.(check bool) (Printf.sprintf "event %d" i) true
+         (e = (Trace.Capture.events c).(i)))
+    events
+
+(* ---- header-only statistics ---- *)
+
+let test_header_stats_no_decode () =
+  (* a multi-MB trace: the header walk must answer without decoding
+     payloads or materialising events — asserted by an allocation
+     budget far below the file size *)
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 300_000; seed = 2 } in
+  let data = encode c in
+  Alcotest.(check bool) "trace is multi-MB" true (String.length data > 2_000_000);
+  with_temp_trace data (fun path ->
+      let src = B.source_of_path path in
+      let before = Gc.allocated_bytes () in
+      let hs = B.header_stats src in
+      let allocated = Gc.allocated_bytes () -. before in
+      Alcotest.(check int) "events from headers" (Trace.Capture.length c)
+        hs.B.h_events;
+      Alcotest.(check int) "stream length" (String.length data) hs.B.h_bytes;
+      Alcotest.(check bool) "several chunks" true (hs.B.h_chunks > 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "header walk allocates little (%.0f bytes)" allocated)
+        true
+        (allocated < 1_000_000.));
+  (* and scan_stats agrees with the capture-side statistics *)
+  let st = Trace.Capture.stats c in
+  let st' = B.scan_stats (B.source_of_string data) in
+  Alcotest.(check bool) "scan_stats matches capture stats" true (st = st')
+
+let test_header_stats_detects_damage () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 500; seed = 4 } in
+  let data = encode c in
+  (* flip a byte inside a chunk *header* (just past the magic): the
+     structural trailer must catch it even though payloads are skipped *)
+  let b = Bytes.of_string data in
+  Bytes.set b 6 (Char.chr (Char.code (Bytes.get b 6) lxor 1));
+  match B.header_stats (B.source_of_string (Bytes.to_string b)) with
+  | _ -> Alcotest.fail "damaged header accepted"
+  | exception B.Corrupt _ -> ()
+
+(* ---- corruption fuzz of the mapped path ---- *)
+
+let gen_datum =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let atom =
+          oneof
+            [ return D.Nil;
+              map D.int (int_range (-1000) 1000);
+              map D.sym (oneofl [ "a"; "b"; "x"; "longer-symbol" ]);
+              map D.str (oneofl [ ""; "s"; "two words" ]) ]
+        in
+        if n <= 0 then atom
+        else
+          frequency
+            [ (2, atom);
+              (3,
+               map2
+                 (fun elems tail -> List.fold_right D.cons elems tail)
+                 (list_size (int_range 1 4) (self (n / 2)))
+                 (oneof [ return D.Nil; map D.int (int_range 0 9) ])) ]))
+
+let gen_event =
+  QCheck.Gen.(
+    frequency
+      [ (1, map2 (fun name nargs -> E.Call { name; nargs })
+             (oneofl [ "f"; "g"; "h" ]) (int_range 0 4));
+        (1, map (fun name -> E.Return { name }) (oneofl [ "f"; "g"; "h" ]));
+        (4,
+         map3
+           (fun p args result -> prim p args result)
+           (oneofl [ E.Car; E.Cdr; E.Cons; E.Rplaca; E.Rplacd ])
+           (list_size (int_range 0 3) gen_datum)
+           gen_datum) ])
+
+let prop_readers_equivalent =
+  QCheck.Test.make ~name:"mapped = bytes = string = channel readers" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 0 50) gen_event) (int_range 1 16)))
+    (fun (events, chunk_events) ->
+      let c = mk_capture events in
+      let data = encode ~chunk_events c in
+      with_temp_trace data (fun path ->
+          captures_equal c (via_mapped path)
+          && captures_equal c (via_bytes path)
+          && captures_equal c (via_string data)
+          && captures_equal c (via_channel path)))
+
+(* Byte-flips and truncations of a valid stream, decoded through the
+   mapped reader: must yield a typed Corrupt or a valid capture — never
+   another exception, crash or hang.  Exercises both the mmap and
+   Bytes-fallback views. *)
+let prop_mapped_fuzz_corruption =
+  QCheck.Test.make ~name:"corrupted streams fail typed on the mapped path"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         quad
+           (list_size (int_range 1 30) gen_event)
+           (list_size (int_range 0 6) (pair (int_range 0 10_000) (int_range 1 255)))
+           (opt (int_range 0 10_000))
+           bool))
+    (fun (events, flips, trunc, use_mmap) ->
+      let data = encode (mk_capture events) in
+      let b = Bytes.of_string data in
+      List.iter
+        (fun (pos, x) ->
+           let pos = pos mod Bytes.length b in
+           Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x)))
+        flips;
+      let mutated =
+        match trunc with
+        | Some cut -> Bytes.sub_string b 0 (cut mod (Bytes.length b + 1))
+        | None -> Bytes.to_string b
+      in
+      with_temp_trace mutated (fun path ->
+          match B.capture_of_source (B.source_of_path ~mmap:use_mmap path) with
+          | (_ : Trace.Capture.t) -> true
+          | exception B.Corrupt _ -> true
+          | exception _ -> false))
+
+(* Every single-bit flip in a v2 stream must be caught by the mapped
+   reader (per-chunk FNV for payloads, the structural trailer for
+   framing) — the mapped-path twin of the channel-reader test. *)
+let test_mapped_checksum_catches_bitflip () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 80; seed = 3 } in
+  let data = encode c in
+  let clean = ref 0 and caught = ref 0 in
+  for pos = String.length B.magic to String.length data - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    match B.capture_of_source (B.source_of_string (Bytes.to_string b)) with
+    | _ -> incr clean
+    | exception B.Corrupt _ -> incr caught
+  done;
+  Alcotest.(check int) "every bit-flip detected" 0 !clean;
+  Alcotest.(check bool) "some flips exercised" true (!caught > 0)
+
+(* The lib/fault battery against the mapped reader: a torn write (a
+   lying disk landing a strict prefix, injected at site "trace.save")
+   must never yield silently wrong data — every load either raises the
+   typed Corrupt or, when the tear fell exactly on the trailer, the
+   complete stream. *)
+let test_torn_write_detected_by_mapped_reader () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 400; seed = 12 } in
+  let detected = ref 0 in
+  for seed = 1 to 20 do
+    let plan = Fault.Plan.create { Fault.Plan.default with seed; torn_write = 1.0 } in
+    let path = Filename.temp_file "torn" ".smtb" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+         B.save ~fault:plan path c;
+         match via_mapped path with
+         | c' ->
+           Alcotest.(check bool) "a silent load is the complete stream" true
+             (captures_equal c c')
+         | exception B.Corrupt _ -> incr detected)
+  done;
+  Alcotest.(check bool) "torn writes detected" true (!detected >= 15)
+
+(* ---- preprocessing determinism ---- *)
+
+let preprocessed_equal (a : Trace.Preprocess.t) (b : Trace.Preprocess.t) =
+  a.Trace.Preprocess.events = b.Trace.Preprocess.events
+  && a.Trace.Preprocess.distinct_lists = b.Trace.Preprocess.distinct_lists
+  && a.Trace.Preprocess.stats = b.Trace.Preprocess.stats
+  && a.Trace.Preprocess.np_by_id = b.Trace.Preprocess.np_by_id
+
+let test_run_source_matches_run_synth () =
+  List.iter
+    (fun (length, seed) ->
+       let c = Trace.Synth.generate { Trace.Synth.default with length; seed } in
+       let data = encode ~chunk_events:256 c in
+       let p1 = Trace.Preprocess.run c in
+       let p2 = Trace.Preprocess.run_source (B.source_of_string data) in
+       Alcotest.(check bool)
+         (Printf.sprintf "identical preprocessing (len %d seed %d)" length seed)
+         true (preprocessed_equal p1 p2))
+    [ (2000, 1); (5000, 42); (1000, 9) ]
+
+let prop_run_source_matches_run =
+  QCheck.Test.make ~name:"run_source = run . capture" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 0 60) gen_event) (int_range 1 8)))
+    (fun (events, chunk_events) ->
+      let c = mk_capture events in
+      let data = encode ~chunk_events c in
+      preprocessed_equal (Trace.Preprocess.run c)
+        (Trace.Preprocess.run_source (B.source_of_string data)))
+
+(* The end-to-end determinism regression: simulator output over a binary
+   trace is identical whichever pipeline fed it. *)
+let test_simulator_identical_over_source () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 4000; seed = 6 } in
+  let data = encode c in
+  let pre_capture = Trace.Preprocess.run c in
+  let pre_source = Trace.Preprocess.run_source (B.source_of_string data) in
+  List.iter
+    (fun cfg ->
+       let s1 = Core.Simulator.run cfg pre_capture in
+       let s2 = Core.Simulator.run cfg pre_source in
+       Alcotest.(check bool) "identical simulator stats" true (s1 = s2))
+    [ Core.Simulator.default_config;
+      { Core.Simulator.default_config with table_size = 128; seed = 3 };
+      { Core.Simulator.default_config with
+        split_counts = true;
+        cache = Some { Core.Simulator.cache_lines = 64; cache_line_size = 2 } } ]
+
+(* Prim-mix parity across the three ways of counting. *)
+let test_prim_mix_parity () =
+  let c = Trace.Synth.generate { Trace.Synth.default with length = 3000; seed = 8 } in
+  let data = encode c in
+  let src () = B.source_of_string data in
+  let m1 = Analysis.Prim_mix.analyze c in
+  let m2 = Analysis.Prim_mix.analyze_source (src ()) in
+  let m3 = Analysis.Prim_mix.of_preprocessed (Trace.Preprocess.run_source (src ())) in
+  Alcotest.(check bool) "analyze = analyze_source" true (m1 = m2);
+  Alcotest.(check bool) "analyze = of_preprocessed" true (m1 = m3)
+
+let () =
+  Alcotest.run "replay"
+    [ ("equivalence",
+       [ Alcotest.test_case "synth both revisions" `Quick test_readers_agree_synth;
+         Alcotest.test_case "edge chunking" `Quick test_readers_agree_edge_chunking;
+         Alcotest.test_case "trailer-less legacy" `Quick test_trailerless_legacy_files;
+         Alcotest.test_case "empty trace" `Quick test_empty_trace;
+         Alcotest.test_case "batch adapter" `Quick test_batch_adapter_roundtrip ]);
+      ("header-stats",
+       [ Alcotest.test_case "no decode, no materialisation" `Quick
+           test_header_stats_no_decode;
+         Alcotest.test_case "detects header damage" `Quick
+           test_header_stats_detects_damage ]);
+      ("corruption",
+       [ Alcotest.test_case "mapped path catches bit-flips" `Quick
+           test_mapped_checksum_catches_bitflip;
+         Alcotest.test_case "torn writes detected" `Quick
+           test_torn_write_detected_by_mapped_reader ]);
+      ("determinism",
+       [ Alcotest.test_case "run_source = run (synth)" `Quick
+           test_run_source_matches_run_synth;
+         Alcotest.test_case "simulator identical" `Quick
+           test_simulator_identical_over_source;
+         Alcotest.test_case "prim mix parity" `Quick test_prim_mix_parity ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_readers_equivalent;
+         QCheck_alcotest.to_alcotest prop_mapped_fuzz_corruption;
+         QCheck_alcotest.to_alcotest prop_run_source_matches_run ]) ]
