@@ -1124,6 +1124,92 @@ let () =
         Printf.sprintf "%+.2f%%" overhead ] ]
 
 let () =
+  register "cluster.loadgen" "Sharded smalld: zipfian load vs placement policy" @@ fun () ->
+  (* the routed service under a YCSB-style zipfian load: the same
+     workload against a 2-shard in-process cluster under cache-aware and
+     uniform placement.  The hot keys of a skewed popularity curve keep
+     landing on the shard that already caches them, so the cache-aware
+     run should show materially more shard-cache hits at comparable
+     tails.  SMALLSIM_BENCH_SMOKE=1 (CI) shrinks the request count; with
+     SMALLSIM_BENCH_CLUSTER_OUT=FILE the measurements land as JSON (the
+     BENCH_cluster.json trajectory). *)
+  let smoke = Sys.getenv_opt "SMALLSIM_BENCH_SMOKE" <> None in
+  let requests = if smoke then 96 else 384 in
+  let universe = if smoke then 24 else 48 in
+  let shard sid =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let svc = Server.Service.create ~shard_id:sid ~workers:2 ~queue_capacity:64 () in
+    let d =
+      Domain.spawn (fun () ->
+          let ic = Unix.in_channel_of_descr b in
+          let oc = Unix.out_channel_of_descr (Unix.dup b) in
+          ignore (Server.Service.serve_channels svc ic oc);
+          Server.Service.shutdown svc;
+          (try close_out oc with Sys_error _ -> ());
+          (try close_in ic with Sys_error _ -> ()))
+    in
+    let ic = Unix.in_channel_of_descr a in
+    let oc = Unix.out_channel_of_descr (Unix.dup a) in
+    ((sid, Cluster.Router.Channels (ic, oc)), d)
+  in
+  let drive placement =
+    let shards, domains = List.split [ shard "s0"; shard "s1" ] in
+    let t = Cluster.Router.create ~placement ~steal_min:0 ~shards () in
+    Fun.protect
+      ~finally:(fun () ->
+          Cluster.Router.shutdown t;
+          List.iter Domain.join domains)
+      (fun () ->
+         Cluster.Loadgen.run
+           ~submit:(Cluster.Router.submit_line t)
+           { Cluster.Loadgen.default with
+             requests; universe; clients = 4; theta = 0.99; seed = 3;
+             workload = "slang"; size = 256 })
+  in
+  let aware = drive Cluster.Router.Cache_aware in
+  let uniform = drive Cluster.Router.Uniform in
+  let row label (r : Cluster.Loadgen.report) =
+    [ label; Context.int_s r.Cluster.Loadgen.ok;
+      Context.int_s r.Cluster.Loadgen.cached;
+      Printf.sprintf "%.1f" r.Cluster.Loadgen.throughput;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p50_ms;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p99_ms;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p999_ms ]
+  in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Cluster — %d zipfian requests (theta 0.99, universe %d) on 2 shards, by placement"
+         requests universe)
+    ~header:[ "placement"; "ok"; "shard-cache hits"; "req/s"; "p50 ms"; "p99 ms"; "p999 ms" ]
+    [ row "cache-aware" aware; row "uniform" uniform ];
+  (match Sys.getenv_opt "SMALLSIM_BENCH_CLUSTER_OUT" with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     let emit label (r : Cluster.Loadgen.report) =
+       Printf.sprintf
+         "\"%s\": {\"ok\": %d, \"cached\": %d, \"throughput_rps\": %.1f,\n\
+         \  \"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f}"
+         label r.Cluster.Loadgen.ok r.Cluster.Loadgen.cached
+         r.Cluster.Loadgen.throughput r.Cluster.Loadgen.mean_ms
+         r.Cluster.Loadgen.p50_ms r.Cluster.Loadgen.p99_ms r.Cluster.Loadgen.p999_ms
+     in
+     Printf.fprintf oc
+       "{\"bench\": \"cluster\", \"smoke\": %b, \"shards\": 2, \"requests\": %d,\n\
+       \ \"universe\": %d, \"theta\": 0.99, \"clients\": 4,\n\
+       \ %s,\n %s}\n"
+       smoke requests universe (emit "cache_aware" aware) (emit "uniform" uniform);
+     close_out oc;
+     Printf.printf "wrote %s\n" file);
+  if smoke && aware.Cluster.Loadgen.cached <= uniform.Cluster.Loadgen.cached then
+    failwith
+      (Printf.sprintf
+         "cluster: cache-aware placement hit the shard caches no more than uniform \
+          routing (%d vs %d)"
+         aware.Cluster.Loadgen.cached uniform.Cluster.Loadgen.cached)
+
+let () =
   register "ablation.cluster" "Multi-node SMALL: placement vs interconnect traffic" @@ fun () ->
   (* walk a list from its owner node vs from across the machine (Fig 6.1's
      cost structure), and measure weighted-reference message costs of

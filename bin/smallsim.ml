@@ -8,6 +8,8 @@
      simulate  Chapter 5 SMALL simulation over a trace
      serve     run the simulation-job service (smalld)
      submit    send job requests to a running service
+     route     front a sharded smalld cluster (consistent-hash router)
+     loadgen   zipfian YCSB-style load harness against a cluster
      workloads list the built-in benchmark workloads *)
 
 open Cmdliner
@@ -403,7 +405,14 @@ let serve_cmd =
     Arg.(value & opt int 0
          & info [ "retries" ] ~doc:"Re-run a failed job up to this many times.")
   in
-  let action socket workers queue cache_dir stdio metrics_file fault_plan retries =
+  let shard_id =
+    Arg.(value & opt (some string) None
+         & info [ "shard-id" ] ~docv:"ID"
+             ~doc:"Name this service as a cluster shard: every reply line then \
+                   carries a shard field (used by `smallsim route`).")
+  in
+  let action socket workers queue cache_dir stdio metrics_file fault_plan retries
+      shard_id =
     if workers < 1 then Error (`Msg "--workers must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
     else if retries < 0 then Error (`Msg "--retries must be non-negative")
@@ -419,8 +428,8 @@ let serve_cmd =
       | Error _ as e -> e
       | Ok fault ->
         let t =
-          Server.Service.create ?cache_dir ?metrics_file ?fault ~retries ~workers
-            ~queue_capacity:queue ()
+          Server.Service.create ?cache_dir ?metrics_file ?fault ?shard_id ~retries
+            ~workers ~queue_capacity:queue ()
         in
         Fun.protect
           ~finally:(fun () -> Server.Service.shutdown t)
@@ -437,7 +446,7 @@ let serve_cmd =
   let term =
     Term.(term_result
             (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio
-             $ metrics_file $ fault_plan $ retries))
+             $ metrics_file $ fault_plan $ retries $ shard_id))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -451,7 +460,35 @@ let submit_cmd =
              ~doc:"A job s-expression, e.g. (simulate (workload slang) (size 512)). \
                    Omitted: requests are read from stdin, one per line.")
   in
-  let action socket request =
+  let connect_retries =
+    Arg.(value & opt int 5
+         & info [ "connect-retries" ] ~docv:"N"
+             ~doc:"Retry a refused connection up to $(docv) times with short \
+                   exponential backoff (50ms doubling) — covers the window where \
+                   the server is still binding its socket.  0 fails fast.")
+  in
+  (* A server that is starting up (socket file not yet bound, or bound
+     but not yet listening) answers ENOENT/ECONNREFUSED; those — and only
+     those — are worth retrying.  EACCES, a directory, etc. are not. *)
+  let rec connect_backoff socket retries delay =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match e with
+       | Unix.ENOENT | Unix.ECONNREFUSED when retries > 0 ->
+         Unix.sleepf delay;
+         connect_backoff socket (retries - 1) (delay *. 2.0)
+       | _ ->
+         Error
+           (`Msg
+              (Printf.sprintf "cannot connect to %s: %s (is `smallsim serve` running?)"
+                 socket (Unix.error_message e))))
+  in
+  let action socket connect_retries request =
+    if connect_retries < 0 then Error (`Msg "--connect-retries must be non-negative")
+    else
     let requests =
       match request with
       | Some r -> [ r ]
@@ -463,14 +500,9 @@ let submit_cmd =
         in
         loop []
     in
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error
-        (`Msg (Printf.sprintf "cannot connect to %s: %s (is `smallsim serve` running?)"
-                 socket (Unix.error_message e)))
-    | () ->
+    match connect_backoff socket connect_retries 0.05 with
+    | Error _ as e -> e
+    | Ok fd ->
       let oc = Unix.out_channel_of_descr fd in
       let ic = Unix.in_channel_of_descr fd in
       List.iter (fun l -> output_string oc l; output_char oc '\n') requests;
@@ -484,8 +516,264 @@ let submit_cmd =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Ok ()
   in
-  let term = Term.(term_result (const action $ socket_arg $ request)) in
+  let term = Term.(term_result (const action $ socket_arg $ connect_retries $ request)) in
   Cmd.v (Cmd.info "submit" ~doc:"Send job requests to a running service") term
+
+(* ---- route / loadgen ---- *)
+
+let placement_arg =
+  Arg.(value
+       & opt (enum [ ("cache", Cluster.Router.Cache_aware);
+                     ("hash", Cluster.Router.Hash_only);
+                     ("uniform", Cluster.Router.Uniform) ])
+           Cluster.Router.Cache_aware
+       & info [ "placement" ]
+           ~doc:"Job placement: $(b,cache) (shard owning the cached result, ring \
+                 fallback), $(b,hash) (ring only), or $(b,uniform) (round-robin \
+                 baseline).")
+
+let shards_arg =
+  Arg.(value & opt int 2
+       & info [ "shards" ] ~docv:"N" ~doc:"Backend shards to spawn.")
+
+let shard_workers_arg =
+  Arg.(value & opt int 2
+       & info [ "shard-workers" ] ~doc:"Worker domains per spawned shard.")
+
+let shard_queue_arg =
+  Arg.(value & opt int 64
+       & info [ "shard-queue" ] ~doc:"Queue capacity per spawned shard.")
+
+let batch_max_arg =
+  Arg.(value & opt int 16
+       & info [ "batch-max" ] ~doc:"Micro-batch bound per shard round trip.")
+
+let steal_min_arg =
+  Arg.(value & opt int 2
+       & info [ "steal-min" ]
+           ~doc:"Queue length at which an idle shard steals work; 0 disables.")
+
+let vnodes_arg =
+  Arg.(value & opt int 64
+       & info [ "vnodes" ] ~doc:"Virtual nodes per shard on the hash ring.")
+
+(* Spawned shards are children of this very binary serving the wire
+   protocol on stdio — no sockets to coordinate, and a SIGKILLed child
+   is indistinguishable from a crashed remote shard. *)
+let spawned_shards ~shards ~workers ~queue ~cache_dir =
+  List.init shards (fun i ->
+      let sid = Printf.sprintf "s%d" i in
+      let argv =
+        [ Sys.executable_name; "serve"; "--stdio"; "--shard-id"; sid;
+          "--workers"; string_of_int workers; "--queue"; string_of_int queue ]
+        @ (match cache_dir with
+           | Some dir -> [ "--cache-dir"; Filename.concat dir sid ]
+           | None -> [])
+      in
+      (sid, Cluster.Router.Spawn (Array.of_list argv)))
+
+let route_cmd =
+  let socket =
+    Arg.(value & opt string "smallroute.sock"
+         & info [ "socket" ] ~doc:"Unix domain socket the router listens on.")
+  in
+  let backends =
+    Arg.(value & opt_all string []
+         & info [ "backend" ] ~docv:"SOCKET"
+             ~doc:"Route to an already-running smalld at this socket instead of \
+                   spawning shards (repeatable; shard ids are b0, b1, ...).")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ] ~doc:"Serve one routing session on stdin/stdout.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ]
+             ~doc:"Per-shard result-cache root for spawned shards (shard id is \
+                   appended); omit for memory-only shards.")
+  in
+  let health_interval =
+    Arg.(value & opt float 0.25
+         & info [ "health-interval" ] ~doc:"Seconds between shard health checks.")
+  in
+  let down_after =
+    Arg.(value & opt float 2.0
+         & info [ "down-after" ]
+             ~doc:"Declare an idle shard dead after a ping goes unanswered this long.")
+  in
+  let action socket backends stdio shards workers queue cache_dir placement vnodes
+      batch_max steal_min health_interval down_after =
+    if shards < 1 then Error (`Msg "--shards must be at least 1")
+    else if workers < 1 then Error (`Msg "--shard-workers must be at least 1")
+    else if queue < 1 then Error (`Msg "--shard-queue must be at least 1")
+    else if batch_max < 1 then Error (`Msg "--batch-max must be at least 1")
+    else if steal_min < 0 then Error (`Msg "--steal-min must be non-negative")
+    else begin
+      let shard_list =
+        match backends with
+        | [] -> spawned_shards ~shards ~workers ~queue ~cache_dir
+        | paths ->
+          List.mapi
+            (fun i p -> (Printf.sprintf "b%d" i, Cluster.Router.Socket p))
+            paths
+      in
+      let router =
+        Cluster.Router.create ~vnodes ~batch_max ~steal_min ~placement
+          ~shards:shard_list ()
+      in
+      let health =
+        Cluster.Health.start ~interval:health_interval ~down_after router
+      in
+      Fun.protect
+        ~finally:(fun () ->
+            Cluster.Health.stop health;
+            Cluster.Router.shutdown router)
+        (fun () ->
+           if stdio then ignore (Cluster.Router.serve_channels router stdin stdout)
+           else begin
+             Printf.eprintf "smallroute: %d shards (%s), listening on %s\n%!"
+               (List.length shard_list)
+               (String.concat ", " (Cluster.Router.shard_ids router))
+               socket;
+             Cluster.Router.serve_socket router ~path:socket
+           end);
+      Ok ()
+    end
+  in
+  let term =
+    Term.(term_result
+            (const action $ socket $ backends $ stdio $ shards_arg
+             $ shard_workers_arg $ shard_queue_arg $ cache_dir $ placement_arg
+             $ vnodes_arg $ batch_max_arg $ steal_min_arg $ health_interval
+             $ down_after))
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Front a sharded smalld cluster: consistent-hash, cache-aware routing \
+             with health-checked failover and work stealing")
+    term
+
+let loadgen_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Drive an already-running server (smalld or router) at this \
+                   socket instead of spawning a cluster.")
+  in
+  let requests =
+    Arg.(value & opt int 512 & info [ "requests" ] ~doc:"Total requests to issue.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent client domains.")
+  in
+  let universe =
+    Arg.(value & opt int 64
+         & info [ "universe" ] ~doc:"Distinct job configurations to draw from.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99
+         & info [ "theta" ] ~doc:"Zipfian skew (0 = uniform popularity).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let open_rate =
+    Arg.(value & opt (some float) None
+         & info [ "open" ] ~docv:"RATE"
+             ~doc:"Open-loop mode at this aggregate req/s (latency measured from \
+                   intended arrival); default is closed-loop.")
+  in
+  let workload =
+    Arg.(value & opt string "slang"
+         & info [ "workload" ] ~doc:"Built-in workload the jobs simulate.")
+  in
+  let size =
+    Arg.(value & opt int 256 & info [ "size" ] ~doc:"Simulated LPT size knob.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-after" ] ~docv:"K"
+             ~doc:"Fault drill: SIGKILL one spawned shard after the K-th reply; \
+                   the run must complete degraded on the survivors.")
+  in
+  let kill_shard =
+    Arg.(value & opt (some string) None
+         & info [ "kill-shard" ] ~docv:"ID"
+             ~doc:"Which shard --kill-after kills (default: the last one).")
+  in
+  let action socket shards workers queue placement batch_max steal_min requests
+      clients universe theta seed open_rate workload size json kill_after
+      kill_shard =
+    if requests < 1 then Error (`Msg "--requests must be at least 1")
+    else if clients < 1 then Error (`Msg "--clients must be at least 1")
+    else if universe < 1 then Error (`Msg "--universe must be at least 1")
+    else if theta < 0.0 then Error (`Msg "--theta must be non-negative")
+    else if not (List.mem workload workload_names) then
+      Error (`Msg (Printf.sprintf "unknown workload %s (have: %s)" workload
+                     (String.concat ", " workload_names)))
+    else begin
+      let shard_list =
+        match socket with
+        | Some path -> [ ("remote", Cluster.Router.Socket path) ]
+        | None -> spawned_shards ~shards ~workers ~queue ~cache_dir:None
+      in
+      let router =
+        Cluster.Router.create ~batch_max ~steal_min ~placement ~shards:shard_list ()
+      in
+      let health = Cluster.Health.start router in
+      let cfg =
+        { Cluster.Loadgen.requests; clients; universe; theta; seed;
+          mode = (match open_rate with None -> Cluster.Loadgen.Closed
+                                     | Some r -> Cluster.Loadgen.Open r);
+          workload; size }
+      in
+      let after =
+        Option.map
+          (fun k ->
+             let victim =
+               match kill_shard with
+               | Some sid -> sid
+               | None -> List.hd (List.rev (Cluster.Router.shard_ids router))
+             in
+             (k, fun () -> Cluster.Router.kill router victim))
+          kill_after
+      in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Cluster.Health.stop health)
+          (fun () ->
+             Cluster.Loadgen.run ?after
+               ~submit:(Cluster.Router.submit_line router) cfg)
+      in
+      let router_stats = Cluster.Router.stats_json router in
+      Cluster.Router.shutdown router;
+      if json then
+        print_endline
+          (Server.Json.to_string
+             (Server.Json.Obj
+                [ ("loadgen", Cluster.Loadgen.report_json report);
+                  ("router", router_stats) ]))
+      else begin
+        print_string (Cluster.Loadgen.report_text report);
+        Printf.printf "router     %s\n" (Server.Json.to_string router_stats)
+      end;
+      Ok ()
+    end
+  in
+  let term =
+    Term.(term_result
+            (const action $ socket $ shards_arg $ shard_workers_arg
+             $ shard_queue_arg $ placement_arg $ batch_max_arg $ steal_min_arg
+             $ requests $ clients $ universe $ theta $ seed $ open_rate
+             $ workload $ size $ json $ kill_after $ kill_shard))
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Zipfian YCSB-style load harness: closed/open loop against a spawned \
+             cluster or a running server, reporting p50/p99/p999")
+    term
 
 (* ---- workloads ---- *)
 
@@ -514,7 +802,7 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; compile_cmd; trace_cmd; analyze_cmd; simulate_cmd;
-        serve_cmd; submit_cmd; workloads_cmd ]
+        serve_cmd; submit_cmd; route_cmd; loadgen_cmd; workloads_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | 0 -> exit 0

@@ -1,0 +1,10 @@
+(** Sharded smalld: a consistent-hash ring over named shards, a
+    cache-aware router speaking the newline-sexp wire protocol to N
+    backend services, a shard health monitor, and a zipfian YCSB-style
+    load harness — the cluster front behind [smallsim route] and
+    [smallsim loadgen]. *)
+
+module Ring = Ring
+module Router = Router
+module Health = Health
+module Loadgen = Loadgen

@@ -1,0 +1,73 @@
+(** YCSB-style load harness for a routed (or single-process) smalld.
+
+    Requests are [simulate] jobs drawn from a universe of [universe]
+    distinct configurations whose popularity is zipfian with skew
+    [theta] (0.99, the YCSB default) — a small hot set dominates, which
+    is exactly the regime where cache-aware placement pays: the hot keys
+    keep landing on the shard whose result cache already holds them.
+
+    Two driving modes:
+    - {b closed-loop}: [clients] concurrent clients, each submitting its
+      next request the moment the previous reply arrives — measures
+      capacity;
+    - {b open-loop}: requests fired at a target aggregate rate on fixed
+      intended arrival times; latency is measured {e from the intended
+      arrival}, so queueing delay is charged to the server rather than
+      silently absorbed (the coordinated-omission correction).
+
+    Latencies land in an {!Obs} histogram with
+    {!Obs.Metric.Histogram.fine_latency_bounds}, from which the report
+    interpolates p50/p99/p999. *)
+
+type mode =
+  | Closed
+  | Open of float   (** aggregate target rate, requests/second *)
+
+type config = {
+  requests : int;       (** total requests to issue *)
+  clients : int;        (** concurrent client domains *)
+  universe : int;       (** distinct job configurations *)
+  theta : float;        (** zipfian skew; 0 = uniform popularity *)
+  seed : int;           (** drives both popularity and client streams *)
+  mode : mode;
+  workload : string;    (** built-in workload the jobs simulate *)
+  size : int;           (** simulated memory size knob *)
+}
+
+(** 512 requests, 4 clients, 64 configs, theta 0.99, seed 1, closed
+    loop, workload ["slang"], size 256. *)
+val default : config
+
+type report = {
+  wall_seconds : float;
+  issued : int;
+  ok : int;
+  cached : int;         (** ok replies served from a shard result cache *)
+  overloaded : int;
+  shard_down : int;
+  failed : int;         (** every other non-ok status *)
+  throughput : float;   (** completed requests / wall second *)
+  mean_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  by_shard : (string * int) list;   (** replies per shard id, sorted *)
+}
+
+(** [sampler ~theta ~n] — a zipfian rank sampler over [0..n-1]; rank 0
+    is the most popular.  [theta = 0] degenerates to uniform.  Exposed
+    for tests. *)
+val sampler : theta:float -> n:int -> Util.Rng.t -> int
+
+(** [run ~submit cfg] drives the harness against [submit] (typically
+    {!Router.submit_line}[ t] or a single-service wrapper).  [submit]
+    must be callable from several domains.
+
+    [after] — [(k, f)]: run [f] once, just after the [k]-th reply
+    arrives (fault drills: kill a shard mid-run).  *)
+val run :
+  ?after:int * (unit -> unit) ->
+  submit:(string -> unit -> string) -> config -> report
+
+val report_text : report -> string
+val report_json : report -> Server.Json.t

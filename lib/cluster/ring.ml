@@ -1,0 +1,74 @@
+type t = {
+  vnodes : int;
+  points : (int * int) array;   (* (hash, shard index), sorted by hash *)
+  names : string array;
+}
+
+(* First 8 bytes of the MD5 as a non-negative int: stable across
+   processes and OCaml versions, unlike Hashtbl.hash. *)
+let hash s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let create ?(vnodes = 64) ids =
+  if ids = [] then invalid_arg "Ring.create: no shards";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let names = Array.of_list ids in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun id ->
+       if Hashtbl.mem seen id then
+         invalid_arg ("Ring.create: duplicate shard id " ^ id);
+       Hashtbl.add seen id ())
+    names;
+  let points =
+    Array.init (Array.length names * vnodes) (fun k ->
+        let i = k / vnodes and v = k mod vnodes in
+        (hash (Printf.sprintf "%s#%d" names.(i) v), i))
+  in
+  Array.sort compare points;
+  { vnodes; points; names }
+
+let ids t = Array.to_list t.names
+let size t = Array.length t.names
+
+(* Index of the first point with hash >= h, wrapping past the top. *)
+let point_at t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = t.names.(snd t.points.(point_at t (hash key)))
+
+let owners t key =
+  let n = Array.length t.points in
+  let start = point_at t (hash key) in
+  let seen = Array.make (Array.length t.names) false in
+  let acc = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < Array.length t.names && !i < n do
+    let _, s = t.points.((start + !i) mod n) in
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      incr found;
+      acc := t.names.(s) :: !acc
+    end;
+    incr i
+  done;
+  List.rev !acc
+
+let remove t id =
+  let rest = List.filter (fun n -> n <> id) (ids t) in
+  if List.length rest = Array.length t.names then
+    invalid_arg ("Ring.remove: unknown shard " ^ id);
+  if rest = [] then invalid_arg "Ring.remove: cannot remove the last shard";
+  create ~vnodes:t.vnodes rest

@@ -1,0 +1,35 @@
+(** Consistent-hash ring over named shards.
+
+    Each shard contributes [vnodes] points on a 62-bit hash circle; a
+    key is owned by the shard whose point follows the key's hash.  The
+    defining property: removing one shard from an [n]-shard ring remaps
+    only the keys that shard owned (about [1/n] of them) — every other
+    key keeps its owner, which is what makes per-shard result caches
+    survive membership churn.
+
+    The ring is immutable; health filtering is the caller's business
+    (walk {!owners} and pick the first healthy shard). *)
+
+type t
+
+(** [create ?vnodes ids] — [ids] must be non-empty and distinct.
+    [vnodes] (default 64) trades placement smoothness for lookup-table
+    size. *)
+val create : ?vnodes:int -> string list -> t
+
+val ids : t -> string list
+val size : t -> int
+
+(** The shard owning [key]. *)
+val owner : t -> string -> string
+
+(** All shards in preference order for [key]: the owner first, then the
+    distinct shards met walking the circle — the failover order. *)
+val owners : t -> string -> string list
+
+(** [remove t id] — the ring without shard [id].
+    @raise Invalid_argument if [id] is the last shard or not a member. *)
+val remove : t -> string -> t
+
+(** The stable 62-bit key hash (exposed for tests). *)
+val hash : string -> int

@@ -1,0 +1,735 @@
+type endpoint =
+  | Spawn of string array
+  | Socket of string
+  | Channels of in_channel * out_channel
+
+type placement = Cache_aware | Hash_only | Uniform
+
+type conn = {
+  ic : in_channel;
+  oc : out_channel;
+}
+
+(* One routed request.  [tried] records the shards that have actually
+   seen it (set at send time), so failover and overload draining never
+   bounce a job back to a shard that already refused it. *)
+type item = {
+  line : string;
+  kind : [ `Job of string option | `Raw ];   (* `Job carries the cache key *)
+  mutable tried : string list;
+  mutable reply : string option;
+  im : Mutex.t;
+  icv : Condition.t;
+}
+
+type shard = {
+  sid : string;
+  endpoint : endpoint;
+  mutable conn : conn option;
+  mutable pid : int option;          (* spawned child, until reaped *)
+  mutable alive : bool;
+  q : item Queue.t;
+  mutable inflight : int;            (* items in the batch at the shard *)
+  routed : Obs.Metric.Counter.t;
+  hits : Obs.Metric.Counter.t;       (* replies with "cached":true *)
+  steals : Obs.Metric.Counter.t;     (* items stolen FROM this shard *)
+  downs : Obs.Metric.Counter.t;
+}
+
+type t = {
+  ring : Ring.t;
+  shards : shard array;
+  placement : placement;
+  batch_max : int;
+  steal_min : int;
+  m : Mutex.t;
+  cv : Condition.t;                  (* new work / state change *)
+  (* key -> shard whose result cache holds this key's value *)
+  owners_tbl : (string, string) Hashtbl.t;
+  digests : (string, string) Hashtbl.t;   (* trace-file path -> digest *)
+  dm : Mutex.t;                           (* digest memo lock *)
+  mutable rr : int;                       (* uniform round-robin cursor *)
+  mutable stopping : bool;
+  mutable dispatchers : unit Domain.t list;
+  placements : (string * Obs.Metric.Counter.t) list;
+  batch_seconds : Obs.Metric.Histogram.t;
+}
+
+(* Placement decisions are capped from growing without bound on a
+   long-lived router; the table is an optimisation over hash ownership,
+   so dropping it only costs locality for a while. *)
+let owners_cap = 1 lsl 18
+
+(* ---- wire helpers ---- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let error_line msg =
+  Server.Json.to_string
+    (Server.Json.Obj
+       [ ("status", Server.Json.Str "error"); ("error", Server.Json.Str msg) ])
+
+let shard_down_line request =
+  Server.Json.to_string
+    (Server.Json.Obj
+       [ ("status", Server.Json.Str "shard_down");
+         ("error", Server.Json.Str "no healthy shard available");
+         ("request", Server.Json.Str request) ])
+
+let pong_line =
+  Server.Json.to_string
+    (Server.Json.Obj
+       [ ("status", Server.Json.Str "ok");
+         ("pong", Server.Json.Bool true);
+         ("router", Server.Json.Bool true) ])
+
+(* ---- items ---- *)
+
+let make_item ~line ~kind =
+  { line; kind; tried = []; reply = None; im = Mutex.create (); icv = Condition.create () }
+
+let fulfill it line =
+  Mutex.lock it.im;
+  it.reply <- Some line;
+  Condition.broadcast it.icv;
+  Mutex.unlock it.im
+
+let await it =
+  Mutex.lock it.im;
+  while it.reply = None do
+    Condition.wait it.icv it.im
+  done;
+  let r = Option.get it.reply in
+  Mutex.unlock it.im;
+  r
+
+let try_reply it =
+  Mutex.lock it.im;
+  let r = it.reply in
+  Mutex.unlock it.im;
+  r
+
+(* ---- connections ---- *)
+
+let open_endpoint s =
+  match s.endpoint with
+  | Channels (ic, oc) -> { ic; oc }
+  | Socket path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | Spawn argv ->
+    (* child stdin/stdout pipes; the parent ends stay close-on-exec so
+       sibling shards never hold each other's descriptors open *)
+    let in_r, in_w = Unix.pipe ~cloexec:true () in
+    let out_r, out_w = Unix.pipe ~cloexec:true () in
+    let pid = Unix.create_process argv.(0) argv in_r out_w Unix.stderr in
+    Unix.close in_r;
+    Unix.close out_w;
+    s.pid <- Some pid;
+    { ic = Unix.in_channel_of_descr out_r; oc = Unix.out_channel_of_descr in_w }
+
+(* Nudge a shard whose dispatcher may be blocked in [input_line]: for a
+   socket (ic and oc share one fd) a shutdown wakes the reader with EOF;
+   for pipes/channels, closing our write end EOFs the shard's stdin so
+   its serve loop returns and closes the read side.  Never touches [ic]
+   — [close_in] from another domain would block on the channel lock the
+   reader holds. *)
+let nudge_conn s c =
+  match s.endpoint with
+  | Socket _ ->
+    (try Unix.shutdown (Unix.descr_of_out_channel c.oc) Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ | Sys_error _ -> ())
+  | Spawn _ | Channels _ -> ( try close_out c.oc with Sys_error _ -> ())
+
+(* Full close, only ever from the shard's own dispatcher (so nobody is
+   blocked reading [ic]).  A socket's fd is closed exactly once — via
+   [oc] — and [ic] is left to the GC, so a reused fd number can never be
+   closed out from under another session. *)
+let close_conn s c =
+  match s.endpoint with
+  | Socket _ ->
+    (try Unix.shutdown (Unix.descr_of_out_channel c.oc) Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (try close_out c.oc with Sys_error _ -> ())
+  | Spawn _ | Channels _ ->
+    (try close_out c.oc with Sys_error _ -> ());
+    (try close_in c.ic with Sys_error _ -> ())
+
+let get_conn s =
+  match s.conn with
+  | Some c -> c
+  | None ->
+    let c = open_endpoint s in
+    s.conn <- Some c;
+    c
+
+(* Reap a spawned child: grace for a polite (quit), then SIGKILL. *)
+let reap_child s =
+  match s.pid with
+  | None -> ()
+  | Some pid ->
+    s.pid <- None;
+    let rec wait tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        if tries <= 0 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait (tries - 1)
+        end
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    wait 40
+
+(* ---- placement (all under t.m) ---- *)
+
+let shard_by_id t sid = Array.to_list t.shards |> List.find (fun s -> s.sid = sid)
+
+let count_placement t kind n =
+  match List.assoc_opt kind t.placements with
+  | Some c -> Obs.Metric.Counter.add c n
+  | None -> ()
+
+let enqueue_locked t s it ~kind =
+  Obs.Metric.Counter.incr s.routed;
+  count_placement t kind 1;
+  Queue.add it s.q;
+  Condition.broadcast t.cv
+
+(* The next healthy shard this item has not yet been sent to, in ring
+   preference order for its key (any order for keyless/uniform items). *)
+let next_candidate_locked t it =
+  let pref =
+    match it.kind with
+    | `Job (Some key) when t.placement <> Uniform -> Ring.owners t.ring key
+    | _ -> Array.to_list (Array.map (fun s -> s.sid) t.shards)
+  in
+  List.find_opt
+    (fun sid ->
+       let s = shard_by_id t sid in
+       s.alive && not (List.mem sid it.tried))
+    pref
+  |> Option.map (shard_by_id t)
+
+let choose_initial_locked t key =
+  let alive = Array.to_list t.shards |> List.filter (fun s -> s.alive) in
+  if alive = [] then None
+  else
+    match t.placement, key with
+    | Uniform, _ | _, None ->
+      t.rr <- t.rr + 1;
+      Some (List.nth alive (t.rr mod List.length alive), "uniform")
+    | (Cache_aware | Hash_only), Some key ->
+      let cache_owner =
+        if t.placement = Cache_aware then Hashtbl.find_opt t.owners_tbl key
+        else None
+      in
+      (match cache_owner with
+       | Some sid when (shard_by_id t sid).alive -> Some (shard_by_id t sid, "cache")
+       | _ ->
+         let pref = Ring.owners t.ring key in
+         (match List.find_opt (fun sid -> (shard_by_id t sid).alive) pref with
+          | Some sid when Some sid = List.nth_opt pref 0 ->
+            Some (shard_by_id t sid, "hash")
+          | Some sid -> Some (shard_by_id t sid, "failover")
+          | None -> None))
+
+(* Reroute a job that its shard failed or refused; [fallback] is the
+   reply when no healthy shard remains (typed shard_down for a death,
+   the shard's own overloaded reply for a drain). *)
+let reroute_locked t it ~kind ~fallback =
+  match it.kind with
+  | `Raw -> fulfill it fallback
+  | `Job _ ->
+    (match next_candidate_locked t it with
+     | Some s' -> enqueue_locked t s' it ~kind
+     | None -> fulfill it fallback)
+
+let mark_down_locked t s =
+  if s.alive then begin
+    s.alive <- false;
+    Obs.Metric.Counter.incr s.downs;
+    (match s.conn with Some c -> nudge_conn s c | None -> ());
+    let pending = List.of_seq (Queue.to_seq s.q) in
+    Queue.clear s.q;
+    List.iter
+      (fun it ->
+         reroute_locked t it ~kind:"failover" ~fallback:(shard_down_line it.line))
+      pending;
+    Condition.broadcast t.cv
+  end
+
+(* ---- dispatcher ---- *)
+
+(* Steal half the longest queue (>= steal_min) onto idle shard [s],
+   preferring items the victim holds no cached result for — stealing a
+   cache-owned key would convert its hit into a miss on the thief. *)
+let steal_locked t s =
+  if t.steal_min <= 0 then false
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun v ->
+         if v != s && v.alive then begin
+           let len = Queue.length v.q in
+           if len >= t.steal_min then
+             match !best with
+             | Some (_, blen) when blen >= len -> ()
+             | _ -> best := Some (v, len)
+         end)
+      t.shards;
+    match !best with
+    | None -> false
+    | Some (v, len) ->
+      let k = (len + 1) / 2 in
+      let all = List.of_seq (Queue.to_seq v.q) in
+      Queue.clear v.q;
+      let owned it =
+        match it.kind with
+        | `Job (Some key) -> Hashtbl.find_opt t.owners_tbl key = Some v.sid
+        | _ -> false
+      in
+      let take_last n l =
+        let len = List.length l in
+        if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+      in
+      let free, held = List.partition (fun it -> not (owned it)) all in
+      let stolen =
+        if List.length free >= k then take_last k free
+        else free @ take_last (k - List.length free) held
+      in
+      let kept = List.filter (fun it -> not (List.memq it stolen)) all in
+      List.iter (fun it -> Queue.add it v.q) kept;
+      List.iter (fun it -> Queue.add it s.q) stolen;
+      Obs.Metric.Counter.add v.steals (List.length stolen);
+      count_placement t "steal" (List.length stolen);
+      not (Queue.is_empty s.q)
+  end
+
+(* Take the next micro-batch: a Raw line travels alone (its reply count
+   differs from a job's), jobs group up to batch_max.  Marks each item
+   as tried at this shard. *)
+let take_batch_locked t s =
+  let first = Queue.pop s.q in
+  first.tried <- s.sid :: first.tried;
+  match first.kind with
+  | `Raw -> [ first ]
+  | `Job _ ->
+    let rec grab acc n =
+      if n >= t.batch_max || Queue.is_empty s.q then List.rev acc
+      else
+        match Queue.peek s.q with
+        | { kind = `Raw; _ } -> List.rev acc
+        | _ ->
+          let it = Queue.pop s.q in
+          it.tried <- s.sid :: it.tried;
+          grab (it :: acc) (n + 1)
+    in
+    first :: grab [] 1
+
+let process t s batch =
+  let result =
+    try
+      let conn = get_conn s in
+      let payload =
+        match batch with
+        | [ it ] -> it.line
+        | items ->
+          "(batch " ^ String.concat " " (List.map (fun it -> it.line) items) ^ ")"
+      in
+      let t0 = Unix.gettimeofday () in
+      output_string conn.oc payload;
+      output_char conn.oc '\n';
+      flush conn.oc;
+      let replies = List.map (fun it -> (it, input_line conn.ic)) batch in
+      Ok (replies, Unix.gettimeofday () -. t0)
+    with End_of_file | Sys_error _ | Unix.Unix_error _ -> Error ()
+  in
+  match result with
+  | Error () ->
+    (* shard gone mid-flight: declare it down and fail the batch over *)
+    Mutex.lock t.m;
+    s.inflight <- 0;
+    mark_down_locked t s;
+    List.iter
+      (fun it ->
+         reroute_locked t it ~kind:"failover" ~fallback:(shard_down_line it.line))
+      batch;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+  | Ok (replies, dt) ->
+    Obs.Metric.Histogram.record t.batch_seconds dt;
+    Mutex.lock t.m;
+    s.inflight <- 0;
+    List.iter
+      (fun (it, reply) ->
+         if contains reply "\"status\":\"overloaded\""
+         && next_candidate_locked t it <> None then
+           (* the PR 4 ladder, cluster rung: drain refused work to a
+              healthy shard instead of bouncing the client *)
+           reroute_locked t it ~kind:"drain" ~fallback:reply
+         else begin
+           (match it.kind with
+            | `Job (Some key) when contains reply "\"status\":\"ok\"" ->
+              if Hashtbl.length t.owners_tbl > owners_cap then
+                Hashtbl.reset t.owners_tbl;
+              Hashtbl.replace t.owners_tbl key s.sid
+            | _ -> ());
+           if contains reply "\"cached\":true" then Obs.Metric.Counter.incr s.hits;
+           fulfill it reply
+         end)
+      replies;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+
+let teardown t s =
+  Mutex.lock t.m;
+  let conn =
+    match s.conn, s.endpoint with
+    | (Some _ as c), _ -> c
+    (* adopted channels we never spoke to still need the quit/close, or
+       the far side's serve loop blocks on its read forever *)
+    | None, Channels (ic, oc) -> Some { ic; oc }
+    | None, (Spawn _ | Socket _) -> None
+  in
+  s.conn <- None;
+  Mutex.unlock t.m;
+  (match conn with
+   | None -> ()
+   | Some c ->
+     (match s.endpoint with
+      | Spawn _ | Channels _ ->
+        (* owned shards get a polite quit so their serve loop returns *)
+        (try
+           output_string c.oc "(quit)\n";
+           flush c.oc
+         with Sys_error _ | Unix.Unix_error _ -> ())
+      | Socket _ -> ());
+     close_conn s c);
+  reap_child s
+
+let dispatcher t s =
+  let rec loop () =
+    Mutex.lock t.m;
+    let rec decide () =
+      if not s.alive then `Exit
+      else if not (Queue.is_empty s.q) then `Work
+      else if steal_locked t s then `Work
+      else if t.stopping then `Exit
+      else begin
+        Condition.wait t.cv t.m;
+        decide ()
+      end
+    in
+    match decide () with
+    | `Exit ->
+      Mutex.unlock t.m;
+      teardown t s
+    | `Work ->
+      let batch = take_batch_locked t s in
+      s.inflight <- List.length batch;
+      Mutex.unlock t.m;
+      process t s batch;
+      loop ()
+  in
+  loop ()
+
+(* ---- construction ---- *)
+
+let create ?(vnodes = 64) ?(batch_max = 16) ?(steal_min = 2)
+    ?(placement = Cache_aware) ?metrics ~shards () =
+  if shards = [] then invalid_arg "Router.create: no shards";
+  if batch_max < 1 then invalid_arg "Router.create: batch_max < 1";
+  (* a dead shard must surface as a broken write, not kill the router *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let metrics = match metrics with Some r -> r | None -> Obs.Registry.create () in
+  let ring = Ring.create ~vnodes (List.map fst shards) in
+  let shard_of (sid, endpoint) =
+    let c name help =
+      Obs.Registry.counter metrics ~help ~labels:[ ("shard", sid) ] name
+    in
+    { sid; endpoint; conn = None; pid = None; alive = true;
+      q = Queue.create (); inflight = 0;
+      routed = c "small_router_requests_total" "requests routed to this shard";
+      hits = c "small_router_hits_total" "replies served from this shard's cache";
+      steals = c "small_router_steals_total" "queued jobs stolen from this shard";
+      downs = c "small_router_shard_down_total" "times this shard was marked down" }
+  in
+  let placements =
+    List.map
+      (fun kind ->
+         ( kind,
+           Obs.Registry.counter metrics
+             ~help:"routing decisions, by placement kind"
+             ~labels:[ ("kind", kind) ] "small_router_placement_total" ))
+      [ "cache"; "hash"; "uniform"; "failover"; "drain"; "steal" ]
+  in
+  let t =
+    { ring; shards = Array.of_list (List.map shard_of shards);
+      placement; batch_max; steal_min;
+      m = Mutex.create (); cv = Condition.create ();
+      owners_tbl = Hashtbl.create 1024;
+      digests = Hashtbl.create 16; dm = Mutex.create ();
+      rr = -1; stopping = false; dispatchers = [];
+      placements;
+      batch_seconds =
+        Obs.Registry.histogram metrics
+          ~help:"shard round-trip seconds per micro-batch"
+          "small_router_batch_seconds" }
+  in
+  t.dispatchers <-
+    Array.to_list (Array.map (fun s -> Domain.spawn (fun () -> dispatcher t s)) t.shards);
+  t
+
+(* ---- routing keys ---- *)
+
+(* The placement key is exactly the shard-local result-cache key, so
+   "route to the cached result" and "the shard will hit its cache" agree
+   by construction.  Trace-file digests are memoised per path. *)
+let placement_key t (job : Server.Job.t) =
+  let trace_digest () =
+    match job.source with
+    | Server.Job.Trace_file path ->
+      Mutex.lock t.dm;
+      let memo = Hashtbl.find_opt t.digests path in
+      Mutex.unlock t.dm;
+      (match memo with
+       | Some d -> d
+       | None ->
+         let d = Server.Exec.trace_digest job.source in
+         Mutex.lock t.dm;
+         Hashtbl.replace t.digests path d;
+         Mutex.unlock t.dm;
+         d)
+    | Server.Job.Workload _ -> Server.Exec.trace_digest job.source
+  in
+  match trace_digest () with
+  | d -> Some (Server.Result_cache.key ~trace_digest:d ~job_digest:(Server.Job.digest job))
+  | exception _ -> None
+
+(* ---- the public request path ---- *)
+
+let submit_line t line =
+  match Sexp.parse line with
+  | exception Sexp.Reader.Parse_error msg ->
+    let r = error_line ("parse error: " ^ msg) in
+    fun () -> r
+  | d ->
+    (match Server.Job.of_sexp d with
+     | Error msg ->
+       let r = error_line msg in
+       fun () -> r
+     | Ok job ->
+       let key = placement_key t job in
+       let it = make_item ~line ~kind:(`Job key) in
+       Mutex.lock t.m;
+       if t.stopping then begin
+         Mutex.unlock t.m;
+         let r = error_line "router is shutting down" in
+         fun () -> r
+       end
+       else
+         match choose_initial_locked t key with
+         | None ->
+           Mutex.unlock t.m;
+           let r = shard_down_line line in
+           fun () -> r
+         | Some (s, kind) ->
+           enqueue_locked t s it ~kind;
+           Mutex.unlock t.m;
+           fun () -> await it)
+
+let stats_json t =
+  Mutex.lock t.m;
+  let shard_objs =
+    Array.to_list t.shards
+    |> List.map (fun s ->
+        ( s.sid,
+          Server.Json.Obj
+            [ ("alive", Server.Json.Bool s.alive);
+              ("routed", Server.Json.Int (Obs.Metric.Counter.get s.routed));
+              ("hits", Server.Json.Int (Obs.Metric.Counter.get s.hits));
+              ("stolen_from", Server.Json.Int (Obs.Metric.Counter.get s.steals));
+              ("downs", Server.Json.Int (Obs.Metric.Counter.get s.downs));
+              ("queued", Server.Json.Int (Queue.length s.q));
+              ("inflight", Server.Json.Int s.inflight) ] ))
+  in
+  let healthy =
+    Array.fold_left (fun n s -> if s.alive then n + 1 else n) 0 t.shards
+  in
+  Mutex.unlock t.m;
+  Server.Json.Obj
+    [ ("status", Server.Json.Str "ok");
+      ("router", Server.Json.Bool true);
+      ("shards_total", Server.Json.Int (Array.length t.shards));
+      ("shards_healthy", Server.Json.Int healthy);
+      ("placement",
+       Server.Json.Obj
+         (List.map
+            (fun (k, c) -> (k, Server.Json.Int (Obs.Metric.Counter.get c)))
+            t.placements));
+      ("shards", Server.Json.Obj shard_objs) ]
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then []
+  else
+    match Sexp.parse line with
+    | exception Sexp.Reader.Parse_error msg -> [ error_line ("parse error: " ^ msg) ]
+    | Sexp.Datum.Cons (Sym "stats", Nil) -> [ Server.Json.to_string (stats_json t) ]
+    | Sexp.Datum.Cons (Sym "ping", Nil) -> [ pong_line ]
+    | Sexp.Datum.Cons (Sym "batch", rest) when Sexp.Datum.is_list rest ->
+      (* route every job before awaiting any reply: the shards run the
+         batch concurrently, replies keep request order *)
+      let joins =
+        List.map (fun d -> submit_line t (Sexp.to_string d)) (Sexp.Datum.to_list rest)
+      in
+      List.map (fun j -> j ()) joins
+    | _ -> [ submit_line t line () ]
+
+(* ---- health surface ---- *)
+
+let shard_ids t = Array.to_list t.shards |> List.map (fun s -> s.sid)
+
+let alive_ids t =
+  Mutex.lock t.m;
+  let ids = Array.to_list t.shards |> List.filter (fun s -> s.alive) in
+  Mutex.unlock t.m;
+  List.map (fun s -> s.sid) ids
+
+let spawned_pids t =
+  Mutex.lock t.m;
+  let ps =
+    Array.to_list t.shards
+    |> List.filter_map (fun s ->
+        match s.pid with Some pid when s.alive -> Some (s.sid, pid) | _ -> None)
+  in
+  Mutex.unlock t.m;
+  ps
+
+let is_idle t sid =
+  Mutex.lock t.m;
+  let r =
+    match Array.to_list t.shards |> List.find_opt (fun s -> s.sid = sid) with
+    | Some s -> s.alive && Queue.is_empty s.q && s.inflight = 0
+    | None -> false
+  in
+  Mutex.unlock t.m;
+  r
+
+let probe t sid =
+  Mutex.lock t.m;
+  let r =
+    match Array.to_list t.shards |> List.find_opt (fun s -> s.sid = sid) with
+    | Some s when s.alive ->
+      let it = make_item ~line:"(ping)" ~kind:`Raw in
+      Queue.add it s.q;
+      Condition.broadcast t.cv;
+      Some (fun () -> try_reply it)
+    | _ -> None
+  in
+  Mutex.unlock t.m;
+  r
+
+let mark_down t sid =
+  Mutex.lock t.m;
+  (match Array.to_list t.shards |> List.find_opt (fun s -> s.sid = sid) with
+   | Some s -> mark_down_locked t s
+   | None -> ());
+  Mutex.unlock t.m
+
+let kill t sid =
+  (match
+     Array.to_list t.shards |> List.find_opt (fun s -> s.sid = sid)
+   with
+   | Some { pid = Some pid; _ } ->
+     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+   | _ -> ());
+  mark_down t sid
+
+(* ---- serving ---- *)
+
+let serve_channels t ic oc =
+  let quit = ref false in
+  (try
+     while not !quit do
+       let line = input_line ic in
+       if String.trim line = "(quit)" then quit := true
+       else
+         List.iter
+           (fun resp -> output_string oc resp; output_char oc '\n'; flush oc)
+           (handle_line t line)
+     done
+   with End_of_file -> ());
+  !quit
+
+let serve_socket t ~path =
+  Server.Service.remove_stale_socket path;
+  (* every router-held fd must be close-on-exec: shard children are
+     spawned while sessions are live, and an inherited copy of a client
+     connection would keep it open after the session closes — the client
+     then never sees EOF *)
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stop = Atomic.make false in
+  let sm = Mutex.create () in
+  let sessions = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Mutex.lock sm;
+        let ds = !sessions in
+        sessions := [];
+        Mutex.unlock sm;
+        List.iter Domain.join ds)
+    (fun () ->
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 64;
+       while not (Atomic.get stop) do
+         match Unix.accept sock with
+         | exception Unix.Unix_error _ -> Atomic.set stop true
+         | fd, _ ->
+           (try Unix.set_close_on_exec fd with Unix.Unix_error _ -> ());
+           if Atomic.get stop then (try Unix.close fd with Unix.Unix_error _ -> ())
+           else begin
+             let d =
+               Domain.spawn (fun () ->
+                   let ic = Unix.in_channel_of_descr fd in
+                   let oc = Unix.out_channel_of_descr fd in
+                   (match serve_channels t ic oc with
+                    | true ->
+                      Atomic.set stop true;
+                      (* a throwaway connection unblocks the accept loop *)
+                      (try
+                         let c = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                         (try Unix.connect c (Unix.ADDR_UNIX path)
+                          with Unix.Unix_error _ -> ());
+                         Unix.close c
+                       with Unix.Unix_error _ -> ())
+                    | false -> ()
+                    | exception Sys_error _ -> ());
+                   (try flush oc with Sys_error _ -> ());
+                   try Unix.close fd with Unix.Unix_error _ -> ())
+             in
+             Mutex.lock sm;
+             sessions := d :: !sessions;
+             Mutex.unlock sm
+           end
+       done)
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  if first then List.iter Domain.join t.dispatchers

@@ -1,0 +1,102 @@
+(** The cluster front: consistent-hash, cache-aware routing of job
+    requests onto N backend smalld shards speaking the newline-sexp wire
+    protocol.
+
+    Each shard is a connection — a spawned [smallsim serve --stdio]
+    child, a Unix-socket server, or a pre-connected channel pair (tests,
+    benches) — owned by one dispatcher domain.  Requests are enqueued
+    per shard; a dispatcher drains its queue in micro-batches (one
+    [(batch ...)] line exploits the shard's worker pool), so queued work
+    is visible and an idle shard's dispatcher steals from the longest
+    queue.
+
+    Placement, per job:
+    - {b cache-aware} (default): the shard that last produced this key's
+      result (so a repeat config lands on the shard whose cache holds
+      it), falling back on ring ownership;
+    - {b hash}: ring ownership only;
+    - {b uniform}: round-robin — the locality-blind baseline the load
+      harness measures against.
+
+    The overload ladder extends PR 4's: a shard answering [overloaded]
+    has the request drained to the next healthy shard in ring preference
+    order; a dead shard (connection error, health-check verdict) has its
+    queue failed over likewise; only when no healthy shard remains does
+    the client see a typed [shard_down] reply.  All replies otherwise
+    pass through byte-for-byte, so a cluster run is byte-identical to a
+    single-process one (modulo ["shard"]/["elapsed"] fields). *)
+
+type t
+
+type endpoint =
+  | Spawn of string array
+      (** argv of a child process serving the wire protocol on stdio;
+          argv.(0) is the executable path *)
+  | Socket of string                         (** Unix-socket server path *)
+  | Channels of in_channel * out_channel     (** pre-connected (tests) *)
+
+type placement = Cache_aware | Hash_only | Uniform
+
+(** [create ?vnodes ?batch_max ?steal_min ?placement ?metrics ~shards ()]
+    connects (lazily) to the named shards and spawns one dispatcher
+    domain per shard.  [batch_max] (default 16) bounds a micro-batch;
+    [steal_min] (default 2) is the queue length at which an idle
+    dispatcher steals (half the victim's queue, preferring jobs the
+    victim holds no cached result for); [0] disables stealing.
+    [metrics] receives the [small_router_*] families.  SIGPIPE is set to
+    ignore (a dead shard must surface as an error, not kill the
+    router). *)
+val create :
+  ?vnodes:int -> ?batch_max:int -> ?steal_min:int -> ?placement:placement ->
+  ?metrics:Obs.Registry.t -> shards:(string * endpoint) list -> unit -> t
+
+(** [submit_line t line] routes one job request line; the returned join
+    blocks until the reply line.  Malformed jobs are answered
+    immediately; an unroutable job (no healthy shard) yields the typed
+    [shard_down] line. *)
+val submit_line : t -> string -> unit -> string
+
+(** One request line to reply lines, mirroring {!Server.Service.handle_line}:
+    jobs route to shards, [(batch ...)] fans out and preserves order,
+    [(stats)] answers with router stats, [(ping)] with a pong. *)
+val handle_line : t -> string -> string list
+
+(** Router-level stats: placement counts and per-shard
+    alive/routed/hits/steals/queue depth. *)
+val stats_json : t -> Server.Json.t
+
+val shard_ids : t -> string list
+val alive_ids : t -> string list
+
+(** Spawned children still considered alive, as [(shard id, pid)]. *)
+val spawned_pids : t -> (string * int) list
+
+(** No job queued or in flight at the shard. *)
+val is_idle : t -> string -> bool
+
+(** [probe t sid] enqueues a [(ping)] on the shard's wire (FIFO with
+    jobs); the returned thunk polls the reply without blocking.  [None]
+    if the shard is down. *)
+val probe : t -> string -> (unit -> string option) option
+
+(** Declares a shard dead: closes its connection (waking a blocked
+    dispatcher), fails its health probes, and reroutes its queued jobs
+    to the next healthy shard (typed [shard_down] replies when none
+    remains). *)
+val mark_down : t -> string -> unit
+
+(** [kill t sid] — SIGKILL a spawned shard (tests, fault drills), then
+    {!mark_down} it. *)
+val kill : t -> string -> unit
+
+(** Serves the wire protocol until EOF or [(quit)]; [true] iff quit. *)
+val serve_channels : t -> in_channel -> out_channel -> bool
+
+(** Binds [path] (stale files removed, live servers refused — see
+    {!Server.Service.remove_stale_socket}) and serves {e concurrent}
+    sessions, one domain each, until some client sends [(quit)]. *)
+val serve_socket : t -> path:string -> unit
+
+(** Drains every queue, politely quits spawned/adopted shards, reaps
+    children, joins the dispatchers.  Idempotent. *)
+val shutdown : t -> unit

@@ -46,6 +46,10 @@ module Histogram = struct
      bench-section run times alike. *)
   let default_latency_bounds = exponential ~least:1e-5 ~factor:2. ~count:23
 
+  (* 1us .. ~10s in quarter-decade steps: tight enough that interpolated
+     tail quantiles (p99/p999) from a load generator are meaningful. *)
+  let fine_latency_bounds = exponential ~least:1e-6 ~factor:1.333521432163324 ~count:57
+
   (* 1 .. 2^20 entries/bytes. *)
   let default_size_bounds = exponential ~least:1. ~factor:2. ~count:21
 

@@ -41,6 +41,11 @@ module Histogram : sig
   (** 1e-5s to ~84s in powers of two — the default for latencies. *)
   val default_latency_bounds : float array
 
+  (** 1e-6s to ~10s in eighth-decade steps (57 buckets) — finer-grained
+      than {!default_latency_bounds}, for load generators whose
+      interpolated tail quantiles (p99/p999) must be credible. *)
+  val fine_latency_bounds : float array
+
   (** 1 to 2^20 in powers of two — for sizes and occupancies. *)
   val default_size_bounds : float array
 

@@ -28,11 +28,12 @@ type t = {
   req_overloaded : Obs.Metric.Counter.t;
   req_shed : Obs.Metric.Counter.t;
   metrics_file : string option;
+  shard_id : string option;         (* announced in every reply when set *)
   lock : Mutex.t;
   mutable jobs_executed : int;      (* cache misses actually run *)
 }
 
-let create ?cache_dir ?metrics_file ?fault ?(retries = 0)
+let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
     ?(max_request_bytes = 1 lsl 20) ~workers ~queue_capacity () =
   if retries < 0 then invalid_arg "Service.create: retries < 0";
   if max_request_bytes < 1 then invalid_arg "Service.create: max_request_bytes < 1";
@@ -52,7 +53,7 @@ let create ?cache_dir ?metrics_file ?fault ?(retries = 0)
     req_ok = req "ok"; req_error = req "error"; req_timeout = req "timeout";
     req_cancelled = req "cancelled"; req_rejected = req "rejected";
     req_overloaded = req "overloaded"; req_shed = req "shed";
-    metrics_file;
+    metrics_file; shard_id;
     lock = Mutex.create (); jobs_executed = 0 }
 
 let cache t = t.result_cache
@@ -182,14 +183,22 @@ let run_job t job =
 
 (* ---- wire rendering ---- *)
 
-let response_json r =
+(* When the service runs as a cluster shard, every reply carries its
+   shard id so routers and load generators can attribute hits and
+   latencies without parsing the result body. *)
+let shard_field t =
+  match t.shard_id with
+  | None -> []
+  | Some id -> [ ("shard", Json.Str id) ]
+
+let response_json t r =
   let base status rest =
     Json.Obj
       (("status", Json.Str status)
        :: ("job", Json.Str (Job.describe r.job))
        :: ("cached", Json.Bool r.cached)
        :: ("elapsed", Json.Float r.elapsed)
-       :: rest)
+       :: (rest @ shard_field t))
   in
   match r.outcome with
   | Ok out -> base "ok" [ ("result", Exec.output_to_json out) ]
@@ -199,15 +208,22 @@ let response_json r =
   | Error Cancelled -> base "cancelled" []
   | Error Shed -> base "shed" [ ("error", Json.Str "shed under overload") ]
 
-let error_line msg =
-  Json.to_string (Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
-
-let overloaded_line (job : Job.t) =
+let error_line t msg =
   Json.to_string
     (Json.Obj
-       [ ("status", Json.Str "overloaded");
-         ("job", Json.Str (Job.describe job));
-         ("error", Json.Str "queue full, nothing lower-priority to shed") ])
+       (("status", Json.Str "error") :: ("error", Json.Str msg) :: shard_field t))
+
+let overloaded_line t (job : Job.t) =
+  Json.to_string
+    (Json.Obj
+       (("status", Json.Str "overloaded")
+        :: ("job", Json.Str (Job.describe job))
+        :: ("error", Json.Str "queue full, nothing lower-priority to shed")
+        :: shard_field t))
+
+let pong_line t =
+  Json.to_string
+    (Json.Obj (("status", Json.Str "ok") :: ("pong", Json.Bool true) :: shard_field t))
 
 let stats_json t =
   let c = Result_cache.stats t.result_cache in
@@ -216,8 +232,9 @@ let stats_json t =
   let executed = t.jobs_executed in
   Mutex.unlock t.lock;
   Json.Obj
-    [ ("status", Json.Str "ok");
-      ("jobs_executed", Json.Int executed);
+    ([ ("status", Json.Str "ok") ]
+     @ shard_field t
+     @ [ ("jobs_executed", Json.Int executed);
       ("cache",
        Json.Obj
          [ ("hits", Json.Int c.Result_cache.hits);
@@ -236,13 +253,13 @@ let stats_json t =
            ("timed_out", Json.Int s.Scheduler.timed_out);
            ("shed", Json.Int s.Scheduler.shed);
            ("retried", Json.Int s.Scheduler.retried) ]);
-      ("metrics", Obs_json.registry_json t.metrics) ]
+      ("metrics", Obs_json.registry_json t.metrics) ])
 
 let respond t job =
   match run_job t job with
-  | Ok r -> Json.to_string (response_json r)
-  | Error `Overloaded -> overloaded_line job
-  | Error `Shutdown -> overloaded_line job
+  | Ok r -> Json.to_string (response_json t r)
+  | Error `Overloaded -> overloaded_line t job
+  | Error `Shutdown -> overloaded_line t job
 
 let handle_batch t datums =
   (* submit everything before awaiting anything: the pool runs the batch
@@ -251,25 +268,29 @@ let handle_batch t datums =
     List.map
       (fun d ->
          match Job.of_sexp d with
-         | Error msg -> fun () -> error_line msg
+         | Error msg -> fun () -> error_line t msg
          | Ok job ->
            (match submit t job with
-            | Ok join -> fun () -> Json.to_string (response_json (join ()))
-            | Error (`Overloaded | `Shutdown) -> fun () -> overloaded_line job))
+            | Ok join -> fun () -> Json.to_string (response_json t (join ()))
+            | Error (`Overloaded | `Shutdown) -> fun () -> overloaded_line t job))
       datums
   in
   List.map (fun join -> join ()) joins
 
 let handle_parsed t line =
   match Sexp.parse line with
-    | exception Sexp.Reader.Parse_error msg -> [ error_line ("parse error: " ^ msg) ]
+    | exception Sexp.Reader.Parse_error msg -> [ error_line t ("parse error: " ^ msg) ]
     | Sexp.Datum.Cons (Sym "stats", Nil) -> [ Json.to_string (stats_json t) ]
+    | Sexp.Datum.Cons (Sym "ping", Nil) ->
+      (* the router's health probe: answered without touching the
+         scheduler, the cache, or the registry snapshot *)
+      [ pong_line t ]
     | Sexp.Datum.Cons (Sym "batch", rest) when Sexp.Datum.is_list rest ->
       handle_batch t (Sexp.Datum.to_list rest)
     | d ->
       (match Job.of_sexp d with
        | Ok job -> [ respond t job ]
-       | Error msg -> [ error_line msg ])
+       | Error msg -> [ error_line t msg ])
 
 let handle_line t line =
   let line = String.trim line in
@@ -286,7 +307,7 @@ let handle_line t line =
     in
     let responses =
       if String.length line > t.max_request_bytes then
-        [ error_line
+        [ error_line t
             (Printf.sprintf "request too large (%d bytes, cap %d)"
                (String.length line) t.max_request_bytes) ]
       else handle_parsed t line
@@ -311,8 +332,30 @@ let serve_channels t ic oc =
    with End_of_file -> ());
   !quit
 
+(* A killed server leaves its socket file behind and a naive bind then
+   fails with EADDRINUSE forever.  Probe before unlinking: a connect that
+   succeeds means another server is live (refuse to hijack its socket); a
+   refused connect means the file is stale and safe to remove.  Anything
+   that is not a socket is left alone. *)
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+  | { Unix.st_kind; _ } when st_kind <> Unix.S_SOCK ->
+    failwith (Printf.sprintf "%s: exists and is not a socket" path)
+  | _ ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      failwith (Printf.sprintf "%s: a server is already listening here" path)
+    else (try Unix.unlink path with Unix.Unix_error _ -> ())
+
 let serve_socket t ~path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  remove_stale_socket path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->

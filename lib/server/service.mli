@@ -9,6 +9,8 @@
     - [(batch JOB JOB ...)] — all jobs are submitted concurrently,
       answered with one result line each, in request order;
     - [(stats)] — service counters (cache hits/misses, scheduler state);
+    - [(ping)] — health probe, answered [{"status":"ok","pong":true}]
+      without touching the scheduler, cache, or registry;
     - [(quit)] — ends the session (and a socket server's accept loop).
 
     Result lines:
@@ -54,6 +56,11 @@ type response = {
     1 MiB) bounds one request line; longer lines are answered with an
     error instead of being parsed.
 
+    [shard_id] names this service as a cluster shard: every reply line
+    (results, errors, pong, stats) then carries a ["shard"] field, so a
+    router or load generator can attribute responses without parsing
+    result bodies.
+
     Every service owns an {!Obs.Registry.t} threaded through its
     scheduler ([small_sched_*]) and result cache ([small_cache_*]), plus
     per-request latency and status counters ([small_svc_*]).  With
@@ -62,7 +69,7 @@ type response = {
     scraper can read it on demand. *)
 val create :
   ?cache_dir:string -> ?metrics_file:string -> ?fault:Fault.Plan.t ->
-  ?retries:int -> ?max_request_bytes:int -> workers:int ->
+  ?shard_id:string -> ?retries:int -> ?max_request_bytes:int -> workers:int ->
   queue_capacity:int -> unit -> t
 
 (** Cache lookup, then submit-and-await.  [Error `Overloaded] means the
@@ -82,8 +89,15 @@ val handle_line : t -> string -> string list
     Responses are flushed per line. *)
 val serve_channels : t -> in_channel -> out_channel -> bool
 
-(** Binds a Unix domain socket at [path] (replacing a stale file) and
-    serves connections sequentially until a client sends [(quit)]. *)
+(** [remove_stale_socket path] unlinks the socket file a killed server
+    left behind.  A live server (the probe connect succeeds) or a
+    non-socket file at [path] raises [Failure] instead of being
+    clobbered; a missing file is fine. *)
+val remove_stale_socket : string -> unit
+
+(** Binds a Unix domain socket at [path] (removing a stale file, see
+    {!remove_stale_socket}) and serves connections sequentially until a
+    client sends [(quit)]. *)
 val serve_socket : t -> path:string -> unit
 
 val cache : t -> Result_cache.t

@@ -141,6 +141,127 @@ let test_trace_stats_large_binary () =
   Alcotest.(check int) "trace --stats exits 0" 0 code;
   Alcotest.(check (list string)) "no stderr noise" [] lines
 
+(* [run_out args] -> (exit code, stdout lines); stderr is discarded. *)
+let run_out args =
+  let out = Filename.temp_file "cliout" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s %s >%s 2>/dev/null" exe args out) in
+  let ic = open_in out in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  (code, List.rev !lines)
+
+let temp_sock () =
+  let p = Filename.temp_file "clisock" ".sock" in
+  Sys.remove p;
+  p
+
+(* ---- cluster CLI surface ---- *)
+
+let test_submit_fails_fast_without_retries () =
+  let sock = temp_sock () in
+  let t0 = Unix.gettimeofday () in
+  one_line "refused connection, no retries"
+    (Printf.sprintf "submit --socket %s --connect-retries 0 '(ping)'"
+       (Filename.quote sock))
+    "cannot connect";
+  Alcotest.(check bool) "no backoff delay was paid" true
+    (Unix.gettimeofday () -. t0 < 1.0)
+
+let test_submit_backoff_reaches_late_server () =
+  let sock = temp_sock () in
+  (* the server comes up ~300ms AFTER submit starts: only the
+     exponential backoff bridges the gap *)
+  let server =
+    Printf.sprintf
+      "(sleep 0.3; exec %s serve --socket %s --workers 1 --queue 4) >/dev/null 2>&1 &"
+      exe (Filename.quote sock)
+  in
+  Alcotest.(check int) "server launcher ok" 0 (Sys.command server);
+  let code, lines = run_out (Printf.sprintf "submit --socket %s '(ping)'" (Filename.quote sock)) in
+  Alcotest.(check int) "submit succeeds despite the late bind" 0 code;
+  Alcotest.(check bool) "pong came back" true
+    (List.exists (fun l -> contains l "\"pong\":true") lines);
+  let code, _ = run_out (Printf.sprintf "submit --socket %s '(quit)'" (Filename.quote sock)) in
+  Alcotest.(check int) "quit delivered" 0 code;
+  (* the server unlinks its socket on the way out *)
+  let gone = ref false in
+  (try
+     for _ = 1 to 100 do
+       if not (Sys.file_exists sock) then begin gone := true; raise Exit end;
+       Unix.sleepf 0.02
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "socket cleaned up" true !gone
+
+let test_serve_refuses_regular_file_socket () =
+  let path = Filename.temp_file "clinotsock" ".txt" in
+  (* the serve banner precedes the failure on stderr, so don't count lines *)
+  check_failure ~expect:"not a socket" "regular file where the socket goes"
+    (Printf.sprintf "serve --socket %s --workers 1" (Filename.quote path));
+  Alcotest.(check bool) "file untouched" true (Sys.file_exists path);
+  Sys.remove path
+
+let test_serve_replaces_stale_socket () =
+  let sock = temp_sock () in
+  (* leave a stale socket file behind, as a SIGKILLed server would *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;
+  let server =
+    Printf.sprintf "exec %s serve --socket %s --workers 1 --queue 4 >/dev/null 2>&1 &"
+      exe (Filename.quote sock)
+  in
+  Alcotest.(check int) "server launcher ok" 0 (Sys.command server);
+  let code, lines =
+    run_out (Printf.sprintf "submit --socket %s '(ping)'" (Filename.quote sock))
+  in
+  Alcotest.(check int) "server bound over the stale socket" 0 code;
+  Alcotest.(check bool) "and answers" true
+    (List.exists (fun l -> contains l "\"pong\":true") lines);
+  ignore (run_out (Printf.sprintf "submit --socket %s '(quit)'" (Filename.quote sock)))
+
+let test_route_cluster_end_to_end () =
+  let sock = temp_sock () in
+  let router =
+    Printf.sprintf
+      "exec %s route --socket %s --shards 2 --shard-workers 1 >/dev/null 2>&1 &"
+      exe (Filename.quote sock)
+  in
+  Alcotest.(check int) "router launcher ok" 0 (Sys.command router);
+  let code, lines =
+    run_out
+      (Printf.sprintf
+         "submit --socket %s '(simulate (workload plagen) (size 48) (seed 1))'"
+         (Filename.quote sock))
+  in
+  Alcotest.(check int) "routed job ok" 0 code;
+  Alcotest.(check bool) "reply names its shard" true
+    (List.exists
+       (fun l -> contains l "\"status\":\"ok\"" && contains l "\"shard\":\"s")
+       lines);
+  (* the same job again: a cache hit on the owning shard *)
+  let _, lines2 =
+    run_out
+      (Printf.sprintf
+         "submit --socket %s '(simulate (workload plagen) (size 48) (seed 1))'"
+         (Filename.quote sock))
+  in
+  Alcotest.(check bool) "repeat served from the shard cache" true
+    (List.exists (fun l -> contains l "\"cached\":true") lines2);
+  ignore (run_out (Printf.sprintf "submit --socket %s '(quit)'" (Filename.quote sock)))
+
+let test_loadgen_bad_args () =
+  one_line "loadgen rejects unknown workload" "loadgen --workload nosuch --requests 4"
+    "unknown workload";
+  one_line "loadgen rejects zero requests" "loadgen --requests 0"
+    "--requests must be at least 1"
+
 let () =
   Alcotest.run "cli"
     [ ("errors",
@@ -156,4 +277,16 @@ let () =
          Alcotest.test_case "unknown command" `Quick test_unknown_command;
          Alcotest.test_case "success paths" `Quick test_success_paths;
          Alcotest.test_case "trace --stats on a large binary trace" `Quick
-           test_trace_stats_large_binary ]) ]
+           test_trace_stats_large_binary ]);
+      ("cluster",
+       [ Alcotest.test_case "submit fails fast without retries" `Quick
+           test_submit_fails_fast_without_retries;
+         Alcotest.test_case "submit backoff reaches a late server" `Quick
+           test_submit_backoff_reaches_late_server;
+         Alcotest.test_case "serve refuses a regular file" `Quick
+           test_serve_refuses_regular_file_socket;
+         Alcotest.test_case "serve replaces a stale socket" `Quick
+           test_serve_replaces_stale_socket;
+         Alcotest.test_case "route end to end" `Quick test_route_cluster_end_to_end;
+         Alcotest.test_case "loadgen argument validation" `Quick
+           test_loadgen_bad_args ]) ]

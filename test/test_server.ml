@@ -463,6 +463,132 @@ let test_handle_line () =
   | other ->
     Alcotest.fail (Printf.sprintf "expected 2 batch responses, got %d" (List.length other))
 
+(* ---- wire framing and cluster hooks ---- *)
+
+let test_ping_and_shard_field () =
+  with_service @@ fun svc ->
+  (match Server.Service.handle_line svc "(ping)" with
+   | [ l ] ->
+     Alcotest.(check bool) "pong" true (contains l "\"pong\":true");
+     Alcotest.(check bool) "no shard field unless named" false
+       (contains l "\"shard\":")
+   | _ -> Alcotest.fail "one pong line expected");
+  let shard = Server.Service.create ~shard_id:"s7" ~workers:1 ~queue_capacity:4 () in
+  Fun.protect
+    ~finally:(fun () -> Server.Service.shutdown shard)
+    (fun () ->
+       List.iter
+         (fun req ->
+            match Server.Service.handle_line shard req with
+            | [ l ] ->
+              Alcotest.(check bool)
+                (req ^ " reply carries the shard id") true
+                (contains l "\"shard\":\"s7\"")
+            | _ -> Alcotest.fail "one reply line expected")
+         [ "(ping)"; "(stats)"; "(not a job" ])
+
+(* The wire protocol is newline-framed: a request arriving one byte per
+   [write] (worst-case short writes, e.g. through a loaded socket) must
+   produce byte-identical replies to the whole-line submission. *)
+let test_framing_tiny_writes () =
+  let strip_elapsed line =
+    let marker = ",\"elapsed\":" in
+    let mn = String.length marker in
+    let rec find i =
+      if i + mn > String.length line then line
+      else if String.sub line i mn = marker then begin
+        let j = ref (i + mn) in
+        while !j < String.length line && line.[!j] <> ',' && line.[!j] <> '}' do
+          incr j
+        done;
+        String.sub line 0 i ^ String.sub line !j (String.length line - !j)
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let path = Lazy.force saved_synth_trace in
+  let requests =
+    [ Printf.sprintf "(simulate (trace-file \"%s\") (size 64) (seed 31))" path;
+      Printf.sprintf
+        "(batch (simulate (trace-file \"%s\") (size 64) (seed 32)) (simulate (trace-file \"%s\") (size 64) (seed 33)))"
+        path path;
+      "(ping)" ]
+  in
+  let direct =
+    with_service @@ fun svc ->
+    List.concat_map (fun r -> Server.Service.handle_line svc r) requests
+  in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let svc = Server.Service.create ~workers:2 ~queue_capacity:32 () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr b in
+        let oc = Unix.out_channel_of_descr (Unix.dup b) in
+        ignore (Server.Service.serve_channels svc ic oc);
+        Server.Service.shutdown svc;
+        (try close_out oc with Sys_error _ -> ());
+        (try close_in ic with Sys_error _ -> ()))
+  in
+  let ic = Unix.in_channel_of_descr a in
+  let write_byte_by_byte s =
+    String.iter
+      (fun ch ->
+         let n = Unix.write a (Bytes.make 1 ch) 0 1 in
+         Alcotest.(check int) "one byte written" 1 n)
+      (s ^ "\n")
+  in
+  let replies =
+    List.concat_map
+      (fun req ->
+         write_byte_by_byte req;
+         (* a batch answers one line per element *)
+         let expected = if contains req "(batch" then 2 else 1 in
+         List.init expected (fun _ -> input_line ic))
+      requests
+  in
+  write_byte_by_byte "(quit)";
+  Domain.join server;
+  (try close_in ic with Sys_error _ -> ());
+  List.iter2
+    (fun d r ->
+       Alcotest.(check string) "tiny-write reply byte-identical"
+         (strip_elapsed d) (strip_elapsed r))
+    direct replies
+
+let test_remove_stale_socket () =
+  (* missing file: fine *)
+  let path = Filename.temp_file "stale" ".sock" in
+  Sys.remove path;
+  Server.Service.remove_stale_socket path;
+  (* a stale socket file (bound, listener gone): removed *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.close fd;
+  Alcotest.(check bool) "socket file left behind" true (Sys.file_exists path);
+  Server.Service.remove_stale_socket path;
+  Alcotest.(check bool) "stale socket removed" false (Sys.file_exists path);
+  (* a regular file is NOT clobbered *)
+  let reg = Filename.temp_file "notasock" ".txt" in
+  (match Server.Service.remove_stale_socket reg with
+   | () -> Alcotest.fail "regular file must not be treated as a stale socket"
+   | exception Failure msg ->
+     Alcotest.(check bool) "diagnostic names the path" true (contains msg reg));
+  Alcotest.(check bool) "regular file untouched" true (Sys.file_exists reg);
+  Sys.remove reg;
+  (* a live listener is refused, not unlinked *)
+  let live = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind live (Unix.ADDR_UNIX path);
+  Unix.listen live 1;
+  (match Server.Service.remove_stale_socket path with
+   | () -> Alcotest.fail "live server must not be clobbered"
+   | exception Failure msg ->
+     Alcotest.(check bool) "diagnostic says listening" true
+       (contains msg "already listening"));
+  Alcotest.(check bool) "live socket untouched" true (Sys.file_exists path);
+  Unix.close live;
+  Sys.remove path
+
 let () =
   Alcotest.run "server"
     [ ("scheduler",
@@ -489,4 +615,9 @@ let () =
       ("service",
        [ Alcotest.test_case "matches direct runs" `Quick test_service_matches_direct_runs;
          Alcotest.test_case "cache hit" `Quick test_service_cache_hit;
-         Alcotest.test_case "wire handling" `Quick test_handle_line ]) ]
+         Alcotest.test_case "wire handling" `Quick test_handle_line ]);
+      ("wire",
+       [ Alcotest.test_case "ping and shard field" `Quick test_ping_and_shard_field;
+         Alcotest.test_case "framing under tiny writes" `Quick
+           test_framing_tiny_writes;
+         Alcotest.test_case "stale socket removal" `Quick test_remove_stale_socket ]) ]
