@@ -383,7 +383,27 @@ let serve_cmd =
   let cache_dir =
     Arg.(value & opt (some string) None
          & info [ "cache-dir" ]
-             ~doc:"Persist the result cache here (omit for memory-only).")
+             ~doc:"Persist the result cache here in the legacy one-file-per-entry \
+                   layout (omit for memory-only).")
+  in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ]
+             ~doc:"Persist the result cache here in the crash-consistent \
+                   log-structured store (group-committed segment log with recovery \
+                   replay and compaction).  Legacy --cache-dir entries found in the \
+                   directory are migrated on read.  Exclusive with --cache-dir.")
+  in
+  let segment_bytes =
+    Arg.(value & opt int (1 lsl 22)
+         & info [ "segment-bytes" ] ~docv:"BYTES"
+             ~doc:"Rotate the store's active segment at this size (with --store-dir).")
+  in
+  let compact_ratio =
+    Arg.(value & opt float 0.5
+         & info [ "compact-ratio" ] ~docv:"R"
+             ~doc:"Compact the store when dead bytes exceed this fraction of the \
+                   log (with --store-dir).")
   in
   let stdio =
     Arg.(value & flag
@@ -411,11 +431,17 @@ let serve_cmd =
              ~doc:"Name this service as a cluster shard: every reply line then \
                    carries a shard field (used by `smallsim route`).")
   in
-  let action socket workers queue cache_dir stdio metrics_file fault_plan retries
-      shard_id =
+  let action socket workers queue cache_dir store_dir segment_bytes compact_ratio
+      stdio metrics_file fault_plan retries shard_id =
     if workers < 1 then Error (`Msg "--workers must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
     else if retries < 0 then Error (`Msg "--retries must be non-negative")
+    else if cache_dir <> None && store_dir <> None then
+      Error (`Msg "--cache-dir and --store-dir are exclusive")
+    else if segment_bytes < 4096 then
+      Error (`Msg "--segment-bytes must be at least 4096")
+    else if compact_ratio < 0.0 || compact_ratio > 1.0 then
+      Error (`Msg "--compact-ratio must be in [0,1]")
     else begin
       match
         match fault_plan with
@@ -429,6 +455,7 @@ let serve_cmd =
       | Ok fault ->
         let t =
           Server.Service.create ?cache_dir ?metrics_file ?fault ?shard_id ~retries
+            ?store_dir ~segment_bytes ~compact_ratio
             ~workers ~queue_capacity:queue ()
         in
         Fun.protect
@@ -445,7 +472,8 @@ let serve_cmd =
   in
   let term =
     Term.(term_result
-            (const action $ socket_arg $ workers $ queue $ cache_dir $ stdio
+            (const action $ socket_arg $ workers $ queue $ cache_dir $ store_dir
+             $ segment_bytes $ compact_ratio $ stdio
              $ metrics_file $ fault_plan $ retries $ shard_id))
   in
   Cmd.v
@@ -560,7 +588,7 @@ let vnodes_arg =
 (* Spawned shards are children of this very binary serving the wire
    protocol on stdio — no sockets to coordinate, and a SIGKILLed child
    is indistinguishable from a crashed remote shard. *)
-let spawned_shards ~shards ~workers ~queue ~cache_dir =
+let spawned_shards ~shards ~workers ~queue ~cache_dir ~store_dir =
   List.init shards (fun i ->
       let sid = Printf.sprintf "s%d" i in
       let argv =
@@ -568,6 +596,9 @@ let spawned_shards ~shards ~workers ~queue ~cache_dir =
           "--workers"; string_of_int workers; "--queue"; string_of_int queue ]
         @ (match cache_dir with
            | Some dir -> [ "--cache-dir"; Filename.concat dir sid ]
+           | None -> [])
+        @ (match store_dir with
+           | Some dir -> [ "--store-dir"; Filename.concat dir sid ]
            | None -> [])
       in
       (sid, Cluster.Router.Spawn (Array.of_list argv)))
@@ -593,6 +624,12 @@ let route_cmd =
              ~doc:"Per-shard result-cache root for spawned shards (shard id is \
                    appended); omit for memory-only shards.")
   in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ]
+             ~doc:"Per-shard log-structured store root for spawned shards (shard \
+                   id is appended).  Exclusive with --cache-dir.")
+  in
   let health_interval =
     Arg.(value & opt float 0.25
          & info [ "health-interval" ] ~doc:"Seconds between shard health checks.")
@@ -602,17 +639,19 @@ let route_cmd =
          & info [ "down-after" ]
              ~doc:"Declare an idle shard dead after a ping goes unanswered this long.")
   in
-  let action socket backends stdio shards workers queue cache_dir placement vnodes
-      batch_max steal_min health_interval down_after =
+  let action socket backends stdio shards workers queue cache_dir store_dir
+      placement vnodes batch_max steal_min health_interval down_after =
     if shards < 1 then Error (`Msg "--shards must be at least 1")
     else if workers < 1 then Error (`Msg "--shard-workers must be at least 1")
     else if queue < 1 then Error (`Msg "--shard-queue must be at least 1")
     else if batch_max < 1 then Error (`Msg "--batch-max must be at least 1")
     else if steal_min < 0 then Error (`Msg "--steal-min must be non-negative")
+    else if cache_dir <> None && store_dir <> None then
+      Error (`Msg "--cache-dir and --store-dir are exclusive")
     else begin
       let shard_list =
         match backends with
-        | [] -> spawned_shards ~shards ~workers ~queue ~cache_dir
+        | [] -> spawned_shards ~shards ~workers ~queue ~cache_dir ~store_dir
         | paths ->
           List.mapi
             (fun i p -> (Printf.sprintf "b%d" i, Cluster.Router.Socket p))
@@ -644,7 +683,8 @@ let route_cmd =
   let term =
     Term.(term_result
             (const action $ socket $ backends $ stdio $ shards_arg
-             $ shard_workers_arg $ shard_queue_arg $ cache_dir $ placement_arg
+             $ shard_workers_arg $ shard_queue_arg $ cache_dir $ store_dir
+             $ placement_arg
              $ vnodes_arg $ batch_max_arg $ steal_min_arg $ health_interval
              $ down_after))
   in
@@ -717,7 +757,8 @@ let loadgen_cmd =
       let shard_list =
         match socket with
         | Some path -> [ ("remote", Cluster.Router.Socket path) ]
-        | None -> spawned_shards ~shards ~workers ~queue ~cache_dir:None
+        | None ->
+          spawned_shards ~shards ~workers ~queue ~cache_dir:None ~store_dir:None
       in
       let router =
         Cluster.Router.create ~batch_max ~steal_min ~placement ~shards:shard_list ()

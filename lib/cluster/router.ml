@@ -566,12 +566,16 @@ let stats_json t =
   let healthy =
     Array.fold_left (fun n s -> if s.alive then n + 1 else n) 0 t.shards
   in
+  let owner_keys = Hashtbl.length t.owners_tbl in
   Mutex.unlock t.m;
   Server.Json.Obj
     [ ("status", Server.Json.Str "ok");
       ("router", Server.Json.Bool true);
       ("shards_total", Server.Json.Int (Array.length t.shards));
       ("shards_healthy", Server.Json.Int healthy);
+      (* size of the cache-aware placement map: shard stores must keep
+         key lookups cheap for this table to stay warm and useful *)
+      ("owner_keys", Server.Json.Int owner_keys);
       ("placement",
        Server.Json.Obj
          (List.map

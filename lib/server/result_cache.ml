@@ -6,10 +6,20 @@ type metric_handles = {
   m_disk_bytes : Obs.Metric.Counter.t;
   m_corrupt : Obs.Metric.Counter.t;
   m_write_errors : Obs.Metric.Counter.t;
+  m_degraded : Obs.Metric.Gauge.t;
+  m_migrated : Obs.Metric.Counter.t;
 }
 
+(* Disk backend: the legacy one-file-per-entry layout, or the
+   log-structured store (with read-through migration of any legacy
+   entries already in its directory). *)
+type disk =
+  | No_disk
+  | Files of string
+  | Log of Store.Log.t * string
+
 type t = {
-  dir : string option;
+  disk : disk;
   fault : Fault.Plan.t option;
   lock : Mutex.t;
   mem : (string, string) Hashtbl.t;
@@ -20,6 +30,8 @@ type t = {
   mutable stores : int;
   mutable corrupt : int;
   mutable write_errors : int;
+  mutable migrated : int;
+  mutable degraded : bool;
 }
 
 type stats = {
@@ -29,6 +41,8 @@ type stats = {
   stores : int;
   corrupt : int;
   write_errors : int;
+  migrated : int;
+  degraded : bool;
 }
 
 let resolve_metrics reg =
@@ -39,14 +53,41 @@ let resolve_metrics reg =
     m_stores = c "small_cache_stores_total" "results stored";
     m_disk_bytes = c "small_cache_disk_bytes_total" "result bytes written to disk";
     m_corrupt = c "small_cache_corrupt_total" "corrupt entries quarantined on read";
-    m_write_errors = c "small_cache_write_errors_total" "failed disk writes (memory kept)" }
+    m_write_errors = c "small_cache_write_errors_total" "failed disk writes (memory kept)";
+    m_degraded =
+      Obs.Registry.gauge reg
+        ~help:"1 once any disk write has failed: entries live only in memory \
+               and the next process start will recompute them"
+        "small_cache_degraded";
+    m_migrated = c "small_cache_migrated_total" "legacy SMRC1 entries migrated into the log store" }
 
 let with_metrics t f = match t.metrics with None -> () | Some m -> f m
 
-let create ?metrics ?dir ?fault () =
-  { dir; fault; lock = Mutex.create (); mem = Hashtbl.create 64;
+let create ?metrics ?dir ?fault ?store_dir ?segment_bytes ?compact_ratio
+    ?store_max_bytes ?store_ttl () =
+  let disk =
+    match dir, store_dir with
+    | Some _, Some _ ->
+      invalid_arg "Result_cache.create: ~dir and ~store_dir are exclusive"
+    | Some d, None -> Files d
+    | None, Some d ->
+      let config =
+        { Store.Log.segment_bytes =
+            Option.value segment_bytes
+              ~default:Store.Log.default_config.Store.Log.segment_bytes;
+          compact_ratio =
+            Option.value compact_ratio
+              ~default:Store.Log.default_config.Store.Log.compact_ratio;
+          max_bytes = store_max_bytes;
+          ttl = store_ttl }
+      in
+      Log (Store.Log.open_ ?metrics ?fault ~config ~dir:d (), d)
+    | None, None -> No_disk
+  in
+  { disk; fault; lock = Mutex.create (); mem = Hashtbl.create 64;
     metrics = Option.map resolve_metrics metrics;
-    hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0; write_errors = 0 }
+    hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0;
+    write_errors = 0; migrated = 0; degraded = false }
 
 let key ~trace_digest ~job_digest =
   Digest.to_hex (Digest.string (trace_digest ^ "+" ^ job_digest))
@@ -55,13 +96,18 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-(* Two-level layout keeps any one directory small under big sweeps. *)
-let path_of t key =
-  Option.map
-    (fun dir -> Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".result"))
-    t.dir
+(* Two-level layout keeps any one directory small under big sweeps.
+   The same layout inside a log store's directory is where legacy
+   entries are migrated from. *)
+let legacy_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".result")
 
-(* ---- on-disk entry format ----
+let path_of t key =
+  match t.disk with
+  | Files dir -> Some (legacy_path dir key)
+  | No_disk | Log _ -> None
+
+(* ---- on-disk entry format (legacy Files backend) ----
 
    "SMRC1 <md5hex-of-value> <value-length>\n<value>"
 
@@ -140,6 +186,54 @@ let write_file_atomic t path contents =
        (try Sys.remove tmp with Sys_error _ -> ());
        raise e)
 
+(* A write error degrades persistence, never correctness — but a
+   degraded node looks exactly like a cold one at the next start, so
+   surface it: gauge to 1 and one warning line, once. *)
+let note_write_error (t : t) =
+  t.write_errors <- t.write_errors + 1;
+  with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_write_errors);
+  if not t.degraded then begin
+    t.degraded <- true;
+    with_metrics t (fun m -> Obs.Metric.Gauge.set m.m_degraded 1);
+    let where =
+      match t.disk with
+      | Files d | Log (_, d) -> d
+      | No_disk -> "(no dir)"
+    in
+    Printf.eprintf
+      "smallsim: result cache degraded: disk write to %s failed; entries are \
+       memory-only and will be recomputed on restart\n%!"
+      where
+  end
+
+let hit (t : t) ~from_disk v =
+  t.hits <- t.hits + 1;
+  if from_disk then t.disk_hits <- t.disk_hits + 1;
+  with_metrics t (fun m ->
+      Obs.Metric.Counter.incr m.m_hits;
+      if from_disk then Obs.Metric.Counter.incr m.m_disk_hits);
+  Some v
+
+(* Log-backend read-through: a key missing from the log but present as
+   a legacy SMRC1 file in the same directory is served from the file
+   and migrated into the log, so pointing --store-dir at an old
+   --cache-dir directory never recomputes warm entries. *)
+let migrate_legacy t log dir key =
+  let path = legacy_path dir key in
+  match read_file path with
+  | None -> None
+  | Some raw ->
+    match decode_entry raw with
+    | Error _ -> quarantine t path; None
+    | Ok v ->
+      (match Store.Log.set log key v with
+       | () ->
+         t.migrated <- t.migrated + 1;
+         with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_migrated);
+         (try Sys.remove path with Sys_error _ -> ())
+       | exception Sys_error _ -> note_write_error t);
+      Some v
+
 let find t key =
   locked t (fun () ->
       let miss () =
@@ -148,52 +242,73 @@ let find t key =
         None
       in
       match Hashtbl.find_opt t.mem key with
-      | Some v ->
-        t.hits <- t.hits + 1;
-        with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_hits);
-        Some v
+      | Some v -> hit t ~from_disk:false v
       | None ->
-        match path_of t key with
-        | None -> miss ()
-        | Some path ->
-          match read_file path with
+        match t.disk with
+        | No_disk -> miss ()
+        | Log (log, dir) ->
+          (match (try Store.Log.get log key with Sys_error _ -> None) with
+           | Some v ->
+             Hashtbl.replace t.mem key v;
+             hit t ~from_disk:true v
+           | None ->
+             match migrate_legacy t log dir key with
+             | Some v ->
+               Hashtbl.replace t.mem key v;
+               hit t ~from_disk:true v
+             | None -> miss ())
+        | Files _ ->
+          match path_of t key with
           | None -> miss ()
-          | Some raw ->
-            match decode_entry raw with
-            | Ok v ->
-              Hashtbl.replace t.mem key v;
-              t.hits <- t.hits + 1;
-              t.disk_hits <- t.disk_hits + 1;
-              with_metrics t (fun m ->
-                  Obs.Metric.Counter.incr m.m_hits;
-                  Obs.Metric.Counter.incr m.m_disk_hits);
-              Some v
-            | Error _ ->
-              quarantine t path;
-              miss ())
+          | Some path ->
+            match read_file path with
+            | None -> miss ()
+            | Some raw ->
+              match decode_entry raw with
+              | Ok v ->
+                Hashtbl.replace t.mem key v;
+                hit t ~from_disk:true v
+              | Error _ ->
+                quarantine t path;
+                miss ())
 
-(* The memory entry is installed unconditionally; a failed disk write
-   degrades persistence, never correctness. *)
 let store t key value =
   locked t (fun () ->
+      (* the memory entry is installed unconditionally; a failed disk
+         write degrades persistence, never correctness *)
       Hashtbl.replace t.mem key value;
       t.stores <- t.stores + 1;
       with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_stores);
-      match path_of t key with
-      | Some path ->
-        let entry = encode_entry value in
-        (match write_file_atomic t path entry with
+      match t.disk with
+      | No_disk -> ()
+      | Log (log, _) ->
+        (match Store.Log.set log key value with
          | () ->
            with_metrics t (fun m ->
-               Obs.Metric.Counter.add m.m_disk_bytes (String.length entry))
-         | exception Sys_error _ ->
-           t.write_errors <- t.write_errors + 1;
-           with_metrics t (fun m -> Obs.Metric.Counter.incr m.m_write_errors))
-      | None -> ())
+               Obs.Metric.Counter.add m.m_disk_bytes (String.length value))
+         | exception Sys_error _ -> note_write_error t)
+      | Files _ ->
+        match path_of t key with
+        | Some path ->
+          let entry = encode_entry value in
+          (match write_file_atomic t path entry with
+           | () ->
+             with_metrics t (fun m ->
+                 Obs.Metric.Counter.add m.m_disk_bytes (String.length entry))
+           | exception Sys_error _ -> note_write_error t)
+        | None -> ())
 
 let stats t =
   locked t (fun () ->
       { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
-        stores = t.stores; corrupt = t.corrupt; write_errors = t.write_errors })
+        stores = t.stores; corrupt = t.corrupt; write_errors = t.write_errors;
+        migrated = t.migrated; degraded = t.degraded })
 
-let dir t = t.dir
+let dir t =
+  match t.disk with
+  | No_disk -> None
+  | Files d | Log (_, d) -> Some d
+
+let log_store t = match t.disk with Log (l, _) -> Some l | No_disk | Files _ -> None
+
+let log_stats t = Option.map Store.Log.stats (log_store t)

@@ -34,7 +34,8 @@ type t = {
 }
 
 let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
-    ?(max_request_bytes = 1 lsl 20) ~workers ~queue_capacity () =
+    ?(max_request_bytes = 1 lsl 20) ?store_dir ?segment_bytes ?compact_ratio
+    ~workers ~queue_capacity () =
   if retries < 0 then invalid_arg "Service.create: retries < 0";
   if max_request_bytes < 1 then invalid_arg "Service.create: max_request_bytes < 1";
   let metrics = Obs.Registry.create () in
@@ -44,7 +45,9 @@ let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
       ~labels:[ ("status", status) ] "small_svc_requests_total"
   in
   { scheduler = Scheduler.create ~metrics ~workers ~capacity:queue_capacity ();
-    result_cache = Result_cache.create ~metrics ?dir:cache_dir ?fault ();
+    result_cache =
+      Result_cache.create ~metrics ?dir:cache_dir ?fault ?store_dir
+        ?segment_bytes ?compact_ratio ();
     fault; retries; max_request_bytes;
     metrics;
     req_latency =
@@ -242,8 +245,26 @@ let stats_json t =
            ("misses", Json.Int c.Result_cache.misses);
            ("stores", Json.Int c.Result_cache.stores);
            ("corrupt", Json.Int c.Result_cache.corrupt);
-           ("write_errors", Json.Int c.Result_cache.write_errors) ]);
-      ("scheduler",
+           ("write_errors", Json.Int c.Result_cache.write_errors);
+           ("migrated", Json.Int c.Result_cache.migrated);
+           ("degraded", Json.Bool c.Result_cache.degraded) ]) ]
+     @ (match Result_cache.log_stats t.result_cache with
+        | None -> []
+        | Some ls ->
+          [ ("store",
+             Json.Obj
+               [ ("segments", Json.Int ls.Store.Log.segments);
+                 ("entries", Json.Int ls.Store.Log.entries);
+                 ("live_bytes", Json.Int ls.Store.Log.live_bytes);
+                 ("dead_bytes", Json.Int ls.Store.Log.dead_bytes);
+                 ("appends", Json.Int ls.Store.Log.appends);
+                 ("recovered_records", Json.Int ls.Store.Log.recovered_records);
+                 ("truncated_records", Json.Int ls.Store.Log.truncated_records);
+                 ("compactions", Json.Int ls.Store.Log.compactions);
+                 ("evictions", Json.Int ls.Store.Log.evictions);
+                 ("write_errors", Json.Int ls.Store.Log.write_errors) ]) ])
+     @ [
+        ("scheduler",
        Json.Obj
          [ ("queued", Json.Int s.Scheduler.queued);
            ("running", Json.Int s.Scheduler.running);

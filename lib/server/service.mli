@@ -45,8 +45,12 @@ type response = {
 }
 
 (** [create ?cache_dir ?metrics_file ?fault ?retries ?max_request_bytes
-    ~workers ~queue_capacity ()] — omit [cache_dir] for a memory-only
-    cache.
+    ?store_dir ~workers ~queue_capacity ()] — [cache_dir] persists
+    results in the legacy one-file-per-entry layout, [store_dir] in the
+    crash-consistent log-structured store (see {!Result_cache} — legacy
+    entries found there are migrated on read); omit both for a
+    memory-only cache.  [segment_bytes] and [compact_ratio] tune the log
+    store.
 
     [fault] threads a {!Fault.Plan} through the whole stack: cache
     writes (site ["cache.store"]), worker thunks (["sched.job"]), and
@@ -69,8 +73,9 @@ type response = {
     scraper can read it on demand. *)
 val create :
   ?cache_dir:string -> ?metrics_file:string -> ?fault:Fault.Plan.t ->
-  ?shard_id:string -> ?retries:int -> ?max_request_bytes:int -> workers:int ->
-  queue_capacity:int -> unit -> t
+  ?shard_id:string -> ?retries:int -> ?max_request_bytes:int ->
+  ?store_dir:string -> ?segment_bytes:int -> ?compact_ratio:float ->
+  workers:int -> queue_capacity:int -> unit -> t
 
 (** Cache lookup, then submit-and-await.  [Error `Overloaded] means the
     queue was full and shedding could not make room. *)

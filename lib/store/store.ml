@@ -1,0 +1,7 @@
+(** Durable key/value storage for the serving stack: {!Log} is the
+    crash-consistent log-structured store behind the result cache —
+    group-commit appends to a checksummed segment log, an in-memory
+    indirection table rebuilt by recovery replay, copying compaction,
+    and size/TTL eviction. *)
+
+module Log = Log_store
