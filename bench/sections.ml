@@ -1082,6 +1082,112 @@ let () =
          replay_s legacy_s)
 
 let () =
+  register "sim.hotloop" "Simulation kernel: flat packed replay vs the boxed reference" @@ fun () ->
+  (* The allocation-free simulation core against the boxed interpreter it
+     replaced, on one large synthetic trace.  Stats equality between the
+     two kernels is asserted unconditionally — the speedup is only
+     meaningful if the simulation is bit-identical.  SMALLSIM_BENCH_SMOKE=1
+     (CI) shrinks the trace and gates: the flat kernel must not be slower
+     than the reference, and must stay under the per-event minor-allocation
+     ceiling (16 words).  With SMALLSIM_BENCH_SIM_OUT=FILE the
+     measurements land as JSON (the BENCH_sim.json trajectory). *)
+  let smoke = Sys.getenv_opt "SMALLSIM_BENCH_SMOKE" <> None in
+  let length = if smoke then 60_000 else 400_000 in
+  let capture = Trace.Synth.generate { Trace.Synth.default with length } in
+  let pre = Trace.Preprocess.run capture in
+  let cfg = Core.Simulator.default_config in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let _, s = time f in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let reps = if smoke then 3 else 5 in
+  let packed, pack_s = time (fun () -> Core.Simulator.pack pre) in
+  let events = Core.Simulator.packed_events packed in
+  let prims = (Trace.Capture.stats capture).Trace.Capture.primitives in
+  (* correctness gate first: byte-identical stats, always enforced *)
+  let s_ref = Core.Simulator.run_reference cfg pre in
+  let s_flat = Core.Simulator.run_packed cfg packed in
+  if compare s_ref s_flat <> 0 then
+    failwith "sim.hotloop: flat kernel diverges from the reference stats";
+  let ref_s = best_of reps (fun () -> ignore (Core.Simulator.run_reference cfg pre)) in
+  let flat_s = best_of reps (fun () -> ignore (Core.Simulator.run_packed cfg packed)) in
+  (* end-to-end off a binary file: pack_source + replay, no pevent array *)
+  let path = Filename.temp_file "smallsim-simbench" ".smtb" in
+  let src_s =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+         Trace.Io.save ~format:Trace.Io.Binary path capture;
+         let run_src () =
+           let s =
+             Core.Simulator.run_source cfg (Trace.Binary.source_of_path path)
+           in
+           if compare s s_ref <> 0 then
+             failwith "sim.hotloop: run_source diverges from the reference stats"
+         in
+         best_of reps run_src)
+  in
+  (* per-primitive-event minor allocation of the flat kernel (the
+     reference allocates stack items, options and draws per event) *)
+  let alloc_per_event f =
+    let before = Gc.allocated_bytes () in
+    ignore (f ());
+    (Gc.allocated_bytes () -. before) /. float_of_int (max 1 prims)
+  in
+  let ref_alloc = alloc_per_event (fun () -> Core.Simulator.run_reference cfg pre) in
+  let flat_alloc = alloc_per_event (fun () -> Core.Simulator.run_packed cfg packed) in
+  let speedup = ref_s /. Float.max flat_s 1e-9 in
+  let eps f = float_of_int prims /. Float.max f 1e-9 in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Simulation kernel — boxed reference vs flat packed (%d events, %d prims)"
+         events prims)
+    ~header:[ "kernel"; "run s"; "prims/s"; "alloc B/prim"; "speedup" ]
+    [ [ "boxed reference"; Printf.sprintf "%.4f" ref_s;
+        Printf.sprintf "%.0f" (eps ref_s); Printf.sprintf "%.1f" ref_alloc;
+        "1.00x" ];
+      [ "flat packed"; Printf.sprintf "%.4f" flat_s;
+        Printf.sprintf "%.0f" (eps flat_s); Printf.sprintf "%.1f" flat_alloc;
+        Printf.sprintf "%.2fx" speedup ] ];
+  Printf.printf "pack: %.4fs once per trace; run_source end-to-end: %.4fs\n"
+    pack_s src_s;
+  (match Sys.getenv_opt "SMALLSIM_BENCH_SIM_OUT" with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     Printf.fprintf oc
+       "{\"bench\": \"sim\", \"smoke\": %b, \"events\": %d, \"prims\": %d,\n\
+       \ \"reference_run_s\": %.6f, \"reference_alloc_b_per_prim\": %.1f,\n\
+       \ \"flat_run_s\": %.6f, \"flat_alloc_b_per_prim\": %.2f,\n\
+       \ \"speedup\": %.2f, \"pack_s\": %.6f, \"run_source_s\": %.6f,\n\
+       \ \"flat_prims_per_s\": %.0f}\n"
+       smoke events prims ref_s ref_alloc flat_s flat_alloc speedup pack_s src_s
+       (eps flat_s);
+     close_out oc;
+     Printf.printf "wrote %s\n" file);
+  (* 16 words = 128 bytes on 64-bit: the issue's steady-state ceiling *)
+  if smoke && flat_alloc > 128.0 then
+    failwith
+      (Printf.sprintf
+         "sim.hotloop: flat kernel allocates %.1f B/prim (ceiling 128)"
+         flat_alloc);
+  if smoke && flat_s > ref_s then
+    failwith
+      (Printf.sprintf
+         "sim.hotloop: flat kernel (%.4fs) slower than the reference (%.4fs)"
+         flat_s ref_s)
+
+let () =
   register "obs.overhead" "Metrics instrumentation: simulation throughput cost" @@ fun () ->
   (* the observability layer promises to be near-free when no registry is
      attached and within a few percent when one is: time the same slang

@@ -9,7 +9,7 @@ open Toolkit
 let lpt_ops =
   Test.make ~name:"lpt: read_in + car + cdr + release"
     (Staged.stage (fun () ->
-         let heap = Core.Heap_model.create ~seed:1 in
+         let heap = Core.Heap_model.create ~seed:1 () in
          let lpt =
            Core.Lpt.create ~size:512 ~policy:Core.Lpt.Compress_one
              ~split_counts:false ~eager_decrement:false ~heap ~seed:2 ()

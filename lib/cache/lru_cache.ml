@@ -1,19 +1,27 @@
-(* Hash table keyed by line tag + intrusive doubly-linked recency list:
-   O(1) per access. *)
-
-type node = {
-  tag : int;
-  mutable prev : node option;
-  mutable next : node option;
-}
+(* Int-indexed LRU: slots 0..lines-1 carry the resident tags, threaded
+   through a doubly-linked recency list held as parallel [prev]/[next]
+   int arrays (-1 = nil), with an open-addressing int hash mapping a
+   line tag to its slot.  The previous implementation linked boxed
+   [node] records through [option]s and resolved tags with
+   [Hashtbl.find_opt] — two allocations per access, on a path the
+   simulator may take once per primitive event.  This layout allocates
+   only at [create]. *)
 
 type t = {
   lines : int;
   line_size : int;
-  table : (int, node) Hashtbl.t;
-  mutable head : node option;  (* most recently used *)
-  mutable tail : node option;  (* least recently used *)
+  tags : int array;            (* slot -> resident tag *)
+  prev : int array;            (* recency list, most recent at [head] *)
+  next : int array;
+  mutable head : int;
+  mutable tail : int;
   mutable resident : int;
+  (* tag -> slot, linear probing; capacity >= 4x lines keeps clusters
+     short.  [hused] marks filled positions so any int is a valid tag. *)
+  hmask : int;
+  htag : int array;
+  hslot : int array;
+  hused : Bytes.t;
   mutable hits : int;
   mutable misses : int;
 }
@@ -21,55 +29,105 @@ type t = {
 let create ~lines ~line_size =
   if lines <= 0 || line_size <= 0 then
     invalid_arg "Lru_cache.create: lines and line_size must be positive";
-  { lines; line_size; table = Hashtbl.create (2 * lines); head = None; tail = None;
-    resident = 0; hits = 0; misses = 0 }
+  let hcap =
+    let rec pow2 n = if n >= 4 * lines then n else pow2 (2 * n) in
+    pow2 16
+  in
+  { lines; line_size;
+    tags = Array.make lines 0;
+    prev = Array.make lines (-1);
+    next = Array.make lines (-1);
+    head = -1; tail = -1; resident = 0;
+    hmask = hcap - 1;
+    htag = Array.make hcap 0;
+    hslot = Array.make hcap 0;
+    hused = Bytes.make hcap '\000';
+    hits = 0; misses = 0 }
 
 let lines t = t.lines
 let line_size t = t.line_size
 
-let unlink t node =
-  (match node.prev with
-   | Some p -> p.next <- node.next
-   | None -> t.head <- node.next);
-  (match node.next with
-   | Some n -> n.prev <- node.prev
-   | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
+(* Fibonacci hashing; multiplication wraps, the mask keeps it positive. *)
+let hash_pos t tag = (tag * 0x2545F491) land t.hmask
 
-let push_front t node =
-  node.next <- t.head;
-  node.prev <- None;
-  (match t.head with
-   | Some h -> h.prev <- Some node
-   | None -> t.tail <- Some node);
-  t.head <- Some node
+(* Position of [tag] in the hash, or -1. *)
+let find t tag =
+  let p = ref (hash_pos t tag) in
+  let r = ref (-2) in
+  while !r = -2 do
+    if Bytes.unsafe_get t.hused !p = '\000' then r := -1
+    else if Array.unsafe_get t.htag !p = tag then r := !p
+    else p := (!p + 1) land t.hmask
+  done;
+  !r
+
+let insert t tag slot =
+  let p = ref (hash_pos t tag) in
+  while Bytes.unsafe_get t.hused !p = '\001' do
+    p := (!p + 1) land t.hmask
+  done;
+  Bytes.unsafe_set t.hused !p '\001';
+  Array.unsafe_set t.htag !p tag;
+  Array.unsafe_set t.hslot !p slot
+
+(* Delete by emptying the position and re-inserting the rest of its
+   probe cluster — clusters stay tiny at <= 1/4 load. *)
+let remove t tag =
+  let p = find t tag in
+  Bytes.unsafe_set t.hused p '\000';
+  let q = ref ((p + 1) land t.hmask) in
+  while Bytes.unsafe_get t.hused !q = '\001' do
+    let mtag = Array.unsafe_get t.htag !q in
+    let mslot = Array.unsafe_get t.hslot !q in
+    Bytes.unsafe_set t.hused !q '\000';
+    insert t mtag mslot;
+    q := (!q + 1) land t.hmask
+  done
+
+let unlink t slot =
+  let p = Array.unsafe_get t.prev slot in
+  let n = Array.unsafe_get t.next slot in
+  if p >= 0 then Array.unsafe_set t.next p n else t.head <- n;
+  if n >= 0 then Array.unsafe_set t.prev n p else t.tail <- p
+
+let push_front t slot =
+  Array.unsafe_set t.prev slot (-1);
+  Array.unsafe_set t.next slot t.head;
+  if t.head >= 0 then Array.unsafe_set t.prev t.head slot else t.tail <- slot;
+  t.head <- slot
 
 let tag_of t addr = if addr >= 0 then addr / t.line_size else ((addr + 1) / t.line_size) - 1
 
 let access t addr =
   let tag = tag_of t addr in
-  match Hashtbl.find_opt t.table tag with
-  | Some node ->
+  let p = find t tag in
+  if p >= 0 then begin
     t.hits <- t.hits + 1;
-    unlink t node;
-    push_front t node;
+    let slot = Array.unsafe_get t.hslot p in
+    unlink t slot;
+    push_front t slot;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
-    if t.resident = t.lines then begin
-      match t.tail with
-      | Some victim ->
+    let slot =
+      if t.resident = t.lines then begin
+        let victim = t.tail in
         unlink t victim;
-        Hashtbl.remove t.table victim.tag;
-        t.resident <- t.resident - 1
-      | None -> assert false
-    end;
-    let node = { tag; prev = None; next = None } in
-    Hashtbl.replace t.table tag node;
-    push_front t node;
-    t.resident <- t.resident + 1;
+        remove t (Array.unsafe_get t.tags victim);
+        victim
+      end
+      else begin
+        let s = t.resident in
+        t.resident <- t.resident + 1;
+        s
+      end
+    in
+    Array.unsafe_set t.tags slot tag;
+    insert t tag slot;
+    push_front t slot;
     false
+  end
 
 let hits t = t.hits
 let misses t = t.misses
@@ -81,4 +139,4 @@ let hit_rate t =
 
 let occupancy t = t.resident
 
-let mem t addr = Hashtbl.mem t.table (tag_of t addr)
+let mem t addr = find t (tag_of t addr) >= 0

@@ -1,7 +1,22 @@
+(* Head cells already holding an object.  Membership is only ever added
+   (reclaim keeps the cell "used" — a reclaimed head is not reoccupied
+   by [place]), so the live representation is a growable bitset over
+   the address space: it replays the exact address sequence the former
+   hashtable produced while costing a bit test per probe instead of a
+   bucket chain, and allocating only on the rare doubling.  The
+   hashtable representation survives behind [~legacy_occupancy] so the
+   simulator's reference kernel can preserve the pre-bitset cost model
+   as a benchmark baseline — both representations answer membership
+   identically, so every address (and every downstream stat) is the
+   same either way. *)
+type occupancy =
+  | Bits of { mutable bits : Bytes.t }
+  | Table of (int, unit) Hashtbl.t
+
 type t = {
   rng : Util.Rng.t;
   mutable next_addr : int;
-  used : (int, unit) Hashtbl.t;  (* head cells already holding an object *)
+  used : occupancy;
   mutable reads : int;
   mutable splits : int;
   mutable merges : int;
@@ -9,22 +24,50 @@ type t = {
   mutable cells_reclaimed : int;
 }
 
-let create ~seed =
-  { rng = Util.Rng.create ~seed; next_addr = 0; used = Hashtbl.create 1024;
+let create ?(legacy_occupancy = false) ~seed () =
+  let used =
+    if legacy_occupancy then Table (Hashtbl.create 1024)
+    else Bits { bits = Bytes.make 1024 '\000' }
+  in
+  { rng = Util.Rng.create ~seed; next_addr = 0; used;
     reads = 0; splits = 0; merges = 0; reclaims = 0; cells_reclaimed = 0 }
+
+let mark t a =
+  match t.used with
+  | Table h -> Hashtbl.replace h a ()
+  | Bits b ->
+    let byte = a lsr 3 in
+    if byte >= Bytes.length b.bits then begin
+      let n = ref (Bytes.length b.bits) in
+      while !n <= byte do n := 2 * !n done;
+      let grown = Bytes.make !n '\000' in
+      Bytes.blit b.bits 0 grown 0 (Bytes.length b.bits);
+      b.bits <- grown
+    end;
+    Bytes.unsafe_set b.bits byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get b.bits byte) lor (1 lsl (a land 7))))
+
+let is_used t a =
+  match t.used with
+  | Table h -> Hashtbl.mem h a
+  | Bits b ->
+    let byte = a lsr 3 in
+    byte < Bytes.length b.bits
+    && Char.code (Bytes.unsafe_get b.bits byte) land (1 lsl (a land 7)) <> 0
 
 let bump t size =
   let addr = t.next_addr in
   t.next_addr <- t.next_addr + max 1 size;
-  Hashtbl.replace t.used addr ();
+  mark t addr;
   addr
 
 (* Place a part near [near]: distinct objects occupy distinct head cells,
    so the candidate slides forward past occupied ones. *)
 let place t ~near =
-  let rec slide a = if Hashtbl.mem t.used a then slide (a + 1) else a in
+  let rec slide a = if is_used t a then slide (a + 1) else a in
   let addr = slide near in
-  Hashtbl.replace t.used addr ();
+  mark t addr;
   addr
 
 let read_in t ~size =

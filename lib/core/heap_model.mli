@@ -11,7 +11,12 @@
 
 type t
 
-val create : seed:int -> t
+(** [legacy_occupancy] keeps the occupied-head-cell set in the hashtable
+    representation the model used before the bitset rewrite — the
+    simulator's reference kernel selects it to preserve the pre-rewrite
+    cost model as a benchmark baseline.  Addresses (hence all stats) are
+    identical under both representations. *)
+val create : ?legacy_occupancy:bool -> seed:int -> unit -> t
 
 (** [read_in t ~size] allocates a fresh object of [size] cells, returning
     its address. *)

@@ -97,7 +97,7 @@ let create ?(lpt_size = 1024) ?(heap_cells = 65536) () =
       words = Hashtbl.create 256;
       payloads = Hashtbl.create 64 }
   in
-  let heap = Heap_model.create ~seed:23 in
+  let heap = Heap_model.create ~seed:23 () in
   let lpt =
     Lpt.create
       ~on_split:(fun ~parent ~car ~cdr -> on_split t ~parent ~car ~cdr)

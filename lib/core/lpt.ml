@@ -81,12 +81,37 @@ let create ?(on_split = nop3) ?(on_merge = nop3) ?(on_free = fun _ -> ())
 
 let size t = t.table_size
 let live t = t.live
-let is_live t id = Bytes.get t.free_flag id = '\000'
-let refcount t id = t.refc.(id) + (if t.split_counts then t.ep_count.(id) else 0)
-let address t id = t.addr.(id)
-let object_size t id = t.sizes.(id)
 
-let has_stack_ref t id = t.split_counts && Bytes.get t.stackbit id = '\001'
+(* Hot-path accesses go through [Array.unsafe_get]/[unsafe_set]:
+   identifiers flowing table-internally (free-list links, car/cdr
+   fields, split/compress products) are in range by construction, and
+   each public id-taking entry point validates its argument once with
+   [check] before entering the unchecked region. *)
+let check t id fn =
+  if id < 0 || id >= t.table_size then invalid_arg (fn ^ ": id out of range")
+
+let uget = Array.unsafe_get
+let uset = Array.unsafe_set
+
+let is_live_u t id = Bytes.unsafe_get t.free_flag id = '\000'
+
+let is_live t id =
+  check t id "Lpt.is_live";
+  is_live_u t id
+
+let refcount t id =
+  check t id "Lpt.refcount";
+  uget t.refc id + (if t.split_counts then uget t.ep_count id else 0)
+
+let address t id =
+  check t id "Lpt.address";
+  uget t.addr id
+
+let object_size t id =
+  check t id "Lpt.object_size";
+  uget t.sizes id
+
+let has_stack_ref t id = t.split_counts && Bytes.unsafe_get t.stackbit id = '\001'
 
 (* ---- freeing ---- *)
 
@@ -94,18 +119,18 @@ let rec free_entry t id =
   t.on_free id;
   t.frees <- t.frees + 1;
   t.live <- t.live - 1;
-  if t.addr.(id) >= 0 then
-    Heap_model.reclaim t.heap ~addr:t.addr.(id) ~size:t.sizes.(id);
-  Bytes.set t.free_flag id '\001';
-  Bytes.set t.stackbit id '\000';
-  t.ep_count.(id) <- 0;
-  t.refc.(id) <- 0;
+  if uget t.addr id >= 0 then
+    Heap_model.reclaim t.heap ~addr:(uget t.addr id) ~size:(uget t.sizes id);
+  Bytes.unsafe_set t.free_flag id '\001';
+  Bytes.unsafe_set t.stackbit id '\000';
+  uset t.ep_count id 0;
+  uset t.refc id 0;
   if t.eager_decrement then begin
     (* Naive policy: decrement the children right now (recursively). *)
-    let car = t.car.(id) and cdr = t.cdr.(id) in
-    t.car.(id) <- unset;
-    t.cdr.(id) <- unset;
-    t.addr.(id) <- t.free_head;
+    let car = uget t.car id and cdr = uget t.cdr id in
+    uset t.car id unset;
+    uset t.cdr id unset;
+    uset t.addr id t.free_head;
     t.free_head <- id;
     if car >= 0 then decr_internal t car;
     if cdr >= 0 then decr_internal t cdr
@@ -113,23 +138,23 @@ let rec free_entry t id =
   else begin
     (* Lazy policy: children keep their counts until this entry is
        reused; only the free-stack push happens now. *)
-    t.addr.(id) <- t.free_head;
+    uset t.addr id t.free_head;
     t.free_head <- id
   end
 
 and decr_internal t id =
-  if not (is_live t id) then ()  (* deferred decrement raced a cycle sweep *)
+  if not (is_live_u t id) then ()  (* deferred decrement raced a cycle sweep *)
   else begin
     t.refops <- t.refops + 1;
-    t.refc.(id) <- t.refc.(id) - 1;
-    if t.refc.(id) <= 0 && not (has_stack_ref t id) then free_entry t id
+    uset t.refc id (uget t.refc id - 1);
+    if uget t.refc id <= 0 && not (has_stack_ref t id) then free_entry t id
   end
 
 let incr_internal t id =
   t.refops <- t.refops + 1;
-  let rc = t.refc.(id) + 1 in
-  t.refc.(id) <- rc;
-  let total = if t.split_counts then rc + t.ep_count.(id) else rc in
+  let rc = uget t.refc id + 1 in
+  uset t.refc id rc;
+  let total = if t.split_counts then rc + uget t.ep_count id else rc in
   if total > t.max_refcount then t.max_refcount <- total
 
 (* ---- compression (Fig 4.8) ---- *)
@@ -235,69 +260,83 @@ let break_cycles t =
 
 (* ---- allocation ---- *)
 
+(* Pop the free-list head, or -1 when empty.  The option the previous
+   version returned boxed every allocation. *)
 let pop_free t =
-  if t.free_head = unset then None
+  if t.free_head = unset then unset
   else begin
     let id = t.free_head in
-    t.free_head <- t.addr.(id);
+    t.free_head <- uget t.addr id;
     (* Deferred child decrements happen on reuse (§4.3.2.1). *)
-    let car = t.car.(id) and cdr = t.cdr.(id) in
-    t.car.(id) <- unset;
-    t.cdr.(id) <- unset;
+    let car = uget t.car id and cdr = uget t.cdr id in
+    uset t.car id unset;
+    uset t.cdr id unset;
     if not t.eager_decrement then begin
       if car >= 0 then decr_internal t car;
       if cdr >= 0 then decr_internal t cdr
     end;
-    Some id
+    id
   end
 
 let rec alloc_entry t =
-  match pop_free t with
-  | Some id ->
-    Bytes.set t.free_flag id '\000';
-    Bytes.set t.stackbit id '\000';
-    t.ep_count.(id) <- 0;
-    t.refc.(id) <- 0;
-    t.addr.(id) <- unset;
-    t.sizes.(id) <- 0;
+  let id = pop_free t in
+  if id >= 0 then begin
+    Bytes.unsafe_set t.free_flag id '\000';
+    Bytes.unsafe_set t.stackbit id '\000';
+    uset t.ep_count id 0;
+    uset t.refc id 0;
+    uset t.addr id unset;
+    uset t.sizes id 0;
     t.live <- t.live + 1;
     if t.live > t.peak_live then t.peak_live <- t.live;
     t.gets <- t.gets + 1;
     id
-  | None ->
+  end
+  else begin
     t.pseudo_overflows <- t.pseudo_overflows + 1;
     if compress t then alloc_entry t
     else if break_cycles t then alloc_entry t
     else raise True_overflow
+  end
 
 let read_in t ~size =
   let id = alloc_entry t in
-  t.addr.(id) <- Heap_model.read_in t.heap ~size;
-  t.sizes.(id) <- size;
+  uset t.addr id (Heap_model.read_in t.heap ~size);
+  uset t.sizes id size;
   id
 
-let cons t ~car ~cdr =
+(* [cons_i] is [cons] on raw child identifiers, a negative standing for
+   an atom half — the flat simulation kernel calls it with no options
+   to match on and none to build. *)
+let cons_i t ~car ~cdr =
   let id = alloc_entry t in
   (* cons is pure endo-structure: the "address" is assigned for the cache
      comparison only; no heap read occurs (Fig 4.7). *)
-  t.addr.(id) <- Heap_model.assign t.heap ~size:1;
-  t.sizes.(id) <-
-    1
-    + (match car with Some c -> t.sizes.(c) | None -> 0)
-    + (match cdr with Some d -> t.sizes.(d) | None -> 0);
+  uset t.addr id (Heap_model.assign t.heap ~size:1);
+  uset t.sizes id
+    (1
+     + (if car >= 0 then uget t.sizes car else 0)
+     + (if cdr >= 0 then uget t.sizes cdr else 0));
   (* both fields are always set by a cons (Fig 4.7): an atom half is the
      atom-child marker, so later accesses hit *)
-  (match car with
-   | Some c ->
-     t.car.(id) <- c;
-     incr_internal t c
-   | None -> t.car.(id) <- atom_child);
-  (match cdr with
-   | Some d ->
-     t.cdr.(id) <- d;
-     incr_internal t d
-   | None -> t.cdr.(id) <- atom_child);
+  if car >= 0 then begin
+    uset t.car id car;
+    incr_internal t car
+  end
+  else uset t.car id atom_child;
+  if cdr >= 0 then begin
+    uset t.cdr id cdr;
+    incr_internal t cdr
+  end
+  else uset t.cdr id atom_child;
   id
+
+let cons t ~car ~cdr =
+  (match car with Some c -> check t c "Lpt.cons" | None -> ());
+  (match cdr with Some d -> check t d "Lpt.cons" | None -> ());
+  cons_i t
+    ~car:(match car with Some c -> c | None -> -1)
+    ~cdr:(match cdr with Some d -> d | None -> -1)
 
 type access = Hit of int | Hit_atom | Miss of int
 
@@ -305,48 +344,79 @@ type access = Hit of int | Hit_atom | Miss of int
    internal reference each (Fig 4.5). *)
 let split t id =
   t.misses <- t.misses + 1;
-  let parent_addr = if t.addr.(id) >= 0 then t.addr.(id) else 0 in
+  let parent_addr = if uget t.addr id >= 0 then uget t.addr id else 0 in
   let car_addr, cdr_addr = Heap_model.split t.heap ~addr:parent_addr in
-  let s = t.sizes.(id) in
+  let s = uget t.sizes id in
   let car_size = if s <= 1 then 0 else Util.Rng.int t.rng s in
   let cdr_size = if s <= 1 then 0 else s - 1 - car_size in
   let c = alloc_entry t in
-  t.addr.(c) <- car_addr;
-  t.sizes.(c) <- car_size;
+  uset t.addr c car_addr;
+  uset t.sizes c car_size;
   incr_internal t c;
   let d = alloc_entry t in
-  t.addr.(d) <- cdr_addr;
-  t.sizes.(d) <- cdr_size;
+  uset t.addr d cdr_addr;
+  uset t.sizes d cdr_size;
   incr_internal t d;
-  t.car.(id) <- c;
-  t.cdr.(id) <- d;
+  uset t.car id c;
+  uset t.cdr id d;
   t.on_split ~parent:id ~car:c ~cdr:d;
   (c, d)
 
+(* The [_i] accessors answer with the raw field encoding — the part's
+   identifier, or [atom_child] ([-2]) for an atom part — so the flat
+   kernel branches on a sign test instead of a variant; a miss splits
+   exactly as the boxed accessors do (and its product is always a real
+   identifier, never an atom). *)
+let get_car_i t id =
+  check t id "Lpt.get_car_i";
+  if uget t.car id = unset then begin
+    let c, _ = split t id in
+    c
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    uget t.car id
+  end
+
+let get_cdr_i t id =
+  check t id "Lpt.get_cdr_i";
+  if uget t.cdr id = unset then begin
+    let _, d = split t id in
+    d
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    uget t.cdr id
+  end
+
 let get_car t id =
-  if t.car.(id) = unset then begin
+  check t id "Lpt.get_car";
+  if uget t.car id = unset then begin
     let c, _ = split t id in
     Miss c
   end
   else begin
     t.hits <- t.hits + 1;
-    if t.car.(id) = atom_child then Hit_atom else Hit t.car.(id)
+    if uget t.car id = atom_child then Hit_atom else Hit (uget t.car id)
   end
 
 let get_cdr t id =
-  if t.cdr.(id) = unset then begin
+  check t id "Lpt.get_cdr";
+  if uget t.cdr id = unset then begin
     let _, d = split t id in
     Miss d
   end
   else begin
     t.hits <- t.hits + 1;
-    if t.cdr.(id) = atom_child then Hit_atom else Hit t.cdr.(id)
+    if uget t.cdr id = atom_child then Hit_atom else Hit (uget t.cdr id)
   end
 
-let replace t id ~field child =
+(* [child]: the incoming part's identifier, or any negative for an atom
+   value. *)
+let replace_i t id ~field child =
   let fields = match field with `Car -> t.car | `Cdr -> t.cdr in
   let was_hit =
-    if fields.(id) <> unset then begin
+    if uget fields id <> unset then begin
       t.hits <- t.hits + 1;
       true
     end
@@ -359,50 +429,75 @@ let replace t id ~field child =
      with itself must not transiently free it.  An atom value still sets
      the field (later accesses hit), it just names no entry.  [fields] is
      re-read after the split above may have filled it. *)
-  (match child with Some c -> incr_internal t c | None -> ());
-  let old = fields.(id) in
-  fields.(id) <- (match child with Some c -> c | None -> atom_child);
+  if child >= 0 then incr_internal t child;
+  let old = uget fields id in
+  uset fields id (if child >= 0 then child else atom_child);
   if old >= 0 then decr_internal t old;
   was_hit
 
-let rplaca t id child = replace t id ~field:`Car child
-let rplacd t id child = replace t id ~field:`Cdr child
+let rplaca_i t id child =
+  check t id "Lpt.rplaca_i";
+  replace_i t id ~field:`Car child
+
+let rplacd_i t id child =
+  check t id "Lpt.rplacd_i";
+  replace_i t id ~field:`Cdr child
+
+let as_child = function Some c -> c | None -> -1
+
+let rplaca t id child = rplaca_i t id (as_child child)
+let rplacd t id child = rplacd_i t id (as_child child)
 
 (* ---- EP-side reference management ---- *)
 
 let stack_incr t id =
+  check t id "Lpt.stack_incr";
   if t.split_counts then begin
     t.ep_refops <- t.ep_refops + 1;
-    t.ep_count.(id) <- t.ep_count.(id) + 1;
-    if t.ep_count.(id) > t.max_stack_count then t.max_stack_count <- t.ep_count.(id);
-    if t.ep_count.(id) = 1 then begin
+    let ep = uget t.ep_count id + 1 in
+    uset t.ep_count id ep;
+    if ep > t.max_stack_count then t.max_stack_count <- ep;
+    if ep = 1 then begin
       (* 0 -> 1 transition: tell the LP to set the StackBit. *)
       t.refops <- t.refops + 1;
-      Bytes.set t.stackbit id '\001'
+      Bytes.unsafe_set t.stackbit id '\001'
     end
   end
   else incr_internal t id
 
 let stack_decr t id =
+  check t id "Lpt.stack_decr";
   if t.split_counts then begin
-    if not (is_live t id) then ()
+    if not (is_live_u t id) then ()
     else begin
       t.ep_refops <- t.ep_refops + 1;
-      t.ep_count.(id) <- t.ep_count.(id) - 1;
-      if t.ep_count.(id) = 0 then begin
+      let ep = uget t.ep_count id - 1 in
+      uset t.ep_count id ep;
+      if ep = 0 then begin
         (* 1 -> 0 transition: tell the LP to clear the StackBit. *)
         t.refops <- t.refops + 1;
-        Bytes.set t.stackbit id '\000';
-        if t.refc.(id) <= 0 then free_entry t id
+        Bytes.unsafe_set t.stackbit id '\000';
+        if uget t.refc id <= 0 then free_entry t id
       end
     end
   end
   else decr_internal t id
 
-let peek_car t id = if t.car.(id) >= 0 then Some t.car.(id) else None
-let peek_cdr t id = if t.cdr.(id) >= 0 then Some t.cdr.(id) else None
-let car_is_set t id = t.car.(id) <> unset
-let cdr_is_set t id = t.cdr.(id) <> unset
+let peek_car t id =
+  check t id "Lpt.peek_car";
+  if uget t.car id >= 0 then Some (uget t.car id) else None
+
+let peek_cdr t id =
+  check t id "Lpt.peek_cdr";
+  if uget t.cdr id >= 0 then Some (uget t.cdr id) else None
+
+let car_is_set t id =
+  check t id "Lpt.car_is_set";
+  uget t.car id <> unset
+
+let cdr_is_set t id =
+  check t id "Lpt.cdr_is_set";
+  uget t.cdr id <> unset
 
 type counters = {
   refops : int;

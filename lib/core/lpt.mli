@@ -87,6 +87,26 @@ val rplaca : t -> int -> int option -> bool
 
 val rplacd : t -> int -> int option -> bool
 
+(** {2 Flat accessors}
+
+    Allocation-free variants for the simulation hot loop: counters and
+    table effects are identical to the boxed forms, only the answer's
+    encoding changes.  [get_car_i]/[get_cdr_i] return the part's
+    identifier, or [-2] (the atom-child marker) when the part is an
+    atom value — a miss splits exactly like {!get_car} and always
+    yields a real identifier.  [cons_i]/[rplaca_i]/[rplacd_i] take a
+    child identifier directly, any negative standing for an atom. *)
+
+val get_car_i : t -> int -> int
+
+val get_cdr_i : t -> int -> int
+
+val cons_i : t -> car:int -> cdr:int -> int
+
+val rplaca_i : t -> int -> int -> bool
+
+val rplacd_i : t -> int -> int -> bool
+
 (** EP-side reference management: a stack binding to [id] appears /
     disappears.  Routed to the entry's count, or to the EP-side split
     count table when [split_counts] is on. *)

@@ -38,30 +38,66 @@ let render_fingerprint c =
 
 (* Sweep loops and the server's cache lookups fingerprint the same few
    configs over and over, so the Printf + MD5 round runs once per
-   structural config.  The table is capped (a sweep touches at most a
-   few hundred configs; the reset only guards a pathological caller)
-   and guarded for the threaded server's worker pool. *)
-let fp_memo : (config, string * string) Hashtbl.t = Hashtbl.create 64
+   structural config.  The table is capped and guarded for the threaded
+   server's worker pool.  At the cap one cold entry is evicted by a
+   second-chance (CLOCK) sweep over the insertion queue — entries
+   re-fingerprinted since their last sweep survive, so a sweep's working
+   set stays memoized even when a pathological caller churns through
+   thousands of distinct configs. *)
+type fp_entry = { pair : string * string; mutable hot : bool }
+
+let fp_memo : (config, fp_entry) Hashtbl.t = Hashtbl.create 64
+let fp_order : config Queue.t = Queue.create ()
 let fp_memo_mutex = Mutex.create ()
 let fp_memo_cap = 4096
+
+(* Called with the mutex held and the table at capacity: pop queue
+   entries, re-queueing (and cooling) hot ones, until a cold entry is
+   evicted.  Terminates within two sweeps of the queue — the first pass
+   cools every entry it skips. *)
+let fp_evict_one () =
+  let evicted = ref false in
+  while not !evicted do
+    match Queue.take_opt fp_order with
+    | None -> evicted := true  (* queue out of sync; nothing to evict *)
+    | Some key ->
+      (match Hashtbl.find_opt fp_memo key with
+       | None -> ()  (* stale queue entry for an already-evicted key *)
+       | Some e when e.hot ->
+         e.hot <- false;
+         Queue.push key fp_order
+       | Some _ ->
+         Hashtbl.remove fp_memo key;
+         evicted := true)
+  done
 
 let fingerprint_and_digest c =
   Mutex.lock fp_memo_mutex;
   let cached = Hashtbl.find_opt fp_memo c in
+  (match cached with Some e -> e.hot <- true | None -> ());
   Mutex.unlock fp_memo_mutex;
   match cached with
-  | Some pair -> pair
+  | Some e -> e.pair
   | None ->
     let fp = render_fingerprint c in
     let pair = (fp, Digest.to_hex (Digest.string fp)) in
     Mutex.lock fp_memo_mutex;
-    if Hashtbl.length fp_memo >= fp_memo_cap then Hashtbl.reset fp_memo;
-    Hashtbl.replace fp_memo c pair;
+    if not (Hashtbl.mem fp_memo c) then begin
+      if Hashtbl.length fp_memo >= fp_memo_cap then fp_evict_one ();
+      Hashtbl.replace fp_memo c { pair; hot = false };
+      Queue.push c fp_order
+    end;
     Mutex.unlock fp_memo_mutex;
     pair
 
 let config_fingerprint c = fst (fingerprint_and_digest c)
 let config_digest c = snd (fingerprint_and_digest c)
+
+let fingerprint_memoized c =
+  Mutex.lock fp_memo_mutex;
+  let r = Hashtbl.mem fp_memo c in
+  Mutex.unlock fp_memo_mutex;
+  r
 
 type stats = {
   events : int;
@@ -76,12 +112,106 @@ type stats = {
   cache_accesses : int;
 }
 
+(* Per-event observability: with a registry attached, each primitive
+   event records the live-entry count into an occupancy histogram; the
+   activity counters are folded in once at the end of the run (they are
+   already kept by the LPT/heap), so detached runs pay only one option
+   match per event and the simulated stats are bit-identical either
+   way — the registry never touches the RNG or the simulation state. *)
+let record_run_metrics ~lpt ~heap ~cache ~overflow_entries ~overflow_events reg
+    ~events =
+  Lpt.record_metrics lpt reg;
+  let c name help v = Obs.Metric.Counter.add (Obs.Registry.counter reg ~help name) v in
+  c "small_sim_events_total" "primitive events simulated" events;
+  c "small_sim_overflow_entries_total" "transitions into LPT-bypass overflow mode"
+    overflow_entries;
+  c "small_sim_overflow_events_total" "primitive events served in overflow mode"
+    overflow_events;
+  let h = Heap_model.counters heap in
+  c "small_sim_heap_reads_total" "heap-controller object read-ins" h.Heap_model.reads;
+  c "small_sim_heap_reclaims_total" "heap reclamations (refcount frees)"
+    h.Heap_model.reclaims;
+  c "small_sim_heap_cells_reclaimed_total" "heap cells reclaimed"
+    h.Heap_model.cells_reclaimed;
+  (match cache with
+   | None -> ()
+   | Some cache ->
+     c "small_sim_cache_hits_total" "data-cache hits" (Cache.Lru_cache.hits cache);
+     c "small_sim_cache_misses_total" "data-cache misses" (Cache.Lru_cache.misses cache))
+
+let make_occupancy metrics =
+  (* a Local accumulator keeps the per-event cost to plain-field writes;
+     it is flushed before the end-of-run counter fold *)
+  Option.map
+    (fun reg ->
+       Obs.Metric.Histogram.Local.create
+         (Obs.Registry.histogram reg ~help:"live LPT entries sampled per event"
+            ~bounds:Obs.Metric.Histogram.default_size_bounds
+            "small_sim_lpt_occupancy"))
+    metrics
+
+let build_stats ~events ~entered_overflow ~overflow_events ~occupancy_sum ~samples
+    ~lpt ~heap ~cache =
+  let counters = Lpt.counters lpt in
+  {
+    events;
+    true_overflow = entered_overflow;
+    overflow_events;
+    peak_lpt = counters.Lpt.peak_live;
+    avg_lpt = (if samples = 0 then 0. else occupancy_sum /. float_of_int samples);
+    lpt = counters;
+    heap = Heap_model.counters heap;
+    cache_hits = (match cache with Some c -> Cache.Lru_cache.hits c | None -> 0);
+    cache_misses = (match cache with Some c -> Cache.Lru_cache.misses c | None -> 0);
+    cache_accesses = (match cache with Some c -> Cache.Lru_cache.accesses c | None -> 0);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Reference kernel: the original boxed interpreter over
+   [Preprocess.pevent]s.  Kept verbatim as the correctness oracle for
+   the flat kernel below — the equivalence battery in the test suite
+   and the [sim.hotloop] bench both check byte-identical stats.
+
+   The reference deliberately keeps the original [int64]-boxed
+   splitmix64 too: [Util.Rng] has since been rewritten over untagged
+   halves, and running the reference on the boxed generator both
+   preserves the true before-the-rewrite baseline for the bench and
+   cross-validates the rewrite end to end — the two generators must
+   emit bit-identical streams for the stats to match. *)
+
+module Boxed_rng = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  (* splitmix64 step *)
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+  let bool t ~p = float t < p
+end
+
 (* One stack item: a binding whose value is a list object (LPT id). *)
 type item = { mutable id : int }
 
 type state = {
   cfg : config;
-  rng : Util.Rng.t;
+  rng : Boxed_rng.t;
   lpt : Lpt.t;
   heap : Heap_model.t;
   cache : Cache.Lru_cache.t option;
@@ -114,7 +244,7 @@ let draw_size st =
   let nps = st.trace.Trace.Preprocess.np_by_id in
   if Array.length nps = 0 then 4
   else begin
-    let n, p = nps.(Util.Rng.int st.rng (Array.length nps)) in
+    let n, p = nps.(Boxed_rng.int st.rng (Array.length nps)) in
     max 1 (n + p)
   end
 
@@ -147,9 +277,9 @@ let select_arg st ~chained =
       let base, nargs = match st.frames with f :: _ -> f | [] -> (0, 0) in
       let pick lo hi =
         (* inclusive bounds; assumes lo <= hi *)
-        st.stack.(lo + Util.Rng.int st.rng (hi - lo + 1))
+        st.stack.(lo + Boxed_rng.int st.rng (hi - lo + 1))
       in
-      let u = Util.Rng.float st.rng in
+      let u = Boxed_rng.float st.rng in
       let item =
         if u < st.cfg.arg_prob && nargs > 0 && base + nargs <= st.sp then
           pick base (base + nargs - 1)                  (* a function argument *)
@@ -158,7 +288,7 @@ let select_arg st ~chained =
         else if base > 0 then pick 0 (base - 1)         (* a non-local *)
         else pick 0 (st.sp - 1)
       in
-      if Util.Rng.bool st.rng ~p:st.cfg.read_prob then reread st item
+      if Boxed_rng.bool st.rng ~p:st.cfg.read_prob then reread st item
       else if Lpt.is_live st.lpt item.id then item.id
       else reread st item (* stale binding (shouldn't happen); repair *)
     end
@@ -167,8 +297,8 @@ let select_arg st ~chained =
    push on top of the stack. *)
 let bind_result st id =
   st.prev_result <- Some id;
-  if st.sp > 0 && Util.Rng.bool st.rng ~p:st.cfg.bind_prob then begin
-    let item = st.stack.(Util.Rng.int st.rng st.sp) in
+  if st.sp > 0 && Boxed_rng.bool st.rng ~p:st.cfg.bind_prob then begin
+    let item = st.stack.(Boxed_rng.int st.rng st.sp) in
     Lpt.stack_incr st.lpt id;
     let old = item.id in
     item.id <- id;
@@ -260,15 +390,15 @@ let simulate_call st nargs =
   (* Each argument is a binding to something older on the stack. *)
   for _ = 1 to nargs do
     let id =
-      if st.sp > 0 then st.stack.(Util.Rng.int st.rng st.sp).id else fresh_list st
+      if st.sp > 0 then st.stack.(Boxed_rng.int st.rng st.sp).id else fresh_list st
     in
     push_item st id
   done;
   (* A random number of locals, similarly bound. *)
-  let locals = Util.Rng.int st.rng 3 in
+  let locals = Boxed_rng.int st.rng 3 in
   for _ = 1 to locals do
     let id =
-      if st.sp > 0 then st.stack.(Util.Rng.int st.rng st.sp).id else fresh_list st
+      if st.sp > 0 then st.stack.(Boxed_rng.int st.rng st.sp).id else fresh_list st
     in
     push_item st id
   done;
@@ -289,34 +419,8 @@ let simulate_return st =
      | Some id when not (Lpt.is_live st.lpt id) -> st.prev_result <- None
      | _ -> ())
 
-(* Per-event observability: with a registry attached, each primitive
-   event records the live-entry count into an occupancy histogram; the
-   activity counters are folded in once at the end of the run (they are
-   already kept by the LPT/heap), so detached runs pay only one option
-   match per event and the simulated stats are bit-identical either
-   way — the registry never touches the RNG or the simulation state. *)
-let record_run_metrics st reg ~events =
-  Lpt.record_metrics st.lpt reg;
-  let c name help v = Obs.Metric.Counter.add (Obs.Registry.counter reg ~help name) v in
-  c "small_sim_events_total" "primitive events simulated" events;
-  c "small_sim_overflow_entries_total" "transitions into LPT-bypass overflow mode"
-    st.overflow_entries;
-  c "small_sim_overflow_events_total" "primitive events served in overflow mode"
-    st.overflow_events;
-  let h = Heap_model.counters st.heap in
-  c "small_sim_heap_reads_total" "heap-controller object read-ins" h.Heap_model.reads;
-  c "small_sim_heap_reclaims_total" "heap reclamations (refcount frees)"
-    h.Heap_model.reclaims;
-  c "small_sim_heap_cells_reclaimed_total" "heap cells reclaimed"
-    h.Heap_model.cells_reclaimed;
-  (match st.cache with
-   | None -> ()
-   | Some cache ->
-     c "small_sim_cache_hits_total" "data-cache hits" (Cache.Lru_cache.hits cache);
-     c "small_sim_cache_misses_total" "data-cache misses" (Cache.Lru_cache.misses cache))
-
-let run ?metrics cfg trace =
-  let heap = Heap_model.create ~seed:(cfg.seed * 7919 + 1) in
+let run_reference ?metrics cfg trace =
+  let heap = Heap_model.create ~legacy_occupancy:true ~seed:(cfg.seed * 7919 + 1) () in
   let lpt =
     Lpt.create ~size:cfg.table_size ~policy:cfg.policy ~split_counts:cfg.split_counts
       ~eager_decrement:cfg.eager_decrement ~heap ~seed:(cfg.seed * 104729 + 3) ()
@@ -327,23 +431,13 @@ let run ?metrics cfg trace =
       cfg.cache
   in
   let st =
-    { cfg; rng = Util.Rng.create ~seed:cfg.seed; lpt; heap; cache; trace;
+    { cfg; rng = Boxed_rng.create ~seed:cfg.seed; lpt; heap; cache; trace;
       stack = Array.make 1024 { id = -1 }; sp = 0; frames = []; prev_result = None;
       occupancy_sum = 0.; samples = 0; overflow_mode = false; overflow_events = 0;
       entered_overflow = false; overflow_entries = 0 }
   in
   (* resolved once: the hot loop sees a plain option *)
-  (* a Local accumulator keeps the per-event cost to plain-field writes;
-     it is flushed before the end-of-run counter fold below *)
-  let occupancy =
-    Option.map
-      (fun reg ->
-         Obs.Metric.Histogram.Local.create
-           (Obs.Registry.histogram reg ~help:"live LPT entries sampled per event"
-              ~bounds:Obs.Metric.Histogram.default_size_bounds
-              "small_sim_lpt_occupancy"))
-      metrics
-  in
+  let occupancy = make_occupancy metrics in
   let events = ref 0 in
   (* Seed the top level with a few read-in bindings. *)
   (try
@@ -391,20 +485,404 @@ let run ?metrics cfg trace =
    | Some l -> Obs.Metric.Histogram.Local.flush l);
   (match metrics with
    | None -> ()
-   | Some reg -> record_run_metrics st reg ~events:!events);
-  let counters = Lpt.counters lpt in
-  {
-    events = !events;
-    true_overflow = st.entered_overflow;
-    overflow_events = st.overflow_events;
-    peak_lpt = counters.Lpt.peak_live;
-    avg_lpt = (if st.samples = 0 then 0. else st.occupancy_sum /. float_of_int st.samples);
-    lpt = counters;
-    heap = Heap_model.counters heap;
-    cache_hits = (match cache with Some c -> Cache.Lru_cache.hits c | None -> 0);
-    cache_misses = (match cache with Some c -> Cache.Lru_cache.misses c | None -> 0);
-    cache_accesses = (match cache with Some c -> Cache.Lru_cache.accesses c | None -> 0);
-  }
+   | Some reg ->
+     record_run_metrics ~lpt ~heap ~cache ~overflow_entries:st.overflow_entries
+       ~overflow_events:st.overflow_events reg ~events:!events);
+  build_stats ~events:!events ~entered_overflow:st.entered_overflow
+    ~overflow_events:st.overflow_events ~occupancy_sum:st.occupancy_sum
+    ~samples:st.samples ~lpt ~heap ~cache
+
+(* ---------------------------------------------------------------- *)
+(* Flat kernel.
+
+   One packed int per trace event carries everything the interpreter
+   above extracts from a [pevent] with [List.filter]/[List.map] per
+   event: argument selection never looks at a list argument's identity
+   (ids reach the simulator only through the chaining flags, already
+   folded in by preprocessing), so a primitive reduces to
+
+     bits 0..2   wire kind (0 call / 1 return / 2..6 prim)
+     bit  3      result-is-list          (prims; calls: nargs from bit 3)
+     bits 4..11  positional argument count
+     bits 12..35 list-argument position mask
+     bits 36..59 chained position mask
+
+   and the per-id (n, p) table to a plain size array indexed by a
+   uniform draw.  State flattens the same way: the binding stack is an
+   int array (no per-push [item] box), frames are parallel base/nargs
+   arrays under a frame pointer, the previous result is an int with -1
+   for "none".  Bernoulli draws compare {!Util.Rng.unit_53} against
+   thresholds pre-scaled by 2^53 — the identical predicate, no float
+   box.  Steady state allocates nothing; the stats are byte-identical
+   to [run_reference] by construction (same RNG draw sequence, same
+   LPT/heap/cache calls in the same order). *)
+
+type packed = {
+  p_codes : int array;    (* one packed int per trace event *)
+  p_sizes : int array;    (* id -> max 1 (n + p), the draw_size table *)
+}
+
+let packed_events p = Array.length p.p_codes
+
+let encode_prim ~kind ~arity ~list_mask ~chained_mask ~result_list =
+  if arity > 24 then
+    invalid_arg "Simulator.pack: primitive arity beyond 24 unsupported";
+  kind
+  lor (if result_list then 8 else 0)
+  lor (arity lsl 4)
+  lor (list_mask lsl 12)
+  lor (chained_mask lsl 36)
+
+let pack (trace : Trace.Preprocess.t) =
+  let codes =
+    Array.map
+      (fun (e : Trace.Preprocess.pevent) ->
+         match e with
+         | Pcall { nargs; _ } -> 0 lor (nargs lsl 3)
+         | Preturn _ -> 1
+         | Pprim { prim; args; result } ->
+           let kind =
+             match prim with
+             | Trace.Event.Car -> 2
+             | Trace.Event.Cdr -> 3
+             | Trace.Event.Cons -> 4
+             | Trace.Event.Rplaca -> 5
+             | Trace.Event.Rplacd -> 6
+           in
+           let arity = List.length args in
+           let lmask = ref 0 and cmask = ref 0 in
+           List.iteri
+             (fun p (a : Trace.Preprocess.arg) ->
+                match a with
+                | List { chained; _ } ->
+                  lmask := !lmask lor (1 lsl p);
+                  if chained then cmask := !cmask lor (1 lsl p)
+                | Atom _ -> ())
+             args;
+           encode_prim ~kind ~arity ~list_mask:!lmask ~chained_mask:!cmask
+             ~result_list:(result_is_list result))
+      trace.Trace.Preprocess.events
+  in
+  { p_codes = codes;
+    p_sizes =
+      Array.map (fun (n, p) -> max 1 (n + p)) trace.Trace.Preprocess.np_by_id }
+
+let pack_source src =
+  let codes = ref (Array.make 1024 0) in
+  let n = ref 0 in
+  let push code =
+    if !n = Array.length !codes then begin
+      let g = Array.make (2 * !n) 0 in
+      Array.blit !codes 0 g 0 !n;
+      codes := g
+    end;
+    !codes.(!n) <- code;
+    incr n
+  in
+  let sizes =
+    Trace.Preprocess.scan_source src
+      ~call:(fun ~nargs -> push (0 lor (nargs lsl 3)))
+      ~return_:(fun () -> push 1)
+      ~prim:(fun ~kind ~arity ~list_mask ~chained_mask ~result_list ->
+          push (encode_prim ~kind ~arity ~list_mask ~chained_mask ~result_list))
+  in
+  { p_codes = Array.sub !codes 0 !n; p_sizes = sizes }
+
+(* All-float single-field record: flat representation, so updating the
+   accumulator stores a raw double instead of boxing one per event. *)
+type facc = { mutable acc : float }
+
+type fstate = {
+  fcfg : config;
+  frng : Util.Rng.t;
+  flpt : Lpt.t;
+  fheap : Heap_model.t;
+  fcache : Cache.Lru_cache.t option;
+  fsizes : int array;
+  mutable fstack : int array;        (* binding stack: LPT ids *)
+  mutable fsp : int;
+  mutable fbase : int array;         (* frame bases, newest at ffp-1 *)
+  mutable fnargs : int array;
+  mutable ffp : int;
+  mutable fprev : int;               (* previous result id; -1 = none *)
+  (* Bernoulli thresholds, pre-scaled by 2^53 (read-only) *)
+  t_arg : float;
+  t_arg_loc : float;
+  t_read : float;
+  t_bind : float;
+  mutable fovf : bool;
+  mutable fovf_events : int;
+  mutable fentered : bool;
+  mutable fovf_entries : int;
+}
+
+let scale_53 = 9007199254740992.0
+
+let fpush st id =
+  if st.fsp = Array.length st.fstack then begin
+    let grown = Array.make (2 * st.fsp) (-1) in
+    Array.blit st.fstack 0 grown 0 st.fsp;
+    st.fstack <- grown
+  end;
+  Array.unsafe_set st.fstack st.fsp id;
+  st.fsp <- st.fsp + 1;
+  Lpt.stack_incr st.flpt id
+
+let fdraw_size st =
+  let n = Array.length st.fsizes in
+  if n = 0 then 4 else Array.unsafe_get st.fsizes (Util.Rng.int st.frng n)
+
+let ffresh st = Lpt.read_in st.flpt ~size:(fdraw_size st)
+
+let freread st slot =
+  let fresh = ffresh st in
+  Lpt.stack_incr st.flpt fresh;
+  let old = Array.unsafe_get st.fstack slot in
+  Array.unsafe_set st.fstack slot fresh;
+  Lpt.stack_decr st.flpt old;
+  fresh
+
+let fselect st chained =
+  let prev = st.fprev in
+  if chained && prev >= 0 && Lpt.is_live st.flpt prev then prev
+  else if st.fsp = 0 then begin
+    let id = ffresh st in
+    fpush st id;
+    id
+  end
+  else begin
+    let framed = st.ffp > 0 in
+    let base = if framed then Array.unsafe_get st.fbase (st.ffp - 1) else 0 in
+    let nargs = if framed then Array.unsafe_get st.fnargs (st.ffp - 1) else 0 in
+    let u = float_of_int (Util.Rng.unit_53 st.frng) in
+    let slot =
+      if u < st.t_arg && nargs > 0 && base + nargs <= st.fsp then
+        base + Util.Rng.int st.frng nargs                 (* a function argument *)
+      else if u < st.t_arg_loc && base + nargs < st.fsp then
+        base + nargs + Util.Rng.int st.frng (st.fsp - base - nargs)  (* a local *)
+      else if base > 0 then Util.Rng.int st.frng base     (* a non-local *)
+      else Util.Rng.int st.frng st.fsp
+    in
+    if float_of_int (Util.Rng.unit_53 st.frng) < st.t_read then freread st slot
+    else begin
+      let id = Array.unsafe_get st.fstack slot in
+      if Lpt.is_live st.flpt id then id
+      else freread st slot (* stale binding (shouldn't happen); repair *)
+    end
+  end
+
+let fbind st id =
+  st.fprev <- id;
+  if st.fsp > 0 && float_of_int (Util.Rng.unit_53 st.frng) < st.t_bind then begin
+    let slot = Util.Rng.int st.frng st.fsp in
+    Lpt.stack_incr st.flpt id;
+    let old = Array.unsafe_get st.fstack slot in
+    Array.unsafe_set st.fstack slot id;
+    Lpt.stack_decr st.flpt old
+  end
+  else fpush st id
+
+let fcache_touch st id =
+  match st.fcache with
+  | None -> ()
+  | Some cache -> ignore (Cache.Lru_cache.access cache (Lpt.address st.flpt id))
+
+let fcall st nargs =
+  let base = st.fsp in
+  for _ = 1 to nargs do
+    let id =
+      if st.fsp > 0 then
+        Array.unsafe_get st.fstack (Util.Rng.int st.frng st.fsp)
+      else ffresh st
+    in
+    fpush st id
+  done;
+  let locals = Util.Rng.int st.frng 3 in
+  for _ = 1 to locals do
+    let id =
+      if st.fsp > 0 then
+        Array.unsafe_get st.fstack (Util.Rng.int st.frng st.fsp)
+      else ffresh st
+    in
+    fpush st id
+  done;
+  if st.ffp = Array.length st.fbase then begin
+    let gb = Array.make (2 * st.ffp) 0 and gn = Array.make (2 * st.ffp) 0 in
+    Array.blit st.fbase 0 gb 0 st.ffp;
+    Array.blit st.fnargs 0 gn 0 st.ffp;
+    st.fbase <- gb;
+    st.fnargs <- gn
+  end;
+  Array.unsafe_set st.fbase st.ffp base;
+  Array.unsafe_set st.fnargs st.ffp nargs;
+  st.ffp <- st.ffp + 1
+
+let freturn st =
+  if st.ffp > 0 then begin
+    st.ffp <- st.ffp - 1;
+    let base = Array.unsafe_get st.fbase st.ffp in
+    while st.fsp > base do
+      st.fsp <- st.fsp - 1;
+      Lpt.stack_decr st.flpt (Array.unsafe_get st.fstack st.fsp)
+    done;
+    if st.fprev >= 0 && not (Lpt.is_live st.flpt st.fprev) then st.fprev <- -1
+  end
+
+let rec lowest_bit_pos m i = if m land 1 = 1 then i else lowest_bit_pos (m lsr 1) (i + 1)
+
+let fprim st code =
+  let kind = code land 7 in
+  let lmask = (code lsr 12) land 0xFFFFFF in
+  if kind <= 3 then begin
+    (* car / cdr: the first list argument feeds the access *)
+    if lmask = 0 then st.fprev <- -1
+    else begin
+      let cmask = code lsr 36 in
+      let a = lowest_bit_pos lmask 0 in
+      let id = fselect st ((cmask lsr a) land 1 = 1) in
+      fcache_touch st id;
+      let c =
+        if kind = 2 then Lpt.get_car_i st.flpt id else Lpt.get_cdr_i st.flpt id
+      in
+      if c >= 0 && code land 8 <> 0 then fbind st c else st.fprev <- -1
+    end
+  end
+  else if kind = 4 then begin
+    (* cons: children from positions 0/1 (trace order); selects for any
+       further list positions still run, their results discarded, to
+       match the reference's List.map over all args *)
+    let cmask = code lsr 36 in
+    let arity = (code lsr 4) land 0xFF in
+    let car =
+      if arity >= 1 && lmask land 1 = 1 then fselect st (cmask land 1 = 1)
+      else -1
+    in
+    let cdr =
+      if arity >= 2 && lmask land 2 <> 0 then fselect st (cmask land 2 <> 0)
+      else -1
+    in
+    for p = 2 to arity - 1 do
+      if (lmask lsr p) land 1 = 1 then
+        ignore (fselect st ((cmask lsr p) land 1 = 1))
+    done;
+    let keep = arity <= 2 in
+    let id =
+      Lpt.cons_i st.flpt
+        ~car:(if keep then car else -1)
+        ~cdr:(if keep then cdr else -1)
+    in
+    fbind st id
+  end
+  else begin
+    (* rplaca / rplacd *)
+    if lmask = 0 then st.fprev <- -1
+    else begin
+      let cmask = code lsr 36 in
+      let arity = (code lsr 4) land 0xFF in
+      let a = lowest_bit_pos lmask 0 in
+      let id = fselect st ((cmask lsr a) land 1 = 1) in
+      fcache_touch st id;
+      (* the replacement value: a list only if the trace's second
+         positional argument was one AND a second list argument exists *)
+      let rest = lmask land (lmask - 1) in
+      let value =
+        if arity >= 2 && lmask land 2 <> 0 && rest <> 0 then begin
+          let v = lowest_bit_pos rest 0 in
+          fselect st ((cmask lsr v) land 1 = 1)
+        end
+        else -1
+      in
+      if kind = 5 then ignore (Lpt.rplaca_i st.flpt id value)
+      else ignore (Lpt.rplacd_i st.flpt id value);
+      fbind st id
+    end
+  end
+
+let run_packed ?metrics cfg packed =
+  let heap = Heap_model.create ~seed:(cfg.seed * 7919 + 1) () in
+  let lpt =
+    Lpt.create ~size:cfg.table_size ~policy:cfg.policy ~split_counts:cfg.split_counts
+      ~eager_decrement:cfg.eager_decrement ~heap ~seed:(cfg.seed * 104729 + 3) ()
+  in
+  let cache =
+    Option.map
+      (fun c -> Cache.Lru_cache.create ~lines:c.cache_lines ~line_size:c.cache_line_size)
+      cfg.cache
+  in
+  let st =
+    { fcfg = cfg; frng = Util.Rng.create ~seed:cfg.seed; flpt = lpt; fheap = heap;
+      fcache = cache; fsizes = packed.p_sizes;
+      fstack = Array.make 1024 (-1); fsp = 0;
+      fbase = Array.make 256 0; fnargs = Array.make 256 0; ffp = 0;
+      fprev = -1;
+      t_arg = cfg.arg_prob *. scale_53;
+      t_arg_loc = (cfg.arg_prob +. cfg.loc_prob) *. scale_53;
+      t_read = cfg.read_prob *. scale_53;
+      t_bind = cfg.bind_prob *. scale_53;
+      fovf = false; fovf_events = 0; fentered = false; fovf_entries = 0 }
+  in
+  let occupancy = make_occupancy metrics in
+  let occ = { acc = 0.0 } in
+  let samples = ref 0 in
+  let events = ref 0 in
+  (* Seed the top level with a few read-in bindings. *)
+  (try
+     for _ = 1 to 8 do
+       fpush st (ffresh st)
+     done
+   with Lpt.True_overflow ->
+     st.fovf <- true;
+     st.fentered <- true;
+     st.fovf_entries <- st.fovf_entries + 1);
+  let codes = packed.p_codes in
+  let ncodes = Array.length codes in
+  let ovf_exit = (9 * cfg.table_size) / 10 in
+  for i = 0 to ncodes - 1 do
+    let code = Array.unsafe_get codes i in
+    let kind = code land 7 in
+    if kind = 0 then fcall st (code lsr 3)
+    else if kind = 1 then freturn st
+    else begin
+      incr events;
+      (* In overflow mode the EP bypasses the LPT, working in raw heap
+         addresses (§4.3.2.3); the mode ends once table space frees up
+         through returns. *)
+      if st.fovf then begin
+        st.fovf_events <- st.fovf_events + 1;
+        st.fprev <- -1;
+        if Lpt.live st.flpt <= ovf_exit then st.fovf <- false
+      end
+      else begin
+        try fprim st code
+        with Lpt.True_overflow ->
+          st.fovf <- true;
+          st.fentered <- true;
+          st.fovf_entries <- st.fovf_entries + 1;
+          st.fovf_events <- st.fovf_events + 1;
+          st.fprev <- -1
+      end;
+      occ.acc <- occ.acc +. float_of_int (Lpt.live st.flpt);
+      incr samples;
+      match occupancy with
+      | None -> ()
+      | Some l -> Obs.Metric.Histogram.Local.record l (float_of_int (Lpt.live st.flpt))
+    end
+  done;
+  (match occupancy with
+   | None -> ()
+   | Some l -> Obs.Metric.Histogram.Local.flush l);
+  (match metrics with
+   | None -> ()
+   | Some reg ->
+     record_run_metrics ~lpt ~heap ~cache ~overflow_entries:st.fovf_entries
+       ~overflow_events:st.fovf_events reg ~events:!events);
+  build_stats ~events:!events ~entered_overflow:st.fentered
+    ~overflow_events:st.fovf_events ~occupancy_sum:occ.acc ~samples:!samples
+    ~lpt ~heap ~cache
+
+let run ?metrics cfg trace = run_packed ?metrics cfg (pack trace)
+
+let run_source ?metrics cfg src = run_packed ?metrics cfg (pack_source src)
 
 let lpt_hit_rate (stats : stats) =
   let total = stats.lpt.Lpt.hits + stats.lpt.Lpt.misses in
@@ -428,7 +906,10 @@ let min_table_size ?(jobs = 1) ?metrics cfg trace =
      into the same counters at once — safe by construction, and the
      search decisions never read the metrics, so the result is
      registry-independent. *)
-  let probe size = run ?metrics { cfg with table_size = size } trace in
+  (* The trace is packed once; every probe replays the same immutable
+     int arrays (shared across probe domains). *)
+  let packed = pack trace in
+  let probe size = run_packed ?metrics { cfg with table_size = size } packed in
   let rec grow size =
     if jobs <= 1 then begin
       let stats = probe size in

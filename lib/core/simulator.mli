@@ -49,6 +49,10 @@ val config_fingerprint : config -> string
     content-addressed result-cache key. *)
 val config_digest : config -> string
 
+(** Whether [c]'s fingerprint is currently memoized (test hook for the
+    memo's second-chance eviction; not meaningful to ordinary callers). *)
+val fingerprint_memoized : config -> bool
+
 type stats = {
   events : int;              (** primitive events simulated *)
   true_overflow : bool;      (** overflow mode was entered at least once *)
@@ -63,13 +67,52 @@ type stats = {
   cache_accesses : int;
 }
 
-(** [run ?metrics config trace] simulates the whole trace.  With
-    [metrics] attached, the run folds its activity into the registry
-    ([small_sim_*] and [small_lpt_*] series, including a per-event
-    occupancy histogram); the registry is write-only for the simulator,
-    so the returned stats are bit-identical with and without it, and a
-    detached run pays only one option test per event. *)
+(** {2 Packed traces}
+
+    The hot loop consumes a {e packed} trace: one int per event encoding
+    everything argument selection needs (wire kind, argument count,
+    list/chained position masks, result-is-list), plus the id -> size
+    table for fresh read-ins.  Packing is a cheap one-shot scan;
+    replaying a packed trace allocates nothing at steady state. *)
+
+type packed
+
+(** Number of events in the packed trace. *)
+val packed_events : packed -> int
+
+(** [pack trace] packs a preprocessed trace.  @raise Invalid_argument on
+    a primitive with more than 24 arguments (real traces have ≤ 2). *)
+val pack : Trace.Preprocess.t -> packed
+
+(** [pack_source src] packs a binary trace directly off its flat event
+    batches via {!Trace.Preprocess.scan_source}: identical packing to
+    [pack (Trace.Preprocess.run_source src)] with no intermediate
+    [pevent] array. *)
+val pack_source : Trace.Binary.source -> packed
+
+(** [run_packed ?metrics config packed] replays a packed trace through
+    the allocation-free flat kernel.  Stats are byte-identical to
+    {!run_reference} over the trace the packing came from. *)
+val run_packed : ?metrics:Obs.Registry.t -> config -> packed -> stats
+
+(** [run ?metrics config trace] simulates the whole trace — equivalent
+    to [run_packed config (pack trace)].  With [metrics] attached, the
+    run folds its activity into the registry ([small_sim_*] and
+    [small_lpt_*] series, including a per-event occupancy histogram);
+    the registry is write-only for the simulator, so the returned stats
+    are bit-identical with and without it, and a detached run pays only
+    one option test per event. *)
 val run : ?metrics:Obs.Registry.t -> config -> Trace.Preprocess.t -> stats
+
+(** [run_source ?metrics config src] simulates a binary trace end to end
+    without materialising events: [run_packed config (pack_source src)]. *)
+val run_source : ?metrics:Obs.Registry.t -> config -> Trace.Binary.source -> stats
+
+(** The original boxed interpreter over [Trace.Preprocess.pevent]s, kept
+    as the correctness oracle for the flat kernel: {!run} must produce
+    byte-identical stats.  Exercised by the equivalence test battery and
+    the [sim.hotloop] bench; not intended for production callers. *)
+val run_reference : ?metrics:Obs.Registry.t -> config -> Trace.Preprocess.t -> stats
 
 val lpt_hit_rate : stats -> float
 val cache_hit_rate : stats -> float

@@ -19,7 +19,7 @@ let simulate ?table_size ~order (d : Sexp.Datum.t) =
   let n, p = Sexp.Metrics.np d in
   let default_size = (4 * (n + p + 1)) + 16 in
   let size = Option.value ~default:default_size table_size in
-  let heap = Heap_model.create ~seed:7 in
+  let heap = Heap_model.create ~seed:7 () in
   let lpt =
     Lpt.create ~size ~policy:Lpt.Compress_one ~split_counts:false
       ~eager_decrement:false ~heap ~seed:11 ()

@@ -271,6 +271,145 @@ let run_source src =
     np_by_id = Array.of_list (List.rev !nps);
   }
 
+(* [scan_source] is the id-assignment pass of [run_source] with the
+   pevent construction stripped out: the same span-dedup table, the same
+   fresh-id rules (a cons/rplac result is always a fresh cell), the same
+   chaining flags — but each event is reported to a callback as packed
+   scalars (positional bitmasks over the argument list), so a consumer
+   can build a flat representation without any [arg list] existing.
+   Only the (n, p) table survives as data, in the same id order as
+   [run]/[run_source] produce. *)
+let scan_source ~call ~return_ ~prim src =
+  let module B = Binary.Batch in
+  let cap = ref 4096 in
+  let mask = ref (!cap - 1) in
+  let keys = ref (Array.make !cap [||]) in
+  let kids = ref (Array.make !cap 0) in
+  let filled = ref 0 in
+  let mix h x = (h lxor x) * 16777619 land max_int in
+  let hash_key key = Array.fold_left mix 0x811c9dc5 key in
+  let hash_span b k stop =
+    let h = ref 0x811c9dc5 in
+    for i = k to stop - 1 do
+      h := mix (mix !h (B.tok_tag b i)) (B.tok_val b i)
+    done;
+    !h
+  in
+  let key_matches key b k stop =
+    Array.length key = 2 * (stop - k)
+    && (let ok = ref true and j = ref 0 in
+        let i = ref k in
+        while !ok && !i < stop do
+          if key.(!j) <> B.tok_tag b !i || key.(!j + 1) <> B.tok_val b !i then
+            ok := false;
+          incr i;
+          j := !j + 2
+        done;
+        !ok)
+  in
+  let find_slot b k stop =
+    let s = ref (hash_span b k stop land !mask) in
+    let continue = ref true in
+    while !continue do
+      let key = !keys.(!s) in
+      if Array.length key = 0 || key_matches key b k stop then continue := false
+      else s := (!s + 1) land !mask
+    done;
+    !s
+  in
+  let grow () =
+    let ncap = 2 * !cap in
+    let nmask = ncap - 1 in
+    let nkeys = Array.make ncap [||] and nids = Array.make ncap 0 in
+    Array.iteri
+      (fun i key ->
+         if Array.length key > 0 then begin
+           let s = ref (hash_key key land nmask) in
+           while Array.length nkeys.(!s) > 0 do
+             s := (!s + 1) land nmask
+           done;
+           nkeys.(!s) <- key;
+           nids.(!s) <- !kids.(i)
+         end)
+      !keys;
+    keys := nkeys;
+    kids := nids;
+    cap := ncap;
+    mask := nmask
+  in
+  let key_of_span b k stop =
+    let a = Array.make (2 * (stop - k)) 0 in
+    let j = ref 0 in
+    for i = k to stop - 1 do
+      a.(!j) <- B.tok_tag b i;
+      a.(!j + 1) <- B.tok_val b i;
+      j := !j + 2
+    done;
+    a
+  in
+  let nps = ref [] in
+  let next = ref 0 in
+  let fresh_id b k stop =
+    if 2 * (!filled + 1) >= !cap then grow ();
+    let id = !next in
+    incr next;
+    let slot = find_slot b k stop in
+    if Array.length !keys.(slot) = 0 then begin
+      !keys.(slot) <- key_of_span b k stop;
+      incr filled
+    end;
+    !kids.(slot) <- id;
+    let d, _ = B.datum b k in
+    nps := Sexp.Metrics.np d :: !nps;
+    id
+  in
+  let id_of b k stop =
+    let slot = find_slot b k stop in
+    if Array.length !keys.(slot) = 0 then fresh_id b k stop else !kids.(slot)
+  in
+  let prev_result = ref (-1) in
+  Binary.iter_batches src (fun b ->
+      for i = 0 to B.length b - 1 do
+        match B.kind b i with
+        | 0 -> call ~nargs:(B.nargs b i)
+        | 1 -> return_ ()
+        | kd ->
+          let prev = !prev_result in
+          let nargs = B.nargs b i in
+          if nargs > 24 then
+            invalid_arg "Preprocess.scan_source: more than 24 arguments";
+          let k = ref (B.tok_start b i) in
+          let list_mask = ref 0 and chained_mask = ref 0 in
+          for j = 0 to nargs - 1 do
+            let k0 = !k in
+            let stop = B.skip_tree b k0 in
+            k := stop;
+            match B.tok_tag b k0 with
+            | 4 | 5 ->
+              let id = id_of b k0 stop in
+              list_mask := !list_mask lor (1 lsl j);
+              if id = prev then chained_mask := !chained_mask lor (1 lsl j)
+            | _ -> ()
+          done;
+          let k0 = !k in
+          let stop = B.skip_tree b k0 in
+          let result_list =
+            match B.tok_tag b k0 with
+            | 4 | 5 ->
+              (* a cons/rplac result is a fresh cell, however familiar
+                 its shape — mirrors [classify_result] *)
+              prev_result :=
+                (if kd >= 4 then fresh_id b k0 stop else id_of b k0 stop);
+              true
+            | _ ->
+              prev_result := -1;
+              false
+          in
+          prim ~kind:kd ~arity:nargs ~list_mask:!list_mask
+            ~chained_mask:!chained_mask ~result_list
+      done);
+  Array.of_list (List.rev_map (fun (n, p) -> max 1 (n + p)) !nps)
+
 let prim_refs t =
   let refs = ref [] in
   Array.iter

@@ -1,40 +1,125 @@
-type t = { mutable state : int64 }
+(* splitmix64 with the 64-bit state kept as two untagged 32-bit native
+   ints.  The obvious [int64] state boxes a fresh [Int64.t] on every
+   arithmetic step under the non-flambda compiler, which made the
+   generator the single largest allocator in the simulation hot loop.
+   Working in halves keeps every intermediate a tagged immediate: the
+   64-bit adds, xors and shifts decompose per half, and each 64x64
+   multiply (by a mixing constant) takes three native products — see
+   the note at [step].  The emitted stream is bit-for-bit the
+   splitmix64 stream of the previous [int64] implementation — every
+   seeded golden in the repo depends on that. *)
 
-let create ~seed = { state = Int64.of_int seed }
+type t = {
+  mutable hi : int;   (* state bits 32..63 *)
+  mutable lo : int;   (* state bits 0..31 *)
+  mutable zhi : int;  (* last output, bits 32..63 *)
+  mutable zlo : int;  (* last output, bits 0..31 *)
+}
 
-(* splitmix64 step *)
-let next t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let mask32 = 0xFFFFFFFF
+
+let create ~seed =
+  (* matches [Int64.of_int seed]: sign-extended two's complement *)
+  { hi = (seed asr 32) land mask32; lo = seed land mask32; zhi = 0; zlo = 0 }
+
+(* One splitmix64 step: advance the state by the golden gamma and leave
+   the mixed output in [zhi]/[zlo].  Each 64x64 multiply keeps only the
+   low 64 bits, as [Int64.mul] does, and costs three native products:
+   for z * (ch*2^32 + cl) with both mixing constants' low halves under
+   2^31,
+
+     - [zlo * cl] is at most (2^32-1)(2^31-1) < 2^62: exact, and its
+       top bits are the carry into the high half;
+     - [zhi * cl] is exact for the same reason;
+     - [zlo * ch] may wrap past bit 62, but native arithmetic wraps
+       mod 2^63 and 2^32 divides 2^63, so the low 32 bits of the
+       wrapped sum are exactly the low 32 bits of the true sum — all
+       the final mask keeps. *)
+let step t =
+  (* state += 0x9E3779B97F4A7C15 *)
+  let slo = t.lo + 0x7F4A7C15 in
+  let lo = slo land mask32 in
+  let hi = (t.hi + 0x9E3779B9 + (slo lsr 32)) land mask32 in
+  t.hi <- hi;
+  t.lo <- lo;
+  (* z ^= z >>> 30 *)
+  let zlo = lo lxor ((lo lsr 30) lor ((hi land 0x3FFFFFFF) lsl 2)) in
+  let zhi = hi lxor (hi lsr 30) in
+  (* z *= 0xBF58476D1CE4E5B9 *)
+  let p = zlo * 0x1CE4E5B9 in
+  let mlo = p land mask32 in
+  let mhi = ((p lsr 32) + zhi * 0x1CE4E5B9 + zlo * 0xBF58476D) land mask32 in
+  (* z ^= z >>> 27 *)
+  let zlo = mlo lxor ((mlo lsr 27) lor ((mhi land 0x7FFFFFF) lsl 5)) in
+  let zhi = mhi lxor (mhi lsr 27) in
+  (* z *= 0x94D049BB133111EB *)
+  let p = zlo * 0x133111EB in
+  let mlo = p land mask32 in
+  let mhi = ((p lsr 32) + zhi * 0x133111EB + zlo * 0x94D049BB) land mask32 in
+  (* z ^= z >>> 31 *)
+  t.zlo <- mlo lxor ((mlo lsr 31) lor ((mhi land 0x7FFFFFFF) lsl 1));
+  t.zhi <- mhi lxor (mhi lsr 31)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+  step t;
+  (* (z >>> 1) mod bound on the 63-bit value, without materialising it:
+     v = a*2^31 + b, so v mod m = ((a mod m)*(2^31 mod m) + b) mod m.
+     For m <= 2^31 every intermediate stays under 2^62. *)
+  let hi1 = t.zhi lsr 1 in
+  let lo1 = (t.zlo lsr 1) lor ((t.zhi land 1) lsl 31) in
+  if bound <= 0x80000000 then begin
+    let a = (hi1 lsl 1) lor (lo1 lsr 31) in
+    let b = lo1 land 0x7FFFFFFF in
+    ((a mod bound) * (0x80000000 mod bound) + b) mod bound
+  end
+  else
+    (* bounds beyond 2^31 are outside the hot path; exactness over speed *)
+    Int64.to_int
+      (Int64.rem
+         (Int64.logor (Int64.shift_left (Int64.of_int hi1) 32) (Int64.of_int lo1))
+         (Int64.of_int bound))
 
-let float t =
-  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+(* The 53-bit numerator of {!float}: [float] is [unit_53 / 2^53].
+   Exposed so hot loops can run Bernoulli draws as an integer-to-float
+   compare against a pre-scaled threshold, without the boxed float a
+   [float]-returning call costs under the non-flambda compiler. *)
+let unit_53 t =
+  step t;
+  (t.zhi lsl 21) lor (t.zlo lsr 11)
 
-let bool t ~p = float t < p
+let float t = float_of_int (unit_53 t) /. 9007199254740992.0
+
+(* [unit_53 t < p * 2^53] — scaling by a power of two is exact, so this
+   is the same predicate as [float t < p] without constructing the
+   quotient. *)
+let bool t ~p = float_of_int (unit_53 t) < p *. 9007199254740992.0
 
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))
 
 let weighted t weights =
+  let n = Array.length weights in
   let total = Array.fold_left ( +. ) 0. weights in
   if total <= 0. then invalid_arg "Rng.weighted: weights sum to zero";
+  (* one draw, one forward scan; the last index absorbs any rounding
+     slack at the top of the range *)
   let x = float t *. total in
-  let acc = ref 0. and result = ref (Array.length weights - 1) in
-  (try
-     Array.iteri
-       (fun i w ->
-          acc := !acc +. w;
-          if x < !acc then begin result := i; raise Exit end)
-       weights
-   with Exit -> ());
+  let acc = ref 0. in
+  let result = ref (n - 1) in
+  let i = ref 0 in
+  let scanning = ref true in
+  while !scanning && !i < n do
+    acc := !acc +. weights.(!i);
+    if x < !acc then begin
+      result := !i;
+      scanning := false
+    end;
+    incr i
+  done;
   !result
 
-let split t = { state = next t }
+let split t =
+  step t;
+  { hi = t.zhi; lo = t.zlo; zhi = 0; zlo = 0 }

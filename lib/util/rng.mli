@@ -15,6 +15,12 @@ val int : t -> int -> int
 (** Uniform in [0, 1). *)
 val float : t -> float
 
+(** The 53-bit integer numerator of {!float}: [float t = unit_53 t / 2^53]
+    (one draw either way).  Hot loops compare it against a threshold
+    pre-scaled by [2^53] — the same predicate as [float t < p], exactly,
+    but with no float result to box. *)
+val unit_53 : t -> int
+
 (** Bernoulli draw. *)
 val bool : t -> p:float -> bool
 

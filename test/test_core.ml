@@ -5,14 +5,14 @@
 
 let mk_lpt ?(size = 16) ?(policy = Core.Lpt.Compress_one) ?(split_counts = false)
     ?(eager = false) () =
-  let heap = Core.Heap_model.create ~seed:3 in
+  let heap = Core.Heap_model.create ~seed:3 () in
   ( Core.Lpt.create ~size ~policy ~split_counts ~eager_decrement:eager ~heap ~seed:17 (),
     heap )
 
 (* ---- heap model ---- *)
 
 let test_heap_model () =
-  let h = Core.Heap_model.create ~seed:1 in
+  let h = Core.Heap_model.create ~seed:1 () in
   let a = Core.Heap_model.read_in h ~size:5 in
   let b = Core.Heap_model.read_in h ~size:3 in
   Alcotest.(check bool) "objects get disjoint ranges" true (b >= a + 5);
