@@ -39,7 +39,7 @@ let service =
 let simulate_job config name =
   { Server.Job.source = Server.Job.Workload name;
     spec = Server.Job.Simulate config;
-    timeout = None; priority = 0 }
+    timeout = None; priority = 0; deadline = None; wire_id = None }
 
 (* Submit-all-then-await: the pool runs the batch concurrently while the
    results come back in request order.  A rejected or failed job falls
@@ -76,7 +76,7 @@ let seed_knees ?(config = Core.Simulator.default_config) name seeds =
   let job seed =
     { Server.Job.source = Server.Job.Workload name;
       spec = Server.Job.Knee { config with Core.Simulator.seed };
-      timeout = None; priority = 0 }
+      timeout = None; priority = 0; deadline = None; wire_id = None }
   in
   through_service
     (List.map job seeds)

@@ -1242,9 +1242,11 @@ let () =
   let smoke = Sys.getenv_opt "SMALLSIM_BENCH_SMOKE" <> None in
   let requests = if smoke then 96 else 384 in
   let universe = if smoke then 24 else 48 in
-  let shard sid =
+  let shard ?fault ?(workers = 2) sid =
     let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let svc = Server.Service.create ~shard_id:sid ~workers:2 ~queue_capacity:64 () in
+    let svc =
+      Server.Service.create ?fault ~shard_id:sid ~workers ~queue_capacity:64 ()
+    in
     let d =
       Domain.spawn (fun () ->
           let ic = Unix.in_channel_of_descr b in
@@ -1274,6 +1276,72 @@ let () =
   in
   let aware = drive Cluster.Router.Cache_aware in
   let uniform = drive Cluster.Router.Uniform in
+  (* slow-shard hedging drill: the same uniform routing, but 30% of
+     s1's uncached jobs sleep ~400 ms (a deterministic service-side
+     fault plan) — the stuck-straggler regime hedging is built for.  The
+     hedged router re-issues any job outliving twice its shard's
+     observed latency quantile to the other shard and keeps whichever
+     reply lands first, so the laggards' tail collapses to roughly the
+     trigger age plus one fast compute.  (A *uniformly* slow shard is
+     deliberately not drilled here: it inflates its own quantile until
+     the trigger never beats natural completion — that regime belongs to
+     the breaker, not the hedge.)  Jobs are (nearly) all distinct — a
+     result-cache hit skips the worker thunk and with it the injected
+     delay, which would mask the very tail the drill is about. *)
+  let drill_requests = if smoke then 96 else 192 in
+  let slow_plan =
+    Fault.Plan.create
+      { Fault.Plan.default with Fault.Plan.seed = 11; delay = 0.3; delay_s = 0.4 }
+  in
+  let drive_drill ~hedge =
+    (* 4 workers per shard: with 4 closed-loop clients nothing queues on
+       the slow shard, so its latency is the injected delay itself rather
+       than a mix of delay and queueing — the quantile the hedge trigger
+       doubles stays meaningful *)
+    let shards, domains =
+      List.split [ shard ~workers:4 "s0"; shard ~fault:slow_plan ~workers:4 "s1" ]
+    in
+    let hedge_quantile = if hedge then 0.25 else 0.0 in
+    let t =
+      Cluster.Router.create ~placement:Cluster.Router.Uniform ~steal_min:0
+        ~hedge_quantile ~hedge_floor:0.01 ~shards ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+          Cluster.Router.shutdown t;
+          List.iter Domain.join domains)
+      (fun () ->
+         let cfg =
+           { Cluster.Loadgen.default with
+             requests = drill_requests; universe = 4 * drill_requests;
+             clients = 4; theta = 0.0; seed = 5; workload = "slang";
+             size = 256 }
+         in
+         (* unmeasured warm phase at a different job size: the hedge
+            trigger sits out until a shard has 16 latency samples, and
+            those must reflect real compute — warm jobs are distinct (a
+            cached sub-ms reply would drag the quantile, and with it the
+            trigger, toward zero) and must not collide with measured
+            ones (the result caches would then serve the measured run
+            without ever touching a delayed worker) *)
+         ignore
+           (Cluster.Loadgen.run ~submit:(Cluster.Router.submit_line t)
+              { cfg with requests = 48; universe = 192; size = 128; seed = 4 }
+             : Cluster.Loadgen.report);
+         let r = Cluster.Loadgen.run ~submit:(Cluster.Router.submit_line t) cfg in
+         let hedges =
+           match
+             Option.bind
+               (Server.Json.member "resilience" (Cluster.Router.stats_json t))
+               (Server.Json.member "hedged")
+           with
+           | Some (Server.Json.Int n) -> n
+           | _ -> 0
+         in
+         (r, hedges))
+  in
+  let unhedged, _ = drive_drill ~hedge:false in
+  let hedged, hedges = drive_drill ~hedge:true in
   let row label (r : Cluster.Loadgen.report) =
     [ label; Context.int_s r.Cluster.Loadgen.ok;
       Context.int_s r.Cluster.Loadgen.cached;
@@ -1289,6 +1357,20 @@ let () =
          requests universe)
     ~header:[ "placement"; "ok"; "shard-cache hits"; "req/s"; "p50 ms"; "p99 ms"; "p999 ms" ]
     [ row "cache-aware" aware; row "uniform" uniform ];
+  let drill_row label hedges (r : Cluster.Loadgen.report) =
+    [ label; Context.int_s r.Cluster.Loadgen.ok; Context.int_s hedges;
+      Printf.sprintf "%.1f" r.Cluster.Loadgen.throughput;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p50_ms;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p99_ms;
+      Printf.sprintf "%.2f" r.Cluster.Loadgen.p999_ms ]
+  in
+  Util.Series.print_rows
+    ~title:
+      (Printf.sprintf
+         "Cluster — slow-shard drill: %d distinct requests, 30%% of s1 jobs +~400 ms, hedged vs not"
+         drill_requests)
+    ~header:[ "router"; "ok"; "hedges"; "req/s"; "p50 ms"; "p99 ms"; "p999 ms" ]
+    [ drill_row "unhedged" 0 unhedged; drill_row "hedged" hedges hedged ];
   (match Sys.getenv_opt "SMALLSIM_BENCH_CLUSTER_OUT" with
    | None -> ()
    | Some file ->
@@ -1304,8 +1386,11 @@ let () =
      Printf.fprintf oc
        "{\"bench\": \"cluster\", \"smoke\": %b, \"shards\": 2, \"requests\": %d,\n\
        \ \"universe\": %d, \"theta\": 0.99, \"clients\": 4,\n\
-       \ %s,\n %s}\n"
-       smoke requests universe (emit "cache_aware" aware) (emit "uniform" uniform);
+       \ %s,\n %s,\n\
+       \ \"slow_shard_drill\": {\"hedges\": %d,\n\
+       \  %s,\n  %s}}\n"
+       smoke requests universe (emit "cache_aware" aware) (emit "uniform" uniform)
+       hedges (emit "unhedged" unhedged) (emit "hedged" hedged);
      close_out oc;
      Printf.printf "wrote %s\n" file);
   if smoke && aware.Cluster.Loadgen.cached <= uniform.Cluster.Loadgen.cached then
@@ -1313,7 +1398,15 @@ let () =
       (Printf.sprintf
          "cluster: cache-aware placement hit the shard caches no more than uniform \
           routing (%d vs %d)"
-         aware.Cluster.Loadgen.cached uniform.Cluster.Loadgen.cached)
+         aware.Cluster.Loadgen.cached uniform.Cluster.Loadgen.cached);
+  if smoke && hedges = 0 then
+    failwith "cluster: slow-shard drill triggered no hedges";
+  if smoke && hedged.Cluster.Loadgen.p99_ms >= unhedged.Cluster.Loadgen.p99_ms then
+    failwith
+      (Printf.sprintf
+         "cluster: hedged p99 did not beat the unhedged baseline under a slow \
+          shard (%.2f ms vs %.2f ms)"
+         hedged.Cluster.Loadgen.p99_ms unhedged.Cluster.Loadgen.p99_ms)
 
 let () =
   register "store" "Result store: legacy one-file-per-entry vs log-structured" @@ fun () ->

@@ -371,6 +371,13 @@ let socket_arg =
   let doc = "Unix domain socket path for the job service." in
   Arg.(value & opt string "smalld.sock" & info [ "socket" ] ~doc)
 
+let load_fault_plan = function
+  | None -> Ok None
+  | Some path ->
+    (match Fault.Plan.load path with
+     | Ok plan -> Ok (Some plan)
+     | Error msg -> Error (`Msg ("bad fault plan: " ^ msg)))
+
 let serve_cmd =
   let workers =
     Arg.(value & opt int (max 1 (Domain.recommended_domain_count () - 1))
@@ -443,14 +450,7 @@ let serve_cmd =
     else if compact_ratio < 0.0 || compact_ratio > 1.0 then
       Error (`Msg "--compact-ratio must be in [0,1]")
     else begin
-      match
-        match fault_plan with
-        | None -> Ok None
-        | Some path ->
-          (match Fault.Plan.load path with
-           | Ok plan -> Ok (Some plan)
-           | Error msg -> Error (`Msg ("bad fault plan: " ^ msg)))
-      with
+      match load_fault_plan fault_plan with
       | Error _ as e -> e
       | Ok fault ->
         let t =
@@ -491,14 +491,21 @@ let submit_cmd =
   let connect_retries =
     Arg.(value & opt int 5
          & info [ "connect-retries" ] ~docv:"N"
-             ~doc:"Retry a refused connection up to $(docv) times with short \
-                   exponential backoff (50ms doubling) — covers the window where \
-                   the server is still binding its socket.  0 fails fast.")
+             ~doc:"Retry a refused connection up to $(docv) times with \
+                   decorrelated-jitter backoff (50ms base, 1s cap) — covers the \
+                   window where the server is still binding its socket, without \
+                   letting many clients retry in lockstep.  0 fails fast.")
   in
   (* A server that is starting up (socket file not yet bound, or bound
      but not yet listening) answers ENOENT/ECONNREFUSED; those — and only
-     those — are worth retrying.  EACCES, a directory, etc. are not. *)
-  let rec connect_backoff socket retries delay =
+     those — are worth retrying.  EACCES, a directory, etc. are not.
+
+     Backoff is decorrelated jitter: sleep the current delay, then draw
+     the next uniformly from [base, 3*delay] (capped).  A herd of
+     clients started together — exactly the crash-restart case — spreads
+     out instead of hammering the socket on synchronized beats. *)
+  let connect_base = 0.05 in
+  let rec connect_backoff rng socket retries delay =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | () -> Ok fd
@@ -507,7 +514,11 @@ let submit_cmd =
       (match e with
        | Unix.ENOENT | Unix.ECONNREFUSED when retries > 0 ->
          Unix.sleepf delay;
-         connect_backoff socket (retries - 1) (delay *. 2.0)
+         let span = Float.max 0.0 ((delay *. 3.0) -. connect_base) in
+         let next =
+           Float.min 1.0 (connect_base +. (Util.Rng.float rng *. span))
+         in
+         connect_backoff rng socket (retries - 1) next
        | _ ->
          Error
            (`Msg
@@ -528,7 +539,8 @@ let submit_cmd =
         in
         loop []
     in
-    match connect_backoff socket connect_retries 0.05 with
+    let rng = Util.Rng.create ~seed:(Unix.getpid ()) in
+    match connect_backoff rng socket connect_retries connect_base with
     | Error _ as e -> e
     | Ok fd ->
       let oc = Unix.out_channel_of_descr fd in
@@ -585,6 +597,122 @@ let vnodes_arg =
   Arg.(value & opt int 64
        & info [ "vnodes" ] ~doc:"Virtual nodes per shard on the hash ring.")
 
+let health_interval_arg =
+  Arg.(value & opt float 0.25
+       & info [ "health-interval" ] ~doc:"Seconds between shard health checks.")
+
+let down_after_arg =
+  Arg.(value & opt float 2.0
+       & info [ "down-after" ]
+           ~doc:"Declare an idle shard dead after a ping goes unanswered this long.")
+
+(* The router's resilience knobs, shared by route and loadgen.  Collected
+   into one record so both actions take a single validated argument. *)
+type resilience = {
+  r_fault : Fault.Plan.t option;
+  r_hedge_quantile : float;
+  r_hedge_floor : float;
+  r_breaker : Cluster.Breaker.config;
+  r_stuck_after : float;
+  r_revive : bool;
+  r_metrics_file : string option;
+}
+
+let resilience_term =
+  let fault_plan =
+    Arg.(value & opt (some string) None
+         & info [ "fault-plan" ] ~docv:"FILE"
+             ~doc:"Inject seeded network/process chaos on the shard wires from \
+                   this plan file: sites $(b,net.<sid>) draw delay, drop, dup, \
+                   reorder and one-way partitions; $(b,proc.<sid>) draws \
+                   slow-shard stalls and crash-restarts (see Fault.Plan).")
+  in
+  let hedge_quantile =
+    Arg.(value & opt float 0.0
+         & info [ "hedge-quantile" ] ~docv:"Q"
+             ~doc:"Hedge an in-flight job once it outlives twice this per-shard \
+                   latency quantile (e.g. 0.95): re-issue it to the next ring \
+                   owner, first answer wins, the loser is cancelled.  0 disables.")
+  in
+  let hedge_floor =
+    Arg.(value & opt float 0.01
+         & info [ "hedge-floor" ] ~docv:"S"
+             ~doc:"Never hedge a job that has been in flight for less than this \
+                   many seconds.")
+  in
+  let breaker_failures =
+    Arg.(value & opt int 4
+         & info [ "breaker-failures" ] ~docv:"N"
+             ~doc:"Consecutive failures that trip a shard's circuit breaker open.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 1.0
+         & info [ "breaker-cooldown" ] ~docv:"S"
+             ~doc:"Seconds an open breaker waits before admitting one half-open \
+                   trial request.")
+  in
+  let breaker_rtt =
+    Arg.(value & opt (some float) None
+         & info [ "breaker-rtt-limit" ] ~docv:"S"
+             ~doc:"Count a shard reply or probe slower than this as a breaker \
+                   failure (default: no limit).")
+  in
+  let breaker_queue =
+    Arg.(value & opt int 0
+         & info [ "breaker-queue-limit" ] ~docv:"N"
+             ~doc:"Open a shard's breaker while its queue is deeper than this; \
+                   0 disables.")
+  in
+  let stuck_after =
+    Arg.(value & opt float 1.0
+         & info [ "stuck-after" ] ~docv:"S"
+             ~doc:"Sync-ping a silent shard after this many seconds in flight to \
+                   detect dropped requests and re-send them.")
+  in
+  let revive =
+    Arg.(value & flag
+         & info [ "revive" ]
+             ~doc:"Re-adopt crash-restarted shards: respawn dead spawned \
+                   children and re-connect returning socket backends instead of \
+                   leaving them down.")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the router's Prometheus exposition here (atomic \
+                   rename), twice a second and at shutdown.")
+  in
+  let combine fault_plan hq hf bf bc brtt bq sa revive metrics_file =
+    if hq < 0.0 || hq >= 1.0 then Error (`Msg "--hedge-quantile must be in [0,1)")
+    else if hf < 0.0 then Error (`Msg "--hedge-floor must be non-negative")
+    else if bf < 1 then Error (`Msg "--breaker-failures must be at least 1")
+    else if bc <= 0.0 then Error (`Msg "--breaker-cooldown must be positive")
+    else if (match brtt with Some r -> r <= 0.0 | None -> false) then
+      Error (`Msg "--breaker-rtt-limit must be positive")
+    else if bq < 0 then Error (`Msg "--breaker-queue-limit must be non-negative")
+    else if sa <= 0.0 then Error (`Msg "--stuck-after must be positive")
+    else
+      match load_fault_plan fault_plan with
+      | Error _ as e -> e
+      | Ok fault ->
+        Ok { r_fault = fault; r_hedge_quantile = hq; r_hedge_floor = hf;
+             r_breaker =
+               { Cluster.Breaker.failures = bf; cooldown = bc;
+                 rtt_limit = Option.value ~default:infinity brtt;
+                 queue_limit = bq };
+             r_stuck_after = sa; r_revive = revive; r_metrics_file = metrics_file }
+  in
+  Term.(const combine $ fault_plan $ hedge_quantile $ hedge_floor
+        $ breaker_failures $ breaker_cooldown $ breaker_rtt $ breaker_queue
+        $ stuck_after $ revive $ metrics_file)
+
+let make_router ~res ?(vnodes = 64) ~batch_max ~steal_min ~placement ~shards () =
+  Cluster.Router.create ~vnodes ~batch_max ~steal_min ~placement
+    ?fault:res.r_fault ~hedge_quantile:res.r_hedge_quantile
+    ~hedge_floor:res.r_hedge_floor ~breaker:res.r_breaker
+    ~stuck_after:res.r_stuck_after ~revive:res.r_revive
+    ?metrics_file:res.r_metrics_file ~shards ()
+
 (* Spawned shards are children of this very binary serving the wire
    protocol on stdio — no sockets to coordinate, and a SIGKILLed child
    is indistinguishable from a crashed remote shard. *)
@@ -630,25 +758,22 @@ let route_cmd =
              ~doc:"Per-shard log-structured store root for spawned shards (shard \
                    id is appended).  Exclusive with --cache-dir.")
   in
-  let health_interval =
-    Arg.(value & opt float 0.25
-         & info [ "health-interval" ] ~doc:"Seconds between shard health checks.")
-  in
-  let down_after =
-    Arg.(value & opt float 2.0
-         & info [ "down-after" ]
-             ~doc:"Declare an idle shard dead after a ping goes unanswered this long.")
-  in
   let action socket backends stdio shards workers queue cache_dir store_dir
-      placement vnodes batch_max steal_min health_interval down_after =
+      placement vnodes batch_max steal_min health_interval down_after res =
     if shards < 1 then Error (`Msg "--shards must be at least 1")
     else if workers < 1 then Error (`Msg "--shard-workers must be at least 1")
     else if queue < 1 then Error (`Msg "--shard-queue must be at least 1")
     else if batch_max < 1 then Error (`Msg "--batch-max must be at least 1")
     else if steal_min < 0 then Error (`Msg "--steal-min must be non-negative")
+    else if health_interval <= 0.0 then
+      Error (`Msg "--health-interval must be positive")
+    else if down_after <= 0.0 then Error (`Msg "--down-after must be positive")
     else if cache_dir <> None && store_dir <> None then
       Error (`Msg "--cache-dir and --store-dir are exclusive")
     else begin
+      match res with
+      | Error _ as e -> e
+      | Ok res ->
       let shard_list =
         match backends with
         | [] -> spawned_shards ~shards ~workers ~queue ~cache_dir ~store_dir
@@ -658,7 +783,7 @@ let route_cmd =
             paths
       in
       let router =
-        Cluster.Router.create ~vnodes ~batch_max ~steal_min ~placement
+        make_router ~res ~vnodes ~batch_max ~steal_min ~placement
           ~shards:shard_list ()
       in
       let health =
@@ -685,8 +810,8 @@ let route_cmd =
             (const action $ socket $ backends $ stdio $ shards_arg
              $ shard_workers_arg $ shard_queue_arg $ cache_dir $ store_dir
              $ placement_arg
-             $ vnodes_arg $ batch_max_arg $ steal_min_arg $ health_interval
-             $ down_after))
+             $ vnodes_arg $ batch_max_arg $ steal_min_arg $ health_interval_arg
+             $ down_after_arg $ resilience_term))
   in
   Cmd.v
     (Cmd.info "route"
@@ -743,32 +868,56 @@ let loadgen_cmd =
          & info [ "kill-shard" ] ~docv:"ID"
              ~doc:"Which shard --kill-after kills (default: the last one).")
   in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ]
+             ~doc:"Per-shard log-structured store root for spawned shards (shard \
+                   id is appended) — results survive a crash-restart, so a \
+                   revived shard re-serves them cached.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Attach a (deadline $(docv)) budget to every job; the budget \
+                   propagates across hops and an overrun earns the typed \
+                   timeout reply (tallied separately from failures).")
+  in
   let action socket shards workers queue placement batch_max steal_min requests
       clients universe theta seed open_rate workload size json kill_after
-      kill_shard =
+      kill_shard store_dir deadline health_interval down_after res =
     if requests < 1 then Error (`Msg "--requests must be at least 1")
     else if clients < 1 then Error (`Msg "--clients must be at least 1")
     else if universe < 1 then Error (`Msg "--universe must be at least 1")
     else if theta < 0.0 then Error (`Msg "--theta must be non-negative")
+    else if (match deadline with Some d -> d <= 0.0 | None -> false) then
+      Error (`Msg "--deadline must be positive")
+    else if health_interval <= 0.0 then
+      Error (`Msg "--health-interval must be positive")
+    else if down_after <= 0.0 then Error (`Msg "--down-after must be positive")
     else if not (List.mem workload workload_names) then
       Error (`Msg (Printf.sprintf "unknown workload %s (have: %s)" workload
                      (String.concat ", " workload_names)))
     else begin
+      match res with
+      | Error _ as e -> e
+      | Ok res ->
       let shard_list =
         match socket with
         | Some path -> [ ("remote", Cluster.Router.Socket path) ]
         | None ->
-          spawned_shards ~shards ~workers ~queue ~cache_dir:None ~store_dir:None
+          spawned_shards ~shards ~workers ~queue ~cache_dir:None ~store_dir
       in
       let router =
-        Cluster.Router.create ~batch_max ~steal_min ~placement ~shards:shard_list ()
+        make_router ~res ~batch_max ~steal_min ~placement ~shards:shard_list ()
       in
-      let health = Cluster.Health.start router in
+      let health =
+        Cluster.Health.start ~interval:health_interval ~down_after router
+      in
       let cfg =
         { Cluster.Loadgen.requests; clients; universe; theta; seed;
           mode = (match open_rate with None -> Cluster.Loadgen.Closed
                                      | Some r -> Cluster.Loadgen.Open r);
-          workload; size }
+          workload; size; deadline }
       in
       let after =
         Option.map
@@ -808,7 +957,9 @@ let loadgen_cmd =
             (const action $ socket $ shards_arg $ shard_workers_arg
              $ shard_queue_arg $ placement_arg $ batch_max_arg $ steal_min_arg
              $ requests $ clients $ universe $ theta $ seed $ open_rate
-             $ workload $ size $ json $ kill_after $ kill_shard))
+             $ workload $ size $ json $ kill_after $ kill_shard $ store_dir
+             $ deadline $ health_interval_arg $ down_after_arg
+             $ resilience_term))
   in
   Cmd.v
     (Cmd.info "loadgen"

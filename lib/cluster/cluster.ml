@@ -8,3 +8,4 @@ module Ring = Ring
 module Router = Router
 module Health = Health
 module Loadgen = Loadgen
+module Breaker = Breaker

@@ -11,11 +11,12 @@ type config = {
   mode : mode;
   workload : string;
   size : int;
+  deadline : float option;   (* per-job (deadline S) budget *)
 }
 
 let default =
   { requests = 512; clients = 4; universe = 64; theta = 0.99; seed = 1;
-    mode = Closed; workload = "slang"; size = 256 }
+    mode = Closed; workload = "slang"; size = 256; deadline = None }
 
 type report = {
   wall_seconds : float;
@@ -24,6 +25,8 @@ type report = {
   cached : int;
   overloaded : int;
   shard_down : int;
+  timeouts : int;     (* typed deadline replies: expected under chaos, not failures *)
+  cancelled : int;
   failed : int;
   throughput : float;
   mean_ms : float;
@@ -84,6 +87,8 @@ type tally = {
   mutable t_cached : int;
   mutable t_overloaded : int;
   mutable t_shard_down : int;
+  mutable t_timeout : int;
+  mutable t_cancelled : int;
   mutable t_failed : int;
   mutable t_sum : float;
   shards : (string, int) Hashtbl.t;
@@ -91,7 +96,8 @@ type tally = {
 
 let tally () =
   { t_issued = 0; t_ok = 0; t_cached = 0; t_overloaded = 0; t_shard_down = 0;
-    t_failed = 0; t_sum = 0.0; shards = Hashtbl.create 8 }
+    t_timeout = 0; t_cancelled = 0; t_failed = 0; t_sum = 0.0;
+    shards = Hashtbl.create 8 }
 
 let classify ty reply dt =
   ty.t_issued <- ty.t_issued + 1;
@@ -104,6 +110,10 @@ let classify ty reply dt =
     ty.t_overloaded <- ty.t_overloaded + 1
   else if contains reply "\"status\":\"shard_down\"" then
     ty.t_shard_down <- ty.t_shard_down + 1
+  else if contains reply "\"status\":\"timeout\"" then
+    ty.t_timeout <- ty.t_timeout + 1
+  else if contains reply "\"status\":\"cancelled\"" then
+    ty.t_cancelled <- ty.t_cancelled + 1
   else ty.t_failed <- ty.t_failed + 1;
   match shard_of reply with
   | None -> ()
@@ -114,8 +124,13 @@ let classify ty reply dt =
 (* ---- the harness ---- *)
 
 let job_line cfg rank =
-  Printf.sprintf "(simulate (workload %s) (size %d) (seed %d))"
-    cfg.workload cfg.size rank
+  let deadline =
+    match cfg.deadline with
+    | Some d -> Printf.sprintf " (deadline %g)" d
+    | None -> ""
+  in
+  Printf.sprintf "(simulate (workload %s) (size %d) (seed %d)%s)"
+    cfg.workload cfg.size rank deadline
 
 let run ?after ~submit cfg =
   if cfg.requests < 1 then invalid_arg "Loadgen.run: requests < 1";
@@ -201,6 +216,8 @@ let run ?after ~submit cfg =
     cached = sum (fun ty -> ty.t_cached);
     overloaded = sum (fun ty -> ty.t_overloaded);
     shard_down = sum (fun ty -> ty.t_shard_down);
+    timeouts = sum (fun ty -> ty.t_timeout);
+    cancelled = sum (fun ty -> ty.t_cancelled);
     failed = sum (fun ty -> ty.t_failed);
     throughput = (if wall > 0.0 then float_of_int issued /. wall else 0.0);
     mean_ms =
@@ -223,8 +240,10 @@ let report_text r =
     (Printf.sprintf "requests   %d in %.2fs  (%.1f req/s)\n"
        r.issued r.wall_seconds r.throughput);
   Buffer.add_string b
-    (Printf.sprintf "status     ok %d (cached %d)  overloaded %d  shard_down %d  failed %d\n"
-       r.ok r.cached r.overloaded r.shard_down r.failed);
+    (Printf.sprintf
+       "status     ok %d (cached %d)  overloaded %d  shard_down %d  timeout %d  \
+        cancelled %d  failed %d\n"
+       r.ok r.cached r.overloaded r.shard_down r.timeouts r.cancelled r.failed);
   Buffer.add_string b
     (Printf.sprintf "latency ms mean %.3f  p50 %.3f  p99 %.3f  p999 %.3f\n"
        r.mean_ms r.p50_ms r.p99_ms r.p999_ms);
@@ -243,6 +262,8 @@ let report_json r =
       ("cached", Server.Json.Int r.cached);
       ("overloaded", Server.Json.Int r.overloaded);
       ("shard_down", Server.Json.Int r.shard_down);
+      ("timeouts", Server.Json.Int r.timeouts);
+      ("cancelled", Server.Json.Int r.cancelled);
       ("failed", Server.Json.Int r.failed);
       ("throughput", Server.Json.Float r.throughput);
       ("latency_ms",

@@ -32,10 +32,13 @@ type config = {
   mode : mode;
   workload : string;    (** built-in workload the jobs simulate *)
   size : int;           (** simulated memory size knob *)
+  deadline : float option;
+  (** attach a [(deadline S)] budget to every job; an overrun earns the
+      typed timeout reply, tallied in {!report.timeouts} *)
 }
 
 (** 512 requests, 4 clients, 64 configs, theta 0.99, seed 1, closed
-    loop, workload ["slang"], size 256. *)
+    loop, workload ["slang"], size 256, no deadline. *)
 val default : config
 
 type report = {
@@ -45,6 +48,8 @@ type report = {
   cached : int;         (** ok replies served from a shard result cache *)
   overloaded : int;
   shard_down : int;
+  timeouts : int;       (** typed deadline overruns — expected under chaos *)
+  cancelled : int;      (** typed cancellations *)
   failed : int;         (** every other non-ok status *)
   throughput : float;   (** completed requests / wall second *)
   mean_ms : float;

@@ -8,11 +8,24 @@ type config = {
   delay : float;
   delay_s : float;
   garbage : float;
+  net_delay : float;
+  net_delay_s : float;
+  net_drop : float;
+  net_dup : float;
+  net_reorder : float;
+  partition : float;
+  partition_s : float;
+  slow_shard : float;
+  slow_s : float;
+  crash_restart : float;
 }
 
 let default =
   { seed = 0; write_fail = 0.; torn_write = 0.; crash = 0.; delay = 0.;
-    delay_s = 0.01; garbage = 0. }
+    delay_s = 0.01; garbage = 0.;
+    net_delay = 0.; net_delay_s = 0.005; net_drop = 0.; net_dup = 0.;
+    net_reorder = 0.; partition = 0.; partition_s = 0.2;
+    slow_shard = 0.; slow_s = 0.05; crash_restart = 0. }
 
 exception Injected_crash of string
 
@@ -22,12 +35,22 @@ let () =
     | _ -> None)
 
 (* Kinds are indexed; names are the metric label values. *)
-let kind_names = [| "write_error"; "torn_write"; "crash"; "delay"; "garbage" |]
+let kind_names =
+  [| "write_error"; "torn_write"; "crash"; "delay"; "garbage";
+     "net_delay"; "net_drop"; "net_dup"; "net_reorder"; "partition";
+     "slow_shard"; "crash_restart" |]
 let k_write_error = 0
 let k_torn_write = 1
 let k_crash = 2
 let k_delay = 3
 let k_garbage = 4
+let k_net_delay = 5
+let k_net_drop = 6
+let k_net_dup = 7
+let k_net_reorder = 8
+let k_partition = 9
+let k_slow_shard = 10
+let k_crash_restart = 11
 
 type t = {
   cfg : config;
@@ -51,6 +74,21 @@ let create cfg =
     invalid_arg "Fault.Plan: write-fail + torn-write > 1";
   if cfg.crash +. cfg.delay > 1. then invalid_arg "Fault.Plan: crash + delay > 1";
   if cfg.delay_s < 0. then invalid_arg "Fault.Plan: delay seconds < 0";
+  check_prob "net-delay" cfg.net_delay;
+  check_prob "net-drop" cfg.net_drop;
+  check_prob "net-dup" cfg.net_dup;
+  check_prob "net-reorder" cfg.net_reorder;
+  check_prob "partition" cfg.partition;
+  check_prob "slow-shard" cfg.slow_shard;
+  check_prob "crash-restart" cfg.crash_restart;
+  if cfg.net_delay +. cfg.net_drop +. cfg.net_dup +. cfg.net_reorder
+     +. cfg.partition > 1.
+  then invalid_arg "Fault.Plan: net-delay + net-drop + net-dup + net-reorder + partition > 1";
+  if cfg.slow_shard +. cfg.crash_restart > 1. then
+    invalid_arg "Fault.Plan: slow-shard + crash-restart > 1";
+  if cfg.net_delay_s < 0. then invalid_arg "Fault.Plan: net-delay seconds < 0";
+  if cfg.partition_s < 0. then invalid_arg "Fault.Plan: partition seconds < 0";
+  if cfg.slow_s < 0. then invalid_arg "Fault.Plan: slow-shard seconds < 0";
   { cfg; lock = Mutex.create (); sites = Hashtbl.create 8;
     injected = Array.init (Array.length kind_names) (fun _ -> Atomic.make 0);
     metrics = None }
@@ -152,6 +190,61 @@ let on_job t ~site =
     else None
   end
 
+type net_fault =
+  | Net_delay of float
+  | Net_drop
+  | Net_dup
+  | Net_reorder
+  | Net_partition of float
+
+let on_net t ~site =
+  let c = t.cfg in
+  if c.net_delay <= 0. && c.net_drop <= 0. && c.net_dup <= 0.
+     && c.net_reorder <= 0. && c.partition <= 0.
+  then None
+  else begin
+    let n = next t site in
+    let u = u01 (draw t ~site ~n ~salt:0) in
+    let p1 = c.net_delay in
+    let p2 = p1 +. c.net_drop in
+    let p3 = p2 +. c.net_dup in
+    let p4 = p3 +. c.net_reorder in
+    let p5 = p4 +. c.partition in
+    if u < p1 then begin
+      note t k_net_delay;
+      Some (Net_delay (c.net_delay_s *. (0.5 +. u01 (draw t ~site ~n ~salt:1))))
+    end
+    else if u < p2 then begin note t k_net_drop; Some Net_drop end
+    else if u < p3 then begin note t k_net_dup; Some Net_dup end
+    else if u < p4 then begin note t k_net_reorder; Some Net_reorder end
+    else if u < p5 then begin
+      note t k_partition;
+      Some (Net_partition (c.partition_s *. (0.5 +. u01 (draw t ~site ~n ~salt:1))))
+    end
+    else None
+  end
+
+type shard_fault =
+  | Slow_shard of float
+  | Crash_restart
+
+let on_shard t ~site =
+  let c = t.cfg in
+  if c.slow_shard <= 0. && c.crash_restart <= 0. then None
+  else begin
+    let n = next t site in
+    let u = u01 (draw t ~site ~n ~salt:0) in
+    if u < c.slow_shard then begin
+      note t k_slow_shard;
+      Some (Slow_shard (c.slow_s *. (0.5 +. u01 (draw t ~site ~n ~salt:1))))
+    end
+    else if u < c.slow_shard +. c.crash_restart then begin
+      note t k_crash_restart;
+      Some Crash_restart
+    end
+    else None
+  end
+
 (* An oversized request big enough to trip any sane wire cap. *)
 let oversize_padding = 2 * 1024 * 1024
 
@@ -209,7 +302,14 @@ let to_sexp cfg =
       D.list [ D.sym "torn-write"; fnum cfg.torn_write ];
       D.list [ D.sym "crash"; fnum cfg.crash ];
       D.list [ D.sym "delay"; fnum cfg.delay; fnum cfg.delay_s ];
-      D.list [ D.sym "garbage"; fnum cfg.garbage ] ]
+      D.list [ D.sym "garbage"; fnum cfg.garbage ];
+      D.list [ D.sym "net-delay"; fnum cfg.net_delay; fnum cfg.net_delay_s ];
+      D.list [ D.sym "net-drop"; fnum cfg.net_drop ];
+      D.list [ D.sym "net-dup"; fnum cfg.net_dup ];
+      D.list [ D.sym "net-reorder"; fnum cfg.net_reorder ];
+      D.list [ D.sym "partition"; fnum cfg.partition; fnum cfg.partition_s ];
+      D.list [ D.sym "slow-shard"; fnum cfg.slow_shard; fnum cfg.slow_s ];
+      D.list [ D.sym "crash-restart"; fnum cfg.crash_restart ] ]
 
 exception Bad of string
 
@@ -249,6 +349,26 @@ let config_of_sexp d =
             | D.Cons (D.Sym "delay", D.Cons (p, D.Nil)) -> { cfg with delay = float_of p }
             | D.Cons (D.Sym "garbage", D.Cons (f, D.Nil)) ->
               { cfg with garbage = float_of f }
+            | D.Cons (D.Sym "net-delay", D.Cons (p, D.Cons (s, D.Nil))) ->
+              { cfg with net_delay = float_of p; net_delay_s = float_of s }
+            | D.Cons (D.Sym "net-delay", D.Cons (p, D.Nil)) ->
+              { cfg with net_delay = float_of p }
+            | D.Cons (D.Sym "net-drop", D.Cons (f, D.Nil)) ->
+              { cfg with net_drop = float_of f }
+            | D.Cons (D.Sym "net-dup", D.Cons (f, D.Nil)) ->
+              { cfg with net_dup = float_of f }
+            | D.Cons (D.Sym "net-reorder", D.Cons (f, D.Nil)) ->
+              { cfg with net_reorder = float_of f }
+            | D.Cons (D.Sym "partition", D.Cons (p, D.Cons (s, D.Nil))) ->
+              { cfg with partition = float_of p; partition_s = float_of s }
+            | D.Cons (D.Sym "partition", D.Cons (p, D.Nil)) ->
+              { cfg with partition = float_of p }
+            | D.Cons (D.Sym "slow-shard", D.Cons (p, D.Cons (s, D.Nil))) ->
+              { cfg with slow_shard = float_of p; slow_s = float_of s }
+            | D.Cons (D.Sym "slow-shard", D.Cons (p, D.Nil)) ->
+              { cfg with slow_shard = float_of p }
+            | D.Cons (D.Sym "crash-restart", D.Cons (f, D.Nil)) ->
+              { cfg with crash_restart = float_of f }
             | d -> bad "unknown fault-plan clause %s" (Sexp.to_string d))
          default clauses)
   with Bad msg -> Error msg

@@ -25,15 +25,29 @@ type config = {
   delay : float;        (** P(a worker thunk sleeps before running) *)
   delay_s : float;      (** mean-ish delay duration, seconds *)
   garbage : float;      (** P(a wire request line is garbled before parsing) *)
+  net_delay : float;    (** P(a routed message is delayed before sending) *)
+  net_delay_s : float;  (** mean-ish network delay, seconds *)
+  net_drop : float;     (** P(a routed message is silently dropped) *)
+  net_dup : float;      (** P(a routed message is delivered twice) *)
+  net_reorder : float;  (** P(a batch is delivered out of order) *)
+  partition : float;    (** P(a one-way partition opens toward a shard) *)
+  partition_s : float;  (** mean-ish partition duration, seconds *)
+  slow_shard : float;   (** P(a shard stalls — CPU-stall emulation) *)
+  slow_s : float;       (** mean-ish stall duration, seconds *)
+  crash_restart : float;(** P(a shard process is killed mid-job) *)
 }
 
-(** Seed 0, every probability 0, [delay_s = 0.01]. *)
+(** Seed 0, every probability 0, [delay_s = 0.01], [net_delay_s = 0.005],
+    [partition_s = 0.2], [slow_s = 0.05]. *)
 val default : config
 
 type t
 
-(** @raise Invalid_argument if a probability is outside [0,1], if
-    [write_fail +. torn_write > 1.], or [crash +. delay > 1.]. *)
+(** @raise Invalid_argument if a probability is outside [0,1], if a
+    mutually-exclusive group's probabilities sum past 1
+    ([write_fail + torn_write], [crash + delay],
+    [net_delay + net_drop + net_dup + net_reorder + partition],
+    [slow_shard + crash_restart]), or a duration is negative. *)
 val create : config -> t
 
 val config : t -> config
@@ -58,8 +72,27 @@ val on_job : t -> site:string -> job_fault option
     truncated, byte-flipped, or padded past any sane request size. *)
 val on_wire : t -> site:string -> string -> string option
 
+type net_fault =
+  | Net_delay of float     (** delay the message this many seconds *)
+  | Net_drop               (** swallow the message entirely *)
+  | Net_dup                (** deliver the message twice *)
+  | Net_reorder            (** deliver the batch's lines in reverse order *)
+  | Net_partition of float (** one-way partition toward the shard, seconds *)
+
+type shard_fault =
+  | Slow_shard of float    (** stall the shard this many seconds *)
+  | Crash_restart          (** kill the shard process mid-job *)
+
+(** One draw per routed send; sites are ["net.<sid>"]. *)
+val on_net : t -> site:string -> net_fault option
+
+(** One draw per dispatch; sites are ["proc.<sid>"]. *)
+val on_shard : t -> site:string -> shard_fault option
+
 (** Injections so far, by kind name
-    (["write_error"; "torn_write"; "crash"; "delay"; "garbage"]). *)
+    (["write_error"; "torn_write"; "crash"; "delay"; "garbage";
+      "net_delay"; "net_drop"; "net_dup"; "net_reorder"; "partition";
+      "slow_shard"; "crash_restart"]). *)
 val counts : t -> (string * int) list
 
 val total : t -> int
@@ -72,7 +105,10 @@ val attach : t -> Obs.Registry.t -> unit
 
     {v
     (fault-plan (seed 42) (write-fail 0.1) (torn-write 0.05)
-                (crash 0.1) (delay 0.05 0.002) (garbage 0.02))
+                (crash 0.1) (delay 0.05 0.002) (garbage 0.02)
+                (net-delay 0.1 0.005) (net-drop 0.05) (net-dup 0.05)
+                (net-reorder 0.05) (partition 0.02 0.2)
+                (slow-shard 0.05 0.05) (crash-restart 0.02))
     v} *)
 
 val to_sexp : config -> Sexp.Datum.t

@@ -15,6 +15,8 @@ type t = {
   spec : spec;
   timeout : float option;
   priority : int;
+  deadline : float option;
+  wire_id : int option;
 }
 
 (* ---- parsing ---- *)
@@ -92,12 +94,16 @@ let of_sexp d =
      | Workload _ | Trace_file _ -> ());
     let timeout = ref None in
     let priority = ref 0 in
+    let deadline = ref None in
+    let wire_id = ref None in
     let rest =
       List.filter
         (fun cl ->
            match cl with
            | ("timeout", [ f ]) -> timeout := Some (float_of f); false
            | ("priority", [ n ]) -> priority := int_of n; false
+           | ("deadline", [ f ]) -> deadline := Some (float_of f); false
+           | ("id", [ n ]) -> wire_id := Some (int_of n); false
            | cl -> source_of_clause cl = None)
         clauses
     in
@@ -112,7 +118,8 @@ let of_sexp d =
       | "knee", cls -> Knee (config_of_clauses cls)
       | verb, _ -> bad "unknown job verb %s" verb
     in
-    Ok { source; spec; timeout = !timeout; priority = !priority }
+    Ok { source; spec; timeout = !timeout; priority = !priority;
+         deadline = !deadline; wire_id = !wire_id }
   with Bad msg -> Error msg
 
 let parse line =
@@ -172,7 +179,19 @@ let to_sexp t =
     if t.priority = 0 then []
     else [ D.list [ D.sym "priority"; D.int t.priority ] ]
   in
-  D.list ((D.sym verb :: source_to_sexp t.source :: clauses) @ timeout @ priority)
+  let deadline =
+    match t.deadline with
+    | None -> []
+    | Some f -> [ D.list [ D.sym "deadline"; float_datum f ] ]
+  in
+  let wire_id =
+    match t.wire_id with
+    | None -> []
+    | Some n -> [ D.list [ D.sym "id"; D.int n ] ]
+  in
+  D.list
+    ((D.sym verb :: source_to_sexp t.source :: clauses)
+     @ timeout @ priority @ deadline @ wire_id)
 
 let describe t =
   let src = match t.source with Workload w -> w | Trace_file p -> p in

@@ -18,7 +18,12 @@
     {!Core.Simulator.default_config}.  [(timeout SECONDS)] bounds the
     job's execution in the scheduler; [(priority N)] (default 0) ranks
     the job for load shedding — under overload, lower-priority queued
-    jobs are shed first. *)
+    jobs are shed first.  [(deadline SECONDS)] is the job's remaining
+    end-to-end budget: each hop (client → router → shard) subtracts its
+    own queueing before forwarding, and a hop whose budget runs out
+    answers [status:"timeout"] without executing.  [(id N)] tags the
+    request so its reply carries ["id":N] — routers use it to match
+    pipelined replies and to target [(cancel N)]. *)
 
 type source =
   | Workload of string         (** a built-in workload, traced on demand *)
@@ -35,6 +40,10 @@ type t = {
   spec : spec;
   timeout : float option;      (** seconds; [None] = no limit *)
   priority : int;              (** shed rank; higher survives overload longer *)
+  deadline : float option;     (** remaining end-to-end budget, seconds;
+                                   decremented at each hop *)
+  wire_id : int option;        (** router-assigned request id, echoed in the
+                                   reply's ["id"] field for pipelined matching *)
 }
 
 val of_sexp : Sexp.Datum.t -> (t, string) result

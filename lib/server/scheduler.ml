@@ -17,9 +17,12 @@ type 'a ticket = {
   timeout : float option;
   priority : int;
   retries : int;                  (* additional attempts allowed after the first *)
+  abs_deadline : float;           (* absolute wall-clock cutoff covering queue
+                                     wait too; infinity when unset *)
   mutable attempts : int;         (* failed runs so far *)
   mutable deadline : float;       (* nan until the first run starts; then
                                      absolute, so retries never extend it *)
+  mutable last_backoff : float;   (* previous retry sleep, for decorrelated jitter *)
   mutable state : 'a state;
   mutable stop_requested : bool;
   mutable submitted_at : float;   (* Obs.Span clock; 0. when unmetered *)
@@ -51,6 +54,7 @@ type 'a t = {
   queue : 'a ticket Queue.t;
   capacity : int;
   backoff : float;                (* base retry backoff, seconds *)
+  jitter : Util.Rng.t option;     (* decorrelated-jitter stream; draws under lock *)
   metrics : metric_handles option;
   mutable shutting_down : bool;
   mutable live_queued : int;      (* Pending tickets in the queue, husks excluded *)
@@ -126,7 +130,9 @@ let run_job t tk =
      budget, they do not extend it *)
   if Float.is_nan tk.deadline then
     tk.deadline <-
-      (match tk.timeout with Some s -> started +. s | None -> infinity);
+      Float.min
+        (match tk.timeout with Some s -> started +. s | None -> infinity)
+        tk.abs_deadline;
   let past_deadline () = Unix.gettimeofday () > tk.deadline in
   let should_stop () = tk.stop_requested || past_deadline () in
   let span = match t.metrics with Some _ -> Some (Obs.Span.start ()) | None -> None in
@@ -157,9 +163,24 @@ let run_job t tk =
         finish_run ();
         finalize_locked t tk outcome)
   | Retry _ ->
-    (* exponential backoff, slept on the worker outside the lock; the
-       ticket stays accounted as in-flight while it waits *)
-    Unix.sleepf (t.backoff *. Float.pow 2. (float_of_int (tk.attempts - 1)));
+    (* backoff slept on the worker outside the lock; the ticket stays
+       accounted as in-flight while it waits.  With a jitter stream the
+       sleep is decorrelated — uniform in [base, 3 * previous sleep],
+       capped — so synchronized failures fan out instead of retrying in
+       lockstep; without one it is the legacy pure exponential. *)
+    let sleep_for =
+      match t.jitter with
+      | None -> t.backoff *. Float.pow 2. (float_of_int (tk.attempts - 1))
+      | Some rng ->
+        locked t (fun () ->
+            let cap = t.backoff *. 64. in
+            let hi = Float.max t.backoff (tk.last_backoff *. 3.) in
+            let u = Util.Rng.float rng in
+            let d = Float.min cap (t.backoff +. (u *. (hi -. t.backoff))) in
+            tk.last_backoff <- d;
+            d)
+    in
+    Unix.sleepf sleep_for;
     locked t (fun () ->
         if tk.stop_requested then begin
           finish_run ();
@@ -195,10 +216,12 @@ let rec worker_loop t =
                  Obs.Metric.Gauge.decr m.queue_depth;
                  Obs.Metric.Histogram.record m.queue_wait
                    (Float.max 0. (Obs.Span.now () -. tk.submitted_at)));
-             (* a requeued ticket whose deadline already passed is dead
-                on arrival: settle it without burning a run *)
-             if (not (Float.is_nan tk.deadline))
-                && Unix.gettimeofday () > tk.deadline
+             (* a ticket whose deadline already passed — run deadline on
+                a requeue, or absolute deadline burnt by queue wait — is
+                dead on arrival: settle it without burning a run *)
+             let now = Unix.gettimeofday () in
+             if ((not (Float.is_nan tk.deadline)) && now > tk.deadline)
+                || now > tk.abs_deadline
              then begin
                finalize_locked t tk Timed_out;
                Some None
@@ -230,13 +253,15 @@ let rec worker_loop t =
              finalize_locked t tk (Failed (Printexc.to_string e))));
     worker_loop t
 
-let create ?metrics ?(backoff = 0.01) ~workers ~capacity () =
+let create ?metrics ?(backoff = 0.01) ?jitter_seed ~workers ~capacity () =
   if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
   if backoff < 0. then invalid_arg "Scheduler.create: backoff < 0";
   let t =
     { lock = Mutex.create (); work_available = Condition.create ();
       job_finished = Condition.create (); queue = Queue.create (); capacity;
-      backoff; metrics = Option.map resolve_metrics metrics;
+      backoff;
+      jitter = Option.map (fun seed -> Util.Rng.create ~seed) jitter_seed;
+      metrics = Option.map resolve_metrics metrics;
       shutting_down = false; live_queued = 0; running = 0; completed = 0;
       rejected = 0; cancelled_jobs = 0; timed_out_jobs = 0; shed_jobs = 0;
       retried = 0; workers = [] }
@@ -245,7 +270,7 @@ let create ?metrics ?(backoff = 0.01) ~workers ~capacity () =
     List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?(priority = 0) ?timeout ?(retries = 0) job =
+let submit t ?(priority = 0) ?timeout ?(retries = 0) ?deadline job =
   if retries < 0 then invalid_arg "Scheduler.submit: retries < 0";
   locked t (fun () ->
       if t.shutting_down then Error `Shutdown
@@ -256,7 +281,9 @@ let submit t ?(priority = 0) ?timeout ?(retries = 0) job =
       end
       else begin
         let tk =
-          { job; timeout; priority; retries; attempts = 0; deadline = Float.nan;
+          { job; timeout; priority; retries;
+            abs_deadline = Option.value deadline ~default:infinity;
+            attempts = 0; deadline = Float.nan; last_backoff = 0.;
             state = Pending; stop_requested = false; submitted_at = 0. }
         in
         with_metrics t (fun m ->

@@ -33,10 +33,15 @@ type 'a ticket
 (** Raised (optionally) by a job that observes [should_stop () = true]. *)
 exception Stop
 
-(** [create ?metrics ?backoff ~workers ~capacity ()] spawns [workers]
-    domains (at least 1) over a queue holding at most [capacity] pending
-    jobs.  [backoff] is the base retry delay in seconds (default 0.01);
-    attempt [k]'s failure waits [backoff *. 2^(k-1)] before requeueing.
+(** [create ?metrics ?backoff ?jitter_seed ~workers ~capacity ()] spawns
+    [workers] domains (at least 1) over a queue holding at most
+    [capacity] pending jobs.  [backoff] is the base retry delay in
+    seconds (default 0.01); attempt [k]'s failure waits
+    [backoff *. 2^(k-1)] before requeueing.  With [jitter_seed], retry
+    sleeps instead use seeded decorrelated jitter — uniform in
+    [[backoff, 3 * previous sleep]] capped at [64 * backoff] — so
+    synchronized failures don't retry in lockstep; the stream is a pure
+    function of the seed, keeping schedules reproducible.
 
     With [metrics], the pool keeps a [small_sched_*] family in the
     registry: a queue-depth gauge (live pending jobs; returns to 0 when
@@ -47,16 +52,21 @@ exception Stop
     ticket as [Failed] and stays in the pool, so the in-flight
     accounting cannot leak. *)
 val create :
-  ?metrics:Obs.Registry.t -> ?backoff:float -> workers:int -> capacity:int ->
-  unit -> 'a t
+  ?metrics:Obs.Registry.t -> ?backoff:float -> ?jitter_seed:int ->
+  workers:int -> capacity:int -> unit -> 'a t
 
-(** [submit t ?priority ?timeout ?retries job] enqueues; [Error
-    `Queue_full] applies backpressure, [Error `Shutdown] after
+(** [submit t ?priority ?timeout ?retries ?deadline job] enqueues;
+    [Error `Queue_full] applies backpressure, [Error `Shutdown] after
     {!shutdown}.  [priority] (default 0) only matters to {!shed_lower};
     the queue itself stays FIFO.  [retries] (default 0) is the number of
-    re-runs allowed after a raising attempt. *)
+    re-runs allowed after a raising attempt.  [deadline] is an
+    {e absolute} [Unix.gettimeofday] cutoff that, unlike [timeout],
+    also covers queue wait: a job popped past it settles [Timed_out]
+    without running, and a running job's effective deadline is the
+    earlier of the two. *)
 val submit :
   'a t -> ?priority:int -> ?timeout:float -> ?retries:int ->
+  ?deadline:float ->
   (should_stop:(unit -> bool) -> 'a) ->
   ('a ticket, [ `Queue_full | `Shutdown ]) result
 

@@ -27,15 +27,18 @@ type t = {
   req_rejected : Obs.Metric.Counter.t;
   req_overloaded : Obs.Metric.Counter.t;
   req_shed : Obs.Metric.Counter.t;
+  cancels : Obs.Metric.Counter.t;
   metrics_file : string option;
   shard_id : string option;         (* announced in every reply when set *)
   lock : Mutex.t;
+  inflight_ids : (int, unit -> bool) Hashtbl.t;
+                                    (* wire id -> cancel thunk, while running *)
   mutable jobs_executed : int;      (* cache misses actually run *)
 }
 
 let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
     ?(max_request_bytes = 1 lsl 20) ?store_dir ?segment_bytes ?compact_ratio
-    ~workers ~queue_capacity () =
+    ?jitter_seed ~workers ~queue_capacity () =
   if retries < 0 then invalid_arg "Service.create: retries < 0";
   if max_request_bytes < 1 then invalid_arg "Service.create: max_request_bytes < 1";
   let metrics = Obs.Registry.create () in
@@ -44,7 +47,15 @@ let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
     Obs.Registry.counter metrics ~help:"job requests answered, by status"
       ~labels:[ ("status", status) ] "small_svc_requests_total"
   in
-  { scheduler = Scheduler.create ~metrics ~workers ~capacity:queue_capacity ();
+  (* retry jitter defaults to the fault plan's seed, so an injected
+     failure schedule replays with the same backoff schedule *)
+  let jitter_seed =
+    match jitter_seed with
+    | Some _ -> jitter_seed
+    | None -> Option.map (fun p -> (Fault.Plan.config p).Fault.Plan.seed) fault
+  in
+  { scheduler =
+      Scheduler.create ~metrics ?jitter_seed ~workers ~capacity:queue_capacity ();
     result_cache =
       Result_cache.create ~metrics ?dir:cache_dir ?fault ?store_dir
         ?segment_bytes ?compact_ratio ();
@@ -56,8 +67,11 @@ let create ?cache_dir ?metrics_file ?fault ?shard_id ?(retries = 0)
     req_ok = req "ok"; req_error = req "error"; req_timeout = req "timeout";
     req_cancelled = req "cancelled"; req_rejected = req "rejected";
     req_overloaded = req "overloaded"; req_shed = req "shed";
+    cancels =
+      Obs.Registry.counter metrics ~help:"wire (cancel N) requests honoured"
+        "small_svc_cancel_requests_total";
     metrics_file; shard_id;
-    lock = Mutex.create (); jobs_executed = 0 }
+    lock = Mutex.create (); inflight_ids = Hashtbl.create 64; jobs_executed = 0 }
 
 let cache t = t.result_cache
 let metrics t = t.metrics
@@ -111,9 +125,41 @@ let wrap_thunk t job ~should_stop =
    | None -> ());
   Exec.run ~should_stop job
 
+(* Wire-cancel plumbing: while a job with an [(id N)] clause is in the
+   scheduler, its id maps to a cancel thunk; a [(cancel N)] line read by
+   a pipelined session fires it, freeing the worker domain. *)
+let register_cancel t id cancel =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.inflight_ids id cancel;
+  Mutex.unlock t.lock
+
+let unregister_cancel t id =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.inflight_ids id;
+  Mutex.unlock t.lock
+
+let cancel_wire t id =
+  Mutex.lock t.lock;
+  let cancel = Hashtbl.find_opt t.inflight_ids id in
+  Mutex.unlock t.lock;
+  match cancel with
+  | None -> false
+  | Some f ->
+    Obs.Metric.Counter.incr t.cancels;
+    ignore (f ());
+    true
+
 let submit t (job : Job.t) =
   let now () = Unix.gettimeofday () in
   let started = now () in
+  match job.deadline with
+  | Some d when d <= 0. ->
+    (* the budget was exhausted upstream; answer without queueing *)
+    Ok
+      (fun () ->
+         observe_response t
+           { job; cached = false; elapsed = 0.; outcome = Error Timed_out })
+  | _ ->
   match
     let trace_digest = Exec.trace_digest job.source in
     Result_cache.key ~trace_digest ~job_digest:(Job.digest job)
@@ -141,9 +187,10 @@ let submit t (job : Job.t) =
              { job; cached = true; elapsed = now () -. started; outcome })
     | None ->
       let run = wrap_thunk t job in
+      let deadline = Option.map (fun d -> started +. d) job.deadline in
       let sched_submit () =
         Scheduler.submit t.scheduler ~priority:job.priority ?timeout:job.timeout
-          ~retries:t.retries run
+          ~retries:t.retries ?deadline run
       in
       (* Overload ladder, rung 1: a full queue first sheds a queued job
          of strictly lower priority to make room; only when nothing can
@@ -160,6 +207,10 @@ let submit t (job : Job.t) =
          Error `Overloaded
        | Error `Shutdown -> Error `Shutdown
        | Ok ticket ->
+         Option.iter
+           (fun id ->
+              register_cancel t id (fun () -> Scheduler.cancel t.scheduler ticket))
+           job.wire_id;
          Ok
            (fun () ->
               let outcome =
@@ -176,6 +227,7 @@ let submit t (job : Job.t) =
                 | Scheduler.Cancelled -> Error Cancelled
                 | Scheduler.Shed -> Error Shed
               in
+              Option.iter (unregister_cancel t) job.wire_id;
               observe_response t
                 { job; cached = false; elapsed = now () -. started; outcome }))
 
@@ -194,14 +246,23 @@ let shard_field t =
   | None -> []
   | Some id -> [ ("shard", Json.Str id) ]
 
+(* The id leads the reply so pipelined routers can match it without
+   parsing; routers strip it again before clients see the line, keeping
+   routed replies byte-identical to direct ones. *)
+let id_field (job : Job.t) =
+  match job.wire_id with
+  | None -> []
+  | Some n -> [ ("id", Json.Int n) ]
+
 let response_json t r =
   let base status rest =
     Json.Obj
-      (("status", Json.Str status)
-       :: ("job", Json.Str (Job.describe r.job))
-       :: ("cached", Json.Bool r.cached)
-       :: ("elapsed", Json.Float r.elapsed)
-       :: (rest @ shard_field t))
+      (id_field r.job
+       @ ("status", Json.Str status)
+         :: ("job", Json.Str (Job.describe r.job))
+         :: ("cached", Json.Bool r.cached)
+         :: ("elapsed", Json.Float r.elapsed)
+         :: (rest @ shard_field t))
   in
   match r.outcome with
   | Ok out -> base "ok" [ ("result", Exec.output_to_json out) ]
@@ -219,14 +280,17 @@ let error_line t msg =
 let overloaded_line t (job : Job.t) =
   Json.to_string
     (Json.Obj
-       (("status", Json.Str "overloaded")
-        :: ("job", Json.Str (Job.describe job))
-        :: ("error", Json.Str "queue full, nothing lower-priority to shed")
-        :: shard_field t))
+       (id_field job
+        @ ("status", Json.Str "overloaded")
+          :: ("job", Json.Str (Job.describe job))
+          :: ("error", Json.Str "queue full, nothing lower-priority to shed")
+          :: shard_field t))
 
-let pong_line t =
+let pong_line ?id t =
+  let id = match id with None -> [] | Some n -> [ ("id", Json.Int n) ] in
   Json.to_string
-    (Json.Obj (("status", Json.Str "ok") :: ("pong", Json.Bool true) :: shard_field t))
+    (Json.Obj
+       (id @ ("status", Json.Str "ok") :: ("pong", Json.Bool true) :: shard_field t))
 
 let stats_json t =
   let c = Result_cache.stats t.result_cache in
@@ -276,13 +340,12 @@ let stats_json t =
            ("retried", Json.Int s.Scheduler.retried) ]);
       ("metrics", Obs_json.registry_json t.metrics) ])
 
-let respond t job =
-  match run_job t job with
-  | Ok r -> Json.to_string (response_json t r)
-  | Error `Overloaded -> overloaded_line t job
-  | Error `Shutdown -> overloaded_line t job
+let respond_async t job =
+  match submit t job with
+  | Ok join -> fun () -> Json.to_string (response_json t (join ()))
+  | Error (`Overloaded | `Shutdown) -> fun () -> overloaded_line t job
 
-let handle_batch t datums =
+let handle_batch_async t datums =
   (* submit everything before awaiting anything: the pool runs the batch
      concurrently while responses keep request order *)
   let joins =
@@ -290,32 +353,52 @@ let handle_batch t datums =
       (fun d ->
          match Job.of_sexp d with
          | Error msg -> fun () -> error_line t msg
-         | Ok job ->
-           (match submit t job with
-            | Ok join -> fun () -> Json.to_string (response_json t (join ()))
-            | Error (`Overloaded | `Shutdown) -> fun () -> overloaded_line t job))
+         | Ok job -> respond_async t job)
       datums
   in
-  List.map (fun join -> join ()) joins
+  fun () -> List.map (fun join -> join ()) joins
 
-let handle_parsed t line =
+(* Parse and submit now; the returned thunk blocks until the replies are
+   ready.  Splitting the two halves is what lets a pipelined session read
+   a (cancel N) while the job it targets is still running. *)
+let handle_parsed_async t line =
+  let const rs = fun () -> rs in
   match Sexp.parse line with
-    | exception Sexp.Reader.Parse_error msg -> [ error_line t ("parse error: " ^ msg) ]
-    | Sexp.Datum.Cons (Sym "stats", Nil) -> [ Json.to_string (stats_json t) ]
+    | exception Sexp.Reader.Parse_error msg ->
+      const [ error_line t ("parse error: " ^ msg) ]
+    | Sexp.Datum.Cons (Sym "stats", Nil) ->
+      (* evaluated in reply order, so a stats line queued after a job
+         reports that job as completed, exactly as a serial session did *)
+      fun () -> [ Json.to_string (stats_json t) ]
     | Sexp.Datum.Cons (Sym "ping", Nil) ->
       (* the router's health probe: answered without touching the
          scheduler, the cache, or the registry snapshot *)
-      [ pong_line t ]
+      const [ pong_line t ]
+    | Sexp.Datum.Cons
+        (Sym "ping",
+         Cons (Cons (Sym "id", Cons (Int n, Nil)), Nil)) ->
+      (* an identified ping doubles as a pipeline flush marker: its pong
+         proves every earlier request on this session was either
+         answered or never arrived *)
+      const [ pong_line ~id:n t ]
+    | Sexp.Datum.Cons (Sym "cancel", Cons (Int n, Nil)) ->
+      (* fire-and-forget: no reply line of its own — the cancelled job
+         still answers (status cancelled) in its original slot, so the
+         session's reply ordering is undisturbed *)
+      ignore (cancel_wire t n);
+      const []
     | Sexp.Datum.Cons (Sym "batch", rest) when Sexp.Datum.is_list rest ->
-      handle_batch t (Sexp.Datum.to_list rest)
+      handle_batch_async t (Sexp.Datum.to_list rest)
     | d ->
       (match Job.of_sexp d with
-       | Ok job -> [ respond t job ]
-       | Error msg -> [ error_line t msg ])
+       | Ok job ->
+         let join = respond_async t job in
+         fun () -> [ join () ]
+       | Error msg -> const [ error_line t msg ])
 
-let handle_line t line =
+let handle_line_async t line =
   let line = String.trim line in
-  if line = "" then []
+  if line = "" then fun () -> []
   else begin
     (* wire fault injection garbles the request BEFORE any parsing, so
        the whole input path is exercised: truncated and byte-flipped
@@ -326,31 +409,85 @@ let handle_line t line =
       | Some garbled -> garbled
       | None -> line
     in
-    let responses =
-      if String.length line > t.max_request_bytes then
+    if String.length line > t.max_request_bytes then
+      fun () ->
         [ error_line t
             (Printf.sprintf "request too large (%d bytes, cap %d)"
                (String.length line) t.max_request_bytes) ]
-      else handle_parsed t line
-    in
-    (* refresh the exposition file after every handled request, so an
-       external scraper always sees the latest counters *)
-    write_metrics_file t;
-    responses
+    else handle_parsed_async t line
   end
 
+let handle_line t line =
+  let responses = handle_line_async t line () in
+  (* refresh the exposition file after every handled request, so an
+     external scraper always sees the latest counters *)
+  if String.trim line <> "" then write_metrics_file t;
+  responses
+
+(* How many submitted-but-unanswered requests a session may pipeline
+   before the reader blocks; bounds memory without stalling routers. *)
+let pipeline_depth = 128
+
 let serve_channels t ic oc =
+  (* Pipelined session: the reader half parses and submits, a writer
+     domain joins tickets and writes replies in request order.  The wire
+     contract — one ordered reply stream per session — is unchanged, but
+     control lines ((cancel N), identified pings) are now read while
+     earlier jobs are still running. *)
+  let pending : (unit -> string list) Queue.t = Queue.create () in
+  let pm = Mutex.create () in
+  let pcv = Condition.create () in
+  let done_reading = ref false in
+  let write_failed = ref false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          Mutex.lock pm;
+          while Queue.is_empty pending && not !done_reading do
+            Condition.wait pcv pm
+          done;
+          match Queue.take_opt pending with
+          | None -> Mutex.unlock pm         (* done_reading and drained *)
+          | Some join ->
+            Condition.broadcast pcv;        (* reader may be depth-blocked *)
+            Mutex.unlock pm;
+            let replies = join () in        (* blocks until the job settles *)
+            (* joins still run after a write failure so every scheduler
+               ticket is observed; only the writes are skipped *)
+            if not !write_failed then
+              (try
+                 List.iter
+                   (fun r -> output_string oc r; output_char oc '\n')
+                   replies;
+                 flush oc
+               with Sys_error _ -> write_failed := true);
+            write_metrics_file t;
+            loop ()
+        in
+        loop ())
+  in
   let quit = ref false in
   (try
      while not !quit do
        let line = input_line ic in
        if String.trim line = "(quit)" then quit := true
-       else
-         List.iter
-           (fun resp -> output_string oc resp; output_char oc '\n'; flush oc)
-           (handle_line t line)
+       else begin
+         let join = handle_line_async t line in
+         Mutex.lock pm;
+         while Queue.length pending >= pipeline_depth do
+           Condition.wait pcv pm
+         done;
+         Queue.add join pending;
+         Condition.broadcast pcv;
+         Mutex.unlock pm
+       end
      done
    with End_of_file -> ());
+  Mutex.lock pm;
+  done_reading := true;
+  Condition.broadcast pcv;
+  Mutex.unlock pm;
+  Domain.join writer;
   !quit
 
 (* A killed server leaves its socket file behind and a naive bind then
@@ -375,15 +512,47 @@ let remove_stale_socket path =
       failwith (Printf.sprintf "%s: a server is already listening here" path)
     else (try Unix.unlink path with Unix.Unix_error _ -> ())
 
+(* Bind via a temp name and rename over the target: the path atomically
+   flips from the stale socket to the live one, so a restarting shard
+   never leaves a window where the path is missing (clients ENOENT) or
+   where two distinct endpoints answer (routers double-counting).  A
+   live listener is still refused first. *)
+let bind_socket_replacing sock path =
+  (match Unix.lstat path with
+   | exception Unix.Unix_error (ENOENT, _, _) -> ()
+   | { Unix.st_kind; _ } when st_kind <> Unix.S_SOCK ->
+     failwith (Printf.sprintf "%s: exists and is not a socket" path)
+   | _ ->
+     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let live =
+       match Unix.connect fd (Unix.ADDR_UNIX path) with
+       | () -> true
+       | exception Unix.Unix_error _ -> false
+     in
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     if live then
+       failwith (Printf.sprintf "%s: a server is already listening here" path));
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX tmp);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+    (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+    raise e
+
 let serve_socket t ~path =
-  remove_stale_socket path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* only unlink what we actually bound: a refused path (regular file, a
+     live server) must be left exactly as found *)
+  let bound = ref false in
   Fun.protect
     ~finally:(fun () ->
         (try Unix.close sock with Unix.Unix_error _ -> ());
-        try Unix.unlink path with Unix.Unix_error _ -> ())
+        if !bound then try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
-       Unix.bind sock (Unix.ADDR_UNIX path);
+       bind_socket_replacing sock path;
+       bound := true;
        Unix.listen sock 16;
        let quit = ref false in
        while not !quit do

@@ -11,7 +11,22 @@
     - [(stats)] — service counters (cache hits/misses, scheduler state);
     - [(ping)] — health probe, answered [{"status":"ok","pong":true}]
       without touching the scheduler, cache, or registry;
+    - [(ping (id N))] — identified probe; the pong echoes ["id":N].
+      Because replies keep request order, an identified pong doubles as
+      a pipeline flush marker: receiving it proves every earlier request
+      on the session was either answered or never arrived;
+    - [(cancel N)] — cancels the in-flight job whose [(id N)] matches.
+      Fire-and-forget: no reply line of its own; the cancelled job still
+      answers ([status:"cancelled"]) in its original slot;
     - [(quit)] — ends the session (and a socket server's accept loop).
+
+    Sessions are pipelined: a reader submits requests as they arrive
+    while a writer domain streams replies in request order, so control
+    lines are acted on while earlier jobs still run.  A job carrying
+    [(deadline S)] must finish within [S] seconds of arrival {e
+    including} queue wait; an exhausted budget answers
+    [status:"timeout"], and a job arriving with [S <= 0] is answered
+    without queueing at all.
 
     Result lines:
     {v
@@ -75,6 +90,7 @@ val create :
   ?cache_dir:string -> ?metrics_file:string -> ?fault:Fault.Plan.t ->
   ?shard_id:string -> ?retries:int -> ?max_request_bytes:int ->
   ?store_dir:string -> ?segment_bytes:int -> ?compact_ratio:float ->
+  ?jitter_seed:int ->
   workers:int -> queue_capacity:int -> unit -> t
 
 (** Cache lookup, then submit-and-await.  [Error `Overloaded] means the
@@ -90,6 +106,15 @@ val submit : t -> Job.t -> (unit -> response, [ `Overloaded | `Shutdown ]) resul
     an error line. *)
 val handle_line : t -> string -> string list
 
+(** The pipelined split of {!handle_line}: parsing and submission happen
+    now, the returned thunk blocks until the replies are ready.  This is
+    what lets a session act on [(cancel N)] mid-job. *)
+val handle_line_async : t -> string -> unit -> string list
+
+(** [cancel_wire t id] cancels the in-flight job registered under wire
+    id [id]; [false] if no such job is running. *)
+val cancel_wire : t -> int -> bool
+
 (** Serves until EOF or [(quit)]; returns [true] iff [(quit)] was seen.
     Responses are flushed per line. *)
 val serve_channels : t -> in_channel -> out_channel -> bool
@@ -100,9 +125,16 @@ val serve_channels : t -> in_channel -> out_channel -> bool
     clobbered; a missing file is fine. *)
 val remove_stale_socket : string -> unit
 
-(** Binds a Unix domain socket at [path] (removing a stale file, see
-    {!remove_stale_socket}) and serves connections sequentially until a
-    client sends [(quit)]. *)
+(** [bind_socket_replacing sock path] binds [sock] under a temp name and
+    renames it over [path]: the path flips atomically from any stale
+    socket to the live one, so a restarting shard never leaves a window
+    where the path is missing or two endpoints answer.  A live listener
+    at [path] raises [Failure] first. *)
+val bind_socket_replacing : Unix.file_descr -> string -> unit
+
+(** Binds a Unix domain socket at [path] (atomically replacing a stale
+    file, see {!bind_socket_replacing}) and serves connections
+    sequentially until a client sends [(quit)]. *)
 val serve_socket : t -> path:string -> unit
 
 val cache : t -> Result_cache.t

@@ -26,8 +26,8 @@ let temp_dir prefix =
 (* ---- the plan itself ---- *)
 
 let mixed_cfg seed =
-  { P.seed; write_fail = 0.2; torn_write = 0.15; crash = 0.2; delay = 0.2;
-    delay_s = 0.001; garbage = 0.4 }
+  { P.default with seed; write_fail = 0.2; torn_write = 0.15; crash = 0.2;
+    delay = 0.2; delay_s = 0.001; garbage = 0.4 }
 
 let write_seq plan site n =
   List.init n (fun _ ->
@@ -350,7 +350,7 @@ let sim_job ?(priority = 0) seed =
   { Server.Job.source = Server.Job.Trace_file (Lazy.force saved_trace);
     spec =
       Server.Job.Simulate { Core.Simulator.default_config with table_size = 64; seed };
-    timeout = None; priority }
+    timeout = None; priority; deadline = None; wire_id = None }
 
 let test_wire_garbage_never_escapes () =
   let plan = P.create { P.default with seed = 17; garbage = 1.0 } in

@@ -283,8 +283,8 @@ let test_stats_shape () =
            "small_cache_write_errors_total"; "small_jobs_retried_total";
            "small_sched_inflight"; "small_sched_jobs_total";
            "small_sched_queue_depth"; "small_sched_queue_wait_seconds";
-           "small_sched_run_seconds"; "small_svc_request_seconds";
-           "small_svc_requests_total" ]
+           "small_sched_run_seconds"; "small_svc_cancel_requests_total";
+           "small_svc_request_seconds"; "small_svc_requests_total" ]
          (List.map fst families)
      | _ -> Alcotest.fail "metrics must be an object")
   | _ -> Alcotest.fail "(stats) must be an object"

@@ -1,0 +1,516 @@
+(* Tests for the cluster resilience layer: the seeded chaos battery
+   (network delay/drop/dup/reorder/partition plus slow-shard and
+   crash-restart process faults) checked against a fault-free oracle,
+   deadline propagation and router-side expiry, wire cancellation,
+   hedged execution, circuit-breaker state, shard death mid-flight, the
+   load-harness timeout accounting, and socket-shard revival.
+
+   The chaos invariant, from the fault model: under any seeded plan,
+   every submitted job gets exactly one reply; an [ok] reply is
+   byte-identical to the fault-free run (modulo the answering shard,
+   wall-clock, and cache flags); every other reply is one of the typed
+   degradations.  No job is ever acked-and-lost. *)
+
+module Router = Cluster.Router
+module Breaker = Cluster.Breaker
+module LG = Cluster.Loadgen
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- reply normalisation (see test_routing.ml) ---- *)
+
+let strip name line =
+  let marker = Printf.sprintf ",\"%s\":" name in
+  let mn = String.length marker in
+  let rec find i =
+    if i + mn > String.length line then line
+    else if String.sub line i mn = marker then begin
+      let j = ref (i + mn) in
+      if !j < String.length line && line.[!j] = '"' then begin
+        incr j;
+        while !j < String.length line && line.[!j] <> '"' do incr j done;
+        incr j
+      end
+      else
+        while !j < String.length line && line.[!j] <> ',' && line.[!j] <> '}' do
+          incr j
+        done;
+      String.sub line 0 i ^ String.sub line !j (String.length line - !j)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Fields that legitimately differ between a faulted routed run and the
+   clean direct one: the answering shard, wall-clock, and whether the
+   result came from a cache (a re-run or hedge may warm it anywhere). *)
+let normalise line =
+  let decache s =
+    let marker = "\"cached\":true" in
+    let mn = String.length marker in
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if !i + mn <= String.length s && String.sub s !i mn = marker then begin
+        Buffer.add_string b "\"cached\":false";
+        i := !i + mn
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  decache (strip "elapsed" (strip "shard" line))
+
+let member path json =
+  List.fold_left
+    (fun acc name ->
+       match acc with
+       | Some j -> Server.Json.member name j
+       | None -> None)
+    (Some json) path
+
+let int_at path json =
+  match member path json with
+  | Some (Server.Json.Int n) -> n
+  | _ -> Alcotest.fail ("missing int field " ^ String.concat "." path)
+
+(* ---- in-process shards ---- *)
+
+let in_process_shard ?fault sid =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let svc =
+    Server.Service.create ?fault ~shard_id:sid ~workers:2 ~queue_capacity:32 ()
+  in
+  let d =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr b in
+        let oc = Unix.out_channel_of_descr (Unix.dup b) in
+        ignore (Server.Service.serve_channels svc ic oc);
+        Server.Service.shutdown svc;
+        (try close_out oc with Sys_error _ -> ());
+        (try close_in ic with Sys_error _ -> ()))
+  in
+  let ic = Unix.in_channel_of_descr a in
+  let oc = Unix.out_channel_of_descr (Unix.dup a) in
+  ((sid, Router.Channels (ic, oc)), d)
+
+let with_router ?(n = 2) ?placement ?steal_min ?batch_max ?fault
+    ?hedge_quantile ?hedge_floor ?breaker ?stuck_after ?svc_fault f =
+  let shards, domains =
+    List.split
+      (List.init n (fun i -> in_process_shard ?fault:svc_fault (Printf.sprintf "s%d" i)))
+  in
+  let t =
+    Router.create ?placement ?steal_min ?batch_max ?fault ?hedge_quantile
+      ?hedge_floor ?breaker ?stuck_after ~shards ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Router.shutdown t;
+        List.iter Domain.join domains)
+    (fun () -> f t)
+
+(* ---- jobs and the fault-free oracle ---- *)
+
+let saved_synth_trace =
+  lazy
+    (let path = Filename.temp_file "resilience" ".smtb" in
+     Trace.Io.save ~format:Trace.Io.Binary path
+       (Trace.Synth.generate { Trace.Synth.default with length = 3000 });
+     path)
+
+let job_line ?deadline ?id seed =
+  let extra =
+    (match deadline with
+     | Some d -> Printf.sprintf " (deadline %g)" d
+     | None -> "")
+    ^ (match id with Some n -> Printf.sprintf " (id %d)" n | None -> "")
+  in
+  Printf.sprintf "(simulate (trace-file \"%s\") (size 64) (seed %d)%s)"
+    (Lazy.force saved_synth_trace) seed extra
+
+(* The oracle: each seed's reply from a clean single-process service,
+   normalised.  Computed once; chaos runs must reproduce these bytes. *)
+let oracle =
+  lazy
+    (let svc = Server.Service.create ~workers:2 ~queue_capacity:32 () in
+     Fun.protect
+       ~finally:(fun () -> Server.Service.shutdown svc)
+       (fun () ->
+          let tbl = Hashtbl.create 64 in
+          for seed = 0 to 63 do
+            match Server.Service.handle_line svc (job_line seed) with
+            | [ reply ] -> Hashtbl.replace tbl seed (normalise reply)
+            | _ -> Alcotest.fail "oracle: one reply expected"
+          done;
+          tbl))
+
+let expect_seed seed = Hashtbl.find (Lazy.force oracle) seed
+
+let typed_statuses =
+  [ "\"status\":\"overloaded\""; "\"status\":\"shard_down\"";
+    "\"status\":\"timeout\""; "\"status\":\"cancelled\"" ]
+
+let check_reply ~what seed reply =
+  if contains reply "\"status\":\"ok\"" then
+    Alcotest.(check string)
+      (Printf.sprintf "%s: ok reply for seed %d matches the oracle" what seed)
+      (expect_seed seed) (normalise reply)
+  else
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: non-ok reply for seed %d is typed (%s)" what seed reply)
+      true
+      (List.exists (contains reply) typed_statuses)
+
+(* ---- the chaos battery ---- *)
+
+(* 64 seeded plans x 16 jobs = 1024 scenarios: every routed send draws
+   network chaos, every dispatch draws process chaos, and each job must
+   still resolve to oracle bytes or a typed degradation.  Crash-restart
+   on a [Channels] shard is a permanent death (nothing respawns a
+   socketpair), so a run can legitimately end with both shards down —
+   the typed [shard_down] arm — but most runs complete ok. *)
+let chaos_config seed =
+  { Fault.Plan.default with
+    Fault.Plan.seed;
+    net_delay = 0.10; net_delay_s = 0.002;
+    net_drop = 0.05;
+    net_dup = 0.05;
+    net_reorder = 0.05;
+    partition = 0.02; partition_s = 0.05;
+    slow_shard = 0.05; slow_s = 0.02;
+    crash_restart = 0.02 }
+
+let test_chaos_battery () =
+  let runs = 64 and jobs = 16 in
+  let scenarios = ref 0 in
+  let ok_total = ref 0 in
+  for run = 0 to runs - 1 do
+    let plan = Fault.Plan.create (chaos_config run) in
+    with_router ~n:2 ~fault:plan ~stuck_after:0.05 ~hedge_quantile:0.5
+      ~hedge_floor:0.02 @@ fun t ->
+    let joins =
+      List.init jobs (fun seed ->
+          (seed, Router.submit_line t (job_line ~deadline:30.0 seed)))
+    in
+    List.iter
+      (fun (seed, join) ->
+         let reply = join () in
+         incr scenarios;
+         if contains reply "\"status\":\"ok\"" then incr ok_total;
+         check_reply ~what:(Printf.sprintf "plan %d" run) seed reply)
+      joins
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "battery covered %d scenarios (>= 1000)" !scenarios)
+    true (!scenarios >= 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "most scenarios complete ok (%d/%d)" !ok_total !scenarios)
+    true (!ok_total > !scenarios / 2)
+
+(* ---- deadline propagation ---- *)
+
+let test_deadline_immediate () =
+  with_router ~n:1 @@ fun t ->
+  let reply = Router.submit_line t (job_line ~deadline:0.000001 0) () in
+  Alcotest.(check bool) "already-expired budget earns the typed timeout" true
+    (contains reply "\"status\":\"timeout\"");
+  (* the shard is untouched and still serves *)
+  let ok = Router.submit_line t (job_line 1) () in
+  Alcotest.(check string) "shard still healthy afterwards" (expect_seed 1)
+    (normalise ok)
+
+let test_deadline_expires_in_router () =
+  (* a total one-way partition: every send toward the shard (jobs, sync
+     pings, cancels) is swallowed, so only the router's pacer can answer
+     — the deadline must fire there, with its distinguishing message *)
+  let plan =
+    Fault.Plan.create
+      { Fault.Plan.default with Fault.Plan.partition = 1.0; partition_s = 2.0 }
+  in
+  with_router ~n:1 ~fault:plan @@ fun t ->
+  let t0 = Unix.gettimeofday () in
+  let reply = Router.submit_line t (job_line ~deadline:0.1 0) () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "typed timeout from the router" true
+    (contains reply "\"status\":\"timeout\""
+     && contains reply "deadline exceeded in router");
+  Alcotest.(check bool)
+    (Printf.sprintf "answered near the deadline, not the partition (%.3fs)" dt)
+    true (dt < 5.0);
+  let stats = Router.stats_json t in
+  Alcotest.(check bool) "deadline expiry counted" true
+    (int_at [ "resilience"; "deadline_expired" ] stats >= 1)
+
+(* ---- wire cancellation ---- *)
+
+let test_wire_cancel () =
+  (* the shard sleeps ~0.5s on every job, so the cancel races nothing *)
+  let slow =
+    Fault.Plan.create
+      { Fault.Plan.default with Fault.Plan.delay = 1.0; delay_s = 0.5 }
+  in
+  with_router ~n:1 ~svc_fault:slow @@ fun t ->
+  let join = Router.submit_line t (job_line ~id:77 0) in
+  Unix.sleepf 0.05;
+  Router.cancel_client t 77;
+  let reply = join () in
+  Alcotest.(check bool) "typed cancelled reply in the job's own slot" true
+    (contains reply "\"status\":\"cancelled\""
+     && contains reply "cancelled by client");
+  let stats = Router.stats_json t in
+  Alcotest.(check bool) "cross-wire cancel forwarded" true
+    (int_at [ "resilience"; "cancels" ] stats >= 1)
+
+(* ---- hedged execution ---- *)
+
+let test_hedging_under_slow_shards () =
+  (* ~30% of dispatches stall 0.1s; with warm latency histograms the
+     pacer hedges the stalled jobs onto the other shard and the fast
+     copy wins.  All replies must still be oracle bytes. *)
+  let plan =
+    Fault.Plan.create
+      { Fault.Plan.default with
+        Fault.Plan.seed = 5; slow_shard = 0.3; slow_s = 0.1 }
+  in
+  with_router ~n:2 ~placement:Router.Uniform ~fault:plan ~hedge_quantile:0.5
+    ~hedge_floor:0.02 @@ fun t ->
+  (* warm: enough sequential jobs that both shards pass the 16-sample
+     floor the hedge trigger requires *)
+  for seed = 0 to 39 do
+    check_reply ~what:"hedge warm" seed (Router.submit_line t (job_line seed) ())
+  done;
+  for seed = 40 to 55 do
+    check_reply ~what:"hedge probe" seed (Router.submit_line t (job_line seed) ())
+  done;
+  let stats = Router.stats_json t in
+  Alcotest.(check bool)
+    (Printf.sprintf "hedges fired (%d)" (int_at [ "resilience"; "hedged" ] stats))
+    true
+    (int_at [ "resilience"; "hedged" ] stats >= 1)
+
+(* ---- circuit breaker unit ---- *)
+
+let test_breaker_states () =
+  let cfg =
+    { Breaker.failures = 2; cooldown = 0.05; rtt_limit = 0.1; queue_limit = 3 }
+  in
+  let opened = ref 0 in
+  let b = Breaker.create ~config:cfg ~on_open:(fun () -> incr opened) () in
+  Alcotest.(check bool) "closed admits" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "one failure stays closed" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check string) "opens at the failure threshold" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b);
+  Alcotest.(check int) "transition counted" 1 (Breaker.opens b);
+  Alcotest.(check int) "hook fired" 1 !opened;
+  Unix.sleepf 0.06;
+  Alcotest.(check string) "cooldown elapses to half-open" "half_open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "half-open admits one trial" true (Breaker.allow b);
+  Alcotest.(check bool) "the trial slot is consumed" false (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check string) "trial success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "closed again admits" true (Breaker.allow b);
+  (* a failed trial re-arms the cooldown *)
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Unix.sleepf 0.06;
+  Alcotest.(check bool) "second trial admitted" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "failed trial refuses again" false (Breaker.allow b);
+  Alcotest.(check string) "re-armed open" "open"
+    (Breaker.state_name (Breaker.state b))
+
+let test_breaker_rtt_and_queue () =
+  let cfg =
+    { Breaker.failures = 2; cooldown = 10.0; rtt_limit = 0.1; queue_limit = 3 }
+  in
+  let b = Breaker.create ~config:cfg () in
+  Breaker.record_rtt b 0.5;
+  Breaker.record_rtt b 0.5;
+  Alcotest.(check string) "slow RTTs open the breaker" "open"
+    (Breaker.state_name (Breaker.state b));
+  let b2 = Breaker.create ~config:cfg () in
+  Breaker.record_rtt b2 0.5;
+  Breaker.record_rtt b2 0.01;
+  Breaker.record_rtt b2 0.5;
+  Alcotest.(check string) "a fast RTT resets the streak" "closed"
+    (Breaker.state_name (Breaker.state b2));
+  Breaker.note_queue_depth b2 9;
+  Alcotest.(check bool) "deep queue refuses admission" false (Breaker.allow b2);
+  Alcotest.(check string) "without changing state" "closed"
+    (Breaker.state_name (Breaker.state b2));
+  Breaker.note_queue_depth b2 1;
+  Alcotest.(check bool) "drained queue admits again" true (Breaker.allow b2);
+  Breaker.force_open b2;
+  Alcotest.(check string) "force_open is the conviction path" "open"
+    (Breaker.state_name (Breaker.state b2));
+  Alcotest.(check bool) "and refuses" false (Breaker.allow b2)
+
+(* ---- shard death mid-flight (qcheck) ---- *)
+
+let prop_death_rerun_once =
+  QCheck.Test.make ~count:12
+    ~name:"jobs on a shard killed mid-flight re-run once, byte-identical"
+    QCheck.(pair (0 -- 1000) (0 -- 25))
+    (fun (_seed, delay_ms) ->
+       with_router ~n:2 @@ fun t ->
+       let joins =
+         List.init 10 (fun seed -> (seed, Router.submit_line t (job_line seed)))
+       in
+       Unix.sleepf (float_of_int delay_ms /. 1000.0);
+       Router.mark_down t "s0";
+       (* exactly one reply per job (the join returns once), and every
+          reply carries the oracle bytes: a job the dead shard already
+          ran is not double-answered, a job it lost is re-run on the
+          survivor *)
+       List.for_all
+         (fun (seed, join) ->
+            let reply = join () in
+            contains reply "\"status\":\"ok\""
+            && String.equal (expect_seed seed) (normalise reply))
+         joins)
+
+(* ---- loadgen accounting for the new typed replies ---- *)
+
+let test_loadgen_timeout_accounting () =
+  let calls = Atomic.make 0 in
+  let saw_deadline = Atomic.make false in
+  let submit line () =
+    if contains line "(deadline 2.5)" then Atomic.set saw_deadline true;
+    match Atomic.fetch_and_add calls 1 mod 4 with
+    | 0 -> "{\"status\":\"ok\",\"cached\":false,\"shard\":\"s0\"}"
+    | 1 -> "{\"status\":\"timeout\",\"error\":\"deadline exceeded in router\"}"
+    | 2 -> "{\"status\":\"cancelled\",\"shard\":\"s1\"}"
+    | _ -> "{\"status\":\"overloaded\",\"shard\":\"s1\"}"
+  in
+  let cfg =
+    { LG.default with
+      LG.requests = 80; clients = 4; universe = 8; seed = 3;
+      deadline = Some 2.5 }
+  in
+  let r = LG.run ~submit cfg in
+  Atomic.set calls (Atomic.get calls);
+  Alcotest.(check bool) "jobs carry the configured deadline" true
+    (Atomic.get saw_deadline);
+  Alcotest.(check int) "statuses partition the replies" 80
+    (r.LG.ok + r.LG.overloaded + r.LG.shard_down + r.LG.timeouts + r.LG.cancelled
+     + r.LG.failed);
+  Alcotest.(check int) "timeouts tallied in their own bucket" 20 r.LG.timeouts;
+  Alcotest.(check int) "cancellations tallied in their own bucket" 20
+    r.LG.cancelled;
+  Alcotest.(check int) "typed degradations are not failures" 0 r.LG.failed;
+  let json = Server.Json.to_string (LG.report_json r) in
+  Alcotest.(check bool) "report carries the new buckets" true
+    (contains json "\"timeouts\":20" && contains json "\"cancelled\":20")
+
+(* ---- socket shard crash-restart and revival ---- *)
+
+let test_socket_revive_no_double_count () =
+  let path = Filename.temp_file "resilience" ".sock" in
+  Sys.remove path;
+  let serve_at path =
+    let svc = Server.Service.create ~shard_id:"b0" ~workers:2 ~queue_capacity:32 () in
+    let d =
+      Domain.spawn (fun () ->
+          Server.Service.serve_socket svc ~path;
+          Server.Service.shutdown svc)
+    in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while not (Sys.file_exists path) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    Alcotest.(check bool) "server bound its socket" true (Sys.file_exists path);
+    d
+  in
+  let quit_at path =
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd ->
+      (try
+         Unix.connect fd (Unix.ADDR_UNIX path);
+         let oc = Unix.out_channel_of_descr fd in
+         output_string oc "(quit)\n";
+         flush oc;
+         close_out oc
+       with Unix.Unix_error _ | Sys_error _ ->
+         (try Unix.close fd with Unix.Unix_error _ -> ()))
+  in
+  let d1 = serve_at path in
+  let t = Router.create ~shards:[ ("b0", Router.Socket path) ] () in
+  let d2 =
+    Fun.protect
+      ~finally:(fun () -> Router.shutdown t)
+      (fun () ->
+         let r1 = Router.submit_line t (job_line 1) () in
+         Alcotest.(check string) "served before the crash" (expect_seed 1)
+           (normalise r1);
+         (* crash: the shard dies and its socket goes away *)
+         Router.mark_down t "b0";
+         quit_at path;
+         Domain.join d1;
+         let down = Router.submit_line t (job_line 2) () in
+         Alcotest.(check bool) "down window answers typed shard_down" true
+           (contains down "\"status\":\"shard_down\"");
+         (* restart: a fresh process binds the same path (atomic replace
+            of anything stale), and the router re-adopts it *)
+         let d2 = serve_at path in
+         Alcotest.(check bool) "revive re-adopts the returned shard" true
+           (Router.revive t "b0");
+         Alcotest.(check (list string)) "alive again" [ "b0" ]
+           (Router.alive_ids t);
+         let r2 = Router.submit_line t (job_line 3) () in
+         Alcotest.(check string) "served after the restart" (expect_seed 3)
+           (normalise r2);
+         let stats = Router.stats_json t in
+         Alcotest.(check int) "no double-count: the shard exists once" 1
+           (int_at [ "shards_total" ] stats);
+         Alcotest.(check int) "and is healthy once" 1
+           (int_at [ "shards_healthy" ] stats);
+         Alcotest.(check int) "each served job routed exactly once" 2
+           (int_at [ "shards"; "b0"; "routed" ] stats);
+         Alcotest.(check bool) "revival counted" true
+           (int_at [ "resilience"; "revivals" ] stats >= 1);
+         d2)
+  in
+  (* the shard serves sessions sequentially, so the quit can only be
+     accepted once the router's own connection is gone — after shutdown *)
+  quit_at path;
+  Domain.join d2
+
+let () =
+  Alcotest.run "resilience"
+    [ ("chaos",
+       [ Alcotest.test_case "seeded battery vs fault-free oracle" `Slow
+           test_chaos_battery ]);
+      ("deadline",
+       [ Alcotest.test_case "expired budget answers immediately" `Quick
+           test_deadline_immediate;
+         Alcotest.test_case "router expiry under total partition" `Quick
+           test_deadline_expires_in_router ]);
+      ("cancel",
+       [ Alcotest.test_case "wire cancel frees the slot" `Quick test_wire_cancel ]);
+      ("hedging",
+       [ Alcotest.test_case "slow dispatches get hedged" `Quick
+           test_hedging_under_slow_shards ]);
+      ("breaker",
+       [ Alcotest.test_case "state machine" `Quick test_breaker_states;
+         Alcotest.test_case "rtt and queue signals" `Quick
+           test_breaker_rtt_and_queue ]);
+      ("death",
+       [ QCheck_alcotest.to_alcotest prop_death_rerun_once ]);
+      ("loadgen",
+       [ Alcotest.test_case "timeout and cancel buckets" `Quick
+           test_loadgen_timeout_accounting ]);
+      ("revive",
+       [ Alcotest.test_case "socket crash-restart without double-count" `Quick
+           test_socket_revive_no_double_count ]) ]

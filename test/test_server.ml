@@ -386,7 +386,7 @@ let sim_config seed = { Core.Simulator.default_config with table_size = 64; seed
 let sim_job seed =
   { Server.Job.source = Server.Job.Trace_file (Lazy.force saved_synth_trace);
     spec = Server.Job.Simulate (sim_config seed);
-    timeout = None; priority = 0 }
+    timeout = None; priority = 0; deadline = None; wire_id = None }
 
 let result_bytes (r : Server.Service.response) =
   match r.Server.Service.outcome with

@@ -247,8 +247,7 @@ let test_byte_flip_battery () =
 (* ---- seeded fault-plan workloads: every store.* site ---- *)
 
 let faulty_cfg seed =
-  { P.seed; write_fail = 0.2; torn_write = 0.15; crash = 0.0; delay = 0.0;
-    delay_s = 0.0; garbage = 0.0 }
+  { P.default with seed; write_fail = 0.2; torn_write = 0.15; delay_s = 0.0 }
 
 let test_fault_plan_workloads () =
   let injected = ref 0 in
@@ -301,8 +300,7 @@ let test_recovery_fault_site () =
   L.set s "stable" "value";
   L.close s;
   let all_fail =
-    P.create { P.seed = 7; write_fail = 1.0; torn_write = 0.0; crash = 0.0;
-               delay = 0.0; delay_s = 0.0; garbage = 0.0 }
+    P.create { P.default with seed = 7; write_fail = 1.0; delay_s = 0.0 }
   in
   (match L.open_ ~fault:all_fail ~dir () with
    | _ -> Alcotest.fail "recovery under a read fault must raise"
@@ -570,8 +568,7 @@ let test_ttl_expiry () =
 (* ---- the degraded-cache regression (satellite fix) ---- *)
 
 let always_fail =
-  P.create { P.seed = 3; write_fail = 1.0; torn_write = 0.0; crash = 0.0;
-             delay = 0.0; delay_s = 0.0; garbage = 0.0 }
+  P.create { P.default with seed = 3; write_fail = 1.0; delay_s = 0.0 }
 
 let check_degraded ~make_cache name =
   let reg = Obs.Registry.create () in
@@ -617,7 +614,7 @@ let saved_trace = lazy (
 let sim_job seed =
   { Server.Job.source = Server.Job.Trace_file (Lazy.force saved_trace);
     spec = Server.Job.Simulate { Core.Simulator.default_config with table_size = 64; seed };
-    timeout = None; priority = 0 }
+    timeout = None; priority = 0; deadline = None; wire_id = None }
 
 let ok = function
   | Ok v -> v
